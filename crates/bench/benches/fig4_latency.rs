@@ -1,0 +1,50 @@
+//! Fig. 4: average latency vs injection rate for DeFT/MTR/RC under
+//! Uniform, Localized, and Hotspot traffic (4 chiplets) and Uniform
+//! (6 chiplets). Prints all four regenerated panels, then times one
+//! representative sweep point per panel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deft::experiments::{fig4, Algo, SynPattern};
+use deft::report::render_latency_sweep;
+use deft_bench::{bench_config, print_once};
+use deft_topo::ChipletSystem;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_once(&PRINT, || {
+        let mut out = String::new();
+        let sys4 = ChipletSystem::baseline_4();
+        for p in [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot] {
+            out += &render_latency_sweep(&fig4(&sys4, p, &p.paper_rates(), &Algo::MAIN, &cfg));
+        }
+        let sys6 = ChipletSystem::baseline_6();
+        out += &render_latency_sweep(&fig4(
+            &sys6,
+            SynPattern::Uniform,
+            &[0.001, 0.002, 0.003, 0.004, 0.005, 0.006],
+            &Algo::MAIN,
+            &cfg,
+        ));
+        out
+    });
+
+    let sys4 = ChipletSystem::baseline_4();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for pattern in [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot] {
+        group.bench_function(format!("{}_4chiplets_midload", pattern.name()), |b| {
+            b.iter(|| fig4(&sys4, pattern, &[0.004], &Algo::MAIN, &cfg))
+        });
+    }
+    let sys6 = ChipletSystem::baseline_6();
+    group.bench_function("Uniform_6chiplets_midload", |b| {
+        b.iter(|| fig4(&sys6, SynPattern::Uniform, &[0.003], &Algo::MAIN, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

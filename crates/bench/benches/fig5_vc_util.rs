@@ -1,0 +1,33 @@
+//! Fig. 5: DeFT's per-region VC utilization under synthetic traffic.
+//! Prints the regenerated chart rows, then times one measurement run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deft::experiments::{fig5, SynPattern};
+use deft::report::render_vc_util;
+use deft_bench::{bench_config, print_once};
+use deft_topo::ChipletSystem;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_once(&PRINT, || {
+        let sys = ChipletSystem::baseline_4();
+        [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot]
+            .iter()
+            .map(|&p| render_vc_util(p.name(), &fig5(&sys, p, 0.004, &cfg)))
+            .collect()
+    });
+
+    let sys = ChipletSystem::baseline_4();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("vc_utilization_uniform", |b| {
+        b.iter(|| fig5(&sys, SynPattern::Uniform, 0.004, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 6: latency improvement under application traffic — (a) single
+//! PARSEC-profile applications, (b) co-scheduled pairs sorted by load.
+//! Prints both regenerated panels, then times one single-app comparison
+//! and one pair comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deft::experiments::{fig6_pairs, fig6_single};
+use deft::report::render_app_improvements;
+use deft_bench::{bench_config, print_once};
+use deft_topo::ChipletSystem;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_once(&PRINT, || {
+        let sys = ChipletSystem::baseline_4();
+        let mut out =
+            render_app_improvements("single application (Fig. 6a)", &fig6_single(&sys, &cfg));
+        out += &render_app_improvements("two applications (Fig. 6b)", &fig6_pairs(&sys, &cfg));
+        out
+    });
+
+    let sys = ChipletSystem::baseline_4();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("single_apps_panel", |b| b.iter(|| fig6_single(&sys, &cfg)));
+    group.bench_function("app_pairs_panel", |b| b.iter(|| fig6_pairs(&sys, &cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

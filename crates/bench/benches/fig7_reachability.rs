@@ -1,0 +1,36 @@
+//! Fig. 7: reachability vs number of faulty VLs (exact analysis) for the
+//! 4- and 6-chiplet systems. Prints both regenerated panels, then times
+//! the exact average and worst-case engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deft::experiments::{fig7, Algo};
+use deft::report::render_reachability;
+use deft_bench::print_once;
+use deft_routing::reachability::ReachabilityEngine;
+use deft_topo::ChipletSystem;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench_fig7(c: &mut Criterion) {
+    print_once(&PRINT, || {
+        let mut out =
+            render_reachability("4 Chiplets (32 VLs)", &fig7(&ChipletSystem::baseline_4(), 8));
+        out += &render_reachability("6 Chiplets (48 VLs)", &fig7(&ChipletSystem::baseline_6(), 8));
+        out
+    });
+
+    let sys = ChipletSystem::baseline_4();
+    let mtr = ReachabilityEngine::new(&sys, Algo::Mtr.build(&sys).as_ref());
+    let mut group = c.benchmark_group("fig7");
+    group.bench_function("engine_construction", |b| {
+        b.iter(|| ReachabilityEngine::new(&sys, Algo::Mtr.build(&sys).as_ref()))
+    });
+    group.bench_function("exact_average_k8", |b| b.iter(|| mtr.average(8)));
+    group.bench_function("exact_worst_case_k8", |b| b.iter(|| mtr.worst_case(8)));
+    group.bench_function("monte_carlo_1000_k8", |b| b.iter(|| mtr.monte_carlo(&sys, 8, 1_000, 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

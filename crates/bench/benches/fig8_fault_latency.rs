@@ -1,0 +1,67 @@
+//! Fig. 8: latency under VL faults with DeFT's three VL-selection
+//! strategies (optimized / distance-based / random), at 12.5% and 25%
+//! fault rates. Prints both regenerated panels, then times one sweep
+//! point per fault rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deft::experiments::fig8;
+use deft::report::render_latency_sweep;
+use deft_bench::{bench_config, print_once};
+use deft_topo::{ChipletId, ChipletSystem, FaultState, VlDir, VlLinkId};
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn faults_12_5(sys: &ChipletSystem) -> FaultState {
+    let mut f = FaultState::none(sys);
+    f.inject(VlLinkId { chiplet: ChipletId(0), index: 0, dir: VlDir::Down });
+    f.inject(VlLinkId { chiplet: ChipletId(1), index: 1, dir: VlDir::Up });
+    f.inject(VlLinkId { chiplet: ChipletId(2), index: 2, dir: VlDir::Down });
+    f.inject(VlLinkId { chiplet: ChipletId(3), index: 3, dir: VlDir::Up });
+    f
+}
+
+fn faults_25(sys: &ChipletSystem) -> FaultState {
+    let mut f = faults_12_5(sys);
+    f.inject(VlLinkId { chiplet: ChipletId(0), index: 2, dir: VlDir::Up });
+    f.inject(VlLinkId { chiplet: ChipletId(1), index: 3, dir: VlDir::Down });
+    f.inject(VlLinkId { chiplet: ChipletId(2), index: 0, dir: VlDir::Up });
+    f.inject(VlLinkId { chiplet: ChipletId(3), index: 1, dir: VlDir::Down });
+    f
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = bench_config();
+    print_once(&PRINT, || {
+        let sys = ChipletSystem::baseline_4();
+        let mut out = render_latency_sweep(&fig8(
+            &sys,
+            &faults_12_5(&sys),
+            &[0.004, 0.005, 0.006, 0.007, 0.008],
+            &cfg,
+        ));
+        out += &render_latency_sweep(&fig8(
+            &sys,
+            &faults_25(&sys),
+            &[0.004, 0.005, 0.006, 0.007],
+            &cfg,
+        ));
+        out
+    });
+
+    let sys = ChipletSystem::baseline_4();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("ablation_12_5pct_midload", |b| {
+        let f = faults_12_5(&sys);
+        b.iter(|| fig8(&sys, &f, &[0.005], &cfg))
+    });
+    group.bench_function("ablation_25pct_midload", |b| {
+        let f = faults_25(&sys);
+        b.iter(|| fig8(&sys, &f, &[0.005], &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Microbenchmarks of the core components: the simulator cycle loop, the
+//! offline VL-selection optimizer (Algorithm 2), the VN-assignment fast
+//! path (Algorithm 1), and CDG construction. These back the ablation
+//! discussion in `DESIGN.md` §8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deft::prelude::*;
+use deft_routing::{SelectionLut, VlOptimizer};
+use deft_topo::Coord;
+
+fn bench_components(c: &mut Criterion) {
+    let sys = ChipletSystem::baseline_4();
+    let faults = FaultState::none(&sys);
+
+    // Simulator throughput: cycles/second on the baseline system.
+    c.bench_function("sim_1000_cycles_uniform_0.004", |b| {
+        let pattern = uniform(&sys, 0.004);
+        b.iter(|| {
+            let cfg = SimConfig { warmup: 0, measure: 1_000, drain: 0, ..SimConfig::default() };
+            Simulator::new(
+                &sys,
+                faults.clone(),
+                Box::new(DeftRouting::distance_based(&sys)),
+                &pattern,
+                cfg,
+            )
+            .run()
+        })
+    });
+
+    // Algorithm 2: optimizing one chiplet's selection for one scenario.
+    c.bench_function("optimizer_one_chiplet_one_fault", |b| {
+        let coords: Vec<Coord> =
+            (0..4).flat_map(|y| (0..4).map(move |x| Coord::new(x, y))).collect();
+        let vls =
+            vec![Coord::new(1, 3), Coord::new(3, 2), Coord::new(2, 0), Coord::new(0, 1)];
+        b.iter(|| {
+            let problem = deft_routing::deft::SelectionProblem::new(
+                vls.clone(),
+                coords.clone(),
+                vec![1.0; 16],
+                0b0111,
+                0.01,
+            );
+            VlOptimizer::new().solve(&problem)
+        })
+    });
+
+    // Full LUT construction (all chiplets, all 15 scenarios each).
+    c.bench_function("lut_build_full_system", |b| {
+        b.iter(|| SelectionLut::build(&sys, &VlOptimizer::new(), |_| 1.0))
+    });
+
+    // Algorithm 1 fast path: inject + per-hop routing of one packet.
+    c.bench_function("route_one_inter_chiplet_packet", |b| {
+        let mut deft = DeftRouting::new(&sys);
+        let src = NodeId(0);
+        let dst = sys.chiplet_nodes(ChipletId(3)).last().unwrap();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let mut ctx = deft.on_inject(&sys, &faults, src, dst, seq).unwrap();
+            let mut cur = src;
+            let mut hops = 0;
+            while cur != dst {
+                let d = deft.route(&sys, &faults, cur, dst, &mut ctx);
+                cur = sys.neighbor(cur, d.dir).unwrap();
+                hops += 1;
+            }
+            hops
+        })
+    });
+
+    // Deadlock verification on a 2-chiplet system.
+    c.bench_function("cdg_build_and_check_2_chiplets", |b| {
+        let small = deft_topo::SystemBuilder::new(8, 4)
+            .chiplet(Coord::new(0, 0), 4, 4, &deft_topo::PINWHEEL_VLS_4X4)
+            .chiplet(Coord::new(4, 0), 4, 4, &deft_topo::PINWHEEL_VLS_4X4)
+            .build()
+            .unwrap();
+        let deft = DeftRouting::distance_based(&small);
+        let f = FaultState::none(&small);
+        b.iter(|| {
+            let cdg = ChannelDependencyGraph::build(&small, &deft, &f);
+            assert!(!cdg.has_cycle());
+            cdg.channel_count()
+        })
+    });
+
+    // Serialized-VL ablation (paper §IV-A cites serialization as a cost
+    // reduction): latency cost of narrowing the vertical links.
+    c.bench_function("sim_vl_serialization_x4", |b| {
+        let pattern = uniform(&sys, 0.004);
+        b.iter(|| {
+            let cfg = SimConfig {
+                warmup: 0,
+                measure: 1_000,
+                drain: 0,
+                vl_serialization: 4,
+                ..SimConfig::default()
+            };
+            Simulator::new(
+                &sys,
+                faults.clone(),
+                Box::new(DeftRouting::distance_based(&sys)),
+                &pattern,
+                cfg,
+            )
+            .run()
+        })
+    });
+
+    // Reachability engine hot query.
+    c.bench_function("reachability_under_one_scenario", |b| {
+        let engine = ReachabilityEngine::new(&sys, &MtrRouting::new(&sys));
+        let mut f = FaultState::none(&sys);
+        f.inject(VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down });
+        f.inject(VlLinkId { chiplet: ChipletId(2), index: 2, dir: VlDir::Up });
+        b.iter(|| engine.reachability_under(&sys, &f))
+    });
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

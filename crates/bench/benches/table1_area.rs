@@ -1,0 +1,29 @@
+//! Table I: router area and power for MTR, RC (non-boundary/boundary),
+//! and DeFT at 45 nm / 1 GHz. Prints the regenerated table, then times
+//! the model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deft::report::render_table1;
+use deft_bench::print_once;
+use deft_power::{table1, RouterParams, RouterVariant, Tech45nm};
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench_table1(c: &mut Criterion) {
+    print_once(&PRINT, || {
+        render_table1(&table1(&RouterParams::paper_default(), &Tech45nm::default()))
+    });
+
+    let params = RouterParams::paper_default();
+    let tech = Tech45nm::default();
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("full_table", |b| b.iter(|| table1(&params, &tech)));
+    group.bench_function("single_estimate", |b| {
+        b.iter(|| params.estimate(RouterVariant::deft_default(), &tech))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Shared helpers for the DeFT benchmark harness.
+//!
+//! Each bench target regenerates one table or figure of the paper (printing
+//! the same rows/series the paper reports) and then times a representative
+//! kernel of that experiment with Criterion. The full-resolution regenerated
+//! data lives in `EXPERIMENTS.md`; benches use the quick configuration to
+//! keep `cargo bench` affordable.
+
+use deft::experiments::ExpConfig;
+use std::sync::Once;
+
+/// The configuration used by all benches.
+pub fn bench_config() -> ExpConfig {
+    ExpConfig::quick()
+}
+
+/// Prints a figure's regenerated data exactly once per bench process
+/// (Criterion calls the setup many times).
+pub fn print_once(once: &'static Once, render: impl FnOnce() -> String) {
+    once.call_once(|| {
+        println!("\n{}", render());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Once;
+
+    #[test]
+    fn print_once_runs_exactly_once() {
+        static ONCE: Once = Once::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            print_once(&ONCE, || {
+                calls += 1;
+                String::from("x")
+            });
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_config_is_quick() {
+        assert!(bench_config().sim.measure <= 5_000);
+    }
+}

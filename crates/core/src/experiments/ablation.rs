@@ -1,0 +1,113 @@
+//! Ablation of the VL-selection cost weight ρ (paper Eq. 6, §III-B).
+//!
+//! The paper "experimentally found ρ = 0.01 to be efficient": large enough
+//! that distance breaks ties between equally-balanced selections, small
+//! enough that load balance dominates. This ablation sweeps ρ and reports
+//! the two objectives — maximum VL load (balance) and total hop distance —
+//! of the resulting optimal selection under a one-fault scenario, making
+//! the trade-off visible.
+
+use deft_routing::deft::SelectionProblem;
+use deft_routing::VlOptimizer;
+use deft_topo::{ChipletId, ChipletSystem, Coord};
+use serde::Serialize;
+
+/// One row of the ρ sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct RhoRow {
+    /// The distance weight ρ.
+    pub rho: f64,
+    /// Maximum per-VL load of the optimal selection (uniform rates; ideal
+    /// for 16 routers over 3 healthy VLs is 16/3 ≈ 5.33).
+    pub max_vl_load: f64,
+    /// Total router→VL hop distance of the selection (Eq. 5 summed).
+    pub total_distance: u32,
+    /// The optimal cost C_s* at this ρ.
+    pub cost: f64,
+}
+
+/// The ρ values swept (the paper's choice 0.01 in the middle).
+pub const RHO_SWEEP: [f64; 5] = [0.0, 0.001, 0.01, 0.1, 1.0];
+
+/// Sweeps ρ on one chiplet of `sys` with VL 0 faulty and uniform traffic.
+pub fn rho_ablation(sys: &ChipletSystem) -> Vec<RhoRow> {
+    let chiplet = sys.chiplet(ChipletId(0));
+    let vl_coords: Vec<Coord> =
+        chiplet.vertical_links().iter().map(|vl| vl.chiplet_coord).collect();
+    let router_coords: Vec<Coord> = chiplet.coords().collect();
+    let healthy = (((1u16 << chiplet.vl_count()) - 1) as u8) & !1; // VL 0 faulty
+
+    RHO_SWEEP
+        .iter()
+        .map(|&rho| {
+            let problem = SelectionProblem::new(
+                vl_coords.clone(),
+                router_coords.clone(),
+                vec![1.0; chiplet.node_count()],
+                healthy,
+                rho,
+            );
+            let (assignment, cost) = VlOptimizer::new().solve(&problem);
+            let loads = problem.vl_loads(&assignment);
+            let max_vl_load = loads.iter().cloned().fold(0.0, f64::max);
+            let total_distance: u32 = assignment
+                .iter()
+                .enumerate()
+                .map(|(r, &v)| problem.distance(r, v))
+                .sum();
+            RhoRow { rho, max_vl_load, total_distance, cost }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_trades_balance_for_distance() {
+        let sys = ChipletSystem::baseline_4();
+        let rows = rho_ablation(&sys);
+        assert_eq!(rows.len(), RHO_SWEEP.len());
+        // Distance never increases as rho grows; max load never decreases.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].total_distance <= w[0].total_distance,
+                "distance must not grow with rho: {rows:?}"
+            );
+            assert!(
+                w[1].max_vl_load + 1e-9 >= w[0].max_vl_load,
+                "balance must not improve with rho: {rows:?}"
+            );
+        }
+        // At rho = 0 the selection is perfectly balanced over 3 VLs.
+        assert!(rows[0].max_vl_load <= 6.0 + 1e-9);
+        // At the paper's rho = 0.01, balance still dominates.
+        let paper = rows.iter().find(|r| (r.rho - 0.01).abs() < 1e-12).unwrap();
+        assert!(paper.max_vl_load <= 6.0 + 1e-9, "rho=0.01 keeps balance: {paper:?}");
+    }
+
+    #[test]
+    fn large_rho_collapses_to_distance_based() {
+        let sys = ChipletSystem::baseline_4();
+        let rows = rho_ablation(&sys);
+        let large = rows.last().unwrap();
+        // With rho = 1.0, distance dominates: total distance equals the
+        // distance-based assignment's.
+        let chiplet = sys.chiplet(ChipletId(0));
+        let problem = SelectionProblem::new(
+            chiplet.vertical_links().iter().map(|vl| vl.chiplet_coord).collect(),
+            chiplet.coords().collect(),
+            vec![1.0; 16],
+            0b1110,
+            1.0,
+        );
+        let dist_assignment = problem.distance_assignment();
+        let min_distance: u32 = dist_assignment
+            .iter()
+            .enumerate()
+            .map(|(r, &v)| problem.distance(r, v))
+            .sum();
+        assert_eq!(large.total_distance, min_distance);
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig. 6: latency improvement of DeFT over MTR and RC under application
+//! traffic (single applications and co-scheduled pairs).
+
+use super::{Algo, ExpConfig};
+use deft_sim::Simulator;
+use deft_topo::{ChipletSystem, FaultState};
+use deft_traffic::{multi_app, single_app, AppProfile, TableTraffic, TrafficPattern};
+use serde::Serialize;
+
+/// One Fig. 6 bar: DeFT's latency improvement for one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppImprovement {
+    /// Workload label ("FA", "ST+FL", ...).
+    pub label: String,
+    /// DeFT average latency (cycles).
+    pub deft_latency: f64,
+    /// Improvement vs MTR in percent.
+    pub vs_mtr_percent: f64,
+    /// Improvement vs RC in percent.
+    pub vs_rc_percent: f64,
+}
+
+fn improvement(sys: &ChipletSystem, traffic: &TableTraffic, cfg: &ExpConfig, salt: u64) -> AppImprovement {
+    let run = |algo: Algo| {
+        Simulator::new(
+            sys,
+            FaultState::none(sys),
+            algo.build(sys),
+            traffic,
+            cfg.run_sim(salt),
+        )
+        .run()
+    };
+    let deft = run(Algo::Deft);
+    let mtr = run(Algo::Mtr);
+    let rc = run(Algo::Rc);
+    let pct = |base: f64, ours: f64| {
+        if base > 0.0 {
+            100.0 * (base - ours) / base
+        } else {
+            0.0
+        }
+    };
+    AppImprovement {
+        label: traffic.name().to_owned(),
+        deft_latency: deft.avg_latency,
+        vs_mtr_percent: pct(mtr.avg_latency, deft.avg_latency),
+        vs_rc_percent: pct(rc.avg_latency, deft.avg_latency),
+    }
+}
+
+/// Fig. 6(a): one bar per single application, in the paper's order.
+pub fn fig6_single(sys: &ChipletSystem, cfg: &ExpConfig) -> Vec<AppImprovement> {
+    AppProfile::fig6a_order()
+        .iter()
+        .enumerate()
+        .map(|(i, ab)| {
+            let profile = AppProfile::by_abbrev(ab).expect("known abbreviation");
+            let traffic = single_app(sys, profile, cfg.seed ^ i as u64);
+            improvement(sys, &traffic, cfg, 0x6A00 + i as u64)
+        })
+        .collect()
+}
+
+/// Fig. 6(b): one bar per co-scheduled pair, sorted by load as in the
+/// paper (low FA+FL to high ST+FL).
+pub fn fig6_pairs(sys: &ChipletSystem, cfg: &ExpConfig) -> Vec<AppImprovement> {
+    AppProfile::fig6b_pairs()
+        .iter()
+        .enumerate()
+        .map(|(i, (a, b))| {
+            let pa = AppProfile::by_abbrev(a).expect("known abbreviation");
+            let pb = AppProfile::by_abbrev(b).expect("known abbreviation");
+            let traffic = multi_app(sys, pa, pb, cfg.seed ^ (100 + i as u64));
+            improvement(sys, &traffic, cfg, 0x6B00 + i as u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_app_improvements_are_modest() {
+        // Fig. 6(a): low congestion ⇒ small average improvement (paper: 3%
+        // on average, all under ~7%).
+        let sys = ChipletSystem::baseline_4();
+        let cfg = ExpConfig::quick();
+        let fa = AppProfile::by_abbrev("FA").unwrap();
+        let traffic = single_app(&sys, fa, 1);
+        let imp = improvement(&sys, &traffic, &cfg, 1);
+        assert!(imp.deft_latency > 0.0);
+        assert!(imp.vs_mtr_percent.abs() < 25.0, "vs MTR {}", imp.vs_mtr_percent);
+        assert!(imp.vs_rc_percent > -5.0, "DeFT should not lose to RC: {}", imp.vs_rc_percent);
+    }
+
+    #[test]
+    fn heavy_pair_beats_both_baselines() {
+        // Fig. 6(b)'s right end: ST+FL congests the VLs and DeFT wins
+        // clearly against RC (store-and-forward) and MTR (skewed VCs).
+        let sys = ChipletSystem::baseline_4();
+        let cfg = ExpConfig::quick();
+        let st = AppProfile::by_abbrev("ST").unwrap();
+        let fl = AppProfile::by_abbrev("FL").unwrap();
+        let traffic = multi_app(&sys, st, fl, 7);
+        let imp = improvement(&sys, &traffic, &cfg, 7);
+        assert!(imp.vs_rc_percent > 0.0, "vs RC {}", imp.vs_rc_percent);
+        assert!(imp.vs_mtr_percent > -10.0, "vs MTR {}", imp.vs_mtr_percent);
+    }
+}

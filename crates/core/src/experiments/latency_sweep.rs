@@ -1,0 +1,209 @@
+//! Latency-vs-injection-rate sweeps: Fig. 4 (synthetic patterns, DeFT vs
+//! MTR vs RC) and Fig. 8 (VL-selection ablation under faults).
+
+use super::{Algo, ExpConfig};
+use deft_sim::Simulator;
+use deft_topo::{ChipletSystem, FaultState};
+use deft_traffic::{hotspot, localized, uniform, TableTraffic};
+use serde::Serialize;
+
+/// The synthetic patterns of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynPattern {
+    /// Uniform random (Fig. 4(a)/(d)).
+    Uniform,
+    /// 40 % intra-chiplet (Fig. 4(b)).
+    Localized,
+    /// Three 10 % hotspots (Fig. 4(c)).
+    Hotspot,
+}
+
+impl SynPattern {
+    /// Builds the pattern at the given per-node injection rate.
+    pub fn build(self, sys: &ChipletSystem, rate: f64) -> TableTraffic {
+        match self {
+            SynPattern::Uniform => uniform(sys, rate),
+            SynPattern::Localized => localized(sys, rate),
+            SynPattern::Hotspot => hotspot(sys, rate, None),
+        }
+    }
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SynPattern::Uniform => "Uniform",
+            SynPattern::Localized => "Localized",
+            SynPattern::Hotspot => "Hotspot",
+        }
+    }
+
+    /// The paper's x-axis ranges (packets/cycle/node) per pattern for the
+    /// 4-chiplet system.
+    pub fn paper_rates(self) -> Vec<f64> {
+        match self {
+            SynPattern::Uniform => vec![0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008],
+            SynPattern::Localized => {
+                vec![0.001, 0.002, 0.004, 0.006, 0.008, 0.009, 0.010]
+            }
+            SynPattern::Hotspot => vec![0.001, 0.002, 0.003, 0.004, 0.005, 0.006],
+        }
+    }
+}
+
+/// One algorithm's latency curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyCurve {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// `(injection rate, avg latency, delivery ratio)` per sweep point. A
+    /// delivery ratio below ~0.9 marks saturation; latency there
+    /// under-reports (undelivered packets excluded), as in open-loop NoC
+    /// methodology.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// One figure panel: several algorithms swept over the same rates.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySweep {
+    /// Panel title ("Uniform - 4 Chiplets", ...).
+    pub title: String,
+    /// One curve per algorithm.
+    pub curves: Vec<LatencyCurve>,
+}
+
+impl LatencySweep {
+    /// The latency of `algo` at the sweep point nearest `rate`.
+    pub fn latency_at(&self, algo: &str, rate: f64) -> Option<f64> {
+        let curve = self.curves.iter().find(|c| c.algorithm == algo)?;
+        curve
+            .points
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - rate).abs().partial_cmp(&(b.0 - rate).abs()).expect("finite rates")
+            })
+            .map(|p| p.1)
+    }
+}
+
+/// Runs one Fig. 4 panel: the given synthetic pattern on `sys`, sweeping
+/// `rates` for each algorithm in `algos`.
+pub fn fig4(
+    sys: &ChipletSystem,
+    pattern: SynPattern,
+    rates: &[f64],
+    algos: &[Algo],
+    cfg: &ExpConfig,
+) -> LatencySweep {
+    sweep(
+        sys,
+        &FaultState::none(sys),
+        pattern,
+        rates,
+        algos,
+        cfg,
+        format!("{} - {} Chiplets", pattern.name(), sys.chiplet_count()),
+    )
+}
+
+/// Runs one Fig. 8 panel: DeFT's VL-selection ablation under the given
+/// fault state (the paper uses 4 and 8 faulty VLs ≙ 12.5 % and 25 %).
+pub fn fig8(
+    sys: &ChipletSystem,
+    faults: &FaultState,
+    rates: &[f64],
+    cfg: &ExpConfig,
+) -> LatencySweep {
+    let pct = 100.0 * faults.faulty_count() as f64 / sys.unidirectional_vl_count() as f64;
+    sweep(
+        sys,
+        faults,
+        SynPattern::Uniform,
+        rates,
+        &Algo::ABLATION,
+        cfg,
+        format!("VL fault rate {pct:.1}% - {} Chiplets", sys.chiplet_count()),
+    )
+}
+
+fn sweep(
+    sys: &ChipletSystem,
+    faults: &FaultState,
+    pattern: SynPattern,
+    rates: &[f64],
+    algos: &[Algo],
+    cfg: &ExpConfig,
+    title: String,
+) -> LatencySweep {
+    let curves = algos
+        .iter()
+        .map(|&algo| {
+            let points = rates
+                .iter()
+                .enumerate()
+                .map(|(i, &rate)| {
+                    let traffic = pattern.build(sys, rate);
+                    let report = Simulator::new(
+                        sys,
+                        faults.clone(),
+                        algo.build(sys),
+                        &traffic,
+                        cfg.run_sim(i as u64),
+                    )
+                    .run();
+                    assert!(
+                        !report.deadlocked,
+                        "{} deadlocked at rate {rate} under {}",
+                        algo.name(),
+                        pattern.name()
+                    );
+                    (rate, report.avg_latency, report.delivery_ratio())
+                })
+                .collect();
+            LatencyCurve { algorithm: algo.name().to_owned(), points }
+        })
+        .collect();
+    LatencySweep { title, curves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_topo::{ChipletId, VlDir, VlLinkId};
+
+    #[test]
+    fn fig4_uniform_orders_algorithms_at_load() {
+        let sys = ChipletSystem::baseline_4();
+        let cfg = ExpConfig::quick();
+        let sweep = fig4(&sys, SynPattern::Uniform, &[0.005], &Algo::MAIN, &cfg);
+        let deft = sweep.latency_at("DeFT", 0.005).unwrap();
+        let rc = sweep.latency_at("RC", 0.005).unwrap();
+        assert!(deft > 0.0 && rc > 0.0);
+        assert!(deft <= rc, "DeFT {deft} must not lose to RC {rc} under load");
+    }
+
+    #[test]
+    fn fig8_runs_all_ablation_variants_under_faults() {
+        let sys = ChipletSystem::baseline_4();
+        let mut faults = FaultState::none(&sys);
+        for (c, i, d) in [(0u8, 0u8, VlDir::Down), (1, 1, VlDir::Up), (2, 2, VlDir::Down), (3, 3, VlDir::Up)]
+            .map(|(c, i, d)| (c, i, d))
+        {
+            faults.inject(VlLinkId { chiplet: ChipletId(c), index: i, dir: d });
+        }
+        let cfg = ExpConfig::quick();
+        let sweep = fig8(&sys, &faults, &[0.004], &cfg);
+        assert_eq!(sweep.curves.len(), 3);
+        assert!(sweep.title.contains("12.5%"));
+        for c in &sweep.curves {
+            assert!(c.points[0].1 > 0.0, "{} produced no latency", c.algorithm);
+        }
+    }
+
+    #[test]
+    fn paper_rate_axes_are_increasing() {
+        for p in [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot] {
+            let rates = p.paper_rates();
+            assert!(rates.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

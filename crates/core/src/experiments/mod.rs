@@ -1,0 +1,124 @@
+//! Experiment runners: one per figure/table of the paper's evaluation.
+//!
+//! Every runner is deterministic (seeded) and comes in *quick* and *full*
+//! flavours via [`ExpConfig`]; the quick flavour keeps CI and `cargo bench`
+//! affordable while the full flavour is what `EXPERIMENTS.md` records.
+
+mod ablation;
+mod app_latency;
+mod latency_sweep;
+mod reachability;
+mod scaling;
+mod vc_util;
+
+pub use ablation::{rho_ablation, RhoRow, RHO_SWEEP};
+pub use app_latency::{fig6_pairs, fig6_single, AppImprovement};
+pub use latency_sweep::{fig4, fig8, LatencyCurve, LatencySweep, SynPattern};
+pub use reachability::{fig7, ReachabilityCurves};
+pub use scaling::{scaling_study, ScalingRow, SCALING_GRIDS};
+pub use vc_util::{fig5, VcUtilRow};
+
+use deft_routing::{DeftRouting, MtrRouting, RcRouting, RoutingAlgorithm};
+use deft_sim::SimConfig;
+use deft_topo::ChipletSystem;
+
+/// The routing algorithms of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// DeFT with the offline-optimized VL selection.
+    Deft,
+    /// DeFT with distance-based selection (Fig. 8 ablation).
+    DeftDis,
+    /// DeFT with random selection (Fig. 8 ablation).
+    DeftRan,
+    /// The MTR baseline.
+    Mtr,
+    /// The RC baseline.
+    Rc,
+}
+
+impl Algo {
+    /// The three algorithms compared in Fig. 4 and Fig. 6.
+    pub const MAIN: [Algo; 3] = [Algo::Deft, Algo::Mtr, Algo::Rc];
+
+    /// The VL-selection ablation of Fig. 8.
+    pub const ABLATION: [Algo; 3] = [Algo::Deft, Algo::DeftDis, Algo::DeftRan];
+
+    /// Builds a fresh algorithm instance (they carry per-run state).
+    pub fn build(self, sys: &ChipletSystem) -> Box<dyn RoutingAlgorithm> {
+        match self {
+            Algo::Deft => Box::new(DeftRouting::new(sys)),
+            Algo::DeftDis => Box::new(DeftRouting::distance_based(sys)),
+            Algo::DeftRan => Box::new(DeftRouting::random_selection(sys, 0xDEF7)),
+            Algo::Mtr => Box::new(MtrRouting::new(sys)),
+            Algo::Rc => Box::new(RcRouting::new(sys)),
+        }
+    }
+
+    /// Display name, matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Deft => "DeFT",
+            Algo::DeftDis => "DeFT-Dis.",
+            Algo::DeftRan => "DeFT-Ran.",
+            Algo::Mtr => "MTR",
+            Algo::Rc => "RC",
+        }
+    }
+}
+
+/// Shared experiment knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Simulation parameters.
+    pub sim: SimConfig,
+    /// Base seed; individual runs derive seeds from it deterministically.
+    pub seed: u64,
+}
+
+impl ExpConfig {
+    /// The full configuration used for `EXPERIMENTS.md` numbers.
+    pub fn full() -> Self {
+        Self {
+            sim: SimConfig { warmup: 2_000, measure: 10_000, drain: 60_000, ..SimConfig::default() },
+            seed: 0x0DE,
+        }
+    }
+
+    /// A fast configuration for tests and benches: same structure, shorter
+    /// windows.
+    pub fn quick() -> Self {
+        Self {
+            sim: SimConfig { warmup: 300, measure: 1_500, drain: 20_000, ..SimConfig::default() },
+            seed: 0x0DE,
+        }
+    }
+
+    /// Derives a per-run simulation config with a distinct seed.
+    pub fn run_sim(&self, salt: u64) -> SimConfig {
+        SimConfig { seed: self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt), ..self.sim }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_builders_produce_named_instances() {
+        let sys = ChipletSystem::baseline_4();
+        for a in [Algo::Deft, Algo::DeftDis, Algo::DeftRan, Algo::Mtr, Algo::Rc] {
+            let alg = a.build(&sys);
+            assert!(!alg.name().is_empty());
+        }
+        assert_eq!(Algo::Deft.build(&sys).name(), "DeFT");
+        assert_eq!(Algo::Mtr.name(), "MTR");
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_salt() {
+        let cfg = ExpConfig::quick();
+        assert_ne!(cfg.run_sim(1).seed, cfg.run_sim(2).seed);
+        assert_eq!(cfg.run_sim(1).seed, cfg.run_sim(1).seed);
+    }
+}

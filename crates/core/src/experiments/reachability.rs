@@ -1,0 +1,87 @@
+//! Fig. 7: reachability vs number of faulty VLs — exact analysis.
+
+use super::Algo;
+use deft_routing::reachability::ReachabilityEngine;
+use deft_topo::ChipletSystem;
+use serde::Serialize;
+
+/// The five curves of one Fig. 7 panel, values in percent per fault count
+/// `k = 1..=k_max`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReachabilityCurves {
+    /// Fault counts (x axis).
+    pub k: Vec<usize>,
+    /// DeFT (worst case equals average: both 100 % while no chiplet is
+    /// disconnected).
+    pub deft: Vec<f64>,
+    /// MTR average case.
+    pub mtr_avg: Vec<f64>,
+    /// MTR worst case.
+    pub mtr_worst: Vec<f64>,
+    /// RC average case.
+    pub rc_avg: Vec<f64>,
+    /// RC worst case.
+    pub rc_worst: Vec<f64>,
+}
+
+/// Computes the Fig. 7 panel for `sys` with fault counts `1..=k_max`
+/// (the paper uses `k_max = 8` for both the 4- and 6-chiplet systems).
+pub fn fig7(sys: &ChipletSystem, k_max: usize) -> ReachabilityCurves {
+    let deft_engine = ReachabilityEngine::new(sys, Algo::Deft.build(sys).as_ref());
+    let mtr_engine = ReachabilityEngine::new(sys, Algo::Mtr.build(sys).as_ref());
+    let rc_engine = ReachabilityEngine::new(sys, Algo::Rc.build(sys).as_ref());
+
+    let ks: Vec<usize> = (1..=k_max).collect();
+    let pct = |v: f64| 100.0 * v;
+    ReachabilityCurves {
+        deft: ks.iter().map(|&k| pct(deft_engine.average(k))).collect(),
+        mtr_avg: ks.iter().map(|&k| pct(mtr_engine.average(k))).collect(),
+        mtr_worst: ks.iter().map(|&k| pct(mtr_engine.worst_case(k))).collect(),
+        rc_avg: ks.iter().map(|&k| pct(rc_engine.average(k))).collect(),
+        rc_worst: ks.iter().map(|&k| pct(rc_engine.worst_case(k))).collect(),
+        k: ks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_4_chiplets_matches_the_papers_shape() {
+        let sys = ChipletSystem::baseline_4();
+        let curves = fig7(&sys, 8);
+        // DeFT: complete reachability across the whole axis.
+        assert!(curves.deft.iter().all(|&r| (r - 100.0).abs() < 1e-9));
+        // Averages decrease monotonically with more faults.
+        for w in curves.mtr_avg.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        for w in curves.rc_avg.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        // Ordering: DeFT >= MTR-Avg >= RC-Avg; worst <= avg.
+        for i in 0..curves.k.len() {
+            assert!(curves.deft[i] >= curves.mtr_avg[i]);
+            assert!(curves.mtr_avg[i] >= curves.rc_avg[i] - 1e-9);
+            assert!(curves.mtr_worst[i] <= curves.mtr_avg[i] + 1e-9);
+            assert!(curves.rc_worst[i] <= curves.rc_avg[i] + 1e-9);
+        }
+        // MTR worst case tolerates exactly one fault (two VLs per facing
+        // half); RC tolerates none.
+        assert!((curves.mtr_worst[0] - 100.0).abs() < 1e-9);
+        assert!(curves.mtr_worst[1] < 100.0);
+        assert!(curves.rc_worst[0] < 100.0);
+    }
+
+    #[test]
+    fn six_chiplet_panel_is_computable_and_ordered() {
+        let sys = ChipletSystem::baseline_6();
+        let curves = fig7(&sys, 4);
+        for i in 0..curves.k.len() {
+            assert!((curves.deft[i] - 100.0).abs() < 1e-9);
+            assert!(curves.mtr_avg[i] >= curves.rc_avg[i] - 1e-9);
+        }
+        assert!((curves.mtr_worst[0] - 100.0).abs() < 1e-9, "one fault is dodged");
+    }
+}

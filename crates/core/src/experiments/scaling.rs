@@ -1,0 +1,104 @@
+//! Scaling study beyond the paper: latency and fault tolerance from 2 to 8
+//! chiplets.
+//!
+//! The paper evaluates 4 and 6 chiplets and argues DeFT's efficiency "is
+//! not limited by system size" (§IV-B). This extension sweeps chiplet-grid
+//! sizes and reports, per size: DeFT's latency under uniform traffic, its
+//! latency overhead vs the MTR and RC baselines, and the exact average
+//! reachability of all three algorithms at a fixed 4-fault injection.
+
+use super::{Algo, ExpConfig};
+use deft_routing::reachability::ReachabilityEngine;
+use deft_sim::Simulator;
+use deft_topo::{ChipletSystem, FaultState};
+use deft_traffic::uniform;
+use serde::Serialize;
+
+/// One system size's results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRow {
+    /// Number of chiplets.
+    pub chiplets: usize,
+    /// Total nodes (cores + interposer routers).
+    pub nodes: usize,
+    /// DeFT average latency under uniform traffic at the probe rate.
+    pub deft_latency: f64,
+    /// DeFT improvement vs MTR in percent.
+    pub vs_mtr_percent: f64,
+    /// DeFT improvement vs RC in percent.
+    pub vs_rc_percent: f64,
+    /// Exact average reachability (%) with 4 faulty unidirectional VLs.
+    pub deft_reach: f64,
+    /// MTR average reachability (%) at the same fault count.
+    pub mtr_reach: f64,
+    /// RC average reachability (%) at the same fault count.
+    pub rc_reach: f64,
+}
+
+/// The grid shapes swept: 2, 4, 6, and 8 chiplets.
+pub const SCALING_GRIDS: [(u8, u8); 4] = [(2, 1), (2, 2), (3, 2), (4, 2)];
+
+/// Runs the scaling sweep at the given uniform injection rate.
+pub fn scaling_study(rate: f64, faults_k: usize, cfg: &ExpConfig) -> Vec<ScalingRow> {
+    SCALING_GRIDS
+        .iter()
+        .map(|&(cols, rows)| {
+            let sys = ChipletSystem::chiplet_grid(cols, rows).expect("valid grid");
+            let pattern = uniform(&sys, rate);
+            let run = |algo: Algo| {
+                Simulator::new(
+                    &sys,
+                    FaultState::none(&sys),
+                    algo.build(&sys),
+                    &pattern,
+                    cfg.run_sim(cols as u64 * 16 + rows as u64),
+                )
+                .run()
+            };
+            let deft = run(Algo::Deft);
+            let mtr = run(Algo::Mtr);
+            let rc = run(Algo::Rc);
+            let pct = |base: f64, ours: f64| {
+                if base > 0.0 { 100.0 * (base - ours) / base } else { 0.0 }
+            };
+            let reach = |algo: Algo| {
+                100.0
+                    * ReachabilityEngine::new(&sys, algo.build(&sys).as_ref())
+                        .average(faults_k)
+            };
+            ScalingRow {
+                chiplets: sys.chiplet_count(),
+                nodes: sys.node_count(),
+                deft_latency: deft.avg_latency,
+                vs_mtr_percent: pct(mtr.avg_latency, deft.avg_latency),
+                vs_rc_percent: pct(rc.avg_latency, deft.avg_latency),
+                deft_reach: reach(Algo::Deft),
+                mtr_reach: reach(Algo::Mtr),
+                rc_reach: reach(Algo::Rc),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_study_covers_2_to_8_chiplets() {
+        let rows = scaling_study(0.003, 4, &ExpConfig::quick());
+        let sizes: Vec<usize> = rows.iter().map(|r| r.chiplets).collect();
+        assert_eq!(sizes, vec![2, 4, 6, 8]);
+        for r in &rows {
+            assert!(r.deft_latency > 0.0, "{} chiplets produced no traffic", r.chiplets);
+            assert!((r.deft_reach - 100.0).abs() < 1e-9, "DeFT stays fully reachable");
+            assert!(r.mtr_reach >= r.rc_reach - 1e-9);
+            assert!(
+                r.vs_rc_percent > 0.0,
+                "{} chiplets: DeFT should beat RC, got {}%",
+                r.chiplets,
+                r.vs_rc_percent
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # deft — deadlock-free and fault-tolerant routing for 2.5D chiplet networks
+//!
+//! A complete, from-scratch reproduction of **"DeFT: A Deadlock-Free and
+//! Fault-Tolerant Routing Algorithm for 2.5D Chiplet Networks"**
+//! (Taheri, Pasricha, Nikdast — DATE 2022). This facade crate re-exports the
+//! whole stack and adds the experiment harness that regenerates every table
+//! and figure of the paper's evaluation:
+//!
+//! | Layer | Crate | What it provides |
+//! |---|---|---|
+//! | topology | `deft-topo` | chiplets + interposer + vertical links + faults |
+//! | routing  | `deft-routing` | DeFT, MTR, RC, ablations, CDG verifier, reachability |
+//! | simulator | `deft-sim` | cycle-accurate wormhole NoC simulation |
+//! | traffic | `deft-traffic` | synthetic patterns + PARSEC-substitute profiles |
+//! | power | `deft-power` | ORION-class router area/power model |
+//! | experiments | this crate | Fig. 4–8 and Table I runners, text reports |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deft::prelude::*;
+//!
+//! let sys = ChipletSystem::baseline_4();
+//! let pattern = uniform(&sys, 0.003);
+//! let cfg = SimConfig { warmup: 300, measure: 1_500, ..SimConfig::default() };
+//! let report = Simulator::new(
+//!     &sys,
+//!     FaultState::none(&sys),
+//!     Box::new(DeftRouting::new(&sys)),
+//!     &pattern,
+//!     cfg,
+//! )
+//! .run();
+//! assert!(!report.deadlocked);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `deft-repro` (this crate's
+//! binary) for the full paper-reproduction harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use deft_power as power;
+pub use deft_routing as routing;
+pub use deft_sim as sim;
+pub use deft_topo as topo;
+pub use deft_traffic as traffic;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::experiments::{Algo, ExpConfig};
+    pub use deft_power::{table1, RouterParams, RouterVariant, Tech45nm};
+    pub use deft_routing::{
+        cdg::ChannelDependencyGraph, reachability::ReachabilityEngine, DeftRouting, MtrRouting,
+        RcRouting, RouteError, RoutingAlgorithm, Vn,
+    };
+    pub use deft_sim::{Region, SimConfig, SimReport, Simulator};
+    pub use deft_topo::{
+        ChipletId, ChipletSystem, Coord, Direction, FaultState, Layer, NodeAddr, NodeId,
+        SystemBuilder, VlDir, VlLinkId,
+    };
+    pub use deft_traffic::{
+        hotspot, localized, multi_app, single_app, uniform, AppProfile, TrafficPattern,
+        PARSEC_PROFILES,
+    };
+}

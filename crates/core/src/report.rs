@@ -1,0 +1,266 @@
+//! Paper-style text rendering of experiment results.
+//!
+//! Every renderer prints the same rows/series the paper's figure or table
+//! reports, so `deft-repro`'s output can be compared against the paper side
+//! by side (see `EXPERIMENTS.md`).
+
+use crate::experiments::{AppImprovement, LatencySweep, ReachabilityCurves, RhoRow, ScalingRow, VcUtilRow};
+use deft_power::Table1Row;
+use std::fmt::Write as _;
+
+/// Renders a latency sweep (one Fig. 4 / Fig. 8 panel) as an aligned table.
+pub fn render_latency_sweep(sweep: &LatencySweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", sweep.title);
+    let _ = write!(out, "{:>10}", "inj.rate");
+    for c in &sweep.curves {
+        let _ = write!(out, " {:>12}", c.algorithm);
+    }
+    let _ = writeln!(out);
+    let n = sweep.curves.first().map_or(0, |c| c.points.len());
+    for i in 0..n {
+        let rate = sweep.curves[0].points[i].0;
+        let _ = write!(out, "{rate:>10.4}");
+        for c in &sweep.curves {
+            let (_, lat, ratio) = c.points[i];
+            if ratio < 0.9 {
+                let _ = write!(out, " {lat:>10.1}*s"); // saturated
+            } else {
+                let _ = write!(out, " {lat:>12.1}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "(latency in cycles; *s marks saturation, delivery < 90%)");
+    out
+}
+
+/// Renders a Fig. 5 VC-utilization chart as rows.
+pub fn render_vc_util(title: &str, rows: &[VcUtilRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== VC utilization: {title} ==");
+    let _ = writeln!(out, "{:>10} {:>8} {:>8}", "region", "VC1", "VC2");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>7.1}% {:>7.1}%",
+            r.region, r.vc0_percent, r.vc1_percent
+        );
+    }
+    out
+}
+
+/// Renders Fig. 6 bars.
+pub fn render_app_improvements(title: &str, rows: &[AppImprovement]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Latency improvement: {title} ==");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12}",
+        "app", "DeFT (cyc)", "vs MTR (%)", "vs RC (%)"
+    );
+    let mut avg_mtr = 0.0;
+    let mut avg_rc = 0.0;
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12.1} {:>12.1} {:>12.1}",
+            r.label, r.deft_latency, r.vs_mtr_percent, r.vs_rc_percent
+        );
+        avg_mtr += r.vs_mtr_percent;
+        avg_rc += r.vs_rc_percent;
+    }
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        let _ = writeln!(out, "{:>8} {:>12} {:>12.1} {:>12.1}", "Avg", "", avg_mtr / n, avg_rc / n);
+    }
+    out
+}
+
+/// Renders a Fig. 7 panel.
+pub fn render_reachability(title: &str, c: &ReachabilityCurves) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Reachability (%): {title} ==");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "#faults", "DeFT", "MTR-Avg", "MTR-Wrst", "RC-Avg", "RC-Wrst"
+    );
+    for i in 0..c.k.len() {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8.2} {:>9.2} {:>9.2} {:>8.2} {:>8.2}",
+            c.k[i], c.deft[i], c.mtr_avg[i], c.mtr_worst[i], c.rc_avg[i], c.rc_worst[i]
+        );
+    }
+    out
+}
+
+/// Renders the ρ-sweep ablation (DESIGN.md §8).
+pub fn render_rho_ablation(rows: &[RhoRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== rho ablation: VL selection with one faulty VL (Eq. 6) ==");
+    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>10}", "rho", "max VL load", "total dist", "cost");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8.3} {:>12.2} {:>12} {:>10.3}",
+            r.rho, r.max_vl_load, r.total_distance, r.cost
+        );
+    }
+    out
+}
+
+/// Renders the scaling-study extension.
+pub fn render_scaling(rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== scaling study: 2-8 chiplets, uniform traffic, 4 faults ==");
+    let _ = writeln!(
+        out,
+        "{:>9} {:>6} {:>11} {:>10} {:>9} {:>10} {:>9} {:>8}",
+        "#chiplets", "nodes", "DeFT (cyc)", "vs MTR(%)", "vs RC(%)", "DeFT rch%", "MTR rch%", "RC rch%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>9} {:>6} {:>11.1} {:>10.1} {:>9.1} {:>10.2} {:>9.2} {:>8.2}",
+            r.chiplets,
+            r.nodes,
+            r.deft_latency,
+            r.vs_mtr_percent,
+            r.vs_rc_percent,
+            r.deft_reach,
+            r.mtr_reach,
+            r.rc_reach
+        );
+    }
+    out
+}
+
+/// Serializes a latency sweep as CSV (`rate,<alg1>,<alg1>_delivery,...`),
+/// for external plotting.
+pub fn latency_sweep_csv(sweep: &LatencySweep) -> String {
+    let mut out = String::from("rate");
+    for c in &sweep.curves {
+        let _ = write!(out, ",{0},{0}_delivery", c.algorithm);
+    }
+    out.push('\n');
+    let n = sweep.curves.first().map_or(0, |c| c.points.len());
+    for i in 0..n {
+        let _ = write!(out, "{}", sweep.curves[0].points[i].0);
+        for c in &sweep.curves {
+            let (_, lat, ratio) = c.points[i];
+            let _ = write!(out, ",{lat},{ratio}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a Fig. 7 panel as CSV.
+pub fn reachability_csv(c: &ReachabilityCurves) -> String {
+    let mut out = String::from("faults,deft,mtr_avg,mtr_worst,rc_avg,rc_worst\n");
+    for i in 0..c.k.len() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            c.k[i], c.deft[i], c.mtr_avg[i], c.mtr_worst[i], c.rc_avg[i], c.rc_worst[i]
+        );
+    }
+    out
+}
+
+/// Renders Table I.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table I: router area and power (45 nm, 1 GHz) ==");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>8} {:>10} {:>8}",
+        "variant", "area um2", "norm", "power mW", "norm"
+    );
+    for r in rows {
+        let _ = writeln!(out, "{r}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::LatencyCurve;
+
+    #[test]
+    fn latency_sweep_renders_all_points() {
+        let sweep = LatencySweep {
+            title: "Uniform - 4 Chiplets".into(),
+            curves: vec![
+                LatencyCurve {
+                    algorithm: "DeFT".into(),
+                    points: vec![(0.002, 30.0, 1.0), (0.008, 90.0, 0.5)],
+                },
+                LatencyCurve {
+                    algorithm: "MTR".into(),
+                    points: vec![(0.002, 32.0, 1.0), (0.008, 120.0, 0.4)],
+                },
+            ],
+        };
+        let s = render_latency_sweep(&sweep);
+        assert!(s.contains("DeFT") && s.contains("MTR"));
+        assert!(s.contains("0.0020"));
+        assert!(s.contains("*s"), "saturated points are marked");
+    }
+
+    #[test]
+    fn vc_util_renders_percentages() {
+        let rows = vec![VcUtilRow {
+            region: "Intrpsr.".into(),
+            vc0_percent: 50.1,
+            vc1_percent: 49.9,
+        }];
+        let s = render_vc_util("Uniform", &rows);
+        assert!(s.contains("50.1%") && s.contains("49.9%"));
+    }
+
+    #[test]
+    fn csv_exports_are_well_formed() {
+        let sweep = LatencySweep {
+            title: "t".into(),
+            curves: vec![LatencyCurve {
+                algorithm: "DeFT".into(),
+                points: vec![(0.002, 30.0, 1.0)],
+            }],
+        };
+        let csv = latency_sweep_csv(&sweep);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("rate,DeFT,DeFT_delivery"));
+        assert_eq!(lines.next(), Some("0.002,30,1"));
+
+        let c = ReachabilityCurves {
+            k: vec![1],
+            deft: vec![100.0],
+            mtr_avg: vec![99.0],
+            mtr_worst: vec![98.0],
+            rc_avg: vec![97.0],
+            rc_worst: vec![96.0],
+        };
+        let csv = reachability_csv(&c);
+        assert!(csv.starts_with("faults,deft"));
+        assert!(csv.contains("1,100,99,98,97,96"));
+    }
+
+    #[test]
+    fn reachability_renders_header_and_rows() {
+        let c = ReachabilityCurves {
+            k: vec![1, 2],
+            deft: vec![100.0, 100.0],
+            mtr_avg: vec![99.0, 97.0],
+            mtr_worst: vec![100.0, 90.0],
+            rc_avg: vec![95.0, 91.0],
+            rc_worst: vec![93.0, 87.0],
+        };
+        let s = render_reachability("4 Chiplets", &c);
+        assert!(s.contains("MTR-Wrst"));
+        assert!(s.contains("100.00"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # deft-power — parametric router area/power estimation
+//!
+//! The paper evaluates hardware cost with Cadence Genus and ORION 3.0 at
+//! 45 nm / 1 GHz (Table I). Neither tool is available here, so this crate
+//! provides an ORION-class *parametric component model*: per-bit and
+//! per-port coefficients for input buffers, crossbar, allocators, and
+//! control logic, calibrated so the MTR reference router lands at the
+//! paper's 45 878 µm² / 11.644 mW. The *relative* overheads — DeFT's
+//! VN-assignment logic and selection LUTs, RC's RC-buffer and permission
+//! network — then follow from the model structure, which is what Table I
+//! actually compares.
+//!
+//! ```
+//! use deft_power::{RouterParams, RouterVariant, Tech45nm};
+//!
+//! let params = RouterParams::paper_default();
+//! let deft = params.estimate(RouterVariant::deft_default(), &Tech45nm::default());
+//! let mtr = params.estimate(RouterVariant::Mtr, &Tech45nm::default());
+//! assert!(deft.area_um2 / mtr.area_um2 < 1.02, "DeFT adds < 2% area");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod params;
+mod router_model;
+mod table;
+
+pub use params::Tech45nm;
+pub use router_model::{ComponentCost, RouterEstimate, RouterParams, RouterVariant};
+pub use table::{table1, Table1Row};

@@ -1,0 +1,124 @@
+//! Technology coefficients.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-component cost coefficients at 45 nm / 1 GHz, ORION-3.0-class.
+///
+/// Areas are in µm², powers in mW (total = dynamic at nominal activity +
+/// leakage, folded into a single coefficient as ORION's reports do). The
+/// constants are calibrated so the six-port, 2-VC, 4×32-bit reference
+/// router totals the paper's 45 878 µm² / 11.644 mW; see `DESIGN.md` §3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tech45nm {
+    /// Input-buffer storage, per bit (SRAM cell + read/write ports).
+    pub buffer_area_per_bit: f64,
+    /// Input-buffer power, per bit.
+    pub buffer_power_per_bit: f64,
+    /// Crossbar, per port²·bit term.
+    pub xbar_area_coeff: f64,
+    /// Crossbar power, per port²·bit term.
+    pub xbar_power_coeff: f64,
+    /// VC + switch allocators, per (ports·VCs)² term.
+    pub alloc_area_coeff: f64,
+    /// Allocator power, per (ports·VCs)² term.
+    pub alloc_power_coeff: f64,
+    /// Base routing/control logic area.
+    pub logic_area_base: f64,
+    /// Base routing/control logic power.
+    pub logic_power_base: f64,
+    /// LUT storage (register file) area, per bit.
+    pub lut_area_per_bit: f64,
+    /// LUT power, per bit.
+    pub lut_power_per_bit: f64,
+    /// RC-buffer (flip-flop packet buffer) area, per bit.
+    pub rc_buffer_area_per_bit: f64,
+    /// RC-buffer power, per bit.
+    pub rc_buffer_power_per_bit: f64,
+    /// MTR turn-restriction comparators, area.
+    pub turn_logic_area: f64,
+    /// MTR turn-restriction comparators, power.
+    pub turn_logic_power: f64,
+    /// RC permission-network interface (request/grant wiring + state), area.
+    pub perm_interface_area: f64,
+    /// RC permission-network interface, power.
+    pub perm_interface_power: f64,
+    /// RC boundary-router permission arbiter, area.
+    pub perm_arbiter_area: f64,
+    /// RC boundary-router permission arbiter, power.
+    pub perm_arbiter_power: f64,
+    /// DeFT VN-assignment logic (Algorithm 1 state machine), area.
+    pub vn_logic_area: f64,
+    /// DeFT VN-assignment logic, power.
+    pub vn_logic_power: f64,
+}
+
+impl Default for Tech45nm {
+    fn default() -> Self {
+        Self {
+            buffer_area_per_bit: 17.0,
+            buffer_power_per_bit: 0.004_05,
+            xbar_area_coeff: 9.5,
+            xbar_power_coeff: 0.002_2,
+            alloc_area_coeff: 40.0,
+            alloc_power_coeff: 0.012,
+            logic_area_base: 3_000.0,
+            logic_power_base: 1.15,
+            lut_area_per_bit: 10.0,
+            lut_power_per_bit: 0.000_7,
+            rc_buffer_area_per_bit: 18.0,
+            rc_buffer_power_per_bit: 0.003_99,
+            turn_logic_area: 62.0,
+            turn_logic_power: 0.011,
+            perm_interface_area: 847.0,
+            perm_interface_power: 0.127,
+            perm_arbiter_area: 713.0,
+            perm_arbiter_power: 0.060,
+            vn_logic_area: 275.0,
+            vn_logic_power: 0.021,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_are_positive() {
+        let t = Tech45nm::default();
+        for v in [
+            t.buffer_area_per_bit,
+            t.buffer_power_per_bit,
+            t.xbar_area_coeff,
+            t.xbar_power_coeff,
+            t.alloc_area_coeff,
+            t.alloc_power_coeff,
+            t.logic_area_base,
+            t.logic_power_base,
+            t.lut_area_per_bit,
+            t.lut_power_per_bit,
+            t.rc_buffer_area_per_bit,
+            t.rc_buffer_power_per_bit,
+            t.turn_logic_area,
+            t.turn_logic_power,
+            t.perm_interface_area,
+            t.perm_interface_power,
+            t.perm_arbiter_area,
+            t.perm_arbiter_power,
+            t.vn_logic_area,
+            t.vn_logic_power,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn storage_dominates_control() {
+        // Sanity on relative magnitudes: a buffer bit costs more area than a
+        // LUT register bit read once per packet, and both dwarf per-unit
+        // logic constants relative to their multiplicities.
+        let t = Tech45nm::default();
+        assert!(t.buffer_area_per_bit > t.lut_area_per_bit);
+        assert!(t.rc_buffer_area_per_bit > t.lut_area_per_bit);
+    }
+}

@@ -1,0 +1,272 @@
+//! The component-level router cost model.
+
+use crate::params::Tech45nm;
+use serde::{Deserialize, Serialize};
+
+/// Microarchitectural parameters of the router being estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterParams {
+    /// Router ports (6 in the paper's Table I: Local, 4 horizontal,
+    /// vertical).
+    pub ports: u32,
+    /// Virtual channels per port.
+    pub vcs: u32,
+    /// Input-buffer depth per VC, in flits.
+    pub buffer_depth: u32,
+    /// Flit width in bits.
+    pub flit_width: u32,
+    /// Flits per packet (sizes RC's packet buffer).
+    pub packet_size: u32,
+}
+
+impl RouterParams {
+    /// The paper's configuration: 6 ports, 2 VCs, 4-flit buffers, 32-bit
+    /// flits, 8-flit packets.
+    pub fn paper_default() -> Self {
+        Self { ports: 6, vcs: 2, buffer_depth: 4, flit_width: 32, packet_size: 8 }
+    }
+
+    /// Total input-buffer storage bits.
+    pub fn buffer_bits(&self) -> u32 {
+        self.ports * self.vcs * self.buffer_depth * self.flit_width
+    }
+}
+
+/// Which routing scheme's extra hardware to include.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterVariant {
+    /// MTR: turn-restriction comparators only.
+    Mtr,
+    /// RC, routers not attached to a VL: permission-network interface.
+    RcNonBoundary,
+    /// RC boundary router: permission network + arbiter + whole-packet
+    /// RC-buffer.
+    RcBoundary,
+    /// DeFT: VN-assignment logic + per-router selection LUTs.
+    Deft {
+        /// Stored fault scenarios (14 for a 4-VL chiplet: C(4,1) + C(4,2) +
+        /// C(4,3); the fault-free selection is the reset state).
+        lut_entries: u32,
+        /// Bits per entry (log2 of the VL count).
+        bits_per_entry: u32,
+        /// Tables per router (one each for the down and up selections).
+        tables: u32,
+    },
+}
+
+impl RouterVariant {
+    /// DeFT with the paper's LUT dimensions: "14 VL addresses are saved in
+    /// each router" per direction, 2 bits each for 4 VLs.
+    pub fn deft_default() -> Self {
+        RouterVariant::Deft { lut_entries: 14, bits_per_entry: 2, tables: 2 }
+    }
+
+    /// Table-row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterVariant::Mtr => "MTR",
+            RouterVariant::RcNonBoundary => "RC non-bndry",
+            RouterVariant::RcBoundary => "RC bndry",
+            RouterVariant::Deft { .. } => "DeFT",
+        }
+    }
+}
+
+/// One component's contribution.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ComponentCost {
+    /// Component name.
+    pub name: &'static str,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// A complete router estimate with per-component breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RouterEstimate {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Total area in µm².
+    pub area_um2: f64,
+    /// Total power in mW.
+    pub power_mw: f64,
+    /// Per-component contributions.
+    pub breakdown: Vec<ComponentCost>,
+}
+
+impl RouterParams {
+    /// Estimates area and power of one router variant.
+    pub fn estimate(&self, variant: RouterVariant, tech: &Tech45nm) -> RouterEstimate {
+        let mut breakdown = Vec::new();
+        let bits = self.buffer_bits() as f64;
+        breakdown.push(ComponentCost {
+            name: "input buffers",
+            area_um2: bits * tech.buffer_area_per_bit,
+            power_mw: bits * tech.buffer_power_per_bit,
+        });
+        let xbar_term = (self.ports * self.ports * self.flit_width) as f64;
+        breakdown.push(ComponentCost {
+            name: "crossbar",
+            area_um2: xbar_term * tech.xbar_area_coeff,
+            power_mw: xbar_term * tech.xbar_power_coeff,
+        });
+        let alloc_term = ((self.ports * self.vcs) * (self.ports * self.vcs)) as f64;
+        breakdown.push(ComponentCost {
+            name: "vc+sw allocators",
+            area_um2: alloc_term * tech.alloc_area_coeff,
+            power_mw: alloc_term * tech.alloc_power_coeff,
+        });
+        breakdown.push(ComponentCost {
+            name: "routing/control logic",
+            area_um2: tech.logic_area_base,
+            power_mw: tech.logic_power_base,
+        });
+
+        match variant {
+            RouterVariant::Mtr => breakdown.push(ComponentCost {
+                name: "turn-restriction logic",
+                area_um2: tech.turn_logic_area,
+                power_mw: tech.turn_logic_power,
+            }),
+            RouterVariant::RcNonBoundary => breakdown.push(ComponentCost {
+                name: "permission interface",
+                area_um2: tech.perm_interface_area,
+                power_mw: tech.perm_interface_power,
+            }),
+            RouterVariant::RcBoundary => {
+                breakdown.push(ComponentCost {
+                    name: "permission interface",
+                    area_um2: tech.perm_interface_area,
+                    power_mw: tech.perm_interface_power,
+                });
+                breakdown.push(ComponentCost {
+                    name: "permission arbiter",
+                    area_um2: tech.perm_arbiter_area,
+                    power_mw: tech.perm_arbiter_power,
+                });
+                let rc_bits = (self.packet_size * self.flit_width) as f64;
+                breakdown.push(ComponentCost {
+                    name: "RC packet buffer",
+                    area_um2: rc_bits * tech.rc_buffer_area_per_bit,
+                    power_mw: rc_bits * tech.rc_buffer_power_per_bit,
+                });
+            }
+            RouterVariant::Deft { lut_entries, bits_per_entry, tables } => {
+                breakdown.push(ComponentCost {
+                    name: "VN-assignment logic",
+                    area_um2: tech.vn_logic_area,
+                    power_mw: tech.vn_logic_power,
+                });
+                let lut_bits = (lut_entries * bits_per_entry * tables) as f64;
+                breakdown.push(ComponentCost {
+                    name: "selection LUT",
+                    area_um2: lut_bits * tech.lut_area_per_bit,
+                    power_mw: lut_bits * tech.lut_power_per_bit,
+                });
+            }
+        }
+
+        RouterEstimate {
+            variant: variant.label(),
+            area_um2: breakdown.iter().map(|c| c.area_um2).sum(),
+            power_mw: breakdown.iter().map(|c| c.power_mw).sum(),
+            breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> [RouterVariant; 4] {
+        [
+            RouterVariant::Mtr,
+            RouterVariant::RcNonBoundary,
+            RouterVariant::RcBoundary,
+            RouterVariant::deft_default(),
+        ]
+    }
+
+    #[test]
+    fn reference_router_matches_the_papers_mtr_numbers() {
+        let p = RouterParams::paper_default();
+        let est = p.estimate(RouterVariant::Mtr, &Tech45nm::default());
+        assert!((est.area_um2 - 45_878.0).abs() < 1.0, "area {}", est.area_um2);
+        assert!((est.power_mw - 11.644).abs() < 0.01, "power {}", est.power_mw);
+    }
+
+    #[test]
+    fn deft_overhead_is_below_2_percent() {
+        let p = RouterParams::paper_default();
+        let t = Tech45nm::default();
+        let mtr = p.estimate(RouterVariant::Mtr, &t);
+        let deft = p.estimate(RouterVariant::deft_default(), &t);
+        let area_ratio = deft.area_um2 / mtr.area_um2;
+        let power_ratio = deft.power_mw / mtr.power_mw;
+        assert!(area_ratio > 1.0 && area_ratio < 1.02, "area ratio {area_ratio}");
+        assert!(power_ratio > 1.0 && power_ratio < 1.01, "power ratio {power_ratio}");
+    }
+
+    #[test]
+    fn rc_boundary_is_the_most_expensive() {
+        let p = RouterParams::paper_default();
+        let t = Tech45nm::default();
+        let areas: Vec<f64> =
+            all_variants().iter().map(|&v| p.estimate(v, &t).area_um2).collect();
+        let rc_bndry = areas[2];
+        for (i, &a) in areas.iter().enumerate() {
+            if i != 2 {
+                assert!(rc_bndry > a);
+            }
+        }
+        // Paper: RC boundary ≈ 1.133x MTR.
+        let ratio = rc_bndry / areas[0];
+        assert!((ratio - 1.133).abs() < 0.01, "RC boundary ratio {ratio}");
+    }
+
+    #[test]
+    fn buffers_dominate_total_area() {
+        let p = RouterParams::paper_default();
+        let est = p.estimate(RouterVariant::Mtr, &Tech45nm::default());
+        let buffers = est.breakdown.iter().find(|c| c.name == "input buffers").unwrap();
+        assert!(buffers.area_um2 / est.area_um2 > 0.4);
+    }
+
+    #[test]
+    fn scaling_buffers_scales_cost() {
+        let t = Tech45nm::default();
+        let small = RouterParams { buffer_depth: 2, ..RouterParams::paper_default() };
+        let big = RouterParams { buffer_depth: 8, ..RouterParams::paper_default() };
+        assert!(
+            big.estimate(RouterVariant::Mtr, &t).area_um2
+                > small.estimate(RouterVariant::Mtr, &t).area_um2
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let p = RouterParams::paper_default();
+        for v in all_variants() {
+            let est = p.estimate(v, &Tech45nm::default());
+            let sum: f64 = est.breakdown.iter().map(|c| c.area_um2).sum();
+            assert!((sum - est.area_um2).abs() < 1e-9);
+            let sum: f64 = est.breakdown.iter().map(|c| c.power_mw).sum();
+            assert!((sum - est.power_mw).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lut_size_matches_the_paper() {
+        // 14 scenarios x 2 bits x 2 tables = 56 bits of LUT per router.
+        if let RouterVariant::Deft { lut_entries, bits_per_entry, tables } =
+            RouterVariant::deft_default()
+        {
+            assert_eq!(lut_entries * bits_per_entry * tables, 56);
+        } else {
+            unreachable!()
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Table I generation.
+
+use crate::params::Tech45nm;
+use crate::router_model::{RouterParams, RouterVariant};
+use serde::Serialize;
+use std::fmt;
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Router area in µm².
+    pub area_um2: f64,
+    /// Area normalized to the MTR router.
+    pub norm_area: f64,
+    /// Router power in mW.
+    pub power_mw: f64,
+    /// Power normalized to the MTR router.
+    pub norm_power: f64,
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:>10.0} {:>8.3} {:>10.3} {:>8.3}",
+            self.variant, self.area_um2, self.norm_area, self.power_mw, self.norm_power
+        )
+    }
+}
+
+/// Regenerates the paper's Table I: area and power of the MTR,
+/// RC (non-boundary and boundary), and DeFT routers, normalized to MTR.
+pub fn table1(params: &RouterParams, tech: &Tech45nm) -> Vec<Table1Row> {
+    let variants = [
+        RouterVariant::Mtr,
+        RouterVariant::RcNonBoundary,
+        RouterVariant::RcBoundary,
+        RouterVariant::deft_default(),
+    ];
+    let base = params.estimate(RouterVariant::Mtr, tech);
+    variants
+        .into_iter()
+        .map(|v| {
+            let est = params.estimate(v, tech);
+            Table1Row {
+                variant: est.variant,
+                area_um2: est.area_um2,
+                norm_area: est.area_um2 / base.area_um2,
+                power_mw: est.power_mw,
+                norm_power: est.power_mw / base.power_mw,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_four_rows_in_paper_order() {
+        let rows = table1(&RouterParams::paper_default(), &Tech45nm::default());
+        let labels: Vec<&str> = rows.iter().map(|r| r.variant).collect();
+        assert_eq!(labels, vec!["MTR", "RC non-bndry", "RC bndry", "DeFT"]);
+    }
+
+    #[test]
+    fn normalized_values_match_paper_within_tolerance() {
+        // Paper Table I: norm area 1 / 1.017 / 1.133 / 1.016,
+        //                norm power 1 / 1.009 / 1.102 / 1.004.
+        let rows = table1(&RouterParams::paper_default(), &Tech45nm::default());
+        let expect_area = [1.0, 1.017, 1.133, 1.016];
+        let expect_power = [1.0, 1.009, 1.102, 1.004];
+        for (row, (&ea, &ep)) in rows.iter().zip(expect_area.iter().zip(&expect_power)) {
+            assert!(
+                (row.norm_area - ea).abs() < 0.005,
+                "{}: norm area {} vs paper {ea}",
+                row.variant,
+                row.norm_area
+            );
+            assert!(
+                (row.norm_power - ep).abs() < 0.005,
+                "{}: norm power {} vs paper {ep}",
+                row.variant,
+                row.norm_power
+            );
+        }
+    }
+
+    #[test]
+    fn rows_render_for_reports() {
+        let rows = table1(&RouterParams::paper_default(), &Tech45nm::default());
+        let s = rows[3].to_string();
+        assert!(s.contains("DeFT"));
+    }
+}

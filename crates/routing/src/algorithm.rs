@@ -1,0 +1,356 @@
+//! The [`RoutingAlgorithm`] interface shared by DeFT and the baselines.
+
+use crate::state::{RouteCtx, Vn};
+use crate::xy;
+use deft_topo::{ChipletId, ChipletSystem, Direction, FaultState, Layer, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// A routing failure surfaced to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// No eligible, healthy vertical link exists for this flow under the
+    /// current fault state; the packet cannot be delivered. The simulator
+    /// counts these against reachability (paper §IV-C).
+    Unroutable {
+        /// Source node of the flow.
+        src: NodeId,
+        /// Destination node of the flow.
+        dst: NodeId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unroutable { src, dst } => {
+                write!(f, "no healthy eligible vertical link for flow {src} -> {dst}")
+            }
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+/// One routing decision: the output direction and the virtual network (= VC
+/// index) of the *next* buffer the head flit will occupy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Output direction at the current router.
+    pub dir: Direction,
+    /// VN/VC class at the downstream input buffer.
+    pub vn: Vn,
+}
+
+/// Which vertical links an algorithm could *ever* use for a flow,
+/// independent of the current fault state.
+///
+/// A flow is routable under fault set `F` iff each required leg retains at
+/// least one healthy eligible link. This is the input to the exact
+/// reachability engine ([`reachability`](crate::reachability)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEligibility {
+    /// `(source chiplet, eligible-VL bitmask)` when the flow needs a down
+    /// traversal (source on a chiplet, destination elsewhere).
+    pub down: Option<(ChipletId, u8)>,
+    /// `(destination chiplet, eligible-VL bitmask)` when the flow needs an
+    /// up traversal (destination on a chiplet, source elsewhere).
+    pub up: Option<(ChipletId, u8)>,
+}
+
+impl FlowEligibility {
+    /// Whether the flow survives the given fault state.
+    pub fn routable(&self, faults: &FaultState, sys: &ChipletSystem) -> bool {
+        let ok_down = match self.down {
+            None => true,
+            Some((c, mask)) => {
+                let healthy =
+                    faults.healthy_mask(c, deft_topo::VlDir::Down, sys.chiplet(c).vl_count());
+                mask & healthy != 0
+            }
+        };
+        let ok_up = match self.up {
+            None => true,
+            Some((c, mask)) => {
+                let healthy =
+                    faults.healthy_mask(c, deft_topo::VlDir::Up, sys.chiplet(c).vl_count());
+                mask & healthy != 0
+            }
+        };
+        ok_down && ok_up
+    }
+}
+
+/// One complete non-deterministic choice an algorithm can make for a flow:
+/// the selected VLs and the VN schedule. Used to enumerate every possible
+/// path when building the channel dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowChoice {
+    /// Down VL (source-chiplet local index), if the flow descends.
+    pub down_vl: Option<u8>,
+    /// Up VL (destination-chiplet local index), if the flow ascends.
+    pub up_vl: Option<u8>,
+    /// VN assigned at the source router.
+    pub vn_source: Vn,
+    /// VN after the down traversal (must respect Rule 1).
+    pub vn_after_down: Vn,
+}
+
+/// A routing algorithm for 2.5D chiplet systems.
+///
+/// The simulator drives [`on_inject`](Self::on_inject) once per packet and
+/// [`route`](Self::route) once per hop of the packet's head flit; both may
+/// mutate internal round-robin or RNG state, which is why they take
+/// `&mut self`. The analysis methods ([`eligibility`](Self::eligibility),
+/// [`flow_choices`](Self::flow_choices)) are pure.
+pub trait RoutingAlgorithm {
+    /// Short human-readable name used in reports ("DeFT", "MTR", ...).
+    fn name(&self) -> &str;
+
+    /// Computes the initial routing state for a packet injected at `src`
+    /// toward `dst`. `seq` is the per-source injection sequence number used
+    /// for deterministic round-robin decisions.
+    ///
+    /// # Errors
+    /// [`RouteError::Unroutable`] when no eligible healthy VL exists for a
+    /// required vertical traversal.
+    fn on_inject(
+        &mut self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+    ) -> Result<RouteCtx, RouteError>;
+
+    /// Decides the output direction and next-buffer VN for the packet's head
+    /// flit at `node`. Must not be called when `node == dst` (the simulator
+    /// ejects instead).
+    fn route(
+        &mut self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        node: NodeId,
+        dst: NodeId,
+        ctx: &mut RouteCtx,
+    ) -> RouteDecision;
+
+    /// The VLs this algorithm could ever use for the flow `src -> dst`,
+    /// independent of faults.
+    fn eligibility(&self, sys: &ChipletSystem, src: NodeId, dst: NodeId) -> FlowEligibility;
+
+    /// Every (VL-selection, VN-schedule) combination the algorithm may
+    /// produce for this flow under the given fault state. Paths derived from
+    /// these choices with [`walk_path`] cover everything the algorithm can
+    /// do, which is what the CDG deadlock verifier needs.
+    fn flow_choices(
+        &self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<FlowChoice>;
+
+    /// Whether packets ascending into a chiplet are fully store-and-forward
+    /// buffered at the boundary router (RC's RC-buffer). Defaults to `false`.
+    fn store_and_forward_up(&self) -> bool {
+        false
+    }
+}
+
+/// The next output direction for a packet at `node` with destination `dst`,
+/// given the VLs already selected in `ctx`. Shared by every algorithm: XY
+/// within a layer, descend at the selected down VL, ascend at the selected
+/// up VL (minimal routing via the paper's two intermediate destinations).
+///
+/// Returns `None` when `node == dst`.
+///
+/// # Panics
+/// Panics if a required VL selection is missing from `ctx`, which indicates
+/// the algorithm's `on_inject` contract was violated.
+pub fn next_direction(
+    sys: &ChipletSystem,
+    node: NodeId,
+    dst: NodeId,
+    ctx: &RouteCtx,
+) -> Option<Direction> {
+    if node == dst {
+        return None;
+    }
+    let na = sys.addr(node);
+    let da = sys.addr(dst);
+    match (na.layer, da.layer) {
+        (Layer::Chiplet(c), Layer::Chiplet(d)) if c == d => xy::next_dir(na.coord, da.coord),
+        (Layer::Interposer, Layer::Interposer) => xy::next_dir(na.coord, da.coord),
+        (Layer::Chiplet(c), _) => {
+            // Must descend through the selected down VL of chiplet `c`.
+            let vl_idx = ctx.down_vl.expect("down VL not selected for descending packet");
+            let target = sys.chiplet(c).vl_coord(vl_idx as usize);
+            match xy::next_dir(na.coord, target) {
+                Some(d) => Some(d),
+                None => Some(Direction::Down),
+            }
+        }
+        (Layer::Interposer, Layer::Chiplet(d)) => {
+            let vl_idx = ctx.up_vl.expect("up VL not selected for ascending packet");
+            let vl = &sys.chiplet(d).vertical_links()[vl_idx as usize];
+            let target = sys.addr(vl.interposer_node).coord;
+            match xy::next_dir(na.coord, target) {
+                Some(dir) => Some(dir),
+                None => Some(Direction::Up),
+            }
+        }
+    }
+}
+
+/// One hop of a walked path: the node left, the direction taken, and the
+/// VN of the channel entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hop {
+    /// Node the flit departs from.
+    pub from: NodeId,
+    /// Direction of the traversed link.
+    pub dir: Direction,
+    /// VN/VC of the downstream buffer.
+    pub vn: Vn,
+}
+
+/// Walks the complete path of a flow under one [`FlowChoice`], hop by hop.
+///
+/// The VN schedule follows the paper: `vn_source` until the down traversal,
+/// `vn_after_down` until the up traversal, and VN1 after ascending (Rule 2
+/// makes VN0 unusable past an Up port).
+///
+/// # Panics
+/// Panics if the choice omits a VL required by the flow's shape.
+pub fn walk_path(sys: &ChipletSystem, src: NodeId, dst: NodeId, choice: &FlowChoice) -> Vec<Hop> {
+    let ctx = RouteCtx { vn: choice.vn_source, down_vl: choice.down_vl, up_vl: choice.up_vl };
+    let mut hops = Vec::new();
+    let mut node = src;
+    let mut vn = choice.vn_source;
+    while let Some(dir) = next_direction(sys, node, dst, &ctx) {
+        vn = match dir {
+            Direction::Down => choice.vn_after_down,
+            Direction::Up => Vn::Vn1,
+            _ => vn,
+        };
+        hops.push(Hop { from: node, dir, vn });
+        node = sys
+            .neighbor(node, dir)
+            .expect("next_direction produced a dangling link");
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_topo::Coord;
+
+    fn sys() -> ChipletSystem {
+        ChipletSystem::baseline_4()
+    }
+
+    fn node(sys: &ChipletSystem, layer: Layer, x: u8, y: u8) -> NodeId {
+        sys.node_id(deft_topo::NodeAddr::new(layer, Coord::new(x, y))).expect("valid addr")
+    }
+
+    #[test]
+    fn next_direction_is_none_at_destination() {
+        let s = sys();
+        let n = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let ctx = RouteCtx::local(Vn::Vn0);
+        assert_eq!(next_direction(&s, n, n, &ctx), None);
+    }
+
+    #[test]
+    fn intra_chiplet_packets_route_xy() {
+        let s = sys();
+        let a = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
+        let b = node(&s, Layer::Chiplet(ChipletId(0)), 2, 3);
+        let ctx = RouteCtx::local(Vn::Vn0);
+        assert_eq!(next_direction(&s, a, b, &ctx), Some(Direction::East));
+    }
+
+    #[test]
+    fn descending_packets_head_to_the_selected_vl() {
+        let s = sys();
+        let a = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
+        let b = node(&s, Layer::Chiplet(ChipletId(1)), 0, 0);
+        // VL 2 of a 4x4 pinwheel chiplet is at (2, 0).
+        let ctx = RouteCtx { vn: Vn::Vn0, down_vl: Some(2), up_vl: Some(0) };
+        assert_eq!(next_direction(&s, a, b, &ctx), Some(Direction::East));
+        let at_vl = node(&s, Layer::Chiplet(ChipletId(0)), 2, 0);
+        assert_eq!(next_direction(&s, at_vl, b, &ctx), Some(Direction::Down));
+    }
+
+    #[test]
+    fn walked_path_ends_at_destination_with_minimal_hops() {
+        let s = sys();
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
+        let dst = node(&s, Layer::Chiplet(ChipletId(3)), 3, 3);
+        let choice = FlowChoice {
+            down_vl: Some(1),
+            up_vl: Some(3),
+            vn_source: Vn::Vn0,
+            vn_after_down: Vn::Vn1,
+        };
+        let hops = walk_path(&s, src, dst, &choice);
+        // End node must be dst.
+        let mut cur = src;
+        for h in &hops {
+            assert_eq!(h.from, cur);
+            cur = s.neighbor(cur, h.dir).unwrap();
+        }
+        assert_eq!(cur, dst);
+        // Hop count matches the topological minimum through those VLs.
+        let down = &s.chiplet(ChipletId(0)).vertical_links()[1];
+        let up = &s.chiplet(ChipletId(3)).vertical_links()[3];
+        assert_eq!(hops.len() as u32, s.inter_chiplet_hops(src, down, up, dst));
+    }
+
+    #[test]
+    fn walked_path_vn_schedule_respects_rules() {
+        let s = sys();
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 2, 2);
+        let choice = FlowChoice {
+            down_vl: Some(0),
+            up_vl: Some(2),
+            vn_source: Vn::Vn0,
+            vn_after_down: Vn::Vn0,
+        };
+        let hops = walk_path(&s, src, dst, &choice);
+        let up_pos = hops.iter().position(|h| h.dir == Direction::Up).expect("must ascend");
+        for h in &hops[up_pos..] {
+            assert_eq!(h.vn, Vn::Vn1, "post-up hops must be in VN1 (Rule 2)");
+        }
+        for h in &hops[..up_pos] {
+            assert_eq!(h.vn, Vn::Vn0);
+        }
+    }
+
+    #[test]
+    fn eligibility_routable_logic() {
+        let s = sys();
+        let mut faults = FaultState::none(&s);
+        let el = FlowEligibility {
+            down: Some((ChipletId(0), 0b0011)),
+            up: Some((ChipletId(1), 0b1111)),
+        };
+        assert!(el.routable(&faults, &s));
+        faults.inject(deft_topo::VlLinkId {
+            chiplet: ChipletId(0),
+            index: 0,
+            dir: deft_topo::VlDir::Down,
+        });
+        assert!(el.routable(&faults, &s));
+        faults.inject(deft_topo::VlLinkId {
+            chiplet: ChipletId(0),
+            index: 1,
+            dir: deft_topo::VlDir::Down,
+        });
+        assert!(!el.routable(&faults, &s), "both eligible down VLs faulty");
+    }
+}

@@ -1,0 +1,225 @@
+//! The VL-selection cost model: Eq. (1)–(6) of the paper.
+
+use deft_topo::Coord;
+
+/// One per-chiplet VL-selection problem instance: which VL should each
+/// router of the chiplet use, given the healthy-VL mask of the current
+/// fault scenario and per-router inter-chiplet traffic rates.
+///
+/// The objective (paper Eq. 6) combines VL-load balancing (Eq. 3) and
+/// distance minimization (Eq. 5), weighted by `rho` (ρ = 0.01 in the
+/// paper's experiments).
+#[derive(Debug, Clone)]
+pub struct SelectionProblem {
+    vl_coords: Vec<Coord>,
+    router_coords: Vec<Coord>,
+    rates: Vec<f64>,
+    healthy: u8,
+    rho: f64,
+}
+
+impl SelectionProblem {
+    /// The paper's weighting of distance vs load balance (§III-B).
+    pub const DEFAULT_RHO: f64 = 0.01;
+
+    /// Creates a problem instance.
+    ///
+    /// `vl_coords` are the chiplet-local positions of *all* VLs (index =
+    /// VL index); `healthy` masks the usable ones. `rates` holds
+    /// `T_r^inter`, the inter-chiplet traffic rate of each router
+    /// (row-major chiplet order).
+    ///
+    /// # Panics
+    /// Panics if `healthy` selects no VL or `rates` length differs from
+    /// `router_coords`.
+    pub fn new(
+        vl_coords: Vec<Coord>,
+        router_coords: Vec<Coord>,
+        rates: Vec<f64>,
+        healthy: u8,
+        rho: f64,
+    ) -> Self {
+        assert!(healthy != 0, "selection problem needs at least one healthy VL");
+        assert_eq!(rates.len(), router_coords.len(), "one rate per router");
+        assert!(vl_coords.len() <= 8, "masks are u8");
+        Self { vl_coords, router_coords, rates, healthy, rho }
+    }
+
+    /// Number of routers to assign.
+    pub fn router_count(&self) -> usize {
+        self.router_coords.len()
+    }
+
+    /// Number of VLs (healthy and faulty).
+    pub fn vl_count(&self) -> usize {
+        self.vl_coords.len()
+    }
+
+    /// Indices of the healthy VLs.
+    pub fn healthy_vls(&self) -> Vec<u8> {
+        (0..self.vl_coords.len() as u8).filter(|&v| self.healthy & (1 << v) != 0).collect()
+    }
+
+    /// Whether VL `v` is healthy in this scenario.
+    pub fn is_healthy(&self, v: u8) -> bool {
+        self.healthy & (1 << v) != 0
+    }
+
+    /// Hop-count distance from router `r` to VL `v` (Eq. 4).
+    pub fn distance(&self, r: usize, v: u8) -> u32 {
+        self.router_coords[r].manhattan(self.vl_coords[v as usize])
+    }
+
+    /// The load on each VL under `assignment` (Eq. 1): the sum of the
+    /// inter-chiplet rates of the routers selecting it.
+    pub fn vl_loads(&self, assignment: &[u8]) -> Vec<f64> {
+        let mut loads = vec![0.0; self.vl_coords.len()];
+        for (r, &v) in assignment.iter().enumerate() {
+            loads[v as usize] += self.rates[r];
+        }
+        loads
+    }
+
+    /// The total cost `C_s` of an assignment (Eq. 6):
+    /// `Σ_v (ρ·D_v) + L_v` over healthy VLs, with
+    /// `L_v = |l_v − l_avg| / l_avg` (Eq. 3) and
+    /// `D_v = Σ_r D_r^v · U_r^v` (Eq. 5).
+    ///
+    /// # Panics
+    /// Panics (debug) if the assignment uses a faulty VL.
+    pub fn cost(&self, assignment: &[u8]) -> f64 {
+        debug_assert_eq!(assignment.len(), self.router_count());
+        debug_assert!(
+            assignment.iter().all(|&v| self.is_healthy(v)),
+            "assignment uses a faulty VL"
+        );
+        let loads = self.vl_loads(assignment);
+        let healthy = self.healthy_vls();
+        let total: f64 = healthy.iter().map(|&v| loads[v as usize]).sum();
+        let l_avg = total / healthy.len() as f64;
+
+        let mut cost = 0.0;
+        for &v in &healthy {
+            let l_v = loads[v as usize];
+            let load_cost = if l_avg > 0.0 { (l_v - l_avg).abs() / l_avg } else { 0.0 };
+            let dist_cost: u32 = assignment
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a == v)
+                .map(|(r, _)| self.distance(r, v))
+                .sum();
+            cost += self.rho * dist_cost as f64 + load_cost;
+        }
+        cost
+    }
+
+    /// The distance-based assignment: each router picks its nearest healthy
+    /// VL (ties broken by lowest VL index). This is the common 3D-network
+    /// strategy the paper ablates as *DeFT-Dis*.
+    pub fn distance_assignment(&self) -> Vec<u8> {
+        (0..self.router_count()).map(|r| self.nearest_healthy(r)).collect()
+    }
+
+    /// Nearest healthy VL to router `r`, ties by lowest index.
+    pub fn nearest_healthy(&self, r: usize) -> u8 {
+        self.healthy_vls()
+            .into_iter()
+            .min_by_key(|&v| (self.distance(r, v), v))
+            .expect("at least one healthy VL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_4x4() -> Vec<Coord> {
+        (0..4).flat_map(|y| (0..4).map(move |x| Coord::new(x, y))).collect()
+    }
+
+    fn pinwheel() -> Vec<Coord> {
+        vec![Coord::new(1, 3), Coord::new(3, 2), Coord::new(2, 0), Coord::new(0, 1)]
+    }
+
+    fn uniform_problem(healthy: u8) -> SelectionProblem {
+        SelectionProblem::new(
+            pinwheel(),
+            grid_4x4(),
+            vec![1.0; 16],
+            healthy,
+            SelectionProblem::DEFAULT_RHO,
+        )
+    }
+
+    #[test]
+    fn loads_sum_to_total_rate() {
+        let p = uniform_problem(0b1111);
+        let a = p.distance_assignment();
+        let loads = p.vl_loads(&a);
+        let total: f64 = loads.iter().sum();
+        assert!((total - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_assignment_picks_nearest() {
+        let p = uniform_problem(0b1111);
+        let a = p.distance_assignment();
+        for (r, &v) in a.iter().enumerate() {
+            for cand in p.healthy_vls() {
+                assert!(
+                    p.distance(r, v) <= p.distance(r, cand),
+                    "router {r} assigned vl{v} but vl{cand} is closer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_assignment_respects_faults() {
+        let p = uniform_problem(0b1010); // only VLs 1 and 3 healthy
+        let a = p.distance_assignment();
+        for &v in &a {
+            assert!(v == 1 || v == 3);
+        }
+    }
+
+    #[test]
+    fn perfectly_balanced_assignment_has_zero_load_cost() {
+        // With zero rho the cost is pure load imbalance; a 4-4-4-4 split of
+        // 16 uniform routers is perfectly balanced.
+        let p = SelectionProblem::new(pinwheel(), grid_4x4(), vec![1.0; 16], 0b1111, 0.0);
+        let a: Vec<u8> = (0..16).map(|r| (r % 4) as u8).collect();
+        assert!(p.cost(&a) < 1e-9);
+    }
+
+    #[test]
+    fn unbalanced_assignment_costs_more() {
+        let p = SelectionProblem::new(pinwheel(), grid_4x4(), vec![1.0; 16], 0b1111, 0.0);
+        let balanced: Vec<u8> = (0..16).map(|r| (r % 4) as u8).collect();
+        let skewed: Vec<u8> = vec![0; 16];
+        assert!(p.cost(&skewed) > p.cost(&balanced));
+    }
+
+    #[test]
+    fn rho_trades_distance_for_balance() {
+        // With a huge rho, the distance-based assignment must be optimal
+        // among these two candidates.
+        let p = SelectionProblem::new(pinwheel(), grid_4x4(), vec![1.0; 16], 0b1111, 1000.0);
+        let dist = p.distance_assignment();
+        let other: Vec<u8> = (0..16).map(|r| ((r + 1) % 4) as u8).collect();
+        assert!(p.cost(&dist) <= p.cost(&other));
+    }
+
+    #[test]
+    fn zero_rates_give_zero_load_cost() {
+        let p = SelectionProblem::new(pinwheel(), grid_4x4(), vec![0.0; 16], 0b1111, 0.0);
+        let a = p.distance_assignment();
+        assert_eq!(p.cost(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one healthy VL")]
+    fn empty_healthy_mask_is_rejected() {
+        let _ = uniform_problem(0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-router selection look-up tables.
+//!
+//! The paper stores the offline-optimized VL selections in small LUTs
+//! inside each router: for the baseline chiplet with 4 VLs there are
+//! `C(4,1) + C(4,2) + C(4,3) = 14` fault combinations, "therefore 14 VL
+//! addresses are saved in each router" (§III-B), plus the fault-free
+//! selection. We index by the *healthy* mask, which covers exactly those
+//! 15 scenarios.
+
+use super::cost::SelectionProblem;
+use super::optimizer::VlOptimizer;
+use deft_topo::{ChipletId, ChipletSystem, Coord, NodeId};
+
+/// Offline-computed VL selections for every chiplet and every admissible
+/// per-chiplet fault scenario.
+///
+/// One instance covers one traversal direction: a *down* LUT is keyed by
+/// the source router and the source chiplet's healthy down-mask, an *up*
+/// LUT by the destination router and the destination chiplet's healthy
+/// up-mask (the two selections are symmetric — paper §III-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionLut {
+    /// `entries[chiplet][healthy_mask]` = per-router VL assignment
+    /// (indexed by chiplet-local router index), or `None` for mask 0.
+    entries: Vec<Vec<Option<Vec<u8>>>>,
+}
+
+impl SelectionLut {
+    /// Builds the LUT for `sys`, weighting each router by
+    /// `rates(node)` — its inter-chiplet traffic rate `T_r^inter`. Pass a
+    /// constant for the paper's uniform-traffic offline optimization.
+    pub fn build(
+        sys: &ChipletSystem,
+        optimizer: &VlOptimizer,
+        mut rates: impl FnMut(NodeId) -> f64,
+    ) -> Self {
+        let mut entries = Vec::with_capacity(sys.chiplet_count());
+        for chiplet in sys.chiplets() {
+            let vl_coords: Vec<Coord> =
+                chiplet.vertical_links().iter().map(|vl| vl.chiplet_coord).collect();
+            let router_coords: Vec<Coord> = chiplet.coords().collect();
+            let router_rates: Vec<f64> =
+                sys.chiplet_nodes(chiplet.id()).map(&mut rates).collect();
+            let masks = 1usize << chiplet.vl_count();
+            let mut per_mask = Vec::with_capacity(masks);
+            per_mask.push(None); // mask 0: chiplet disconnected
+            for healthy in 1..masks as u8 {
+                let problem = SelectionProblem::new(
+                    vl_coords.clone(),
+                    router_coords.clone(),
+                    router_rates.clone(),
+                    healthy,
+                    SelectionProblem::DEFAULT_RHO,
+                );
+                let (assignment, _) = optimizer.solve(&problem);
+                per_mask.push(Some(assignment));
+            }
+            entries.push(per_mask);
+        }
+        Self { entries }
+    }
+
+    /// The VL selected for the router with chiplet-local index
+    /// `local_router` on `chiplet`, under the given healthy mask.
+    ///
+    /// Returns `None` when the mask is 0 (chiplet disconnected).
+    ///
+    /// # Panics
+    /// Panics if `chiplet`, the mask, or the router index is out of range.
+    pub fn lookup(&self, chiplet: ChipletId, healthy_mask: u8, local_router: usize) -> Option<u8> {
+        self.entries[chiplet.index()][healthy_mask as usize]
+            .as_ref()
+            .map(|a| a[local_router])
+    }
+
+    /// The full assignment for one chiplet and healthy mask.
+    pub fn assignment(&self, chiplet: ChipletId, healthy_mask: u8) -> Option<&[u8]> {
+        self.entries[chiplet.index()][healthy_mask as usize].as_deref()
+    }
+
+    /// Number of stored (chiplet, scenario) entries; `15` per 4-VL chiplet
+    /// (the paper's 14 fault combinations plus the fault-free case). The
+    /// hardware cost model uses this to size the per-router LUT.
+    pub fn scenario_count(&self) -> usize {
+        self.entries.iter().map(|m| m.iter().filter(|e| e.is_some()).count()).sum()
+    }
+}
+
+/// The chiplet-local router index (row-major) of a chiplet node, used to
+/// address per-router LUT entries.
+///
+/// # Panics
+/// Panics if `node` is not on a chiplet.
+pub fn local_router_index(sys: &ChipletSystem, node: NodeId) -> usize {
+    let addr = sys.addr(node);
+    let c = addr.layer.chiplet().expect("node is not on a chiplet");
+    let w = sys.chiplet(c).width() as usize;
+    addr.coord.y as usize * w + addr.coord.x as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_topo::VlDir;
+
+    #[test]
+    fn lut_covers_all_15_scenarios_per_chiplet() {
+        let sys = ChipletSystem::baseline_4();
+        let lut = SelectionLut::build(&sys, &VlOptimizer::new(), |_| 1.0);
+        assert_eq!(lut.scenario_count(), 4 * 15);
+        for c in sys.chiplets() {
+            assert!(lut.assignment(c.id(), 0).is_none());
+            for mask in 1..16u8 {
+                let a = lut.assignment(c.id(), mask).expect("entry exists");
+                assert_eq!(a.len(), 16);
+                for &v in a {
+                    assert!(mask & (1 << v) != 0, "mask {mask:#b} assignment uses faulty vl{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_uniform_assignment_is_balanced() {
+        let sys = ChipletSystem::baseline_4();
+        let lut = SelectionLut::build(&sys, &VlOptimizer::new(), |_| 1.0);
+        let a = lut.assignment(ChipletId(0), 0b1111).unwrap();
+        let mut counts = [0usize; 4];
+        for &v in a {
+            counts[v as usize] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4, 4], "16 uniform routers split evenly over 4 VLs");
+    }
+
+    #[test]
+    fn one_fault_rebalances_to_6_5_5_or_better() {
+        // Fig. 3(b): with one faulty VL, the paper's optimizer spreads the
+        // 16 routers over the 3 survivors instead of 8/4/4.
+        let sys = ChipletSystem::baseline_4();
+        let lut = SelectionLut::build(&sys, &VlOptimizer::new(), |_| 1.0);
+        for faulty in 0..4u8 {
+            let mask = 0b1111 & !(1 << faulty);
+            let a = lut.assignment(ChipletId(0), mask).unwrap();
+            let mut counts = [0usize; 4];
+            for &v in a {
+                counts[v as usize] += 1;
+            }
+            assert_eq!(counts[faulty as usize], 0);
+            let max = counts.iter().max().unwrap();
+            assert!(*max <= 6, "one-fault selection left {max} routers on one VL");
+        }
+    }
+
+    #[test]
+    fn lookup_matches_assignment() {
+        let sys = ChipletSystem::baseline_4();
+        let lut = SelectionLut::build(&sys, &VlOptimizer::new(), |_| 1.0);
+        let a = lut.assignment(ChipletId(2), 0b0111).unwrap().to_vec();
+        for (i, &v) in a.iter().enumerate() {
+            assert_eq!(lut.lookup(ChipletId(2), 0b0111, i), Some(v));
+        }
+    }
+
+    #[test]
+    fn local_router_index_is_row_major() {
+        let sys = ChipletSystem::baseline_4();
+        let nodes: Vec<NodeId> = sys.chiplet_nodes(ChipletId(1)).collect();
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_eq!(local_router_index(&sys, n), i);
+        }
+    }
+
+    #[test]
+    fn traffic_weighted_lut_shifts_selection() {
+        // Fig. 3(c): under non-uniform traffic the optimizer must not put
+        // half the load on one VL. Give the west column all the traffic.
+        let sys = ChipletSystem::baseline_4();
+        let hot: Vec<NodeId> = sys
+            .chiplet_nodes(ChipletId(0))
+            .filter(|&n| sys.addr(n).coord.x == 0)
+            .collect();
+        let lut = SelectionLut::build(&sys, &VlOptimizer::new(), |n| {
+            if hot.contains(&n) {
+                1.0
+            } else {
+                0.01
+            }
+        });
+        let a = lut.assignment(ChipletId(0), 0b1111).unwrap();
+        // The four hot routers (x = 0) must not all pick the same VL.
+        let hot_vls: Vec<u8> = hot
+            .iter()
+            .map(|&n| a[local_router_index(&sys, n)])
+            .collect();
+        let first = hot_vls[0];
+        assert!(
+            hot_vls.iter().any(|&v| v != first),
+            "hot column all mapped to vl{first}: load ignored"
+        );
+        let _ = VlDir::Down;
+    }
+}

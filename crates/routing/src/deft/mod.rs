@@ -1,0 +1,570 @@
+//! The DeFT routing algorithm (paper §III).
+//!
+//! DeFT combines two mechanisms:
+//!
+//! 1. **VN separation for deadlock freedom** (§III-A, Fig. 2, Algorithm 1):
+//!    two virtual networks with three switching rules, assigned so that VC
+//!    utilization stays balanced (Theorems III.1–III.4).
+//! 2. **Fault-tolerant, congestion-aware VL selection** (§III-B,
+//!    Algorithm 2): an offline optimizer balances VL loads and minimizes
+//!    distance for every per-chiplet fault scenario; routers store the
+//!    results in small LUTs and look them up online by the current healthy
+//!    mask.
+
+mod cost;
+mod lut;
+mod optimizer;
+
+pub use cost::SelectionProblem;
+pub use lut::{local_router_index, SelectionLut};
+pub use optimizer::VlOptimizer;
+
+use crate::algorithm::{
+    next_direction, FlowChoice, FlowEligibility, RouteDecision, RouteError, RoutingAlgorithm,
+};
+use crate::state::{RouteCtx, Vn};
+use deft_topo::{ChipletId, ChipletSystem, Direction, FaultState, Layer, NodeId, VlDir};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// How DeFT picks the VL intermediate destinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VlSelectionStrategy {
+    /// The paper's offline-optimized LUT selection (plain "DeFT").
+    Optimized,
+    /// Nearest healthy VL — the common 3D-network approach, ablated as
+    /// *DeFT-Dis* in Fig. 8.
+    Distance,
+    /// Uniform random among healthy VLs — *DeFT-Ran* in Fig. 8.
+    Random,
+}
+
+/// The DeFT routing algorithm.
+///
+/// Construct with [`DeftRouting::new`] (uniform-traffic offline
+/// optimization, the paper's default), [`DeftRouting::with_traffic`]
+/// (traffic-aware optimization, §IV-A), or the ablation constructors
+/// [`DeftRouting::distance_based`] / [`DeftRouting::random_selection`].
+#[derive(Debug, Clone)]
+pub struct DeftRouting {
+    strategy: VlSelectionStrategy,
+    lut_down: Option<SelectionLut>,
+    lut_up: Option<SelectionLut>,
+    /// Per-boundary-router round-robin counters for the VN reassignment at
+    /// the down traversal (Algorithm 1).
+    rr_boundary: Vec<u64>,
+    rng: SmallRng,
+}
+
+impl DeftRouting {
+    /// DeFT with offline VL optimization under uniform traffic — "the most
+    /// pessimistic assumption" used for the paper's main experiments.
+    pub fn new(sys: &ChipletSystem) -> Self {
+        Self::with_traffic(sys, |_| 1.0)
+    }
+
+    /// DeFT with traffic-aware offline optimization: `rates(node)` is the
+    /// inter-chiplet injection rate of each router (`T_r^inter` of Eq. 1).
+    pub fn with_traffic(sys: &ChipletSystem, rates: impl FnMut(NodeId) -> f64 + Clone) -> Self {
+        let optimizer = VlOptimizer::new();
+        let lut_down = SelectionLut::build(sys, &optimizer, rates.clone());
+        let lut_up = SelectionLut::build(sys, &optimizer, rates);
+        Self {
+            strategy: VlSelectionStrategy::Optimized,
+            lut_down: Some(lut_down),
+            lut_up: Some(lut_up),
+            rr_boundary: vec![0; sys.node_count()],
+            rng: SmallRng::seed_from_u64(0),
+        }
+    }
+
+    /// The *DeFT-Dis* ablation: DeFT's VN scheme with nearest-healthy-VL
+    /// selection.
+    pub fn distance_based(sys: &ChipletSystem) -> Self {
+        Self {
+            strategy: VlSelectionStrategy::Distance,
+            lut_down: None,
+            lut_up: None,
+            rr_boundary: vec![0; sys.node_count()],
+            rng: SmallRng::seed_from_u64(0),
+        }
+    }
+
+    /// The *DeFT-Ran* ablation: DeFT's VN scheme with uniform-random VL
+    /// selection among healthy VLs (seeded, deterministic).
+    pub fn random_selection(sys: &ChipletSystem, seed: u64) -> Self {
+        Self {
+            strategy: VlSelectionStrategy::Random,
+            lut_down: None,
+            lut_up: None,
+            rr_boundary: vec![0; sys.node_count()],
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The selection strategy in use.
+    pub fn strategy(&self) -> VlSelectionStrategy {
+        self.strategy
+    }
+
+    /// The offline down-selection LUT, when the strategy is `Optimized`.
+    pub fn down_lut(&self) -> Option<&SelectionLut> {
+        self.lut_down.as_ref()
+    }
+
+    /// Selects the down VL for a packet injected at `router` (on `chiplet`)
+    /// under the current faults. `None` when the chiplet has no healthy
+    /// down link.
+    fn select_down(
+        &mut self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        chiplet: ChipletId,
+        router: NodeId,
+    ) -> Option<u8> {
+        let vl_count = sys.chiplet(chiplet).vl_count();
+        let healthy = faults.healthy_mask(chiplet, VlDir::Down, vl_count);
+        self.select(sys, chiplet, router, healthy, true)
+    }
+
+    /// Selects the up VL toward destination `router` on `chiplet`.
+    fn select_up(
+        &mut self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        chiplet: ChipletId,
+        router: NodeId,
+    ) -> Option<u8> {
+        let vl_count = sys.chiplet(chiplet).vl_count();
+        let healthy = faults.healthy_mask(chiplet, VlDir::Up, vl_count);
+        self.select(sys, chiplet, router, healthy, false)
+    }
+
+    fn select(
+        &mut self,
+        sys: &ChipletSystem,
+        chiplet: ChipletId,
+        router: NodeId,
+        healthy: u8,
+        down: bool,
+    ) -> Option<u8> {
+        if healthy == 0 {
+            return None;
+        }
+        match self.strategy {
+            VlSelectionStrategy::Optimized => {
+                let lut = if down { self.lut_down.as_ref() } else { self.lut_up.as_ref() };
+                lut.expect("optimized strategy has LUTs").lookup(
+                    chiplet,
+                    healthy,
+                    local_router_index(sys, router),
+                )
+            }
+            VlSelectionStrategy::Distance => {
+                let coord = sys.addr(router).coord;
+                let chip = sys.chiplet(chiplet);
+                (0..chip.vl_count() as u8)
+                    .filter(|&v| healthy & (1 << v) != 0)
+                    .min_by_key(|&v| (coord.manhattan(chip.vl_coord(v as usize)), v))
+            }
+            VlSelectionStrategy::Random => {
+                let options: Vec<u8> =
+                    (0..8).filter(|&v| healthy & (1 << v) != 0).collect();
+                Some(options[self.rng.random_range(0..options.len())])
+            }
+        }
+    }
+}
+
+impl RoutingAlgorithm for DeftRouting {
+    fn name(&self) -> &str {
+        match self.strategy {
+            VlSelectionStrategy::Optimized => "DeFT",
+            VlSelectionStrategy::Distance => "DeFT-Dis",
+            VlSelectionStrategy::Random => "DeFT-Ran",
+        }
+    }
+
+    fn on_inject(
+        &mut self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+    ) -> Result<RouteCtx, RouteError> {
+        let src_layer = sys.layer(src);
+        let dst_layer = sys.layer(dst);
+        let needs_down =
+            matches!(src_layer, Layer::Chiplet(c) if dst_layer != Layer::Chiplet(c));
+        let needs_up =
+            matches!(dst_layer, Layer::Chiplet(c) if src_layer != Layer::Chiplet(c));
+
+        let down_vl = if needs_down {
+            let c = src_layer.chiplet().expect("needs_down implies chiplet source");
+            Some(
+                self.select_down(sys, faults, c, src)
+                    .ok_or(RouteError::Unroutable { src, dst })?,
+            )
+        } else {
+            None
+        };
+        let up_vl = if needs_up {
+            let c = dst_layer.chiplet().expect("needs_up implies chiplet destination");
+            Some(
+                self.select_up(sys, faults, c, dst)
+                    .ok_or(RouteError::Unroutable { src, dst })?,
+            )
+        } else {
+            None
+        };
+
+        // Algorithm 1, source assignment: round-robin wherever both VNs are
+        // permitted (interposer sources, intra-chiplet packets, boundary
+        // sources — Theorems III.1–III.3); otherwise VN0, because an
+        // inter-chiplet packet still has Horizontal → Down turns ahead of it
+        // (Rule 3 bans those in VN1). A boundary source only qualifies when
+        // it descends through its *own* VL — the selection LUT may assign it
+        // a different VL for load balance, and the horizontal detour to that
+        // VL must then start in VN0.
+        let own_vl = sys
+            .vl_at_node(src)
+            .filter(|vl| vl.chiplet_node == src)
+            .map(|vl| vl.index);
+        let rr_allowed = !needs_down || (down_vl.is_some() && down_vl == own_vl);
+        let vn = if rr_allowed { Vn::round_robin(seq) } else { Vn::Vn0 };
+
+        Ok(RouteCtx { vn, down_vl, up_vl })
+    }
+
+    fn route(
+        &mut self,
+        sys: &ChipletSystem,
+        _faults: &FaultState,
+        node: NodeId,
+        dst: NodeId,
+        ctx: &mut RouteCtx,
+    ) -> RouteDecision {
+        let dir = next_direction(sys, node, dst, ctx)
+            .expect("route called on a packet already at its destination");
+        let vn = match dir {
+            Direction::Down => {
+                // Algorithm 1, boundary going down: round-robin reassignment
+                // between VN0 and VN1 — only VN0 packets have the choice
+                // (Rule 1 forbids VN1 -> VN0).
+                if ctx.vn == Vn::Vn0 {
+                    let ctr = &mut self.rr_boundary[node.index()];
+                    *ctr += 1;
+                    Vn::round_robin(*ctr)
+                } else {
+                    Vn::Vn1
+                }
+            }
+            // Coming from the interposer: go to (remain in) VN1, so the
+            // Up -> Horizontal turns on the destination chiplet are legal
+            // (Rule 2 bans them in VN0).
+            Direction::Up => Vn::Vn1,
+            _ => ctx.vn,
+        };
+        ctx.vn = vn;
+        RouteDecision { dir, vn }
+    }
+
+    fn eligibility(&self, sys: &ChipletSystem, src: NodeId, dst: NodeId) -> FlowEligibility {
+        // Theorems III.3 / III.4: DeFT may use *any* VL for either
+        // traversal, which is exactly what makes it fault-tolerant.
+        let src_layer = sys.layer(src);
+        let dst_layer = sys.layer(dst);
+        let full = |c: ChipletId| ((1u16 << sys.chiplet(c).vl_count()) - 1) as u8;
+        let down = match src_layer {
+            Layer::Chiplet(c) if dst_layer != Layer::Chiplet(c) => Some((c, full(c))),
+            _ => None,
+        };
+        let up = match dst_layer {
+            Layer::Chiplet(c) if src_layer != Layer::Chiplet(c) => Some((c, full(c))),
+            _ => None,
+        };
+        FlowEligibility { down, up }
+    }
+
+    fn flow_choices(
+        &self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<FlowChoice> {
+        if src == dst {
+            return Vec::new();
+        }
+        let el = self.eligibility(sys, src, dst);
+        let down_opts: Vec<Option<u8>> = match el.down {
+            None => vec![None],
+            Some((c, mask)) => {
+                let healthy =
+                    mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
+                (0..8).filter(|&v| healthy & (1 << v) != 0).map(Some).collect()
+            }
+        };
+        let up_opts: Vec<Option<u8>> = match el.up {
+            None => vec![None],
+            Some((c, mask)) => {
+                let healthy = mask & faults.healthy_mask(c, VlDir::Up, sys.chiplet(c).vl_count());
+                (0..8).filter(|&v| healthy & (1 << v) != 0).map(Some).collect()
+            }
+        };
+        if down_opts.is_empty() || up_opts.is_empty() {
+            return Vec::new(); // unroutable flow: no paths, no dependencies
+        }
+        let needs_down = el.down.is_some();
+        let own_vl = sys
+            .vl_at_node(src)
+            .filter(|vl| vl.chiplet_node == src)
+            .map(|vl| vl.index);
+
+        let mut out = Vec::new();
+        for &down_vl in &down_opts {
+            // VN1 injection is legal only when no Horizontal -> Down turn
+            // lies ahead (Rule 3): intra/interposer flows, or a boundary
+            // source descending through its own VL.
+            let vn_sources: &[Vn] = if needs_down && (own_vl.is_none() || down_vl != own_vl) {
+                &[Vn::Vn0]
+            } else {
+                &Vn::ALL
+            };
+            for &up_vl in &up_opts {
+                for &vn_source in vn_sources {
+                    let after_down: &[Vn] = if needs_down {
+                        if vn_source == Vn::Vn0 { &Vn::ALL } else { &[Vn::Vn1] }
+                    } else {
+                        std::slice::from_ref(match vn_source {
+                            Vn::Vn0 => &Vn::Vn0,
+                            Vn::Vn1 => &Vn::Vn1,
+                        })
+                    };
+                    for &vn_after_down in after_down {
+                        out.push(FlowChoice { down_vl, up_vl, vn_source, vn_after_down });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::walk_path;
+    use deft_topo::{Coord, NodeAddr};
+
+    fn sys() -> ChipletSystem {
+        ChipletSystem::baseline_4()
+    }
+
+    fn node(s: &ChipletSystem, layer: Layer, x: u8, y: u8) -> NodeId {
+        s.node_id(NodeAddr::new(layer, Coord::new(x, y))).expect("valid addr")
+    }
+
+    #[test]
+    fn non_boundary_inter_chiplet_sources_start_in_vn0() {
+        let s = sys();
+        let f = FaultState::none(&s);
+        let mut deft = DeftRouting::distance_based(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1); // not a VL tile
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 2, 2);
+        for seq in 0..4 {
+            let ctx = deft.on_inject(&s, &f, src, dst, seq).unwrap();
+            assert_eq!(ctx.vn, Vn::Vn0, "Algorithm 1: inter-chiplet non-boundary source -> VN0");
+        }
+    }
+
+    #[test]
+    fn intra_chiplet_and_interposer_sources_round_robin() {
+        let s = sys();
+        let f = FaultState::none(&s);
+        let mut deft = DeftRouting::distance_based(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(0)), 3, 3);
+        let vns: Vec<Vn> =
+            (0..4).map(|seq| deft.on_inject(&s, &f, src, dst, seq).unwrap().vn).collect();
+        assert_eq!(vns, vec![Vn::Vn0, Vn::Vn1, Vn::Vn0, Vn::Vn1]);
+
+        let isrc = node(&s, Layer::Interposer, 0, 0);
+        let idst = node(&s, Layer::Chiplet(ChipletId(3)), 0, 0);
+        let vns: Vec<Vn> =
+            (0..2).map(|seq| deft.on_inject(&s, &f, isrc, idst, seq).unwrap().vn).collect();
+        assert_eq!(vns, vec![Vn::Vn0, Vn::Vn1]);
+    }
+
+    #[test]
+    fn up_traversal_forces_vn1() {
+        let s = sys();
+        let f = FaultState::none(&s);
+        let mut deft = DeftRouting::new(&s);
+        let src = node(&s, Layer::Interposer, 0, 0);
+        let dst = node(&s, Layer::Chiplet(ChipletId(0)), 3, 3);
+        let mut ctx = deft.on_inject(&s, &f, src, dst, 0).unwrap();
+        let mut cur = src;
+        let mut saw_up = false;
+        for _ in 0..64 {
+            if cur == dst {
+                break;
+            }
+            let d = deft.route(&s, &f, cur, dst, &mut ctx);
+            if d.dir == Direction::Up {
+                saw_up = true;
+            }
+            if saw_up {
+                assert_eq!(d.vn, Vn::Vn1);
+            }
+            cur = s.neighbor(cur, d.dir).unwrap();
+        }
+        assert!(saw_up && cur == dst);
+    }
+
+    #[test]
+    fn boundary_down_round_robin_balances_vns() {
+        let s = sys();
+        let f = FaultState::none(&s);
+        let mut deft = DeftRouting::distance_based(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 2, 1); // near VL 2 at (2,0)
+        let dst = node(&s, Layer::Interposer, 7, 7);
+        let mut vn_counts = [0usize; 2];
+        for seq in 0..10 {
+            let mut ctx = deft.on_inject(&s, &f, src, dst, seq).unwrap();
+            let mut cur = src;
+            while cur != dst {
+                let d = deft.route(&s, &f, cur, dst, &mut ctx);
+                if d.dir == Direction::Down {
+                    vn_counts[d.vn.index()] += 1;
+                }
+                cur = s.neighbor(cur, d.dir).unwrap();
+            }
+        }
+        assert_eq!(vn_counts[0], 5, "down RR must split VN0/VN1 evenly");
+        assert_eq!(vn_counts[1], 5);
+    }
+
+    #[test]
+    fn faulty_down_vl_is_never_selected() {
+        let s = sys();
+        let mut f = FaultState::none(&s);
+        for idx in [0u8, 1, 2] {
+            f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: idx, dir: VlDir::Down });
+        }
+        let mut deft = DeftRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
+        let dst = node(&s, Layer::Chiplet(ChipletId(2)), 0, 0);
+        for seq in 0..8 {
+            let ctx = deft.on_inject(&s, &f, src, dst, seq).unwrap();
+            assert_eq!(ctx.down_vl, Some(3), "only VL 3 is healthy");
+        }
+    }
+
+    #[test]
+    fn fully_faulty_chiplet_is_unroutable() {
+        let s = sys();
+        let mut f = FaultState::none(&s);
+        for idx in 0..4u8 {
+            f.inject(deft_topo::VlLinkId { chiplet: ChipletId(1), index: idx, dir: VlDir::Up });
+        }
+        let mut deft = DeftRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 0, 0);
+        assert!(matches!(
+            deft.on_inject(&s, &f, src, dst, 0),
+            Err(RouteError::Unroutable { .. })
+        ));
+    }
+
+    #[test]
+    fn random_strategy_only_picks_healthy() {
+        let s = sys();
+        let mut f = FaultState::none(&s);
+        f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down });
+        f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: 2, dir: VlDir::Down });
+        let mut deft = DeftRouting::random_selection(&s, 99);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Interposer, 6, 6);
+        let mut seen = std::collections::BTreeSet::new();
+        for seq in 0..64 {
+            let ctx = deft.on_inject(&s, &f, src, dst, seq).unwrap();
+            seen.insert(ctx.down_vl.unwrap());
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn route_paths_are_minimal_through_selected_vls() {
+        let s = sys();
+        let f = FaultState::none(&s);
+        let mut deft = DeftRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 0, 2);
+        let dst = node(&s, Layer::Chiplet(ChipletId(3)), 2, 1);
+        let ctx0 = deft.on_inject(&s, &f, src, dst, 0).unwrap();
+        let down = &s.chiplet(ChipletId(0)).vertical_links()[ctx0.down_vl.unwrap() as usize];
+        let up = &s.chiplet(ChipletId(3)).vertical_links()[ctx0.up_vl.unwrap() as usize];
+        let expected = s.inter_chiplet_hops(src, down, up, dst);
+
+        let mut ctx = ctx0;
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            let d = deft.route(&s, &f, cur, dst, &mut ctx);
+            cur = s.neighbor(cur, d.dir).unwrap();
+            hops += 1;
+            assert!(hops <= expected, "non-minimal route (livelock risk)");
+        }
+        assert_eq!(hops, expected);
+    }
+
+    #[test]
+    fn flow_choices_cover_all_vl_pairs_fault_free() {
+        let s = sys();
+        let f = FaultState::none(&s);
+        let deft = DeftRouting::distance_based(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 2, 2);
+        let choices = deft.flow_choices(&s, &f, src, dst);
+        // 4 down VLs x 4 up VLs x 1 source VN (VN0) x 2 after-down VNs.
+        assert_eq!(choices.len(), 4 * 4 * 2);
+        // Every choice walks to the destination.
+        for ch in &choices {
+            let hops = walk_path(&s, src, dst, ch);
+            let mut cur = src;
+            for h in &hops {
+                cur = s.neighbor(cur, h.dir).unwrap();
+            }
+            assert_eq!(cur, dst);
+        }
+    }
+
+    #[test]
+    fn flow_choices_empty_for_unroutable_flow() {
+        let s = sys();
+        let mut f = FaultState::none(&s);
+        for idx in 0..4u8 {
+            f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: idx, dir: VlDir::Down });
+        }
+        let deft = DeftRouting::distance_based(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 2, 2);
+        assert!(deft.flow_choices(&s, &f, src, dst).is_empty());
+    }
+
+    #[test]
+    fn eligibility_is_full_mask_for_deft() {
+        let s = sys();
+        let deft = DeftRouting::distance_based(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 2, 2);
+        let el = deft.eligibility(&s, src, dst);
+        assert_eq!(el.down, Some((ChipletId(0), 0b1111)));
+        assert_eq!(el.up, Some((ChipletId(1), 0b1111)));
+
+        let intra = deft.eligibility(&s, src, node(&s, Layer::Chiplet(ChipletId(0)), 3, 3));
+        assert_eq!(intra.down, None);
+        assert_eq!(intra.up, None);
+    }
+}

@@ -1,0 +1,247 @@
+//! The offline VL-selection search of the paper's Algorithm 2.
+//!
+//! The paper uses exhaustive search "because the search space is small" and
+//! notes that large networks need efficient search algorithms. The raw
+//! space for a 4x4 chiplet with 4 VLs is `4^16 ≈ 4.3e9` assignments, so we
+//! provide both: exhaustive search for small instances (used as ground
+//! truth in tests) and a deterministic multi-start steepest-descent local
+//! search that matches the exhaustive optimum on every instance small
+//! enough to cross-check.
+
+use super::cost::SelectionProblem;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Searches for the minimum-cost VL assignment `s*` of Eq. (7).
+#[derive(Debug, Clone)]
+pub struct VlOptimizer {
+    /// Maximum `healthy_vls ^ routers` size for exhaustive enumeration.
+    exhaustive_limit: u64,
+    /// Number of random restarts for the local search.
+    restarts: u32,
+    /// RNG seed for restart perturbations (search is fully deterministic).
+    seed: u64,
+}
+
+impl Default for VlOptimizer {
+    fn default() -> Self {
+        Self { exhaustive_limit: 1 << 20, restarts: 8, seed: 0xDEF7 }
+    }
+}
+
+impl VlOptimizer {
+    /// An optimizer with default limits (exhaustive up to ~1M assignments,
+    /// 8 local-search restarts).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forces exhaustive search regardless of instance size. Only sensible
+    /// for small chiplets; used by tests as ground truth.
+    pub fn exhaustive_only() -> Self {
+        Self { exhaustive_limit: u64::MAX, restarts: 0, seed: 0 }
+    }
+
+    /// Forces the local search, never enumerating exhaustively.
+    pub fn local_search_only(restarts: u32, seed: u64) -> Self {
+        Self { exhaustive_limit: 0, restarts, seed }
+    }
+
+    /// Finds an optimal (or near-optimal) assignment and its cost.
+    pub fn solve(&self, problem: &SelectionProblem) -> (Vec<u8>, f64) {
+        let healthy = problem.healthy_vls();
+        if healthy.len() == 1 {
+            // Single healthy VL: the assignment is forced.
+            let a = vec![healthy[0]; problem.router_count()];
+            let c = problem.cost(&a);
+            return (a, c);
+        }
+        let space = (healthy.len() as u64)
+            .checked_pow(problem.router_count() as u32)
+            .unwrap_or(u64::MAX);
+        if space <= self.exhaustive_limit {
+            self.solve_exhaustive(problem, &healthy)
+        } else {
+            self.solve_local_search(problem, &healthy)
+        }
+    }
+
+    fn solve_exhaustive(&self, problem: &SelectionProblem, healthy: &[u8]) -> (Vec<u8>, f64) {
+        let r = problem.router_count();
+        let h = healthy.len();
+        let mut choice = vec![0usize; r];
+        let mut assignment: Vec<u8> = vec![healthy[0]; r];
+        let mut best = assignment.clone();
+        let mut best_cost = problem.cost(&assignment);
+        loop {
+            // Advance the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == r {
+                    return (best, best_cost);
+                }
+                choice[i] += 1;
+                if choice[i] < h {
+                    assignment[i] = healthy[choice[i]];
+                    break;
+                }
+                choice[i] = 0;
+                assignment[i] = healthy[0];
+                i += 1;
+            }
+            let c = problem.cost(&assignment);
+            if c < best_cost {
+                best_cost = c;
+                best = assignment.clone();
+            }
+        }
+    }
+
+    fn solve_local_search(&self, problem: &SelectionProblem, healthy: &[u8]) -> (Vec<u8>, f64) {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut best = problem.distance_assignment();
+        self.descend(problem, healthy, &mut best);
+        let mut best_cost = problem.cost(&best);
+
+        for _ in 0..self.restarts {
+            let mut cand: Vec<u8> = (0..problem.router_count())
+                .map(|_| healthy[rng.random_range(0..healthy.len())])
+                .collect();
+            self.descend(problem, healthy, &mut cand);
+            let c = problem.cost(&cand);
+            if c < best_cost {
+                best_cost = c;
+                best = cand;
+            }
+        }
+        (best, best_cost)
+    }
+
+    /// Steepest-descent: repeatedly apply the single-router reassignment
+    /// with the largest cost improvement until a local optimum is reached.
+    fn descend(&self, problem: &SelectionProblem, healthy: &[u8], assignment: &mut [u8]) {
+        let mut cur = problem.cost(assignment);
+        loop {
+            let mut best_move: Option<(usize, u8, f64)> = None;
+            for r in 0..assignment.len() {
+                let orig = assignment[r];
+                for &v in healthy {
+                    if v == orig {
+                        continue;
+                    }
+                    assignment[r] = v;
+                    let c = problem.cost(assignment);
+                    if c + 1e-12 < best_move.map_or(cur, |(_, _, bc)| bc) {
+                        best_move = Some((r, v, c));
+                    }
+                }
+                assignment[r] = orig;
+            }
+            match best_move {
+                Some((r, v, c)) => {
+                    assignment[r] = v;
+                    cur = c;
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_topo::Coord;
+
+    fn pinwheel() -> Vec<Coord> {
+        vec![Coord::new(1, 3), Coord::new(3, 2), Coord::new(2, 0), Coord::new(0, 1)]
+    }
+
+    fn small_problem(routers: usize, healthy: u8) -> SelectionProblem {
+        // A 3x3 chiplet subset: small enough for exhaustive ground truth.
+        let coords: Vec<Coord> =
+            (0..3).flat_map(|y| (0..3).map(move |x| Coord::new(x, y))).take(routers).collect();
+        SelectionProblem::new(
+            pinwheel(),
+            coords,
+            vec![1.0; routers],
+            healthy,
+            SelectionProblem::DEFAULT_RHO,
+        )
+    }
+
+    #[test]
+    fn local_search_matches_exhaustive_on_small_instances() {
+        for healthy in [0b1111u8, 0b0111, 0b1010, 0b1001, 0b0011] {
+            for routers in [4, 6, 8, 9] {
+                let p = small_problem(routers, healthy);
+                let (_, exact) = VlOptimizer::exhaustive_only().solve(&p);
+                let (_, approx) = VlOptimizer::local_search_only(8, 1).solve(&p);
+                assert!(
+                    approx <= exact + 1e-9,
+                    "local search worse than exhaustive: {approx} vs {exact} \
+                     (healthy={healthy:#b}, routers={routers})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_beats_distance_based_under_uniform_traffic() {
+        // Fig. 3(b)'s point: with a faulty VL, distance-based selection
+        // overloads the nearest survivor; the optimizer must do at least as
+        // well (strictly better here).
+        let coords: Vec<Coord> =
+            (0..4).flat_map(|y| (0..4).map(move |x| Coord::new(x, y))).collect();
+        let p = SelectionProblem::new(
+            pinwheel(),
+            coords,
+            vec![1.0; 16],
+            0b1110, // VL 0 faulty
+            SelectionProblem::DEFAULT_RHO,
+        );
+        let (opt, opt_cost) = VlOptimizer::new().solve(&p);
+        let dist_cost = p.cost(&p.distance_assignment());
+        assert!(opt_cost <= dist_cost);
+        // The optimal split over 3 healthy VLs of 16 uniform routers cannot
+        // be worse than 6/5/5.
+        let loads = p.vl_loads(&opt);
+        let max = loads.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max <= 6.0 + 1e-9, "optimizer left load {max} on one VL");
+    }
+
+    #[test]
+    fn single_healthy_vl_forces_assignment() {
+        let p = small_problem(9, 0b0100);
+        let (a, _) = VlOptimizer::new().solve(&p);
+        assert!(a.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn optimizer_is_deterministic() {
+        let p = small_problem(9, 0b1011);
+        let o = VlOptimizer::local_search_only(4, 42);
+        let (a1, c1) = o.solve(&p);
+        let (a2, c2) = o.solve(&p);
+        assert_eq!(a1, a2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn full_chiplet_solution_balances_loads() {
+        let coords: Vec<Coord> =
+            (0..4).flat_map(|y| (0..4).map(move |x| Coord::new(x, y))).collect();
+        let p = SelectionProblem::new(
+            pinwheel(),
+            coords,
+            vec![1.0; 16],
+            0b1111,
+            SelectionProblem::DEFAULT_RHO,
+        );
+        let (a, _) = VlOptimizer::new().solve(&p);
+        let loads = p.vl_loads(&a);
+        for l in loads {
+            assert!((l - 4.0).abs() < 1e-9, "uniform 16 routers over 4 VLs must split 4/4/4/4");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # deft-routing — routing algorithms for 2.5D chiplet networks
+//!
+//! This crate implements the DeFT routing algorithm (Taheri et al., DATE
+//! 2022) together with the two state-of-the-art baselines it is evaluated
+//! against, the ablation variants from the paper's Fig. 8, and the analysis
+//! machinery used by the evaluation:
+//!
+//! * [`DeftRouting`] — the paper's contribution: two-virtual-network (VN)
+//!   deadlock freedom (Fig. 2 rules, Algorithm 1) plus fault-tolerant,
+//!   load-balanced vertical-link selection (Eq. 1–7, Algorithm 2).
+//! * [`MtrRouting`] — the modular-turn-restriction baseline (Yin et al.,
+//!   ISCA 2018), modeled as facing-half VL eligibility (see `DESIGN.md`).
+//! * [`RcRouting`] — the remote-control baseline (Majumder et al., IEEE TC
+//!   2020) with designated boundary routers and store-and-forward
+//!   RC-buffers.
+//! * DeFT-Dis and DeFT-Ran VL-selection ablations via
+//!   [`DeftRouting::distance_based`] and [`DeftRouting::random_selection`].
+//! * [`cdg`] — channel-dependency-graph construction and cycle detection,
+//!   used to *verify* (not just argue) deadlock freedom.
+//! * [`reachability`] — the exact reachability engine behind the paper's
+//!   Fig. 7 (average and worst case over all admissible fault scenarios).
+//!
+//! All algorithms implement [`RoutingAlgorithm`], the interface consumed by
+//! the `deft-sim` cycle-accurate simulator.
+//!
+//! ```
+//! use deft_routing::{DeftRouting, RoutingAlgorithm};
+//! use deft_topo::{ChipletSystem, FaultState, NodeId};
+//!
+//! # fn main() -> Result<(), deft_routing::RouteError> {
+//! let sys = ChipletSystem::baseline_4();
+//! let faults = FaultState::none(&sys);
+//! let mut deft = DeftRouting::new(&sys);
+//! // Inject a packet from core 0 (chiplet 0) to core 20 (chiplet 1).
+//! let ctx = deft.on_inject(&sys, &faults, NodeId(0), NodeId(20), 0)?;
+//! assert!(ctx.down_vl.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod cdg;
+pub mod deft;
+pub mod mtr;
+pub mod rc;
+pub mod reachability;
+pub mod state;
+pub mod xy;
+
+pub use algorithm::{FlowChoice, FlowEligibility, RouteDecision, RouteError, RoutingAlgorithm};
+pub use deft::{DeftRouting, SelectionLut, VlOptimizer, VlSelectionStrategy};
+pub use mtr::MtrRouting;
+pub use rc::RcRouting;
+pub use state::{RouteCtx, Vn};

@@ -1,0 +1,353 @@
+//! The MTR baseline: modular turn restrictions (Yin et al., ISCA 2018).
+//!
+//! MTR breaks inter-chiplet cyclic dependencies by restricting some
+//! inter-chiplet turns on the boundary routers. The *effect* the DeFT paper
+//! measures is that each flow may only use a restricted subset of VLs and
+//! cannot freely re-select under faults. Following `DESIGN.md` §3, we model
+//! the restriction as **facing-half eligibility**: a flow may only descend
+//! through the VLs in the half of the source chiplet facing the
+//! (chiplet-level XY) direction of its destination, and may only ascend
+//! through the VLs in the half of the destination chiplet facing its
+//! source. With the pinwheel VL placement every half contains exactly two
+//! VLs, so MTR tolerates at most one worst-case fault — matching the
+//! paper's Fig. 7.
+
+use crate::algorithm::{
+    next_direction, FlowChoice, FlowEligibility, RouteDecision, RouteError, RoutingAlgorithm,
+};
+use crate::state::{RouteCtx, Vn};
+use deft_topo::{ChipletId, ChipletSystem, Coord, Direction, FaultState, Layer, NodeId, VlDir};
+
+/// The modular-turn-restriction routing baseline.
+///
+/// Inside the simulator MTR uses the same two VCs as DeFT (the paper's
+/// fairness rule) but without DeFT's balanced VN assignment: packets stay in
+/// VC0 until they ascend and use VC1 only on the destination chiplet, so VC
+/// utilization is skewed — one of the two effects (besides VL selection)
+/// behind DeFT's latency advantage in Fig. 4.
+#[derive(Debug, Clone, Default)]
+pub struct MtrRouting {
+    _private: (),
+}
+
+impl MtrRouting {
+    /// Creates the MTR baseline for `sys`.
+    pub fn new(_sys: &ChipletSystem) -> Self {
+        Self { _private: () }
+    }
+
+    /// Center of a chiplet's footprint in interposer coordinates (x2 to
+    /// stay in integers).
+    fn center_x2(sys: &ChipletSystem, c: ChipletId) -> (i32, i32) {
+        let ch = sys.chiplet(c);
+        let o = ch.origin();
+        (2 * o.x as i32 + ch.width() as i32 - 1, 2 * o.y as i32 + ch.height() as i32 - 1)
+    }
+
+    /// The interposer-plane reference point of a node (x2): a chiplet
+    /// node's chiplet center, or an interposer node's own coordinate.
+    fn ref_point_x2(sys: &ChipletSystem, node: NodeId) -> (i32, i32) {
+        match sys.layer(node) {
+            Layer::Chiplet(c) => Self::center_x2(sys, c),
+            Layer::Interposer => {
+                let co = sys.addr(node).coord;
+                (2 * co.x as i32, 2 * co.y as i32)
+            }
+        }
+    }
+
+    /// The VLs of `chiplet` lying in the half facing from the chiplet's
+    /// center toward `target` (x priority, matching chiplet-level XY).
+    /// Returns the full mask when the target sits directly under the
+    /// chiplet center.
+    fn facing_half_mask(sys: &ChipletSystem, chiplet: ChipletId, target_x2: (i32, i32)) -> u8 {
+        let (cx, cy) = Self::center_x2(sys, chiplet);
+        let dx = target_x2.0 - cx;
+        let dy = target_x2.1 - cy;
+        let ch = sys.chiplet(chiplet);
+        let half = |pred: &dyn Fn(Coord) -> bool| -> u8 {
+            let mut m = 0u8;
+            for (i, vl) in ch.vertical_links().iter().enumerate() {
+                if pred(vl.chiplet_coord) {
+                    m |= 1 << i;
+                }
+            }
+            m
+        };
+        let w = ch.width() as i32;
+        let h = ch.height() as i32;
+        if dx > 0 {
+            half(&|c| 2 * c.x as i32 >= w - 1)
+        } else if dx < 0 {
+            half(&|c| 2 * (c.x as i32) < w - 1)
+        } else if dy > 0 {
+            half(&|c| 2 * c.y as i32 >= h - 1)
+        } else if dy < 0 {
+            half(&|c| 2 * (c.y as i32) < h - 1)
+        } else {
+            ((1u16 << ch.vl_count()) - 1) as u8
+        }
+    }
+
+    /// The designated VL among the eligible healthy set: the lowest index.
+    ///
+    /// MTR's turn restrictions are computed at design time for the chiplet
+    /// as a whole, so every router of a chiplet shares the same primary
+    /// boundary router per direction rather than individually picking its
+    /// nearest VL — routers far from the designated VL pay a small detour,
+    /// which is part of MTR's latency gap to DeFT in the paper's Fig. 4/6.
+    /// Under a fault the next eligible VL takes over (re-selection *within*
+    /// the restricted set only).
+    fn pick(
+        _sys: &ChipletSystem,
+        _chiplet: ChipletId,
+        _router: NodeId,
+        eligible_healthy: u8,
+    ) -> Option<u8> {
+        if eligible_healthy == 0 {
+            None
+        } else {
+            Some(eligible_healthy.trailing_zeros() as u8)
+        }
+    }
+}
+
+impl RoutingAlgorithm for MtrRouting {
+    fn name(&self) -> &str {
+        "MTR"
+    }
+
+    fn on_inject(
+        &mut self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        src: NodeId,
+        dst: NodeId,
+        _seq: u64,
+    ) -> Result<RouteCtx, RouteError> {
+        let el = self.eligibility(sys, src, dst);
+        let down_vl = match el.down {
+            None => None,
+            Some((c, mask)) => {
+                let healthy =
+                    mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
+                Some(
+                    Self::pick(sys, c, src, healthy)
+                        .ok_or(RouteError::Unroutable { src, dst })?,
+                )
+            }
+        };
+        let up_vl = match el.up {
+            None => None,
+            Some((c, mask)) => {
+                let healthy = mask & faults.healthy_mask(c, VlDir::Up, sys.chiplet(c).vl_count());
+                Some(
+                    Self::pick(sys, c, dst, healthy)
+                        .ok_or(RouteError::Unroutable { src, dst })?,
+                )
+            }
+        };
+        Ok(RouteCtx { vn: Vn::Vn0, down_vl, up_vl })
+    }
+
+    fn route(
+        &mut self,
+        sys: &ChipletSystem,
+        _faults: &FaultState,
+        node: NodeId,
+        dst: NodeId,
+        ctx: &mut RouteCtx,
+    ) -> RouteDecision {
+        let dir = next_direction(sys, node, dst, ctx)
+            .expect("route called on a packet already at its destination");
+        let vn = match dir {
+            Direction::Up => Vn::Vn1,
+            _ => ctx.vn,
+        };
+        ctx.vn = vn;
+        RouteDecision { dir, vn }
+    }
+
+    fn eligibility(&self, sys: &ChipletSystem, src: NodeId, dst: NodeId) -> FlowEligibility {
+        let src_layer = sys.layer(src);
+        let dst_layer = sys.layer(dst);
+        let down = match src_layer {
+            Layer::Chiplet(c) if dst_layer != Layer::Chiplet(c) => {
+                Some((c, Self::facing_half_mask(sys, c, Self::ref_point_x2(sys, dst))))
+            }
+            _ => None,
+        };
+        let up = match dst_layer {
+            Layer::Chiplet(c) if src_layer != Layer::Chiplet(c) => {
+                Some((c, Self::facing_half_mask(sys, c, Self::ref_point_x2(sys, src))))
+            }
+            _ => None,
+        };
+        FlowEligibility { down, up }
+    }
+
+    fn flow_choices(
+        &self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<FlowChoice> {
+        if src == dst {
+            return Vec::new();
+        }
+        let el = self.eligibility(sys, src, dst);
+        let down_opts: Vec<Option<u8>> = match el.down {
+            None => vec![None],
+            Some((c, mask)) => {
+                let healthy =
+                    mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
+                (0..8).filter(|&v| healthy & (1 << v) != 0).map(Some).collect()
+            }
+        };
+        let up_opts: Vec<Option<u8>> = match el.up {
+            None => vec![None],
+            Some((c, mask)) => {
+                let healthy = mask & faults.healthy_mask(c, VlDir::Up, sys.chiplet(c).vl_count());
+                (0..8).filter(|&v| healthy & (1 << v) != 0).map(Some).collect()
+            }
+        };
+        if down_opts.is_empty() || up_opts.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for &down_vl in &down_opts {
+            for &up_vl in &up_opts {
+                out.push(FlowChoice {
+                    down_vl,
+                    up_vl,
+                    vn_source: Vn::Vn0,
+                    vn_after_down: Vn::Vn0,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_topo::NodeAddr;
+
+    fn sys() -> ChipletSystem {
+        ChipletSystem::baseline_4()
+    }
+
+    fn node(s: &ChipletSystem, layer: Layer, x: u8, y: u8) -> NodeId {
+        s.node_id(NodeAddr::new(layer, Coord::new(x, y))).expect("valid addr")
+    }
+
+    #[test]
+    fn facing_half_has_two_vls_on_pinwheel_chiplets() {
+        let s = sys();
+        let mtr = MtrRouting::new(&s);
+        // Chiplet 0 (southwest) to chiplet 1 (southeast): x direction.
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 1, 1);
+        let el = mtr.eligibility(&s, src, dst);
+        let (c, mask) = el.down.unwrap();
+        assert_eq!(c, ChipletId(0));
+        assert_eq!(mask.count_ones(), 2, "facing half must contain exactly 2 VLs");
+        // The eligible VLs are the east-half ones: pinwheel VLs 1 (3,2) and 2 (2,0).
+        assert_eq!(mask, 0b0110);
+    }
+
+    #[test]
+    fn up_eligibility_faces_the_source() {
+        let s = sys();
+        let mtr = MtrRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(2)), 1, 1); // chiplet 2 is north of 0
+        let el = mtr.eligibility(&s, src, dst);
+        let (c, mask) = el.up.unwrap();
+        assert_eq!(c, ChipletId(2));
+        // South half of chiplet 2 faces chiplet 0: pinwheel VLs 2 (2,0) and 3 (0,1).
+        assert_eq!(mask, 0b1100);
+    }
+
+    #[test]
+    fn mtr_tolerates_one_fault_in_the_facing_half() {
+        let s = sys();
+        let mut mtr = MtrRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 1, 1);
+        let mut f = FaultState::none(&s);
+        f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down });
+        let ctx = mtr.on_inject(&s, &f, src, dst, 0).unwrap();
+        assert_eq!(ctx.down_vl, Some(2), "re-selects the other facing-half VL");
+        // Kill the second one: flow dies even though the west half is healthy.
+        f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: 2, dir: VlDir::Down });
+        assert!(matches!(
+            mtr.on_inject(&s, &f, src, dst, 0),
+            Err(RouteError::Unroutable { .. })
+        ));
+    }
+
+    #[test]
+    fn mtr_stays_in_vn0_until_ascending() {
+        let s = sys();
+        let f = FaultState::none(&s);
+        let mut mtr = MtrRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
+        let dst = node(&s, Layer::Chiplet(ChipletId(3)), 3, 3);
+        let mut ctx = mtr.on_inject(&s, &f, src, dst, 0).unwrap();
+        assert_eq!(ctx.vn, Vn::Vn0);
+        let mut cur = src;
+        let mut ascended = false;
+        while cur != dst {
+            let d = mtr.route(&s, &f, cur, dst, &mut ctx);
+            if d.dir == Direction::Up {
+                ascended = true;
+            }
+            assert_eq!(d.vn, if ascended { Vn::Vn1 } else { Vn::Vn0 });
+            cur = s.neighbor(cur, d.dir).unwrap();
+        }
+        assert!(ascended);
+    }
+
+    #[test]
+    fn intra_chiplet_flows_have_no_vl_constraint() {
+        let s = sys();
+        let mtr = MtrRouting::new(&s);
+        let a = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
+        let b = node(&s, Layer::Chiplet(ChipletId(0)), 3, 3);
+        let el = mtr.eligibility(&s, a, b);
+        assert_eq!(el.down, None);
+        assert_eq!(el.up, None);
+    }
+
+    #[test]
+    fn interposer_destinations_use_dominant_axis() {
+        let s = sys();
+        let mtr = MtrRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        // Interposer node far east of chiplet 0's center.
+        let dst = node(&s, Layer::Interposer, 7, 1);
+        let el = mtr.eligibility(&s, src, dst);
+        let (_, mask) = el.down.unwrap();
+        assert_eq!(mask, 0b0110, "east half");
+        assert_eq!(el.up, None);
+    }
+
+    #[test]
+    fn selection_is_the_designated_lowest_index_vl() {
+        let s = sys();
+        let mut mtr = MtrRouting::new(&s);
+        let f = FaultState::none(&s);
+        // Chiplet 0 going east: eligible VLs 1 (3,2) and 2 (2,0); the
+        // design-time designation is the lowest index, VL 1, for *every*
+        // router of the chiplet.
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 0, 0);
+        for src_coord in [(3u8, 3u8), (0, 0), (2, 1)] {
+            let src = node(&s, Layer::Chiplet(ChipletId(0)), src_coord.0, src_coord.1);
+            let ctx = mtr.on_inject(&s, &f, src, dst, 0).unwrap();
+            assert_eq!(ctx.down_vl, Some(1), "src {src_coord:?}");
+        }
+    }
+}

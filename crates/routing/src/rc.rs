@@ -1,0 +1,267 @@
+//! The RC baseline: remote control (Majumder et al., IEEE TC 2020).
+//!
+//! RC breaks inter-chiplet cyclic dependencies with an *RC-buffer* on each
+//! boundary router that stores a whole packet, plus a permission network
+//! arbitrating the shared buffer. Each flow uses one *designated* boundary
+//! router per traversal, so RC has no VL re-selection freedom at all: a
+//! fault on a designated VL kills every flow designated to it ("RC cannot
+//! tolerate any faults" in the paper's 6-chiplet worst case, Fig. 7(b)).
+//!
+//! In the simulator, RC's `store_and_forward_up` contract makes ascending
+//! packets fully buffer at the boundary router before re-entering the
+//! chiplet, reproducing RC's serialization latency at load (Fig. 4).
+
+use crate::algorithm::{
+    next_direction, FlowChoice, FlowEligibility, RouteDecision, RouteError, RoutingAlgorithm,
+};
+use crate::state::{RouteCtx, Vn};
+use deft_topo::{ChipletId, ChipletSystem, Direction, FaultState, Layer, NodeId, VlDir};
+
+/// The remote-control routing baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RcRouting {
+    _private: (),
+}
+
+impl RcRouting {
+    /// Creates the RC baseline for `sys`.
+    pub fn new(_sys: &ChipletSystem) -> Self {
+        Self { _private: () }
+    }
+
+    /// The interposer-plane reference point of a node (x2 to keep chiplet
+    /// centers integral).
+    fn ref_point_x2(sys: &ChipletSystem, node: NodeId) -> (i32, i32) {
+        match sys.layer(node) {
+            Layer::Chiplet(c) => {
+                let ch = sys.chiplet(c);
+                let o = ch.origin();
+                (2 * o.x as i32 + ch.width() as i32 - 1, 2 * o.y as i32 + ch.height() as i32 - 1)
+            }
+            Layer::Interposer => {
+                let co = sys.addr(node).coord;
+                (2 * co.x as i32, 2 * co.y as i32)
+            }
+        }
+    }
+
+    /// The designated VL of `chiplet` for traffic toward/from the reference
+    /// point: the VL whose interposer endpoint is closest to it, ties by
+    /// index. This designation is fixed at design time (fault-oblivious).
+    fn designated(sys: &ChipletSystem, chiplet: ChipletId, point_x2: (i32, i32)) -> u8 {
+        sys.chiplet(chiplet)
+            .vertical_links()
+            .iter()
+            .min_by_key(|vl| {
+                let ic = sys.addr(vl.interposer_node).coord;
+                let d = (2 * ic.x as i32 - point_x2.0).abs() + (2 * ic.y as i32 - point_x2.1).abs();
+                (d, vl.index)
+            })
+            .expect("chiplets have at least one VL")
+            .index
+    }
+}
+
+impl RoutingAlgorithm for RcRouting {
+    fn name(&self) -> &str {
+        "RC"
+    }
+
+    fn on_inject(
+        &mut self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        src: NodeId,
+        dst: NodeId,
+        _seq: u64,
+    ) -> Result<RouteCtx, RouteError> {
+        let el = self.eligibility(sys, src, dst);
+        let down_vl = match el.down {
+            None => None,
+            Some((c, mask)) => {
+                let healthy =
+                    mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
+                if healthy == 0 {
+                    return Err(RouteError::Unroutable { src, dst });
+                }
+                Some(healthy.trailing_zeros() as u8)
+            }
+        };
+        let up_vl = match el.up {
+            None => None,
+            Some((c, mask)) => {
+                let healthy = mask & faults.healthy_mask(c, VlDir::Up, sys.chiplet(c).vl_count());
+                if healthy == 0 {
+                    return Err(RouteError::Unroutable { src, dst });
+                }
+                Some(healthy.trailing_zeros() as u8)
+            }
+        };
+        Ok(RouteCtx { vn: Vn::Vn0, down_vl, up_vl })
+    }
+
+    fn route(
+        &mut self,
+        sys: &ChipletSystem,
+        _faults: &FaultState,
+        node: NodeId,
+        dst: NodeId,
+        ctx: &mut RouteCtx,
+    ) -> RouteDecision {
+        let dir = next_direction(sys, node, dst, ctx)
+            .expect("route called on a packet already at its destination");
+        let vn = match dir {
+            Direction::Up => Vn::Vn1,
+            _ => ctx.vn,
+        };
+        ctx.vn = vn;
+        RouteDecision { dir, vn }
+    }
+
+    fn eligibility(&self, sys: &ChipletSystem, src: NodeId, dst: NodeId) -> FlowEligibility {
+        let src_layer = sys.layer(src);
+        let dst_layer = sys.layer(dst);
+        let down = match src_layer {
+            Layer::Chiplet(c) if dst_layer != Layer::Chiplet(c) => {
+                let v = Self::designated(sys, c, Self::ref_point_x2(sys, dst));
+                Some((c, 1u8 << v))
+            }
+            _ => None,
+        };
+        let up = match dst_layer {
+            Layer::Chiplet(c) if src_layer != Layer::Chiplet(c) => {
+                let v = Self::designated(sys, c, Self::ref_point_x2(sys, src));
+                Some((c, 1u8 << v))
+            }
+            _ => None,
+        };
+        FlowEligibility { down, up }
+    }
+
+    fn flow_choices(
+        &self,
+        sys: &ChipletSystem,
+        faults: &FaultState,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<FlowChoice> {
+        if src == dst {
+            return Vec::new();
+        }
+        match self.clone().on_inject(sys, faults, src, dst, 0) {
+            Ok(ctx) => vec![FlowChoice {
+                down_vl: ctx.down_vl,
+                up_vl: ctx.up_vl,
+                vn_source: Vn::Vn0,
+                vn_after_down: Vn::Vn0,
+            }],
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn store_and_forward_up(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_topo::{Coord, NodeAddr};
+
+    fn sys() -> ChipletSystem {
+        ChipletSystem::baseline_4()
+    }
+
+    fn node(s: &ChipletSystem, layer: Layer, x: u8, y: u8) -> NodeId {
+        s.node_id(NodeAddr::new(layer, Coord::new(x, y))).expect("valid addr")
+    }
+
+    #[test]
+    fn designation_is_a_singleton() {
+        let s = sys();
+        let rc = RcRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 1, 1);
+        let el = rc.eligibility(&s, src, dst);
+        assert_eq!(el.down.unwrap().1.count_ones(), 1);
+        assert_eq!(el.up.unwrap().1.count_ones(), 1);
+    }
+
+    #[test]
+    fn designation_is_shared_by_all_router_pairs_of_a_chiplet_pair() {
+        let s = sys();
+        let rc = RcRouting::new(&s);
+        let dst0 = node(&s, Layer::Chiplet(ChipletId(3)), 0, 0);
+        let dst1 = node(&s, Layer::Chiplet(ChipletId(3)), 3, 3);
+        let masks: Vec<u8> = s
+            .chiplet_nodes(ChipletId(0))
+            .map(|src| rc.eligibility(&s, src, dst0).down.unwrap().1)
+            .collect();
+        assert!(masks.windows(2).all(|w| w[0] == w[1]), "designation is per chiplet pair");
+        // Destination router inside the same chiplet does not change it.
+        assert_eq!(
+            rc.eligibility(&s, node(&s, Layer::Chiplet(ChipletId(0)), 0, 0), dst0).down,
+            rc.eligibility(&s, node(&s, Layer::Chiplet(ChipletId(0)), 0, 0), dst1).down,
+        );
+    }
+
+    #[test]
+    fn any_fault_on_the_designated_vl_kills_the_flow() {
+        let s = sys();
+        let mut rc = RcRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 1, 1);
+        let el = rc.eligibility(&s, src, dst);
+        let (c, mask) = el.down.unwrap();
+        let idx = mask.trailing_zeros() as u8;
+        let mut f = FaultState::none(&s);
+        f.inject(deft_topo::VlLinkId { chiplet: c, index: idx, dir: VlDir::Down });
+        assert!(matches!(rc.on_inject(&s, &f, src, dst, 0), Err(RouteError::Unroutable { .. })));
+    }
+
+    #[test]
+    fn rc_reports_store_and_forward() {
+        let s = sys();
+        assert!(RcRouting::new(&s).store_and_forward_up());
+        assert!(!crate::MtrRouting::new(&s).store_and_forward_up());
+    }
+
+    #[test]
+    fn rc_routes_reach_destination() {
+        let s = sys();
+        let f = FaultState::none(&s);
+        let mut rc = RcRouting::new(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(2)), 0, 3);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 3, 0);
+        let mut ctx = rc.on_inject(&s, &f, src, dst, 0).unwrap();
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            let d = rc.route(&s, &f, cur, dst, &mut ctx);
+            cur = s.neighbor(cur, d.dir).unwrap();
+            hops += 1;
+            assert!(hops < 64, "runaway route");
+        }
+        assert!(hops >= 1);
+    }
+
+    #[test]
+    fn flow_choices_single_or_empty() {
+        let s = sys();
+        let rc = RcRouting::new(&s);
+        let f = FaultState::none(&s);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 1, 1);
+        assert_eq!(rc.flow_choices(&s, &f, src, dst).len(), 1);
+        let el = rc.eligibility(&s, src, dst);
+        let (c, mask) = el.down.unwrap();
+        let mut f2 = FaultState::none(&s);
+        f2.inject(deft_topo::VlLinkId {
+            chiplet: c,
+            index: mask.trailing_zeros() as u8,
+            dir: VlDir::Down,
+        });
+        assert!(rc.flow_choices(&s, &f2, src, dst).is_empty());
+    }
+}

@@ -1,0 +1,502 @@
+//! Exact reachability analysis under vertical-link faults (paper Fig. 7).
+//!
+//! Reachability is "the ratio of packets that can be successfully routed to
+//! the total number of injected packets" (§IV-C). Under uniform traffic
+//! this equals the fraction of (source, destination) pairs that remain
+//! routable, so instead of simulating every fault pattern we compute it
+//! exactly:
+//!
+//! * a flow is routable iff each of its vertical traversals retains at
+//!   least one healthy *eligible* VL ([`RoutingAlgorithm::eligibility`]);
+//! * flows collapse into a few hundred *classes* keyed by their eligible
+//!   sets;
+//! * **average** reachability over all admissible `k`-fault scenarios is
+//!   obtained by counting, per class, the scenarios that kill it
+//!   (inclusion–exclusion over the down and up legs, with a
+//!   per-(chiplet, direction)-group convolution DP);
+//! * **worst-case** reachability is an exact branch-and-bound search over
+//!   per-group fault masks, restricted to the dominance-closed "useful"
+//!   masks (unions of eligible sets);
+//! * scenarios that disconnect a chiplet (a group fully faulty) are
+//!   excluded throughout, exactly as in the paper.
+//!
+//! A seeded Monte-Carlo estimator cross-checks the exact results.
+
+use crate::algorithm::RoutingAlgorithm;
+use deft_topo::{ChipletId, ChipletSystem, FaultState, ScenarioSampler, VlDir};
+use std::collections::HashMap;
+
+/// `n choose r` as `u128`.
+fn binomial(n: u64, r: u64) -> u128 {
+    if r > n {
+        return 0;
+    }
+    let r = r.min(n - r);
+    let mut acc: u128 = 1;
+    for i in 0..r {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+/// One equivalence class of flows: all (src, dst) pairs with identical
+/// eligible-VL requirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FlowClass {
+    /// `(group index, eligible mask)` for the down leg.
+    down: Option<(usize, u8)>,
+    /// `(group index, eligible mask)` for the up leg.
+    up: Option<(usize, u8)>,
+}
+
+/// Exact reachability engine for one (system, routing algorithm) pair.
+///
+/// Group indexing: chiplet `c`'s down links form group `2c`, its up links
+/// group `2c + 1`.
+#[derive(Debug, Clone)]
+pub struct ReachabilityEngine {
+    group_sizes: Vec<usize>,
+    classes: Vec<(FlowClass, u64)>,
+    total_flows: u64,
+}
+
+impl ReachabilityEngine {
+    /// Collapses every ordered (src, dst) pair of `sys` into flow classes
+    /// according to `alg`'s eligibility.
+    pub fn new(sys: &ChipletSystem, alg: &dyn RoutingAlgorithm) -> Self {
+        let mut group_sizes = Vec::with_capacity(sys.chiplet_count() * 2);
+        for c in sys.chiplets() {
+            group_sizes.push(c.vl_count()); // down group 2c
+            group_sizes.push(c.vl_count()); // up group 2c + 1
+        }
+        let mut counts: HashMap<FlowClass, u64> = HashMap::new();
+        let mut total = 0u64;
+        for src in sys.nodes() {
+            for dst in sys.nodes() {
+                if src == dst {
+                    continue;
+                }
+                total += 1;
+                let el = alg.eligibility(sys, src, dst);
+                let class = FlowClass {
+                    down: el.down.map(|(c, m)| (2 * c.index(), m)),
+                    up: el.up.map(|(c, m)| (2 * c.index() + 1, m)),
+                };
+                *counts.entry(class).or_insert(0) += 1;
+            }
+        }
+        let mut classes: Vec<(FlowClass, u64)> = counts.into_iter().collect();
+        classes.sort_by_key(|(c, _)| (c.down, c.up));
+        Self { group_sizes, classes, total_flows: total }
+    }
+
+    /// Number of distinct flow classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total ordered flows.
+    pub fn total_flows(&self) -> u64 {
+        self.total_flows
+    }
+
+    /// Counts admissible `k`-fault scenarios that contain all links of the
+    /// `forced` per-group masks. `forced` holds `(group, popcount)` pairs
+    /// for distinct groups. "Admissible" = no group fully faulty.
+    fn count_scenarios(&self, forced: &[(usize, u32)], k: usize) -> u128 {
+        let mut ways = vec![0u128; k + 1];
+        ways[0] = 1;
+        for (g, &size) in self.group_sizes.iter().enumerate() {
+            let f = forced
+                .iter()
+                .find(|&&(fg, _)| fg == g)
+                .map(|&(_, n)| n as usize)
+                .unwrap_or(0);
+            if f >= size && size > 0 && f == size {
+                // Forcing a full group contradicts admissibility.
+                return 0;
+            }
+            let mut next = vec![0u128; k + 1];
+            for (j, &w) in ways.iter().enumerate() {
+                if w == 0 {
+                    continue;
+                }
+                for t in f..size {
+                    if j + t > k {
+                        break;
+                    }
+                    next[j + t] += w * binomial((size - f) as u64, (t - f) as u64);
+                }
+            }
+            ways = next;
+        }
+        ways[k]
+    }
+
+    /// The number of admissible scenarios with exactly `k` faults.
+    pub fn admissible_scenarios(&self, k: usize) -> u128 {
+        self.count_scenarios(&[], k)
+    }
+
+    /// Exact **average** reachability over all admissible `k`-fault
+    /// scenarios (the `-Avg.` curves of Fig. 7).
+    pub fn average(&self, k: usize) -> f64 {
+        let n_total = self.count_scenarios(&[], k);
+        if n_total == 0 {
+            return 1.0;
+        }
+        let mut fail_weight: f64 = 0.0;
+        for &(class, count) in &self.classes {
+            let a = match class.down {
+                Some((g, m)) => self.count_scenarios(&[(g, m.count_ones())], k),
+                None => 0,
+            };
+            let b = match class.up {
+                Some((g, m)) => self.count_scenarios(&[(g, m.count_ones())], k),
+                None => 0,
+            };
+            let c = match (class.down, class.up) {
+                (Some((gd, md)), Some((gu, mu))) => {
+                    self.count_scenarios(&[(gd, md.count_ones()), (gu, mu.count_ones())], k)
+                }
+                _ => 0,
+            };
+            let killed = a + b - c;
+            fail_weight += count as f64 * (killed as f64 / n_total as f64);
+        }
+        1.0 - fail_weight / self.total_flows as f64
+    }
+
+    /// The fraction of flows routable under one concrete fault state.
+    pub fn reachability_under(&self, _sys: &ChipletSystem, faults: &FaultState) -> f64 {
+        let healthy = |g: usize| -> u8 {
+            let chiplet = ChipletId((g / 2) as u8);
+            let dir = if g % 2 == 0 { VlDir::Down } else { VlDir::Up };
+            faults.healthy_mask(chiplet, dir, self.group_sizes[g])
+        };
+        let mut ok = 0u64;
+        for &(class, count) in &self.classes {
+            let down_ok = class.down.map_or(true, |(g, m)| m & healthy(g) != 0);
+            let up_ok = class.up.map_or(true, |(g, m)| m & healthy(g) != 0);
+            if down_ok && up_ok {
+                ok += count;
+            }
+        }
+        ok as f64 / self.total_flows as f64
+    }
+
+    /// Seeded Monte-Carlo estimate of average reachability; used to
+    /// cross-check [`ReachabilityEngine::average`].
+    pub fn monte_carlo(&self, sys: &ChipletSystem, k: usize, samples: usize, seed: u64) -> f64 {
+        let mut sampler = ScenarioSampler::new(sys, k, seed);
+        let mut acc = 0.0;
+        for _ in 0..samples {
+            let state = sampler.sample(sys);
+            acc += self.reachability_under(sys, &state);
+        }
+        acc / samples as f64
+    }
+
+    /// Exact **worst-case** reachability over all admissible `k`-fault
+    /// scenarios (the `-Wrst.` curves of Fig. 7): a branch-and-bound search
+    /// for the adversarial fault placement.
+    pub fn worst_case(&self, k: usize) -> f64 {
+        let groups = self.group_sizes.len();
+        // Candidate masks per group: dominance-closed unions of the
+        // eligible sets appearing in that group, capped at size-1 bits
+        // (admissibility), plus the empty mask.
+        let mut eligible_sets: Vec<Vec<u8>> = vec![Vec::new(); groups];
+        for &(class, _) in &self.classes {
+            if let Some((g, m)) = class.down {
+                if !eligible_sets[g].contains(&m) {
+                    eligible_sets[g].push(m);
+                }
+            }
+            if let Some((g, m)) = class.up {
+                if !eligible_sets[g].contains(&m) {
+                    eligible_sets[g].push(m);
+                }
+            }
+        }
+        let mut candidates: Vec<Vec<u8>> = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let limit = self.group_sizes[g] as u32 - 1;
+            let sets = &eligible_sets[g];
+            let mut masks: Vec<u8> = vec![0];
+            for subset in 1u32..(1 << sets.len()) {
+                let mut m = 0u8;
+                for (i, &s) in sets.iter().enumerate() {
+                    if subset & (1 << i) != 0 {
+                        m |= s;
+                    }
+                }
+                if m.count_ones() <= limit && !masks.contains(&m) {
+                    masks.push(m);
+                }
+            }
+            candidates.push(masks);
+        }
+
+        // Per-group failure weight tables: fail_d[g][mask] = flows whose
+        // down leg is killed by `mask` on group g (analogously fail_u).
+        let table = |leg_of: &dyn Fn(&FlowClass) -> Option<(usize, u8)>| -> Vec<HashMap<u8, u64>> {
+            let mut t: Vec<HashMap<u8, u64>> = vec![HashMap::new(); groups];
+            for g in 0..groups {
+                for &mask in &candidates[g] {
+                    let mut w = 0u64;
+                    for &(class, count) in &self.classes {
+                        if let Some((cg, m)) = leg_of(&class) {
+                            if cg == g && m & !mask == 0 {
+                                w += count;
+                            }
+                        }
+                    }
+                    t[g].insert(mask, w);
+                }
+            }
+            t
+        };
+        let fail_d = table(&|c: &FlowClass| c.down);
+        let fail_u = table(&|c: &FlowClass| c.up);
+
+        // Coupled classes (both legs) grouped by their up group, for the
+        // overlap correction when assigning up-group masks.
+        let mut coupled_by_up: Vec<Vec<(usize, u8, u8, u64)>> = vec![Vec::new(); groups];
+        for &(class, count) in &self.classes {
+            if let (Some((gd, md)), Some((gu, mu))) = (class.down, class.up) {
+                coupled_by_up[gu].push((gd, md, mu, count));
+            }
+        }
+
+        // DFS order: all down groups first, then all up groups, so that the
+        // down mask of every coupled pair is already assigned when its up
+        // group computes the overlap correction.
+        let order: Vec<usize> = (0..groups)
+            .filter(|g| g % 2 == 0)
+            .chain((0..groups).filter(|g| g % 2 == 1))
+            .collect();
+
+        struct Dfs<'a> {
+            order: &'a [usize],
+            candidates: &'a [Vec<u8>],
+            fail_d: &'a [HashMap<u8, u64>],
+            fail_u: &'a [HashMap<u8, u64>],
+            coupled_by_up: &'a [Vec<(usize, u8, u8, u64)>],
+            assigned: Vec<u8>,
+            best: u64,
+        }
+        impl Dfs<'_> {
+            fn ub_rest(&self, pos: usize, budget: usize) -> u64 {
+                self.order[pos..]
+                    .iter()
+                    .map(|&g| {
+                        let t = if g % 2 == 0 { &self.fail_d[g] } else { &self.fail_u[g] };
+                        t.iter()
+                            .filter(|(m, _)| m.count_ones() as usize <= budget)
+                            .map(|(_, &w)| w)
+                            .max()
+                            .unwrap_or(0)
+                    })
+                    .sum()
+            }
+
+            fn run(&mut self, pos: usize, budget: usize, cur: u64) {
+                if cur > self.best {
+                    self.best = cur;
+                }
+                if pos == self.order.len() || budget == 0 {
+                    return;
+                }
+                if cur + self.ub_rest(pos, budget) <= self.best {
+                    return;
+                }
+                let g = self.order[pos];
+                // Sort candidates by contribution, descending, to find good
+                // incumbents early.
+                let mut opts: Vec<u8> = self.candidates[g]
+                    .iter()
+                    .copied()
+                    .filter(|m| (m.count_ones() as usize) <= budget)
+                    .collect();
+                let weight = |m: u8| -> u64 {
+                    if g % 2 == 0 {
+                        *self.fail_d[g].get(&m).unwrap_or(&0)
+                    } else {
+                        *self.fail_u[g].get(&m).unwrap_or(&0)
+                    }
+                };
+                opts.sort_by_key(|&m| std::cmp::Reverse(weight(m)));
+                for m in opts {
+                    let gain = if g % 2 == 0 {
+                        weight(m)
+                    } else {
+                        // Up group: add its failures, subtract the overlap
+                        // with already-counted down failures.
+                        let mut overlap = 0u64;
+                        for &(gd, md, mu, count) in &self.coupled_by_up[g] {
+                            if mu & !m == 0 && md & !self.assigned[gd] == 0 {
+                                overlap += count;
+                            }
+                        }
+                        weight(m) - overlap
+                    };
+                    self.assigned[g] = m;
+                    self.run(pos + 1, budget - m.count_ones() as usize, cur + gain);
+                    self.assigned[g] = 0;
+                }
+            }
+        }
+
+        let mut dfs = Dfs {
+            order: &order,
+            candidates: &candidates,
+            fail_d: &fail_d,
+            fail_u: &fail_u,
+            coupled_by_up: &coupled_by_up,
+            assigned: vec![0; groups],
+            best: 0,
+        };
+        dfs.run(0, k, 0);
+        1.0 - dfs.best as f64 / self.total_flows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeftRouting, MtrRouting, RcRouting};
+    use deft_topo::FaultScenarios;
+
+    fn sys() -> ChipletSystem {
+        ChipletSystem::baseline_4()
+    }
+
+    #[test]
+    fn deft_reaches_everything_under_any_admissible_faults() {
+        let s = sys();
+        let deft = DeftRouting::distance_based(&s);
+        let eng = ReachabilityEngine::new(&s, &deft);
+        for k in 1..=8 {
+            assert_eq!(eng.average(k), 1.0, "DeFT average at k = {k}");
+            assert_eq!(eng.worst_case(k), 1.0, "DeFT worst case at k = {k}");
+        }
+    }
+
+    #[test]
+    fn average_matches_brute_force_enumeration_small_k() {
+        let s = sys();
+        for alg in [
+            Box::new(MtrRouting::new(&s)) as Box<dyn RoutingAlgorithm>,
+            Box::new(RcRouting::new(&s)),
+        ] {
+            let eng = ReachabilityEngine::new(&s, alg.as_ref());
+            for k in 1..=2 {
+                let mut sum = 0.0;
+                let mut n = 0u64;
+                FaultScenarios::new(&s, k).for_each(&s, |state| {
+                    sum += eng.reachability_under(&s, state);
+                    n += 1;
+                    true
+                });
+                let brute = sum / n as f64;
+                let exact = eng.average(k);
+                assert!(
+                    (brute - exact).abs() < 1e-9,
+                    "{}: k={k} brute={brute} exact={exact}",
+                    alg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_matches_brute_force_small_k() {
+        let s = sys();
+        for alg in [
+            Box::new(MtrRouting::new(&s)) as Box<dyn RoutingAlgorithm>,
+            Box::new(RcRouting::new(&s)),
+        ] {
+            let eng = ReachabilityEngine::new(&s, alg.as_ref());
+            for k in 1..=2 {
+                let mut worst = 1.0f64;
+                FaultScenarios::new(&s, k).for_each(&s, |state| {
+                    worst = worst.min(eng.reachability_under(&s, state));
+                    true
+                });
+                let exact = eng.worst_case(k);
+                assert!(
+                    (worst - exact).abs() < 1e-9,
+                    "{}: k={k} brute={worst} exact={exact}",
+                    alg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact_average() {
+        let s = sys();
+        let mtr = MtrRouting::new(&s);
+        let eng = ReachabilityEngine::new(&s, &mtr);
+        let exact = eng.average(4);
+        let mc = eng.monte_carlo(&s, 4, 2000, 11);
+        assert!((exact - mc).abs() < 0.01, "exact={exact} mc={mc}");
+    }
+
+    #[test]
+    fn ordering_matches_the_paper() {
+        // Fig. 7(a): DeFT >= MTR-Avg >= RC-Avg, and worst cases degrade
+        // faster than averages.
+        let s = sys();
+        let deft = ReachabilityEngine::new(&s, &DeftRouting::distance_based(&s));
+        let mtr = ReachabilityEngine::new(&s, &MtrRouting::new(&s));
+        let rc = ReachabilityEngine::new(&s, &RcRouting::new(&s));
+        for k in [2usize, 4, 6, 8] {
+            let d = deft.average(k);
+            let m = mtr.average(k);
+            let r = rc.average(k);
+            assert!(d >= m && m >= r, "k={k}: DeFT {d} >= MTR {m} >= RC {r}");
+            assert!(mtr.worst_case(k) <= m);
+            assert!(rc.worst_case(k) <= r);
+        }
+    }
+
+    #[test]
+    fn mtr_worst_case_tolerates_exactly_one_fault() {
+        // With two VLs per facing half, one fault can always be dodged; two
+        // adversarial faults kill a half.
+        let s = sys();
+        let eng = ReachabilityEngine::new(&s, &MtrRouting::new(&s));
+        assert_eq!(eng.worst_case(1), 1.0);
+        assert!(eng.worst_case(2) < 1.0);
+    }
+
+    #[test]
+    fn rc_worst_case_tolerates_nothing() {
+        let s = sys();
+        let eng = ReachabilityEngine::new(&s, &RcRouting::new(&s));
+        assert!(eng.worst_case(1) < 1.0);
+    }
+
+    #[test]
+    fn fault_free_reachability_is_complete() {
+        let s = sys();
+        for alg in [
+            Box::new(DeftRouting::distance_based(&s)) as Box<dyn RoutingAlgorithm>,
+            Box::new(MtrRouting::new(&s)),
+            Box::new(RcRouting::new(&s)),
+        ] {
+            let eng = ReachabilityEngine::new(&s, alg.as_ref());
+            assert_eq!(eng.reachability_under(&s, &FaultState::none(&s)), 1.0);
+        }
+    }
+
+    #[test]
+    fn class_counts_cover_all_flows() {
+        let s = sys();
+        let eng = ReachabilityEngine::new(&s, &MtrRouting::new(&s));
+        let n = s.node_count() as u64;
+        assert_eq!(eng.total_flows(), n * (n - 1));
+        assert!(eng.class_count() < 200, "classes stay compact");
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-packet routing state: virtual networks and the inter-chiplet phase.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of DeFT's two virtual networks.
+///
+/// Each VN owns (at least) one virtual channel per port; this crate and
+/// `deft-sim` use the paper's minimal configuration of one VC per VN, so
+/// `Vn` doubles as the VC index. The paper's deadlock rules (Fig. 2):
+///
+/// * **Rule 1** — switching VN1 → VN0 is forbidden (VN0 → VN1 is allowed);
+/// * **Rule 2** — in VN0, Up → Horizontal turns are forbidden;
+/// * **Rule 3** — in VN1, Horizontal → Down turns are forbidden.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Vn {
+    /// Virtual network 0 (used before the first vertical traversal).
+    Vn0 = 0,
+    /// Virtual network 1 (mandatory after the up traversal).
+    Vn1 = 1,
+}
+
+impl Vn {
+    /// Both VNs, `Vn0` first.
+    pub const ALL: [Vn; 2] = [Vn::Vn0, Vn::Vn1];
+
+    /// The VN as a VC index (`0` or `1`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The other VN.
+    pub fn other(self) -> Vn {
+        match self {
+            Vn::Vn0 => Vn::Vn1,
+            Vn::Vn1 => Vn::Vn0,
+        }
+    }
+
+    /// `Vn0` for even `seq`, `Vn1` for odd — the round-robin assignment the
+    /// paper uses wherever both VNs are permitted.
+    pub fn round_robin(seq: u64) -> Vn {
+        if seq % 2 == 0 {
+            Vn::Vn0
+        } else {
+            Vn::Vn1
+        }
+    }
+
+    /// Whether a packet may switch from `self` to `to` (Rule 1).
+    pub fn may_switch_to(self, to: Vn) -> bool {
+        !(self == Vn::Vn1 && to == Vn::Vn0)
+    }
+}
+
+impl fmt::Display for Vn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vn::Vn0 => f.write_str("VN0"),
+            Vn::Vn1 => f.write_str("VN1"),
+        }
+    }
+}
+
+/// Routing state carried by one packet.
+///
+/// Created by [`RoutingAlgorithm::on_inject`](crate::RoutingAlgorithm::on_inject)
+/// and updated by [`RoutingAlgorithm::route`](crate::RoutingAlgorithm::route)
+/// at every hop. The two VL selections are the paper's two *intermediate
+/// destinations* (§II-A): `down_vl` on the source chiplet and `up_vl` on the
+/// interposer, both fixed at injection time (faults are static per run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RouteCtx {
+    /// The packet's current virtual network (also its VC index).
+    pub vn: Vn,
+    /// Chiplet-local index of the VL selected to leave the source chiplet,
+    /// if the packet needs a down traversal.
+    pub down_vl: Option<u8>,
+    /// Chiplet-local index of the VL selected to enter the destination
+    /// chiplet, if the packet needs an up traversal.
+    pub up_vl: Option<u8>,
+}
+
+impl RouteCtx {
+    /// State for a packet that never leaves its layer.
+    pub fn local(vn: Vn) -> Self {
+        Self { vn, down_vl: None, up_vl: None }
+    }
+}
+
+impl fmt::Display for RouteCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vn)?;
+        if let Some(d) = self.down_vl {
+            write!(f, " down:vl{d}")?;
+        }
+        if let Some(u) = self.up_vl {
+            write!(f, " up:vl{u}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_alternates() {
+        assert_eq!(Vn::round_robin(0), Vn::Vn0);
+        assert_eq!(Vn::round_robin(1), Vn::Vn1);
+        assert_eq!(Vn::round_robin(2), Vn::Vn0);
+    }
+
+    #[test]
+    fn rule_1_forbids_vn1_to_vn0() {
+        assert!(Vn::Vn0.may_switch_to(Vn::Vn1));
+        assert!(Vn::Vn0.may_switch_to(Vn::Vn0));
+        assert!(Vn::Vn1.may_switch_to(Vn::Vn1));
+        assert!(!Vn::Vn1.may_switch_to(Vn::Vn0));
+    }
+
+    #[test]
+    fn vn_index_matches_vc() {
+        assert_eq!(Vn::Vn0.index(), 0);
+        assert_eq!(Vn::Vn1.index(), 1);
+        assert_eq!(Vn::Vn0.other(), Vn::Vn1);
+    }
+
+    #[test]
+    fn ctx_display_mentions_selections() {
+        let ctx = RouteCtx { vn: Vn::Vn0, down_vl: Some(2), up_vl: Some(1) };
+        let s = ctx.to_string();
+        assert!(s.contains("VN0") && s.contains("down:vl2") && s.contains("up:vl1"));
+    }
+}

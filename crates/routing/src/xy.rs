@@ -1,0 +1,110 @@
+//! Dimension-order (XY) routing within one mesh layer.
+//!
+//! Every algorithm in this crate routes minimally inside a layer with XY:
+//! first resolve the x offset, then the y offset. XY's turn set is acyclic
+//! ([Glass & Ni, 1992]), which the [`cdg`](crate::cdg) verifier relies on
+//! when checking the full 2.5D channel-dependency graph.
+
+use deft_topo::{Coord, Direction};
+
+/// The next XY hop from `from` toward `to`, or `None` if already there.
+///
+/// ```
+/// use deft_topo::{Coord, Direction};
+/// use deft_routing::xy::next_dir;
+///
+/// assert_eq!(next_dir(Coord::new(0, 0), Coord::new(2, 1)), Some(Direction::East));
+/// assert_eq!(next_dir(Coord::new(2, 0), Coord::new(2, 1)), Some(Direction::North));
+/// assert_eq!(next_dir(Coord::new(2, 1), Coord::new(2, 1)), None);
+/// ```
+pub fn next_dir(from: Coord, to: Coord) -> Option<Direction> {
+    if from.x < to.x {
+        Some(Direction::East)
+    } else if from.x > to.x {
+        Some(Direction::West)
+    } else if from.y < to.y {
+        Some(Direction::North)
+    } else if from.y > to.y {
+        Some(Direction::South)
+    } else {
+        None
+    }
+}
+
+/// The full XY hop sequence from `from` to `to` as directions.
+pub fn path_dirs(from: Coord, to: Coord) -> Vec<Direction> {
+    let mut cur = from;
+    let mut out = Vec::with_capacity(from.manhattan(to) as usize);
+    while let Some(d) = next_dir(cur, to) {
+        out.push(d);
+        cur = match d {
+            Direction::East => Coord::new(cur.x + 1, cur.y),
+            Direction::West => Coord::new(cur.x - 1, cur.y),
+            Direction::North => Coord::new(cur.x, cur.y + 1),
+            Direction::South => Coord::new(cur.x, cur.y - 1),
+            _ => unreachable!("XY produces only horizontal directions"),
+        };
+    }
+    out
+}
+
+/// Whether the ordered turn `a` then `b` is permitted by XY routing:
+/// continuing straight is always permitted, X → Y turns are permitted, and
+/// Y → X turns are forbidden.
+pub fn turn_allowed(a: Direction, b: Direction) -> bool {
+    debug_assert!(a.is_horizontal() && b.is_horizontal());
+    let is_x = |d: Direction| matches!(d, Direction::East | Direction::West);
+    if a == b.opposite() {
+        return false; // u-turns never occur in minimal routing
+    }
+    if is_x(a) {
+        true
+    } else {
+        !is_x(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_is_resolved_before_y() {
+        let dirs = path_dirs(Coord::new(0, 3), Coord::new(2, 0));
+        assert_eq!(
+            dirs,
+            vec![Direction::East, Direction::East, Direction::South, Direction::South, Direction::South]
+        );
+    }
+
+    #[test]
+    fn path_length_equals_manhattan() {
+        for (a, b) in [
+            (Coord::new(0, 0), Coord::new(3, 3)),
+            (Coord::new(5, 1), Coord::new(0, 7)),
+            (Coord::new(2, 2), Coord::new(2, 2)),
+        ] {
+            assert_eq!(path_dirs(a, b).len() as u32, a.manhattan(b));
+        }
+    }
+
+    #[test]
+    fn xy_turns_never_turn_y_to_x() {
+        use Direction::*;
+        assert!(turn_allowed(East, North));
+        assert!(turn_allowed(West, South));
+        assert!(turn_allowed(East, East));
+        assert!(turn_allowed(North, North));
+        assert!(!turn_allowed(North, East));
+        assert!(!turn_allowed(South, West));
+        assert!(!turn_allowed(East, West));
+    }
+
+    #[test]
+    fn generated_paths_use_only_allowed_turns() {
+        let dirs = path_dirs(Coord::new(0, 0), Coord::new(4, 5));
+        for w in dirs.windows(2) {
+            assert!(turn_allowed(w[0], w[1]), "turn {:?} -> {:?}", w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the routing layer.
+
+use deft_routing::deft::SelectionProblem;
+use deft_routing::{DeftRouting, MtrRouting, RcRouting, RoutingAlgorithm, VlOptimizer};
+use deft_topo::{ChipletId, ChipletSystem, Coord, FaultState, NodeId, VlDir, VlLinkId};
+use proptest::prelude::*;
+
+fn grid_coords(w: u8, h: u8) -> Vec<Coord> {
+    (0..h).flat_map(|y| (0..w).map(move |x| Coord::new(x, y))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimizer_never_loses_to_distance_based(
+        healthy in 1u8..16,
+        rates in prop::collection::vec(0.01f64..2.0, 16),
+    ) {
+        let problem = SelectionProblem::new(
+            vec![Coord::new(1, 3), Coord::new(3, 2), Coord::new(2, 0), Coord::new(0, 1)],
+            grid_coords(4, 4),
+            rates,
+            healthy,
+            SelectionProblem::DEFAULT_RHO,
+        );
+        let (opt, opt_cost) = VlOptimizer::new().solve(&problem);
+        let dist_cost = problem.cost(&problem.distance_assignment());
+        prop_assert!(opt_cost <= dist_cost + 1e-9, "{opt_cost} > {dist_cost}");
+        for &v in &opt {
+            prop_assert!(problem.is_healthy(v), "optimizer used faulty vl{v}");
+        }
+    }
+
+    #[test]
+    fn deft_selections_always_avoid_faulty_links(
+        faults in prop::collection::vec((0u8..4, 0u8..4, prop::bool::ANY), 0..8),
+        src_i in 0u32..64,
+        dst_i in 0u32..64,
+    ) {
+        prop_assume!(src_i != dst_i);
+        let sys = ChipletSystem::baseline_4();
+        let mut f = FaultState::none(&sys);
+        for (c, i, down) in faults {
+            f.inject(VlLinkId {
+                chiplet: ChipletId(c),
+                index: i,
+                dir: if down { VlDir::Down } else { VlDir::Up },
+            });
+        }
+        // LUT construction is expensive; share one instance across cases.
+        use std::sync::{Mutex, OnceLock};
+        static DEFT: OnceLock<Mutex<DeftRouting>> = OnceLock::new();
+        let deft = DEFT.get_or_init(|| Mutex::new(DeftRouting::new(&sys)));
+        let mut deft = deft.lock().expect("no poisoned lock");
+        let (src, dst) = (NodeId(src_i), NodeId(dst_i));
+        if let Ok(ctx) = deft.on_inject(&sys, &f, src, dst, 0) {
+            if let Some(v) = ctx.down_vl {
+                let c = sys.chiplet_of(src).expect("down selection implies chiplet src");
+                let link = VlLinkId { chiplet: c, index: v, dir: VlDir::Down };
+                prop_assert!(!f.is_faulty(link));
+            }
+            if let Some(v) = ctx.up_vl {
+                let c = sys.chiplet_of(dst).expect("up selection implies chiplet dst");
+                let link = VlLinkId { chiplet: c, index: v, dir: VlDir::Up };
+                prop_assert!(!f.is_faulty(link));
+            }
+        }
+    }
+
+    #[test]
+    fn routes_terminate_for_all_algorithms(src_i in 0u32..128, dst_i in 0u32..128, seq in 0u64..4) {
+        prop_assume!(src_i != dst_i);
+        let sys = ChipletSystem::baseline_4();
+        let f = FaultState::none(&sys);
+        let (src, dst) = (NodeId(src_i), NodeId(dst_i));
+        for mut alg in [
+            Box::new(DeftRouting::distance_based(&sys)) as Box<dyn RoutingAlgorithm>,
+            Box::new(MtrRouting::new(&sys)),
+            Box::new(RcRouting::new(&sys)),
+        ] {
+            let mut ctx = alg.on_inject(&sys, &f, src, dst, seq).expect("fault-free");
+            let mut cur = src;
+            let mut hops = 0;
+            while cur != dst {
+                let d = alg.route(&sys, &f, cur, dst, &mut ctx);
+                cur = sys.neighbor(cur, d.dir).expect("hop stays on the network");
+                hops += 1;
+                prop_assert!(hops < 64, "{}: runaway {src_i} -> {dst_i}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn eligibility_shapes_match_flow_geometry(src_i in 0u32..128, dst_i in 0u32..128) {
+        prop_assume!(src_i != dst_i);
+        let sys = ChipletSystem::baseline_4();
+        let (src, dst) = (NodeId(src_i), NodeId(dst_i));
+        for alg in [
+            Box::new(DeftRouting::distance_based(&sys)) as Box<dyn RoutingAlgorithm>,
+            Box::new(MtrRouting::new(&sys)),
+            Box::new(RcRouting::new(&sys)),
+        ] {
+            let el = alg.eligibility(&sys, src, dst);
+            let needs_down = matches!(
+                (sys.chiplet_of(src), sys.chiplet_of(dst)),
+                (Some(a), b) if b != Some(a)
+            );
+            let needs_up = matches!(
+                (sys.chiplet_of(dst), sys.chiplet_of(src)),
+                (Some(a), b) if b != Some(a)
+            );
+            prop_assert_eq!(el.down.is_some(), needs_down, "{}", alg.name());
+            prop_assert_eq!(el.up.is_some(), needs_up, "{}", alg.name());
+            if let Some((c, mask)) = el.down {
+                prop_assert_eq!(Some(c), sys.chiplet_of(src));
+                prop_assert!(mask != 0 && mask < 16);
+            }
+            if let Some((c, mask)) = el.up {
+                prop_assert_eq!(Some(c), sys.chiplet_of(dst));
+                prop_assert!(mask != 0 && mask < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn rc_eligibility_is_a_subset_of_mtr_like_freedom(src_i in 0u32..64, dst_i in 64u32..128) {
+        // RC designates exactly one VL; DeFT allows all. MTR sits between.
+        let sys = ChipletSystem::baseline_4();
+        let (src, dst) = (NodeId(src_i), NodeId(dst_i));
+        prop_assume!(sys.chiplet_of(src) != sys.chiplet_of(dst));
+        let deft = DeftRouting::distance_based(&sys);
+        let mtr = MtrRouting::new(&sys);
+        let rc = RcRouting::new(&sys);
+        if let (Some((_, d_deft)), Some((_, d_mtr)), Some((_, d_rc))) = (
+            deft.eligibility(&sys, src, dst).down,
+            mtr.eligibility(&sys, src, dst).down,
+            rc.eligibility(&sys, src, dst).down,
+        ) {
+            prop_assert!(d_mtr & !d_deft == 0, "MTR ⊆ DeFT");
+            prop_assert_eq!(d_rc.count_ones(), 1);
+            prop_assert!(d_deft.count_ones() >= d_mtr.count_ones());
+        }
+    }
+}
+
+#[test]
+fn lut_respects_every_healthy_mask_on_both_systems() {
+    for sys in [ChipletSystem::baseline_4(), ChipletSystem::baseline_6()] {
+        let deft = DeftRouting::new(&sys);
+        let lut = deft.down_lut().expect("optimized strategy");
+        for c in sys.chiplets() {
+            for mask in 1u8..16 {
+                let a = lut.assignment(c.id(), mask).expect("stored");
+                for &v in a {
+                    assert!(mask & (1 << v) != 0);
+                }
+            }
+        }
+    }
+}

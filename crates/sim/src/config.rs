@@ -1,0 +1,98 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one simulation run.
+///
+/// Defaults match the paper's setup (§IV-A): "a packet size of eight flits
+/// and a buffer size of four flits are considered, where a flit width is
+/// 32 bits", two VCs for every algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Flits per packet.
+    pub packet_size: usize,
+    /// Input-buffer depth in flits, per (port, VC).
+    pub buffer_depth: usize,
+    /// Flit width in bits (used by the power model, not by timing).
+    pub flit_width_bits: u32,
+    /// Virtual channels per port (one per VN).
+    pub vc_count: usize,
+    /// Warm-up cycles before measurement starts.
+    pub warmup: u64,
+    /// Measurement-window length in cycles; packets *generated* inside the
+    /// window are the measured population.
+    pub measure: u64,
+    /// Maximum drain cycles after the measurement window (generation stops,
+    /// in-flight packets finish).
+    pub drain: u64,
+    /// RNG seed for traffic generation.
+    pub seed: u64,
+    /// Cycles without any flit movement (while flits are in flight) before
+    /// the watchdog declares deadlock.
+    pub deadlock_threshold: u64,
+    /// Vertical-link serialization factor: a VL accepts one flit every
+    /// `vl_serialization` cycles. `1` models full-width micro-bump links
+    /// (the paper's baseline); larger values model serialized vertical
+    /// interconnects, which trade latency/bandwidth for fewer micro-bumps
+    /// (paper §IV-A, citing Pasricha DAC'09).
+    pub vl_serialization: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            packet_size: 8,
+            buffer_depth: 4,
+            flit_width_bits: 32,
+            vc_count: 2,
+            warmup: 1_000,
+            measure: 5_000,
+            drain: 50_000,
+            seed: 0x5EED,
+            deadlock_threshold: 10_000,
+            vl_serialization: 1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics if any size parameter is zero or `vc_count != 2` (the DeFT VN
+    /// scheme maps VN index to VC index and needs exactly two).
+    pub fn validate(&self) {
+        assert!(self.packet_size > 0, "packet_size must be positive");
+        assert!(self.buffer_depth > 0, "buffer_depth must be positive");
+        assert_eq!(self.vc_count, 2, "this simulator models the paper's two-VC routers");
+        assert!(self.deadlock_threshold > 0, "deadlock_threshold must be positive");
+        assert!(self.vl_serialization > 0, "vl_serialization must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.packet_size, 8);
+        assert_eq!(c.buffer_depth, 4);
+        assert_eq!(c.flit_width_bits, 32);
+        assert_eq!(c.vc_count, 2);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "two-VC")]
+    fn wrong_vc_count_is_rejected() {
+        SimConfig { vc_count: 3, ..SimConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "packet_size")]
+    fn zero_packet_size_is_rejected() {
+        SimConfig { packet_size: 0, ..SimConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,789 @@
+//! The cycle loop: a two-phase update so results are independent of router
+//! iteration order.
+//!
+//! Each cycle:
+//! 1. **Generation** — Bernoulli packet generation per node; unroutable
+//!    flows are counted and dropped at the source (reachability accounting,
+//!    paper §IV-C).
+//! 2. **Route computation + VC allocation** — head flits at buffer fronts
+//!    get their output (port, VC) from the routing algorithm exactly once
+//!    per router, then claim the downstream VC (one worm per VC).
+//! 3. **Switch allocation** — round-robin, one flit per input port and per
+//!    output port per cycle, gated by credits.
+//! 4. **Commit** — winners move one hop (1 cycle/hop), credits flow back,
+//!    tails release their VC, ejected tails record latency.
+//! 5. **Injection** — one flit per cycle trickles from each source queue
+//!    into the local input buffer of the packet's VN.
+//!
+//! A watchdog flags deadlock when flits are buffered but nothing has moved
+//! for [`SimConfig::deadlock_threshold`] cycles — with DeFT this never
+//! fires (the CDG is acyclic); it exists to catch routing bugs and to
+//! demonstrate what happens without VN separation.
+
+use crate::config::SimConfig;
+use crate::flit::{Flit, PacketId, PacketInfo};
+use crate::router::{arrival_port, port_of, Router, PORT_COUNT, PORT_LOCAL, PORT_VERTICAL};
+use crate::stats::{Region, SimReport, VcUsage};
+use deft_routing::RoutingAlgorithm;
+use deft_topo::{ChipletSystem, Direction, FaultState, Layer, NodeId};
+use deft_traffic::TrafficPattern;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One switch-allocation winner, applied in the commit phase.
+#[derive(Debug, Clone, Copy)]
+struct Move {
+    router: usize,
+    in_port: u8,
+    in_vc: u8,
+    out_port: u8,
+    out_vc: u8,
+}
+
+/// Per-node source queue: packets wait here (unbounded, as in Noxim) and
+/// trickle into the local input port one flit per cycle.
+#[derive(Debug, Default)]
+struct Source {
+    queue: VecDeque<PacketId>,
+    flits_sent: usize,
+}
+
+/// A cycle-accurate simulation of one (system, faults, algorithm, pattern)
+/// configuration. Create with [`Simulator::new`], run with
+/// [`Simulator::run`].
+pub struct Simulator<'a> {
+    sys: &'a ChipletSystem,
+    faults: FaultState,
+    alg: Box<dyn RoutingAlgorithm + 'a>,
+    pattern: &'a dyn TrafficPattern,
+    cfg: SimConfig,
+    routers: Vec<Router>,
+    packets: Vec<PacketInfo>,
+    sources: Vec<Source>,
+    inject_seq: Vec<u64>,
+    rng: SmallRng,
+    // Statistics.
+    generated_total: u64,
+    dropped_unroutable: u64,
+    injected_measured: u64,
+    delivered_measured: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    latencies: Vec<u64>,
+    /// Earliest cycle each router's vertical output may send again
+    /// (vertical-link serialization).
+    vl_next_free: Vec<u64>,
+    vc_usage: BTreeMap<Region, VcUsage>,
+    vl_flits: BTreeMap<(u8, u8, bool), u64>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator. The routing algorithm is boxed because it carries
+    /// per-run mutable state (round-robin counters, RNGs).
+    ///
+    /// # Panics
+    /// Panics if `cfg` is invalid (see [`SimConfig::validate`]).
+    pub fn new(
+        sys: &'a ChipletSystem,
+        faults: FaultState,
+        alg: Box<dyn RoutingAlgorithm + 'a>,
+        pattern: &'a dyn TrafficPattern,
+        cfg: SimConfig,
+    ) -> Self {
+        cfg.validate();
+        let n = sys.node_count();
+        let mut routers: Vec<Router> = (0..n).map(|_| Router::new(cfg.vc_count, cfg.buffer_depth)).collect();
+
+        // RC's store-and-forward needs the boundary router's vertical input
+        // buffer (the RC-buffer) to hold a whole packet.
+        if alg.store_and_forward_up() {
+            for vl in sys.vertical_links() {
+                for vc in &mut routers[vl.chiplet_node.index()].inputs[PORT_VERTICAL as usize] {
+                    vc.cap = vc.cap.max(cfg.packet_size);
+                }
+            }
+        }
+
+        // Wire links and credits.
+        for node in sys.nodes() {
+            for dir in Direction::ALL {
+                let Some(nbr) = sys.neighbor(node, dir) else { continue };
+                let out = port_of(dir) as usize;
+                let inp = arrival_port(dir);
+                routers[node.index()].out_links[out] = Some((nbr.index(), inp));
+                routers[nbr.index()].in_links[inp as usize] = Some((node.index(), out as u8));
+            }
+        }
+        for i in 0..n {
+            for out in 0..PORT_COUNT {
+                if let Some((d, dp)) = routers[i].out_links[out] {
+                    for vc in 0..routers[i].credits[out].len() {
+                        routers[i].credits[out][vc] = routers[d].inputs[dp as usize][vc].cap;
+                    }
+                }
+            }
+        }
+
+        Self {
+            sys,
+            faults,
+            alg,
+            pattern,
+            cfg,
+            routers,
+            packets: Vec::new(),
+            sources: (0..n).map(|_| Source::default()).collect(),
+            inject_seq: vec![0; n],
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            generated_total: 0,
+            dropped_unroutable: 0,
+            injected_measured: 0,
+            delivered_measured: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            latencies: Vec::new(),
+            vl_next_free: vec![0; n],
+            vc_usage: BTreeMap::new(),
+            vl_flits: BTreeMap::new(),
+        }
+    }
+
+    /// Runs to completion and produces the report.
+    pub fn run(mut self) -> SimReport {
+        let gen_end = self.cfg.warmup + self.cfg.measure;
+        let hard_end = gen_end + self.cfg.drain;
+        let mut cycle: u64 = 0;
+        let mut last_progress: u64 = 0;
+        let mut deadlocked = false;
+
+        while cycle < hard_end {
+            if cycle < gen_end {
+                self.generate(cycle);
+            }
+            self.route_and_allocate();
+            let moves = self.switch_allocate(cycle);
+            let progressed = self.commit(&moves, cycle) | self.inject();
+
+            if progressed {
+                last_progress = cycle;
+            }
+            cycle += 1;
+
+            let in_flight: usize = self.routers.iter().map(Router::occupancy).sum();
+            let queued: usize = self.sources.iter().map(|s| s.queue.len()).sum();
+            if in_flight + queued > 0 && cycle - last_progress >= self.cfg.deadlock_threshold {
+                deadlocked = true;
+                break;
+            }
+            if cycle >= gen_end
+                && in_flight == 0
+                && queued == 0
+            {
+                break;
+            }
+        }
+
+        let avg_latency = if self.delivered_measured > 0 {
+            self.latency_sum as f64 / self.delivered_measured as f64
+        } else {
+            0.0
+        };
+        self.latencies.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if self.latencies.is_empty() {
+                0
+            } else {
+                let idx = ((self.latencies.len() - 1) as f64 * p).round() as usize;
+                self.latencies[idx]
+            }
+        };
+        let (p50_latency, p95_latency, p99_latency) = (pct(0.50), pct(0.95), pct(0.99));
+        SimReport {
+            algorithm: self.alg.name().to_owned(),
+            pattern: self.pattern.name().to_owned(),
+            cycles: cycle,
+            injected_measured: self.injected_measured,
+            delivered: self.delivered_measured,
+            dropped_unroutable: self.dropped_unroutable,
+            generated_total: self.generated_total,
+            avg_latency,
+            p50_latency,
+            p95_latency,
+            p99_latency,
+            max_latency: self.latency_max,
+            throughput: self.delivered_measured as f64 * self.cfg.packet_size as f64
+                / (self.cfg.measure as f64 * self.sys.node_count() as f64),
+            vc_usage: self.vc_usage,
+            vl_flits: self.vl_flits,
+            deadlocked,
+        }
+    }
+
+    /// Phase 1: Bernoulli packet generation.
+    fn generate(&mut self, cycle: u64) {
+        let measured_window = cycle >= self.cfg.warmup;
+        for node in self.sys.nodes() {
+            let Some(dst) = self.pattern.next_packet(node, cycle, &mut self.rng) else {
+                continue;
+            };
+            self.generated_total += 1;
+            let seq = self.inject_seq[node.index()];
+            self.inject_seq[node.index()] += 1;
+            match self.alg.on_inject(self.sys, &self.faults, node, dst, seq) {
+                Ok(ctx) => {
+                    let id = PacketId(self.packets.len() as u64);
+                    self.packets.push(PacketInfo {
+                        src: node,
+                        dst,
+                        ctx,
+                        inject_vn: ctx.vn,
+                        generated_at: cycle,
+                        measured: measured_window,
+                    });
+                    if measured_window {
+                        self.injected_measured += 1;
+                    }
+                    self.sources[node.index()].queue.push_back(id);
+                }
+                Err(_) => {
+                    self.dropped_unroutable += 1;
+                }
+            }
+        }
+    }
+
+    /// Phase 2: route computation and VC allocation for head flits.
+    fn route_and_allocate(&mut self) {
+        let sf_up = self.alg.store_and_forward_up();
+        for idx in 0..self.routers.len() {
+            let node = NodeId(idx as u32);
+            for in_port in 0..PORT_COUNT as u8 {
+                for vc in 0..self.cfg.vc_count as u8 {
+                    // Route computation.
+                    let (needs_route, packet_id, buffered) = {
+                        let buf = &self.routers[idx].inputs[in_port as usize][vc as usize];
+                        match buf.fifo.front() {
+                            Some(f) if f.is_head && buf.dest.is_none() => {
+                                (true, f.packet, buf.front_packet_flits())
+                            }
+                            _ => (false, PacketId(0), 0),
+                        }
+                    };
+                    if needs_route {
+                        let info = &mut self.packets[packet_id.index()];
+                        if node == info.dst {
+                            let buf =
+                                &mut self.routers[idx].inputs[in_port as usize][vc as usize];
+                            buf.dest = Some((PORT_LOCAL, vc));
+                            buf.granted = true;
+                        } else {
+                            // RC store-and-forward: an ascending packet must
+                            // be fully buffered in the boundary router's
+                            // RC-buffer before it proceeds into the chiplet.
+                            let hold = sf_up
+                                && in_port == PORT_VERTICAL
+                                && self.sys.is_boundary_router(node)
+                                && buffered < self.cfg.packet_size;
+                            if !hold {
+                                let decision = self.alg.route(
+                                    self.sys,
+                                    &self.faults,
+                                    node,
+                                    info.dst,
+                                    &mut info.ctx,
+                                );
+                                let buf =
+                                    &mut self.routers[idx].inputs[in_port as usize][vc as usize];
+                                buf.dest =
+                                    Some((port_of(decision.dir), decision.vn.index() as u8));
+                            }
+                        }
+                    }
+                    // VC allocation.
+                    let buf = &self.routers[idx].inputs[in_port as usize][vc as usize];
+                    if let Some((out_port, out_vc)) = buf.dest {
+                        if !buf.granted && out_port != PORT_LOCAL {
+                            let slot =
+                                &mut self.routers[idx].out_alloc[out_port as usize][out_vc as usize];
+                            if slot.is_none() {
+                                *slot = Some((in_port, vc));
+                                self.routers[idx].inputs[in_port as usize][vc as usize].granted =
+                                    true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 3: switch allocation (round-robin per output port, one flit
+    /// per input and output port per cycle).
+    fn switch_allocate(&mut self, cycle: u64) -> Vec<Move> {
+        let vc_count = self.cfg.vc_count as u8;
+        let mut moves = Vec::new();
+        for idx in 0..self.routers.len() {
+            let mut in_used = [false; PORT_COUNT];
+            for out_port in 0..PORT_COUNT as u8 {
+                // Serialized vertical links accept one flit every
+                // `vl_serialization` cycles.
+                if out_port == PORT_VERTICAL && cycle < self.vl_next_free[idx] {
+                    continue;
+                }
+                let slots = PORT_COUNT as u32 * vc_count as u32;
+                let start = self.routers[idx].rr[out_port as usize];
+                let mut winner: Option<(u8, u8, u8)> = None;
+                for off in 0..slots {
+                    let slot = (start + off) % slots;
+                    let in_port = (slot / vc_count as u32) as u8;
+                    let vc = (slot % vc_count as u32) as u8;
+                    if in_used[in_port as usize] {
+                        continue;
+                    }
+                    let buf = &self.routers[idx].inputs[in_port as usize][vc as usize];
+                    let Some((d_port, d_vc)) = buf.dest else { continue };
+                    if d_port != out_port || !buf.granted || buf.fifo.is_empty() {
+                        continue;
+                    }
+                    if d_port != PORT_LOCAL
+                        && self.routers[idx].credits[d_port as usize][d_vc as usize] == 0
+                    {
+                        continue;
+                    }
+                    winner = Some((in_port, vc, d_vc));
+                    self.routers[idx].rr[out_port as usize] = (slot + 1) % slots;
+                    break;
+                }
+                if let Some((in_port, in_vc, out_vc)) = winner {
+                    in_used[in_port as usize] = true;
+                    moves.push(Move { router: idx, in_port, in_vc, out_port, out_vc });
+                }
+            }
+        }
+        moves
+    }
+
+    /// Phase 4: apply the moves. Returns whether anything moved.
+    fn commit(&mut self, moves: &[Move], cycle: u64) -> bool {
+        for m in moves {
+            let flit = self.routers[m.router].inputs[m.in_port as usize][m.in_vc as usize]
+                .fifo
+                .pop_front()
+                .expect("switch allocation picked an empty buffer");
+
+            // Credit return to the upstream router feeding this input.
+            if let Some((up, up_out)) =
+                self.routers[m.router].in_links[m.in_port as usize]
+            {
+                self.routers[up].credits[up_out as usize][m.in_vc as usize] += 1;
+            }
+
+            if m.out_port == PORT_LOCAL {
+                if flit.is_tail {
+                    let info = &self.packets[flit.packet.index()];
+                    if info.measured {
+                        let latency = cycle - info.generated_at + 1;
+                        self.delivered_measured += 1;
+                        self.latency_sum += latency;
+                        self.latency_max = self.latency_max.max(latency);
+                        self.latencies.push(latency);
+                    }
+                }
+            } else {
+                self.routers[m.router].credits[m.out_port as usize][m.out_vc as usize] -= 1;
+                let (d_idx, d_port) = self.routers[m.router].out_links[m.out_port as usize]
+                    .expect("move along a missing link");
+                self.routers[d_idx].inputs[d_port as usize][m.out_vc as usize]
+                    .fifo
+                    .push_back(flit);
+
+                // Statistics: buffer write by region/VC, and VL crossings.
+                let dest_node = NodeId(d_idx as u32);
+                let usage = self.vc_usage.entry(Region::of(self.sys, dest_node)).or_default();
+                match m.out_vc {
+                    0 => usage.vc0 += 1,
+                    _ => usage.vc1 += 1,
+                }
+                if m.out_port == PORT_VERTICAL {
+                    let node = NodeId(m.router as u32);
+                    let vl = self.sys.vl_at_node(node).expect("vertical move off a VL");
+                    let down = matches!(self.sys.layer(node), Layer::Chiplet(_));
+                    *self.vl_flits.entry((vl.chiplet.0, vl.index, down)).or_insert(0) += 1;
+                    self.vl_next_free[m.router] = cycle + self.cfg.vl_serialization;
+                }
+            }
+
+            if flit.is_tail {
+                let buf = &mut self.routers[m.router].inputs[m.in_port as usize][m.in_vc as usize];
+                buf.dest = None;
+                buf.granted = false;
+                if m.out_port != PORT_LOCAL {
+                    self.routers[m.router].out_alloc[m.out_port as usize][m.out_vc as usize] =
+                        None;
+                }
+            }
+        }
+        !moves.is_empty()
+    }
+
+    /// Phase 5: one flit per cycle from each source queue into the local
+    /// input buffer of the packet's VN. Returns whether anything injected.
+    fn inject(&mut self) -> bool {
+        let mut any = false;
+        for idx in 0..self.sources.len() {
+            let Some(&pkt) = self.sources[idx].queue.front() else { continue };
+            let vn = self.packets[pkt.index()].inject_vn.index();
+            let buf = &mut self.routers[idx].inputs[PORT_LOCAL as usize][vn];
+            if buf.free() == 0 {
+                continue;
+            }
+            let sent = self.sources[idx].flits_sent;
+            let flit = Flit {
+                packet: pkt,
+                is_head: sent == 0,
+                is_tail: sent == self.cfg.packet_size - 1,
+            };
+            buf.fifo.push_back(flit);
+            any = true;
+            let usage = self
+                .vc_usage
+                .entry(Region::of(self.sys, NodeId(idx as u32)))
+                .or_default();
+            match vn {
+                0 => usage.vc0 += 1,
+                _ => usage.vc1 += 1,
+            }
+            if flit.is_tail {
+                self.sources[idx].queue.pop_front();
+                self.sources[idx].flits_sent = 0;
+            } else {
+                self.sources[idx].flits_sent += 1;
+            }
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_routing::{DeftRouting, MtrRouting, RcRouting};
+    use deft_traffic::{uniform, TableTraffic};
+    use deft_topo::{ChipletId, Coord, NodeAddr, VlDir, VlLinkId};
+    use deft_traffic::Mixture;
+
+    fn sys() -> ChipletSystem {
+        ChipletSystem::baseline_4()
+    }
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig { warmup: 200, measure: 1_000, drain: 20_000, ..SimConfig::default() }
+    }
+
+    /// A pattern with a single flow src -> dst at the given rate.
+    fn single_flow(s: &ChipletSystem, src: NodeId, dst: NodeId, rate: f64) -> TableTraffic {
+        let n = s.node_count();
+        let mut rates = vec![0.0; n];
+        rates[src.index()] = rate;
+        let mut dists: Vec<Mixture> = (0..n).map(|_| Mixture::empty()).collect();
+        dists[src.index()] = Mixture::uniform(vec![dst]);
+        TableTraffic::new("single", rates, dists)
+    }
+
+    #[test]
+    fn zero_load_latency_matches_hops_plus_serialization() {
+        let s = sys();
+        let src = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(0, 0))).unwrap();
+        let dst = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(3, 0))).unwrap();
+        let pattern = single_flow(&s, src, dst, 0.001);
+        let cfg = SimConfig { warmup: 0, measure: 3_000, ..quick_cfg() };
+        let report =
+            Simulator::new(&s, FaultState::none(&s), Box::new(DeftRouting::distance_based(&s)), &pattern, cfg)
+                .run();
+        assert!(report.delivered > 0);
+        // 3 hops; pipeline: inject(1) + per-hop 1 cycle + eject + 7 extra
+        // tail flits. Zero-load latency = hops + packet_size + small const.
+        let expect = 3.0 + 8.0;
+        assert!(
+            (report.avg_latency - expect).abs() <= 3.0,
+            "zero-load latency {} vs expected ~{}",
+            report.avg_latency,
+            expect
+        );
+        assert!(!report.deadlocked);
+    }
+
+    #[test]
+    fn cross_chiplet_zero_load_latency_is_minimal() {
+        let s = sys();
+        let src = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(1, 1))).unwrap();
+        let dst = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(3)), Coord::new(2, 2))).unwrap();
+        let pattern = single_flow(&s, src, dst, 0.0008);
+        let cfg = SimConfig { warmup: 0, measure: 5_000, ..quick_cfg() };
+        let report =
+            Simulator::new(&s, FaultState::none(&s), Box::new(DeftRouting::new(&s)), &pattern, cfg)
+                .run();
+        assert!(report.delivered > 0);
+        // Minimal inter-chiplet path here is ~14-18 hops depending on VL
+        // choice; plus 8-flit serialization.
+        assert!(report.avg_latency > 15.0 && report.avg_latency < 40.0,
+            "latency {}", report.avg_latency);
+    }
+
+    #[test]
+    fn all_algorithms_deliver_under_light_uniform_load() {
+        let s = sys();
+        let pattern = uniform(&s, 0.002);
+        for alg in [
+            Box::new(DeftRouting::new(&s)) as Box<dyn RoutingAlgorithm>,
+            Box::new(MtrRouting::new(&s)),
+            Box::new(RcRouting::new(&s)),
+            Box::new(DeftRouting::distance_based(&s)),
+            Box::new(DeftRouting::random_selection(&s, 5)),
+        ] {
+            let name = alg.name().to_owned();
+            let report =
+                Simulator::new(&s, FaultState::none(&s), alg, &pattern, quick_cfg()).run();
+            assert!(!report.deadlocked, "{name} deadlocked");
+            assert!(report.delivered > 0, "{name} delivered nothing");
+            assert_eq!(report.dropped_unroutable, 0, "{name} dropped packets fault-free");
+            assert!(
+                report.delivery_ratio() > 0.95,
+                "{name} delivery ratio {}",
+                report.delivery_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let s = sys();
+        let pattern = uniform(&s, 0.003);
+        let run = || {
+            Simulator::new(
+                &s,
+                FaultState::none(&s),
+                Box::new(DeftRouting::new(&s)),
+                &pattern,
+                quick_cfg(),
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn faults_drop_packets_for_rc_but_not_deft() {
+        let s = sys();
+        let pattern = uniform(&s, 0.002);
+        let mut faults = FaultState::none(&s);
+        faults.inject(VlLinkId { chiplet: ChipletId(0), index: 0, dir: VlDir::Down });
+        faults.inject(VlLinkId { chiplet: ChipletId(1), index: 2, dir: VlDir::Up });
+
+        let deft_report = Simulator::new(
+            &s,
+            faults.clone(),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        )
+        .run();
+        assert_eq!(deft_report.dropped_unroutable, 0, "DeFT tolerates any 2-fault scenario");
+        assert_eq!(deft_report.reachability(), 1.0);
+
+        let rc_report =
+            Simulator::new(&s, faults, Box::new(RcRouting::new(&s)), &pattern, quick_cfg()).run();
+        assert!(rc_report.dropped_unroutable > 0, "RC must drop designated-VL flows");
+        assert!(rc_report.reachability() < 1.0);
+    }
+
+    #[test]
+    fn faulty_vls_carry_no_traffic() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let mut faults = FaultState::none(&s);
+        faults.inject(VlLinkId { chiplet: ChipletId(2), index: 1, dir: VlDir::Down });
+        let report =
+            Simulator::new(&s, faults, Box::new(DeftRouting::new(&s)), &pattern, quick_cfg())
+                .run();
+        assert_eq!(
+            report.vl_flits.get(&(2, 1, true)).copied().unwrap_or(0),
+            0,
+            "flits crossed a faulty down link"
+        );
+        // Its up twin stays usable.
+        assert!(report.vl_flits.get(&(2, 1, false)).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn deft_vc_usage_is_balanced_under_uniform_traffic() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let report = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        )
+        .run();
+        for (region, usage) in &report.vc_usage {
+            let p = usage.vc0_percent();
+            assert!(
+                (40.0..=60.0).contains(&p),
+                "{region}: VC0 share {p}% too skewed for DeFT under uniform traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn mtr_vc_usage_is_skewed() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let report = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(MtrRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        )
+        .run();
+        let interposer = report.vc_usage.get(&Region::Interposer).unwrap();
+        assert!(
+            interposer.vc0_percent() > 90.0,
+            "MTR keeps interposer traffic in VC0, got {}%",
+            interposer.vc0_percent()
+        );
+    }
+
+    #[test]
+    fn rc_store_and_forward_adds_latency() {
+        let s = sys();
+        let src = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(1, 1))).unwrap();
+        let dst = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(1)), Coord::new(1, 1))).unwrap();
+        let pattern = single_flow(&s, src, dst, 0.0008);
+        let cfg = SimConfig { warmup: 0, measure: 5_000, ..quick_cfg() };
+        let mtr = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(MtrRouting::new(&s)),
+            &pattern,
+            cfg,
+        )
+        .run();
+        let rc = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(RcRouting::new(&s)),
+            &pattern,
+            cfg,
+        )
+        .run();
+        assert!(
+            rc.avg_latency > mtr.avg_latency + (SimConfig::default().packet_size - 2) as f64 * 0.5,
+            "RC ({}) must pay a store-and-forward penalty over MTR ({})",
+            rc.avg_latency,
+            mtr.avg_latency
+        );
+    }
+
+    #[test]
+    fn vl_serialization_slows_inter_chiplet_flows_only() {
+        let s = sys();
+        let src = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(1, 1))).unwrap();
+        let dst = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(1)), Coord::new(1, 1))).unwrap();
+        let pattern = single_flow(&s, src, dst, 0.0008);
+        let run = |ser: u64| {
+            let cfg = SimConfig {
+                warmup: 0,
+                measure: 5_000,
+                vl_serialization: ser,
+                ..quick_cfg()
+            };
+            Simulator::new(
+                &s,
+                FaultState::none(&s),
+                Box::new(DeftRouting::distance_based(&s)),
+                &pattern,
+                cfg,
+            )
+            .run()
+        };
+        let full = run(1);
+        let serial4 = run(4);
+        // An 8-flit packet crosses two VLs; at 1 flit per 4 cycles each
+        // crossing stretches by ~3x7 cycles.
+        assert!(
+            serial4.avg_latency > full.avg_latency + 20.0,
+            "serialized {} vs full-width {}",
+            serial4.avg_latency,
+            full.avg_latency
+        );
+        assert!(!serial4.deadlocked);
+
+        // Intra-chiplet flows are untouched by VL serialization.
+        let dst_local =
+            s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(3, 3))).unwrap();
+        let local = single_flow(&s, src, dst_local, 0.0008);
+        let cfg = SimConfig { warmup: 0, measure: 5_000, vl_serialization: 8, ..quick_cfg() };
+        let r = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::distance_based(&s)),
+            &local,
+            cfg,
+        )
+        .run();
+        assert!(r.avg_latency < 20.0, "intra-chiplet latency {}", r.avg_latency);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let r = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        )
+        .run();
+        assert!(r.p50_latency as f64 <= r.avg_latency * 1.5);
+        assert!(r.p50_latency <= r.p95_latency);
+        assert!(r.p95_latency <= r.p99_latency);
+        assert!(r.p99_latency <= r.max_latency);
+        assert!(r.p50_latency > 0);
+    }
+
+    #[test]
+    fn saturation_raises_latency() {
+        let s = sys();
+        let low = uniform(&s, 0.001);
+        let high = uniform(&s, 0.02);
+        let mk = |p: &TableTraffic| {
+            Simulator::new(
+                &s,
+                FaultState::none(&s),
+                Box::new(DeftRouting::new(&s)),
+                p,
+                SimConfig { warmup: 200, measure: 800, drain: 5_000, ..SimConfig::default() },
+            )
+            .run()
+        };
+        let r_low = mk(&low);
+        let r_high = mk(&high);
+        assert!(
+            r_high.avg_latency > 1.5 * r_low.avg_latency,
+            "high load {} vs low load {}",
+            r_high.avg_latency,
+            r_low.avg_latency
+        );
+        assert!(!r_high.deadlocked, "congestion must not deadlock DeFT");
+    }
+}

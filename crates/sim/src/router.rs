@@ -1,0 +1,162 @@
+//! Router microarchitecture: VC buffers, credits, and port mapping.
+
+use crate::flit::Flit;
+use deft_topo::Direction;
+use std::collections::VecDeque;
+
+/// Port indices: 0 = Local, 1..=4 = East/West/North/South, 5 = Vertical
+/// (Down on chiplet boundary routers, Up on interposer routers under a VL).
+pub const PORT_LOCAL: u8 = 0;
+/// East port index.
+pub const PORT_EAST: u8 = 1;
+/// West port index.
+pub const PORT_WEST: u8 = 2;
+/// North port index.
+pub const PORT_NORTH: u8 = 3;
+/// South port index.
+pub const PORT_SOUTH: u8 = 4;
+/// Vertical port index (the paper's Up/Down port).
+pub const PORT_VERTICAL: u8 = 5;
+/// Number of ports per router (the paper's six-port router, Table I).
+pub const PORT_COUNT: usize = 6;
+
+/// The output-port index for a routing direction.
+pub fn port_of(dir: Direction) -> u8 {
+    match dir {
+        Direction::East => PORT_EAST,
+        Direction::West => PORT_WEST,
+        Direction::North => PORT_NORTH,
+        Direction::South => PORT_SOUTH,
+        Direction::Up | Direction::Down => PORT_VERTICAL,
+    }
+}
+
+/// The input-port index at the downstream router for a flit sent in `dir`:
+/// a flit sent east arrives on the west input, a vertical flit arrives on
+/// the vertical input.
+pub fn arrival_port(dir: Direction) -> u8 {
+    port_of(dir.opposite())
+}
+
+/// One input virtual-channel buffer with its wormhole state.
+#[derive(Debug, Clone)]
+pub struct VcBuf {
+    /// The flit FIFO.
+    pub fifo: VecDeque<Flit>,
+    /// Buffer capacity in flits.
+    pub cap: usize,
+    /// Routing decision for the packet currently at the head of the worm:
+    /// `(out_port, out_vc)`. Set when the head flit is routed, cleared when
+    /// the tail departs.
+    pub dest: Option<(u8, u8)>,
+    /// Whether the downstream VC has been allocated to this worm.
+    pub granted: bool,
+}
+
+impl VcBuf {
+    /// An empty buffer of the given capacity.
+    pub fn new(cap: usize) -> Self {
+        Self { fifo: VecDeque::with_capacity(cap), cap, dest: None, granted: false }
+    }
+
+    /// Free slots.
+    pub fn free(&self) -> usize {
+        self.cap - self.fifo.len()
+    }
+
+    /// Number of leading flits that belong to the packet at the front
+    /// (stops at the following packet's head). Used by RC's
+    /// store-and-forward check.
+    pub fn front_packet_flits(&self) -> usize {
+        let Some(front) = self.fifo.front() else { return 0 };
+        self.fifo.iter().take_while(|f| f.packet == front.packet).count()
+    }
+}
+
+/// One router: 6 input ports x `vc_count` VC buffers, per-output VC
+/// allocation state, credit counters toward each downstream buffer, and
+/// round-robin arbitration pointers.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// Input buffers: `inputs[port][vc]`.
+    pub inputs: Vec<Vec<VcBuf>>,
+    /// Output VC allocation: `out_alloc[port][vc]` = the (in_port, in_vc)
+    /// worm currently owning the downstream VC.
+    pub out_alloc: Vec<Vec<Option<(u8, u8)>>>,
+    /// Credits: free downstream slots per `(out_port, vc)`. Unused for the
+    /// Local port (ejection is never back-pressured).
+    pub credits: Vec<Vec<usize>>,
+    /// Downstream wiring: `out_links[port]` = (downstream router index,
+    /// downstream input port). `None` for Local and absent links.
+    pub out_links: Vec<Option<(usize, u8)>>,
+    /// Upstream wiring: `in_links[port]` = (upstream router index, upstream
+    /// output port) used to return credits. `None` for Local.
+    pub in_links: Vec<Option<(usize, u8)>>,
+    /// Round-robin arbitration pointer per output port.
+    pub rr: Vec<u32>,
+}
+
+impl Router {
+    /// A disconnected router with all buffers sized `buffer_depth`.
+    pub fn new(vc_count: usize, buffer_depth: usize) -> Self {
+        Self {
+            inputs: (0..PORT_COUNT)
+                .map(|_| (0..vc_count).map(|_| VcBuf::new(buffer_depth)).collect())
+                .collect(),
+            out_alloc: vec![vec![None; vc_count]; PORT_COUNT],
+            credits: vec![vec![0; vc_count]; PORT_COUNT],
+            out_links: vec![None; PORT_COUNT],
+            in_links: vec![None; PORT_COUNT],
+            rr: vec![0; PORT_COUNT],
+        }
+    }
+
+    /// Total flits buffered in this router.
+    pub fn occupancy(&self) -> usize {
+        self.inputs.iter().flatten().map(|b| b.fifo.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{Flit, PacketId};
+
+    #[test]
+    fn port_mapping_round_trips() {
+        assert_eq!(port_of(Direction::East), PORT_EAST);
+        assert_eq!(arrival_port(Direction::East), PORT_WEST);
+        assert_eq!(arrival_port(Direction::North), PORT_SOUTH);
+        assert_eq!(port_of(Direction::Down), PORT_VERTICAL);
+        assert_eq!(arrival_port(Direction::Down), PORT_VERTICAL);
+        assert_eq!(arrival_port(Direction::Up), PORT_VERTICAL);
+    }
+
+    #[test]
+    fn vcbuf_tracks_capacity() {
+        let mut b = VcBuf::new(4);
+        assert_eq!(b.free(), 4);
+        b.fifo.push_back(Flit { packet: PacketId(0), is_head: true, is_tail: false });
+        assert_eq!(b.free(), 3);
+    }
+
+    #[test]
+    fn front_packet_flits_stops_at_next_head() {
+        let mut b = VcBuf::new(8);
+        for f in Flit::train(PacketId(0), 3) {
+            b.fifo.push_back(f);
+        }
+        for f in Flit::train(PacketId(1), 2).take(1) {
+            b.fifo.push_back(f);
+        }
+        assert_eq!(b.front_packet_flits(), 3);
+    }
+
+    #[test]
+    fn fresh_router_is_empty() {
+        let r = Router::new(2, 4);
+        assert_eq!(r.occupancy(), 0);
+        assert_eq!(r.inputs.len(), PORT_COUNT);
+        assert_eq!(r.inputs[0].len(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Simulation statistics and the end-of-run report.
+
+use deft_topo::{ChipletId, ChipletSystem, Layer, NodeId};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A statistics region: one chiplet or the interposer (the paper's Fig. 5
+/// x-axis groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Region {
+    /// The interposer layer.
+    Interposer,
+    /// One chiplet.
+    Chiplet(u8),
+}
+
+impl Region {
+    /// The region a node belongs to.
+    pub fn of(sys: &ChipletSystem, node: NodeId) -> Region {
+        match sys.layer(node) {
+            Layer::Interposer => Region::Interposer,
+            Layer::Chiplet(ChipletId(c)) => Region::Chiplet(c),
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Region::Interposer => f.write_str("Intrpsr."),
+            Region::Chiplet(c) => write!(f, "Chip.-{}", c + 1),
+        }
+    }
+}
+
+/// Per-region VC-utilization counters (buffer writes per VC).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct VcUsage {
+    /// Flits written into VC0 buffers.
+    pub vc0: u64,
+    /// Flits written into VC1 buffers.
+    pub vc1: u64,
+}
+
+impl VcUsage {
+    /// VC0's share of the region's traffic, in percent (Fig. 5). Returns
+    /// 50.0 for an idle region.
+    pub fn vc0_percent(&self) -> f64 {
+        let total = self.vc0 + self.vc1;
+        if total == 0 {
+            50.0
+        } else {
+            100.0 * self.vc0 as f64 / total as f64
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Pattern name.
+    pub pattern: String,
+    /// Cycles actually simulated (including drain).
+    pub cycles: u64,
+    /// Packets generated in the measurement window.
+    pub injected_measured: u64,
+    /// Measured packets delivered before the run ended.
+    pub delivered: u64,
+    /// Packets (measured or not) dropped as unroutable under the current
+    /// fault state; the numerator of simulated unreachability.
+    pub dropped_unroutable: u64,
+    /// Packets generated over the whole run (denominator of simulated
+    /// reachability).
+    pub generated_total: u64,
+    /// Mean generation-to-ejection latency of delivered measured packets,
+    /// in cycles.
+    pub avg_latency: f64,
+    /// Median measured latency.
+    pub p50_latency: u64,
+    /// 95th-percentile measured latency.
+    pub p95_latency: u64,
+    /// 99th-percentile measured latency.
+    pub p99_latency: u64,
+    /// Maximum measured latency.
+    pub max_latency: u64,
+    /// Delivered measured flits per cycle per node.
+    pub throughput: f64,
+    /// Per-region VC utilization counters.
+    pub vc_usage: BTreeMap<Region, VcUsage>,
+    /// Flits that crossed each unidirectional VL: `(chiplet, vl index,
+    /// down?)` → count.
+    pub vl_flits: BTreeMap<(u8, u8, bool), u64>,
+    /// Whether the deadlock watchdog fired.
+    pub deadlocked: bool,
+}
+
+impl SimReport {
+    /// Simulated reachability: the fraction of generated packets that were
+    /// routable (paper §IV-C definition).
+    pub fn reachability(&self) -> f64 {
+        if self.generated_total == 0 {
+            1.0
+        } else {
+            1.0 - self.dropped_unroutable as f64 / self.generated_total as f64
+        }
+    }
+
+    /// Fraction of measured packets that were delivered; < 1 indicates the
+    /// network saturated (or packets were unroutable).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected_measured == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.injected_measured as f64
+        }
+    }
+
+    /// The coefficient used for Fig. 7-style comparisons: the load on each
+    /// VL direction, normalized to the busiest one. Returns `None` when no
+    /// VL carried traffic.
+    pub fn vl_balance(&self) -> Option<f64> {
+        let max = *self.vl_flits.values().max()?;
+        if max == 0 {
+            return None;
+        }
+        let sum: u64 = self.vl_flits.values().sum();
+        Some(sum as f64 / (max as f64 * self.vl_flits.len() as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_display_matches_fig5_labels() {
+        assert_eq!(Region::Interposer.to_string(), "Intrpsr.");
+        assert_eq!(Region::Chiplet(0).to_string(), "Chip.-1");
+    }
+
+    #[test]
+    fn vc_usage_percent() {
+        let u = VcUsage { vc0: 75, vc1: 25 };
+        assert!((u.vc0_percent() - 75.0).abs() < 1e-12);
+        assert_eq!(VcUsage::default().vc0_percent(), 50.0);
+    }
+
+    #[test]
+    fn region_of_maps_layers() {
+        let sys = ChipletSystem::baseline_4();
+        assert_eq!(Region::of(&sys, NodeId(0)), Region::Chiplet(0));
+        let ip = sys.interposer_nodes().next().unwrap();
+        assert_eq!(Region::of(&sys, ip), Region::Interposer);
+    }
+
+    #[test]
+    fn reachability_from_drop_counts() {
+        let mut r = SimReport {
+            algorithm: "x".into(),
+            pattern: "y".into(),
+            cycles: 100,
+            injected_measured: 10,
+            delivered: 9,
+            dropped_unroutable: 5,
+            generated_total: 100,
+            avg_latency: 20.0,
+            p50_latency: 18,
+            p95_latency: 35,
+            p99_latency: 39,
+            max_latency: 40,
+            throughput: 0.1,
+            vc_usage: BTreeMap::new(),
+            vl_flits: BTreeMap::new(),
+            deadlocked: false,
+        };
+        assert!((r.reachability() - 0.95).abs() < 1e-12);
+        assert!((r.delivery_ratio() - 0.9).abs() < 1e-12);
+        r.generated_total = 0;
+        assert_eq!(r.reachability(), 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the simulator: liveness, conservation, and
+//! determinism on randomized systems and loads.
+
+use deft_routing::{DeftRouting, MtrRouting, RcRouting, RoutingAlgorithm};
+use deft_sim::{SimConfig, Simulator};
+use deft_topo::{ChipletId, ChipletSystem, FaultState, VlDir, VlLinkId};
+use deft_traffic::uniform;
+use proptest::prelude::*;
+
+fn quick(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup: 100,
+        measure: 600,
+        drain: 15_000,
+        deadlock_threshold: 3_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn no_deadlock_and_full_drain_on_random_grids(
+        cols in 1u8..=3,
+        rows in 1u8..=2,
+        rate_milli in 1u32..=8,
+        alg_pick in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        let sys = ChipletSystem::chiplet_grid(cols, rows).expect("valid grid");
+        let rate = rate_milli as f64 / 1000.0;
+        let pattern = uniform(&sys, rate);
+        let alg: Box<dyn RoutingAlgorithm> = match alg_pick {
+            0 => Box::new(DeftRouting::distance_based(&sys)),
+            1 => Box::new(MtrRouting::new(&sys)),
+            _ => Box::new(RcRouting::new(&sys)),
+        };
+        let report = Simulator::new(&sys, FaultState::none(&sys), alg, &pattern, quick(seed)).run();
+        prop_assert!(!report.deadlocked, "deadlock on {cols}x{rows} grid at rate {rate}");
+        // Conservation: everything measured is eventually delivered when
+        // the network drains (light loads drain within the drain budget).
+        if rate <= 0.004 {
+            prop_assert_eq!(report.delivered, report.injected_measured);
+        }
+        prop_assert_eq!(report.dropped_unroutable, 0);
+    }
+
+    #[test]
+    fn latency_is_at_least_serialization(
+        rate_milli in 1u32..=4,
+        seed in 0u64..100,
+    ) {
+        let sys = ChipletSystem::baseline_4();
+        let pattern = uniform(&sys, rate_milli as f64 / 1000.0);
+        let report = Simulator::new(
+            &sys,
+            FaultState::none(&sys),
+            Box::new(DeftRouting::distance_based(&sys)),
+            &pattern,
+            quick(seed),
+        )
+        .run();
+        if report.delivered > 0 {
+            // A packet of 8 flits needs at least 8 + 1 cycles end to end.
+            prop_assert!(report.avg_latency >= 9.0, "latency {}", report.avg_latency);
+            prop_assert!(report.p50_latency >= 9);
+        }
+    }
+
+    #[test]
+    fn faulty_scenarios_never_deadlock_deft(
+        fault_picks in prop::collection::vec((0u8..4, 0u8..4, prop::bool::ANY), 1..6),
+        seed in 0u64..100,
+    ) {
+        let sys = ChipletSystem::baseline_4();
+        let mut faults = FaultState::none(&sys);
+        for (c, i, down) in fault_picks {
+            faults.inject(VlLinkId {
+                chiplet: ChipletId(c),
+                index: i,
+                dir: if down { VlDir::Down } else { VlDir::Up },
+            });
+        }
+        prop_assume!(!faults.disconnects_any_chiplet(&sys));
+        let pattern = uniform(&sys, 0.004);
+        let report = Simulator::new(
+            &sys,
+            faults,
+            Box::new(DeftRouting::new(&sys)),
+            &pattern,
+            quick(seed),
+        )
+        .run();
+        prop_assert!(!report.deadlocked);
+        prop_assert_eq!(report.dropped_unroutable, 0);
+    }
+
+    #[test]
+    fn reports_are_reproducible(seed in 0u64..50) {
+        let sys = ChipletSystem::baseline_4();
+        let pattern = uniform(&sys, 0.005);
+        let run = || {
+            Simulator::new(
+                &sys,
+                FaultState::none(&sys),
+                Box::new(DeftRouting::distance_based(&sys)),
+                &pattern,
+                quick(seed),
+            )
+            .run()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert_eq!(a.avg_latency, b.avg_latency);
+        prop_assert_eq!(a.p99_latency, b.p99_latency);
+        prop_assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,146 @@
+//! A single chiplet die and its vertical links.
+
+use crate::system::VerticalLink;
+use crate::{ChipletId, Coord};
+use serde::{Deserialize, Serialize};
+
+/// One chiplet: a `width` x `height` mesh of router+core tiles placed at
+/// `origin` on the interposer grid, with a few vertical links to the
+/// interposer.
+///
+/// Constructed by [`SystemBuilder`](crate::SystemBuilder); immutable
+/// afterwards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chiplet {
+    id: ChipletId,
+    origin: Coord,
+    width: u8,
+    height: u8,
+    vls: Vec<VerticalLink>,
+}
+
+impl Chiplet {
+    pub(crate) fn new(
+        id: ChipletId,
+        origin: Coord,
+        width: u8,
+        height: u8,
+        vls: Vec<VerticalLink>,
+    ) -> Self {
+        Self { id, origin, width, height, vls }
+    }
+
+    /// This chiplet's identifier.
+    pub fn id(&self) -> ChipletId {
+        self.id
+    }
+
+    /// Position of the chiplet's (0, 0) tile on the interposer grid.
+    pub fn origin(&self) -> Coord {
+        self.origin
+    }
+
+    /// Mesh width in tiles.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Mesh height in tiles.
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// Number of router+core tiles on this chiplet.
+    pub fn node_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// The chiplet's vertical links, in declaration order. The position in
+    /// this slice is the VL's chiplet-local index used by
+    /// [`FaultState`](crate::FaultState) masks and the DeFT selection LUTs.
+    pub fn vertical_links(&self) -> &[VerticalLink] {
+        &self.vls
+    }
+
+    /// Number of (bidirectional) vertical links.
+    pub fn vl_count(&self) -> usize {
+        self.vls.len()
+    }
+
+    /// Chiplet-local coordinate of vertical link `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.vl_count()`.
+    pub fn vl_coord(&self, idx: usize) -> Coord {
+        self.vls[idx].chiplet_coord
+    }
+
+    /// Whether the chiplet-local `coord` hosts a vertical link, and if so,
+    /// its VL index.
+    pub fn vl_at(&self, coord: Coord) -> Option<usize> {
+        self.vls.iter().position(|vl| vl.chiplet_coord == coord)
+    }
+
+    /// Iterates over all chiplet-local coordinates row-major.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        let (w, h) = (self.width, self.height);
+        (0..h).flat_map(move |y| (0..w).map(move |x| Coord::new(x, y)))
+    }
+
+    /// Converts a chiplet-local coordinate to the interposer coordinate
+    /// directly beneath it.
+    pub fn to_interposer(&self, local: Coord) -> Coord {
+        local.offset(self.origin)
+    }
+
+    /// Whether `local` is inside this chiplet's mesh.
+    pub fn contains(&self, local: Coord) -> bool {
+        local.x < self.width && local.y < self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn sample() -> Chiplet {
+        let vls = vec![
+            VerticalLink {
+                chiplet: ChipletId(0),
+                index: 0,
+                chiplet_coord: Coord::new(1, 3),
+                chiplet_node: NodeId(13),
+                interposer_node: NodeId(100),
+            },
+            VerticalLink {
+                chiplet: ChipletId(0),
+                index: 1,
+                chiplet_coord: Coord::new(3, 2),
+                chiplet_node: NodeId(11),
+                interposer_node: NodeId(101),
+            },
+        ];
+        Chiplet::new(ChipletId(0), Coord::new(4, 0), 4, 4, vls)
+    }
+
+    #[test]
+    fn geometry_queries() {
+        let c = sample();
+        assert_eq!(c.node_count(), 16);
+        assert!(c.contains(Coord::new(3, 3)));
+        assert!(!c.contains(Coord::new(4, 0)));
+        assert_eq!(c.to_interposer(Coord::new(1, 1)), Coord::new(5, 1));
+        assert_eq!(c.coords().count(), 16);
+        assert_eq!(c.coords().next(), Some(Coord::new(0, 0)));
+    }
+
+    #[test]
+    fn vl_lookup() {
+        let c = sample();
+        assert_eq!(c.vl_count(), 2);
+        assert_eq!(c.vl_at(Coord::new(3, 2)), Some(1));
+        assert_eq!(c.vl_at(Coord::new(0, 0)), None);
+        assert_eq!(c.vl_coord(0), Coord::new(1, 3));
+    }
+}

@@ -1,0 +1,209 @@
+//! Mesh coordinates and link directions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position in a 2D mesh, `x` growing east and `y` growing north.
+///
+/// Coordinates are local to one layer (a chiplet mesh or the interposer
+/// mesh); translation between the two is done by
+/// [`ChipletSystem`](crate::ChipletSystem).
+///
+/// ```
+/// use deft_topo::Coord;
+/// let a = Coord::new(1, 2);
+/// let b = Coord::new(3, 0);
+/// assert_eq!(a.manhattan(b), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Coord {
+    /// Horizontal position (east is positive).
+    pub x: u8,
+    /// Vertical position (north is positive).
+    pub y: u8,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(x: u8, y: u8) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (hop-count) distance to `other` within the same mesh.
+    ///
+    /// This is the `D_r^v` term of the paper's Eq. (4).
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+
+    /// The neighbouring coordinate in `dir`, if it stays inside a
+    /// `width` x `height` mesh. Vertical directions return `None`;
+    /// inter-layer neighbours are topology-level, not coordinate-level.
+    pub fn step(self, dir: Direction, width: u8, height: u8) -> Option<Coord> {
+        match dir {
+            Direction::East if self.x + 1 < width => Some(Coord::new(self.x + 1, self.y)),
+            Direction::West if self.x > 0 => Some(Coord::new(self.x - 1, self.y)),
+            Direction::North if self.y + 1 < height => Some(Coord::new(self.x, self.y + 1)),
+            Direction::South if self.y > 0 => Some(Coord::new(self.x, self.y - 1)),
+            _ => None,
+        }
+    }
+
+    /// Offsets this coordinate by another (used to map chiplet-local
+    /// coordinates onto the interposer grid).
+    ///
+    /// # Panics
+    /// Panics on `u8` overflow, which indicates an invalid topology and is
+    /// rejected earlier by [`SystemBuilder`](crate::SystemBuilder).
+    pub fn offset(self, origin: Coord) -> Coord {
+        Coord::new(self.x + origin.x, self.y + origin.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A link direction out of a router.
+///
+/// The paper's port terminology: *Horizontal* ports are `East`, `West`,
+/// `North`, `South` (intra-chiplet and intra-interposer); the *Down* port
+/// goes from a chiplet to the interposer and the *Up* port from the
+/// interposer to a chiplet (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// +x within a layer.
+    East,
+    /// -x within a layer.
+    West,
+    /// +y within a layer.
+    North,
+    /// -y within a layer.
+    South,
+    /// Interposer → chiplet (only out of interposer routers under a VL).
+    Up,
+    /// Chiplet → interposer (only out of boundary routers).
+    Down,
+}
+
+impl Direction {
+    /// All six directions.
+    pub const ALL: [Direction; 6] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+        Direction::Up,
+        Direction::Down,
+    ];
+
+    /// The four horizontal (intra-layer) directions.
+    pub const HORIZONTAL: [Direction; 4] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+    ];
+
+    /// Whether this is one of the four intra-layer directions.
+    pub fn is_horizontal(self) -> bool {
+        !matches!(self, Direction::Up | Direction::Down)
+    }
+
+    /// Whether this crosses between a chiplet and the interposer.
+    pub fn is_vertical(self) -> bool {
+        matches!(self, Direction::Up | Direction::Down)
+    }
+
+    /// The direction a flit *arrives from* when it was sent in `self`:
+    /// east-sent flits arrive on the west side, up-sent flits arrive from
+    /// below, and so on.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::East => "east",
+            Direction::West => "west",
+            Direction::North => "north",
+            Direction::South => "south",
+            Direction::Up => "up",
+            Direction::Down => "down",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_self() {
+        let a = Coord::new(2, 5);
+        let b = Coord::new(7, 1);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+        assert_eq!(a.manhattan(b), 5 + 4);
+    }
+
+    #[test]
+    fn step_respects_mesh_bounds() {
+        let c = Coord::new(0, 0);
+        assert_eq!(c.step(Direction::West, 4, 4), None);
+        assert_eq!(c.step(Direction::South, 4, 4), None);
+        assert_eq!(c.step(Direction::East, 4, 4), Some(Coord::new(1, 0)));
+        assert_eq!(c.step(Direction::North, 4, 4), Some(Coord::new(0, 1)));
+        let edge = Coord::new(3, 3);
+        assert_eq!(edge.step(Direction::East, 4, 4), None);
+        assert_eq!(edge.step(Direction::North, 4, 4), None);
+    }
+
+    #[test]
+    fn vertical_steps_are_not_coordinate_steps() {
+        let c = Coord::new(1, 1);
+        assert_eq!(c.step(Direction::Up, 4, 4), None);
+        assert_eq!(c.step(Direction::Down, 4, 4), None);
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn horizontal_classification() {
+        assert!(Direction::East.is_horizontal());
+        assert!(!Direction::Up.is_horizontal());
+        assert!(Direction::Down.is_vertical());
+        assert_eq!(Direction::HORIZONTAL.len(), 4);
+        for d in Direction::HORIZONTAL {
+            assert!(d.is_horizontal());
+        }
+    }
+
+    #[test]
+    fn offset_translates() {
+        assert_eq!(Coord::new(1, 2).offset(Coord::new(4, 4)), Coord::new(5, 6));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Coord::new(3, 4).to_string(), "(3, 4)");
+        assert_eq!(Direction::Up.to_string(), "up");
+    }
+}

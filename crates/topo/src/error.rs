@@ -1,0 +1,106 @@
+//! Topology construction errors.
+
+use crate::{ChipletId, Coord};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`SystemBuilder`](crate::SystemBuilder) describes an
+/// inconsistent 2.5D system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A mesh dimension was zero.
+    EmptyMesh {
+        /// What was empty ("interposer" or "chiplet N").
+        what: String,
+    },
+    /// A chiplet (its footprint on the interposer) extends past the
+    /// interposer boundary.
+    ChipletOutOfBounds {
+        /// Offending chiplet.
+        chiplet: ChipletId,
+    },
+    /// Two chiplet footprints overlap on the interposer.
+    ChipletOverlap {
+        /// First chiplet of the overlapping pair.
+        a: ChipletId,
+        /// Second chiplet of the overlapping pair.
+        b: ChipletId,
+    },
+    /// A vertical-link coordinate is outside its chiplet mesh.
+    VlOutOfBounds {
+        /// Chiplet the VL was declared on.
+        chiplet: ChipletId,
+        /// The offending chiplet-local coordinate.
+        coord: Coord,
+    },
+    /// The same chiplet router was given two vertical links.
+    DuplicateVl {
+        /// Chiplet the VL was declared on.
+        chiplet: ChipletId,
+        /// The duplicated chiplet-local coordinate.
+        coord: Coord,
+    },
+    /// A chiplet has no vertical links and would be unreachable.
+    NoVls {
+        /// Offending chiplet.
+        chiplet: ChipletId,
+    },
+    /// No chiplet was added.
+    NoChiplets,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyMesh { what } => write!(f, "{what} mesh has a zero dimension"),
+            TopologyError::ChipletOutOfBounds { chiplet } => {
+                write!(f, "{chiplet} extends past the interposer boundary")
+            }
+            TopologyError::ChipletOverlap { a, b } => {
+                write!(f, "{a} and {b} overlap on the interposer")
+            }
+            TopologyError::VlOutOfBounds { chiplet, coord } => {
+                write!(f, "vertical link at {coord} is outside {chiplet}")
+            }
+            TopologyError::DuplicateVl { chiplet, coord } => {
+                write!(f, "duplicate vertical link at {coord} on {chiplet}")
+            }
+            TopologyError::NoVls { chiplet } => {
+                write!(f, "{chiplet} has no vertical links and would be disconnected")
+            }
+            TopologyError::NoChiplets => f.write_str("system has no chiplets"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_unpunctuated() {
+        let errs: Vec<TopologyError> = vec![
+            TopologyError::EmptyMesh { what: "interposer".into() },
+            TopologyError::ChipletOutOfBounds { chiplet: ChipletId(1) },
+            TopologyError::ChipletOverlap { a: ChipletId(0), b: ChipletId(1) },
+            TopologyError::VlOutOfBounds { chiplet: ChipletId(0), coord: Coord::new(9, 9) },
+            TopologyError::DuplicateVl { chiplet: ChipletId(0), coord: Coord::new(1, 1) },
+            TopologyError::NoVls { chiplet: ChipletId(2) },
+            TopologyError::NoChiplets,
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "message {msg:?} should not end with a period");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(TopologyError::NoChiplets);
+    }
+}

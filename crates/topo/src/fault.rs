@@ -1,0 +1,475 @@
+//! Vertical-link fault state and fault-scenario enumeration.
+//!
+//! Faults live on *unidirectional* vertical links: the down half
+//! (chiplet → interposer) and the up half (interposer → chiplet) of a
+//! micro-bump pair fail independently (mismatch, electromigration, and
+//! thermomigration affect individual bump groups — paper §III-B). The
+//! paper's fault axes count unidirectional links: the 4-chiplet system has
+//! 32 of them, the 6-chiplet system 48.
+
+use crate::{ChipletId, ChipletSystem, VlDir};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one unidirectional vertical link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VlLinkId {
+    /// The chiplet the VL belongs to.
+    pub chiplet: ChipletId,
+    /// VL index within the chiplet (see
+    /// [`Chiplet::vertical_links`](crate::Chiplet::vertical_links)).
+    pub index: u8,
+    /// Which half of the bidirectional pair.
+    pub dir: VlDir,
+}
+
+impl fmt::Display for VlLinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.vl{}.{}", self.chiplet, self.index, self.dir)
+    }
+}
+
+/// The set of currently-faulty unidirectional vertical links.
+///
+/// Stored as one bitmask per (chiplet, direction) group, so queries used on
+/// the routing fast path (healthy-mask lookup for LUT indexing) are O(1).
+///
+/// ```
+/// use deft_topo::{ChipletSystem, FaultState, VlLinkId, ChipletId, VlDir};
+///
+/// let sys = ChipletSystem::baseline_4();
+/// let mut faults = FaultState::none(&sys);
+/// faults.inject(VlLinkId { chiplet: ChipletId(0), index: 2, dir: VlDir::Down });
+/// assert_eq!(faults.faulty_count(), 1);
+/// assert_eq!(faults.down_mask(ChipletId(0)), 0b0100);
+/// assert!(!faults.disconnects_any_chiplet(&sys));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultState {
+    down: Vec<u8>,
+    up: Vec<u8>,
+}
+
+impl FaultState {
+    /// A fault-free state for `sys`.
+    pub fn none(sys: &ChipletSystem) -> Self {
+        Self { down: vec![0; sys.chiplet_count()], up: vec![0; sys.chiplet_count()] }
+    }
+
+    /// A state with exactly the given links faulty.
+    pub fn from_links(sys: &ChipletSystem, links: &[VlLinkId]) -> Self {
+        let mut s = Self::none(sys);
+        for &l in links {
+            s.inject(l);
+        }
+        s
+    }
+
+    /// Marks a link faulty. Injecting an already-faulty link is a no-op.
+    ///
+    /// # Panics
+    /// Panics if the chiplet index is out of range or the VL index is ≥ 8
+    /// (masks are `u8`; the paper's systems have 4 VLs per chiplet).
+    pub fn inject(&mut self, link: VlLinkId) {
+        assert!(link.index < 8, "VL index {} exceeds mask width", link.index);
+        let m = self.mask_mut(link.chiplet, link.dir);
+        *m |= 1 << link.index;
+    }
+
+    /// Marks a link healthy again.
+    pub fn heal(&mut self, link: VlLinkId) {
+        let m = self.mask_mut(link.chiplet, link.dir);
+        *m &= !(1 << link.index);
+    }
+
+    /// Clears all faults.
+    pub fn clear(&mut self) {
+        self.down.fill(0);
+        self.up.fill(0);
+    }
+
+    fn mask_mut(&mut self, chiplet: ChipletId, dir: VlDir) -> &mut u8 {
+        match dir {
+            VlDir::Down => &mut self.down[chiplet.index()],
+            VlDir::Up => &mut self.up[chiplet.index()],
+        }
+    }
+
+    /// Whether the given link is faulty.
+    pub fn is_faulty(&self, link: VlLinkId) -> bool {
+        self.mask(link.chiplet, link.dir) & (1 << link.index) != 0
+    }
+
+    /// Bitmask of faulty links for a (chiplet, direction) group; bit `i`
+    /// corresponds to VL index `i`.
+    pub fn mask(&self, chiplet: ChipletId, dir: VlDir) -> u8 {
+        match dir {
+            VlDir::Down => self.down[chiplet.index()],
+            VlDir::Up => self.up[chiplet.index()],
+        }
+    }
+
+    /// Bitmask of faulty down links of `chiplet`.
+    pub fn down_mask(&self, chiplet: ChipletId) -> u8 {
+        self.down[chiplet.index()]
+    }
+
+    /// Bitmask of faulty up links of `chiplet`.
+    pub fn up_mask(&self, chiplet: ChipletId) -> u8 {
+        self.up[chiplet.index()]
+    }
+
+    /// Bitmask of *healthy* links of a group, given the chiplet's VL count.
+    pub fn healthy_mask(&self, chiplet: ChipletId, dir: VlDir, vl_count: usize) -> u8 {
+        debug_assert!(vl_count <= 8);
+        !self.mask(chiplet, dir) & ((1u16 << vl_count) - 1) as u8
+    }
+
+    /// Total number of faulty unidirectional links.
+    pub fn faulty_count(&self) -> usize {
+        self.down.iter().chain(self.up.iter()).map(|m| m.count_ones() as usize).sum()
+    }
+
+    /// Whether this state is fault-free.
+    pub fn is_fault_free(&self) -> bool {
+        self.down.iter().chain(self.up.iter()).all(|&m| m == 0)
+    }
+
+    /// Whether any chiplet is disconnected: all its down links faulty (no
+    /// packet can leave) or all its up links faulty (no packet can enter).
+    /// The paper excludes such scenarios from the fault-injection campaign.
+    pub fn disconnects_any_chiplet(&self, sys: &ChipletSystem) -> bool {
+        sys.chiplets().iter().any(|c| {
+            let full = ((1u16 << c.vl_count()) - 1) as u8;
+            self.down[c.id().index()] == full || self.up[c.id().index()] == full
+        })
+    }
+
+    /// All faulty links, chiplet-major, down before up.
+    pub fn links(&self) -> Vec<VlLinkId> {
+        let mut out = Vec::with_capacity(self.faulty_count());
+        for (ci, (&d, &u)) in self.down.iter().zip(&self.up).enumerate() {
+            let chiplet = ChipletId(ci as u8);
+            for i in 0..8 {
+                if d & (1 << i) != 0 {
+                    out.push(VlLinkId { chiplet, index: i, dir: VlDir::Down });
+                }
+            }
+            for i in 0..8 {
+                if u & (1 << i) != 0 {
+                    out.push(VlLinkId { chiplet, index: i, dir: VlDir::Up });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `n choose r` as `u128`; saturates are not needed for the paper's sizes
+/// (≤ 48 choose 8).
+pub(crate) fn binomial(n: u64, r: u64) -> u128 {
+    if r > n {
+        return 0;
+    }
+    let r = r.min(n - r);
+    let mut acc: u128 = 1;
+    for i in 0..r {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+/// Exhaustive enumeration of all `k`-fault scenarios of a system, excluding
+/// scenarios that disconnect a chiplet.
+///
+/// This is the scenario universe of the paper's Fig. 7 ("we injected all
+/// combinations of fault patterns excluding those that disconnected chiplets
+/// completely").
+#[derive(Debug, Clone)]
+pub struct FaultScenarios {
+    links: Vec<VlLinkId>,
+    vl_counts: Vec<usize>,
+    k: usize,
+}
+
+impl FaultScenarios {
+    /// Prepares enumeration of all scenarios with exactly `k` faulty
+    /// unidirectional links.
+    pub fn new(sys: &ChipletSystem, k: usize) -> Self {
+        let mut links = Vec::with_capacity(sys.unidirectional_vl_count());
+        for c in sys.chiplets() {
+            for dir in VlDir::ALL {
+                for i in 0..c.vl_count() {
+                    links.push(VlLinkId { chiplet: c.id(), index: i as u8, dir });
+                }
+            }
+        }
+        let vl_counts = sys.chiplets().iter().map(|c| c.vl_count()).collect();
+        Self { links, vl_counts, k }
+    }
+
+    /// Number of faulty links per scenario.
+    pub fn fault_count(&self) -> usize {
+        self.k
+    }
+
+    /// Total unidirectional links in the system.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The number of admissible (non-disconnecting) scenarios, computed by a
+    /// polynomial-convolution DP over the (chiplet, direction) groups rather
+    /// than enumeration.
+    pub fn count_admissible(&self) -> u128 {
+        // ways[j] = #ways to place j faults in the groups seen so far,
+        // never filling a group completely.
+        let mut ways: Vec<u128> = vec![0; self.k + 1];
+        ways[0] = 1;
+        for &v in &self.vl_counts {
+            for _dir in VlDir::ALL {
+                let mut next = vec![0u128; self.k + 1];
+                for (j, &w) in ways.iter().enumerate() {
+                    if w == 0 {
+                        continue;
+                    }
+                    for t in 0..v.min(self.k - j + 1) {
+                        // t < v: the group is never fully faulty.
+                        next[j + t] += w * binomial(v as u64, t as u64);
+                    }
+                }
+                ways = next;
+            }
+        }
+        ways[self.k]
+    }
+
+    /// Visits every admissible scenario, reusing one scratch
+    /// [`FaultState`]. Stops early if `f` returns `false`.
+    ///
+    /// Enumeration order is the lexicographic combination order over the
+    /// link list (chiplet-major, down before up).
+    pub fn for_each(&self, sys: &ChipletSystem, mut f: impl FnMut(&FaultState) -> bool) {
+        let n = self.links.len();
+        let k = self.k;
+        if k > n {
+            return;
+        }
+        let mut idx: Vec<usize> = (0..k).collect();
+        let mut state = FaultState::none(sys);
+        loop {
+            state.clear();
+            for &i in &idx {
+                state.inject(self.links[i]);
+            }
+            if !state.disconnects_any_chiplet(sys) && !f(&state) {
+                return;
+            }
+            // Advance to the next k-combination.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                if idx[i] != i + n - k {
+                    break;
+                }
+                if i == 0 {
+                    return;
+                }
+            }
+            idx[i] += 1;
+            for j in i + 1..k {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
+    }
+
+    /// Collects all admissible scenarios. Prefer [`FaultScenarios::for_each`]
+    /// for large `k`; this allocates one `FaultState` per scenario.
+    pub fn collect(&self, sys: &ChipletSystem) -> Vec<FaultState> {
+        let mut v = Vec::new();
+        self.for_each(sys, |s| {
+            v.push(s.clone());
+            true
+        });
+        v
+    }
+}
+
+/// Seeded random sampler of admissible `k`-fault scenarios, used for
+/// Monte-Carlo cross-checks of the exact reachability engine.
+#[derive(Debug)]
+pub struct ScenarioSampler {
+    links: Vec<VlLinkId>,
+    k: usize,
+    rng: SmallRng,
+}
+
+impl ScenarioSampler {
+    /// Creates a sampler for scenarios with `k` faults.
+    pub fn new(sys: &ChipletSystem, k: usize, seed: u64) -> Self {
+        let scen = FaultScenarios::new(sys, k);
+        Self { links: scen.links, k, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Draws one admissible scenario by rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if no admissible scenario exists (e.g. `k` ≥ the number of
+    /// links), after a bounded number of rejections.
+    pub fn sample(&mut self, sys: &ChipletSystem) -> FaultState {
+        for _ in 0..100_000 {
+            // Partial Fisher-Yates for a uniform k-subset.
+            let mut pool: Vec<usize> = (0..self.links.len()).collect();
+            for i in 0..self.k {
+                let j = self.rng.random_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            let links: Vec<VlLinkId> = pool[..self.k].iter().map(|&i| self.links[i]).collect();
+            let state = FaultState::from_links(sys, &links);
+            if !state.disconnects_any_chiplet(sys) {
+                return state;
+            }
+        }
+        panic!("no admissible {}-fault scenario found after 100000 samples", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChipletSystem;
+
+    #[test]
+    fn inject_heal_round_trip() {
+        let sys = ChipletSystem::baseline_4();
+        let mut f = FaultState::none(&sys);
+        let l = VlLinkId { chiplet: ChipletId(2), index: 3, dir: VlDir::Up };
+        assert!(!f.is_faulty(l));
+        f.inject(l);
+        assert!(f.is_faulty(l));
+        assert_eq!(f.up_mask(ChipletId(2)), 0b1000);
+        assert_eq!(f.down_mask(ChipletId(2)), 0);
+        f.heal(l);
+        assert!(!f.is_faulty(l));
+        assert!(f.is_fault_free());
+    }
+
+    #[test]
+    fn healthy_mask_complements_fault_mask() {
+        let sys = ChipletSystem::baseline_4();
+        let mut f = FaultState::none(&sys);
+        f.inject(VlLinkId { chiplet: ChipletId(0), index: 0, dir: VlDir::Down });
+        f.inject(VlLinkId { chiplet: ChipletId(0), index: 2, dir: VlDir::Down });
+        assert_eq!(f.healthy_mask(ChipletId(0), VlDir::Down, 4), 0b1010);
+        assert_eq!(f.healthy_mask(ChipletId(0), VlDir::Up, 4), 0b1111);
+    }
+
+    #[test]
+    fn disconnection_is_detected_per_direction() {
+        let sys = ChipletSystem::baseline_4();
+        let mut f = FaultState::none(&sys);
+        for i in 0..4 {
+            f.inject(VlLinkId { chiplet: ChipletId(1), index: i, dir: VlDir::Down });
+        }
+        assert!(f.disconnects_any_chiplet(&sys));
+        f.heal(VlLinkId { chiplet: ChipletId(1), index: 0, dir: VlDir::Down });
+        assert!(!f.disconnects_any_chiplet(&sys));
+    }
+
+    #[test]
+    fn links_round_trips_through_from_links() {
+        let sys = ChipletSystem::baseline_4();
+        let links = vec![
+            VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down },
+            VlLinkId { chiplet: ChipletId(3), index: 0, dir: VlDir::Up },
+        ];
+        let f = FaultState::from_links(&sys, &links);
+        let mut got = f.links();
+        got.sort();
+        let mut want = links;
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn binomial_matches_known_values() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(32, 8), 10_518_300);
+        assert_eq!(binomial(48, 8), 377_348_994);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn scenario_count_matches_enumeration_small_k() {
+        let sys = ChipletSystem::baseline_4();
+        for k in 1..=3 {
+            let scen = FaultScenarios::new(&sys, k);
+            let mut n = 0u128;
+            scen.for_each(&sys, |_| {
+                n += 1;
+                true
+            });
+            assert_eq!(n, scen.count_admissible(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn no_disconnect_below_vl_count_faults() {
+        // With 4 VLs per chiplet, up to 3 faults can never disconnect:
+        // admissible count must equal the raw binomial.
+        let sys = ChipletSystem::baseline_4();
+        for k in 0..=3u64 {
+            let scen = FaultScenarios::new(&sys, k as usize);
+            assert_eq!(scen.count_admissible(), binomial(32, k));
+        }
+        // At k = 4 exactly the 8 fully-faulty groups are excluded.
+        let scen = FaultScenarios::new(&sys, 4);
+        assert_eq!(scen.count_admissible(), binomial(32, 4) - 8);
+    }
+
+    #[test]
+    fn paper_scale_counts_are_consistent() {
+        let sys6 = ChipletSystem::baseline_6();
+        let scen = FaultScenarios::new(&sys6, 1);
+        assert_eq!(scen.link_count(), 48);
+        assert_eq!(scen.count_admissible(), 48);
+    }
+
+    #[test]
+    fn sampler_yields_admissible_scenarios_of_right_size() {
+        let sys = ChipletSystem::baseline_4();
+        let mut sampler = ScenarioSampler::new(&sys, 8, 7);
+        for _ in 0..50 {
+            let s = sampler.sample(&sys);
+            assert_eq!(s.faulty_count(), 8);
+            assert!(!s.disconnects_any_chiplet(&sys));
+        }
+    }
+
+    #[test]
+    fn enumeration_skips_disconnecting_scenarios() {
+        let sys = ChipletSystem::baseline_4();
+        let scen = FaultScenarios::new(&sys, 4);
+        scen.for_each(&sys, |s| {
+            assert!(!s.disconnects_any_chiplet(&sys));
+            true
+        });
+    }
+
+    #[test]
+    fn for_each_early_stop() {
+        let sys = ChipletSystem::baseline_4();
+        let scen = FaultScenarios::new(&sys, 2);
+        let mut seen = 0;
+        scen.for_each(&sys, |_| {
+            seen += 1;
+            seen < 10
+        });
+        assert_eq!(seen, 10);
+    }
+}

@@ -1,0 +1,150 @@
+//! Strongly-typed identifiers for nodes, chiplets, and layers.
+
+use crate::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Global identifier of a router/processing-element node.
+///
+/// IDs are dense: chiplet nodes come first (chiplet 0 row-major, then
+/// chiplet 1, ...), followed by the interposer nodes row-major. Use
+/// [`ChipletSystem::addr`](crate::ChipletSystem::addr) to translate to a
+/// layer + coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The ID as a `usize` index into per-node tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a chiplet (die) on the interposer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ChipletId(pub u8);
+
+impl ChipletId {
+    /// The ID as a `usize` index into per-chiplet tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChipletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chiplet{}", self.0)
+    }
+}
+
+/// Which mesh layer a node belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// One of the stacked dies.
+    Chiplet(ChipletId),
+    /// The active interposer the chiplets sit on.
+    Interposer,
+}
+
+impl Layer {
+    /// The chiplet ID, if this is a chiplet layer.
+    pub fn chiplet(self) -> Option<ChipletId> {
+        match self {
+            Layer::Chiplet(c) => Some(c),
+            Layer::Interposer => None,
+        }
+    }
+
+    /// Whether this is the interposer layer.
+    pub fn is_interposer(self) -> bool {
+        matches!(self, Layer::Interposer)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Chiplet(c) => write!(f, "{c}"),
+            Layer::Interposer => f.write_str("interposer"),
+        }
+    }
+}
+
+/// A node's position: layer plus layer-local coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeAddr {
+    /// The layer the node lives on.
+    pub layer: Layer,
+    /// Coordinate local to that layer's mesh.
+    pub coord: Coord,
+}
+
+impl NodeAddr {
+    /// Creates an address.
+    pub const fn new(layer: Layer, coord: Coord) -> Self {
+        Self { layer, coord }
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.layer, self.coord)
+    }
+}
+
+/// Direction of one unidirectional half of a bidirectional vertical link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VlDir {
+    /// Chiplet → interposer micro-bump link.
+    Down,
+    /// Interposer → chiplet micro-bump link.
+    Up,
+}
+
+impl VlDir {
+    /// Both directions, `Down` first.
+    pub const ALL: [VlDir; 2] = [VlDir::Down, VlDir::Up];
+}
+
+impl fmt::Display for VlDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VlDir::Down => f.write_str("down"),
+            VlDir::Up => f.write_str("up"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_accessors() {
+        assert_eq!(Layer::Chiplet(ChipletId(3)).chiplet(), Some(ChipletId(3)));
+        assert_eq!(Layer::Interposer.chiplet(), None);
+        assert!(Layer::Interposer.is_interposer());
+        assert!(!Layer::Chiplet(ChipletId(0)).is_interposer());
+    }
+
+    #[test]
+    fn display_round_trip_is_informative() {
+        let addr = NodeAddr::new(Layer::Chiplet(ChipletId(1)), Coord::new(2, 3));
+        assert_eq!(addr.to_string(), "chiplet1@(2, 3)");
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(VlDir::Up.to_string(), "up");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5).index(), 5);
+        assert_eq!(ChipletId(2).index(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! # deft-topo — 2.5D chiplet-system topology
+//!
+//! This crate models the physical structure of a 2.5D integrated chiplet
+//! system as used by the DeFT paper (Taheri et al., DATE 2022): several mesh
+//! chiplets placed on an active-interposer mesh, connected by a small number
+//! of *vertical links* (VLs) through micro-bumps.
+//!
+//! The central type is [`ChipletSystem`], built with [`SystemBuilder`] or one
+//! of the paper presets ([`ChipletSystem::baseline_4`],
+//! [`ChipletSystem::baseline_6`]). It provides coordinate/ID translation,
+//! neighbour queries for both mesh layers, and vertical-link lookup.
+//!
+//! Vertical links are *bidirectional* pairs of *unidirectional* micro-bump
+//! links; faults are tracked per direction in [`FaultState`] because a down
+//! link (chiplet → interposer) can fail independently of its up twin
+//! (interposer → chiplet). The paper's fault-rate axis (e.g. "8 faulty VLs of
+//! 32" for the 4-chiplet system) counts unidirectional links, which is what
+//! [`FaultState`] and [`FaultScenarios`] enumerate.
+//!
+//! ```
+//! use deft_topo::ChipletSystem;
+//!
+//! let sys = ChipletSystem::baseline_4();
+//! assert_eq!(sys.node_count(), 128);            // 4 x 16 cores + 8x8 interposer
+//! assert_eq!(sys.vertical_link_count(), 16);    // 4 VLs per chiplet
+//! assert_eq!(sys.unidirectional_vl_count(), 32);
+//! let boundary = sys.chiplet(deft_topo::ChipletId(0)).vertical_links()[0].chiplet_node;
+//! assert!(sys.is_boundary_router(boundary));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chiplet;
+mod coord;
+mod error;
+mod fault;
+mod ids;
+mod presets;
+mod system;
+
+pub use chiplet::Chiplet;
+pub use coord::{Coord, Direction};
+pub use error::TopologyError;
+pub use fault::{FaultScenarios, FaultState, ScenarioSampler, VlLinkId};
+pub use ids::{ChipletId, Layer, NodeAddr, NodeId, VlDir};
+pub use presets::PINWHEEL_VLS_4X4;
+pub use system::{ChipletSystem, SystemBuilder, VerticalLink};

@@ -1,0 +1,140 @@
+//! The paper's baseline systems and a generic grid preset.
+
+use crate::{ChipletSystem, Coord, SystemBuilder};
+
+/// Vertical-link placement for a 4x4 chiplet: one VL per border in a
+/// pinwheel pattern, so that every half-plane of the chiplet contains
+/// exactly two VLs.
+///
+/// The paper places the four VLs "on the borders of the chiplet" citing
+/// Yin et al. (ISCA 2018) for optimality, and notes DeFT is independent of VL
+/// placement and density. The pinwheel arrangement keeps the four VLs
+/// rotationally symmetric, matching the qualitative layout of the paper's
+/// Fig. 3.
+pub const PINWHEEL_VLS_4X4: [Coord; 4] = [
+    Coord::new(1, 3), // north border
+    Coord::new(3, 2), // east border
+    Coord::new(2, 0), // south border
+    Coord::new(0, 1), // west border
+];
+
+impl ChipletSystem {
+    /// The paper's baseline 4-chiplet system (Fig. 1): four 4x4 CPU chiplets
+    /// in a 2x2 arrangement on an 8x8 active interposer, four VLs per
+    /// chiplet (32 unidirectional vertical links).
+    ///
+    /// ```
+    /// let sys = deft_topo::ChipletSystem::baseline_4();
+    /// assert_eq!(sys.chiplet_count(), 4);
+    /// assert_eq!(sys.node_count(), 128);
+    /// assert_eq!(sys.unidirectional_vl_count(), 32);
+    /// ```
+    pub fn baseline_4() -> ChipletSystem {
+        Self::chiplet_grid(2, 2).expect("baseline 4-chiplet preset is valid")
+    }
+
+    /// The paper's 6-chiplet scaling study: six 4x4 chiplets in a 3x2
+    /// arrangement on a 12x8 interposer (48 unidirectional vertical links,
+    /// as in Fig. 7(b)).
+    ///
+    /// ```
+    /// let sys = deft_topo::ChipletSystem::baseline_6();
+    /// assert_eq!(sys.chiplet_count(), 6);
+    /// assert_eq!(sys.unidirectional_vl_count(), 48);
+    /// ```
+    pub fn baseline_6() -> ChipletSystem {
+        Self::chiplet_grid(3, 2).expect("baseline 6-chiplet preset is valid")
+    }
+
+    /// A `cols` x `rows` grid of 4x4 chiplets with pinwheel VLs on a
+    /// matching interposer.
+    ///
+    /// # Errors
+    /// Returns a [`TopologyError`](crate::TopologyError) if the grid does
+    /// not fit `u8` coordinates (more than 63 columns or rows).
+    pub fn chiplet_grid(cols: u8, rows: u8) -> Result<ChipletSystem, crate::TopologyError> {
+        let mut b = SystemBuilder::new(cols * 4, rows * 4);
+        for cy in 0..rows {
+            for cx in 0..cols {
+                b = b.chiplet(Coord::new(cx * 4, cy * 4), 4, 4, &PINWHEEL_VLS_4X4);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChipletId, Layer, VlDir};
+
+    #[test]
+    fn baseline_4_matches_paper_dimensions() {
+        let sys = ChipletSystem::baseline_4();
+        assert_eq!(sys.chiplet_count(), 4);
+        assert_eq!(sys.interposer_width(), 8);
+        assert_eq!(sys.interposer_height(), 8);
+        assert_eq!(sys.node_count(), 4 * 16 + 64);
+        assert_eq!(sys.vertical_link_count(), 16);
+        assert_eq!(sys.unidirectional_vl_count(), 32);
+        for c in sys.chiplets() {
+            assert_eq!(c.vl_count(), 4);
+            assert_eq!(c.width(), 4);
+            assert_eq!(c.height(), 4);
+        }
+    }
+
+    #[test]
+    fn baseline_6_matches_paper_dimensions() {
+        let sys = ChipletSystem::baseline_6();
+        assert_eq!(sys.chiplet_count(), 6);
+        assert_eq!(sys.interposer_width(), 12);
+        assert_eq!(sys.interposer_height(), 8);
+        assert_eq!(sys.node_count(), 6 * 16 + 96);
+        assert_eq!(sys.unidirectional_vl_count(), 48);
+    }
+
+    #[test]
+    fn pinwheel_halves_have_two_vls_each() {
+        // Every half-plane (east/west/north/south half) of a 4x4 chiplet
+        // must contain exactly two of the four VLs; the MTR baseline's
+        // facing-half eligibility relies on this.
+        let vls = PINWHEEL_VLS_4X4;
+        let east = vls.iter().filter(|c| c.x >= 2).count();
+        let west = vls.iter().filter(|c| c.x < 2).count();
+        let north = vls.iter().filter(|c| c.y >= 2).count();
+        let south = vls.iter().filter(|c| c.y < 2).count();
+        assert_eq!((east, west, north, south), (2, 2, 2, 2));
+    }
+
+    #[test]
+    fn all_vls_are_on_borders() {
+        let sys = ChipletSystem::baseline_4();
+        for vl in sys.vertical_links() {
+            let c = vl.chiplet_coord;
+            assert!(
+                c.x == 0 || c.x == 3 || c.y == 0 || c.y == 3,
+                "VL at {c} is not on a border"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_routers_are_chiplet_side() {
+        let sys = ChipletSystem::baseline_6();
+        for vl in sys.vertical_links() {
+            assert_eq!(sys.layer(vl.chiplet_node), Layer::Chiplet(vl.chiplet));
+            assert!(sys.layer(vl.interposer_node).is_interposer());
+        }
+    }
+
+    #[test]
+    fn fault_masks_cover_all_vls() {
+        let sys = ChipletSystem::baseline_4();
+        let f = crate::FaultState::none(&sys);
+        for c in sys.chiplets() {
+            assert_eq!(f.healthy_mask(c.id(), VlDir::Down, c.vl_count()), 0b1111);
+        }
+        let _ = ChipletId(0);
+    }
+}

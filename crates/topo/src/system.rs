@@ -1,0 +1,552 @@
+//! The assembled 2.5D chiplet system and its builder.
+
+use crate::{Chiplet, ChipletId, Coord, Direction, Layer, NodeAddr, NodeId, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// One bidirectional vertical link (a micro-bump pair) between a chiplet
+/// boundary router and the interposer router directly beneath it.
+///
+/// The *down* half carries flits chiplet → interposer and the *up* half
+/// interposer → chiplet; the two halves fail independently
+/// (see [`FaultState`](crate::FaultState)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VerticalLink {
+    /// Chiplet this VL belongs to.
+    pub chiplet: ChipletId,
+    /// Index of this VL within its chiplet (dense, `0..vl_count`).
+    pub index: u8,
+    /// Chiplet-local coordinate of the boundary router.
+    pub chiplet_coord: Coord,
+    /// Global node ID of the boundary router on the chiplet.
+    pub chiplet_node: NodeId,
+    /// Global node ID of the interposer router beneath it.
+    pub interposer_node: NodeId,
+}
+
+/// Builder for a [`ChipletSystem`].
+///
+/// ```
+/// use deft_topo::{SystemBuilder, Coord};
+///
+/// # fn main() -> Result<(), deft_topo::TopologyError> {
+/// let sys = SystemBuilder::new(8, 4)
+///     .chiplet(Coord::new(0, 0), 4, 4, &[Coord::new(1, 3), Coord::new(3, 2)])
+///     .chiplet(Coord::new(4, 0), 4, 4, &[Coord::new(0, 1), Coord::new(2, 0)])
+///     .build()?;
+/// assert_eq!(sys.chiplet_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SystemBuilder {
+    interposer_width: u8,
+    interposer_height: u8,
+    chiplets: Vec<(Coord, u8, u8, Vec<Coord>)>,
+}
+
+impl SystemBuilder {
+    /// Starts a system with an `width` x `height` interposer mesh.
+    pub fn new(width: u8, height: u8) -> Self {
+        Self { interposer_width: width, interposer_height: height, chiplets: Vec::new() }
+    }
+
+    /// Adds a `width` x `height` chiplet whose (0, 0) tile sits above
+    /// interposer coordinate `origin`, with vertical links at the given
+    /// chiplet-local coordinates.
+    #[must_use]
+    pub fn chiplet(mut self, origin: Coord, width: u8, height: u8, vls: &[Coord]) -> Self {
+        self.chiplets.push((origin, width, height, vls.to_vec()));
+        self
+    }
+
+    /// Validates the description and assembles the system.
+    ///
+    /// # Errors
+    /// Returns a [`TopologyError`] if any mesh is empty, a chiplet footprint
+    /// leaves the interposer or overlaps another, a VL coordinate is out of
+    /// bounds or duplicated, or a chiplet has no VLs.
+    pub fn build(self) -> Result<ChipletSystem, TopologyError> {
+        if self.interposer_width == 0 || self.interposer_height == 0 {
+            return Err(TopologyError::EmptyMesh { what: "interposer".into() });
+        }
+        if self.chiplets.is_empty() {
+            return Err(TopologyError::NoChiplets);
+        }
+
+        // Footprint validation.
+        for (i, (origin, w, h, vls)) in self.chiplets.iter().enumerate() {
+            let id = ChipletId(i as u8);
+            if *w == 0 || *h == 0 {
+                return Err(TopologyError::EmptyMesh { what: format!("{id}") });
+            }
+            if origin.x as u32 + *w as u32 > self.interposer_width as u32
+                || origin.y as u32 + *h as u32 > self.interposer_height as u32
+            {
+                return Err(TopologyError::ChipletOutOfBounds { chiplet: id });
+            }
+            if vls.is_empty() {
+                return Err(TopologyError::NoVls { chiplet: id });
+            }
+            for (k, &c) in vls.iter().enumerate() {
+                if c.x >= *w || c.y >= *h {
+                    return Err(TopologyError::VlOutOfBounds { chiplet: id, coord: c });
+                }
+                if vls[..k].contains(&c) {
+                    return Err(TopologyError::DuplicateVl { chiplet: id, coord: c });
+                }
+            }
+        }
+        for i in 0..self.chiplets.len() {
+            for j in (i + 1)..self.chiplets.len() {
+                let (ao, aw, ah, _) = &self.chiplets[i];
+                let (bo, bw, bh, _) = &self.chiplets[j];
+                let x_overlap = ao.x < bo.x + bw && bo.x < ao.x + aw;
+                let y_overlap = ao.y < bo.y + bh && bo.y < ao.y + ah;
+                if x_overlap && y_overlap {
+                    return Err(TopologyError::ChipletOverlap {
+                        a: ChipletId(i as u8),
+                        b: ChipletId(j as u8),
+                    });
+                }
+            }
+        }
+
+        // Node numbering: chiplet nodes first (row-major per chiplet), then
+        // interposer row-major.
+        let mut chiplet_node_base = Vec::with_capacity(self.chiplets.len());
+        let mut next = 0u32;
+        for (_, w, h, _) in &self.chiplets {
+            chiplet_node_base.push(next);
+            next += *w as u32 * *h as u32;
+        }
+        let interposer_base = next;
+        let node_count =
+            next as usize + self.interposer_width as usize * self.interposer_height as usize;
+
+        let iw = self.interposer_width;
+        let interposer_node =
+            |c: Coord| NodeId(interposer_base + c.y as u32 * iw as u32 + c.x as u32);
+
+        let mut chiplets = Vec::with_capacity(self.chiplets.len());
+        let mut vlinks = Vec::new();
+        for (i, (origin, w, h, vl_coords)) in self.chiplets.iter().enumerate() {
+            let id = ChipletId(i as u8);
+            let base = chiplet_node_base[i];
+            let mut vls = Vec::with_capacity(vl_coords.len());
+            for (k, &local) in vl_coords.iter().enumerate() {
+                let vl = VerticalLink {
+                    chiplet: id,
+                    index: k as u8,
+                    chiplet_coord: local,
+                    chiplet_node: NodeId(base + local.y as u32 * *w as u32 + local.x as u32),
+                    interposer_node: interposer_node(local.offset(*origin)),
+                };
+                vls.push(vl);
+                vlinks.push(vl);
+            }
+            chiplets.push(Chiplet::new(id, *origin, *w, *h, vls));
+        }
+
+        // Per-node VL lookup: node index -> VL slot in `vlinks`.
+        let mut vl_of_node = vec![None; node_count];
+        for (slot, vl) in vlinks.iter().enumerate() {
+            vl_of_node[vl.chiplet_node.index()] = Some(slot as u32);
+            vl_of_node[vl.interposer_node.index()] = Some(slot as u32);
+        }
+
+        Ok(ChipletSystem {
+            interposer_width: self.interposer_width,
+            interposer_height: self.interposer_height,
+            chiplets,
+            chiplet_node_base,
+            interposer_base,
+            node_count,
+            vlinks,
+            vl_of_node,
+        })
+    }
+}
+
+/// A validated 2.5D chiplet system: chiplet meshes, the interposer mesh, and
+/// the vertical links between them.
+///
+/// All queries are O(1) except where documented. The system is immutable;
+/// faults are tracked separately in [`FaultState`](crate::FaultState) so one
+/// topology can be shared across many fault scenarios.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipletSystem {
+    interposer_width: u8,
+    interposer_height: u8,
+    chiplets: Vec<Chiplet>,
+    chiplet_node_base: Vec<u32>,
+    interposer_base: u32,
+    node_count: usize,
+    vlinks: Vec<VerticalLink>,
+    /// node index -> index into `vlinks` if the node is a VL endpoint.
+    vl_of_node: Vec<Option<u32>>,
+}
+
+impl ChipletSystem {
+    /// Total number of router+core/DRAM nodes (both layers).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of chiplets.
+    pub fn chiplet_count(&self) -> usize {
+        self.chiplets.len()
+    }
+
+    /// Interposer mesh width.
+    pub fn interposer_width(&self) -> u8 {
+        self.interposer_width
+    }
+
+    /// Interposer mesh height.
+    pub fn interposer_height(&self) -> u8 {
+        self.interposer_height
+    }
+
+    /// The chiplet with the given ID.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn chiplet(&self, id: ChipletId) -> &Chiplet {
+        &self.chiplets[id.index()]
+    }
+
+    /// All chiplets in ID order.
+    pub fn chiplets(&self) -> &[Chiplet] {
+        &self.chiplets
+    }
+
+    /// All bidirectional vertical links, grouped by chiplet in index order.
+    pub fn vertical_links(&self) -> &[VerticalLink] {
+        &self.vlinks
+    }
+
+    /// Number of bidirectional vertical links in the whole system.
+    pub fn vertical_link_count(&self) -> usize {
+        self.vlinks.len()
+    }
+
+    /// Number of unidirectional vertical links (twice the bidirectional
+    /// count); this is the denominator of the paper's fault rates.
+    pub fn unidirectional_vl_count(&self) -> usize {
+        self.vlinks.len() * 2
+    }
+
+    /// Iterates over all node IDs.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count as u32).map(NodeId)
+    }
+
+    /// Iterates over interposer node IDs.
+    pub fn interposer_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.interposer_base..self.node_count as u32).map(NodeId)
+    }
+
+    /// Iterates over the node IDs of one chiplet.
+    pub fn chiplet_nodes(&self, id: ChipletId) -> impl Iterator<Item = NodeId> {
+        let base = self.chiplet_node_base[id.index()];
+        let n = self.chiplets[id.index()].node_count() as u32;
+        (base..base + n).map(NodeId)
+    }
+
+    /// Translates a node ID to its layer + coordinate.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn addr(&self, node: NodeId) -> NodeAddr {
+        assert!(node.index() < self.node_count, "node {node} out of range");
+        if node.0 >= self.interposer_base {
+            let off = node.0 - self.interposer_base;
+            let y = (off / self.interposer_width as u32) as u8;
+            let x = (off % self.interposer_width as u32) as u8;
+            return NodeAddr::new(Layer::Interposer, Coord::new(x, y));
+        }
+        // Chiplet bases are sorted; find the owning chiplet.
+        let idx = match self.chiplet_node_base.binary_search(&node.0) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let off = node.0 - self.chiplet_node_base[idx];
+        let w = self.chiplets[idx].width() as u32;
+        NodeAddr::new(
+            Layer::Chiplet(ChipletId(idx as u8)),
+            Coord::new((off % w) as u8, (off / w) as u8),
+        )
+    }
+
+    /// Translates a layer + coordinate to a node ID. Returns `None` if the
+    /// coordinate is outside that layer's mesh.
+    pub fn node_id(&self, addr: NodeAddr) -> Option<NodeId> {
+        match addr.layer {
+            Layer::Interposer => {
+                if addr.coord.x < self.interposer_width && addr.coord.y < self.interposer_height {
+                    Some(NodeId(
+                        self.interposer_base
+                            + addr.coord.y as u32 * self.interposer_width as u32
+                            + addr.coord.x as u32,
+                    ))
+                } else {
+                    None
+                }
+            }
+            Layer::Chiplet(c) => {
+                let ch = self.chiplets.get(c.index())?;
+                if ch.contains(addr.coord) {
+                    Some(NodeId(
+                        self.chiplet_node_base[c.index()]
+                            + addr.coord.y as u32 * ch.width() as u32
+                            + addr.coord.x as u32,
+                    ))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The layer a node lives on.
+    pub fn layer(&self, node: NodeId) -> Layer {
+        self.addr(node).layer
+    }
+
+    /// The chiplet a node lives on, or `None` for interposer nodes.
+    pub fn chiplet_of(&self, node: NodeId) -> Option<ChipletId> {
+        self.layer(node).chiplet()
+    }
+
+    /// The neighbour of `node` in `dir`, if that link exists.
+    ///
+    /// Horizontal directions stay within the node's mesh; `Down` exists only
+    /// out of chiplet boundary routers and `Up` only out of interposer
+    /// routers beneath a VL.
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let addr = self.addr(node);
+        match dir {
+            Direction::Down => match addr.layer {
+                Layer::Chiplet(_) => self.vertical_peer(node),
+                Layer::Interposer => None,
+            },
+            Direction::Up => match addr.layer {
+                Layer::Interposer => self.vertical_peer(node),
+                Layer::Chiplet(_) => None,
+            },
+            d => {
+                let (w, h) = match addr.layer {
+                    Layer::Interposer => (self.interposer_width, self.interposer_height),
+                    Layer::Chiplet(c) => {
+                        let ch = &self.chiplets[c.index()];
+                        (ch.width(), ch.height())
+                    }
+                };
+                let next = addr.coord.step(d, w, h)?;
+                self.node_id(NodeAddr::new(addr.layer, next))
+            }
+        }
+    }
+
+    /// All outgoing links of `node` as `(direction, neighbor)` pairs.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(Direction, NodeId)> {
+        Direction::ALL
+            .into_iter()
+            .filter_map(|d| self.neighbor(node, d).map(|n| (d, n)))
+            .collect()
+    }
+
+    /// The node on the other end of `node`'s vertical link, if `node` is a
+    /// VL endpoint (a chiplet boundary router or an interposer router under
+    /// a VL).
+    pub fn vertical_peer(&self, node: NodeId) -> Option<NodeId> {
+        let slot = self.vl_of_node.get(node.index()).copied().flatten()?;
+        let vl = &self.vlinks[slot as usize];
+        if vl.chiplet_node == node {
+            Some(vl.interposer_node)
+        } else {
+            Some(vl.chiplet_node)
+        }
+    }
+
+    /// The vertical link a node terminates, if any.
+    pub fn vl_at_node(&self, node: NodeId) -> Option<&VerticalLink> {
+        let slot = self.vl_of_node.get(node.index()).copied().flatten()?;
+        Some(&self.vlinks[slot as usize])
+    }
+
+    /// Whether `node` is a chiplet boundary router (a chiplet router attached
+    /// to a vertical link).
+    pub fn is_boundary_router(&self, node: NodeId) -> bool {
+        match self.vl_at_node(node) {
+            Some(vl) => vl.chiplet_node == node,
+            None => false,
+        }
+    }
+
+    /// Manhattan distance between two nodes **on the same layer**.
+    ///
+    /// Returns `None` when the nodes are on different layers; inter-layer
+    /// distance depends on the VL chosen by the routing algorithm.
+    pub fn same_layer_distance(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let (aa, ba) = (self.addr(a), self.addr(b));
+        (aa.layer == ba.layer).then(|| aa.coord.manhattan(ba.coord))
+    }
+
+    /// Minimal hop count from `a` to `b` through given VL choices:
+    /// `a → down_vl (down) → interposer → up_vl (up) → b`.
+    ///
+    /// Used by tests to verify livelock freedom (paper §III-A): DeFT routes
+    /// every packet in exactly this many hops.
+    ///
+    /// # Panics
+    /// Panics if `a` is not on `down_vl`'s chiplet or `b` not on `up_vl`'s
+    /// chiplet.
+    pub fn inter_chiplet_hops(
+        &self,
+        a: NodeId,
+        down_vl: &VerticalLink,
+        up_vl: &VerticalLink,
+        b: NodeId,
+    ) -> u32 {
+        let aa = self.addr(a);
+        let ba = self.addr(b);
+        assert_eq!(aa.layer, Layer::Chiplet(down_vl.chiplet), "source not on down VL chiplet");
+        assert_eq!(ba.layer, Layer::Chiplet(up_vl.chiplet), "dest not on up VL chiplet");
+        let d1 = aa.coord.manhattan(down_vl.chiplet_coord);
+        let d2 = self
+            .addr(down_vl.interposer_node)
+            .coord
+            .manhattan(self.addr(up_vl.interposer_node).coord);
+        let d3 = up_vl.chiplet_coord.manhattan(ba.coord);
+        d1 + 1 + d2 + 1 + d3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_chiplets() -> ChipletSystem {
+        SystemBuilder::new(8, 4)
+            .chiplet(Coord::new(0, 0), 4, 4, &[Coord::new(1, 3), Coord::new(3, 2)])
+            .chiplet(Coord::new(4, 0), 4, 4, &[Coord::new(0, 1), Coord::new(2, 0)])
+            .build()
+            .expect("valid system")
+    }
+
+    #[test]
+    fn node_numbering_is_dense_and_invertible() {
+        let sys = two_chiplets();
+        assert_eq!(sys.node_count(), 16 + 16 + 32);
+        for node in sys.nodes() {
+            let addr = sys.addr(node);
+            assert_eq!(sys.node_id(addr), Some(node), "round trip failed for {node} ({addr})");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        assert!(matches!(
+            SystemBuilder::new(0, 4).chiplet(Coord::new(0, 0), 2, 2, &[Coord::new(0, 0)]).build(),
+            Err(TopologyError::EmptyMesh { .. })
+        ));
+        assert!(matches!(SystemBuilder::new(8, 8).build(), Err(TopologyError::NoChiplets)));
+        assert!(matches!(
+            SystemBuilder::new(4, 4).chiplet(Coord::new(2, 2), 4, 4, &[Coord::new(0, 0)]).build(),
+            Err(TopologyError::ChipletOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            SystemBuilder::new(8, 8)
+                .chiplet(Coord::new(0, 0), 4, 4, &[Coord::new(0, 0)])
+                .chiplet(Coord::new(3, 3), 4, 4, &[Coord::new(0, 0)])
+                .build(),
+            Err(TopologyError::ChipletOverlap { .. })
+        ));
+        assert!(matches!(
+            SystemBuilder::new(8, 8).chiplet(Coord::new(0, 0), 4, 4, &[Coord::new(4, 0)]).build(),
+            Err(TopologyError::VlOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            SystemBuilder::new(8, 8)
+                .chiplet(Coord::new(0, 0), 4, 4, &[Coord::new(1, 1), Coord::new(1, 1)])
+                .build(),
+            Err(TopologyError::DuplicateVl { .. })
+        ));
+        assert!(matches!(
+            SystemBuilder::new(8, 8).chiplet(Coord::new(0, 0), 4, 4, &[]).build(),
+            Err(TopologyError::NoVls { .. })
+        ));
+    }
+
+    #[test]
+    fn vertical_links_connect_matching_coordinates() {
+        let sys = two_chiplets();
+        for vl in sys.vertical_links() {
+            let chip = sys.chiplet(vl.chiplet);
+            let below = sys.addr(vl.interposer_node);
+            assert_eq!(below.layer, Layer::Interposer);
+            assert_eq!(below.coord, chip.to_interposer(vl.chiplet_coord));
+            assert_eq!(sys.vertical_peer(vl.chiplet_node), Some(vl.interposer_node));
+            assert_eq!(sys.vertical_peer(vl.interposer_node), Some(vl.chiplet_node));
+            assert!(sys.is_boundary_router(vl.chiplet_node));
+            assert!(!sys.is_boundary_router(vl.interposer_node));
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_mesh_and_vl_structure() {
+        let sys = two_chiplets();
+        // Chiplet 0 corner (0,0): east + north only (no VL there).
+        let corner = sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(0, 0))).unwrap();
+        let dirs: Vec<Direction> = sys.neighbors(corner).into_iter().map(|(d, _)| d).collect();
+        assert_eq!(dirs, vec![Direction::East, Direction::North]);
+
+        // A boundary router also has Down.
+        let vl = &sys.chiplet(ChipletId(0)).vertical_links()[0];
+        let dirs: Vec<Direction> =
+            sys.neighbors(vl.chiplet_node).into_iter().map(|(d, _)| d).collect();
+        assert!(dirs.contains(&Direction::Down));
+        assert!(!dirs.contains(&Direction::Up));
+
+        // The interposer router beneath it has Up.
+        let dirs: Vec<Direction> =
+            sys.neighbors(vl.interposer_node).into_iter().map(|(d, _)| d).collect();
+        assert!(dirs.contains(&Direction::Up));
+        assert!(!dirs.contains(&Direction::Down));
+
+        // Chiplet meshes do not leak into each other horizontally.
+        let east_edge =
+            sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(3, 0))).unwrap();
+        assert_eq!(sys.neighbor(east_edge, Direction::East), None);
+    }
+
+    #[test]
+    fn interposer_mesh_is_fully_connected() {
+        let sys = two_chiplets();
+        let mid = sys.node_id(NodeAddr::new(Layer::Interposer, Coord::new(3, 1))).unwrap();
+        assert_eq!(sys.neighbors(mid).len(), 4 + usize::from(sys.vl_at_node(mid).is_some()));
+    }
+
+    #[test]
+    fn inter_chiplet_hops_matches_manual_count() {
+        let sys = two_chiplets();
+        let src = sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(0, 0))).unwrap();
+        let dst = sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(1)), Coord::new(3, 3))).unwrap();
+        let down = &sys.chiplet(ChipletId(0)).vertical_links()[1]; // (3,2)
+        let up = &sys.chiplet(ChipletId(1)).vertical_links()[0]; // (0,1) -> interposer (4,1)
+        // src (0,0) -> (3,2): 5 hops; down: 1; interposer (3,2)->(4,1): 2; up: 1; (0,1)->(3,3): 5.
+        assert_eq!(sys.inter_chiplet_hops(src, down, up, dst), 5 + 1 + 2 + 1 + 5);
+    }
+
+    #[test]
+    fn chiplet_nodes_iterates_exactly_the_chiplet() {
+        let sys = two_chiplets();
+        let nodes: Vec<NodeId> = sys.chiplet_nodes(ChipletId(1)).collect();
+        assert_eq!(nodes.len(), 16);
+        for n in nodes {
+            assert_eq!(sys.chiplet_of(n), Some(ChipletId(1)));
+        }
+        assert_eq!(sys.interposer_nodes().count(), 32);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the topology model.
+
+use deft_topo::{
+    ChipletId, ChipletSystem, Coord, Direction, FaultState, NodeAddr, SystemBuilder, VlDir,
+    VlLinkId, PINWHEEL_VLS_4X4,
+};
+use proptest::prelude::*;
+
+/// A random valid grid-of-4x4-chiplets system (1..=3 columns, 1..=2 rows).
+fn arb_grid() -> impl Strategy<Value = ChipletSystem> {
+    (1u8..=3, 1u8..=2).prop_map(|(cols, rows)| {
+        ChipletSystem::chiplet_grid(cols, rows).expect("grid presets are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn node_id_addr_bijection(sys in arb_grid()) {
+        for node in sys.nodes() {
+            let addr = sys.addr(node);
+            prop_assert_eq!(sys.node_id(addr), Some(node));
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric(sys in arb_grid()) {
+        for node in sys.nodes() {
+            for dir in Direction::ALL {
+                if let Some(nbr) = sys.neighbor(node, dir) {
+                    prop_assert_eq!(
+                        sys.neighbor(nbr, dir.opposite()),
+                        Some(node),
+                        "asymmetric link {} -{}-> {}", node, dir, nbr
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_chiplet_node_is_counted_once(sys in arb_grid()) {
+        let mut seen = vec![false; sys.node_count()];
+        for c in sys.chiplets() {
+            for n in sys.chiplet_nodes(c.id()) {
+                prop_assert!(!seen[n.index()], "node {} in two chiplets", n);
+                seen[n.index()] = true;
+            }
+        }
+        for n in sys.interposer_nodes() {
+            prop_assert!(!seen[n.index()]);
+            seen[n.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vertical_links_pair_boundary_and_interposer(sys in arb_grid()) {
+        for vl in sys.vertical_links() {
+            prop_assert!(sys.is_boundary_router(vl.chiplet_node));
+            prop_assert_eq!(sys.vertical_peer(vl.chiplet_node), Some(vl.interposer_node));
+            prop_assert_eq!(sys.vertical_peer(vl.interposer_node), Some(vl.chiplet_node));
+            // The interposer endpoint sits exactly under the boundary router.
+            let below = sys.addr(vl.interposer_node).coord;
+            let chip = sys.chiplet(vl.chiplet);
+            prop_assert_eq!(below, chip.to_interposer(vl.chiplet_coord));
+        }
+    }
+
+    #[test]
+    fn fault_inject_heal_is_identity(
+        sys in arb_grid(),
+        picks in prop::collection::vec((0u8..6, 0u8..4, prop::bool::ANY), 0..12)
+    ) {
+        let mut f = FaultState::none(&sys);
+        let mut valid: Vec<VlLinkId> = Vec::new();
+        for (c, i, down) in picks {
+            if (c as usize) < sys.chiplet_count() {
+                let l = VlLinkId {
+                    chiplet: ChipletId(c),
+                    index: i,
+                    dir: if down { VlDir::Down } else { VlDir::Up },
+                };
+                f.inject(l);
+                valid.push(l);
+            }
+        }
+        for &l in &valid {
+            prop_assert!(f.is_faulty(l));
+        }
+        for &l in &valid {
+            f.heal(l);
+        }
+        prop_assert!(f.is_fault_free());
+    }
+
+    #[test]
+    fn faulty_count_equals_link_list_length(
+        picks in prop::collection::vec((0u8..4, 0u8..4, prop::bool::ANY), 0..16)
+    ) {
+        let sys = ChipletSystem::baseline_4();
+        let mut f = FaultState::none(&sys);
+        for (c, i, down) in picks {
+            f.inject(VlLinkId {
+                chiplet: ChipletId(c),
+                index: i,
+                dir: if down { VlDir::Down } else { VlDir::Up },
+            });
+        }
+        prop_assert_eq!(f.faulty_count(), f.links().len());
+    }
+
+    #[test]
+    fn manhattan_satisfies_triangle_inequality(
+        ax in 0u8..16, ay in 0u8..16, bx in 0u8..16, by in 0u8..16, cx in 0u8..16, cy in 0u8..16
+    ) {
+        let (a, b, c) = (Coord::new(ax, ay), Coord::new(bx, by), Coord::new(cx, cy));
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+}
+
+#[test]
+fn overlapping_footprints_never_build() {
+    // Shift a second chiplet across every offset; builds must fail exactly
+    // when footprints intersect.
+    for dx in 0u8..8 {
+        for dy in 0u8..8 {
+            if dx + 4 > 12 || dy + 4 > 12 {
+                continue;
+            }
+            let result = SystemBuilder::new(12, 12)
+                .chiplet(Coord::new(0, 0), 4, 4, &PINWHEEL_VLS_4X4)
+                .chiplet(Coord::new(dx, dy), 4, 4, &PINWHEEL_VLS_4X4)
+                .build();
+            let overlaps = dx < 4 && dy < 4;
+            assert_eq!(result.is_err(), overlaps, "dx={dx} dy={dy}");
+        }
+    }
+}
+
+#[test]
+fn addr_panics_out_of_range() {
+    let sys = ChipletSystem::baseline_4();
+    let result = std::panic::catch_unwind(|| sys.addr(deft_topo::NodeId(10_000)));
+    assert!(result.is_err());
+    let _ = NodeAddr::new(deft_topo::Layer::Interposer, Coord::new(0, 0));
+}

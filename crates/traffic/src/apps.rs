@@ -1,0 +1,194 @@
+//! Application traffic profiles: the PARSEC substitution.
+//!
+//! The paper generates traffic from eight PARSEC benchmarks with GEM5 in
+//! full-system mode (64 x86 cores, four coherence directories, four shared
+//! L2 banks) and replays it in Noxim. We have neither GEM5 nor PARSEC, so —
+//! per the substitution policy in `DESIGN.md` §3 — each application becomes
+//! a seeded stochastic profile with a characteristic mean injection rate,
+//! intra-chiplet locality, memory-traffic fraction (toward directory/L2
+//! nodes on the interposer), and per-core rate skew.
+//!
+//! The relative rates are chosen so the paper's two-application load
+//! ordering holds exactly (Fig. 6(b), "sorted based on trafﬁc load, from
+//! low (FA+FL) to high (ST+FL)").
+
+use serde::{Deserialize, Serialize};
+
+/// A stochastic stand-in for one PARSEC application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Full benchmark name.
+    pub name: &'static str,
+    /// The paper's two-letter x-axis label.
+    pub abbrev: &'static str,
+    /// Mean packet-injection rate per core (packets/cycle) when the
+    /// application runs on *all* cores of the system. Workload builders
+    /// scale this inversely with the core count actually assigned: the same
+    /// problem on fewer cores produces proportionally more miss traffic per
+    /// core, which is why co-scheduling congests the network (Fig. 6(b)).
+    pub rate: f64,
+    /// Fraction of core traffic that goes to memory nodes (directories and
+    /// L2 banks on the interposer).
+    pub memory_fraction: f64,
+    /// Fraction of the remaining core-to-core traffic that stays on the
+    /// source chiplet (sharing locality).
+    pub local_fraction: f64,
+    /// Relative per-core rate skew in `[0, 1)`: individual core rates are
+    /// drawn from `rate * [1 - skew, 1 + skew]`.
+    pub skew: f64,
+}
+
+/// The eight PARSEC profiles used in the paper's Fig. 6.
+///
+/// Rates are packets/cycle/core, calibrated so single applications run
+/// lightly loaded and co-scheduled pairs congest the shared vertical links
+/// (the paper's Fig. 6 regime), and satisfy the
+/// paper's pair ordering:
+/// `FA+FL < CA+FA < FL+DE < DE+FA < BO+CA < BL+DE < SW+CA < ST+FL`.
+pub const PARSEC_PROFILES: [AppProfile; 8] = [
+    AppProfile {
+        name: "blackscholes",
+        abbrev: "BL",
+        rate: 0.0022,
+        memory_fraction: 0.55,
+        local_fraction: 0.35,
+        skew: 0.20,
+    },
+    AppProfile {
+        name: "bodytrack",
+        abbrev: "BO",
+        rate: 0.0025,
+        memory_fraction: 0.60,
+        local_fraction: 0.30,
+        skew: 0.35,
+    },
+    AppProfile {
+        name: "canneal",
+        abbrev: "CA",
+        rate: 0.0024,
+        memory_fraction: 0.60,
+        local_fraction: 0.15,
+        skew: 0.25,
+    },
+    AppProfile {
+        name: "dedup",
+        abbrev: "DE",
+        rate: 0.0029,
+        memory_fraction: 0.60,
+        local_fraction: 0.25,
+        skew: 0.40,
+    },
+    AppProfile {
+        name: "facesim",
+        abbrev: "FA",
+        rate: 0.0017,
+        memory_fraction: 0.55,
+        local_fraction: 0.40,
+        skew: 0.25,
+    },
+    AppProfile {
+        name: "fluidanimate",
+        abbrev: "FL",
+        rate: 0.0013,
+        memory_fraction: 0.50,
+        local_fraction: 0.45,
+        skew: 0.20,
+    },
+    AppProfile {
+        name: "streamcluster",
+        abbrev: "ST",
+        rate: 0.0040,
+        memory_fraction: 0.65,
+        local_fraction: 0.20,
+        skew: 0.30,
+    },
+    AppProfile {
+        name: "swaptions",
+        abbrev: "SW",
+        rate: 0.0028,
+        memory_fraction: 0.52,
+        local_fraction: 0.35,
+        skew: 0.15,
+    },
+];
+
+impl AppProfile {
+    /// Looks up a profile by its two-letter abbreviation.
+    pub fn by_abbrev(abbrev: &str) -> Option<&'static AppProfile> {
+        PARSEC_PROFILES.iter().find(|p| p.abbrev == abbrev)
+    }
+
+    /// The paper's Fig. 6(a) single-application order.
+    pub fn fig6a_order() -> [&'static str; 8] {
+        ["FA", "FL", "CA", "DE", "BO", "BL", "SW", "ST"]
+    }
+
+    /// The paper's Fig. 6(b) two-application combinations, sorted by load.
+    pub fn fig6b_pairs() -> [(&'static str, &'static str); 8] {
+        [
+            ("FA", "FL"),
+            ("CA", "FA"),
+            ("FL", "DE"),
+            ("DE", "FA"),
+            ("BO", "CA"),
+            ("BL", "DE"),
+            ("SW", "CA"),
+            ("ST", "FL"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_benchmarks_are_present() {
+        let names: Vec<&str> = PARSEC_PROFILES.iter().map(|p| p.name).collect();
+        for expected in [
+            "blackscholes",
+            "bodytrack",
+            "canneal",
+            "dedup",
+            "facesim",
+            "fluidanimate",
+            "streamcluster",
+            "swaptions",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn abbreviations_are_first_two_letters() {
+        for p in &PARSEC_PROFILES {
+            assert_eq!(p.abbrev.to_lowercase(), p.name[..2].to_lowercase());
+        }
+    }
+
+    #[test]
+    fn pair_loads_follow_the_papers_order() {
+        let load = |ab: &str| AppProfile::by_abbrev(ab).unwrap().rate;
+        let pairs = AppProfile::fig6b_pairs();
+        let sums: Vec<f64> = pairs.iter().map(|(a, b)| load(a) + load(b)).collect();
+        for w in sums.windows(2) {
+            assert!(w[0] < w[1] + 1e-12, "pair loads must ascend: {sums:?}");
+        }
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        for p in &PARSEC_PROFILES {
+            assert!(p.memory_fraction > 0.0 && p.memory_fraction < 1.0);
+            assert!(p.local_fraction > 0.0 && p.local_fraction < 1.0);
+            assert!(p.skew >= 0.0 && p.skew < 1.0);
+            assert!(p.rate > 0.0 && p.rate < 0.01);
+        }
+    }
+
+    #[test]
+    fn lookup_by_abbrev() {
+        assert_eq!(AppProfile::by_abbrev("ST").unwrap().name, "streamcluster");
+        assert!(AppProfile::by_abbrev("XX").is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! # deft-traffic — traffic generation for 2.5D chiplet simulations
+//!
+//! Workload generators for the DeFT evaluation:
+//!
+//! * The paper's synthetic patterns ([`synthetic`]): **Uniform**,
+//!   **Localized** (40 % intra-chiplet), and **Hotspot** (three hotspots at
+//!   10 % each), plus transpose and bit-complement extras.
+//! * Application profiles ([`apps`]): seeded stochastic substitutes for the
+//!   paper's GEM5-generated PARSEC traces (see `DESIGN.md` §3) — eight
+//!   applications with characteristic injection rates, locality, and
+//!   memory-controller traffic toward interposer nodes.
+//! * Multi-application workloads ([`workload`]): co-scheduled applications
+//!   on disjoint chiplet partitions sharing the interposer memory nodes,
+//!   reproducing the congestion regime of the paper's Fig. 6(b).
+//!
+//! All generators implement [`TrafficPattern`]; destinations are drawn from
+//! precomputed mixtures, so generation is O(1) per packet and fully
+//! deterministic under a seeded RNG. [`Trace`] adds Noxim-style
+//! trace-driven simulation: record any pattern once, replay it
+//! cycle-exactly.
+//!
+//! ```
+//! use deft_topo::ChipletSystem;
+//! use deft_traffic::{uniform, TrafficPattern};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let sys = ChipletSystem::baseline_4();
+//! let pattern = uniform(&sys, 0.004);
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let src = deft_topo::NodeId(0);
+//! let dst = pattern.pick_destination(src, &mut rng).expect("uniform sources always inject");
+//! assert_ne!(src, dst);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod pattern;
+pub mod synthetic;
+pub mod trace;
+pub mod workload;
+
+pub use apps::{AppProfile, PARSEC_PROFILES};
+pub use pattern::{Mixture, TableTraffic, TrafficPattern};
+pub use synthetic::{bit_complement, hotspot, localized, transpose, uniform};
+pub use trace::{ParseTraceError, Trace, TraceEvent};
+pub use workload::{memory_nodes, multi_app, single_app};

@@ -1,0 +1,262 @@
+//! The traffic-pattern interface and the table-driven implementation.
+
+use deft_topo::{ChipletSystem, NodeId};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// A packet workload: per-node injection rates and destination
+/// distributions.
+///
+/// The simulator calls [`injection_rate`](Self::injection_rate) once per
+/// (node, cycle) as a Bernoulli probability and
+/// [`pick_destination`](Self::pick_destination) when a packet is generated.
+pub trait TrafficPattern {
+    /// Human-readable pattern name ("Uniform", "Hotspot", "CA+FA", ...).
+    fn name(&self) -> &str;
+
+    /// Packet-injection probability of `node` per cycle.
+    fn injection_rate(&self, node: NodeId) -> f64;
+
+    /// Draws a destination for a packet injected at `node`, or `None` when
+    /// the node never injects.
+    fn pick_destination(&self, node: NodeId, rng: &mut SmallRng) -> Option<NodeId>;
+
+    /// Decides whether `node` generates a packet this `cycle`, and toward
+    /// whom. The default is the open-loop Bernoulli process used by all
+    /// stochastic patterns; trace playback overrides it with recorded
+    /// events.
+    fn next_packet(&self, node: NodeId, cycle: u64, rng: &mut SmallRng) -> Option<NodeId> {
+        let _ = cycle;
+        let rate = self.injection_rate(node);
+        if rate > 0.0 && rng.random_bool(rate.min(1.0)) {
+            self.pick_destination(node, rng)
+        } else {
+            None
+        }
+    }
+
+    /// The node's *inter-chiplet* injection rate `T_r^inter` (Eq. 1 of the
+    /// paper): the portion of its traffic that must leave its chiplet
+    /// through a vertical link. Used by DeFT's traffic-aware offline
+    /// optimizer. The default conservatively returns the full rate.
+    fn inter_chiplet_rate(&self, sys: &ChipletSystem, node: NodeId) -> f64 {
+        let _ = sys;
+        self.injection_rate(node)
+    }
+}
+
+/// A destination distribution: a weighted mixture of uniform-over-set
+/// components.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mixture {
+    components: Vec<(f64, Vec<NodeId>)>,
+    total_weight: f64,
+}
+
+impl Mixture {
+    /// An empty mixture (node never injects).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A single uniform component.
+    pub fn uniform(targets: Vec<NodeId>) -> Self {
+        let mut m = Self::empty();
+        m.push(1.0, targets);
+        m
+    }
+
+    /// Adds a component with the given weight. Empty target sets and
+    /// non-positive weights are ignored.
+    pub fn push(&mut self, weight: f64, targets: Vec<NodeId>) {
+        if weight > 0.0 && !targets.is_empty() {
+            self.total_weight += weight;
+            self.components.push((weight, targets));
+        }
+    }
+
+    /// Whether the mixture has no component.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Samples a destination.
+    pub fn sample(&self, rng: &mut SmallRng) -> Option<NodeId> {
+        if self.components.is_empty() {
+            return None;
+        }
+        let mut pick = rng.random::<f64>() * self.total_weight;
+        for (w, targets) in &self.components {
+            if pick < *w || std::ptr::eq(targets, &self.components.last().unwrap().1) {
+                return Some(targets[rng.random_range(0..targets.len())]);
+            }
+            pick -= w;
+        }
+        unreachable!("mixture sampling fell through")
+    }
+
+    /// The probability that a sampled destination satisfies `pred`, computed
+    /// exactly from the mixture.
+    pub fn probability(&self, mut pred: impl FnMut(NodeId) -> bool) -> f64 {
+        if self.total_weight == 0.0 {
+            return 0.0;
+        }
+        let mut p = 0.0;
+        for (w, targets) in &self.components {
+            let hits = targets.iter().filter(|&&t| pred(t)).count();
+            p += w / self.total_weight * hits as f64 / targets.len() as f64;
+        }
+        p
+    }
+}
+
+/// A fully-tabulated traffic pattern: one rate and one [`Mixture`] per node.
+///
+/// All concrete generators in this crate ([`synthetic`](crate::synthetic),
+/// [`apps`](crate::apps), [`workload`](crate::workload)) produce this type.
+#[derive(Debug, Clone)]
+pub struct TableTraffic {
+    name: String,
+    rates: Vec<f64>,
+    dists: Vec<Mixture>,
+}
+
+impl TableTraffic {
+    /// Creates a pattern from per-node tables.
+    ///
+    /// # Panics
+    /// Panics if the two tables have different lengths.
+    pub fn new(name: impl Into<String>, rates: Vec<f64>, dists: Vec<Mixture>) -> Self {
+        assert_eq!(rates.len(), dists.len(), "one mixture per node");
+        Self { name: name.into(), rates, dists }
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The aggregate offered load in packets/cycle.
+    pub fn offered_load(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Scales every node's injection rate by `factor` (used for
+    /// injection-rate sweeps).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            name: self.name.clone(),
+            rates: self.rates.iter().map(|r| r * factor).collect(),
+            dists: self.dists.clone(),
+        }
+    }
+
+    /// The destination mixture of a node.
+    pub fn mixture(&self, node: NodeId) -> &Mixture {
+        &self.dists[node.index()]
+    }
+}
+
+impl TrafficPattern for TableTraffic {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn injection_rate(&self, node: NodeId) -> f64 {
+        self.rates.get(node.index()).copied().unwrap_or(0.0)
+    }
+
+    fn pick_destination(&self, node: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
+        self.dists.get(node.index())?.sample(rng)
+    }
+
+    fn inter_chiplet_rate(&self, sys: &ChipletSystem, node: NodeId) -> f64 {
+        let Some(src_chiplet) = sys.chiplet_of(node) else {
+            return 0.0; // interposer sources never descend
+        };
+        let p_inter = self.dists[node.index()]
+            .probability(|dst| sys.chiplet_of(dst) != Some(src_chiplet));
+        self.injection_rate(node) * p_inter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_topo::ChipletSystem;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_mixture_never_yields() {
+        let m = Mixture::empty();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(m.sample(&mut rng), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn mixture_respects_weights() {
+        let mut m = Mixture::empty();
+        m.push(0.9, vec![NodeId(1)]);
+        m.push(0.1, vec![NodeId(2)]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut ones = 0;
+        for _ in 0..10_000 {
+            if m.sample(&mut rng) == Some(NodeId(1)) {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    fn probability_is_exact() {
+        let mut m = Mixture::empty();
+        m.push(0.5, vec![NodeId(0), NodeId(1)]);
+        m.push(0.5, vec![NodeId(2)]);
+        // P(dst == 1) = 0.5 * 0.5 = 0.25
+        assert!((m.probability(|n| n == NodeId(1)) - 0.25).abs() < 1e-12);
+        assert!((m.probability(|_| true) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_and_empty_components_are_dropped() {
+        let mut m = Mixture::empty();
+        m.push(0.0, vec![NodeId(1)]);
+        m.push(1.0, vec![]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn table_traffic_scaling() {
+        let sys = ChipletSystem::baseline_4();
+        let n = sys.node_count();
+        let t = TableTraffic::new(
+            "t",
+            vec![0.002; n],
+            (0..n).map(|_| Mixture::uniform(vec![NodeId(0)])).collect(),
+        );
+        let s = t.scaled(2.0);
+        assert!((s.injection_rate(NodeId(3)) - 0.004).abs() < 1e-12);
+        assert!((s.offered_load() - 2.0 * t.offered_load()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inter_chiplet_rate_counts_only_remote_destinations() {
+        let sys = ChipletSystem::baseline_4();
+        let n = sys.node_count();
+        // Node 0 (chiplet 0) sends 50/50 to an intra-chiplet node and a
+        // remote one.
+        let mut dists: Vec<Mixture> = (0..n).map(|_| Mixture::empty()).collect();
+        let mut m = Mixture::empty();
+        m.push(0.5, vec![NodeId(5)]); // same chiplet
+        m.push(0.5, vec![NodeId(20)]); // chiplet 1
+        dists[0] = m;
+        let mut rates = vec![0.0; n];
+        rates[0] = 0.01;
+        let t = TableTraffic::new("t", rates, dists);
+        assert!((t.inter_chiplet_rate(&sys, NodeId(0)) - 0.005).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! The paper's synthetic patterns (§IV-B) plus two classic extras.
+
+use crate::pattern::{Mixture, TableTraffic};
+use deft_topo::{ChipletSystem, Coord, Layer, NodeAddr, NodeId};
+
+/// The fraction of intra-chiplet packets in the paper's Localized pattern
+/// ("for 40 % of the packets, the source and destination are on the same
+/// chiplet").
+pub const LOCALIZED_FRACTION: f64 = 0.4;
+
+/// Number of hotspot nodes in the paper's Hotspot pattern.
+pub const HOTSPOT_COUNT: usize = 3;
+
+/// Extra probability mass each hotspot receives ("3 hotspot points with
+/// 10 % rate on each").
+pub const HOTSPOT_RATE: f64 = 0.10;
+
+fn all_other_nodes(sys: &ChipletSystem, node: NodeId) -> Vec<NodeId> {
+    sys.nodes().filter(|&n| n != node).collect()
+}
+
+/// Uniform random traffic: every node injects at `rate` packets/cycle
+/// toward a uniformly random other node (Fig. 4(a)/(d)).
+pub fn uniform(sys: &ChipletSystem, rate: f64) -> TableTraffic {
+    let rates = vec![rate; sys.node_count()];
+    let dists =
+        sys.nodes().map(|n| Mixture::uniform(all_other_nodes(sys, n))).collect();
+    TableTraffic::new("Uniform", rates, dists)
+}
+
+/// Localized traffic (Fig. 4(b)): 40 % of packets stay on the source
+/// chiplet (or, for interposer sources, on the interposer); the rest are
+/// uniform over all other nodes.
+pub fn localized(sys: &ChipletSystem, rate: f64) -> TableTraffic {
+    let rates = vec![rate; sys.node_count()];
+    let dists = sys
+        .nodes()
+        .map(|n| {
+            let here = sys.layer(n);
+            let local: Vec<NodeId> =
+                sys.nodes().filter(|&m| m != n && sys.layer(m) == here).collect();
+            let remote: Vec<NodeId> =
+                sys.nodes().filter(|&m| m != n && sys.layer(m) != here).collect();
+            let mut mix = Mixture::empty();
+            mix.push(LOCALIZED_FRACTION, local);
+            mix.push(1.0 - LOCALIZED_FRACTION, remote);
+            mix
+        })
+        .collect();
+    TableTraffic::new("Localized", rates, dists)
+}
+
+/// The default hotspot nodes: one core near the center of each of the
+/// first [`HOTSPOT_COUNT`] chiplets.
+pub fn default_hotspots(sys: &ChipletSystem) -> Vec<NodeId> {
+    sys.chiplets()
+        .iter()
+        .take(HOTSPOT_COUNT)
+        .map(|c| {
+            let mid = Coord::new(c.width() / 2, c.height() / 2);
+            sys.node_id(NodeAddr::new(Layer::Chiplet(c.id()), mid))
+                .expect("chiplet center exists")
+        })
+        .collect()
+}
+
+/// Hotspot traffic (Fig. 4(c)): each packet goes to one of the three
+/// hotspots with probability 10 % each, otherwise to a uniformly random
+/// node. Pass `None` for the paper's default hotspot placement.
+pub fn hotspot(sys: &ChipletSystem, rate: f64, hotspots: Option<Vec<NodeId>>) -> TableTraffic {
+    let hotspots = hotspots.unwrap_or_else(|| default_hotspots(sys));
+    let rates = vec![rate; sys.node_count()];
+    let dists = sys
+        .nodes()
+        .map(|n| {
+            let mut mix = Mixture::empty();
+            for &h in &hotspots {
+                if h != n {
+                    mix.push(HOTSPOT_RATE, vec![h]);
+                }
+            }
+            mix.push(
+                1.0 - HOTSPOT_RATE * hotspots.len() as f64,
+                all_other_nodes(sys, n),
+            );
+            mix
+        })
+        .collect();
+    TableTraffic::new("Hotspot", rates, dists)
+}
+
+/// The *footprint coordinate* of a node: its position projected onto the
+/// interposer grid (chiplet nodes project through their chiplet origin).
+fn footprint(sys: &ChipletSystem, node: NodeId) -> Coord {
+    match sys.addr(node) {
+        NodeAddr { layer: Layer::Interposer, coord } => coord,
+        NodeAddr { layer: Layer::Chiplet(c), coord } => sys.chiplet(c).to_interposer(coord),
+    }
+}
+
+fn node_at_footprint(sys: &ChipletSystem, layer_like: NodeId, fp: Coord) -> Option<NodeId> {
+    // Same-layer-kind partner: chiplet nodes map to the chiplet node above
+    // `fp`, interposer nodes to the interposer node at `fp`.
+    match sys.layer(layer_like) {
+        Layer::Interposer => sys.node_id(NodeAddr::new(Layer::Interposer, fp)),
+        Layer::Chiplet(_) => sys.chiplets().iter().find_map(|c| {
+            let o = c.origin();
+            (fp.x >= o.x && fp.y >= o.y).then(|| Coord::new(fp.x - o.x, fp.y - o.y)).and_then(
+                |local| {
+                    c.contains(local)
+                        .then(|| sys.node_id(NodeAddr::new(Layer::Chiplet(c.id()), local)))
+                        .flatten()
+                },
+            )
+        }),
+    }
+}
+
+/// Transpose traffic: node at footprint (x, y) sends to the same-kind node
+/// at (y, x). Nodes whose transposed coordinate does not exist (non-square
+/// footprints) stay silent. An extra pattern beyond the paper.
+pub fn transpose(sys: &ChipletSystem, rate: f64) -> TableTraffic {
+    let mut rates = Vec::with_capacity(sys.node_count());
+    let mut dists = Vec::with_capacity(sys.node_count());
+    for n in sys.nodes() {
+        let fp = footprint(sys, n);
+        let target = node_at_footprint(sys, n, Coord::new(fp.y, fp.x)).filter(|&t| t != n);
+        match target {
+            Some(t) => {
+                rates.push(rate);
+                dists.push(Mixture::uniform(vec![t]));
+            }
+            None => {
+                rates.push(0.0);
+                dists.push(Mixture::empty());
+            }
+        }
+    }
+    TableTraffic::new("Transpose", rates, dists)
+}
+
+/// Bit-complement traffic: node at footprint (x, y) sends to the same-kind
+/// node at (W−1−x, H−1−y). An extra pattern beyond the paper.
+pub fn bit_complement(sys: &ChipletSystem, rate: f64) -> TableTraffic {
+    let (w, h) = (sys.interposer_width(), sys.interposer_height());
+    let mut rates = Vec::with_capacity(sys.node_count());
+    let mut dists = Vec::with_capacity(sys.node_count());
+    for n in sys.nodes() {
+        let fp = footprint(sys, n);
+        let comp = Coord::new(w - 1 - fp.x, h - 1 - fp.y);
+        let target = node_at_footprint(sys, n, comp).filter(|&t| t != n);
+        match target {
+            Some(t) => {
+                rates.push(rate);
+                dists.push(Mixture::uniform(vec![t]));
+            }
+            None => {
+                rates.push(0.0);
+                dists.push(Mixture::empty());
+            }
+        }
+    }
+    TableTraffic::new("BitComplement", rates, dists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::TrafficPattern;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sys() -> ChipletSystem {
+        ChipletSystem::baseline_4()
+    }
+
+    #[test]
+    fn uniform_never_targets_self() {
+        let s = sys();
+        let t = uniform(&s, 0.004);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for n in s.nodes().take(16) {
+            for _ in 0..32 {
+                assert_ne!(t.pick_destination(n, &mut rng), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn localized_hits_the_40_percent_fraction() {
+        let s = sys();
+        let t = localized(&s, 0.004);
+        let src = NodeId(5); // chiplet 0
+        let p_local = t.mixture(src).probability(|d| s.layer(d) == s.layer(src));
+        assert!((p_local - LOCALIZED_FRACTION).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspot_mass_matches_the_paper() {
+        let s = sys();
+        let t = hotspot(&s, 0.004, None);
+        let hs = default_hotspots(&s);
+        assert_eq!(hs.len(), 3);
+        let src = s.interposer_nodes().next().unwrap();
+        for &h in &hs {
+            let p = t.mixture(src).probability(|d| d == h);
+            // 10% dedicated mass plus the small uniform share.
+            assert!(p > HOTSPOT_RATE && p < HOTSPOT_RATE + 0.02, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution_where_defined() {
+        let s = sys();
+        let t = transpose(&s, 0.004);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for n in s.nodes() {
+            if let Some(d) = t.pick_destination(n, &mut rng) {
+                if let Some(back) = t.pick_destination(d, &mut rng) {
+                    assert_eq!(back, n, "transpose({d}) should return to {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_complement_covers_all_core_nodes() {
+        let s = sys();
+        let t = bit_complement(&s, 0.004);
+        let silent = s.nodes().filter(|&n| t.injection_rate(n) == 0.0).count();
+        assert_eq!(silent, 0, "8x8 footprint complement always exists");
+    }
+
+    #[test]
+    fn inter_chiplet_rate_is_zero_for_interposer_sources() {
+        let s = sys();
+        let t = uniform(&s, 0.004);
+        let ip = s.interposer_nodes().next().unwrap();
+        assert_eq!(t.inter_chiplet_rate(&s, ip), 0.0);
+        let core = NodeId(0);
+        let r = t.inter_chiplet_rate(&s, core);
+        // 112 of 127 destinations are off-chiplet.
+        assert!((r - 0.004 * 112.0 / 127.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn six_chiplet_transpose_silences_out_of_range_nodes() {
+        let s = ChipletSystem::baseline_6(); // 12x8 footprint: not square
+        let t = transpose(&s, 0.004);
+        let silent = s.nodes().filter(|&n| t.injection_rate(n) == 0.0).count();
+        assert!(silent > 0);
+    }
+}

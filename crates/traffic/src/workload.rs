@@ -1,0 +1,270 @@
+//! Single- and multi-application workload construction (paper Fig. 6).
+//!
+//! Cores live on the chiplets; four coherence directories and four shared
+//! L2 banks live on the interposer (the paper's GEM5 configuration), so
+//! memory traffic always crosses vertical links. In the two-application
+//! scenario each application owns half the chiplets but the memory nodes
+//! are shared — which is exactly what congests the VLs and lets DeFT's
+//! balanced selection shine at high load.
+
+use crate::apps::AppProfile;
+use crate::pattern::{Mixture, TableTraffic};
+use deft_topo::{ChipletId, ChipletSystem, Coord, Layer, NodeAddr, NodeId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// The eight memory nodes of the paper's system: four coherence
+/// directories (interposer corners) and four shared L2 banks (interposer
+/// edge midpoints).
+pub fn memory_nodes(sys: &ChipletSystem) -> Vec<NodeId> {
+    let w = sys.interposer_width();
+    let h = sys.interposer_height();
+    let coords = [
+        // Directories: corners.
+        Coord::new(0, 0),
+        Coord::new(w - 1, 0),
+        Coord::new(0, h - 1),
+        Coord::new(w - 1, h - 1),
+        // L2 banks: edge midpoints.
+        Coord::new(w / 2, 0),
+        Coord::new(0, h / 2),
+        Coord::new(w - 1, h / 2),
+        Coord::new(w / 2, h - 1),
+    ];
+    coords
+        .into_iter()
+        .map(|c| {
+            sys.node_id(NodeAddr::new(Layer::Interposer, c))
+                .expect("interposer corner/edge exists")
+        })
+        .collect()
+}
+
+/// A single application running on all chiplets (Fig. 6(a)).
+pub fn single_app(sys: &ChipletSystem, profile: &AppProfile, seed: u64) -> TableTraffic {
+    let all: Vec<ChipletId> = sys.chiplets().iter().map(|c| c.id()).collect();
+    build(sys, &[(*profile, all)], seed)
+}
+
+/// Two applications co-scheduled on disjoint halves of the chiplets
+/// (Fig. 6(b): "each application executed on 32 cores").
+pub fn multi_app(sys: &ChipletSystem, a: &AppProfile, b: &AppProfile, seed: u64) -> TableTraffic {
+    let ids: Vec<ChipletId> = sys.chiplets().iter().map(|c| c.id()).collect();
+    let half = ids.len() / 2;
+    build(
+        sys,
+        &[(*a, ids[..half].to_vec()), (*b, ids[half..].to_vec())],
+        seed,
+    )
+}
+
+/// Builds a workload from explicit (application, chiplet set) assignments.
+///
+/// # Panics
+/// Panics if an assignment has no chiplets.
+pub fn build(
+    sys: &ChipletSystem,
+    assignments: &[(AppProfile, Vec<ChipletId>)],
+    seed: u64,
+) -> TableTraffic {
+    let mem = memory_nodes(sys);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rates = vec![0.0; sys.node_count()];
+    let mut dists: Vec<Mixture> = vec![Mixture::empty(); sys.node_count()];
+
+    // Per-core rates scale inversely with the fraction of the system's
+    // cores an application owns: a fixed problem on fewer cores produces
+    // proportionally more traffic per core. This reproduces the paper's
+    // observation that two co-scheduled 32-core applications congest the
+    // network where one 64-core application does not.
+    let total_cores: usize = sys.chiplets().iter().map(|c| c.node_count()).sum();
+
+    // Per-app request mass toward memory, for proportional responses.
+    let mut app_request_mass: Vec<f64> = Vec::with_capacity(assignments.len());
+    let mut app_cores: Vec<Vec<NodeId>> = Vec::with_capacity(assignments.len());
+
+    for (profile, chiplets) in assignments {
+        assert!(!chiplets.is_empty(), "application must own at least one chiplet");
+        let cores: Vec<NodeId> =
+            chiplets.iter().flat_map(|&c| sys.chiplet_nodes(c)).collect();
+        // Draw skewed per-core rates, then renormalize so the application's
+        // total offered load is exactly `rate * cores`: skew redistributes
+        // load across cores without changing the aggregate.
+        let per_core_rate = profile.rate * total_cores as f64 / cores.len() as f64;
+        let raw: Vec<f64> = cores
+            .iter()
+            .map(|_| per_core_rate * (1.0 + profile.skew * (2.0 * rng.random::<f64>() - 1.0)))
+            .collect();
+        let raw_sum: f64 = raw.iter().sum();
+        let scale = per_core_rate * cores.len() as f64 / raw_sum;
+        let mut mass = 0.0;
+        for (&core, &r) in cores.iter().zip(&raw) {
+            let skewed = r * scale;
+            rates[core.index()] = skewed;
+            mass += skewed * profile.memory_fraction;
+
+            let my_chiplet = sys.chiplet_of(core).expect("cores are chiplet nodes");
+            let local: Vec<NodeId> = sys
+                .chiplet_nodes(my_chiplet)
+                .filter(|&n| n != core)
+                .collect();
+            let remote: Vec<NodeId> = cores
+                .iter()
+                .copied()
+                .filter(|&n| n != core && sys.chiplet_of(n) != Some(my_chiplet))
+                .collect();
+
+            let mut mix = Mixture::empty();
+            mix.push(profile.memory_fraction, mem.clone());
+            let core_share = 1.0 - profile.memory_fraction;
+            mix.push(core_share * profile.local_fraction, local);
+            mix.push(core_share * (1.0 - profile.local_fraction), remote);
+            dists[core.index()] = mix;
+        }
+        app_request_mass.push(mass);
+        app_cores.push(cores);
+    }
+
+    // Memory responses: each memory node receives 1/|mem| of every app's
+    // request mass and answers it toward that app's cores.
+    for &m in &mem {
+        let mut mix = Mixture::empty();
+        let mut total = 0.0;
+        for (mass, cores) in app_request_mass.iter().zip(&app_cores) {
+            mix.push(*mass, cores.clone());
+            total += mass / mem.len() as f64;
+        }
+        rates[m.index()] = total;
+        dists[m.index()] = mix;
+    }
+
+    let name = assignments
+        .iter()
+        .map(|(p, _)| p.abbrev)
+        .collect::<Vec<_>>()
+        .join("+");
+    TableTraffic::new(name, rates, dists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::TrafficPattern;
+    use crate::PARSEC_PROFILES;
+
+    fn sys() -> ChipletSystem {
+        ChipletSystem::baseline_4()
+    }
+
+    #[test]
+    fn memory_nodes_are_eight_distinct_interposer_routers() {
+        let s = sys();
+        let mem = memory_nodes(&s);
+        assert_eq!(mem.len(), 8);
+        let mut dedup = mem.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        for &m in &mem {
+            assert!(s.layer(m).is_interposer());
+        }
+    }
+
+    #[test]
+    fn single_app_names_and_rates() {
+        let s = sys();
+        let fa = AppProfile::by_abbrev("FA").unwrap();
+        let t = single_app(&s, fa, 1);
+        assert_eq!(t.name(), "FA");
+        // Every core injects within the (renormalized) skew band, and the
+        // aggregate core load is exactly rate x cores.
+        let mut total = 0.0;
+        for c in s.chiplets() {
+            for n in s.chiplet_nodes(c.id()) {
+                let r = t.injection_rate(n);
+                assert!(
+                    r >= fa.rate * (1.0 - fa.skew) * 0.9 && r <= fa.rate * (1.0 + fa.skew) * 1.1,
+                    "rate {r} outside skew band"
+                );
+                total += r;
+            }
+        }
+        assert!((total - fa.rate * 64.0).abs() < 1e-9, "normalized aggregate load");
+    }
+
+    #[test]
+    fn multi_app_partitions_core_traffic() {
+        let s = sys();
+        let st = AppProfile::by_abbrev("ST").unwrap();
+        let fl = AppProfile::by_abbrev("FL").unwrap();
+        let t = multi_app(&s, st, fl, 2);
+        assert_eq!(t.name(), "ST+FL");
+        // A core of app A never targets cores of app B.
+        let app_a_cores: Vec<NodeId> = [ChipletId(0), ChipletId(1)]
+            .into_iter()
+            .flat_map(|c| s.chiplet_nodes(c))
+            .collect();
+        let src = app_a_cores[5];
+        let mem = memory_nodes(&s);
+        let p_forbidden = t.mixture(src).probability(|d| {
+            !mem.contains(&d) && matches!(s.chiplet_of(d), Some(c) if c.index() >= 2)
+        });
+        assert_eq!(p_forbidden, 0.0, "app A core leaks traffic into app B cores");
+    }
+
+    #[test]
+    fn memory_nodes_respond_to_both_apps() {
+        let s = sys();
+        let st = AppProfile::by_abbrev("ST").unwrap();
+        let fl = AppProfile::by_abbrev("FL").unwrap();
+        let t = multi_app(&s, st, fl, 2);
+        let mem = memory_nodes(&s);
+        for &m in &mem {
+            assert!(t.injection_rate(m) > 0.0, "memory node {m} is silent");
+            let p_a = t.mixture(m).probability(|d| matches!(s.chiplet_of(d), Some(c) if c.index() < 2));
+            let p_b = t.mixture(m).probability(|d| matches!(s.chiplet_of(d), Some(c) if c.index() >= 2));
+            assert!(p_a > 0.0 && p_b > 0.0);
+            // ST is the heavier app; its share of responses must dominate.
+            assert!(p_a > p_b, "responses should be proportional to request mass");
+        }
+    }
+
+    #[test]
+    fn pair_offered_load_ascends_like_fig6b() {
+        let s = sys();
+        let mut last = 0.0;
+        for (a, b) in AppProfile::fig6b_pairs() {
+            let t = multi_app(
+                &s,
+                AppProfile::by_abbrev(a).unwrap(),
+                AppProfile::by_abbrev(b).unwrap(),
+                3,
+            );
+            let load = t.offered_load();
+            assert!(load > last, "{a}+{b} load {load} must exceed previous {last}");
+            last = load;
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let s = sys();
+        let de = AppProfile::by_abbrev("DE").unwrap();
+        let t1 = single_app(&s, de, 9);
+        let t2 = single_app(&s, de, 9);
+        for n in s.nodes() {
+            assert_eq!(t1.injection_rate(n), t2.injection_rate(n));
+        }
+        let t3 = single_app(&s, de, 10);
+        assert!(s.nodes().any(|n| t1.injection_rate(n) != t3.injection_rate(n)));
+    }
+
+    #[test]
+    fn all_profiles_build_on_the_6_chiplet_system() {
+        let s = ChipletSystem::baseline_6();
+        for p in &PARSEC_PROFILES {
+            let t = single_app(&s, p, 4);
+            assert!(t.offered_load() > 0.0);
+        }
+    }
+}

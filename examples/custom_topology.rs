@@ -1,0 +1,67 @@
+//! Custom topology: DeFT is not tied to the paper's baseline — build an
+//! asymmetric 3-chiplet system with mixed chiplet sizes and VL counts,
+//! verify deadlock freedom mechanically with the channel-dependency-graph
+//! checker, and simulate it.
+//!
+//! Run with: `cargo run --release -p deft --example custom_topology`
+
+use deft::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 12x4 interposer carrying one 4x4 compute chiplet, one 4x4 chiplet
+    // with only 2 VLs (cheap harvested die), and one 2x4 accelerator.
+    let sys = SystemBuilder::new(12, 4)
+        .chiplet(
+            Coord::new(0, 0),
+            4,
+            4,
+            &[Coord::new(1, 3), Coord::new(3, 2), Coord::new(2, 0), Coord::new(0, 1)],
+        )
+        .chiplet(Coord::new(4, 0), 4, 4, &[Coord::new(0, 2), Coord::new(3, 1)])
+        .chiplet(Coord::new(8, 0), 2, 4, &[Coord::new(0, 0), Coord::new(1, 3)])
+        .build()?;
+    println!(
+        "custom system: {} chiplets, {} nodes, {} vertical links",
+        sys.chiplet_count(),
+        sys.node_count(),
+        sys.vertical_link_count()
+    );
+
+    // Mechanical deadlock-freedom proof: the channel dependency graph over
+    // every routing choice DeFT can make must be acyclic (Dally & Seitz).
+    let deft = DeftRouting::new(&sys);
+    let cdg = ChannelDependencyGraph::build(&sys, &deft, &FaultState::none(&sys));
+    println!(
+        "CDG: {} channels, {} dependencies, cyclic: {}",
+        cdg.channel_count(),
+        cdg.edge_count(),
+        cdg.has_cycle()
+    );
+    assert!(!cdg.has_cycle(), "DeFT must be deadlock-free on any 2.5D system");
+
+    // Without VN separation the very same topology deadlocks:
+    let naive = ChannelDependencyGraph::build_single_vn(&sys, &deft, &FaultState::none(&sys));
+    println!("single-VC network cyclic: {}", naive.has_cycle());
+
+    // Simulate localized traffic on the custom system.
+    let pattern = localized(&sys, 0.004);
+    let cfg = SimConfig { warmup: 500, measure: 4_000, ..SimConfig::default() };
+    let report =
+        Simulator::new(&sys, FaultState::none(&sys), Box::new(deft), &pattern, cfg).run();
+    println!(
+        "simulated: avg latency {:.1} cycles, delivered {:.1}%, deadlocked: {}",
+        report.avg_latency,
+        100.0 * report.delivery_ratio(),
+        report.deadlocked
+    );
+
+    // Fault tolerance still holds: kill one VL of the 2-VL chiplet.
+    let mut faults = FaultState::none(&sys);
+    faults.inject(VlLinkId { chiplet: ChipletId(1), index: 0, dir: VlDir::Down });
+    let engine = ReachabilityEngine::new(&sys, &DeftRouting::new(&sys));
+    println!(
+        "reachability with one faulty VL on the 2-VL chiplet: {:.1}%",
+        100.0 * engine.reachability_under(&sys, &faults)
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Fault tolerance: inject vertical-link faults and compare how DeFT, MTR,
+//! and RC cope — both analytically (exact reachability) and in simulation.
+//!
+//! Run with: `cargo run --release -p deft --example fault_tolerance`
+
+use deft::prelude::*;
+
+fn main() {
+    let sys = ChipletSystem::baseline_4();
+
+    // An adversarial 4-fault scenario (12.5% fault rate): kill both
+    // east-half down-VLs of chiplet 0 — MTR's eastbound flows lose every
+    // eligible VL, while DeFT re-routes through the west-half VLs.
+    let mut faults = FaultState::none(&sys);
+    for (index, dir) in [(1u8, VlDir::Down), (2, VlDir::Down)] {
+        faults.inject(VlLinkId { chiplet: ChipletId(0), index, dir });
+    }
+    faults.inject(VlLinkId { chiplet: ChipletId(3), index: 0, dir: VlDir::Up });
+    faults.inject(VlLinkId { chiplet: ChipletId(1), index: 3, dir: VlDir::Up });
+    println!("injected faults:");
+    for l in faults.links() {
+        println!("  {l}");
+    }
+
+    println!("\nexact reachability under this scenario:");
+    for algo in [
+        Box::new(DeftRouting::new(&sys)) as Box<dyn RoutingAlgorithm>,
+        Box::new(MtrRouting::new(&sys)),
+        Box::new(RcRouting::new(&sys)),
+    ] {
+        let engine = ReachabilityEngine::new(&sys, algo.as_ref());
+        println!(
+            "  {:>5}: {:.2}%",
+            algo.name(),
+            100.0 * engine.reachability_under(&sys, &faults)
+        );
+    }
+
+    println!("\nsimulated under uniform traffic (dropped = unroutable packets):");
+    let pattern = uniform(&sys, 0.003);
+    let cfg = SimConfig { warmup: 500, measure: 3_000, ..SimConfig::default() };
+    for algo in ["DeFT", "MTR", "RC"] {
+        let boxed: Box<dyn RoutingAlgorithm> = match algo {
+            "DeFT" => Box::new(DeftRouting::new(&sys)),
+            "MTR" => Box::new(MtrRouting::new(&sys)),
+            _ => Box::new(RcRouting::new(&sys)),
+        };
+        let report = Simulator::new(&sys, faults.clone(), boxed, &pattern, cfg).run();
+        println!(
+            "  {:>5}: reachability {:.2}%  avg latency {:.1} cycles  dropped {}",
+            algo,
+            100.0 * report.reachability(),
+            report.avg_latency,
+            report.dropped_unroutable,
+        );
+    }
+
+    // Exact average/worst-case curves, as in the paper's Fig. 7(a).
+    println!("\nexact reachability vs fault count (paper Fig. 7a):");
+    let deft = ReachabilityEngine::new(&sys, &DeftRouting::new(&sys));
+    let mtr = ReachabilityEngine::new(&sys, &MtrRouting::new(&sys));
+    let rc = ReachabilityEngine::new(&sys, &RcRouting::new(&sys));
+    println!("  k   DeFT   MTR-Avg  MTR-Wrst  RC-Avg  RC-Wrst");
+    for k in 1..=8 {
+        println!(
+            "  {}  {:>6.2}  {:>7.2}  {:>8.2}  {:>6.2}  {:>7.2}",
+            k,
+            100.0 * deft.average(k),
+            100.0 * mtr.average(k),
+            100.0 * mtr.worst_case(k),
+            100.0 * rc.average(k),
+            100.0 * rc.worst_case(k),
+        );
+    }
+}

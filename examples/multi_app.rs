@@ -1,0 +1,67 @@
+//! Multi-application execution: co-schedule two PARSEC-profile workloads on
+//! disjoint chiplet halves (paper Fig. 6(b)) and compare DeFT against MTR
+//! and RC under the resulting vertical-link congestion.
+//!
+//! Run with: `cargo run --release -p deft --example multi_app`
+
+use deft::prelude::*;
+
+fn main() {
+    let sys = ChipletSystem::baseline_4();
+
+    // The paper's heaviest pair: streamcluster + fluidanimate.
+    let st = AppProfile::by_abbrev("ST").expect("streamcluster profile");
+    let fl = AppProfile::by_abbrev("FL").expect("fluidanimate profile");
+    let traffic = multi_app(&sys, st, fl, 42);
+    println!(
+        "workload {}: offered load {:.4} packets/cycle total",
+        traffic.name(),
+        traffic.offered_load()
+    );
+
+    let cfg = SimConfig { warmup: 1_000, measure: 6_000, ..SimConfig::default() };
+    let mut latencies = Vec::new();
+    for name in ["DeFT", "MTR", "RC"] {
+        let algo: Box<dyn RoutingAlgorithm> = match name {
+            "DeFT" => Box::new(DeftRouting::new(&sys)),
+            "MTR" => Box::new(MtrRouting::new(&sys)),
+            _ => Box::new(RcRouting::new(&sys)),
+        };
+        let report =
+            Simulator::new(&sys, FaultState::none(&sys), algo, &traffic, cfg).run();
+        println!(
+            "  {:>5}: avg latency {:>7.1} cycles, delivered {:>5.1}%, deadlocked: {}",
+            name,
+            report.avg_latency,
+            100.0 * report.delivery_ratio(),
+            report.deadlocked
+        );
+        latencies.push((name, report.avg_latency));
+    }
+
+    let deft = latencies[0].1;
+    for &(name, lat) in &latencies[1..] {
+        if lat > 0.0 {
+            println!(
+                "DeFT improves latency by {:.1}% vs {}",
+                100.0 * (lat - deft) / lat,
+                name
+            );
+        }
+    }
+
+    // Single-application contrast (paper Fig. 6(a)): lightly loaded, so the
+    // gap shrinks.
+    println!("\nsingle application (facesim) for contrast:");
+    let fa = AppProfile::by_abbrev("FA").expect("facesim profile");
+    let traffic = single_app(&sys, fa, 42);
+    for name in ["DeFT", "MTR"] {
+        let algo: Box<dyn RoutingAlgorithm> = match name {
+            "DeFT" => Box::new(DeftRouting::new(&sys)),
+            _ => Box::new(MtrRouting::new(&sys)),
+        };
+        let report =
+            Simulator::new(&sys, FaultState::none(&sys), algo, &traffic, cfg).run();
+        println!("  {:>5}: avg latency {:>7.1} cycles", name, report.avg_latency);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate DeFT on the paper's 4-chiplet system under uniform
+//! traffic and print the headline statistics.
+//!
+//! Run with: `cargo run --release -p deft --example quickstart`
+
+use deft::prelude::*;
+
+fn main() {
+    // The paper's baseline: four 4x4 chiplets on an 8x8 active interposer,
+    // four vertical links per chiplet.
+    let sys = ChipletSystem::baseline_4();
+    println!(
+        "system: {} chiplets, {} nodes, {} vertical links ({} unidirectional)",
+        sys.chiplet_count(),
+        sys.node_count(),
+        sys.vertical_link_count(),
+        sys.unidirectional_vl_count(),
+    );
+
+    // DeFT with offline VL-selection optimization under uniform traffic.
+    let deft = DeftRouting::new(&sys);
+
+    // Uniform random traffic at 0.004 packets/cycle/node.
+    let pattern = uniform(&sys, 0.004);
+
+    let cfg = SimConfig { warmup: 1_000, measure: 5_000, ..SimConfig::default() };
+    let report =
+        Simulator::new(&sys, FaultState::none(&sys), Box::new(deft), &pattern, cfg).run();
+
+    println!("algorithm:        {}", report.algorithm);
+    println!("pattern:          {}", report.pattern);
+    println!("packets measured: {}", report.injected_measured);
+    println!("delivered:        {} ({:.1}%)", report.delivered, 100.0 * report.delivery_ratio());
+    println!("avg latency:      {:.1} cycles", report.avg_latency);
+    println!("max latency:      {} cycles", report.max_latency);
+    println!("throughput:       {:.4} flits/cycle/node", report.throughput);
+    println!("deadlocked:       {}", report.deadlocked);
+
+    println!("\nVC utilization per region (paper Fig. 5):");
+    for (region, usage) in &report.vc_usage {
+        println!(
+            "  {:>9}  VC1 {:>5.1}%  VC2 {:>5.1}%",
+            region.to_string(),
+            usage.vc0_percent(),
+            100.0 - usage.vc0_percent()
+        );
+    }
+}

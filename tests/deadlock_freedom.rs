@@ -1,0 +1,180 @@
+//! Deadlock freedom, verified three ways:
+//! 1. the channel dependency graph of DeFT is acyclic on the paper systems;
+//! 2. the same network *without* VN separation is cyclic (Fig. 1);
+//! 3. the simulator's watchdog stays silent for DeFT at saturation but
+//!    fires for an intentionally cyclic routing function.
+
+use deft::prelude::*;
+use deft_routing::algorithm::{FlowChoice, FlowEligibility, RouteDecision};
+use deft_topo::Direction;
+
+#[test]
+fn deft_cdg_is_acyclic_on_the_baseline_4_system() {
+    let sys = ChipletSystem::baseline_4();
+    let deft = DeftRouting::distance_based(&sys);
+    let cdg = ChannelDependencyGraph::build(&sys, &deft, &FaultState::none(&sys));
+    assert!(cdg.channel_count() > 100);
+    assert!(!cdg.has_cycle(), "cycle: {:?}", cdg.find_cycle());
+}
+
+#[test]
+fn deft_cdg_stays_acyclic_under_heavy_faults() {
+    let sys = ChipletSystem::baseline_4();
+    // 8 faults (25%), the paper's maximum rate.
+    let mut faults = FaultState::none(&sys);
+    for (c, i, d) in [
+        (0u8, 0u8, VlDir::Down),
+        (0, 1, VlDir::Down),
+        (1, 2, VlDir::Up),
+        (1, 3, VlDir::Up),
+        (2, 0, VlDir::Down),
+        (2, 1, VlDir::Up),
+        (3, 2, VlDir::Down),
+        (3, 3, VlDir::Up),
+    ] {
+        faults.inject(VlLinkId { chiplet: ChipletId(c), index: i, dir: d });
+    }
+    let deft = DeftRouting::new(&sys);
+    let cdg = ChannelDependencyGraph::build(&sys, &deft, &faults);
+    assert!(!cdg.has_cycle());
+}
+
+#[test]
+fn the_fig1_cycle_exists_without_vn_separation() {
+    let sys = ChipletSystem::baseline_4();
+    let deft = DeftRouting::distance_based(&sys);
+    let cdg = ChannelDependencyGraph::build_single_vn(&sys, &deft, &FaultState::none(&sys));
+    let cycle = cdg.find_cycle().expect("single-VC 2.5D networks deadlock");
+    assert!(cycle.iter().any(|c| c.dir.is_vertical()), "inter-chiplet cycle expected");
+}
+
+#[test]
+fn mtr_and_rc_cdgs_are_acyclic_on_the_baseline() {
+    let sys = ChipletSystem::baseline_4();
+    let faults = FaultState::none(&sys);
+    for alg in [
+        Box::new(MtrRouting::new(&sys)) as Box<dyn RoutingAlgorithm>,
+        Box::new(RcRouting::new(&sys)),
+    ] {
+        let cdg = ChannelDependencyGraph::build(&sys, alg.as_ref(), &faults);
+        assert!(!cdg.has_cycle(), "{}", alg.name());
+    }
+}
+
+#[test]
+fn deft_survives_saturation_without_deadlock() {
+    let sys = ChipletSystem::baseline_4();
+    // Far past saturation.
+    let pattern = uniform(&sys, 0.05);
+    let cfg = SimConfig {
+        warmup: 200,
+        measure: 1_500,
+        drain: 2_000,
+        deadlock_threshold: 1_000,
+        ..SimConfig::default()
+    };
+    let report = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Box::new(DeftRouting::new(&sys)),
+        &pattern,
+        cfg,
+    )
+    .run();
+    assert!(!report.deadlocked, "DeFT deadlocked at saturation");
+    assert!(report.delivered > 0);
+}
+
+/// An intentionally cyclic routing function: packets circle the four
+/// corner-adjacent tiles of chiplet 0 clockwise to a destination two steps
+/// ahead, all in one VN. With 8-flit packets and 4-flit buffers, four
+/// concurrent worms form the classic ring deadlock — the watchdog must
+/// catch it.
+#[derive(Debug)]
+struct RingRouting;
+
+impl RoutingAlgorithm for RingRouting {
+    fn name(&self) -> &str {
+        "Ring"
+    }
+
+    fn on_inject(
+        &mut self,
+        _sys: &ChipletSystem,
+        _faults: &FaultState,
+        _src: NodeId,
+        _dst: NodeId,
+        _seq: u64,
+    ) -> Result<deft_routing::RouteCtx, RouteError> {
+        Ok(deft_routing::RouteCtx::local(Vn::Vn0))
+    }
+
+    fn route(
+        &mut self,
+        sys: &ChipletSystem,
+        _faults: &FaultState,
+        node: NodeId,
+        _dst: NodeId,
+        _ctx: &mut deft_routing::RouteCtx,
+    ) -> RouteDecision {
+        // Clockwise on the 2x2 ring at chiplet 0's southwest corner:
+        // (0,0) -> (0,1) -> (1,1) -> (1,0) -> (0,0).
+        let c = sys.addr(node).coord;
+        let dir = match (c.x, c.y) {
+            (0, 0) => Direction::North,
+            (0, 1) => Direction::East,
+            (1, 1) => Direction::South,
+            _ => Direction::West,
+        };
+        RouteDecision { dir, vn: Vn::Vn0 }
+    }
+
+    fn eligibility(&self, _sys: &ChipletSystem, _src: NodeId, _dst: NodeId) -> FlowEligibility {
+        FlowEligibility { down: None, up: None }
+    }
+
+    fn flow_choices(
+        &self,
+        _sys: &ChipletSystem,
+        _faults: &FaultState,
+        _src: NodeId,
+        _dst: NodeId,
+    ) -> Vec<FlowChoice> {
+        Vec::new()
+    }
+}
+
+#[test]
+fn the_watchdog_catches_a_cyclic_routing_function() {
+    let sys = ChipletSystem::baseline_4();
+    // Each ring tile sends to the tile two hops ahead, continuously.
+    let ring = [
+        Coord::new(0, 0),
+        Coord::new(0, 1),
+        Coord::new(1, 1),
+        Coord::new(1, 0),
+    ];
+    let ids: Vec<NodeId> = ring
+        .iter()
+        .map(|&c| sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), c)).unwrap())
+        .collect();
+    let n = sys.node_count();
+    let mut rates = vec![0.0; n];
+    let mut dists: Vec<deft_traffic::Mixture> =
+        (0..n).map(|_| deft_traffic::Mixture::empty()).collect();
+    for (i, &src) in ids.iter().enumerate() {
+        rates[src.index()] = 0.5;
+        dists[src.index()] = deft_traffic::Mixture::uniform(vec![ids[(i + 2) % 4]]);
+    }
+    let pattern = deft_traffic::TableTraffic::new("ring", rates, dists);
+    let cfg = SimConfig {
+        warmup: 0,
+        measure: 3_000,
+        drain: 3_000,
+        deadlock_threshold: 500,
+        ..SimConfig::default()
+    };
+    let report =
+        Simulator::new(&sys, FaultState::none(&sys), Box::new(RingRouting), &pattern, cfg).run();
+    assert!(report.deadlocked, "the ring workload must deadlock under cyclic routing");
+}

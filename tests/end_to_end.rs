@@ -1,0 +1,130 @@
+//! End-to-end experiment sanity: quick versions of the paper's headline
+//! comparisons, spanning every crate.
+
+use deft::experiments::{fig4, fig5, fig6_pairs, fig7, Algo, ExpConfig, SynPattern};
+use deft::prelude::*;
+use deft_power::{table1, RouterParams, Tech45nm};
+
+#[test]
+fn fig4_uniform_quick_panel_is_sane() {
+    let sys = ChipletSystem::baseline_4();
+    let cfg = ExpConfig::quick();
+    let sweep = fig4(&sys, SynPattern::Uniform, &[0.002, 0.006], &Algo::MAIN, &cfg);
+    assert_eq!(sweep.curves.len(), 3);
+    for c in &sweep.curves {
+        assert_eq!(c.points.len(), 2);
+        let (low, high) = (c.points[0].1, c.points[1].1);
+        assert!(low > 5.0, "{}: implausibly low latency {low}", c.algorithm);
+        assert!(
+            high >= low * 0.8,
+            "{}: latency should not collapse with load ({low} -> {high})",
+            c.algorithm
+        );
+    }
+    // At the loaded point, DeFT does not lose to RC.
+    let deft = sweep.latency_at("DeFT", 0.006).unwrap();
+    let rc = sweep.latency_at("RC", 0.006).unwrap();
+    assert!(deft <= rc * 1.05, "DeFT {deft} vs RC {rc}");
+}
+
+#[test]
+fn fig5_regions_cover_the_whole_system() {
+    let sys = ChipletSystem::baseline_4();
+    let rows = fig5(&sys, SynPattern::Localized, 0.004, &ExpConfig::quick());
+    assert_eq!(rows.len(), 1 + sys.chiplet_count());
+    // Paper: Uniform/Localized balance within a fraction of a percent at
+    // full windows; allow slack for the quick config.
+    for r in &rows {
+        assert!((r.vc0_percent - 50.0).abs() < 10.0, "{}: {}%", r.region, r.vc0_percent);
+    }
+}
+
+#[test]
+fn fig6b_heavy_pairs_favor_deft_over_rc() {
+    let sys = ChipletSystem::baseline_4();
+    let cfg = ExpConfig::quick();
+    let rows = fig6_pairs(&sys, &cfg);
+    assert_eq!(rows.len(), 8);
+    assert_eq!(rows[0].label, "FA+FL");
+    assert_eq!(rows[7].label, "ST+FL");
+    // The heaviest pair shows a clear win against RC (paper: up to 40%).
+    assert!(
+        rows[7].vs_rc_percent > 5.0,
+        "ST+FL vs RC improvement only {:.1}%",
+        rows[7].vs_rc_percent
+    );
+}
+
+#[test]
+fn fig7_matches_the_papers_headline_claims() {
+    let sys = ChipletSystem::baseline_4();
+    let curves = fig7(&sys, 8);
+    // "DeFT achieves complete (100%) reachability for the considered
+    // fault-injection rates."
+    assert!(curves.deft.iter().all(|&r| (r - 100.0).abs() < 1e-9));
+    // "In the worst case, DeFT improves network reachability by ... up to
+    // 75% compared to MTR": the MTR worst-case floor drops far below 100%.
+    let mtr_floor = curves.mtr_worst.last().unwrap();
+    assert!(*mtr_floor < 80.0, "MTR worst-case floor {mtr_floor}");
+    // RC is never better than MTR on average.
+    for i in 0..curves.k.len() {
+        assert!(curves.rc_avg[i] <= curves.mtr_avg[i] + 1e-9);
+    }
+}
+
+#[test]
+fn table1_reproduces_the_overhead_claims() {
+    let rows = table1(&RouterParams::paper_default(), &Tech45nm::default());
+    let deft = rows.iter().find(|r| r.variant == "DeFT").unwrap();
+    // "less than 2% and 1% hardware and power overhead".
+    assert!(deft.norm_area < 1.02);
+    assert!(deft.norm_power < 1.01);
+    let rc_b = rows.iter().find(|r| r.variant == "RC bndry").unwrap();
+    assert!(rc_b.norm_area > 1.10, "RC boundary router pays for the RC-buffer");
+}
+
+#[test]
+fn six_chiplet_system_runs_end_to_end() {
+    let sys = ChipletSystem::baseline_6();
+    let cfg = ExpConfig::quick();
+    let sweep = fig4(&sys, SynPattern::Uniform, &[0.003], &Algo::MAIN, &cfg);
+    for c in &sweep.curves {
+        assert!(c.points[0].1 > 0.0, "{} produced no traffic on 6 chiplets", c.algorithm);
+    }
+}
+
+#[test]
+fn traffic_aware_optimization_does_not_regress() {
+    // Paper §IV-A: "Including traffic information in the offline
+    // optimization results in further improvements." At minimum it must
+    // not be worse than uniform-optimized DeFT under a skewed workload.
+    let sys = ChipletSystem::baseline_4();
+    let st = AppProfile::by_abbrev("ST").unwrap();
+    let fl = AppProfile::by_abbrev("FL").unwrap();
+    let traffic = multi_app(&sys, st, fl, 9);
+    let cfg = SimConfig { warmup: 300, measure: 2_000, ..SimConfig::default() };
+
+    let plain = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Box::new(DeftRouting::new(&sys)),
+        &traffic,
+        cfg,
+    )
+    .run();
+    let aware = {
+        let rates: Vec<f64> = sys
+            .nodes()
+            .map(|n| traffic.inter_chiplet_rate(&sys, n))
+            .collect();
+        let alg = DeftRouting::with_traffic(&sys, move |n: NodeId| rates[n.index()]);
+        Simulator::new(&sys, FaultState::none(&sys), Box::new(alg), &traffic, cfg).run()
+    };
+    assert!(!plain.deadlocked && !aware.deadlocked);
+    assert!(
+        aware.avg_latency <= plain.avg_latency * 1.10,
+        "traffic-aware {} vs uniform-optimized {}",
+        aware.avg_latency,
+        plain.avg_latency
+    );
+}

@@ -1,0 +1,161 @@
+//! Simulation-vs-analysis cross-checks under vertical-link faults.
+
+use deft::prelude::*;
+use deft_topo::ScenarioSampler;
+
+fn quick_cfg(seed: u64) -> SimConfig {
+    SimConfig { warmup: 300, measure: 2_000, drain: 30_000, seed, ..SimConfig::default() }
+}
+
+#[test]
+fn simulated_reachability_matches_the_exact_engine() {
+    // For random 6-fault scenarios, the fraction of dropped packets in
+    // simulation must converge to the engine's exact per-scenario value.
+    let sys = ChipletSystem::baseline_4();
+    let mut sampler = ScenarioSampler::new(&sys, 6, 21);
+    let pattern = uniform(&sys, 0.004);
+    for trial in 0..3 {
+        let faults = sampler.sample(&sys);
+        for algo_name in ["MTR", "RC"] {
+            let algo: Box<dyn RoutingAlgorithm> = match algo_name {
+                "MTR" => Box::new(MtrRouting::new(&sys)),
+                _ => Box::new(RcRouting::new(&sys)),
+            };
+            let engine = ReachabilityEngine::new(&sys, algo.as_ref());
+            let exact = engine.reachability_under(&sys, &faults);
+            let report =
+                Simulator::new(&sys, faults.clone(), algo, &pattern, quick_cfg(trial)).run();
+            let simulated = report.reachability();
+            assert!(
+                (exact - simulated).abs() < 0.03,
+                "{algo_name} trial {trial}: exact {exact} vs simulated {simulated}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deft_simulated_reachability_is_always_complete() {
+    let sys = ChipletSystem::baseline_4();
+    let mut sampler = ScenarioSampler::new(&sys, 8, 5);
+    let pattern = uniform(&sys, 0.004);
+    for trial in 0..3 {
+        let faults = sampler.sample(&sys);
+        let report = Simulator::new(
+            &sys,
+            faults,
+            Box::new(DeftRouting::new(&sys)),
+            &pattern,
+            quick_cfg(100 + trial),
+        )
+        .run();
+        assert_eq!(report.dropped_unroutable, 0, "trial {trial}");
+        assert!(!report.deadlocked);
+    }
+}
+
+#[test]
+fn fig8_ablation_optimized_selection_beats_distance_based_under_faults() {
+    // Fig. 8(a): at a 12.5% fault rate and moderate load, DeFT's optimized
+    // selection yields lower latency than distance-based selection, which
+    // overloads the VLs nearest the fault (Fig. 3(b)'s effect).
+    let sys = ChipletSystem::baseline_4();
+    let mut faults = FaultState::none(&sys);
+    for c in 0..4u8 {
+        faults.inject(VlLinkId { chiplet: ChipletId(c), index: c, dir: VlDir::Down });
+    }
+    let pattern = uniform(&sys, 0.006);
+    let cfg = SimConfig { warmup: 500, measure: 4_000, drain: 40_000, ..SimConfig::default() };
+    let opt = Simulator::new(
+        &sys,
+        faults.clone(),
+        Box::new(DeftRouting::new(&sys)),
+        &pattern,
+        cfg,
+    )
+    .run();
+    let dis = Simulator::new(
+        &sys,
+        faults,
+        Box::new(DeftRouting::distance_based(&sys)),
+        &pattern,
+        cfg,
+    )
+    .run();
+    assert!(!opt.deadlocked && !dis.deadlocked);
+    assert!(
+        opt.avg_latency <= dis.avg_latency * 1.05,
+        "optimized {} should not lose to distance-based {}",
+        opt.avg_latency,
+        dis.avg_latency
+    );
+}
+
+#[test]
+fn vl_loads_are_balanced_by_the_optimizer() {
+    // Under uniform traffic with one faulty VL per chiplet, optimized DeFT
+    // must spread down-traffic more evenly than distance-based selection.
+    let sys = ChipletSystem::baseline_4();
+    let mut faults = FaultState::none(&sys);
+    for c in 0..4u8 {
+        faults.inject(VlLinkId { chiplet: ChipletId(c), index: 0, dir: VlDir::Down });
+    }
+    let pattern = uniform(&sys, 0.005);
+    let cfg = quick_cfg(7);
+    let down_spread = |report: &SimReport| -> f64 {
+        let downs: Vec<u64> = report
+            .vl_flits
+            .iter()
+            .filter(|((_, _, down), _)| *down)
+            .map(|(_, &v)| v)
+            .collect();
+        let max = *downs.iter().max().unwrap() as f64;
+        let min = *downs.iter().min().unwrap() as f64;
+        max / min.max(1.0)
+    };
+    let opt = Simulator::new(
+        &sys,
+        faults.clone(),
+        Box::new(DeftRouting::new(&sys)),
+        &pattern,
+        cfg,
+    )
+    .run();
+    let dis = Simulator::new(
+        &sys,
+        faults,
+        Box::new(DeftRouting::distance_based(&sys)),
+        &pattern,
+        cfg,
+    )
+    .run();
+    assert!(
+        down_spread(&opt) <= down_spread(&dis) + 0.5,
+        "optimized spread {} vs distance spread {}",
+        down_spread(&opt),
+        down_spread(&dis)
+    );
+}
+
+#[test]
+fn up_and_down_faults_are_independent() {
+    // A faulty down link must not stop the up twin from carrying traffic,
+    // and vice versa.
+    let sys = ChipletSystem::baseline_4();
+    let mut faults = FaultState::none(&sys);
+    faults.inject(VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down });
+    faults.inject(VlLinkId { chiplet: ChipletId(2), index: 3, dir: VlDir::Up });
+    let pattern = uniform(&sys, 0.005);
+    let report = Simulator::new(
+        &sys,
+        faults,
+        Box::new(DeftRouting::new(&sys)),
+        &pattern,
+        quick_cfg(3),
+    )
+    .run();
+    assert_eq!(report.vl_flits.get(&(0, 1, true)).copied().unwrap_or(0), 0);
+    assert!(report.vl_flits.get(&(0, 1, false)).copied().unwrap_or(0) > 0);
+    assert_eq!(report.vl_flits.get(&(2, 3, false)).copied().unwrap_or(0), 0);
+    assert!(report.vl_flits.get(&(2, 3, true)).copied().unwrap_or(0) > 0);
+}

@@ -1,0 +1,146 @@
+//! Property-based invariants of the reachability engine and fault model.
+
+use deft::prelude::*;
+use deft_routing::reachability::ReachabilityEngine;
+use deft_topo::{FaultScenarios, ScenarioSampler};
+use proptest::prelude::*;
+
+fn arb_fault_state(max_faults: usize) -> impl Strategy<Value = Vec<(u8, u8, bool)>> {
+    prop::collection::vec(
+        (0u8..4, 0u8..4, prop::bool::ANY),
+        0..=max_faults,
+    )
+}
+
+fn to_state(sys: &ChipletSystem, raw: &[(u8, u8, bool)]) -> FaultState {
+    let mut f = FaultState::none(sys);
+    for &(c, i, down) in raw {
+        f.inject(VlLinkId {
+            chiplet: ChipletId(c),
+            index: i,
+            dir: if down { VlDir::Down } else { VlDir::Up },
+        });
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deft_reaches_everything_unless_disconnected(raw in arb_fault_state(10)) {
+        let sys = ChipletSystem::baseline_4();
+        let faults = to_state(&sys, &raw);
+        let engine = ReachabilityEngine::new(&sys, &DeftRouting::distance_based(&sys));
+        let r = engine.reachability_under(&sys, &faults);
+        if faults.disconnects_any_chiplet(&sys) {
+            prop_assert!(r < 1.0);
+        } else {
+            prop_assert_eq!(r, 1.0);
+        }
+    }
+
+    #[test]
+    fn reachability_is_a_probability(raw in arb_fault_state(12)) {
+        let sys = ChipletSystem::baseline_4();
+        let faults = to_state(&sys, &raw);
+        for alg in [
+            Box::new(DeftRouting::distance_based(&sys)) as Box<dyn RoutingAlgorithm>,
+            Box::new(MtrRouting::new(&sys)),
+            Box::new(RcRouting::new(&sys)),
+        ] {
+            let engine = ReachabilityEngine::new(&sys, alg.as_ref());
+            let r = engine.reachability_under(&sys, &faults);
+            prop_assert!((0.0..=1.0).contains(&r), "{} returned {}", alg.name(), r);
+        }
+    }
+
+    #[test]
+    fn more_faults_never_help(raw in arb_fault_state(8), extra_c in 0u8..4, extra_i in 0u8..4) {
+        let sys = ChipletSystem::baseline_4();
+        let faults = to_state(&sys, &raw);
+        let mut more = faults.clone();
+        more.inject(VlLinkId { chiplet: ChipletId(extra_c), index: extra_i, dir: VlDir::Down });
+        let engine = ReachabilityEngine::new(&sys, &MtrRouting::new(&sys));
+        prop_assert!(
+            engine.reachability_under(&sys, &more)
+                <= engine.reachability_under(&sys, &faults) + 1e-12
+        );
+    }
+
+    #[test]
+    fn routability_matches_on_inject(raw in arb_fault_state(6), src_i in 0u32..128, dst_i in 0u32..128) {
+        // The eligibility-based routability predicate must agree with what
+        // on_inject actually does.
+        prop_assume!(src_i != dst_i);
+        let sys = ChipletSystem::baseline_4();
+        let faults = to_state(&sys, &raw);
+        let (src, dst) = (NodeId(src_i), NodeId(dst_i));
+        for mut alg in [
+            Box::new(DeftRouting::distance_based(&sys)) as Box<dyn RoutingAlgorithm>,
+            Box::new(MtrRouting::new(&sys)),
+            Box::new(RcRouting::new(&sys)),
+        ] {
+            let predicted = alg.eligibility(&sys, src, dst).routable(&faults, &sys);
+            let actual = alg.on_inject(&sys, &faults, src, dst, 0).is_ok();
+            prop_assert_eq!(predicted, actual, "{} disagrees for {} -> {}", alg.name(), src, dst);
+        }
+    }
+}
+
+#[test]
+fn average_is_bounded_by_best_and_worst_scenarios() {
+    let sys = ChipletSystem::baseline_4();
+    let engine = ReachabilityEngine::new(&sys, &MtrRouting::new(&sys));
+    for k in 1..=6 {
+        let avg = engine.average(k);
+        let worst = engine.worst_case(k);
+        assert!(worst <= avg + 1e-12, "k={k}: worst {worst} > avg {avg}");
+        assert!(avg <= 1.0);
+    }
+}
+
+#[test]
+fn monte_carlo_converges_to_exact_average() {
+    let sys = ChipletSystem::baseline_4();
+    for alg in [
+        Box::new(MtrRouting::new(&sys)) as Box<dyn RoutingAlgorithm>,
+        Box::new(RcRouting::new(&sys)),
+    ] {
+        let engine = ReachabilityEngine::new(&sys, alg.as_ref());
+        for k in [3usize, 6] {
+            let exact = engine.average(k);
+            let mc = engine.monte_carlo(&sys, k, 3_000, 17);
+            assert!(
+                (exact - mc).abs() < 0.01,
+                "{} k={k}: exact {exact} vs MC {mc}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_counts_agree_between_topo_and_engine() {
+    let sys = ChipletSystem::baseline_4();
+    let engine = ReachabilityEngine::new(&sys, &MtrRouting::new(&sys));
+    for k in 1..=5 {
+        assert_eq!(
+            engine.admissible_scenarios(k),
+            FaultScenarios::new(&sys, k).count_admissible(),
+        );
+    }
+}
+
+#[test]
+fn sampler_reachability_matches_reachability_under() {
+    let sys = ChipletSystem::baseline_4();
+    let engine = ReachabilityEngine::new(&sys, &RcRouting::new(&sys));
+    let mut sampler = ScenarioSampler::new(&sys, 5, 3);
+    for _ in 0..20 {
+        let state = sampler.sample(&sys);
+        let r = engine.reachability_under(&sys, &state);
+        assert!((0.0..=1.0).contains(&r));
+        assert!(!state.disconnects_any_chiplet(&sys));
+    }
+}

@@ -1,0 +1,189 @@
+//! The paper's Fig. 2 rules, checked on every hop of routed packets:
+//! * Rule 1 — never switch VN1 → VN0;
+//! * Rule 2 — in VN0, never turn Up → Horizontal;
+//! * Rule 3 — in VN1, never turn Horizontal → Down;
+//! plus minimality (livelock freedom) and Algorithm 1's assignment cases.
+
+use deft::prelude::*;
+use deft_topo::Direction;
+
+/// Walks a packet through `alg.route` hop by hop, returning
+/// `(direction, vn)` per hop.
+fn walk(
+    sys: &ChipletSystem,
+    alg: &mut dyn RoutingAlgorithm,
+    faults: &FaultState,
+    src: NodeId,
+    dst: NodeId,
+    seq: u64,
+) -> Vec<(Direction, Vn)> {
+    let mut ctx = alg.on_inject(sys, faults, src, dst, seq).expect("routable");
+    let mut hops = vec![];
+    let mut cur = src;
+    let mut prev_vn = ctx.vn;
+    while cur != dst {
+        let d = alg.route(sys, faults, cur, dst, &mut ctx);
+        // Rule 1 at the transition granularity.
+        assert!(
+            prev_vn.may_switch_to(d.vn),
+            "Rule 1 violated: {prev_vn} -> {} at {cur}",
+            d.vn
+        );
+        prev_vn = d.vn;
+        hops.push((d.dir, d.vn));
+        cur = sys.neighbor(cur, d.dir).expect("valid hop");
+        assert!(hops.len() < 200, "runaway route {src} -> {dst}");
+    }
+    hops
+}
+
+fn check_rules(hops: &[(Direction, Vn)], label: &str) {
+    for w in hops.windows(2) {
+        let (d_in, vn_in) = w[0];
+        let (d_out, vn_out) = w[1];
+        // vn_in is the VN of the buffer the flit sits in when taking the
+        // turn to d_out.
+        if vn_in == Vn::Vn0 {
+            assert!(
+                !(d_in == Direction::Up && d_out.is_horizontal()),
+                "{label}: Rule 2 violated (Up -> horizontal in VN0)"
+            );
+        }
+        if vn_in == Vn::Vn1 {
+            assert!(
+                !(d_in.is_horizontal() && d_out == Direction::Down),
+                "{label}: Rule 3 violated (horizontal -> Down in VN1)"
+            );
+        }
+        let _ = vn_out;
+    }
+}
+
+#[test]
+fn deft_obeys_all_three_rules_on_every_flow() {
+    let sys = ChipletSystem::baseline_4();
+    let faults = FaultState::none(&sys);
+    let mut deft = DeftRouting::new(&sys);
+    // All flows from a sample of sources to every destination.
+    let sources: Vec<NodeId> = sys.nodes().step_by(7).collect();
+    for &src in &sources {
+        for dst in sys.nodes() {
+            if src == dst {
+                continue;
+            }
+            for seq in 0..2 {
+                let hops = walk(&sys, &mut deft, &faults, src, dst, seq);
+                check_rules(&hops, "DeFT");
+            }
+        }
+    }
+}
+
+#[test]
+fn deft_obeys_the_rules_under_faults() {
+    let sys = ChipletSystem::baseline_4();
+    let mut faults = FaultState::none(&sys);
+    for (c, i, d) in
+        [(0u8, 0u8, VlDir::Down), (1, 1, VlDir::Up), (2, 2, VlDir::Down), (3, 3, VlDir::Up)]
+    {
+        faults.inject(VlLinkId { chiplet: ChipletId(c), index: i, dir: d });
+    }
+    let mut deft = DeftRouting::new(&sys);
+    for src in sys.nodes().step_by(11) {
+        for dst in sys.nodes().step_by(5) {
+            if src == dst {
+                continue;
+            }
+            let hops = walk(&sys, &mut deft, &faults, src, dst, 1);
+            check_rules(&hops, "DeFT+faults");
+        }
+    }
+}
+
+#[test]
+fn routes_are_minimal_through_the_selected_vls() {
+    // Livelock freedom (paper §III-A): every packet is routed minimally via
+    // its two intermediate destinations.
+    let sys = ChipletSystem::baseline_4();
+    let faults = FaultState::none(&sys);
+    let mut deft = DeftRouting::new(&sys);
+    for src in sys.nodes().step_by(13) {
+        for dst in sys.nodes().step_by(9) {
+            if src == dst {
+                continue;
+            }
+            let ctx = deft.on_inject(&sys, &faults, src, dst, 0).unwrap();
+            let hops = walk(&sys, &mut deft, &faults, src, dst, 0);
+            let bound = match (sys.chiplet_of(src), sys.chiplet_of(dst)) {
+                (Some(a), Some(b)) if a != b => {
+                    let down = &sys.chiplet(a).vertical_links()[ctx.down_vl.unwrap() as usize];
+                    let up = &sys.chiplet(b).vertical_links()[ctx.up_vl.unwrap() as usize];
+                    sys.inter_chiplet_hops(src, down, up, dst)
+                }
+                _ => {
+                    // Same layer: manhattan; chiplet<->interposer: loose
+                    // bound via system diameter.
+                    sys.same_layer_distance(src, dst).unwrap_or(40)
+                }
+            };
+            assert!(
+                hops.len() as u32 <= bound,
+                "non-minimal: {src} -> {dst} took {} hops (bound {bound})",
+                hops.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn algorithm_1_source_assignment_cases() {
+    let sys = ChipletSystem::baseline_4();
+    let faults = FaultState::none(&sys);
+    let mut deft = DeftRouting::distance_based(&sys);
+
+    // Interposer source: round-robin.
+    let isrc = sys.interposer_nodes().nth(10).unwrap();
+    let dst = NodeId(0);
+    let v0 = deft.on_inject(&sys, &faults, isrc, dst, 0).unwrap().vn;
+    let v1 = deft.on_inject(&sys, &faults, isrc, dst, 1).unwrap().vn;
+    assert_ne!(v0, v1, "interposer sources alternate VNs");
+
+    // Intra-chiplet: round-robin.
+    let a = NodeId(0);
+    let b = NodeId(5);
+    let v0 = deft.on_inject(&sys, &faults, a, b, 0).unwrap().vn;
+    let v1 = deft.on_inject(&sys, &faults, a, b, 1).unwrap().vn;
+    assert_ne!(v0, v1, "intra-chiplet sources alternate VNs");
+
+    // Inter-chiplet from a non-boundary router: always VN0.
+    let src = sys
+        .chiplet_nodes(ChipletId(0))
+        .find(|&n| !sys.is_boundary_router(n))
+        .unwrap();
+    let far = sys.chiplet_nodes(ChipletId(3)).next().unwrap();
+    for seq in 0..4 {
+        assert_eq!(deft.on_inject(&sys, &faults, src, far, seq).unwrap().vn, Vn::Vn0);
+    }
+}
+
+#[test]
+fn mtr_and_rc_also_satisfy_the_turn_safety_rules() {
+    // The baselines use the same phase discipline inside the simulator, so
+    // their hop sequences must satisfy Rules 2 and 3 as well.
+    let sys = ChipletSystem::baseline_4();
+    let faults = FaultState::none(&sys);
+    for mut alg in [
+        Box::new(MtrRouting::new(&sys)) as Box<dyn RoutingAlgorithm>,
+        Box::new(RcRouting::new(&sys)),
+    ] {
+        for src in sys.nodes().step_by(17) {
+            for dst in sys.nodes().step_by(7) {
+                if src == dst {
+                    continue;
+                }
+                let hops = walk(&sys, alg.as_mut(), &faults, src, dst, 0);
+                check_rules(&hops, alg.name());
+            }
+        }
+    }
+}
