@@ -17,7 +17,11 @@ fn bench_fig4(c: &mut Criterion) {
     print_once(&PRINT, || {
         let mut out = String::new();
         let sys4 = ChipletSystem::baseline_4();
-        for p in [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot] {
+        for p in [
+            SynPattern::Uniform,
+            SynPattern::Localized,
+            SynPattern::Hotspot,
+        ] {
             out += &render_latency_sweep(&fig4(&sys4, p, &p.paper_rates(), &Algo::MAIN, &cfg));
         }
         let sys6 = ChipletSystem::baseline_6();
@@ -34,7 +38,11 @@ fn bench_fig4(c: &mut Criterion) {
     let sys4 = ChipletSystem::baseline_4();
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
-    for pattern in [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot] {
+    for pattern in [
+        SynPattern::Uniform,
+        SynPattern::Localized,
+        SynPattern::Hotspot,
+    ] {
         group.bench_function(format!("{}_4chiplets_midload", pattern.name()), |b| {
             b.iter(|| fig4(&sys4, pattern, &[0.004], &Algo::MAIN, &cfg))
         });

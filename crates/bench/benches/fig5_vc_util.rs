@@ -14,10 +14,14 @@ fn bench_fig5(c: &mut Criterion) {
     let cfg = bench_config();
     print_once(&PRINT, || {
         let sys = ChipletSystem::baseline_4();
-        [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot]
-            .iter()
-            .map(|&p| render_vc_util(p.name(), &fig5(&sys, p, 0.004, &cfg)))
-            .collect()
+        [
+            SynPattern::Uniform,
+            SynPattern::Localized,
+            SynPattern::Hotspot,
+        ]
+        .iter()
+        .map(|&p| render_vc_util(p.name(), &fig5(&sys, p, 0.004, &cfg)))
+        .collect()
     });
 
     let sys = ChipletSystem::baseline_4();

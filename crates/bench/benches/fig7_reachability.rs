@@ -14,9 +14,14 @@ static PRINT: Once = Once::new();
 
 fn bench_fig7(c: &mut Criterion) {
     print_once(&PRINT, || {
-        let mut out =
-            render_reachability("4 Chiplets (32 VLs)", &fig7(&ChipletSystem::baseline_4(), 8));
-        out += &render_reachability("6 Chiplets (48 VLs)", &fig7(&ChipletSystem::baseline_6(), 8));
+        let mut out = render_reachability(
+            "4 Chiplets (32 VLs)",
+            &fig7(&ChipletSystem::baseline_4(), 8),
+        );
+        out += &render_reachability(
+            "6 Chiplets (48 VLs)",
+            &fig7(&ChipletSystem::baseline_6(), 8),
+        );
         out
     });
 
@@ -28,7 +33,9 @@ fn bench_fig7(c: &mut Criterion) {
     });
     group.bench_function("exact_average_k8", |b| b.iter(|| mtr.average(8)));
     group.bench_function("exact_worst_case_k8", |b| b.iter(|| mtr.worst_case(8)));
-    group.bench_function("monte_carlo_1000_k8", |b| b.iter(|| mtr.monte_carlo(&sys, 8, 1_000, 1)));
+    group.bench_function("monte_carlo_1000_k8", |b| {
+        b.iter(|| mtr.monte_carlo(&sys, 8, 1_000, 1))
+    });
     group.finish();
 }
 

@@ -14,19 +14,51 @@ static PRINT: Once = Once::new();
 
 fn faults_12_5(sys: &ChipletSystem) -> FaultState {
     let mut f = FaultState::none(sys);
-    f.inject(VlLinkId { chiplet: ChipletId(0), index: 0, dir: VlDir::Down });
-    f.inject(VlLinkId { chiplet: ChipletId(1), index: 1, dir: VlDir::Up });
-    f.inject(VlLinkId { chiplet: ChipletId(2), index: 2, dir: VlDir::Down });
-    f.inject(VlLinkId { chiplet: ChipletId(3), index: 3, dir: VlDir::Up });
+    f.inject(VlLinkId {
+        chiplet: ChipletId(0),
+        index: 0,
+        dir: VlDir::Down,
+    });
+    f.inject(VlLinkId {
+        chiplet: ChipletId(1),
+        index: 1,
+        dir: VlDir::Up,
+    });
+    f.inject(VlLinkId {
+        chiplet: ChipletId(2),
+        index: 2,
+        dir: VlDir::Down,
+    });
+    f.inject(VlLinkId {
+        chiplet: ChipletId(3),
+        index: 3,
+        dir: VlDir::Up,
+    });
     f
 }
 
 fn faults_25(sys: &ChipletSystem) -> FaultState {
     let mut f = faults_12_5(sys);
-    f.inject(VlLinkId { chiplet: ChipletId(0), index: 2, dir: VlDir::Up });
-    f.inject(VlLinkId { chiplet: ChipletId(1), index: 3, dir: VlDir::Down });
-    f.inject(VlLinkId { chiplet: ChipletId(2), index: 0, dir: VlDir::Up });
-    f.inject(VlLinkId { chiplet: ChipletId(3), index: 1, dir: VlDir::Down });
+    f.inject(VlLinkId {
+        chiplet: ChipletId(0),
+        index: 2,
+        dir: VlDir::Up,
+    });
+    f.inject(VlLinkId {
+        chiplet: ChipletId(1),
+        index: 3,
+        dir: VlDir::Down,
+    });
+    f.inject(VlLinkId {
+        chiplet: ChipletId(2),
+        index: 0,
+        dir: VlDir::Up,
+    });
+    f.inject(VlLinkId {
+        chiplet: ChipletId(3),
+        index: 1,
+        dir: VlDir::Down,
+    });
     f
 }
 

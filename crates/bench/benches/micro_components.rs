@@ -16,7 +16,12 @@ fn bench_components(c: &mut Criterion) {
     c.bench_function("sim_1000_cycles_uniform_0.004", |b| {
         let pattern = uniform(&sys, 0.004);
         b.iter(|| {
-            let cfg = SimConfig { warmup: 0, measure: 1_000, drain: 0, ..SimConfig::default() };
+            let cfg = SimConfig {
+                warmup: 0,
+                measure: 1_000,
+                drain: 0,
+                ..SimConfig::default()
+            };
             Simulator::new(
                 &sys,
                 faults.clone(),
@@ -30,10 +35,15 @@ fn bench_components(c: &mut Criterion) {
 
     // Algorithm 2: optimizing one chiplet's selection for one scenario.
     c.bench_function("optimizer_one_chiplet_one_fault", |b| {
-        let coords: Vec<Coord> =
-            (0..4).flat_map(|y| (0..4).map(move |x| Coord::new(x, y))).collect();
-        let vls =
-            vec![Coord::new(1, 3), Coord::new(3, 2), Coord::new(2, 0), Coord::new(0, 1)];
+        let coords: Vec<Coord> = (0..4)
+            .flat_map(|y| (0..4).map(move |x| Coord::new(x, y)))
+            .collect();
+        let vls = vec![
+            Coord::new(1, 3),
+            Coord::new(3, 2),
+            Coord::new(2, 0),
+            Coord::new(0, 1),
+        ];
         b.iter(|| {
             let problem = deft_routing::deft::SelectionProblem::new(
                 vls.clone(),
@@ -114,8 +124,16 @@ fn bench_components(c: &mut Criterion) {
     c.bench_function("reachability_under_one_scenario", |b| {
         let engine = ReachabilityEngine::new(&sys, &MtrRouting::new(&sys));
         let mut f = FaultState::none(&sys);
-        f.inject(VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down });
-        f.inject(VlLinkId { chiplet: ChipletId(2), index: 2, dir: VlDir::Up });
+        f.inject(VlLinkId {
+            chiplet: ChipletId(0),
+            index: 1,
+            dir: VlDir::Down,
+        });
+        f.inject(VlLinkId {
+            chiplet: ChipletId(2),
+            index: 2,
+            dir: VlDir::Up,
+        });
         b.iter(|| engine.reachability_under(&sys, &f))
     });
 }

@@ -12,7 +12,10 @@ static PRINT: Once = Once::new();
 
 fn bench_table1(c: &mut Criterion) {
     print_once(&PRINT, || {
-        render_table1(&table1(&RouterParams::paper_default(), &Tech45nm::default()))
+        render_table1(&table1(
+            &RouterParams::paper_default(),
+            &Tech45nm::default(),
+        ))
     });
 
     let params = RouterParams::paper_default();

@@ -8,7 +8,8 @@
 //! numbers); the default full windows are what `EXPERIMENTS.md` records.
 
 use deft::experiments::{
-    fig4, fig5, fig6_pairs, fig6_single, fig7, fig8, rho_ablation, scaling_study, Algo, ExpConfig, SynPattern,
+    fig4, fig5, fig6_pairs, fig6_single, fig7, fig8, rho_ablation, scaling_study, Algo, ExpConfig,
+    SynPattern,
 };
 use deft::report::{
     render_app_improvements, render_latency_sweep, render_reachability, render_rho_ablation,
@@ -19,7 +20,11 @@ use deft_topo::{ChipletId, ChipletSystem, FaultState, VlDir, VlLinkId};
 
 fn run_fig4(cfg: &ExpConfig) {
     let sys4 = ChipletSystem::baseline_4();
-    for pattern in [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot] {
+    for pattern in [
+        SynPattern::Uniform,
+        SynPattern::Localized,
+        SynPattern::Hotspot,
+    ] {
         let sweep = fig4(&sys4, pattern, &pattern.paper_rates(), &Algo::MAIN, cfg);
         print!("{}", render_latency_sweep(&sweep));
     }
@@ -31,7 +36,11 @@ fn run_fig4(cfg: &ExpConfig) {
 
 fn run_fig5(cfg: &ExpConfig) {
     let sys = ChipletSystem::baseline_4();
-    for pattern in [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot] {
+    for pattern in [
+        SynPattern::Uniform,
+        SynPattern::Localized,
+        SynPattern::Hotspot,
+    ] {
         let rows = fig5(&sys, pattern, 0.004, cfg);
         print!("{}", render_vc_util(pattern.name(), &rows));
     }
@@ -40,16 +49,28 @@ fn run_fig5(cfg: &ExpConfig) {
 fn run_fig6(cfg: &ExpConfig) {
     let sys = ChipletSystem::baseline_4();
     let single = fig6_single(&sys, cfg);
-    print!("{}", render_app_improvements("single application (Fig. 6a)", &single));
+    print!(
+        "{}",
+        render_app_improvements("single application (Fig. 6a)", &single)
+    );
     let pairs = fig6_pairs(&sys, cfg);
-    print!("{}", render_app_improvements("two applications (Fig. 6b)", &pairs));
+    print!(
+        "{}",
+        render_app_improvements("two applications (Fig. 6b)", &pairs)
+    );
 }
 
 fn run_fig7() {
     let sys4 = ChipletSystem::baseline_4();
-    print!("{}", render_reachability("4 Chiplets (32 VLs)", &fig7(&sys4, 8)));
+    print!(
+        "{}",
+        render_reachability("4 Chiplets (32 VLs)", &fig7(&sys4, 8))
+    );
     let sys6 = ChipletSystem::baseline_6();
-    print!("{}", render_reachability("6 Chiplets (48 VLs)", &fig7(&sys6, 8)));
+    print!(
+        "{}",
+        render_reachability("6 Chiplets (48 VLs)", &fig7(&sys6, 8))
+    );
 }
 
 fn run_fig8(cfg: &ExpConfig) {
@@ -57,10 +78,26 @@ fn run_fig8(cfg: &ExpConfig) {
     let rates = [0.004, 0.005, 0.006, 0.007, 0.008];
     // 12.5% fault rate: 4 faulty unidirectional VLs, spread over chiplets.
     let mut f4 = FaultState::none(&sys);
-    f4.inject(VlLinkId { chiplet: ChipletId(0), index: 0, dir: VlDir::Down });
-    f4.inject(VlLinkId { chiplet: ChipletId(1), index: 1, dir: VlDir::Up });
-    f4.inject(VlLinkId { chiplet: ChipletId(2), index: 2, dir: VlDir::Down });
-    f4.inject(VlLinkId { chiplet: ChipletId(3), index: 3, dir: VlDir::Up });
+    f4.inject(VlLinkId {
+        chiplet: ChipletId(0),
+        index: 0,
+        dir: VlDir::Down,
+    });
+    f4.inject(VlLinkId {
+        chiplet: ChipletId(1),
+        index: 1,
+        dir: VlDir::Up,
+    });
+    f4.inject(VlLinkId {
+        chiplet: ChipletId(2),
+        index: 2,
+        dir: VlDir::Down,
+    });
+    f4.inject(VlLinkId {
+        chiplet: ChipletId(3),
+        index: 3,
+        dir: VlDir::Up,
+    });
     print!("{}", render_latency_sweep(&fig8(&sys, &f4, &rates, cfg)));
 
     // 25% fault rate: 8 faulty unidirectional VLs, *concentrated* — two
@@ -68,14 +105,46 @@ fn run_fig8(cfg: &ExpConfig) {
     // where distance-based selection piles the survivors' load onto the
     // nearest remaining VL (paper Fig. 3(b) / Fig. 8(b)).
     let mut f8 = FaultState::none(&sys);
-    f8.inject(VlLinkId { chiplet: ChipletId(0), index: 0, dir: VlDir::Down });
-    f8.inject(VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down });
-    f8.inject(VlLinkId { chiplet: ChipletId(1), index: 2, dir: VlDir::Up });
-    f8.inject(VlLinkId { chiplet: ChipletId(1), index: 3, dir: VlDir::Up });
-    f8.inject(VlLinkId { chiplet: ChipletId(2), index: 1, dir: VlDir::Down });
-    f8.inject(VlLinkId { chiplet: ChipletId(2), index: 2, dir: VlDir::Down });
-    f8.inject(VlLinkId { chiplet: ChipletId(3), index: 0, dir: VlDir::Up });
-    f8.inject(VlLinkId { chiplet: ChipletId(3), index: 3, dir: VlDir::Up });
+    f8.inject(VlLinkId {
+        chiplet: ChipletId(0),
+        index: 0,
+        dir: VlDir::Down,
+    });
+    f8.inject(VlLinkId {
+        chiplet: ChipletId(0),
+        index: 1,
+        dir: VlDir::Down,
+    });
+    f8.inject(VlLinkId {
+        chiplet: ChipletId(1),
+        index: 2,
+        dir: VlDir::Up,
+    });
+    f8.inject(VlLinkId {
+        chiplet: ChipletId(1),
+        index: 3,
+        dir: VlDir::Up,
+    });
+    f8.inject(VlLinkId {
+        chiplet: ChipletId(2),
+        index: 1,
+        dir: VlDir::Down,
+    });
+    f8.inject(VlLinkId {
+        chiplet: ChipletId(2),
+        index: 2,
+        dir: VlDir::Down,
+    });
+    f8.inject(VlLinkId {
+        chiplet: ChipletId(3),
+        index: 0,
+        dir: VlDir::Up,
+    });
+    f8.inject(VlLinkId {
+        chiplet: ChipletId(3),
+        index: 3,
+        dir: VlDir::Up,
+    });
     let rates = [0.004, 0.005, 0.006, 0.007];
     print!("{}", render_latency_sweep(&fig8(&sys, &f8, &rates, cfg)));
 }
@@ -97,8 +166,16 @@ fn run_table1() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::full() };
-    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::full()
+    };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
 
     match what {
         "fig4" => run_fig4(&cfg),
@@ -121,7 +198,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: deft-repro [--quick] [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|all]");
+            eprintln!(
+                "usage: deft-repro [--quick] [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|all]"
+            );
             std::process::exit(2);
         }
     }

@@ -32,8 +32,11 @@ pub const RHO_SWEEP: [f64; 5] = [0.0, 0.001, 0.01, 0.1, 1.0];
 /// Sweeps ρ on one chiplet of `sys` with VL 0 faulty and uniform traffic.
 pub fn rho_ablation(sys: &ChipletSystem) -> Vec<RhoRow> {
     let chiplet = sys.chiplet(ChipletId(0));
-    let vl_coords: Vec<Coord> =
-        chiplet.vertical_links().iter().map(|vl| vl.chiplet_coord).collect();
+    let vl_coords: Vec<Coord> = chiplet
+        .vertical_links()
+        .iter()
+        .map(|vl| vl.chiplet_coord)
+        .collect();
     let router_coords: Vec<Coord> = chiplet.coords().collect();
     let healthy = (((1u16 << chiplet.vl_count()) - 1) as u8) & !1; // VL 0 faulty
 
@@ -55,7 +58,12 @@ pub fn rho_ablation(sys: &ChipletSystem) -> Vec<RhoRow> {
                 .enumerate()
                 .map(|(r, &v)| problem.distance(r, v))
                 .sum();
-            RhoRow { rho, max_vl_load, total_distance, cost }
+            RhoRow {
+                rho,
+                max_vl_load,
+                total_distance,
+                cost,
+            }
         })
         .collect()
 }
@@ -84,7 +92,10 @@ mod tests {
         assert!(rows[0].max_vl_load <= 6.0 + 1e-9);
         // At the paper's rho = 0.01, balance still dominates.
         let paper = rows.iter().find(|r| (r.rho - 0.01).abs() < 1e-12).unwrap();
-        assert!(paper.max_vl_load <= 6.0 + 1e-9, "rho=0.01 keeps balance: {paper:?}");
+        assert!(
+            paper.max_vl_load <= 6.0 + 1e-9,
+            "rho=0.01 keeps balance: {paper:?}"
+        );
     }
 
     #[test]
@@ -96,7 +107,11 @@ mod tests {
         // distance-based assignment's.
         let chiplet = sys.chiplet(ChipletId(0));
         let problem = SelectionProblem::new(
-            chiplet.vertical_links().iter().map(|vl| vl.chiplet_coord).collect(),
+            chiplet
+                .vertical_links()
+                .iter()
+                .map(|vl| vl.chiplet_coord)
+                .collect(),
             chiplet.coords().collect(),
             vec![1.0; 16],
             0b1110,

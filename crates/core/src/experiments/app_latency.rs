@@ -20,7 +20,12 @@ pub struct AppImprovement {
     pub vs_rc_percent: f64,
 }
 
-fn improvement(sys: &ChipletSystem, traffic: &TableTraffic, cfg: &ExpConfig, salt: u64) -> AppImprovement {
+fn improvement(
+    sys: &ChipletSystem,
+    traffic: &TableTraffic,
+    cfg: &ExpConfig,
+    salt: u64,
+) -> AppImprovement {
     let run = |algo: Algo| {
         Simulator::new(
             sys,
@@ -91,8 +96,16 @@ mod tests {
         let traffic = single_app(&sys, fa, 1);
         let imp = improvement(&sys, &traffic, &cfg, 1);
         assert!(imp.deft_latency > 0.0);
-        assert!(imp.vs_mtr_percent.abs() < 25.0, "vs MTR {}", imp.vs_mtr_percent);
-        assert!(imp.vs_rc_percent > -5.0, "DeFT should not lose to RC: {}", imp.vs_rc_percent);
+        assert!(
+            imp.vs_mtr_percent.abs() < 25.0,
+            "vs MTR {}",
+            imp.vs_mtr_percent
+        );
+        assert!(
+            imp.vs_rc_percent > -5.0,
+            "DeFT should not lose to RC: {}",
+            imp.vs_rc_percent
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl LatencySweep {
             .points
             .iter()
             .min_by(|a, b| {
-                (a.0 - rate).abs().partial_cmp(&(b.0 - rate).abs()).expect("finite rates")
+                (a.0 - rate)
+                    .abs()
+                    .partial_cmp(&(b.0 - rate).abs())
+                    .expect("finite rates")
             })
             .map(|p| p.1)
     }
@@ -159,7 +162,10 @@ fn sweep(
                     (rate, report.avg_latency, report.delivery_ratio())
                 })
                 .collect();
-            LatencyCurve { algorithm: algo.name().to_owned(), points }
+            LatencyCurve {
+                algorithm: algo.name().to_owned(),
+                points,
+            }
         })
         .collect();
     LatencySweep { title, curves }
@@ -178,17 +184,29 @@ mod tests {
         let deft = sweep.latency_at("DeFT", 0.005).unwrap();
         let rc = sweep.latency_at("RC", 0.005).unwrap();
         assert!(deft > 0.0 && rc > 0.0);
-        assert!(deft <= rc, "DeFT {deft} must not lose to RC {rc} under load");
+        assert!(
+            deft <= rc,
+            "DeFT {deft} must not lose to RC {rc} under load"
+        );
     }
 
     #[test]
     fn fig8_runs_all_ablation_variants_under_faults() {
         let sys = ChipletSystem::baseline_4();
         let mut faults = FaultState::none(&sys);
-        for (c, i, d) in [(0u8, 0u8, VlDir::Down), (1, 1, VlDir::Up), (2, 2, VlDir::Down), (3, 3, VlDir::Up)]
-            .map(|(c, i, d)| (c, i, d))
+        for (c, i, d) in [
+            (0u8, 0u8, VlDir::Down),
+            (1, 1, VlDir::Up),
+            (2, 2, VlDir::Down),
+            (3, 3, VlDir::Up),
+        ]
+        .map(|(c, i, d)| (c, i, d))
         {
-            faults.inject(VlLinkId { chiplet: ChipletId(c), index: i, dir: d });
+            faults.inject(VlLinkId {
+                chiplet: ChipletId(c),
+                index: i,
+                dir: d,
+            });
         }
         let cfg = ExpConfig::quick();
         let sweep = fig8(&sys, &faults, &[0.004], &cfg);
@@ -201,7 +219,11 @@ mod tests {
 
     #[test]
     fn paper_rate_axes_are_increasing() {
-        for p in [SynPattern::Uniform, SynPattern::Localized, SynPattern::Hotspot] {
+        for p in [
+            SynPattern::Uniform,
+            SynPattern::Localized,
+            SynPattern::Hotspot,
+        ] {
             let rates = p.paper_rates();
             assert!(rates.windows(2).all(|w| w[0] < w[1]));
         }

@@ -80,7 +80,12 @@ impl ExpConfig {
     /// The full configuration used for `EXPERIMENTS.md` numbers.
     pub fn full() -> Self {
         Self {
-            sim: SimConfig { warmup: 2_000, measure: 10_000, drain: 60_000, ..SimConfig::default() },
+            sim: SimConfig {
+                warmup: 2_000,
+                measure: 10_000,
+                drain: 60_000,
+                ..SimConfig::default()
+            },
             seed: 0x0DE,
         }
     }
@@ -89,14 +94,22 @@ impl ExpConfig {
     /// windows.
     pub fn quick() -> Self {
         Self {
-            sim: SimConfig { warmup: 300, measure: 1_500, drain: 20_000, ..SimConfig::default() },
+            sim: SimConfig {
+                warmup: 300,
+                measure: 1_500,
+                drain: 20_000,
+                ..SimConfig::default()
+            },
             seed: 0x0DE,
         }
     }
 
     /// Derives a per-run simulation config with a distinct seed.
     pub fn run_sim(&self, salt: u64) -> SimConfig {
-        SimConfig { seed: self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt), ..self.sim }
+        SimConfig {
+            seed: self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt),
+            ..self.sim
+        }
     }
 }
 
@@ -107,7 +120,13 @@ mod tests {
     #[test]
     fn algo_builders_produce_named_instances() {
         let sys = ChipletSystem::baseline_4();
-        for a in [Algo::Deft, Algo::DeftDis, Algo::DeftRan, Algo::Mtr, Algo::Rc] {
+        for a in [
+            Algo::Deft,
+            Algo::DeftDis,
+            Algo::DeftRan,
+            Algo::Mtr,
+            Algo::Rc,
+        ] {
             let alg = a.build(&sys);
             assert!(!alg.name().is_empty());
         }

@@ -82,6 +82,9 @@ mod tests {
             assert!((curves.deft[i] - 100.0).abs() < 1e-9);
             assert!(curves.mtr_avg[i] >= curves.rc_avg[i] - 1e-9);
         }
-        assert!((curves.mtr_worst[0] - 100.0).abs() < 1e-9, "one fault is dodged");
+        assert!(
+            (curves.mtr_worst[0] - 100.0).abs() < 1e-9,
+            "one fault is dodged"
+        );
     }
 }

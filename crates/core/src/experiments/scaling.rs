@@ -59,12 +59,14 @@ pub fn scaling_study(rate: f64, faults_k: usize, cfg: &ExpConfig) -> Vec<Scaling
             let mtr = run(Algo::Mtr);
             let rc = run(Algo::Rc);
             let pct = |base: f64, ours: f64| {
-                if base > 0.0 { 100.0 * (base - ours) / base } else { 0.0 }
+                if base > 0.0 {
+                    100.0 * (base - ours) / base
+                } else {
+                    0.0
+                }
             };
             let reach = |algo: Algo| {
-                100.0
-                    * ReachabilityEngine::new(&sys, algo.build(&sys).as_ref())
-                        .average(faults_k)
+                100.0 * ReachabilityEngine::new(&sys, algo.build(&sys).as_ref()).average(faults_k)
             };
             ScalingRow {
                 chiplets: sys.chiplet_count(),
@@ -90,8 +92,15 @@ mod tests {
         let sizes: Vec<usize> = rows.iter().map(|r| r.chiplets).collect();
         assert_eq!(sizes, vec![2, 4, 6, 8]);
         for r in &rows {
-            assert!(r.deft_latency > 0.0, "{} chiplets produced no traffic", r.chiplets);
-            assert!((r.deft_reach - 100.0).abs() < 1e-9, "DeFT stays fully reachable");
+            assert!(
+                r.deft_latency > 0.0,
+                "{} chiplets produced no traffic",
+                r.chiplets
+            );
+            assert!(
+                (r.deft_reach - 100.0).abs() < 1e-9,
+                "DeFT stays fully reachable"
+            );
             assert!(r.mtr_reach >= r.rc_reach - 1e-9);
             assert!(
                 r.vs_rc_percent > 0.0,

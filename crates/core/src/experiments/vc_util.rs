@@ -1,7 +1,7 @@
 //! Fig. 5: DeFT's VC utilization per region under synthetic traffic.
 
-use super::{Algo, ExpConfig};
 use super::latency_sweep::SynPattern;
+use super::{Algo, ExpConfig};
 use deft_sim::{Region, Simulator};
 use deft_topo::{ChipletSystem, FaultState};
 use serde::Serialize;
@@ -48,7 +48,13 @@ pub fn fig5(
         })
         .collect();
     // Interposer first, then chiplets — the paper's x-axis order.
-    rows.sort_by_key(|r| if r.region == Region::Interposer.to_string() { 0 } else { 1 });
+    rows.sort_by_key(|r| {
+        if r.region == Region::Interposer.to_string() {
+            0
+        } else {
+            1
+        }
+    });
     rows
 }
 
@@ -84,9 +90,14 @@ mod tests {
         let hot = fig5(&sys, SynPattern::Hotspot, 0.004, &ExpConfig::quick());
         let uni = fig5(&sys, SynPattern::Uniform, 0.004, &ExpConfig::quick());
         let max_dev = |rows: &[VcUtilRow]| {
-            rows.iter().map(|r| (r.vc0_percent - 50.0).abs()).fold(0.0, f64::max)
+            rows.iter()
+                .map(|r| (r.vc0_percent - 50.0).abs())
+                .fold(0.0, f64::max)
         };
-        assert!(max_dev(&hot) > max_dev(&uni), "hotspot must skew more than uniform");
+        assert!(
+            max_dev(&hot) > max_dev(&uni),
+            "hotspot must skew more than uniform"
+        );
         for r in &hot {
             assert!(
                 (r.vc0_percent - 50.0).abs() <= 25.0,

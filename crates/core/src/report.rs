@@ -4,7 +4,9 @@
 //! reports, so `deft-repro`'s output can be compared against the paper side
 //! by side (see `EXPERIMENTS.md`).
 
-use crate::experiments::{AppImprovement, LatencySweep, ReachabilityCurves, RhoRow, ScalingRow, VcUtilRow};
+use crate::experiments::{
+    AppImprovement, LatencySweep, ReachabilityCurves, RhoRow, ScalingRow, VcUtilRow,
+};
 use deft_power::Table1Row;
 use std::fmt::Write as _;
 
@@ -31,7 +33,10 @@ pub fn render_latency_sweep(sweep: &LatencySweep) -> String {
         }
         let _ = writeln!(out);
     }
-    let _ = writeln!(out, "(latency in cycles; *s marks saturation, delivery < 90%)");
+    let _ = writeln!(
+        out,
+        "(latency in cycles; *s marks saturation, delivery < 90%)"
+    );
     out
 }
 
@@ -72,7 +77,14 @@ pub fn render_app_improvements(title: &str, rows: &[AppImprovement]) -> String {
     }
     if !rows.is_empty() {
         let n = rows.len() as f64;
-        let _ = writeln!(out, "{:>8} {:>12} {:>12.1} {:>12.1}", "Avg", "", avg_mtr / n, avg_rc / n);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>12.1} {:>12.1}",
+            "Avg",
+            "",
+            avg_mtr / n,
+            avg_rc / n
+        );
     }
     out
 }
@@ -99,8 +111,15 @@ pub fn render_reachability(title: &str, c: &ReachabilityCurves) -> String {
 /// Renders the ρ-sweep ablation (DESIGN.md §8).
 pub fn render_rho_ablation(rows: &[RhoRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== rho ablation: VL selection with one faulty VL (Eq. 6) ==");
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>10}", "rho", "max VL load", "total dist", "cost");
+    let _ = writeln!(
+        out,
+        "== rho ablation: VL selection with one faulty VL (Eq. 6) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>10}",
+        "rho", "max VL load", "total dist", "cost"
+    );
     for r in rows {
         let _ = writeln!(
             out,
@@ -114,11 +133,21 @@ pub fn render_rho_ablation(rows: &[RhoRow]) -> String {
 /// Renders the scaling-study extension.
 pub fn render_scaling(rows: &[ScalingRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== scaling study: 2-8 chiplets, uniform traffic, 4 faults ==");
+    let _ = writeln!(
+        out,
+        "== scaling study: 2-8 chiplets, uniform traffic, 4 faults =="
+    );
     let _ = writeln!(
         out,
         "{:>9} {:>6} {:>11} {:>10} {:>9} {:>10} {:>9} {:>8}",
-        "#chiplets", "nodes", "DeFT (cyc)", "vs MTR(%)", "vs RC(%)", "DeFT rch%", "MTR rch%", "RC rch%"
+        "#chiplets",
+        "nodes",
+        "DeFT (cyc)",
+        "vs MTR(%)",
+        "vs RC(%)",
+        "DeFT rch%",
+        "MTR rch%",
+        "RC rch%"
     );
     for r in rows {
         let _ = writeln!(

@@ -23,7 +23,13 @@ impl RouterParams {
     /// The paper's configuration: 6 ports, 2 VCs, 4-flit buffers, 32-bit
     /// flits, 8-flit packets.
     pub fn paper_default() -> Self {
-        Self { ports: 6, vcs: 2, buffer_depth: 4, flit_width: 32, packet_size: 8 }
+        Self {
+            ports: 6,
+            vcs: 2,
+            buffer_depth: 4,
+            flit_width: 32,
+            packet_size: 8,
+        }
     }
 
     /// Total input-buffer storage bits.
@@ -58,7 +64,11 @@ impl RouterVariant {
     /// DeFT with the paper's LUT dimensions: "14 VL addresses are saved in
     /// each router" per direction, 2 bits each for 4 VLs.
     pub fn deft_default() -> Self {
-        RouterVariant::Deft { lut_entries: 14, bits_per_entry: 2, tables: 2 }
+        RouterVariant::Deft {
+            lut_entries: 14,
+            bits_per_entry: 2,
+            tables: 2,
+        }
     }
 
     /// Table-row label.
@@ -153,7 +163,11 @@ impl RouterParams {
                     power_mw: rc_bits * tech.rc_buffer_power_per_bit,
                 });
             }
-            RouterVariant::Deft { lut_entries, bits_per_entry, tables } => {
+            RouterVariant::Deft {
+                lut_entries,
+                bits_per_entry,
+                tables,
+            } => {
                 breakdown.push(ComponentCost {
                     name: "VN-assignment logic",
                     area_um2: tech.vn_logic_area,
@@ -194,8 +208,16 @@ mod tests {
     fn reference_router_matches_the_papers_mtr_numbers() {
         let p = RouterParams::paper_default();
         let est = p.estimate(RouterVariant::Mtr, &Tech45nm::default());
-        assert!((est.area_um2 - 45_878.0).abs() < 1.0, "area {}", est.area_um2);
-        assert!((est.power_mw - 11.644).abs() < 0.01, "power {}", est.power_mw);
+        assert!(
+            (est.area_um2 - 45_878.0).abs() < 1.0,
+            "area {}",
+            est.area_um2
+        );
+        assert!(
+            (est.power_mw - 11.644).abs() < 0.01,
+            "power {}",
+            est.power_mw
+        );
     }
 
     #[test]
@@ -206,16 +228,24 @@ mod tests {
         let deft = p.estimate(RouterVariant::deft_default(), &t);
         let area_ratio = deft.area_um2 / mtr.area_um2;
         let power_ratio = deft.power_mw / mtr.power_mw;
-        assert!(area_ratio > 1.0 && area_ratio < 1.02, "area ratio {area_ratio}");
-        assert!(power_ratio > 1.0 && power_ratio < 1.01, "power ratio {power_ratio}");
+        assert!(
+            area_ratio > 1.0 && area_ratio < 1.02,
+            "area ratio {area_ratio}"
+        );
+        assert!(
+            power_ratio > 1.0 && power_ratio < 1.01,
+            "power ratio {power_ratio}"
+        );
     }
 
     #[test]
     fn rc_boundary_is_the_most_expensive() {
         let p = RouterParams::paper_default();
         let t = Tech45nm::default();
-        let areas: Vec<f64> =
-            all_variants().iter().map(|&v| p.estimate(v, &t).area_um2).collect();
+        let areas: Vec<f64> = all_variants()
+            .iter()
+            .map(|&v| p.estimate(v, &t).area_um2)
+            .collect();
         let rc_bndry = areas[2];
         for (i, &a) in areas.iter().enumerate() {
             if i != 2 {
@@ -231,15 +261,25 @@ mod tests {
     fn buffers_dominate_total_area() {
         let p = RouterParams::paper_default();
         let est = p.estimate(RouterVariant::Mtr, &Tech45nm::default());
-        let buffers = est.breakdown.iter().find(|c| c.name == "input buffers").unwrap();
+        let buffers = est
+            .breakdown
+            .iter()
+            .find(|c| c.name == "input buffers")
+            .unwrap();
         assert!(buffers.area_um2 / est.area_um2 > 0.4);
     }
 
     #[test]
     fn scaling_buffers_scales_cost() {
         let t = Tech45nm::default();
-        let small = RouterParams { buffer_depth: 2, ..RouterParams::paper_default() };
-        let big = RouterParams { buffer_depth: 8, ..RouterParams::paper_default() };
+        let small = RouterParams {
+            buffer_depth: 2,
+            ..RouterParams::paper_default()
+        };
+        let big = RouterParams {
+            buffer_depth: 8,
+            ..RouterParams::paper_default()
+        };
         assert!(
             big.estimate(RouterVariant::Mtr, &t).area_um2
                 > small.estimate(RouterVariant::Mtr, &t).area_um2
@@ -261,8 +301,11 @@ mod tests {
     #[test]
     fn lut_size_matches_the_paper() {
         // 14 scenarios x 2 bits x 2 tables = 56 bits of LUT per router.
-        if let RouterVariant::Deft { lut_entries, bits_per_entry, tables } =
-            RouterVariant::deft_default()
+        if let RouterVariant::Deft {
+            lut_entries,
+            bits_per_entry,
+            tables,
+        } = RouterVariant::deft_default()
         {
             assert_eq!(lut_entries * bits_per_entry * tables, 56);
         } else {

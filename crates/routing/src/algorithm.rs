@@ -25,7 +25,10 @@ impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RouteError::Unroutable { src, dst } => {
-                write!(f, "no healthy eligible vertical link for flow {src} -> {dst}")
+                write!(
+                    f,
+                    "no healthy eligible vertical link for flow {src} -> {dst}"
+                )
             }
         }
     }
@@ -185,7 +188,9 @@ pub fn next_direction(
         (Layer::Interposer, Layer::Interposer) => xy::next_dir(na.coord, da.coord),
         (Layer::Chiplet(c), _) => {
             // Must descend through the selected down VL of chiplet `c`.
-            let vl_idx = ctx.down_vl.expect("down VL not selected for descending packet");
+            let vl_idx = ctx
+                .down_vl
+                .expect("down VL not selected for descending packet");
             let target = sys.chiplet(c).vl_coord(vl_idx as usize);
             match xy::next_dir(na.coord, target) {
                 Some(d) => Some(d),
@@ -225,7 +230,11 @@ pub struct Hop {
 /// # Panics
 /// Panics if the choice omits a VL required by the flow's shape.
 pub fn walk_path(sys: &ChipletSystem, src: NodeId, dst: NodeId, choice: &FlowChoice) -> Vec<Hop> {
-    let ctx = RouteCtx { vn: choice.vn_source, down_vl: choice.down_vl, up_vl: choice.up_vl };
+    let ctx = RouteCtx {
+        vn: choice.vn_source,
+        down_vl: choice.down_vl,
+        up_vl: choice.up_vl,
+    };
     let mut hops = Vec::new();
     let mut node = src;
     let mut vn = choice.vn_source;
@@ -235,7 +244,11 @@ pub fn walk_path(sys: &ChipletSystem, src: NodeId, dst: NodeId, choice: &FlowCho
             Direction::Up => Vn::Vn1,
             _ => vn,
         };
-        hops.push(Hop { from: node, dir, vn });
+        hops.push(Hop {
+            from: node,
+            dir,
+            vn,
+        });
         node = sys
             .neighbor(node, dir)
             .expect("next_direction produced a dangling link");
@@ -253,7 +266,8 @@ mod tests {
     }
 
     fn node(sys: &ChipletSystem, layer: Layer, x: u8, y: u8) -> NodeId {
-        sys.node_id(deft_topo::NodeAddr::new(layer, Coord::new(x, y))).expect("valid addr")
+        sys.node_id(deft_topo::NodeAddr::new(layer, Coord::new(x, y)))
+            .expect("valid addr")
     }
 
     #[test]
@@ -279,7 +293,11 @@ mod tests {
         let a = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
         let b = node(&s, Layer::Chiplet(ChipletId(1)), 0, 0);
         // VL 2 of a 4x4 pinwheel chiplet is at (2, 0).
-        let ctx = RouteCtx { vn: Vn::Vn0, down_vl: Some(2), up_vl: Some(0) };
+        let ctx = RouteCtx {
+            vn: Vn::Vn0,
+            down_vl: Some(2),
+            up_vl: Some(0),
+        };
         assert_eq!(next_direction(&s, a, b, &ctx), Some(Direction::East));
         let at_vl = node(&s, Layer::Chiplet(ChipletId(0)), 2, 0);
         assert_eq!(next_direction(&s, at_vl, b, &ctx), Some(Direction::Down));
@@ -322,7 +340,10 @@ mod tests {
             vn_after_down: Vn::Vn0,
         };
         let hops = walk_path(&s, src, dst, &choice);
-        let up_pos = hops.iter().position(|h| h.dir == Direction::Up).expect("must ascend");
+        let up_pos = hops
+            .iter()
+            .position(|h| h.dir == Direction::Up)
+            .expect("must ascend");
         for h in &hops[up_pos..] {
             assert_eq!(h.vn, Vn::Vn1, "post-up hops must be in VN1 (Rule 2)");
         }

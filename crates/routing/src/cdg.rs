@@ -37,7 +37,11 @@ pub struct Channel {
 
 impl From<Hop> for Channel {
     fn from(h: Hop) -> Self {
-        Channel { from: h.from, dir: h.dir, vn: h.vn }
+        Channel {
+            from: h.from,
+            dir: h.dir,
+            vn: h.vn,
+        }
     }
 }
 
@@ -52,11 +56,7 @@ pub struct ChannelDependencyGraph {
 impl ChannelDependencyGraph {
     /// Builds the CDG of `alg` over every flow of `sys` under `faults`,
     /// covering every VL-selection and VN choice the algorithm can make.
-    pub fn build(
-        sys: &ChipletSystem,
-        alg: &dyn RoutingAlgorithm,
-        faults: &FaultState,
-    ) -> Self {
+    pub fn build(sys: &ChipletSystem, alg: &dyn RoutingAlgorithm, faults: &FaultState) -> Self {
         Self::build_inner(sys, alg, faults, false)
     }
 
@@ -114,7 +114,11 @@ impl ChannelDependencyGraph {
                 }
             }
         }
-        Self { channels, adj, edge_count }
+        Self {
+            channels,
+            adj,
+            edge_count,
+        }
     }
 
     /// Number of distinct channels used by the algorithm.
@@ -234,7 +238,10 @@ mod tests {
         let deft = DeftRouting::distance_based(&sys);
         let cdg = ChannelDependencyGraph::build_single_vn(&sys, &deft, &faults);
         let cycle = cdg.find_cycle();
-        assert!(cycle.is_some(), "without VN separation the 2.5D network must be cyclic");
+        assert!(
+            cycle.is_some(),
+            "without VN separation the 2.5D network must be cyclic"
+        );
         // The witness cycle must cross layers (it is an *inter-chiplet*
         // deadlock, not an intra-mesh one).
         let cycle = cycle.unwrap();

@@ -39,10 +39,19 @@ impl SelectionProblem {
         healthy: u8,
         rho: f64,
     ) -> Self {
-        assert!(healthy != 0, "selection problem needs at least one healthy VL");
+        assert!(
+            healthy != 0,
+            "selection problem needs at least one healthy VL"
+        );
         assert_eq!(rates.len(), router_coords.len(), "one rate per router");
         assert!(vl_coords.len() <= 8, "masks are u8");
-        Self { vl_coords, router_coords, rates, healthy, rho }
+        Self {
+            vl_coords,
+            router_coords,
+            rates,
+            healthy,
+            rho,
+        }
     }
 
     /// Number of routers to assign.
@@ -57,7 +66,9 @@ impl SelectionProblem {
 
     /// Indices of the healthy VLs.
     pub fn healthy_vls(&self) -> Vec<u8> {
-        (0..self.vl_coords.len() as u8).filter(|&v| self.healthy & (1 << v) != 0).collect()
+        (0..self.vl_coords.len() as u8)
+            .filter(|&v| self.healthy & (1 << v) != 0)
+            .collect()
     }
 
     /// Whether VL `v` is healthy in this scenario.
@@ -101,7 +112,11 @@ impl SelectionProblem {
         let mut cost = 0.0;
         for &v in &healthy {
             let l_v = loads[v as usize];
-            let load_cost = if l_avg > 0.0 { (l_v - l_avg).abs() / l_avg } else { 0.0 };
+            let load_cost = if l_avg > 0.0 {
+                (l_v - l_avg).abs() / l_avg
+            } else {
+                0.0
+            };
             let dist_cost: u32 = assignment
                 .iter()
                 .enumerate()
@@ -117,7 +132,9 @@ impl SelectionProblem {
     /// VL (ties broken by lowest VL index). This is the common 3D-network
     /// strategy the paper ablates as *DeFT-Dis*.
     pub fn distance_assignment(&self) -> Vec<u8> {
-        (0..self.router_count()).map(|r| self.nearest_healthy(r)).collect()
+        (0..self.router_count())
+            .map(|r| self.nearest_healthy(r))
+            .collect()
     }
 
     /// Nearest healthy VL to router `r`, ties by lowest index.
@@ -134,11 +151,18 @@ mod tests {
     use super::*;
 
     fn grid_4x4() -> Vec<Coord> {
-        (0..4).flat_map(|y| (0..4).map(move |x| Coord::new(x, y))).collect()
+        (0..4)
+            .flat_map(|y| (0..4).map(move |x| Coord::new(x, y)))
+            .collect()
     }
 
     fn pinwheel() -> Vec<Coord> {
-        vec![Coord::new(1, 3), Coord::new(3, 2), Coord::new(2, 0), Coord::new(0, 1)]
+        vec![
+            Coord::new(1, 3),
+            Coord::new(3, 2),
+            Coord::new(2, 0),
+            Coord::new(0, 1),
+        ]
     }
 
     fn uniform_problem(healthy: u8) -> SelectionProblem {

@@ -36,11 +36,13 @@ impl SelectionLut {
     ) -> Self {
         let mut entries = Vec::with_capacity(sys.chiplet_count());
         for chiplet in sys.chiplets() {
-            let vl_coords: Vec<Coord> =
-                chiplet.vertical_links().iter().map(|vl| vl.chiplet_coord).collect();
+            let vl_coords: Vec<Coord> = chiplet
+                .vertical_links()
+                .iter()
+                .map(|vl| vl.chiplet_coord)
+                .collect();
             let router_coords: Vec<Coord> = chiplet.coords().collect();
-            let router_rates: Vec<f64> =
-                sys.chiplet_nodes(chiplet.id()).map(&mut rates).collect();
+            let router_rates: Vec<f64> = sys.chiplet_nodes(chiplet.id()).map(&mut rates).collect();
             let masks = 1usize << chiplet.vl_count();
             let mut per_mask = Vec::with_capacity(masks);
             per_mask.push(None); // mask 0: chiplet disconnected
@@ -82,7 +84,10 @@ impl SelectionLut {
     /// (the paper's 14 fault combinations plus the fault-free case). The
     /// hardware cost model uses this to size the per-router LUT.
     pub fn scenario_count(&self) -> usize {
-        self.entries.iter().map(|m| m.iter().filter(|e| e.is_some()).count()).sum()
+        self.entries
+            .iter()
+            .map(|m| m.iter().filter(|e| e.is_some()).count())
+            .sum()
     }
 }
 
@@ -114,7 +119,10 @@ mod tests {
                 let a = lut.assignment(c.id(), mask).expect("entry exists");
                 assert_eq!(a.len(), 16);
                 for &v in a {
-                    assert!(mask & (1 << v) != 0, "mask {mask:#b} assignment uses faulty vl{v}");
+                    assert!(
+                        mask & (1 << v) != 0,
+                        "mask {mask:#b} assignment uses faulty vl{v}"
+                    );
                 }
             }
         }
@@ -129,7 +137,11 @@ mod tests {
         for &v in a {
             counts[v as usize] += 1;
         }
-        assert_eq!(counts, [4, 4, 4, 4], "16 uniform routers split evenly over 4 VLs");
+        assert_eq!(
+            counts,
+            [4, 4, 4, 4],
+            "16 uniform routers split evenly over 4 VLs"
+        );
     }
 
     #[test]
@@ -147,7 +159,10 @@ mod tests {
             }
             assert_eq!(counts[faulty as usize], 0);
             let max = counts.iter().max().unwrap();
-            assert!(*max <= 6, "one-fault selection left {max} routers on one VL");
+            assert!(
+                *max <= 6,
+                "one-fault selection left {max} routers on one VL"
+            );
         }
     }
 

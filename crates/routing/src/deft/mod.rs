@@ -25,7 +25,7 @@ use crate::algorithm::{
 use crate::state::{RouteCtx, Vn};
 use deft_topo::{ChipletId, ChipletSystem, Direction, FaultState, Layer, NodeId, VlDir};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// How DeFT picks the VL intermediate destinations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,7 +153,11 @@ impl DeftRouting {
         }
         match self.strategy {
             VlSelectionStrategy::Optimized => {
-                let lut = if down { self.lut_down.as_ref() } else { self.lut_up.as_ref() };
+                let lut = if down {
+                    self.lut_down.as_ref()
+                } else {
+                    self.lut_up.as_ref()
+                };
                 lut.expect("optimized strategy has LUTs").lookup(
                     chiplet,
                     healthy,
@@ -168,8 +172,7 @@ impl DeftRouting {
                     .min_by_key(|&v| (coord.manhattan(chip.vl_coord(v as usize)), v))
             }
             VlSelectionStrategy::Random => {
-                let options: Vec<u8> =
-                    (0..8).filter(|&v| healthy & (1 << v) != 0).collect();
+                let options: Vec<u8> = (0..8).filter(|&v| healthy & (1 << v) != 0).collect();
                 Some(options[self.rng.random_range(0..options.len())])
             }
         }
@@ -195,13 +198,13 @@ impl RoutingAlgorithm for DeftRouting {
     ) -> Result<RouteCtx, RouteError> {
         let src_layer = sys.layer(src);
         let dst_layer = sys.layer(dst);
-        let needs_down =
-            matches!(src_layer, Layer::Chiplet(c) if dst_layer != Layer::Chiplet(c));
-        let needs_up =
-            matches!(dst_layer, Layer::Chiplet(c) if src_layer != Layer::Chiplet(c));
+        let needs_down = matches!(src_layer, Layer::Chiplet(c) if dst_layer != Layer::Chiplet(c));
+        let needs_up = matches!(dst_layer, Layer::Chiplet(c) if src_layer != Layer::Chiplet(c));
 
         let down_vl = if needs_down {
-            let c = src_layer.chiplet().expect("needs_down implies chiplet source");
+            let c = src_layer
+                .chiplet()
+                .expect("needs_down implies chiplet source");
             Some(
                 self.select_down(sys, faults, c, src)
                     .ok_or(RouteError::Unroutable { src, dst })?,
@@ -210,7 +213,9 @@ impl RoutingAlgorithm for DeftRouting {
             None
         };
         let up_vl = if needs_up {
-            let c = dst_layer.chiplet().expect("needs_up implies chiplet destination");
+            let c = dst_layer
+                .chiplet()
+                .expect("needs_up implies chiplet destination");
             Some(
                 self.select_up(sys, faults, c, dst)
                     .ok_or(RouteError::Unroutable { src, dst })?,
@@ -232,7 +237,11 @@ impl RoutingAlgorithm for DeftRouting {
             .filter(|vl| vl.chiplet_node == src)
             .map(|vl| vl.index);
         let rr_allowed = !needs_down || (down_vl.is_some() && down_vl == own_vl);
-        let vn = if rr_allowed { Vn::round_robin(seq) } else { Vn::Vn0 };
+        let vn = if rr_allowed {
+            Vn::round_robin(seq)
+        } else {
+            Vn::Vn0
+        };
 
         Ok(RouteCtx { vn, down_vl, up_vl })
     }
@@ -301,16 +310,21 @@ impl RoutingAlgorithm for DeftRouting {
         let down_opts: Vec<Option<u8>> = match el.down {
             None => vec![None],
             Some((c, mask)) => {
-                let healthy =
-                    mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
-                (0..8).filter(|&v| healthy & (1 << v) != 0).map(Some).collect()
+                let healthy = mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
+                (0..8)
+                    .filter(|&v| healthy & (1 << v) != 0)
+                    .map(Some)
+                    .collect()
             }
         };
         let up_opts: Vec<Option<u8>> = match el.up {
             None => vec![None],
             Some((c, mask)) => {
                 let healthy = mask & faults.healthy_mask(c, VlDir::Up, sys.chiplet(c).vl_count());
-                (0..8).filter(|&v| healthy & (1 << v) != 0).map(Some).collect()
+                (0..8)
+                    .filter(|&v| healthy & (1 << v) != 0)
+                    .map(Some)
+                    .collect()
             }
         };
         if down_opts.is_empty() || up_opts.is_empty() {
@@ -335,7 +349,11 @@ impl RoutingAlgorithm for DeftRouting {
             for &up_vl in &up_opts {
                 for &vn_source in vn_sources {
                     let after_down: &[Vn] = if needs_down {
-                        if vn_source == Vn::Vn0 { &Vn::ALL } else { &[Vn::Vn1] }
+                        if vn_source == Vn::Vn0 {
+                            &Vn::ALL
+                        } else {
+                            &[Vn::Vn1]
+                        }
                     } else {
                         std::slice::from_ref(match vn_source {
                             Vn::Vn0 => &Vn::Vn0,
@@ -343,7 +361,12 @@ impl RoutingAlgorithm for DeftRouting {
                         })
                     };
                     for &vn_after_down in after_down {
-                        out.push(FlowChoice { down_vl, up_vl, vn_source, vn_after_down });
+                        out.push(FlowChoice {
+                            down_vl,
+                            up_vl,
+                            vn_source,
+                            vn_after_down,
+                        });
                     }
                 }
             }
@@ -363,7 +386,8 @@ mod tests {
     }
 
     fn node(s: &ChipletSystem, layer: Layer, x: u8, y: u8) -> NodeId {
-        s.node_id(NodeAddr::new(layer, Coord::new(x, y))).expect("valid addr")
+        s.node_id(NodeAddr::new(layer, Coord::new(x, y)))
+            .expect("valid addr")
     }
 
     #[test]
@@ -375,7 +399,11 @@ mod tests {
         let dst = node(&s, Layer::Chiplet(ChipletId(1)), 2, 2);
         for seq in 0..4 {
             let ctx = deft.on_inject(&s, &f, src, dst, seq).unwrap();
-            assert_eq!(ctx.vn, Vn::Vn0, "Algorithm 1: inter-chiplet non-boundary source -> VN0");
+            assert_eq!(
+                ctx.vn,
+                Vn::Vn0,
+                "Algorithm 1: inter-chiplet non-boundary source -> VN0"
+            );
         }
     }
 
@@ -386,14 +414,16 @@ mod tests {
         let mut deft = DeftRouting::distance_based(&s);
         let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
         let dst = node(&s, Layer::Chiplet(ChipletId(0)), 3, 3);
-        let vns: Vec<Vn> =
-            (0..4).map(|seq| deft.on_inject(&s, &f, src, dst, seq).unwrap().vn).collect();
+        let vns: Vec<Vn> = (0..4)
+            .map(|seq| deft.on_inject(&s, &f, src, dst, seq).unwrap().vn)
+            .collect();
         assert_eq!(vns, vec![Vn::Vn0, Vn::Vn1, Vn::Vn0, Vn::Vn1]);
 
         let isrc = node(&s, Layer::Interposer, 0, 0);
         let idst = node(&s, Layer::Chiplet(ChipletId(3)), 0, 0);
-        let vns: Vec<Vn> =
-            (0..2).map(|seq| deft.on_inject(&s, &f, isrc, idst, seq).unwrap().vn).collect();
+        let vns: Vec<Vn> = (0..2)
+            .map(|seq| deft.on_inject(&s, &f, isrc, idst, seq).unwrap().vn)
+            .collect();
         assert_eq!(vns, vec![Vn::Vn0, Vn::Vn1]);
     }
 
@@ -451,7 +481,11 @@ mod tests {
         let s = sys();
         let mut f = FaultState::none(&s);
         for idx in [0u8, 1, 2] {
-            f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: idx, dir: VlDir::Down });
+            f.inject(deft_topo::VlLinkId {
+                chiplet: ChipletId(0),
+                index: idx,
+                dir: VlDir::Down,
+            });
         }
         let mut deft = DeftRouting::new(&s);
         let src = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
@@ -467,7 +501,11 @@ mod tests {
         let s = sys();
         let mut f = FaultState::none(&s);
         for idx in 0..4u8 {
-            f.inject(deft_topo::VlLinkId { chiplet: ChipletId(1), index: idx, dir: VlDir::Up });
+            f.inject(deft_topo::VlLinkId {
+                chiplet: ChipletId(1),
+                index: idx,
+                dir: VlDir::Up,
+            });
         }
         let mut deft = DeftRouting::new(&s);
         let src = node(&s, Layer::Chiplet(ChipletId(0)), 0, 0);
@@ -482,8 +520,16 @@ mod tests {
     fn random_strategy_only_picks_healthy() {
         let s = sys();
         let mut f = FaultState::none(&s);
-        f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down });
-        f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: 2, dir: VlDir::Down });
+        f.inject(deft_topo::VlLinkId {
+            chiplet: ChipletId(0),
+            index: 1,
+            dir: VlDir::Down,
+        });
+        f.inject(deft_topo::VlLinkId {
+            chiplet: ChipletId(0),
+            index: 2,
+            dir: VlDir::Down,
+        });
         let mut deft = DeftRouting::random_selection(&s, 99);
         let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
         let dst = node(&s, Layer::Interposer, 6, 6);
@@ -545,7 +591,11 @@ mod tests {
         let s = sys();
         let mut f = FaultState::none(&s);
         for idx in 0..4u8 {
-            f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: idx, dir: VlDir::Down });
+            f.inject(deft_topo::VlLinkId {
+                chiplet: ChipletId(0),
+                index: idx,
+                dir: VlDir::Down,
+            });
         }
         let deft = DeftRouting::distance_based(&s);
         let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);

@@ -10,7 +10,7 @@
 
 use super::cost::SelectionProblem;
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Searches for the minimum-cost VL assignment `s*` of Eq. (7).
 #[derive(Debug, Clone)]
@@ -25,7 +25,11 @@ pub struct VlOptimizer {
 
 impl Default for VlOptimizer {
     fn default() -> Self {
-        Self { exhaustive_limit: 1 << 20, restarts: 8, seed: 0xDEF7 }
+        Self {
+            exhaustive_limit: 1 << 20,
+            restarts: 8,
+            seed: 0xDEF7,
+        }
     }
 }
 
@@ -39,12 +43,20 @@ impl VlOptimizer {
     /// Forces exhaustive search regardless of instance size. Only sensible
     /// for small chiplets; used by tests as ground truth.
     pub fn exhaustive_only() -> Self {
-        Self { exhaustive_limit: u64::MAX, restarts: 0, seed: 0 }
+        Self {
+            exhaustive_limit: u64::MAX,
+            restarts: 0,
+            seed: 0,
+        }
     }
 
     /// Forces the local search, never enumerating exhaustively.
     pub fn local_search_only(restarts: u32, seed: u64) -> Self {
-        Self { exhaustive_limit: 0, restarts, seed }
+        Self {
+            exhaustive_limit: 0,
+            restarts,
+            seed,
+        }
     }
 
     /// Finds an optimal (or near-optimal) assignment and its cost.
@@ -154,13 +166,20 @@ mod tests {
     use deft_topo::Coord;
 
     fn pinwheel() -> Vec<Coord> {
-        vec![Coord::new(1, 3), Coord::new(3, 2), Coord::new(2, 0), Coord::new(0, 1)]
+        vec![
+            Coord::new(1, 3),
+            Coord::new(3, 2),
+            Coord::new(2, 0),
+            Coord::new(0, 1),
+        ]
     }
 
     fn small_problem(routers: usize, healthy: u8) -> SelectionProblem {
         // A 3x3 chiplet subset: small enough for exhaustive ground truth.
-        let coords: Vec<Coord> =
-            (0..3).flat_map(|y| (0..3).map(move |x| Coord::new(x, y))).take(routers).collect();
+        let coords: Vec<Coord> = (0..3)
+            .flat_map(|y| (0..3).map(move |x| Coord::new(x, y)))
+            .take(routers)
+            .collect();
         SelectionProblem::new(
             pinwheel(),
             coords,
@@ -191,8 +210,9 @@ mod tests {
         // Fig. 3(b)'s point: with a faulty VL, distance-based selection
         // overloads the nearest survivor; the optimizer must do at least as
         // well (strictly better here).
-        let coords: Vec<Coord> =
-            (0..4).flat_map(|y| (0..4).map(move |x| Coord::new(x, y))).collect();
+        let coords: Vec<Coord> = (0..4)
+            .flat_map(|y| (0..4).map(move |x| Coord::new(x, y)))
+            .collect();
         let p = SelectionProblem::new(
             pinwheel(),
             coords,
@@ -229,8 +249,9 @@ mod tests {
 
     #[test]
     fn full_chiplet_solution_balances_loads() {
-        let coords: Vec<Coord> =
-            (0..4).flat_map(|y| (0..4).map(move |x| Coord::new(x, y))).collect();
+        let coords: Vec<Coord> = (0..4)
+            .flat_map(|y| (0..4).map(move |x| Coord::new(x, y)))
+            .collect();
         let p = SelectionProblem::new(
             pinwheel(),
             coords,
@@ -241,7 +262,10 @@ mod tests {
         let (a, _) = VlOptimizer::new().solve(&p);
         let loads = p.vl_loads(&a);
         for l in loads {
-            assert!((l - 4.0).abs() < 1e-9, "uniform 16 routers over 4 VLs must split 4/4/4/4");
+            assert!(
+                (l - 4.0).abs() < 1e-9,
+                "uniform 16 routers over 4 VLs must split 4/4/4/4"
+            );
         }
     }
 }

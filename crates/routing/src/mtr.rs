@@ -41,7 +41,10 @@ impl MtrRouting {
     fn center_x2(sys: &ChipletSystem, c: ChipletId) -> (i32, i32) {
         let ch = sys.chiplet(c);
         let o = ch.origin();
-        (2 * o.x as i32 + ch.width() as i32 - 1, 2 * o.y as i32 + ch.height() as i32 - 1)
+        (
+            2 * o.x as i32 + ch.width() as i32 - 1,
+            2 * o.y as i32 + ch.height() as i32 - 1,
+        )
     }
 
     /// The interposer-plane reference point of a node (x2): a chiplet
@@ -129,25 +132,22 @@ impl RoutingAlgorithm for MtrRouting {
         let down_vl = match el.down {
             None => None,
             Some((c, mask)) => {
-                let healthy =
-                    mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
-                Some(
-                    Self::pick(sys, c, src, healthy)
-                        .ok_or(RouteError::Unroutable { src, dst })?,
-                )
+                let healthy = mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
+                Some(Self::pick(sys, c, src, healthy).ok_or(RouteError::Unroutable { src, dst })?)
             }
         };
         let up_vl = match el.up {
             None => None,
             Some((c, mask)) => {
                 let healthy = mask & faults.healthy_mask(c, VlDir::Up, sys.chiplet(c).vl_count());
-                Some(
-                    Self::pick(sys, c, dst, healthy)
-                        .ok_or(RouteError::Unroutable { src, dst })?,
-                )
+                Some(Self::pick(sys, c, dst, healthy).ok_or(RouteError::Unroutable { src, dst })?)
             }
         };
-        Ok(RouteCtx { vn: Vn::Vn0, down_vl, up_vl })
+        Ok(RouteCtx {
+            vn: Vn::Vn0,
+            down_vl,
+            up_vl,
+        })
     }
 
     fn route(
@@ -172,15 +172,17 @@ impl RoutingAlgorithm for MtrRouting {
         let src_layer = sys.layer(src);
         let dst_layer = sys.layer(dst);
         let down = match src_layer {
-            Layer::Chiplet(c) if dst_layer != Layer::Chiplet(c) => {
-                Some((c, Self::facing_half_mask(sys, c, Self::ref_point_x2(sys, dst))))
-            }
+            Layer::Chiplet(c) if dst_layer != Layer::Chiplet(c) => Some((
+                c,
+                Self::facing_half_mask(sys, c, Self::ref_point_x2(sys, dst)),
+            )),
             _ => None,
         };
         let up = match dst_layer {
-            Layer::Chiplet(c) if src_layer != Layer::Chiplet(c) => {
-                Some((c, Self::facing_half_mask(sys, c, Self::ref_point_x2(sys, src))))
-            }
+            Layer::Chiplet(c) if src_layer != Layer::Chiplet(c) => Some((
+                c,
+                Self::facing_half_mask(sys, c, Self::ref_point_x2(sys, src)),
+            )),
             _ => None,
         };
         FlowEligibility { down, up }
@@ -200,16 +202,21 @@ impl RoutingAlgorithm for MtrRouting {
         let down_opts: Vec<Option<u8>> = match el.down {
             None => vec![None],
             Some((c, mask)) => {
-                let healthy =
-                    mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
-                (0..8).filter(|&v| healthy & (1 << v) != 0).map(Some).collect()
+                let healthy = mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
+                (0..8)
+                    .filter(|&v| healthy & (1 << v) != 0)
+                    .map(Some)
+                    .collect()
             }
         };
         let up_opts: Vec<Option<u8>> = match el.up {
             None => vec![None],
             Some((c, mask)) => {
                 let healthy = mask & faults.healthy_mask(c, VlDir::Up, sys.chiplet(c).vl_count());
-                (0..8).filter(|&v| healthy & (1 << v) != 0).map(Some).collect()
+                (0..8)
+                    .filter(|&v| healthy & (1 << v) != 0)
+                    .map(Some)
+                    .collect()
             }
         };
         if down_opts.is_empty() || up_opts.is_empty() {
@@ -240,7 +247,8 @@ mod tests {
     }
 
     fn node(s: &ChipletSystem, layer: Layer, x: u8, y: u8) -> NodeId {
-        s.node_id(NodeAddr::new(layer, Coord::new(x, y))).expect("valid addr")
+        s.node_id(NodeAddr::new(layer, Coord::new(x, y)))
+            .expect("valid addr")
     }
 
     #[test]
@@ -253,7 +261,11 @@ mod tests {
         let el = mtr.eligibility(&s, src, dst);
         let (c, mask) = el.down.unwrap();
         assert_eq!(c, ChipletId(0));
-        assert_eq!(mask.count_ones(), 2, "facing half must contain exactly 2 VLs");
+        assert_eq!(
+            mask.count_ones(),
+            2,
+            "facing half must contain exactly 2 VLs"
+        );
         // The eligible VLs are the east-half ones: pinwheel VLs 1 (3,2) and 2 (2,0).
         assert_eq!(mask, 0b0110);
     }
@@ -278,11 +290,19 @@ mod tests {
         let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
         let dst = node(&s, Layer::Chiplet(ChipletId(1)), 1, 1);
         let mut f = FaultState::none(&s);
-        f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down });
+        f.inject(deft_topo::VlLinkId {
+            chiplet: ChipletId(0),
+            index: 1,
+            dir: VlDir::Down,
+        });
         let ctx = mtr.on_inject(&s, &f, src, dst, 0).unwrap();
         assert_eq!(ctx.down_vl, Some(2), "re-selects the other facing-half VL");
         // Kill the second one: flow dies even though the west half is healthy.
-        f.inject(deft_topo::VlLinkId { chiplet: ChipletId(0), index: 2, dir: VlDir::Down });
+        f.inject(deft_topo::VlLinkId {
+            chiplet: ChipletId(0),
+            index: 2,
+            dir: VlDir::Down,
+        });
         assert!(matches!(
             mtr.on_inject(&s, &f, src, dst, 0),
             Err(RouteError::Unroutable { .. })

@@ -36,7 +36,10 @@ impl RcRouting {
             Layer::Chiplet(c) => {
                 let ch = sys.chiplet(c);
                 let o = ch.origin();
-                (2 * o.x as i32 + ch.width() as i32 - 1, 2 * o.y as i32 + ch.height() as i32 - 1)
+                (
+                    2 * o.x as i32 + ch.width() as i32 - 1,
+                    2 * o.y as i32 + ch.height() as i32 - 1,
+                )
             }
             Layer::Interposer => {
                 let co = sys.addr(node).coord;
@@ -79,8 +82,7 @@ impl RoutingAlgorithm for RcRouting {
         let down_vl = match el.down {
             None => None,
             Some((c, mask)) => {
-                let healthy =
-                    mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
+                let healthy = mask & faults.healthy_mask(c, VlDir::Down, sys.chiplet(c).vl_count());
                 if healthy == 0 {
                     return Err(RouteError::Unroutable { src, dst });
                 }
@@ -97,7 +99,11 @@ impl RoutingAlgorithm for RcRouting {
                 Some(healthy.trailing_zeros() as u8)
             }
         };
-        Ok(RouteCtx { vn: Vn::Vn0, down_vl, up_vl })
+        Ok(RouteCtx {
+            vn: Vn::Vn0,
+            down_vl,
+            up_vl,
+        })
     }
 
     fn route(
@@ -174,7 +180,8 @@ mod tests {
     }
 
     fn node(s: &ChipletSystem, layer: Layer, x: u8, y: u8) -> NodeId {
-        s.node_id(NodeAddr::new(layer, Coord::new(x, y))).expect("valid addr")
+        s.node_id(NodeAddr::new(layer, Coord::new(x, y)))
+            .expect("valid addr")
     }
 
     #[test]
@@ -198,11 +205,16 @@ mod tests {
             .chiplet_nodes(ChipletId(0))
             .map(|src| rc.eligibility(&s, src, dst0).down.unwrap().1)
             .collect();
-        assert!(masks.windows(2).all(|w| w[0] == w[1]), "designation is per chiplet pair");
+        assert!(
+            masks.windows(2).all(|w| w[0] == w[1]),
+            "designation is per chiplet pair"
+        );
         // Destination router inside the same chiplet does not change it.
         assert_eq!(
-            rc.eligibility(&s, node(&s, Layer::Chiplet(ChipletId(0)), 0, 0), dst0).down,
-            rc.eligibility(&s, node(&s, Layer::Chiplet(ChipletId(0)), 0, 0), dst1).down,
+            rc.eligibility(&s, node(&s, Layer::Chiplet(ChipletId(0)), 0, 0), dst0)
+                .down,
+            rc.eligibility(&s, node(&s, Layer::Chiplet(ChipletId(0)), 0, 0), dst1)
+                .down,
         );
     }
 
@@ -216,8 +228,15 @@ mod tests {
         let (c, mask) = el.down.unwrap();
         let idx = mask.trailing_zeros() as u8;
         let mut f = FaultState::none(&s);
-        f.inject(deft_topo::VlLinkId { chiplet: c, index: idx, dir: VlDir::Down });
-        assert!(matches!(rc.on_inject(&s, &f, src, dst, 0), Err(RouteError::Unroutable { .. })));
+        f.inject(deft_topo::VlLinkId {
+            chiplet: c,
+            index: idx,
+            dir: VlDir::Down,
+        });
+        assert!(matches!(
+            rc.on_inject(&s, &f, src, dst, 0),
+            Err(RouteError::Unroutable { .. })
+        ));
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl ReachabilityEngine {
         }
         let mut classes: Vec<(FlowClass, u64)> = counts.into_iter().collect();
         classes.sort_by_key(|(c, _)| (c.down, c.up));
-        Self { group_sizes, classes, total_flows: total }
+        Self {
+            group_sizes,
+            classes,
+            total_flows: total,
+        }
     }
 
     /// Number of distinct flow classes.
@@ -171,13 +175,17 @@ impl ReachabilityEngine {
     pub fn reachability_under(&self, _sys: &ChipletSystem, faults: &FaultState) -> f64 {
         let healthy = |g: usize| -> u8 {
             let chiplet = ChipletId((g / 2) as u8);
-            let dir = if g % 2 == 0 { VlDir::Down } else { VlDir::Up };
+            let dir = if g.is_multiple_of(2) {
+                VlDir::Down
+            } else {
+                VlDir::Up
+            };
             faults.healthy_mask(chiplet, dir, self.group_sizes[g])
         };
         let mut ok = 0u64;
         for &(class, count) in &self.classes {
-            let down_ok = class.down.map_or(true, |(g, m)| m & healthy(g) != 0);
-            let up_ok = class.up.map_or(true, |(g, m)| m & healthy(g) != 0);
+            let down_ok = class.down.is_none_or(|(g, m)| m & healthy(g) != 0);
+            let up_ok = class.up.is_none_or(|(g, m)| m & healthy(g) != 0);
             if down_ok && up_ok {
                 ok += count;
             }
@@ -219,9 +227,8 @@ impl ReachabilityEngine {
             }
         }
         let mut candidates: Vec<Vec<u8>> = Vec::with_capacity(groups);
-        for g in 0..groups {
+        for (g, sets) in eligible_sets.iter().enumerate() {
             let limit = self.group_sizes[g] as u32 - 1;
-            let sets = &eligible_sets[g];
             let mut masks: Vec<u8> = vec![0];
             for subset in 1u32..(1 << sets.len()) {
                 let mut m = 0u8;
@@ -290,7 +297,11 @@ impl ReachabilityEngine {
                 self.order[pos..]
                     .iter()
                     .map(|&g| {
-                        let t = if g % 2 == 0 { &self.fail_d[g] } else { &self.fail_u[g] };
+                        let t = if g.is_multiple_of(2) {
+                            &self.fail_d[g]
+                        } else {
+                            &self.fail_u[g]
+                        };
                         t.iter()
                             .filter(|(m, _)| m.count_ones() as usize <= budget)
                             .map(|(_, &w)| w)
@@ -319,7 +330,7 @@ impl ReachabilityEngine {
                     .filter(|m| (m.count_ones() as usize) <= budget)
                     .collect();
                 let weight = |m: u8| -> u64 {
-                    if g % 2 == 0 {
+                    if g.is_multiple_of(2) {
                         *self.fail_d[g].get(&m).unwrap_or(&0)
                     } else {
                         *self.fail_u[g].get(&m).unwrap_or(&0)
@@ -327,7 +338,7 @@ impl ReachabilityEngine {
                 };
                 opts.sort_by_key(|&m| std::cmp::Reverse(weight(m)));
                 for m in opts {
-                    let gain = if g % 2 == 0 {
+                    let gain = if g.is_multiple_of(2) {
                         weight(m)
                     } else {
                         // Up group: add its failures, subtract the overlap

@@ -40,7 +40,7 @@ impl Vn {
     /// `Vn0` for even `seq`, `Vn1` for odd — the round-robin assignment the
     /// paper uses wherever both VNs are permitted.
     pub fn round_robin(seq: u64) -> Vn {
-        if seq % 2 == 0 {
+        if seq.is_multiple_of(2) {
             Vn::Vn0
         } else {
             Vn::Vn1
@@ -84,7 +84,11 @@ pub struct RouteCtx {
 impl RouteCtx {
     /// State for a packet that never leaves its layer.
     pub fn local(vn: Vn) -> Self {
-        Self { vn, down_vl: None, up_vl: None }
+        Self {
+            vn,
+            down_vl: None,
+            up_vl: None,
+        }
     }
 }
 
@@ -129,7 +133,11 @@ mod tests {
 
     #[test]
     fn ctx_display_mentions_selections() {
-        let ctx = RouteCtx { vn: Vn::Vn0, down_vl: Some(2), up_vl: Some(1) };
+        let ctx = RouteCtx {
+            vn: Vn::Vn0,
+            down_vl: Some(2),
+            up_vl: Some(1),
+        };
         let s = ctx.to_string();
         assert!(s.contains("VN0") && s.contains("down:vl2") && s.contains("up:vl1"));
     }

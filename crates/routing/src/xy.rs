@@ -73,7 +73,13 @@ mod tests {
         let dirs = path_dirs(Coord::new(0, 3), Coord::new(2, 0));
         assert_eq!(
             dirs,
-            vec![Direction::East, Direction::East, Direction::South, Direction::South, Direction::South]
+            vec![
+                Direction::East,
+                Direction::East,
+                Direction::South,
+                Direction::South,
+                Direction::South
+            ]
         );
     }
 

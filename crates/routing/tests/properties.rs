@@ -6,7 +6,9 @@ use deft_topo::{ChipletId, ChipletSystem, Coord, FaultState, NodeId, VlDir, VlLi
 use proptest::prelude::*;
 
 fn grid_coords(w: u8, h: u8) -> Vec<Coord> {
-    (0..h).flat_map(|y| (0..w).map(move |x| Coord::new(x, y))).collect()
+    (0..h)
+        .flat_map(|y| (0..w).map(move |x| Coord::new(x, y)))
+        .collect()
 }
 
 proptest! {

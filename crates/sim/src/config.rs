@@ -64,9 +64,18 @@ impl SimConfig {
     pub fn validate(&self) {
         assert!(self.packet_size > 0, "packet_size must be positive");
         assert!(self.buffer_depth > 0, "buffer_depth must be positive");
-        assert_eq!(self.vc_count, 2, "this simulator models the paper's two-VC routers");
-        assert!(self.deadlock_threshold > 0, "deadlock_threshold must be positive");
-        assert!(self.vl_serialization > 0, "vl_serialization must be positive");
+        assert_eq!(
+            self.vc_count, 2,
+            "this simulator models the paper's two-VC routers"
+        );
+        assert!(
+            self.deadlock_threshold > 0,
+            "deadlock_threshold must be positive"
+        );
+        assert!(
+            self.vl_serialization > 0,
+            "vl_serialization must be positive"
+        );
     }
 }
 
@@ -87,12 +96,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "two-VC")]
     fn wrong_vc_count_is_rejected() {
-        SimConfig { vc_count: 3, ..SimConfig::default() }.validate();
+        SimConfig {
+            vc_count: 3,
+            ..SimConfig::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "packet_size")]
     fn zero_packet_size_is_rejected() {
-        SimConfig { packet_size: 0, ..SimConfig::default() }.validate();
+        SimConfig {
+            packet_size: 0,
+            ..SimConfig::default()
+        }
+        .validate();
     }
 }

@@ -93,7 +93,9 @@ impl<'a> Simulator<'a> {
     ) -> Self {
         cfg.validate();
         let n = sys.node_count();
-        let mut routers: Vec<Router> = (0..n).map(|_| Router::new(cfg.vc_count, cfg.buffer_depth)).collect();
+        let mut routers: Vec<Router> = (0..n)
+            .map(|_| Router::new(cfg.vc_count, cfg.buffer_depth))
+            .collect();
 
         // RC's store-and-forward needs the boundary router's vertical input
         // buffer (the RC-buffer) to hold a whole packet.
@@ -108,7 +110,9 @@ impl<'a> Simulator<'a> {
         // Wire links and credits.
         for node in sys.nodes() {
             for dir in Direction::ALL {
-                let Some(nbr) = sys.neighbor(node, dir) else { continue };
+                let Some(nbr) = sys.neighbor(node, dir) else {
+                    continue;
+                };
                 let out = port_of(dir) as usize;
                 let inp = arrival_port(dir);
                 routers[node.index()].out_links[out] = Some((nbr.index(), inp));
@@ -176,10 +180,7 @@ impl<'a> Simulator<'a> {
                 deadlocked = true;
                 break;
             }
-            if cycle >= gen_end
-                && in_flight == 0
-                && queued == 0
-            {
+            if cycle >= gen_end && in_flight == 0 && queued == 0 {
                 break;
             }
         }
@@ -273,8 +274,7 @@ impl<'a> Simulator<'a> {
                     if needs_route {
                         let info = &mut self.packets[packet_id.index()];
                         if node == info.dst {
-                            let buf =
-                                &mut self.routers[idx].inputs[in_port as usize][vc as usize];
+                            let buf = &mut self.routers[idx].inputs[in_port as usize][vc as usize];
                             buf.dest = Some((PORT_LOCAL, vc));
                             buf.granted = true;
                         } else {
@@ -295,8 +295,7 @@ impl<'a> Simulator<'a> {
                                 );
                                 let buf =
                                     &mut self.routers[idx].inputs[in_port as usize][vc as usize];
-                                buf.dest =
-                                    Some((port_of(decision.dir), decision.vn.index() as u8));
+                                buf.dest = Some((port_of(decision.dir), decision.vn.index() as u8));
                             }
                         }
                     }
@@ -304,8 +303,8 @@ impl<'a> Simulator<'a> {
                     let buf = &self.routers[idx].inputs[in_port as usize][vc as usize];
                     if let Some((out_port, out_vc)) = buf.dest {
                         if !buf.granted && out_port != PORT_LOCAL {
-                            let slot =
-                                &mut self.routers[idx].out_alloc[out_port as usize][out_vc as usize];
+                            let slot = &mut self.routers[idx].out_alloc[out_port as usize]
+                                [out_vc as usize];
                             if slot.is_none() {
                                 *slot = Some((in_port, vc));
                                 self.routers[idx].inputs[in_port as usize][vc as usize].granted =
@@ -342,7 +341,9 @@ impl<'a> Simulator<'a> {
                         continue;
                     }
                     let buf = &self.routers[idx].inputs[in_port as usize][vc as usize];
-                    let Some((d_port, d_vc)) = buf.dest else { continue };
+                    let Some((d_port, d_vc)) = buf.dest else {
+                        continue;
+                    };
                     if d_port != out_port || !buf.granted || buf.fifo.is_empty() {
                         continue;
                     }
@@ -357,7 +358,13 @@ impl<'a> Simulator<'a> {
                 }
                 if let Some((in_port, in_vc, out_vc)) = winner {
                     in_used[in_port as usize] = true;
-                    moves.push(Move { router: idx, in_port, in_vc, out_port, out_vc });
+                    moves.push(Move {
+                        router: idx,
+                        in_port,
+                        in_vc,
+                        out_port,
+                        out_vc,
+                    });
                 }
             }
         }
@@ -373,9 +380,7 @@ impl<'a> Simulator<'a> {
                 .expect("switch allocation picked an empty buffer");
 
             // Credit return to the upstream router feeding this input.
-            if let Some((up, up_out)) =
-                self.routers[m.router].in_links[m.in_port as usize]
-            {
+            if let Some((up, up_out)) = self.routers[m.router].in_links[m.in_port as usize] {
                 self.routers[up].credits[up_out as usize][m.in_vc as usize] += 1;
             }
 
@@ -400,7 +405,10 @@ impl<'a> Simulator<'a> {
 
                 // Statistics: buffer write by region/VC, and VL crossings.
                 let dest_node = NodeId(d_idx as u32);
-                let usage = self.vc_usage.entry(Region::of(self.sys, dest_node)).or_default();
+                let usage = self
+                    .vc_usage
+                    .entry(Region::of(self.sys, dest_node))
+                    .or_default();
                 match m.out_vc {
                     0 => usage.vc0 += 1,
                     _ => usage.vc1 += 1,
@@ -409,7 +417,10 @@ impl<'a> Simulator<'a> {
                     let node = NodeId(m.router as u32);
                     let vl = self.sys.vl_at_node(node).expect("vertical move off a VL");
                     let down = matches!(self.sys.layer(node), Layer::Chiplet(_));
-                    *self.vl_flits.entry((vl.chiplet.0, vl.index, down)).or_insert(0) += 1;
+                    *self
+                        .vl_flits
+                        .entry((vl.chiplet.0, vl.index, down))
+                        .or_insert(0) += 1;
                     self.vl_next_free[m.router] = cycle + self.cfg.vl_serialization;
                 }
             }
@@ -419,8 +430,7 @@ impl<'a> Simulator<'a> {
                 buf.dest = None;
                 buf.granted = false;
                 if m.out_port != PORT_LOCAL {
-                    self.routers[m.router].out_alloc[m.out_port as usize][m.out_vc as usize] =
-                        None;
+                    self.routers[m.router].out_alloc[m.out_port as usize][m.out_vc as usize] = None;
                 }
             }
         }
@@ -432,7 +442,9 @@ impl<'a> Simulator<'a> {
     fn inject(&mut self) -> bool {
         let mut any = false;
         for idx in 0..self.sources.len() {
-            let Some(&pkt) = self.sources[idx].queue.front() else { continue };
+            let Some(&pkt) = self.sources[idx].queue.front() else {
+                continue;
+            };
             let vn = self.packets[pkt.index()].inject_vn.index();
             let buf = &mut self.routers[idx].inputs[PORT_LOCAL as usize][vn];
             if buf.free() == 0 {
@@ -469,16 +481,21 @@ impl<'a> Simulator<'a> {
 mod tests {
     use super::*;
     use deft_routing::{DeftRouting, MtrRouting, RcRouting};
-    use deft_traffic::{uniform, TableTraffic};
     use deft_topo::{ChipletId, Coord, NodeAddr, VlDir, VlLinkId};
     use deft_traffic::Mixture;
+    use deft_traffic::{uniform, TableTraffic};
 
     fn sys() -> ChipletSystem {
         ChipletSystem::baseline_4()
     }
 
     fn quick_cfg() -> SimConfig {
-        SimConfig { warmup: 200, measure: 1_000, drain: 20_000, ..SimConfig::default() }
+        SimConfig {
+            warmup: 200,
+            measure: 1_000,
+            drain: 20_000,
+            ..SimConfig::default()
+        }
     }
 
     /// A pattern with a single flow src -> dst at the given rate.
@@ -494,13 +511,32 @@ mod tests {
     #[test]
     fn zero_load_latency_matches_hops_plus_serialization() {
         let s = sys();
-        let src = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(0, 0))).unwrap();
-        let dst = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(3, 0))).unwrap();
+        let src = s
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(0, 0),
+            ))
+            .unwrap();
+        let dst = s
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(3, 0),
+            ))
+            .unwrap();
         let pattern = single_flow(&s, src, dst, 0.001);
-        let cfg = SimConfig { warmup: 0, measure: 3_000, ..quick_cfg() };
-        let report =
-            Simulator::new(&s, FaultState::none(&s), Box::new(DeftRouting::distance_based(&s)), &pattern, cfg)
-                .run();
+        let cfg = SimConfig {
+            warmup: 0,
+            measure: 3_000,
+            ..quick_cfg()
+        };
+        let report = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::distance_based(&s)),
+            &pattern,
+            cfg,
+        )
+        .run();
         assert!(report.delivered > 0);
         // 3 hops; pipeline: inject(1) + per-hop 1 cycle + eject + 7 extra
         // tail flits. Zero-load latency = hops + packet_size + small const.
@@ -517,18 +553,40 @@ mod tests {
     #[test]
     fn cross_chiplet_zero_load_latency_is_minimal() {
         let s = sys();
-        let src = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(1, 1))).unwrap();
-        let dst = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(3)), Coord::new(2, 2))).unwrap();
+        let src = s
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(1, 1),
+            ))
+            .unwrap();
+        let dst = s
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(3)),
+                Coord::new(2, 2),
+            ))
+            .unwrap();
         let pattern = single_flow(&s, src, dst, 0.0008);
-        let cfg = SimConfig { warmup: 0, measure: 5_000, ..quick_cfg() };
-        let report =
-            Simulator::new(&s, FaultState::none(&s), Box::new(DeftRouting::new(&s)), &pattern, cfg)
-                .run();
+        let cfg = SimConfig {
+            warmup: 0,
+            measure: 5_000,
+            ..quick_cfg()
+        };
+        let report = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            cfg,
+        )
+        .run();
         assert!(report.delivered > 0);
         // Minimal inter-chiplet path here is ~14-18 hops depending on VL
         // choice; plus 8-flit serialization.
-        assert!(report.avg_latency > 15.0 && report.avg_latency < 40.0,
-            "latency {}", report.avg_latency);
+        assert!(
+            report.avg_latency > 15.0 && report.avg_latency < 40.0,
+            "latency {}",
+            report.avg_latency
+        );
     }
 
     #[test]
@@ -543,11 +601,13 @@ mod tests {
             Box::new(DeftRouting::random_selection(&s, 5)),
         ] {
             let name = alg.name().to_owned();
-            let report =
-                Simulator::new(&s, FaultState::none(&s), alg, &pattern, quick_cfg()).run();
+            let report = Simulator::new(&s, FaultState::none(&s), alg, &pattern, quick_cfg()).run();
             assert!(!report.deadlocked, "{name} deadlocked");
             assert!(report.delivered > 0, "{name} delivered nothing");
-            assert_eq!(report.dropped_unroutable, 0, "{name} dropped packets fault-free");
+            assert_eq!(
+                report.dropped_unroutable, 0,
+                "{name} dropped packets fault-free"
+            );
             assert!(
                 report.delivery_ratio() > 0.95,
                 "{name} delivery ratio {}",
@@ -582,8 +642,16 @@ mod tests {
         let s = sys();
         let pattern = uniform(&s, 0.002);
         let mut faults = FaultState::none(&s);
-        faults.inject(VlLinkId { chiplet: ChipletId(0), index: 0, dir: VlDir::Down });
-        faults.inject(VlLinkId { chiplet: ChipletId(1), index: 2, dir: VlDir::Up });
+        faults.inject(VlLinkId {
+            chiplet: ChipletId(0),
+            index: 0,
+            dir: VlDir::Down,
+        });
+        faults.inject(VlLinkId {
+            chiplet: ChipletId(1),
+            index: 2,
+            dir: VlDir::Up,
+        });
 
         let deft_report = Simulator::new(
             &s,
@@ -593,12 +661,24 @@ mod tests {
             quick_cfg(),
         )
         .run();
-        assert_eq!(deft_report.dropped_unroutable, 0, "DeFT tolerates any 2-fault scenario");
+        assert_eq!(
+            deft_report.dropped_unroutable, 0,
+            "DeFT tolerates any 2-fault scenario"
+        );
         assert_eq!(deft_report.reachability(), 1.0);
 
-        let rc_report =
-            Simulator::new(&s, faults, Box::new(RcRouting::new(&s)), &pattern, quick_cfg()).run();
-        assert!(rc_report.dropped_unroutable > 0, "RC must drop designated-VL flows");
+        let rc_report = Simulator::new(
+            &s,
+            faults,
+            Box::new(RcRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        )
+        .run();
+        assert!(
+            rc_report.dropped_unroutable > 0,
+            "RC must drop designated-VL flows"
+        );
         assert!(rc_report.reachability() < 1.0);
     }
 
@@ -607,10 +687,19 @@ mod tests {
         let s = sys();
         let pattern = uniform(&s, 0.004);
         let mut faults = FaultState::none(&s);
-        faults.inject(VlLinkId { chiplet: ChipletId(2), index: 1, dir: VlDir::Down });
-        let report =
-            Simulator::new(&s, faults, Box::new(DeftRouting::new(&s)), &pattern, quick_cfg())
-                .run();
+        faults.inject(VlLinkId {
+            chiplet: ChipletId(2),
+            index: 1,
+            dir: VlDir::Down,
+        });
+        let report = Simulator::new(
+            &s,
+            faults,
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        )
+        .run();
         assert_eq!(
             report.vl_flits.get(&(2, 1, true)).copied().unwrap_or(0),
             0,
@@ -664,10 +753,24 @@ mod tests {
     #[test]
     fn rc_store_and_forward_adds_latency() {
         let s = sys();
-        let src = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(1, 1))).unwrap();
-        let dst = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(1)), Coord::new(1, 1))).unwrap();
+        let src = s
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(1, 1),
+            ))
+            .unwrap();
+        let dst = s
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(1)),
+                Coord::new(1, 1),
+            ))
+            .unwrap();
         let pattern = single_flow(&s, src, dst, 0.0008);
-        let cfg = SimConfig { warmup: 0, measure: 5_000, ..quick_cfg() };
+        let cfg = SimConfig {
+            warmup: 0,
+            measure: 5_000,
+            ..quick_cfg()
+        };
         let mtr = Simulator::new(
             &s,
             FaultState::none(&s),
@@ -695,8 +798,18 @@ mod tests {
     #[test]
     fn vl_serialization_slows_inter_chiplet_flows_only() {
         let s = sys();
-        let src = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(1, 1))).unwrap();
-        let dst = s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(1)), Coord::new(1, 1))).unwrap();
+        let src = s
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(1, 1),
+            ))
+            .unwrap();
+        let dst = s
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(1)),
+                Coord::new(1, 1),
+            ))
+            .unwrap();
         let pattern = single_flow(&s, src, dst, 0.0008);
         let run = |ser: u64| {
             let cfg = SimConfig {
@@ -727,10 +840,19 @@ mod tests {
         assert!(!serial4.deadlocked);
 
         // Intra-chiplet flows are untouched by VL serialization.
-        let dst_local =
-            s.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(3, 3))).unwrap();
+        let dst_local = s
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(3, 3),
+            ))
+            .unwrap();
         let local = single_flow(&s, src, dst_local, 0.0008);
-        let cfg = SimConfig { warmup: 0, measure: 5_000, vl_serialization: 8, ..quick_cfg() };
+        let cfg = SimConfig {
+            warmup: 0,
+            measure: 5_000,
+            vl_serialization: 8,
+            ..quick_cfg()
+        };
         let r = Simulator::new(
             &s,
             FaultState::none(&s),
@@ -739,7 +861,11 @@ mod tests {
             cfg,
         )
         .run();
-        assert!(r.avg_latency < 20.0, "intra-chiplet latency {}", r.avg_latency);
+        assert!(
+            r.avg_latency < 20.0,
+            "intra-chiplet latency {}",
+            r.avg_latency
+        );
     }
 
     #[test]
@@ -772,7 +898,12 @@ mod tests {
                 FaultState::none(&s),
                 Box::new(DeftRouting::new(&s)),
                 p,
-                SimConfig { warmup: 200, measure: 800, drain: 5_000, ..SimConfig::default() },
+                SimConfig {
+                    warmup: 200,
+                    measure: 800,
+                    drain: 5_000,
+                    ..SimConfig::default()
+                },
             )
             .run()
         };

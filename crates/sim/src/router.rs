@@ -56,7 +56,12 @@ pub struct VcBuf {
 impl VcBuf {
     /// An empty buffer of the given capacity.
     pub fn new(cap: usize) -> Self {
-        Self { fifo: VecDeque::with_capacity(cap), cap, dest: None, granted: false }
+        Self {
+            fifo: VecDeque::with_capacity(cap),
+            cap,
+            dest: None,
+            granted: false,
+        }
     }
 
     /// Free slots.
@@ -68,8 +73,13 @@ impl VcBuf {
     /// (stops at the following packet's head). Used by RC's
     /// store-and-forward check.
     pub fn front_packet_flits(&self) -> usize {
-        let Some(front) = self.fifo.front() else { return 0 };
-        self.fifo.iter().take_while(|f| f.packet == front.packet).count()
+        let Some(front) = self.fifo.front() else {
+            return 0;
+        };
+        self.fifo
+            .iter()
+            .take_while(|f| f.packet == front.packet)
+            .count()
     }
 }
 
@@ -136,7 +146,11 @@ mod tests {
     fn vcbuf_tracks_capacity() {
         let mut b = VcBuf::new(4);
         assert_eq!(b.free(), 4);
-        b.fifo.push_back(Flit { packet: PacketId(0), is_head: true, is_tail: false });
+        b.fifo.push_back(Flit {
+            packet: PacketId(0),
+            is_head: true,
+            is_tail: false,
+        });
         assert_eq!(b.free(), 3);
     }
 

@@ -10,7 +10,12 @@ use deft_traffic::{uniform, Trace};
 fn trace_replay_reproduces_the_live_run_exactly() {
     let sys = ChipletSystem::baseline_4();
     let pattern = uniform(&sys, 0.005);
-    let cfg = SimConfig { warmup: 200, measure: 1_500, drain: 20_000, ..SimConfig::default() };
+    let cfg = SimConfig {
+        warmup: 200,
+        measure: 1_500,
+        drain: 20_000,
+        ..SimConfig::default()
+    };
 
     let live = Simulator::new(
         &sys,
@@ -25,7 +30,10 @@ fn trace_replay_reproduces_the_live_run_exactly() {
     // *different* seed: injections must be identical, so the whole report
     // must match.
     let trace = Trace::record(&sys, &pattern, cfg.warmup + cfg.measure, cfg.seed);
-    let replay_cfg = SimConfig { seed: 0xDEAD_BEEF, ..cfg };
+    let replay_cfg = SimConfig {
+        seed: 0xDEAD_BEEF,
+        ..cfg
+    };
     let replayed = Simulator::new(
         &sys,
         FaultState::none(&sys),
@@ -47,7 +55,12 @@ fn trace_replay_reproduces_the_live_run_exactly() {
 fn text_serialized_trace_still_replays_identically() {
     let sys = ChipletSystem::baseline_4();
     let pattern = uniform(&sys, 0.006);
-    let cfg = SimConfig { warmup: 100, measure: 800, drain: 10_000, ..SimConfig::default() };
+    let cfg = SimConfig {
+        warmup: 100,
+        measure: 800,
+        drain: 10_000,
+        ..SimConfig::default()
+    };
     let trace = Trace::record(&sys, &pattern, cfg.warmup + cfg.measure, cfg.seed);
     let restored = Trace::from_text(&trace.to_text(), sys.node_count()).expect("round trip");
 
@@ -78,7 +91,11 @@ fn traces_feed_the_traffic_aware_optimizer() {
     let rates: Vec<f64> = sys.nodes().map(|n| trace.injection_rate(n)).collect();
     assert!(rates.iter().sum::<f64>() > 0.0);
     let deft = DeftRouting::with_traffic(&sys, move |n: deft_topo::NodeId| rates[n.index()]);
-    let cfg = SimConfig { warmup: 100, measure: 500, ..SimConfig::default() };
+    let cfg = SimConfig {
+        warmup: 100,
+        measure: 500,
+        ..SimConfig::default()
+    };
     let report = Simulator::new(&sys, FaultState::none(&sys), Box::new(deft), &trace, cfg).run();
     assert!(report.delivered > 0);
     assert!(!report.deadlocked);

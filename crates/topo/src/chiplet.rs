@@ -27,7 +27,13 @@ impl Chiplet {
         height: u8,
         vls: Vec<VerticalLink>,
     ) -> Self {
-        Self { id, origin, width, height, vls }
+        Self {
+            id,
+            origin,
+            width,
+            height,
+            vls,
+        }
     }
 
     /// This chiplet's identifier.

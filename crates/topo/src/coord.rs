@@ -15,7 +15,9 @@ use std::fmt;
 /// let b = Coord::new(3, 0);
 /// assert_eq!(a.manhattan(b), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Coord {
     /// Horizontal position (east is positive).
     pub x: u8,

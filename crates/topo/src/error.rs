@@ -67,7 +67,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "duplicate vertical link at {coord} on {chiplet}")
             }
             TopologyError::NoVls { chiplet } => {
-                write!(f, "{chiplet} has no vertical links and would be disconnected")
+                write!(
+                    f,
+                    "{chiplet} has no vertical links and would be disconnected"
+                )
             }
             TopologyError::NoChiplets => f.write_str("system has no chiplets"),
         }
@@ -83,18 +86,36 @@ mod tests {
     #[test]
     fn messages_are_lowercase_and_unpunctuated() {
         let errs: Vec<TopologyError> = vec![
-            TopologyError::EmptyMesh { what: "interposer".into() },
-            TopologyError::ChipletOutOfBounds { chiplet: ChipletId(1) },
-            TopologyError::ChipletOverlap { a: ChipletId(0), b: ChipletId(1) },
-            TopologyError::VlOutOfBounds { chiplet: ChipletId(0), coord: Coord::new(9, 9) },
-            TopologyError::DuplicateVl { chiplet: ChipletId(0), coord: Coord::new(1, 1) },
-            TopologyError::NoVls { chiplet: ChipletId(2) },
+            TopologyError::EmptyMesh {
+                what: "interposer".into(),
+            },
+            TopologyError::ChipletOutOfBounds {
+                chiplet: ChipletId(1),
+            },
+            TopologyError::ChipletOverlap {
+                a: ChipletId(0),
+                b: ChipletId(1),
+            },
+            TopologyError::VlOutOfBounds {
+                chiplet: ChipletId(0),
+                coord: Coord::new(9, 9),
+            },
+            TopologyError::DuplicateVl {
+                chiplet: ChipletId(0),
+                coord: Coord::new(1, 1),
+            },
+            TopologyError::NoVls {
+                chiplet: ChipletId(2),
+            },
             TopologyError::NoChiplets,
         ];
         for e in errs {
             let msg = e.to_string();
             assert!(!msg.is_empty());
-            assert!(!msg.ends_with('.'), "message {msg:?} should not end with a period");
+            assert!(
+                !msg.ends_with('.'),
+                "message {msg:?} should not end with a period"
+            );
         }
     }
 

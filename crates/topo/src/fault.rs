@@ -9,7 +9,7 @@
 
 use crate::{ChipletId, ChipletSystem, VlDir};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -55,7 +55,10 @@ pub struct FaultState {
 impl FaultState {
     /// A fault-free state for `sys`.
     pub fn none(sys: &ChipletSystem) -> Self {
-        Self { down: vec![0; sys.chiplet_count()], up: vec![0; sys.chiplet_count()] }
+        Self {
+            down: vec![0; sys.chiplet_count()],
+            up: vec![0; sys.chiplet_count()],
+        }
     }
 
     /// A state with exactly the given links faulty.
@@ -129,7 +132,11 @@ impl FaultState {
 
     /// Total number of faulty unidirectional links.
     pub fn faulty_count(&self) -> usize {
-        self.down.iter().chain(self.up.iter()).map(|m| m.count_ones() as usize).sum()
+        self.down
+            .iter()
+            .chain(self.up.iter())
+            .map(|m| m.count_ones() as usize)
+            .sum()
     }
 
     /// Whether this state is fault-free.
@@ -154,12 +161,20 @@ impl FaultState {
             let chiplet = ChipletId(ci as u8);
             for i in 0..8 {
                 if d & (1 << i) != 0 {
-                    out.push(VlLinkId { chiplet, index: i, dir: VlDir::Down });
+                    out.push(VlLinkId {
+                        chiplet,
+                        index: i,
+                        dir: VlDir::Down,
+                    });
                 }
             }
             for i in 0..8 {
                 if u & (1 << i) != 0 {
-                    out.push(VlLinkId { chiplet, index: i, dir: VlDir::Up });
+                    out.push(VlLinkId {
+                        chiplet,
+                        index: i,
+                        dir: VlDir::Up,
+                    });
                 }
             }
         }
@@ -202,12 +217,20 @@ impl FaultScenarios {
         for c in sys.chiplets() {
             for dir in VlDir::ALL {
                 for i in 0..c.vl_count() {
-                    links.push(VlLinkId { chiplet: c.id(), index: i as u8, dir });
+                    links.push(VlLinkId {
+                        chiplet: c.id(),
+                        index: i as u8,
+                        dir,
+                    });
                 }
             }
         }
         let vl_counts = sys.chiplets().iter().map(|c| c.vl_count()).collect();
-        Self { links, vl_counts, k }
+        Self {
+            links,
+            vl_counts,
+            k,
+        }
     }
 
     /// Number of faulty links per scenario.
@@ -313,7 +336,11 @@ impl ScenarioSampler {
     /// Creates a sampler for scenarios with `k` faults.
     pub fn new(sys: &ChipletSystem, k: usize, seed: u64) -> Self {
         let scen = FaultScenarios::new(sys, k);
-        Self { links: scen.links, k, rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            links: scen.links,
+            k,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws one admissible scenario by rejection sampling.
@@ -335,7 +362,10 @@ impl ScenarioSampler {
                 return state;
             }
         }
-        panic!("no admissible {}-fault scenario found after 100000 samples", self.k)
+        panic!(
+            "no admissible {}-fault scenario found after 100000 samples",
+            self.k
+        )
     }
 }
 
@@ -348,7 +378,11 @@ mod tests {
     fn inject_heal_round_trip() {
         let sys = ChipletSystem::baseline_4();
         let mut f = FaultState::none(&sys);
-        let l = VlLinkId { chiplet: ChipletId(2), index: 3, dir: VlDir::Up };
+        let l = VlLinkId {
+            chiplet: ChipletId(2),
+            index: 3,
+            dir: VlDir::Up,
+        };
         assert!(!f.is_faulty(l));
         f.inject(l);
         assert!(f.is_faulty(l));
@@ -363,8 +397,16 @@ mod tests {
     fn healthy_mask_complements_fault_mask() {
         let sys = ChipletSystem::baseline_4();
         let mut f = FaultState::none(&sys);
-        f.inject(VlLinkId { chiplet: ChipletId(0), index: 0, dir: VlDir::Down });
-        f.inject(VlLinkId { chiplet: ChipletId(0), index: 2, dir: VlDir::Down });
+        f.inject(VlLinkId {
+            chiplet: ChipletId(0),
+            index: 0,
+            dir: VlDir::Down,
+        });
+        f.inject(VlLinkId {
+            chiplet: ChipletId(0),
+            index: 2,
+            dir: VlDir::Down,
+        });
         assert_eq!(f.healthy_mask(ChipletId(0), VlDir::Down, 4), 0b1010);
         assert_eq!(f.healthy_mask(ChipletId(0), VlDir::Up, 4), 0b1111);
     }
@@ -374,10 +416,18 @@ mod tests {
         let sys = ChipletSystem::baseline_4();
         let mut f = FaultState::none(&sys);
         for i in 0..4 {
-            f.inject(VlLinkId { chiplet: ChipletId(1), index: i, dir: VlDir::Down });
+            f.inject(VlLinkId {
+                chiplet: ChipletId(1),
+                index: i,
+                dir: VlDir::Down,
+            });
         }
         assert!(f.disconnects_any_chiplet(&sys));
-        f.heal(VlLinkId { chiplet: ChipletId(1), index: 0, dir: VlDir::Down });
+        f.heal(VlLinkId {
+            chiplet: ChipletId(1),
+            index: 0,
+            dir: VlDir::Down,
+        });
         assert!(!f.disconnects_any_chiplet(&sys));
     }
 
@@ -385,8 +435,16 @@ mod tests {
     fn links_round_trips_through_from_links() {
         let sys = ChipletSystem::baseline_4();
         let links = vec![
-            VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down },
-            VlLinkId { chiplet: ChipletId(3), index: 0, dir: VlDir::Up },
+            VlLinkId {
+                chiplet: ChipletId(0),
+                index: 1,
+                dir: VlDir::Down,
+            },
+            VlLinkId {
+                chiplet: ChipletId(3),
+                index: 0,
+                dir: VlDir::Up,
+            },
         ];
         let f = FaultState::from_links(&sys, &links);
         let mut got = f.links();

@@ -10,7 +10,9 @@ use std::fmt;
 /// chiplet 1, ...), followed by the interposer nodes row-major. Use
 /// [`ChipletSystem::addr`](crate::ChipletSystem::addr) to translate to a
 /// layer + coordinate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -27,7 +29,9 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a chiplet (die) on the interposer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ChipletId(pub u8);
 
 impl ChipletId {

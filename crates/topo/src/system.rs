@@ -47,7 +47,11 @@ pub struct SystemBuilder {
 impl SystemBuilder {
     /// Starts a system with an `width` x `height` interposer mesh.
     pub fn new(width: u8, height: u8) -> Self {
-        Self { interposer_width: width, interposer_height: height, chiplets: Vec::new() }
+        Self {
+            interposer_width: width,
+            interposer_height: height,
+            chiplets: Vec::new(),
+        }
     }
 
     /// Adds a `width` x `height` chiplet whose (0, 0) tile sits above
@@ -67,7 +71,9 @@ impl SystemBuilder {
     /// bounds or duplicated, or a chiplet has no VLs.
     pub fn build(self) -> Result<ChipletSystem, TopologyError> {
         if self.interposer_width == 0 || self.interposer_height == 0 {
-            return Err(TopologyError::EmptyMesh { what: "interposer".into() });
+            return Err(TopologyError::EmptyMesh {
+                what: "interposer".into(),
+            });
         }
         if self.chiplets.is_empty() {
             return Err(TopologyError::NoChiplets);
@@ -77,7 +83,9 @@ impl SystemBuilder {
         for (i, (origin, w, h, vls)) in self.chiplets.iter().enumerate() {
             let id = ChipletId(i as u8);
             if *w == 0 || *h == 0 {
-                return Err(TopologyError::EmptyMesh { what: format!("{id}") });
+                return Err(TopologyError::EmptyMesh {
+                    what: format!("{id}"),
+                });
             }
             if origin.x as u32 + *w as u32 > self.interposer_width as u32
                 || origin.y as u32 + *h as u32 > self.interposer_height as u32
@@ -89,10 +97,16 @@ impl SystemBuilder {
             }
             for (k, &c) in vls.iter().enumerate() {
                 if c.x >= *w || c.y >= *h {
-                    return Err(TopologyError::VlOutOfBounds { chiplet: id, coord: c });
+                    return Err(TopologyError::VlOutOfBounds {
+                        chiplet: id,
+                        coord: c,
+                    });
                 }
                 if vls[..k].contains(&c) {
-                    return Err(TopologyError::DuplicateVl { chiplet: id, coord: c });
+                    return Err(TopologyError::DuplicateVl {
+                        chiplet: id,
+                        coord: c,
+                    });
                 }
             }
         }
@@ -411,8 +425,16 @@ impl ChipletSystem {
     ) -> u32 {
         let aa = self.addr(a);
         let ba = self.addr(b);
-        assert_eq!(aa.layer, Layer::Chiplet(down_vl.chiplet), "source not on down VL chiplet");
-        assert_eq!(ba.layer, Layer::Chiplet(up_vl.chiplet), "dest not on up VL chiplet");
+        assert_eq!(
+            aa.layer,
+            Layer::Chiplet(down_vl.chiplet),
+            "source not on down VL chiplet"
+        );
+        assert_eq!(
+            ba.layer,
+            Layer::Chiplet(up_vl.chiplet),
+            "dest not on up VL chiplet"
+        );
         let d1 = aa.coord.manhattan(down_vl.chiplet_coord);
         let d2 = self
             .addr(down_vl.interposer_node)
@@ -429,8 +451,18 @@ mod tests {
 
     fn two_chiplets() -> ChipletSystem {
         SystemBuilder::new(8, 4)
-            .chiplet(Coord::new(0, 0), 4, 4, &[Coord::new(1, 3), Coord::new(3, 2)])
-            .chiplet(Coord::new(4, 0), 4, 4, &[Coord::new(0, 1), Coord::new(2, 0)])
+            .chiplet(
+                Coord::new(0, 0),
+                4,
+                4,
+                &[Coord::new(1, 3), Coord::new(3, 2)],
+            )
+            .chiplet(
+                Coord::new(4, 0),
+                4,
+                4,
+                &[Coord::new(0, 1), Coord::new(2, 0)],
+            )
             .build()
             .expect("valid system")
     }
@@ -441,19 +473,30 @@ mod tests {
         assert_eq!(sys.node_count(), 16 + 16 + 32);
         for node in sys.nodes() {
             let addr = sys.addr(node);
-            assert_eq!(sys.node_id(addr), Some(node), "round trip failed for {node} ({addr})");
+            assert_eq!(
+                sys.node_id(addr),
+                Some(node),
+                "round trip failed for {node} ({addr})"
+            );
         }
     }
 
     #[test]
     fn builder_rejects_bad_inputs() {
         assert!(matches!(
-            SystemBuilder::new(0, 4).chiplet(Coord::new(0, 0), 2, 2, &[Coord::new(0, 0)]).build(),
+            SystemBuilder::new(0, 4)
+                .chiplet(Coord::new(0, 0), 2, 2, &[Coord::new(0, 0)])
+                .build(),
             Err(TopologyError::EmptyMesh { .. })
         ));
-        assert!(matches!(SystemBuilder::new(8, 8).build(), Err(TopologyError::NoChiplets)));
         assert!(matches!(
-            SystemBuilder::new(4, 4).chiplet(Coord::new(2, 2), 4, 4, &[Coord::new(0, 0)]).build(),
+            SystemBuilder::new(8, 8).build(),
+            Err(TopologyError::NoChiplets)
+        ));
+        assert!(matches!(
+            SystemBuilder::new(4, 4)
+                .chiplet(Coord::new(2, 2), 4, 4, &[Coord::new(0, 0)])
+                .build(),
             Err(TopologyError::ChipletOutOfBounds { .. })
         ));
         assert!(matches!(
@@ -464,17 +507,26 @@ mod tests {
             Err(TopologyError::ChipletOverlap { .. })
         ));
         assert!(matches!(
-            SystemBuilder::new(8, 8).chiplet(Coord::new(0, 0), 4, 4, &[Coord::new(4, 0)]).build(),
+            SystemBuilder::new(8, 8)
+                .chiplet(Coord::new(0, 0), 4, 4, &[Coord::new(4, 0)])
+                .build(),
             Err(TopologyError::VlOutOfBounds { .. })
         ));
         assert!(matches!(
             SystemBuilder::new(8, 8)
-                .chiplet(Coord::new(0, 0), 4, 4, &[Coord::new(1, 1), Coord::new(1, 1)])
+                .chiplet(
+                    Coord::new(0, 0),
+                    4,
+                    4,
+                    &[Coord::new(1, 1), Coord::new(1, 1)]
+                )
                 .build(),
             Err(TopologyError::DuplicateVl { .. })
         ));
         assert!(matches!(
-            SystemBuilder::new(8, 8).chiplet(Coord::new(0, 0), 4, 4, &[]).build(),
+            SystemBuilder::new(8, 8)
+                .chiplet(Coord::new(0, 0), 4, 4, &[])
+                .build(),
             Err(TopologyError::NoVls { .. })
         ));
     }
@@ -498,45 +550,79 @@ mod tests {
     fn neighbors_respect_mesh_and_vl_structure() {
         let sys = two_chiplets();
         // Chiplet 0 corner (0,0): east + north only (no VL there).
-        let corner = sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(0, 0))).unwrap();
+        let corner = sys
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(0, 0),
+            ))
+            .unwrap();
         let dirs: Vec<Direction> = sys.neighbors(corner).into_iter().map(|(d, _)| d).collect();
         assert_eq!(dirs, vec![Direction::East, Direction::North]);
 
         // A boundary router also has Down.
         let vl = &sys.chiplet(ChipletId(0)).vertical_links()[0];
-        let dirs: Vec<Direction> =
-            sys.neighbors(vl.chiplet_node).into_iter().map(|(d, _)| d).collect();
+        let dirs: Vec<Direction> = sys
+            .neighbors(vl.chiplet_node)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect();
         assert!(dirs.contains(&Direction::Down));
         assert!(!dirs.contains(&Direction::Up));
 
         // The interposer router beneath it has Up.
-        let dirs: Vec<Direction> =
-            sys.neighbors(vl.interposer_node).into_iter().map(|(d, _)| d).collect();
+        let dirs: Vec<Direction> = sys
+            .neighbors(vl.interposer_node)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect();
         assert!(dirs.contains(&Direction::Up));
         assert!(!dirs.contains(&Direction::Down));
 
         // Chiplet meshes do not leak into each other horizontally.
-        let east_edge =
-            sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(3, 0))).unwrap();
+        let east_edge = sys
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(3, 0),
+            ))
+            .unwrap();
         assert_eq!(sys.neighbor(east_edge, Direction::East), None);
     }
 
     #[test]
     fn interposer_mesh_is_fully_connected() {
         let sys = two_chiplets();
-        let mid = sys.node_id(NodeAddr::new(Layer::Interposer, Coord::new(3, 1))).unwrap();
-        assert_eq!(sys.neighbors(mid).len(), 4 + usize::from(sys.vl_at_node(mid).is_some()));
+        let mid = sys
+            .node_id(NodeAddr::new(Layer::Interposer, Coord::new(3, 1)))
+            .unwrap();
+        assert_eq!(
+            sys.neighbors(mid).len(),
+            4 + usize::from(sys.vl_at_node(mid).is_some())
+        );
     }
 
     #[test]
     fn inter_chiplet_hops_matches_manual_count() {
         let sys = two_chiplets();
-        let src = sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), Coord::new(0, 0))).unwrap();
-        let dst = sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(1)), Coord::new(3, 3))).unwrap();
+        let src = sys
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(0, 0),
+            ))
+            .unwrap();
+        let dst = sys
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(1)),
+                Coord::new(3, 3),
+            ))
+            .unwrap();
         let down = &sys.chiplet(ChipletId(0)).vertical_links()[1]; // (3,2)
         let up = &sys.chiplet(ChipletId(1)).vertical_links()[0]; // (0,1) -> interposer (4,1)
+
         // src (0,0) -> (3,2): 5 hops; down: 1; interposer (3,2)->(4,1): 2; up: 1; (0,1)->(3,3): 5.
-        assert_eq!(sys.inter_chiplet_hops(src, down, up, dst), 5 + 1 + 2 + 1 + 5);
+        assert_eq!(
+            sys.inter_chiplet_hops(src, down, up, dst),
+            5 + 1 + 2 + 1 + 5
+        );
     }
 
     #[test]

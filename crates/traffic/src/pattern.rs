@@ -2,7 +2,7 @@
 
 use deft_topo::{ChipletSystem, NodeId};
 use rand::rngs::SmallRng;
-use rand::RngExt;
+use rand::Rng;
 
 /// A packet workload: per-node injection rates and destination
 /// distributions.
@@ -128,7 +128,11 @@ impl TableTraffic {
     /// Panics if the two tables have different lengths.
     pub fn new(name: impl Into<String>, rates: Vec<f64>, dists: Vec<Mixture>) -> Self {
         assert_eq!(rates.len(), dists.len(), "one mixture per node");
-        Self { name: name.into(), rates, dists }
+        Self {
+            name: name.into(),
+            rates,
+            dists,
+        }
     }
 
     /// Number of nodes covered.
@@ -175,8 +179,8 @@ impl TrafficPattern for TableTraffic {
         let Some(src_chiplet) = sys.chiplet_of(node) else {
             return 0.0; // interposer sources never descend
         };
-        let p_inter = self.dists[node.index()]
-            .probability(|dst| sys.chiplet_of(dst) != Some(src_chiplet));
+        let p_inter =
+            self.dists[node.index()].probability(|dst| sys.chiplet_of(dst) != Some(src_chiplet));
         self.injection_rate(node) * p_inter
     }
 }

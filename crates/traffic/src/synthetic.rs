@@ -23,8 +23,10 @@ fn all_other_nodes(sys: &ChipletSystem, node: NodeId) -> Vec<NodeId> {
 /// toward a uniformly random other node (Fig. 4(a)/(d)).
 pub fn uniform(sys: &ChipletSystem, rate: f64) -> TableTraffic {
     let rates = vec![rate; sys.node_count()];
-    let dists =
-        sys.nodes().map(|n| Mixture::uniform(all_other_nodes(sys, n))).collect();
+    let dists = sys
+        .nodes()
+        .map(|n| Mixture::uniform(all_other_nodes(sys, n)))
+        .collect();
     TableTraffic::new("Uniform", rates, dists)
 }
 
@@ -37,10 +39,14 @@ pub fn localized(sys: &ChipletSystem, rate: f64) -> TableTraffic {
         .nodes()
         .map(|n| {
             let here = sys.layer(n);
-            let local: Vec<NodeId> =
-                sys.nodes().filter(|&m| m != n && sys.layer(m) == here).collect();
-            let remote: Vec<NodeId> =
-                sys.nodes().filter(|&m| m != n && sys.layer(m) != here).collect();
+            let local: Vec<NodeId> = sys
+                .nodes()
+                .filter(|&m| m != n && sys.layer(m) == here)
+                .collect();
+            let remote: Vec<NodeId> = sys
+                .nodes()
+                .filter(|&m| m != n && sys.layer(m) != here)
+                .collect();
             let mut mix = Mixture::empty();
             mix.push(LOCALIZED_FRACTION, local);
             mix.push(1.0 - LOCALIZED_FRACTION, remote);
@@ -93,8 +99,14 @@ pub fn hotspot(sys: &ChipletSystem, rate: f64, hotspots: Option<Vec<NodeId>>) ->
 /// interposer grid (chiplet nodes project through their chiplet origin).
 fn footprint(sys: &ChipletSystem, node: NodeId) -> Coord {
     match sys.addr(node) {
-        NodeAddr { layer: Layer::Interposer, coord } => coord,
-        NodeAddr { layer: Layer::Chiplet(c), coord } => sys.chiplet(c).to_interposer(coord),
+        NodeAddr {
+            layer: Layer::Interposer,
+            coord,
+        } => coord,
+        NodeAddr {
+            layer: Layer::Chiplet(c),
+            coord,
+        } => sys.chiplet(c).to_interposer(coord),
     }
 }
 
@@ -105,13 +117,13 @@ fn node_at_footprint(sys: &ChipletSystem, layer_like: NodeId, fp: Coord) -> Opti
         Layer::Interposer => sys.node_id(NodeAddr::new(Layer::Interposer, fp)),
         Layer::Chiplet(_) => sys.chiplets().iter().find_map(|c| {
             let o = c.origin();
-            (fp.x >= o.x && fp.y >= o.y).then(|| Coord::new(fp.x - o.x, fp.y - o.y)).and_then(
-                |local| {
+            (fp.x >= o.x && fp.y >= o.y)
+                .then(|| Coord::new(fp.x - o.x, fp.y - o.y))
+                .and_then(|local| {
                     c.contains(local)
                         .then(|| sys.node_id(NodeAddr::new(Layer::Chiplet(c.id()), local)))
                         .flatten()
-                },
-            )
+                })
         }),
     }
 }

@@ -70,12 +70,22 @@ impl Trace {
         let horizon = events.iter().map(|e| e.cycle + 1).max().unwrap_or(1);
         for e in &events {
             let prev = index.insert((e.cycle, e.src.0), e.dst);
-            assert!(prev.is_none(), "duplicate trace event at cycle {} node {}", e.cycle, e.src);
+            assert!(
+                prev.is_none(),
+                "duplicate trace event at cycle {} node {}",
+                e.cycle,
+                e.src
+            );
             if let Some(r) = mean_rates.get_mut(e.src.index()) {
                 *r += 1.0 / horizon as f64;
             }
         }
-        Self { name: name.into(), events, index, mean_rates }
+        Self {
+            name: name.into(),
+            events,
+            index,
+            mean_rates,
+        }
     }
 
     /// Records `cycles` cycles of `pattern` on `sys`, drawing events with
@@ -97,7 +107,11 @@ impl Trace {
                 }
             }
         }
-        Self::new(format!("trace({})", pattern.name()), events, sys.node_count())
+        Self::new(
+            format!("trace({})", pattern.name()),
+            events,
+            sys.node_count(),
+        )
     }
 
     /// Number of recorded events.
@@ -166,7 +180,11 @@ impl Trace {
                     reason: format!("node id out of range (< {node_count})"),
                 });
             }
-            events.push(TraceEvent { cycle, src: NodeId(src as u32), dst: NodeId(dst as u32) });
+            events.push(TraceEvent {
+                cycle,
+                src: NodeId(src as u32),
+                dst: NodeId(dst as u32),
+            });
         }
         Ok(Trace::new(name, events, node_count))
     }
@@ -242,7 +260,10 @@ mod tests {
     fn parse_rejects_malformed_lines() {
         assert!(Trace::from_text("1 2", 128).is_err());
         assert!(Trace::from_text("x 2 3", 128).is_err());
-        assert!(Trace::from_text("1 999 3", 128).is_err(), "node id out of range");
+        assert!(
+            Trace::from_text("1 999 3", 128).is_err(),
+            "node id out of range"
+        );
         let e = Trace::from_text("5 1", 128).unwrap_err();
         assert_eq!(e.line, 1);
         assert!(e.to_string().contains("missing dst"));
@@ -253,15 +274,34 @@ mod tests {
         let t = Trace::from_text("# deft-trace mytrace\n\n10 0 5\n", 128).unwrap();
         assert_eq!(t.name(), "mytrace");
         assert_eq!(t.len(), 1);
-        assert_eq!(t.events()[0], TraceEvent { cycle: 10, src: NodeId(0), dst: NodeId(5) });
+        assert_eq!(
+            t.events()[0],
+            TraceEvent {
+                cycle: 10,
+                src: NodeId(0),
+                dst: NodeId(5)
+            }
+        );
     }
 
     #[test]
     fn mean_rates_reflect_event_density() {
         let events = vec![
-            TraceEvent { cycle: 0, src: NodeId(3), dst: NodeId(4) },
-            TraceEvent { cycle: 5, src: NodeId(3), dst: NodeId(7) },
-            TraceEvent { cycle: 9, src: NodeId(0), dst: NodeId(1) },
+            TraceEvent {
+                cycle: 0,
+                src: NodeId(3),
+                dst: NodeId(4),
+            },
+            TraceEvent {
+                cycle: 5,
+                src: NodeId(3),
+                dst: NodeId(7),
+            },
+            TraceEvent {
+                cycle: 9,
+                src: NodeId(0),
+                dst: NodeId(1),
+            },
         ];
         let t = Trace::new("t", events, 16);
         assert!((t.injection_rate(NodeId(3)) - 0.2).abs() < 1e-12);

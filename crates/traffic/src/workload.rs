@@ -11,7 +11,7 @@ use crate::apps::AppProfile;
 use crate::pattern::{Mixture, TableTraffic};
 use deft_topo::{ChipletId, ChipletSystem, Coord, Layer, NodeAddr, NodeId};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// The eight memory nodes of the paper's system: four coherence
 /// directories (interposer corners) and four shared L2 banks (interposer
@@ -84,9 +84,14 @@ pub fn build(
     let mut app_cores: Vec<Vec<NodeId>> = Vec::with_capacity(assignments.len());
 
     for (profile, chiplets) in assignments {
-        assert!(!chiplets.is_empty(), "application must own at least one chiplet");
-        let cores: Vec<NodeId> =
-            chiplets.iter().flat_map(|&c| sys.chiplet_nodes(c)).collect();
+        assert!(
+            !chiplets.is_empty(),
+            "application must own at least one chiplet"
+        );
+        let cores: Vec<NodeId> = chiplets
+            .iter()
+            .flat_map(|&c| sys.chiplet_nodes(c))
+            .collect();
         // Draw skewed per-core rates, then renormalize so the application's
         // total offered load is exactly `rate * cores`: skew redistributes
         // load across cores without changing the aggregate.
@@ -189,7 +194,10 @@ mod tests {
                 total += r;
             }
         }
-        assert!((total - fa.rate * 64.0).abs() < 1e-9, "normalized aggregate load");
+        assert!(
+            (total - fa.rate * 64.0).abs() < 1e-9,
+            "normalized aggregate load"
+        );
     }
 
     #[test]
@@ -209,7 +217,10 @@ mod tests {
         let p_forbidden = t.mixture(src).probability(|d| {
             !mem.contains(&d) && matches!(s.chiplet_of(d), Some(c) if c.index() >= 2)
         });
-        assert_eq!(p_forbidden, 0.0, "app A core leaks traffic into app B cores");
+        assert_eq!(
+            p_forbidden, 0.0,
+            "app A core leaks traffic into app B cores"
+        );
     }
 
     #[test]
@@ -221,11 +232,18 @@ mod tests {
         let mem = memory_nodes(&s);
         for &m in &mem {
             assert!(t.injection_rate(m) > 0.0, "memory node {m} is silent");
-            let p_a = t.mixture(m).probability(|d| matches!(s.chiplet_of(d), Some(c) if c.index() < 2));
-            let p_b = t.mixture(m).probability(|d| matches!(s.chiplet_of(d), Some(c) if c.index() >= 2));
+            let p_a = t
+                .mixture(m)
+                .probability(|d| matches!(s.chiplet_of(d), Some(c) if c.index() < 2));
+            let p_b = t
+                .mixture(m)
+                .probability(|d| matches!(s.chiplet_of(d), Some(c) if c.index() >= 2));
             assert!(p_a > 0.0 && p_b > 0.0);
             // ST is the heavier app; its share of responses must dominate.
-            assert!(p_a > p_b, "responses should be proportional to request mass");
+            assert!(
+                p_a > p_b,
+                "responses should be proportional to request mass"
+            );
         }
     }
 
@@ -241,7 +259,10 @@ mod tests {
                 3,
             );
             let load = t.offered_load();
-            assert!(load > last, "{a}+{b} load {load} must exceed previous {last}");
+            assert!(
+                load > last,
+                "{a}+{b} load {load} must exceed previous {last}"
+            );
             last = load;
         }
     }
@@ -256,7 +277,9 @@ mod tests {
             assert_eq!(t1.injection_rate(n), t2.injection_rate(n));
         }
         let t3 = single_app(&s, de, 10);
-        assert!(s.nodes().any(|n| t1.injection_rate(n) != t3.injection_rate(n)));
+        assert!(s
+            .nodes()
+            .any(|n| t1.injection_rate(n) != t3.injection_rate(n)));
     }
 
     #[test]

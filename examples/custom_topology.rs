@@ -15,10 +15,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Coord::new(0, 0),
             4,
             4,
-            &[Coord::new(1, 3), Coord::new(3, 2), Coord::new(2, 0), Coord::new(0, 1)],
+            &[
+                Coord::new(1, 3),
+                Coord::new(3, 2),
+                Coord::new(2, 0),
+                Coord::new(0, 1),
+            ],
         )
-        .chiplet(Coord::new(4, 0), 4, 4, &[Coord::new(0, 2), Coord::new(3, 1)])
-        .chiplet(Coord::new(8, 0), 2, 4, &[Coord::new(0, 0), Coord::new(1, 3)])
+        .chiplet(
+            Coord::new(4, 0),
+            4,
+            4,
+            &[Coord::new(0, 2), Coord::new(3, 1)],
+        )
+        .chiplet(
+            Coord::new(8, 0),
+            2,
+            4,
+            &[Coord::new(0, 0), Coord::new(1, 3)],
+        )
         .build()?;
     println!(
         "custom system: {} chiplets, {} nodes, {} vertical links",
@@ -37,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cdg.edge_count(),
         cdg.has_cycle()
     );
-    assert!(!cdg.has_cycle(), "DeFT must be deadlock-free on any 2.5D system");
+    assert!(
+        !cdg.has_cycle(),
+        "DeFT must be deadlock-free on any 2.5D system"
+    );
 
     // Without VN separation the very same topology deadlocks:
     let naive = ChannelDependencyGraph::build_single_vn(&sys, &deft, &FaultState::none(&sys));
@@ -45,9 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Simulate localized traffic on the custom system.
     let pattern = localized(&sys, 0.004);
-    let cfg = SimConfig { warmup: 500, measure: 4_000, ..SimConfig::default() };
-    let report =
-        Simulator::new(&sys, FaultState::none(&sys), Box::new(deft), &pattern, cfg).run();
+    let cfg = SimConfig {
+        warmup: 500,
+        measure: 4_000,
+        ..SimConfig::default()
+    };
+    let report = Simulator::new(&sys, FaultState::none(&sys), Box::new(deft), &pattern, cfg).run();
     println!(
         "simulated: avg latency {:.1} cycles, delivered {:.1}%, deadlocked: {}",
         report.avg_latency,
@@ -57,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fault tolerance still holds: kill one VL of the 2-VL chiplet.
     let mut faults = FaultState::none(&sys);
-    faults.inject(VlLinkId { chiplet: ChipletId(1), index: 0, dir: VlDir::Down });
+    faults.inject(VlLinkId {
+        chiplet: ChipletId(1),
+        index: 0,
+        dir: VlDir::Down,
+    });
     let engine = ReachabilityEngine::new(&sys, &DeftRouting::new(&sys));
     println!(
         "reachability with one faulty VL on the 2-VL chiplet: {:.1}%",

@@ -13,10 +13,22 @@ fn main() {
     // eligible VL, while DeFT re-routes through the west-half VLs.
     let mut faults = FaultState::none(&sys);
     for (index, dir) in [(1u8, VlDir::Down), (2, VlDir::Down)] {
-        faults.inject(VlLinkId { chiplet: ChipletId(0), index, dir });
+        faults.inject(VlLinkId {
+            chiplet: ChipletId(0),
+            index,
+            dir,
+        });
     }
-    faults.inject(VlLinkId { chiplet: ChipletId(3), index: 0, dir: VlDir::Up });
-    faults.inject(VlLinkId { chiplet: ChipletId(1), index: 3, dir: VlDir::Up });
+    faults.inject(VlLinkId {
+        chiplet: ChipletId(3),
+        index: 0,
+        dir: VlDir::Up,
+    });
+    faults.inject(VlLinkId {
+        chiplet: ChipletId(1),
+        index: 3,
+        dir: VlDir::Up,
+    });
     println!("injected faults:");
     for l in faults.links() {
         println!("  {l}");
@@ -38,7 +50,11 @@ fn main() {
 
     println!("\nsimulated under uniform traffic (dropped = unroutable packets):");
     let pattern = uniform(&sys, 0.003);
-    let cfg = SimConfig { warmup: 500, measure: 3_000, ..SimConfig::default() };
+    let cfg = SimConfig {
+        warmup: 500,
+        measure: 3_000,
+        ..SimConfig::default()
+    };
     for algo in ["DeFT", "MTR", "RC"] {
         let boxed: Box<dyn RoutingAlgorithm> = match algo {
             "DeFT" => Box::new(DeftRouting::new(&sys)),

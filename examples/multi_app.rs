@@ -19,7 +19,11 @@ fn main() {
         traffic.offered_load()
     );
 
-    let cfg = SimConfig { warmup: 1_000, measure: 6_000, ..SimConfig::default() };
+    let cfg = SimConfig {
+        warmup: 1_000,
+        measure: 6_000,
+        ..SimConfig::default()
+    };
     let mut latencies = Vec::new();
     for name in ["DeFT", "MTR", "RC"] {
         let algo: Box<dyn RoutingAlgorithm> = match name {
@@ -27,8 +31,7 @@ fn main() {
             "MTR" => Box::new(MtrRouting::new(&sys)),
             _ => Box::new(RcRouting::new(&sys)),
         };
-        let report =
-            Simulator::new(&sys, FaultState::none(&sys), algo, &traffic, cfg).run();
+        let report = Simulator::new(&sys, FaultState::none(&sys), algo, &traffic, cfg).run();
         println!(
             "  {:>5}: avg latency {:>7.1} cycles, delivered {:>5.1}%, deadlocked: {}",
             name,
@@ -60,8 +63,10 @@ fn main() {
             "DeFT" => Box::new(DeftRouting::new(&sys)),
             _ => Box::new(MtrRouting::new(&sys)),
         };
-        let report =
-            Simulator::new(&sys, FaultState::none(&sys), algo, &traffic, cfg).run();
-        println!("  {:>5}: avg latency {:>7.1} cycles", name, report.avg_latency);
+        let report = Simulator::new(&sys, FaultState::none(&sys), algo, &traffic, cfg).run();
+        println!(
+            "  {:>5}: avg latency {:>7.1} cycles",
+            name, report.avg_latency
+        );
     }
 }

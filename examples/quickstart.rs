@@ -23,17 +23,27 @@ fn main() {
     // Uniform random traffic at 0.004 packets/cycle/node.
     let pattern = uniform(&sys, 0.004);
 
-    let cfg = SimConfig { warmup: 1_000, measure: 5_000, ..SimConfig::default() };
-    let report =
-        Simulator::new(&sys, FaultState::none(&sys), Box::new(deft), &pattern, cfg).run();
+    let cfg = SimConfig {
+        warmup: 1_000,
+        measure: 5_000,
+        ..SimConfig::default()
+    };
+    let report = Simulator::new(&sys, FaultState::none(&sys), Box::new(deft), &pattern, cfg).run();
 
     println!("algorithm:        {}", report.algorithm);
     println!("pattern:          {}", report.pattern);
     println!("packets measured: {}", report.injected_measured);
-    println!("delivered:        {} ({:.1}%)", report.delivered, 100.0 * report.delivery_ratio());
+    println!(
+        "delivered:        {} ({:.1}%)",
+        report.delivered,
+        100.0 * report.delivery_ratio()
+    );
     println!("avg latency:      {:.1} cycles", report.avg_latency);
     println!("max latency:      {} cycles", report.max_latency);
-    println!("throughput:       {:.4} flits/cycle/node", report.throughput);
+    println!(
+        "throughput:       {:.4} flits/cycle/node",
+        report.throughput
+    );
     println!("deadlocked:       {}", report.deadlocked);
 
     println!("\nVC utilization per region (paper Fig. 5):");

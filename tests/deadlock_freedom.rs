@@ -32,7 +32,11 @@ fn deft_cdg_stays_acyclic_under_heavy_faults() {
         (3, 2, VlDir::Down),
         (3, 3, VlDir::Up),
     ] {
-        faults.inject(VlLinkId { chiplet: ChipletId(c), index: i, dir: d });
+        faults.inject(VlLinkId {
+            chiplet: ChipletId(c),
+            index: i,
+            dir: d,
+        });
     }
     let deft = DeftRouting::new(&sys);
     let cdg = ChannelDependencyGraph::build(&sys, &deft, &faults);
@@ -45,7 +49,10 @@ fn the_fig1_cycle_exists_without_vn_separation() {
     let deft = DeftRouting::distance_based(&sys);
     let cdg = ChannelDependencyGraph::build_single_vn(&sys, &deft, &FaultState::none(&sys));
     let cycle = cdg.find_cycle().expect("single-VC 2.5D networks deadlock");
-    assert!(cycle.iter().any(|c| c.dir.is_vertical()), "inter-chiplet cycle expected");
+    assert!(
+        cycle.iter().any(|c| c.dir.is_vertical()),
+        "inter-chiplet cycle expected"
+    );
 }
 
 #[test]
@@ -130,7 +137,10 @@ impl RoutingAlgorithm for RingRouting {
     }
 
     fn eligibility(&self, _sys: &ChipletSystem, _src: NodeId, _dst: NodeId) -> FlowEligibility {
-        FlowEligibility { down: None, up: None }
+        FlowEligibility {
+            down: None,
+            up: None,
+        }
     }
 
     fn flow_choices(
@@ -156,7 +166,10 @@ fn the_watchdog_catches_a_cyclic_routing_function() {
     ];
     let ids: Vec<NodeId> = ring
         .iter()
-        .map(|&c| sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), c)).unwrap())
+        .map(|&c| {
+            sys.node_id(NodeAddr::new(Layer::Chiplet(ChipletId(0)), c))
+                .unwrap()
+        })
         .collect();
     let n = sys.node_count();
     let mut rates = vec![0.0; n];
@@ -174,7 +187,16 @@ fn the_watchdog_catches_a_cyclic_routing_function() {
         deadlock_threshold: 500,
         ..SimConfig::default()
     };
-    let report =
-        Simulator::new(&sys, FaultState::none(&sys), Box::new(RingRouting), &pattern, cfg).run();
-    assert!(report.deadlocked, "the ring workload must deadlock under cyclic routing");
+    let report = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Box::new(RingRouting),
+        &pattern,
+        cfg,
+    )
+    .run();
+    assert!(
+        report.deadlocked,
+        "the ring workload must deadlock under cyclic routing"
+    );
 }

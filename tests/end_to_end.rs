@@ -9,7 +9,13 @@ use deft_power::{table1, RouterParams, Tech45nm};
 fn fig4_uniform_quick_panel_is_sane() {
     let sys = ChipletSystem::baseline_4();
     let cfg = ExpConfig::quick();
-    let sweep = fig4(&sys, SynPattern::Uniform, &[0.002, 0.006], &Algo::MAIN, &cfg);
+    let sweep = fig4(
+        &sys,
+        SynPattern::Uniform,
+        &[0.002, 0.006],
+        &Algo::MAIN,
+        &cfg,
+    );
     assert_eq!(sweep.curves.len(), 3);
     for c in &sweep.curves {
         assert_eq!(c.points.len(), 2);
@@ -35,7 +41,12 @@ fn fig5_regions_cover_the_whole_system() {
     // Paper: Uniform/Localized balance within a fraction of a percent at
     // full windows; allow slack for the quick config.
     for r in &rows {
-        assert!((r.vc0_percent - 50.0).abs() < 10.0, "{}: {}%", r.region, r.vc0_percent);
+        assert!(
+            (r.vc0_percent - 50.0).abs() < 10.0,
+            "{}: {}%",
+            r.region,
+            r.vc0_percent
+        );
     }
 }
 
@@ -80,7 +91,10 @@ fn table1_reproduces_the_overhead_claims() {
     assert!(deft.norm_area < 1.02);
     assert!(deft.norm_power < 1.01);
     let rc_b = rows.iter().find(|r| r.variant == "RC bndry").unwrap();
-    assert!(rc_b.norm_area > 1.10, "RC boundary router pays for the RC-buffer");
+    assert!(
+        rc_b.norm_area > 1.10,
+        "RC boundary router pays for the RC-buffer"
+    );
 }
 
 #[test]
@@ -89,7 +103,11 @@ fn six_chiplet_system_runs_end_to_end() {
     let cfg = ExpConfig::quick();
     let sweep = fig4(&sys, SynPattern::Uniform, &[0.003], &Algo::MAIN, &cfg);
     for c in &sweep.curves {
-        assert!(c.points[0].1 > 0.0, "{} produced no traffic on 6 chiplets", c.algorithm);
+        assert!(
+            c.points[0].1 > 0.0,
+            "{} produced no traffic on 6 chiplets",
+            c.algorithm
+        );
     }
 }
 
@@ -102,7 +120,11 @@ fn traffic_aware_optimization_does_not_regress() {
     let st = AppProfile::by_abbrev("ST").unwrap();
     let fl = AppProfile::by_abbrev("FL").unwrap();
     let traffic = multi_app(&sys, st, fl, 9);
-    let cfg = SimConfig { warmup: 300, measure: 2_000, ..SimConfig::default() };
+    let cfg = SimConfig {
+        warmup: 300,
+        measure: 2_000,
+        ..SimConfig::default()
+    };
 
     let plain = Simulator::new(
         &sys,

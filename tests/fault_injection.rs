@@ -4,7 +4,13 @@ use deft::prelude::*;
 use deft_topo::ScenarioSampler;
 
 fn quick_cfg(seed: u64) -> SimConfig {
-    SimConfig { warmup: 300, measure: 2_000, drain: 30_000, seed, ..SimConfig::default() }
+    SimConfig {
+        warmup: 300,
+        measure: 2_000,
+        drain: 30_000,
+        seed,
+        ..SimConfig::default()
+    }
 }
 
 #[test]
@@ -62,10 +68,19 @@ fn fig8_ablation_optimized_selection_beats_distance_based_under_faults() {
     let sys = ChipletSystem::baseline_4();
     let mut faults = FaultState::none(&sys);
     for c in 0..4u8 {
-        faults.inject(VlLinkId { chiplet: ChipletId(c), index: c, dir: VlDir::Down });
+        faults.inject(VlLinkId {
+            chiplet: ChipletId(c),
+            index: c,
+            dir: VlDir::Down,
+        });
     }
     let pattern = uniform(&sys, 0.006);
-    let cfg = SimConfig { warmup: 500, measure: 4_000, drain: 40_000, ..SimConfig::default() };
+    let cfg = SimConfig {
+        warmup: 500,
+        measure: 4_000,
+        drain: 40_000,
+        ..SimConfig::default()
+    };
     let opt = Simulator::new(
         &sys,
         faults.clone(),
@@ -98,7 +113,11 @@ fn vl_loads_are_balanced_by_the_optimizer() {
     let sys = ChipletSystem::baseline_4();
     let mut faults = FaultState::none(&sys);
     for c in 0..4u8 {
-        faults.inject(VlLinkId { chiplet: ChipletId(c), index: 0, dir: VlDir::Down });
+        faults.inject(VlLinkId {
+            chiplet: ChipletId(c),
+            index: 0,
+            dir: VlDir::Down,
+        });
     }
     let pattern = uniform(&sys, 0.005);
     let cfg = quick_cfg(7);
@@ -143,8 +162,16 @@ fn up_and_down_faults_are_independent() {
     // and vice versa.
     let sys = ChipletSystem::baseline_4();
     let mut faults = FaultState::none(&sys);
-    faults.inject(VlLinkId { chiplet: ChipletId(0), index: 1, dir: VlDir::Down });
-    faults.inject(VlLinkId { chiplet: ChipletId(2), index: 3, dir: VlDir::Up });
+    faults.inject(VlLinkId {
+        chiplet: ChipletId(0),
+        index: 1,
+        dir: VlDir::Down,
+    });
+    faults.inject(VlLinkId {
+        chiplet: ChipletId(2),
+        index: 3,
+        dir: VlDir::Up,
+    });
     let pattern = uniform(&sys, 0.005);
     let report = Simulator::new(
         &sys,

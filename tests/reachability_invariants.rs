@@ -6,10 +6,7 @@ use deft_topo::{FaultScenarios, ScenarioSampler};
 use proptest::prelude::*;
 
 fn arb_fault_state(max_faults: usize) -> impl Strategy<Value = Vec<(u8, u8, bool)>> {
-    prop::collection::vec(
-        (0u8..4, 0u8..4, prop::bool::ANY),
-        0..=max_faults,
-    )
+    prop::collection::vec((0u8..4, 0u8..4, prop::bool::ANY), 0..=max_faults)
 }
 
 fn to_state(sys: &ChipletSystem, raw: &[(u8, u8, bool)]) -> FaultState {

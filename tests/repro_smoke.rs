@@ -1,0 +1,66 @@
+//! Smoke tests for the `deft-repro` reproduction harness: the library entry
+//! on a tiny configuration, and the compiled binary end to end.
+
+use deft::prelude::*;
+use std::process::Command;
+
+/// Tiny-but-real run through the library entry the binary uses: baseline_4,
+/// short warmup/measure, DeFT routing, light uniform load.
+#[test]
+fn library_entry_delivers_without_deadlock() {
+    let sys = ChipletSystem::baseline_4();
+    let pattern = uniform(&sys, 0.003);
+    let cfg = SimConfig {
+        warmup: 200,
+        measure: 1_000,
+        drain: 15_000,
+        ..SimConfig::default()
+    };
+    let report = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Box::new(DeftRouting::new(&sys)),
+        &pattern,
+        cfg,
+    )
+    .run();
+    assert!(!report.deadlocked, "tiny baseline_4 run deadlocked");
+    assert!(
+        report.delivered > 0,
+        "tiny baseline_4 run delivered nothing"
+    );
+    assert_eq!(report.dropped_unroutable, 0);
+}
+
+/// The compiled `deft-repro` binary runs a fast experiment and prints its
+/// report table.
+#[test]
+fn repro_binary_runs_table1() {
+    let out = Command::new(env!("CARGO_BIN_EXE_deft-repro"))
+        .args(["--quick", "table1"])
+        .output()
+        .expect("deft-repro binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Table I"),
+        "missing Table I header in:\n{stdout}"
+    );
+}
+
+/// Unknown experiment names are rejected with a usage message and exit
+/// code 2 (so typos in scripts fail loudly, not silently).
+#[test]
+fn repro_binary_rejects_unknown_experiment() {
+    let out = Command::new(env!("CARGO_BIN_EXE_deft-repro"))
+        .arg("fig99")
+        .output()
+        .expect("deft-repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr was:\n{stderr}");
+}

@@ -2,6 +2,7 @@
 //! * Rule 1 — never switch VN1 → VN0;
 //! * Rule 2 — in VN0, never turn Up → Horizontal;
 //! * Rule 3 — in VN1, never turn Horizontal → Down;
+//!
 //! plus minimality (livelock freedom) and Algorithm 1's assignment cases.
 
 use deft::prelude::*;
@@ -83,10 +84,17 @@ fn deft_obeys_all_three_rules_on_every_flow() {
 fn deft_obeys_the_rules_under_faults() {
     let sys = ChipletSystem::baseline_4();
     let mut faults = FaultState::none(&sys);
-    for (c, i, d) in
-        [(0u8, 0u8, VlDir::Down), (1, 1, VlDir::Up), (2, 2, VlDir::Down), (3, 3, VlDir::Up)]
-    {
-        faults.inject(VlLinkId { chiplet: ChipletId(c), index: i, dir: d });
+    for (c, i, d) in [
+        (0u8, 0u8, VlDir::Down),
+        (1, 1, VlDir::Up),
+        (2, 2, VlDir::Down),
+        (3, 3, VlDir::Up),
+    ] {
+        faults.inject(VlLinkId {
+            chiplet: ChipletId(c),
+            index: i,
+            dir: d,
+        });
     }
     let mut deft = DeftRouting::new(&sys);
     for src in sys.nodes().step_by(11) {
@@ -162,7 +170,10 @@ fn algorithm_1_source_assignment_cases() {
         .unwrap();
     let far = sys.chiplet_nodes(ChipletId(3)).next().unwrap();
     for seq in 0..4 {
-        assert_eq!(deft.on_inject(&sys, &faults, src, far, seq).unwrap().vn, Vn::Vn0);
+        assert_eq!(
+            deft.on_inject(&sys, &faults, src, far, seq).unwrap().vn,
+            Vn::Vn0
+        );
     }
 }
 

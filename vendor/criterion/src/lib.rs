@@ -1,0 +1,167 @@
+//! Offline mini stand-in for `criterion`.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros
+//! with the call signatures this workspace's benches use. Measurement is a
+//! simple mean over `sample_size` timed runs after one warmup run — no
+//! statistics, plots, or baselines — so `cargo bench` works in a
+//! network-less container. Swap in the real `criterion = "0.5"` (with
+//! `harness = false`, already configured) for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Times `f` under `id`, printing one summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.default_sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed runs each benchmark in the group performs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group. (No-op in the shim; kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once per sample and records the elapsed wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Warmup run: not recorded.
+    f(&mut Bencher::default());
+    let mut bencher = Bencher::default();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no iterations)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let (min, max) = (
+        bencher.samples.iter().min().expect("non-empty"),
+        bencher.samples.iter().max().expect("non-empty"),
+    );
+    println!(
+        "{id:<48} mean {mean:>12.3?}   min {min:>12.3?}   max {max:>12.3?}   ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring criterion's macro of
+/// the same name. Command-line arguments (e.g. cargo's `--bench`) are
+/// accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_probe(c: &mut Criterion) {
+        c.bench_function("probe", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_function(String::from("inner"), |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    criterion_group!(probe_group, bench_probe);
+
+    #[test]
+    fn harness_runs_and_samples() {
+        probe_group();
+        let mut b = Bencher::default();
+        b.iter(|| 42);
+        b.iter(|| 43);
+        assert_eq!(b.samples.len(), 2);
+    }
+}

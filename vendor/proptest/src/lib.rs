@@ -1,0 +1,272 @@
+//! Offline mini stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses — the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! [`strategy::Strategy`] with `prop_map`/`prop_filter`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::bool::ANY`, and
+//! [`test_runner::ProptestConfig`] — on a deterministic per-test RNG.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: failing cases are reported but **not shrunk**, and generation is
+//! seeded from the test's name so runs are reproducible rather than
+//! entropy-driven. The macro surface matches, so swapping the real
+//! `proptest = "1"` back in requires no source changes.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `bool`-valued strategies.
+pub mod bool {
+    /// Strategy yielding `true` or `false` with equal probability.
+    pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced strategy modules, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs one property macro-expanded by [`proptest!`]: generates up to
+/// `cases` accepted inputs, skipping rejects (`prop_assume!` / filters) up
+/// to a bounded number of attempts.
+///
+/// This is an implementation detail of the macro, public so the expansion
+/// can reach it.
+pub fn run_property<F>(config: test_runner::ProptestConfig, test_path: &str, mut one_case: F)
+where
+    F: FnMut(&mut test_runner::TestRng, u64) -> test_runner::TestCaseResult,
+{
+    let target = config.cases.max(1);
+    let max_attempts = (target as u64).saturating_mul(20).max(1024);
+    let mut accepted = 0u32;
+    for attempt in 0..max_attempts {
+        let mut rng = test_runner::TestRng::deterministic(test_path, attempt);
+        match one_case(&mut rng, attempt) {
+            Ok(()) => {
+                accepted += 1;
+                if accepted >= target {
+                    return;
+                }
+            }
+            Err(test_runner::TestCaseError::Reject(_)) => {}
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest property {test_path} failed on attempt {attempt} \
+                     (deterministic; re-run reproduces it): {msg}"
+                );
+            }
+        }
+    }
+    panic!(
+        "proptest property {test_path}: only {accepted}/{target} cases accepted \
+         after {max_attempts} attempts — assumptions/filters reject too much"
+    );
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// // Inside a test module each `fn` would carry `#[test]`; the attribute is
+/// // forwarded verbatim. Without it the property is a plain function, which
+/// // lets this doctest invoke it directly.
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng, _attempt| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(&($strat), rng)?;
+                        )+
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (with
+/// an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` ({})\n  both: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a failure)
+/// when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_honor_bounds(x in 3u8..17, y in 0u64..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((0.25..0.75).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (1u8..=3, 1u8..=2).prop_map(|(a, b)| (a as u32) * 10 + b as u32)
+        ) {
+            prop_assert!((11..=32).contains(&pair));
+        }
+
+        #[test]
+        fn vec_strategy_honors_size(
+            v in crate::collection::vec((0u8..4, crate::bool::ANY), 2..=5)
+        ) {
+            prop_assert!((2..=5).contains(&v.len()));
+            for (n, _flag) in v {
+                prop_assert!(n < 4);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("t", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("t", 4);
+        assert_ne!(
+            crate::test_runner::TestRng::deterministic("t", 3).next_u64(),
+            c.next_u64()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reject too much")]
+    fn impossible_assumption_panics_with_diagnosis() {
+        crate::run_property(
+            ProptestConfig::with_cases(4),
+            "impossible",
+            |_rng, _attempt| {
+                prop_assume!(false);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on attempt")]
+    fn failing_property_panics() {
+        crate::run_property(ProptestConfig::with_cases(4), "failing", |rng, _attempt| {
+            let v = Strategy::generate(&(0u8..4), rng)?;
+            prop_assert!(v >= 4, "v = {}", v);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,166 @@
+//! The [`Strategy`] trait and the primitive strategies this workspace uses.
+
+use crate::test_runner::{TestCaseError, TestRng};
+use core::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// produces a final value directly. `Err(Reject)` signals a filtered-out
+/// case, which the runner skips.
+pub trait Strategy {
+    /// Type of value this strategy generates.
+    type Value;
+
+    /// Generates one value (or rejects the case).
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values for which `f` returns false. `whence` names
+    /// the filter in rejection diagnostics.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+// Strategies are generated through `&strat` in the macro expansion, so a
+// blanket impl over references keeps owned and borrowed forms equivalent.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Result<O, TestCaseError> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+        let v = self.inner.generate(rng)?;
+        if (self.f)(&v) {
+            Ok(v)
+        } else {
+            Err(TestCaseError::Reject(self.whence))
+        }
+    }
+}
+
+/// Strategy for a fair coin; use via [`bool::ANY`](crate::bool::ANY).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> Result<bool, TestCaseError> {
+        Ok(rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Ok((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return Ok(rng.next_u64() as $t);
+                }
+                Ok((lo as i128 + rng.below(span + 1) as i128) as $t)
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Result<f64, TestCaseError> {
+        assert!(self.start < self.end, "empty strategy range");
+        Ok(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> Result<f32, TestCaseError> {
+        assert!(self.start < self.end, "empty strategy range");
+        Ok(self.start + (rng.unit_f64() as f32) * (self.end - self.start))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                let ($($name,)+) = self;
+                Ok(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);

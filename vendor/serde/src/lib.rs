@@ -1,0 +1,59 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides `Serialize`/`Deserialize` as marker traits with blanket impls and
+//! re-exports the no-op derive macros, so `#[derive(Serialize, Deserialize)]`
+//! across the workspace compiles without crates.io access. No code in the
+//! workspace currently serializes anything; when that changes, replace this
+//! shim with the real `serde = { version = "1", features = ["derive"] }`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        a: u32,
+        b: String,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    enum ProbeEnum {
+        Unit,
+        Tuple(u8, u8),
+        Named { x: f64 },
+    }
+
+    fn assert_serialize<T: Serialize>() {}
+
+    #[test]
+    fn derives_compile_and_traits_are_blanket() {
+        assert_serialize::<Probe>();
+        assert_serialize::<ProbeEnum>();
+        assert_serialize::<Vec<Probe>>();
+        let p = Probe {
+            a: 1,
+            b: "x".into(),
+        };
+        assert_eq!(
+            p,
+            Probe {
+                a: 1,
+                b: "x".into()
+            }
+        );
+    }
+}
