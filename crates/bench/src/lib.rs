@@ -5,6 +5,13 @@
 //! kernel of that experiment with Criterion. The full-resolution regenerated
 //! data lives in `EXPERIMENTS.md`; benches use the quick configuration to
 //! keep `cargo bench` affordable.
+//!
+//! ## Data flow
+//!
+//! The top of the workspace: benches call only the `deft` facade's
+//! experiment API (which fans each figure's run grid out through the
+//! campaign runner) and render through `deft::report`, so a bench measures
+//! exactly what `deft-repro` executes.
 
 use deft::experiments::ExpConfig;
 use std::sync::Once;

@@ -1,24 +1,53 @@
 //! `deft-repro` — regenerate every table and figure of the DeFT paper.
 //!
 //! ```text
-//! deft-repro [--quick] [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|all]
+//! deft-repro [--quick] [--jobs N] [--out text|csv] \
+//!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|all]
 //! ```
 //!
-//! `--quick` shortens the simulation windows (same structure, noisier
-//! numbers); the default full windows are what `EXPERIMENTS.md` records.
+//! * `--quick` shortens the simulation windows (same structure, noisier
+//!   numbers); the default full windows are what `EXPERIMENTS.md` records.
+//! * `--jobs N` fans each experiment's run grid out over `N` worker
+//!   threads (default: available parallelism). Output is byte-identical
+//!   for every `N` — per-run seeds derive from the grid position, and the
+//!   campaign runner merges in grid order — so `--jobs 1` is the serial
+//!   cross-check, not a different experiment.
+//! * `--out csv` emits machine-readable CSV blocks (each prefixed with a
+//!   `# title` comment line) instead of the aligned text tables.
 
 use deft::experiments::{
-    fig4, fig5, fig6_pairs, fig6_single, fig7, fig8, rho_ablation, scaling_study, Algo, ExpConfig,
-    SynPattern,
+    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_jobs, fig8, rho_ablation_jobs, scaling_study,
+    table1_campaign_jobs, Algo, ExpConfig, SynPattern,
 };
 use deft::report::{
-    render_app_improvements, render_latency_sweep, render_reachability, render_rho_ablation,
-    render_scaling, render_table1, render_vc_util,
+    app_improvements_csv, latency_sweep_csv, reachability_csv, render_app_improvements,
+    render_latency_sweep, render_reachability, render_rho_ablation, render_scaling, render_table1,
+    render_vc_util, rho_ablation_csv, scaling_csv, table1_csv, vc_util_csv,
 };
-use deft_power::{table1, RouterParams, Tech45nm};
+use deft_power::{RouterParams, Tech45nm};
 use deft_topo::{ChipletId, ChipletSystem, FaultState, VlDir, VlLinkId};
 
-fn run_fig4(cfg: &ExpConfig) {
+/// Output format of the report blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Out {
+    /// Aligned, human-readable tables (the default).
+    Text,
+    /// CSV blocks, each prefixed with a `# title` comment line.
+    Csv,
+}
+
+impl Out {
+    /// Emits one report block: `render` in text mode, `# title` + `csv`
+    /// in CSV mode.
+    fn emit(self, title: &str, render: impl FnOnce() -> String, csv: impl FnOnce() -> String) {
+        match self {
+            Out::Text => print!("{}", render()),
+            Out::Csv => print!("# {title}\n{}", csv()),
+        }
+    }
+}
+
+fn run_fig4(cfg: &ExpConfig, out: Out) {
     let sys4 = ChipletSystem::baseline_4();
     for pattern in [
         SynPattern::Uniform,
@@ -26,54 +55,72 @@ fn run_fig4(cfg: &ExpConfig) {
         SynPattern::Hotspot,
     ] {
         let sweep = fig4(&sys4, pattern, &pattern.paper_rates(), &Algo::MAIN, cfg);
-        print!("{}", render_latency_sweep(&sweep));
+        out.emit(
+            &sweep.title,
+            || render_latency_sweep(&sweep),
+            || latency_sweep_csv(&sweep),
+        );
     }
     let sys6 = ChipletSystem::baseline_6();
     let rates6 = [0.001, 0.002, 0.003, 0.004, 0.005, 0.006];
     let sweep = fig4(&sys6, SynPattern::Uniform, &rates6, &Algo::MAIN, cfg);
-    print!("{}", render_latency_sweep(&sweep));
+    out.emit(
+        &sweep.title,
+        || render_latency_sweep(&sweep),
+        || latency_sweep_csv(&sweep),
+    );
 }
 
-fn run_fig5(cfg: &ExpConfig) {
+fn run_fig5(cfg: &ExpConfig, out: Out) {
     let sys = ChipletSystem::baseline_4();
-    for pattern in [
+    let patterns = [
         SynPattern::Uniform,
         SynPattern::Localized,
         SynPattern::Hotspot,
-    ] {
-        let rows = fig5(&sys, pattern, 0.004, cfg);
-        print!("{}", render_vc_util(pattern.name(), &rows));
+    ];
+    for (pattern, rows) in fig5_panels(&sys, &patterns, 0.004, cfg) {
+        out.emit(
+            &format!("VC utilization: {}", pattern.name()),
+            || render_vc_util(pattern.name(), &rows),
+            || vc_util_csv(&rows),
+        );
     }
 }
 
-fn run_fig6(cfg: &ExpConfig) {
+fn run_fig6(cfg: &ExpConfig, out: Out) {
     let sys = ChipletSystem::baseline_4();
     let single = fig6_single(&sys, cfg);
-    print!(
-        "{}",
-        render_app_improvements("single application (Fig. 6a)", &single)
+    out.emit(
+        "Latency improvement: single application (Fig. 6a)",
+        || render_app_improvements("single application (Fig. 6a)", &single),
+        || app_improvements_csv(&single),
     );
     let pairs = fig6_pairs(&sys, cfg);
-    print!(
-        "{}",
-        render_app_improvements("two applications (Fig. 6b)", &pairs)
+    out.emit(
+        "Latency improvement: two applications (Fig. 6b)",
+        || render_app_improvements("two applications (Fig. 6b)", &pairs),
+        || app_improvements_csv(&pairs),
     );
 }
 
-fn run_fig7() {
+fn run_fig7(jobs: usize, out: Out) {
     let sys4 = ChipletSystem::baseline_4();
-    print!(
-        "{}",
-        render_reachability("4 Chiplets (32 VLs)", &fig7(&sys4, 8))
+    let curves4 = fig7_jobs(&sys4, 8, jobs);
+    out.emit(
+        "Reachability: 4 Chiplets (32 VLs)",
+        || render_reachability("4 Chiplets (32 VLs)", &curves4),
+        || reachability_csv(&curves4),
     );
     let sys6 = ChipletSystem::baseline_6();
-    print!(
-        "{}",
-        render_reachability("6 Chiplets (48 VLs)", &fig7(&sys6, 8))
+    let curves6 = fig7_jobs(&sys6, 8, jobs);
+    out.emit(
+        "Reachability: 6 Chiplets (48 VLs)",
+        || render_reachability("6 Chiplets (48 VLs)", &curves6),
+        || reachability_csv(&curves6),
     );
 }
 
-fn run_fig8(cfg: &ExpConfig) {
+fn run_fig8(cfg: &ExpConfig, out: Out) {
     let sys = ChipletSystem::baseline_4();
     let rates = [0.004, 0.005, 0.006, 0.007, 0.008];
     // 12.5% fault rate: 4 faulty unidirectional VLs, spread over chiplets.
@@ -98,7 +145,12 @@ fn run_fig8(cfg: &ExpConfig) {
         index: 3,
         dir: VlDir::Up,
     });
-    print!("{}", render_latency_sweep(&fig8(&sys, &f4, &rates, cfg)));
+    let sweep = fig8(&sys, &f4, &rates, cfg);
+    out.emit(
+        &sweep.title,
+        || render_latency_sweep(&sweep),
+        || latency_sweep_csv(&sweep),
+    );
 
     // 25% fault rate: 8 faulty unidirectional VLs, *concentrated* — two
     // down (or up) links of the same chiplet fail together, the regime
@@ -146,62 +198,133 @@ fn run_fig8(cfg: &ExpConfig) {
         dir: VlDir::Up,
     });
     let rates = [0.004, 0.005, 0.006, 0.007];
-    print!("{}", render_latency_sweep(&fig8(&sys, &f8, &rates, cfg)));
+    let sweep = fig8(&sys, &f8, &rates, cfg);
+    out.emit(
+        &sweep.title,
+        || render_latency_sweep(&sweep),
+        || latency_sweep_csv(&sweep),
+    );
 }
 
-fn run_rho() {
+fn run_rho(jobs: usize, out: Out) {
     let sys = ChipletSystem::baseline_4();
-    print!("{}", render_rho_ablation(&rho_ablation(&sys)));
+    let rows = rho_ablation_jobs(&sys, jobs);
+    out.emit(
+        "rho ablation",
+        || render_rho_ablation(&rows),
+        || rho_ablation_csv(&rows),
+    );
 }
 
-fn run_scaling(cfg: &ExpConfig) {
-    print!("{}", render_scaling(&scaling_study(0.003, 4, cfg)));
+fn run_scaling(cfg: &ExpConfig, out: Out) {
+    let rows = scaling_study(0.003, 4, cfg);
+    out.emit(
+        "scaling study",
+        || render_scaling(&rows),
+        || scaling_csv(&rows),
+    );
 }
 
-fn run_table1() {
-    let rows = table1(&RouterParams::paper_default(), &Tech45nm::default());
-    print!("{}", render_table1(&rows));
+fn run_table1(jobs: usize, out: Out) {
+    let rows = table1_campaign_jobs(&RouterParams::paper_default(), &Tech45nm::default(), jobs);
+    out.emit(
+        "Table I: router area and power",
+        || render_table1(&rows),
+        || table1_csv(&rows),
+    );
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: deft-repro [--quick] [--jobs N] [--out text|csv] \
+         [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|all]"
+    );
+    std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let cfg = if quick {
+    let mut quick = false;
+    let mut jobs: Option<usize> = None;
+    let mut out = Out::Text;
+    let mut what: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let parse_value = |flag: &str, arg: &str, it: &mut std::vec::IntoIter<String>| {
+            match arg.split_once('=') {
+                Some((_, v)) => Some(v.to_owned()),
+                None => it.next(),
+            }
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage_and_exit()
+            })
+        };
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--jobs" || arg.starts_with("--jobs=") {
+            let v = parse_value("--jobs", &arg, &mut it);
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs expects a positive integer, got {v:?}");
+                    usage_and_exit();
+                }
+            }
+        } else if arg == "--out" || arg.starts_with("--out=") {
+            let v = parse_value("--out", &arg, &mut it);
+            out = match v.as_str() {
+                "text" => Out::Text,
+                "csv" => Out::Csv,
+                other => {
+                    eprintln!("--out expects text or csv, got {other:?}");
+                    usage_and_exit();
+                }
+            };
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag {arg:?}");
+            usage_and_exit();
+        } else if let Some(first) = &what {
+            eprintln!("more than one experiment named: {first:?} and {arg:?}");
+            usage_and_exit();
+        } else {
+            what = Some(arg);
+        }
+    }
+
+    let base = if quick {
         ExpConfig::quick()
     } else {
         ExpConfig::full()
     };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let cfg = match jobs {
+        Some(n) => base.with_jobs(n),
+        None => base,
+    };
 
-    match what {
-        "fig4" => run_fig4(&cfg),
-        "fig5" => run_fig5(&cfg),
-        "fig6" => run_fig6(&cfg),
-        "fig7" => run_fig7(),
-        "fig8" => run_fig8(&cfg),
-        "table1" => run_table1(),
-        "rho" => run_rho(),
-        "scaling" => run_scaling(&cfg),
+    match what.as_deref().unwrap_or("all") {
+        "fig4" => run_fig4(&cfg, out),
+        "fig5" => run_fig5(&cfg, out),
+        "fig6" => run_fig6(&cfg, out),
+        "fig7" => run_fig7(cfg.jobs, out),
+        "fig8" => run_fig8(&cfg, out),
+        "table1" => run_table1(cfg.jobs, out),
+        "rho" => run_rho(cfg.jobs, out),
+        "scaling" => run_scaling(&cfg, out),
         "all" => {
-            run_fig4(&cfg);
-            run_fig5(&cfg);
-            run_fig6(&cfg);
-            run_fig7();
-            run_fig8(&cfg);
-            run_table1();
-            run_rho();
-            run_scaling(&cfg);
+            run_fig4(&cfg, out);
+            run_fig5(&cfg, out);
+            run_fig6(&cfg, out);
+            run_fig7(cfg.jobs, out);
+            run_fig8(&cfg, out);
+            run_table1(cfg.jobs, out);
+            run_rho(cfg.jobs, out);
+            run_scaling(&cfg, out);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!(
-                "usage: deft-repro [--quick] [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|all]"
-            );
-            std::process::exit(2);
+            usage_and_exit();
         }
     }
 }

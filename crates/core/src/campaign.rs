@@ -1,0 +1,282 @@
+//! The parallel experiment campaign runner.
+//!
+//! Every figure and table of the evaluation expands into a *grid* of
+//! independent units of work — algorithm × injection rate × fault scenario
+//! × seed — each of which is a self-contained simulation or analysis. A
+//! [`Campaign`] fans such a grid out across OS threads
+//! ([`std::thread::scope`], no external dependencies) and merges the
+//! results **deterministically in grid order**, so a parallel campaign is
+//! byte-identical to a serial one:
+//!
+//! * per-run seeds derive from the grid *position* (see
+//!   [`ExpConfig::run_sim`](crate::experiments::ExpConfig::run_sim)), never
+//!   from execution order or wall-clock time;
+//! * every [`Run`] builds its own simulator, routing-algorithm instance,
+//!   and traffic tables, so no mutable state is shared between workers;
+//! * workers write each result into the slot reserved for its grid index,
+//!   and [`Campaign::execute`] returns the slots in order.
+//!
+//! The experiment modules in [`crate::experiments`] all route their grids
+//! through this runner; `deft-repro --jobs N` selects the worker count (and
+//! `--jobs 1` recovers the strictly serial path, used by the determinism
+//! tests to cross-check the parallel one).
+//!
+//! ```
+//! use deft::campaign::{Campaign, Run};
+//!
+//! struct Square(u64);
+//! impl Run for Square {
+//!     type Output = u64;
+//!     fn label(&self) -> String {
+//!         format!("square {}", self.0)
+//!     }
+//!     fn execute(&self) -> u64 {
+//!         self.0 * self.0
+//!     }
+//! }
+//!
+//! let grid: Vec<Square> = (0..8).map(Square).collect();
+//! let out = Campaign::new("squares", grid).jobs(4).execute();
+//! assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]); // grid order, always
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads used when none is requested explicitly:
+/// the machine's available parallelism, or 1 if that cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// One independent unit of work in a campaign grid.
+///
+/// A run must be *self-contained*: everything it needs is captured at grid
+/// construction time (shared inputs by reference — hence the `Sync` bound —
+/// plus per-run parameters by value), and `execute` builds any mutable
+/// state (simulator, routing algorithm, RNG) locally. This is what makes
+/// the fan-out embarrassingly parallel and the merged output independent
+/// of scheduling.
+pub trait Run: Sync {
+    /// The run's result, sent back from the worker thread.
+    type Output: Send;
+
+    /// A short human-readable description, used in diagnostics.
+    fn label(&self) -> String;
+
+    /// Performs the work. Called exactly once, possibly on a worker thread.
+    fn execute(&self) -> Self::Output;
+}
+
+/// A grid of independent [`Run`]s executed across worker threads, with
+/// results merged in grid order.
+///
+/// Built with [`Campaign::new`], tuned with [`Campaign::jobs`], consumed by
+/// [`Campaign::execute`].
+#[derive(Debug)]
+pub struct Campaign<R> {
+    label: String,
+    runs: Vec<R>,
+    jobs: usize,
+}
+
+impl<R: Run> Campaign<R> {
+    /// Creates a campaign over the given grid. The worker count defaults to
+    /// [`default_jobs`].
+    pub fn new(label: impl Into<String>, runs: Vec<R>) -> Self {
+        Self {
+            label: label.into(),
+            runs,
+            jobs: default_jobs(),
+        }
+    }
+
+    /// Sets the worker-thread count. `1` means strictly serial execution on
+    /// the calling thread; values are clamped to at least 1. The results
+    /// are identical for every value — only wall-clock time changes.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The campaign's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of runs in the grid.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Executes every run and returns the outputs in grid order.
+    ///
+    /// With more than one worker, threads pull the next unclaimed grid
+    /// index from a shared counter and write the result into that index's
+    /// slot, so the merged vector is independent of which worker ran what
+    /// and in which order runs finished.
+    ///
+    /// # Panics
+    /// Propagates panics from run execution (e.g. a simulation asserting on
+    /// deadlock); with multiple workers the panic surfaces when the scope
+    /// joins. Surviving workers stop claiming new grid cells once any run
+    /// has panicked, so a failing campaign aborts after the in-flight
+    /// cells instead of grinding through the rest of the grid.
+    pub fn execute(self) -> Vec<R::Output> {
+        let workers = self.jobs.min(self.runs.len());
+        if workers <= 1 {
+            return self.runs.iter().map(Run::execute).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<R::Output>>> =
+            self.runs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(run) = self.runs.get(i) else {
+                        break;
+                    };
+                    // Raise the abort flag if `execute` unwinds, without
+                    // swallowing the panic (it still fails the scope join).
+                    struct FailFlag<'f>(&'f AtomicBool);
+                    impl Drop for FailFlag<'_> {
+                        fn drop(&mut self) {
+                            if std::thread::panicking() {
+                                self.0.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    let flag = FailFlag(&failed);
+                    let out = run.execute();
+                    std::mem::forget(flag);
+                    *slots[i].lock().expect("campaign slot lock poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .expect("campaign slot lock poisoned")
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "campaign {:?}: run {i} ({}) produced no result",
+                            self.label,
+                            self.runs[i].label()
+                        )
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_sim::{SimConfig, SimReport};
+    use deft_topo::{ChipletSystem, FaultState};
+
+    /// A run whose duration is deliberately uneven, to shake out ordering
+    /// bugs: late grid indices finish first.
+    struct Uneven(usize);
+
+    impl Run for Uneven {
+        type Output = usize;
+        fn label(&self) -> String {
+            format!("uneven {}", self.0)
+        }
+        fn execute(&self) -> usize {
+            std::thread::sleep(std::time::Duration::from_micros(
+                ((16 - self.0 % 16) * 100) as u64,
+            ));
+            self.0 * 10
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_grid_order_regardless_of_jobs() {
+        let expected: Vec<usize> = (0..24).map(|i| i * 10).collect();
+        for jobs in [1, 2, 4, 32] {
+            let grid: Vec<Uneven> = (0..24).map(Uneven).collect();
+            let out = Campaign::new("order", grid).jobs(jobs).execute();
+            assert_eq!(out, expected, "jobs={jobs} permuted the grid");
+        }
+    }
+
+    #[test]
+    fn empty_grid_and_zero_jobs_are_harmless() {
+        let out = Campaign::new("empty", Vec::<Uneven>::new())
+            .jobs(0)
+            .execute();
+        assert!(out.is_empty());
+        let one = Campaign::new("one", vec![Uneven(3)]).jobs(0).execute();
+        assert_eq!(one, vec![30]);
+    }
+
+    #[test]
+    fn accessors_report_the_grid() {
+        let c = Campaign::new("label", vec![Uneven(0), Uneven(1)]);
+        assert_eq!(c.label(), "label");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    /// A run that panics on one specific grid index.
+    struct Explosive(usize);
+
+    impl Run for Explosive {
+        type Output = usize;
+        fn label(&self) -> String {
+            format!("explosive {}", self.0)
+        }
+        fn execute(&self) -> usize {
+            assert!(self.0 != 2, "cell 2 exploded");
+            self.0
+        }
+    }
+
+    #[test]
+    fn a_panicking_run_fails_the_whole_campaign() {
+        for jobs in [1, 4] {
+            let grid: Vec<Explosive> = (0..8).map(Explosive).collect();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Campaign::new("explosive", grid).jobs(jobs).execute()
+            }));
+            assert!(result.is_err(), "jobs={jobs} swallowed the panic");
+        }
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    /// The cross-crate thread-safety contract the campaign runner relies
+    /// on: everything a worker captures or returns is `Send`/`Sync`.
+    #[test]
+    fn campaign_inputs_and_outputs_are_thread_safe() {
+        fn sync<T: Sync>() {}
+        fn send<T: Send>() {}
+        sync::<ChipletSystem>();
+        sync::<FaultState>();
+        sync::<SimConfig>();
+        send::<FaultState>();
+        send::<SimConfig>();
+        send::<SimReport>();
+        send::<crate::experiments::Algo>();
+    }
+}

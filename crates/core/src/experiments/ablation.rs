@@ -7,6 +7,7 @@
 //! of the resulting optimal selection under a one-fault scenario, making
 //! the trade-off visible.
 
+use crate::campaign::{default_jobs, Campaign, Run};
 use deft_routing::deft::SelectionProblem;
 use deft_routing::VlOptimizer;
 use deft_topo::{ChipletId, ChipletSystem, Coord};
@@ -29,43 +30,66 @@ pub struct RhoRow {
 /// The ρ values swept (the paper's choice 0.01 in the middle).
 pub const RHO_SWEEP: [f64; 5] = [0.0, 0.001, 0.01, 0.1, 1.0];
 
-/// Sweeps ρ on one chiplet of `sys` with VL 0 faulty and uniform traffic.
-pub fn rho_ablation(sys: &ChipletSystem) -> Vec<RhoRow> {
-    let chiplet = sys.chiplet(ChipletId(0));
-    let vl_coords: Vec<Coord> = chiplet
-        .vertical_links()
-        .iter()
-        .map(|vl| vl.chiplet_coord)
-        .collect();
-    let router_coords: Vec<Coord> = chiplet.coords().collect();
-    let healthy = (((1u16 << chiplet.vl_count()) - 1) as u8) & !1; // VL 0 faulty
+/// One ρ value of the sweep as a campaign cell: an independent run of the
+/// offline VL-selection optimizer.
+struct RhoPointRun<'a> {
+    sys: &'a ChipletSystem,
+    rho: f64,
+}
 
-    RHO_SWEEP
+impl Run for RhoPointRun<'_> {
+    type Output = RhoRow;
+
+    fn label(&self) -> String {
+        format!("rho {}", self.rho)
+    }
+
+    fn execute(&self) -> RhoRow {
+        let chiplet = self.sys.chiplet(ChipletId(0));
+        let vl_coords: Vec<Coord> = chiplet
+            .vertical_links()
+            .iter()
+            .map(|vl| vl.chiplet_coord)
+            .collect();
+        let router_coords: Vec<Coord> = chiplet.coords().collect();
+        let healthy = (((1u16 << chiplet.vl_count()) - 1) as u8) & !1; // VL 0 faulty
+        let problem = SelectionProblem::new(
+            vl_coords,
+            router_coords,
+            vec![1.0; chiplet.node_count()],
+            healthy,
+            self.rho,
+        );
+        let (assignment, cost) = VlOptimizer::new().solve(&problem);
+        let loads = problem.vl_loads(&assignment);
+        let max_vl_load = loads.iter().cloned().fold(0.0, f64::max);
+        let total_distance: u32 = assignment
+            .iter()
+            .enumerate()
+            .map(|(r, &v)| problem.distance(r, v))
+            .sum();
+        RhoRow {
+            rho: self.rho,
+            max_vl_load,
+            total_distance,
+            cost,
+        }
+    }
+}
+
+/// Sweeps ρ on one chiplet of `sys` with VL 0 faulty and uniform traffic,
+/// fanning the ρ values out over the default worker count.
+pub fn rho_ablation(sys: &ChipletSystem) -> Vec<RhoRow> {
+    rho_ablation_jobs(sys, default_jobs())
+}
+
+/// [`rho_ablation`] with an explicit worker count (`1` = strictly serial).
+pub fn rho_ablation_jobs(sys: &ChipletSystem, jobs: usize) -> Vec<RhoRow> {
+    let grid: Vec<RhoPointRun> = RHO_SWEEP
         .iter()
-        .map(|&rho| {
-            let problem = SelectionProblem::new(
-                vl_coords.clone(),
-                router_coords.clone(),
-                vec![1.0; chiplet.node_count()],
-                healthy,
-                rho,
-            );
-            let (assignment, cost) = VlOptimizer::new().solve(&problem);
-            let loads = problem.vl_loads(&assignment);
-            let max_vl_load = loads.iter().cloned().fold(0.0, f64::max);
-            let total_distance: u32 = assignment
-                .iter()
-                .enumerate()
-                .map(|(r, &v)| problem.distance(r, v))
-                .sum();
-            RhoRow {
-                rho,
-                max_vl_load,
-                total_distance,
-                cost,
-            }
-        })
-        .collect()
+        .map(|&rho| RhoPointRun { sys, rho })
+        .collect();
+    Campaign::new("rho ablation", grid).jobs(jobs).execute()
 }
 
 #[cfg(test)]

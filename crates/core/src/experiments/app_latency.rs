@@ -2,7 +2,8 @@
 //! traffic (single applications and co-scheduled pairs).
 
 use super::{Algo, ExpConfig};
-use deft_sim::Simulator;
+use crate::campaign::{Campaign, Run};
+use deft_sim::{SimConfig, Simulator};
 use deft_topo::{ChipletSystem, FaultState};
 use deft_traffic::{multi_app, single_app, AppProfile, TableTraffic, TrafficPattern};
 use serde::Serialize;
@@ -20,25 +21,56 @@ pub struct AppImprovement {
     pub vs_rc_percent: f64,
 }
 
-fn improvement(
-    sys: &ChipletSystem,
-    traffic: &TableTraffic,
-    cfg: &ExpConfig,
-    salt: u64,
-) -> AppImprovement {
-    let run = |algo: Algo| {
+/// One `(workload, algorithm)` cell of a Fig. 6 panel. The traffic tables
+/// are shared immutably across the cells of a workload; each cell builds
+/// its own simulator and algorithm instance.
+struct AppRun<'a> {
+    sys: &'a ChipletSystem,
+    traffic: &'a TableTraffic,
+    algo: Algo,
+    sim: SimConfig,
+}
+
+impl Run for AppRun<'_> {
+    /// The run's average packet latency in cycles.
+    type Output = f64;
+
+    fn label(&self) -> String {
+        format!("fig6/{}/{}", self.traffic.name(), self.algo.name())
+    }
+
+    fn execute(&self) -> f64 {
         Simulator::new(
-            sys,
-            FaultState::none(sys),
-            algo.build(sys),
-            traffic,
-            cfg.run_sim(salt),
+            self.sys,
+            FaultState::none(self.sys),
+            self.algo.build(self.sys),
+            self.traffic,
+            self.sim,
         )
         .run()
-    };
-    let deft = run(Algo::Deft);
-    let mtr = run(Algo::Mtr);
-    let rc = run(Algo::Rc);
+        .avg_latency
+    }
+}
+
+/// Runs every `(workload, algorithm)` combination as one campaign and
+/// folds each workload's three latencies into an [`AppImprovement`] bar.
+fn improvements(
+    sys: &ChipletSystem,
+    workloads: &[(TableTraffic, u64)],
+    cfg: &ExpConfig,
+) -> Vec<AppImprovement> {
+    let grid: Vec<AppRun> = workloads
+        .iter()
+        .flat_map(|(traffic, salt)| {
+            Algo::MAIN.iter().map(move |&algo| AppRun {
+                sys,
+                traffic,
+                algo,
+                sim: cfg.run_sim(*salt),
+            })
+        })
+        .collect();
+    let latencies = Campaign::new("fig6", grid).jobs(cfg.jobs).execute();
     let pct = |base: f64, ours: f64| {
         if base > 0.0 {
             100.0 * (base - ours) / base
@@ -46,40 +78,75 @@ fn improvement(
             0.0
         }
     };
-    AppImprovement {
-        label: traffic.name().to_owned(),
-        deft_latency: deft.avg_latency,
-        vs_mtr_percent: pct(mtr.avg_latency, deft.avg_latency),
-        vs_rc_percent: pct(rc.avg_latency, deft.avg_latency),
-    }
+    workloads
+        .iter()
+        .zip(latencies.chunks_exact(Algo::MAIN.len()))
+        .map(|((traffic, _), lat)| {
+            // Key by algorithm, not position, so reordering `Algo::MAIN`
+            // can never silently swap the columns.
+            let by_algo = |algo: Algo| {
+                lat[Algo::MAIN
+                    .iter()
+                    .position(|&a| a == algo)
+                    .expect("algo in MAIN")]
+            };
+            let deft = by_algo(Algo::Deft);
+            AppImprovement {
+                label: traffic.name().to_owned(),
+                deft_latency: deft,
+                vs_mtr_percent: pct(by_algo(Algo::Mtr), deft),
+                vs_rc_percent: pct(by_algo(Algo::Rc), deft),
+            }
+        })
+        .collect()
+}
+
+/// One workload's improvement bar (kept for focused tests; the figure
+/// runners batch all workloads into a single campaign).
+#[cfg(test)]
+fn improvement(
+    sys: &ChipletSystem,
+    traffic: &TableTraffic,
+    cfg: &ExpConfig,
+    salt: u64,
+) -> AppImprovement {
+    improvements(sys, &[(traffic.clone(), salt)], cfg)
+        .pop()
+        .expect("one workload in, one bar out")
 }
 
 /// Fig. 6(a): one bar per single application, in the paper's order.
 pub fn fig6_single(sys: &ChipletSystem, cfg: &ExpConfig) -> Vec<AppImprovement> {
-    AppProfile::fig6a_order()
+    let workloads: Vec<(TableTraffic, u64)> = AppProfile::fig6a_order()
         .iter()
         .enumerate()
         .map(|(i, ab)| {
             let profile = AppProfile::by_abbrev(ab).expect("known abbreviation");
-            let traffic = single_app(sys, profile, cfg.seed ^ i as u64);
-            improvement(sys, &traffic, cfg, 0x6A00 + i as u64)
+            (
+                single_app(sys, profile, cfg.seed ^ i as u64),
+                0x6A00 + i as u64,
+            )
         })
-        .collect()
+        .collect();
+    improvements(sys, &workloads, cfg)
 }
 
 /// Fig. 6(b): one bar per co-scheduled pair, sorted by load as in the
 /// paper (low FA+FL to high ST+FL).
 pub fn fig6_pairs(sys: &ChipletSystem, cfg: &ExpConfig) -> Vec<AppImprovement> {
-    AppProfile::fig6b_pairs()
+    let workloads: Vec<(TableTraffic, u64)> = AppProfile::fig6b_pairs()
         .iter()
         .enumerate()
         .map(|(i, (a, b))| {
             let pa = AppProfile::by_abbrev(a).expect("known abbreviation");
             let pb = AppProfile::by_abbrev(b).expect("known abbreviation");
-            let traffic = multi_app(sys, pa, pb, cfg.seed ^ (100 + i as u64));
-            improvement(sys, &traffic, cfg, 0x6B00 + i as u64)
+            (
+                multi_app(sys, pa, pb, cfg.seed ^ (100 + i as u64)),
+                0x6B00 + i as u64,
+            )
         })
-        .collect()
+        .collect();
+    improvements(sys, &workloads, cfg)
 }
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 //! MTR vs RC) and Fig. 8 (VL-selection ablation under faults).
 
 use super::{Algo, ExpConfig};
-use deft_sim::Simulator;
+use crate::campaign::{Campaign, Run};
+use deft_sim::{SimConfig, Simulator};
 use deft_topo::{ChipletSystem, FaultState};
 use deft_traffic::{hotspot, localized, uniform, TableTraffic};
 use serde::Serialize;
@@ -128,6 +129,51 @@ pub fn fig8(
     )
 }
 
+/// One grid cell of a latency sweep: a single `(algorithm, rate)` point,
+/// simulated in isolation. The per-point seed travels inside `sim`, so the
+/// result is a pure function of this struct.
+struct PointRun<'a> {
+    sys: &'a ChipletSystem,
+    faults: &'a FaultState,
+    pattern: SynPattern,
+    algo: Algo,
+    rate: f64,
+    sim: SimConfig,
+}
+
+impl Run for PointRun<'_> {
+    type Output = (f64, f64, f64);
+
+    fn label(&self) -> String {
+        format!(
+            "{}/{} @ {:.4}",
+            self.pattern.name(),
+            self.algo.name(),
+            self.rate
+        )
+    }
+
+    fn execute(&self) -> (f64, f64, f64) {
+        let traffic = self.pattern.build(self.sys, self.rate);
+        let report = Simulator::new(
+            self.sys,
+            self.faults.clone(),
+            self.algo.build(self.sys),
+            &traffic,
+            self.sim,
+        )
+        .run();
+        assert!(
+            !report.deadlocked,
+            "{} deadlocked at rate {} under {}",
+            self.algo.name(),
+            self.rate,
+            self.pattern.name()
+        );
+        (self.rate, report.avg_latency, report.delivery_ratio())
+    }
+}
+
 fn sweep(
     sys: &ChipletSystem,
     faults: &FaultState,
@@ -137,35 +183,25 @@ fn sweep(
     cfg: &ExpConfig,
     title: String,
 ) -> LatencySweep {
+    let grid: Vec<PointRun> = algos
+        .iter()
+        .flat_map(|&algo| {
+            rates.iter().enumerate().map(move |(i, &rate)| PointRun {
+                sys,
+                faults,
+                pattern,
+                algo,
+                rate,
+                sim: cfg.run_sim(i as u64),
+            })
+        })
+        .collect();
+    let mut points = Campaign::new(title.clone(), grid).jobs(cfg.jobs).execute();
     let curves = algos
         .iter()
-        .map(|&algo| {
-            let points = rates
-                .iter()
-                .enumerate()
-                .map(|(i, &rate)| {
-                    let traffic = pattern.build(sys, rate);
-                    let report = Simulator::new(
-                        sys,
-                        faults.clone(),
-                        algo.build(sys),
-                        &traffic,
-                        cfg.run_sim(i as u64),
-                    )
-                    .run();
-                    assert!(
-                        !report.deadlocked,
-                        "{} deadlocked at rate {rate} under {}",
-                        algo.name(),
-                        pattern.name()
-                    );
-                    (rate, report.avg_latency, report.delivery_ratio())
-                })
-                .collect();
-            LatencyCurve {
-                algorithm: algo.name().to_owned(),
-                points,
-            }
+        .map(|&algo| LatencyCurve {
+            algorithm: algo.name().to_owned(),
+            points: points.drain(..rates.len()).collect(),
         })
         .collect();
     LatencySweep { title, curves }

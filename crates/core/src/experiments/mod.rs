@@ -3,20 +3,28 @@
 //! Every runner is deterministic (seeded) and comes in *quick* and *full*
 //! flavours via [`ExpConfig`]; the quick flavour keeps CI and `cargo bench`
 //! affordable while the full flavour is what `EXPERIMENTS.md` records.
+//!
+//! Each runner expands its figure into a grid of independent cells and
+//! executes them through the [`Campaign`](crate::campaign::Campaign)
+//! runner; [`ExpConfig::jobs`] (or the `_jobs` function variants, for the
+//! runners that take no config) selects the worker count, and results are
+//! byte-identical for every value of it.
 
 mod ablation;
 mod app_latency;
 mod latency_sweep;
+mod power_table;
 mod reachability;
 mod scaling;
 mod vc_util;
 
-pub use ablation::{rho_ablation, RhoRow, RHO_SWEEP};
+pub use ablation::{rho_ablation, rho_ablation_jobs, RhoRow, RHO_SWEEP};
 pub use app_latency::{fig6_pairs, fig6_single, AppImprovement};
 pub use latency_sweep::{fig4, fig8, LatencyCurve, LatencySweep, SynPattern};
-pub use reachability::{fig7, ReachabilityCurves};
+pub use power_table::{table1_campaign, table1_campaign_jobs};
+pub use reachability::{fig7, fig7_jobs, ReachabilityCurves};
 pub use scaling::{scaling_study, ScalingRow, SCALING_GRIDS};
-pub use vc_util::{fig5, VcUtilRow};
+pub use vc_util::{fig5, fig5_panels, VcUtilRow};
 
 use deft_routing::{DeftRouting, MtrRouting, RcRouting, RoutingAlgorithm};
 use deft_sim::SimConfig;
@@ -74,6 +82,12 @@ pub struct ExpConfig {
     pub sim: SimConfig,
     /// Base seed; individual runs derive seeds from it deterministically.
     pub seed: u64,
+    /// Worker threads for the campaign fan-out
+    /// ([`Campaign`](crate::campaign::Campaign)). Results are byte-identical
+    /// for every value — per-run seeds derive from the grid position, not
+    /// from scheduling — so this only trades wall-clock time. Defaults to
+    /// the machine's available parallelism.
+    pub jobs: usize,
 }
 
 impl ExpConfig {
@@ -87,6 +101,7 @@ impl ExpConfig {
                 ..SimConfig::default()
             },
             seed: 0x0DE,
+            jobs: crate::campaign::default_jobs(),
         }
     }
 
@@ -101,7 +116,16 @@ impl ExpConfig {
                 ..SimConfig::default()
             },
             seed: 0x0DE,
+            jobs: crate::campaign::default_jobs(),
         }
+    }
+
+    /// Returns the configuration with the given campaign worker count
+    /// (`1` = strictly serial).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Derives a per-run simulation config with a distinct seed.

@@ -1,0 +1,74 @@
+//! Table I (router area & power) through the campaign runner.
+//!
+//! The estimates themselves live in `deft-power`; this module expands the
+//! table into one [`Run`] per router variant so `deft-repro --jobs N`
+//! treats the hardware-cost path uniformly with the simulation-backed
+//! experiments. Each row normalizes against the MTR reference internally
+//! ([`deft_power::table1_row`]), so rows are order-independent and the
+//! campaign merge reproduces [`deft_power::table1`] exactly.
+
+use crate::campaign::{default_jobs, Campaign, Run};
+use deft_power::{table1_row, table1_variants, RouterParams, RouterVariant, Table1Row, Tech45nm};
+
+/// One Table I row as a campaign cell.
+struct VariantRun<'a> {
+    params: &'a RouterParams,
+    tech: &'a Tech45nm,
+    variant: RouterVariant,
+}
+
+impl Run for VariantRun<'_> {
+    type Output = Table1Row;
+
+    fn label(&self) -> String {
+        format!("table1/{:?}", self.variant)
+    }
+
+    fn execute(&self) -> Table1Row {
+        table1_row(self.params, self.tech, self.variant)
+    }
+}
+
+/// Regenerates Table I with the default worker count. Identical to
+/// [`deft_power::table1`] row for row.
+pub fn table1_campaign(params: &RouterParams, tech: &Tech45nm) -> Vec<Table1Row> {
+    table1_campaign_jobs(params, tech, default_jobs())
+}
+
+/// [`table1_campaign`] with an explicit worker count (`1` = strictly
+/// serial).
+pub fn table1_campaign_jobs(params: &RouterParams, tech: &Tech45nm, jobs: usize) -> Vec<Table1Row> {
+    let grid: Vec<VariantRun> = table1_variants()
+        .into_iter()
+        .map(|variant| VariantRun {
+            params,
+            tech,
+            variant,
+        })
+        .collect();
+    Campaign::new("table1", grid).jobs(jobs).execute()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_power::table1;
+
+    #[test]
+    fn campaign_rows_match_the_serial_table_exactly() {
+        let params = RouterParams::paper_default();
+        let tech = Tech45nm::default();
+        let serial = table1(&params, &tech);
+        for jobs in [1, 4] {
+            let parallel = table1_campaign_jobs(&params, &tech, jobs);
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.variant, s.variant);
+                assert_eq!(p.area_um2.to_bits(), s.area_um2.to_bits());
+                assert_eq!(p.norm_area.to_bits(), s.norm_area.to_bits());
+                assert_eq!(p.power_mw.to_bits(), s.power_mw.to_bits());
+                assert_eq!(p.norm_power.to_bits(), s.norm_power.to_bits());
+            }
+        }
+    }
+}

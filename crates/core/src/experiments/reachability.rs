@@ -1,6 +1,7 @@
 //! Fig. 7: reachability vs number of faulty VLs — exact analysis.
 
 use super::Algo;
+use crate::campaign::{default_jobs, Campaign, Run};
 use deft_routing::reachability::ReachabilityEngine;
 use deft_topo::ChipletSystem;
 use serde::Serialize;
@@ -24,22 +25,82 @@ pub struct ReachabilityCurves {
     pub rc_worst: Vec<f64>,
 }
 
-/// Computes the Fig. 7 panel for `sys` with fault counts `1..=k_max`
-/// (the paper uses `k_max = 8` for both the 4- and 6-chiplet systems).
-pub fn fig7(sys: &ChipletSystem, k_max: usize) -> ReachabilityCurves {
-    let deft_engine = ReachabilityEngine::new(sys, Algo::Deft.build(sys).as_ref());
-    let mtr_engine = ReachabilityEngine::new(sys, Algo::Mtr.build(sys).as_ref());
-    let rc_engine = ReachabilityEngine::new(sys, Algo::Rc.build(sys).as_ref());
+/// One Fig. 7 campaign cell: every average (and, for the baselines, worst
+/// case) value of a single algorithm's curve. The engine is built inside
+/// the run so each worker owns its state.
+struct AlgoCurveRun<'a> {
+    sys: &'a ChipletSystem,
+    algo: Algo,
+    k_max: usize,
+    want_worst: bool,
+}
 
-    let ks: Vec<usize> = (1..=k_max).collect();
-    let pct = |v: f64| 100.0 * v;
+impl Run for AlgoCurveRun<'_> {
+    /// `(average %, worst-case %)` per `k`; `worst` is empty when not
+    /// requested.
+    type Output = (Vec<f64>, Vec<f64>);
+
+    fn label(&self) -> String {
+        format!("fig7/{} k<={}", self.algo.name(), self.k_max)
+    }
+
+    fn execute(&self) -> (Vec<f64>, Vec<f64>) {
+        let engine = ReachabilityEngine::new(self.sys, self.algo.build(self.sys).as_ref());
+        let avg = (1..=self.k_max)
+            .map(|k| 100.0 * engine.average(k))
+            .collect();
+        let worst = if self.want_worst {
+            (1..=self.k_max)
+                .map(|k| 100.0 * engine.worst_case(k))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (avg, worst)
+    }
+}
+
+/// Computes the Fig. 7 panel for `sys` with fault counts `1..=k_max`
+/// (the paper uses `k_max = 8` for both the 4- and 6-chiplet systems),
+/// fanning the per-algorithm curves out over the default worker count.
+pub fn fig7(sys: &ChipletSystem, k_max: usize) -> ReachabilityCurves {
+    fig7_jobs(sys, k_max, default_jobs())
+}
+
+/// [`fig7`] with an explicit worker count (`1` = strictly serial). The
+/// analysis is exact, so the curves are identical for every `jobs` value.
+pub fn fig7_jobs(sys: &ChipletSystem, k_max: usize, jobs: usize) -> ReachabilityCurves {
+    let grid = vec![
+        AlgoCurveRun {
+            sys,
+            algo: Algo::Deft,
+            k_max,
+            want_worst: false,
+        },
+        AlgoCurveRun {
+            sys,
+            algo: Algo::Mtr,
+            k_max,
+            want_worst: true,
+        },
+        AlgoCurveRun {
+            sys,
+            algo: Algo::Rc,
+            k_max,
+            want_worst: true,
+        },
+    ];
+    let mut curves = Campaign::new("fig7", grid).jobs(jobs).execute();
+    let (rc_avg, rc_worst) = curves.pop().expect("RC curve");
+    let (mtr_avg, mtr_worst) = curves.pop().expect("MTR curve");
+    let (deft, _) = curves.pop().expect("DeFT curve");
     ReachabilityCurves {
-        deft: ks.iter().map(|&k| pct(deft_engine.average(k))).collect(),
-        mtr_avg: ks.iter().map(|&k| pct(mtr_engine.average(k))).collect(),
-        mtr_worst: ks.iter().map(|&k| pct(mtr_engine.worst_case(k))).collect(),
-        rc_avg: ks.iter().map(|&k| pct(rc_engine.average(k))).collect(),
-        rc_worst: ks.iter().map(|&k| pct(rc_engine.worst_case(k))).collect(),
-        k: ks,
+        k: (1..=k_max).collect(),
+        deft,
+        mtr_avg,
+        mtr_worst,
+        rc_avg,
+        rc_worst,
     }
 }
 

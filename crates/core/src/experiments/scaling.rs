@@ -8,6 +8,7 @@
 //! reachability of all three algorithms at a fixed 4-fault injection.
 
 use super::{Algo, ExpConfig};
+use crate::campaign::{Campaign, Run};
 use deft_routing::reachability::ReachabilityEngine;
 use deft_sim::Simulator;
 use deft_topo::{ChipletSystem, FaultState};
@@ -38,45 +39,103 @@ pub struct ScalingRow {
 /// The grid shapes swept: 2, 4, 6, and 8 chiplets.
 pub const SCALING_GRIDS: [(u8, u8); 4] = [(2, 1), (2, 2), (3, 2), (4, 2)];
 
-/// Runs the scaling sweep at the given uniform injection rate.
+/// One `(grid shape, algorithm)` cell of the scaling study: builds its own
+/// system and traffic, runs one simulation and one exact reachability
+/// analysis. Rebuilding the (cheap, deterministic) system per cell keeps
+/// cells fully independent for the campaign fan-out.
+struct CellRun {
+    cols: u8,
+    rows: u8,
+    algo: Algo,
+    rate: f64,
+    faults_k: usize,
+    cfg: ExpConfig,
+}
+
+/// One cell's result: `(chiplets, nodes, avg latency, reachability %)`.
+struct CellOut {
+    chiplets: usize,
+    nodes: usize,
+    latency: f64,
+    reach: f64,
+}
+
+impl Run for CellRun {
+    type Output = CellOut;
+
+    fn label(&self) -> String {
+        format!("scaling {}x{}/{}", self.cols, self.rows, self.algo.name())
+    }
+
+    fn execute(&self) -> CellOut {
+        let sys = ChipletSystem::chiplet_grid(self.cols, self.rows).expect("valid grid");
+        let pattern = uniform(&sys, self.rate);
+        let report = Simulator::new(
+            &sys,
+            FaultState::none(&sys),
+            self.algo.build(&sys),
+            &pattern,
+            self.cfg.run_sim(self.cols as u64 * 16 + self.rows as u64),
+        )
+        .run();
+        let reach = 100.0
+            * ReachabilityEngine::new(&sys, self.algo.build(&sys).as_ref()).average(self.faults_k);
+        CellOut {
+            chiplets: sys.chiplet_count(),
+            nodes: sys.node_count(),
+            latency: report.avg_latency,
+            reach,
+        }
+    }
+}
+
+/// Runs the scaling sweep at the given uniform injection rate: a campaign
+/// over every `(grid shape, algorithm)` cell, merged into one row per size.
 pub fn scaling_study(rate: f64, faults_k: usize, cfg: &ExpConfig) -> Vec<ScalingRow> {
-    SCALING_GRIDS
+    let grid: Vec<CellRun> = SCALING_GRIDS
         .iter()
-        .map(|&(cols, rows)| {
-            let sys = ChipletSystem::chiplet_grid(cols, rows).expect("valid grid");
-            let pattern = uniform(&sys, rate);
-            let run = |algo: Algo| {
-                Simulator::new(
-                    &sys,
-                    FaultState::none(&sys),
-                    algo.build(&sys),
-                    &pattern,
-                    cfg.run_sim(cols as u64 * 16 + rows as u64),
-                )
-                .run()
+        .flat_map(|&(cols, rows)| {
+            Algo::MAIN.iter().map(move |&algo| CellRun {
+                cols,
+                rows,
+                algo,
+                rate,
+                faults_k,
+                cfg: *cfg,
+            })
+        })
+        .collect();
+    let cells = Campaign::new("scaling study", grid)
+        .jobs(cfg.jobs)
+        .execute();
+    let pct = |base: f64, ours: f64| {
+        if base > 0.0 {
+            100.0 * (base - ours) / base
+        } else {
+            0.0
+        }
+    };
+    cells
+        .chunks_exact(Algo::MAIN.len())
+        .map(|cell| {
+            // Key by algorithm, not position, so reordering `Algo::MAIN`
+            // can never silently swap the columns.
+            let by_algo = |algo: Algo| {
+                &cell[Algo::MAIN
+                    .iter()
+                    .position(|&a| a == algo)
+                    .expect("algo in MAIN")]
             };
-            let deft = run(Algo::Deft);
-            let mtr = run(Algo::Mtr);
-            let rc = run(Algo::Rc);
-            let pct = |base: f64, ours: f64| {
-                if base > 0.0 {
-                    100.0 * (base - ours) / base
-                } else {
-                    0.0
-                }
-            };
-            let reach = |algo: Algo| {
-                100.0 * ReachabilityEngine::new(&sys, algo.build(&sys).as_ref()).average(faults_k)
-            };
+            let (deft, mtr, rc) = (by_algo(Algo::Deft), by_algo(Algo::Mtr), by_algo(Algo::Rc));
             ScalingRow {
-                chiplets: sys.chiplet_count(),
-                nodes: sys.node_count(),
-                deft_latency: deft.avg_latency,
-                vs_mtr_percent: pct(mtr.avg_latency, deft.avg_latency),
-                vs_rc_percent: pct(rc.avg_latency, deft.avg_latency),
-                deft_reach: reach(Algo::Deft),
-                mtr_reach: reach(Algo::Mtr),
-                rc_reach: reach(Algo::Rc),
+                chiplets: deft.chiplets,
+                nodes: deft.nodes,
+                deft_latency: deft.latency,
+                vs_mtr_percent: pct(mtr.latency, deft.latency),
+                vs_rc_percent: pct(rc.latency, deft.latency),
+                deft_reach: deft.reach,
+                mtr_reach: mtr.reach,
+                rc_reach: rc.reach,
             }
         })
         .collect()

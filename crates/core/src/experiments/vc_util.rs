@@ -2,7 +2,8 @@
 
 use super::latency_sweep::SynPattern;
 use super::{Algo, ExpConfig};
-use deft_sim::{Region, Simulator};
+use crate::campaign::{Campaign, Run};
+use deft_sim::{Region, SimConfig, Simulator};
 use deft_topo::{ChipletSystem, FaultState};
 use serde::Serialize;
 
@@ -17,6 +18,55 @@ pub struct VcUtilRow {
     pub vc1_percent: f64,
 }
 
+/// One Fig. 5 panel as a campaign cell: DeFT under one pattern at one rate.
+struct PanelRun<'a> {
+    sys: &'a ChipletSystem,
+    pattern: SynPattern,
+    rate: f64,
+    sim: SimConfig,
+}
+
+impl Run for PanelRun<'_> {
+    type Output = Vec<VcUtilRow>;
+
+    fn label(&self) -> String {
+        format!("fig5/{} @ {:.4}", self.pattern.name(), self.rate)
+    }
+
+    fn execute(&self) -> Vec<VcUtilRow> {
+        let traffic = self.pattern.build(self.sys, self.rate);
+        let report = Simulator::new(
+            self.sys,
+            FaultState::none(self.sys),
+            Algo::Deft.build(self.sys),
+            &traffic,
+            self.sim,
+        )
+        .run();
+        let mut rows: Vec<VcUtilRow> = report
+            .vc_usage
+            .iter()
+            .map(|(region, usage)| {
+                let vc0 = usage.vc0_percent();
+                VcUtilRow {
+                    region: region.to_string(),
+                    vc0_percent: vc0,
+                    vc1_percent: 100.0 - vc0,
+                }
+            })
+            .collect();
+        // Interposer first, then chiplets — the paper's x-axis order.
+        rows.sort_by_key(|r| {
+            if r.region == Region::Interposer.to_string() {
+                0
+            } else {
+                1
+            }
+        });
+        rows
+    }
+}
+
 /// Runs DeFT under the given pattern at `rate` and reports the per-region
 /// VC utilization (paper Fig. 5; the paper shows Uniform/Localized in one
 /// chart — both balance to 50 % ± 0.4 % — and Hotspot separately).
@@ -26,36 +76,31 @@ pub fn fig5(
     rate: f64,
     cfg: &ExpConfig,
 ) -> Vec<VcUtilRow> {
-    let traffic = pattern.build(sys, rate);
-    let report = Simulator::new(
-        sys,
-        FaultState::none(sys),
-        Algo::Deft.build(sys),
-        &traffic,
-        cfg.run_sim(0x5),
-    )
-    .run();
-    let mut rows: Vec<VcUtilRow> = report
-        .vc_usage
+    fig5_panels(sys, &[pattern], rate, cfg)
+        .pop()
+        .expect("one pattern in, one panel out")
+        .1
+}
+
+/// Runs the full Fig. 5 chart — one panel per pattern — as a single
+/// campaign, so the panels simulate in parallel under `cfg.jobs`.
+pub fn fig5_panels(
+    sys: &ChipletSystem,
+    patterns: &[SynPattern],
+    rate: f64,
+    cfg: &ExpConfig,
+) -> Vec<(SynPattern, Vec<VcUtilRow>)> {
+    let grid: Vec<PanelRun> = patterns
         .iter()
-        .map(|(region, usage)| {
-            let vc0 = usage.vc0_percent();
-            VcUtilRow {
-                region: region.to_string(),
-                vc0_percent: vc0,
-                vc1_percent: 100.0 - vc0,
-            }
+        .map(|&pattern| PanelRun {
+            sys,
+            pattern,
+            rate,
+            sim: cfg.run_sim(0x5),
         })
         .collect();
-    // Interposer first, then chiplets — the paper's x-axis order.
-    rows.sort_by_key(|r| {
-        if r.region == Region::Interposer.to_string() {
-            0
-        } else {
-            1
-        }
-    });
-    rows
+    let panels = Campaign::new("fig5", grid).jobs(cfg.jobs).execute();
+    patterns.iter().copied().zip(panels).collect()
 }
 
 #[cfg(test)]

@@ -13,7 +13,12 @@
 //! | simulator | `deft-sim` | cycle-accurate wormhole NoC simulation |
 //! | traffic | `deft-traffic` | synthetic patterns + PARSEC-substitute profiles |
 //! | power | `deft-power` | ORION-class router area/power model |
-//! | experiments | this crate | Fig. 4–8 and Table I runners, text reports |
+//! | experiments | this crate | Fig. 4–8 and Table I runners, campaign fan-out, reports |
+//!
+//! Every experiment expands into a grid of independent runs (algorithm ×
+//! injection rate × fault scenario × seed) executed by the
+//! [`campaign`] runner: `deft-repro --jobs N` fans the grid out over `N`
+//! threads and merges results in grid order, byte-identical to `--jobs 1`.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod report;
 
@@ -51,6 +57,7 @@ pub use deft_traffic as traffic;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::campaign::{Campaign, Run};
     pub use crate::experiments::{Algo, ExpConfig};
     pub use deft_power::{table1, RouterParams, RouterVariant, Tech45nm};
     pub use deft_routing::{

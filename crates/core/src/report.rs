@@ -11,17 +11,25 @@ use deft_power::Table1Row;
 use std::fmt::Write as _;
 
 /// Renders a latency sweep (one Fig. 4 / Fig. 8 panel) as an aligned table.
+///
+/// A sweep with no curves (or curves with no points) renders as the header
+/// plus an explicit `(no data)` marker instead of panicking, so partial or
+/// filtered campaigns still produce a readable report.
 pub fn render_latency_sweep(sweep: &LatencySweep) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {} ==", sweep.title);
+    let Some(first) = sweep.curves.first() else {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    };
     let _ = write!(out, "{:>10}", "inj.rate");
     for c in &sweep.curves {
         let _ = write!(out, " {:>12}", c.algorithm);
     }
     let _ = writeln!(out);
-    let n = sweep.curves.first().map_or(0, |c| c.points.len());
+    let n = first.points.len();
     for i in 0..n {
-        let rate = sweep.curves[0].points[i].0;
+        let rate = first.points[i].0;
         let _ = write!(out, "{rate:>10.4}");
         for c in &sweep.curves {
             let (_, lat, ratio) = c.points[i];
@@ -167,21 +175,93 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
 }
 
 /// Serializes a latency sweep as CSV (`rate,<alg1>,<alg1>_delivery,...`),
-/// for external plotting.
+/// for external plotting. An empty curve set yields just the header.
 pub fn latency_sweep_csv(sweep: &LatencySweep) -> String {
     let mut out = String::from("rate");
     for c in &sweep.curves {
         let _ = write!(out, ",{0},{0}_delivery", c.algorithm);
     }
     out.push('\n');
-    let n = sweep.curves.first().map_or(0, |c| c.points.len());
-    for i in 0..n {
-        let _ = write!(out, "{}", sweep.curves[0].points[i].0);
+    let Some(first) = sweep.curves.first() else {
+        return out;
+    };
+    for i in 0..first.points.len() {
+        let _ = write!(out, "{}", first.points[i].0);
         for c in &sweep.curves {
             let (_, lat, ratio) = c.points[i];
             let _ = write!(out, ",{lat},{ratio}");
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Serializes a Fig. 5 panel as CSV.
+pub fn vc_util_csv(rows: &[VcUtilRow]) -> String {
+    let mut out = String::from("region,vc0_percent,vc1_percent\n");
+    for r in rows {
+        let _ = writeln!(out, "{},{},{}", r.region, r.vc0_percent, r.vc1_percent);
+    }
+    out
+}
+
+/// Serializes Fig. 6 bars as CSV.
+pub fn app_improvements_csv(rows: &[AppImprovement]) -> String {
+    let mut out = String::from("app,deft_latency,vs_mtr_percent,vs_rc_percent\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            r.label, r.deft_latency, r.vs_mtr_percent, r.vs_rc_percent
+        );
+    }
+    out
+}
+
+/// Serializes the ρ-sweep ablation as CSV.
+pub fn rho_ablation_csv(rows: &[RhoRow]) -> String {
+    let mut out = String::from("rho,max_vl_load,total_distance,cost\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            r.rho, r.max_vl_load, r.total_distance, r.cost
+        );
+    }
+    out
+}
+
+/// Serializes the scaling study as CSV.
+pub fn scaling_csv(rows: &[ScalingRow]) -> String {
+    let mut out = String::from(
+        "chiplets,nodes,deft_latency,vs_mtr_percent,vs_rc_percent,deft_reach,mtr_reach,rc_reach\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            r.chiplets,
+            r.nodes,
+            r.deft_latency,
+            r.vs_mtr_percent,
+            r.vs_rc_percent,
+            r.deft_reach,
+            r.mtr_reach,
+            r.rc_reach
+        );
+    }
+    out
+}
+
+/// Serializes Table I as CSV.
+pub fn table1_csv(rows: &[Table1Row]) -> String {
+    let mut out = String::from("variant,area_um2,norm_area,power_mw,norm_power\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.variant, r.area_um2, r.norm_area, r.power_mw, r.norm_power
+        );
     }
     out
 }
@@ -238,6 +318,94 @@ mod tests {
         assert!(s.contains("DeFT") && s.contains("MTR"));
         assert!(s.contains("0.0020"));
         assert!(s.contains("*s"), "saturated points are marked");
+    }
+
+    #[test]
+    fn empty_curve_sets_render_without_panicking() {
+        let empty = LatencySweep {
+            title: "Empty - 0 Chiplets".into(),
+            curves: vec![],
+        };
+        let s = render_latency_sweep(&empty);
+        assert!(s.contains("== Empty - 0 Chiplets =="));
+        assert!(s.contains("(no data)"));
+        assert_eq!(latency_sweep_csv(&empty), "rate\n");
+
+        // Curves present but no sweep points: header row only, no panic.
+        let pointless = LatencySweep {
+            title: "t".into(),
+            curves: vec![LatencyCurve {
+                algorithm: "DeFT".into(),
+                points: vec![],
+            }],
+        };
+        let s = render_latency_sweep(&pointless);
+        assert!(s.contains("DeFT"));
+        assert_eq!(latency_sweep_csv(&pointless), "rate,DeFT,DeFT_delivery\n");
+
+        // Sibling renderers tolerate empty row sets too.
+        assert!(render_vc_util("Uniform", &[]).contains("VC utilization"));
+        assert!(render_app_improvements("t", &[]).contains("improvement"));
+        assert!(render_rho_ablation(&[]).contains("rho"));
+        assert!(render_scaling(&[]).contains("scaling"));
+        assert!(render_table1(&[]).contains("Table I"));
+        let none = ReachabilityCurves {
+            k: vec![],
+            deft: vec![],
+            mtr_avg: vec![],
+            mtr_worst: vec![],
+            rc_avg: vec![],
+            rc_worst: vec![],
+        };
+        assert!(render_reachability("t", &none).contains("#faults"));
+    }
+
+    #[test]
+    fn csv_emitters_cover_every_experiment() {
+        let vc = vc_util_csv(&[VcUtilRow {
+            region: "Intrpsr.".into(),
+            vc0_percent: 50.5,
+            vc1_percent: 49.5,
+        }]);
+        assert!(vc.starts_with("region,"));
+        assert!(vc.contains("Intrpsr.,50.5,49.5"));
+
+        let apps = app_improvements_csv(&[AppImprovement {
+            label: "FA".into(),
+            deft_latency: 20.0,
+            vs_mtr_percent: 3.0,
+            vs_rc_percent: 5.0,
+        }]);
+        assert!(apps.contains("FA,20,3,5"));
+
+        let rho = rho_ablation_csv(&[RhoRow {
+            rho: 0.01,
+            max_vl_load: 5.5,
+            total_distance: 30,
+            cost: 5.8,
+        }]);
+        assert!(rho.contains("0.01,5.5,30,5.8"));
+
+        let scaling = scaling_csv(&[ScalingRow {
+            chiplets: 4,
+            nodes: 128,
+            deft_latency: 25.0,
+            vs_mtr_percent: 1.0,
+            vs_rc_percent: 2.0,
+            deft_reach: 100.0,
+            mtr_reach: 99.0,
+            rc_reach: 98.0,
+        }]);
+        assert!(scaling.contains("4,128,25,1,2,100,99,98"));
+
+        let t1 = table1_csv(&[Table1Row {
+            variant: "MTR",
+            area_um2: 45878.0,
+            norm_area: 1.0,
+            power_mw: 11.644,
+            norm_power: 1.0,
+        }]);
+        assert!(t1.contains("MTR,45878,1,11.644,1"));
     }
 
     #[test]

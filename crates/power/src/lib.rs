@@ -10,6 +10,14 @@
 //! network — then follow from the model structure, which is what Table I
 //! actually compares.
 //!
+//! ## Data flow
+//!
+//! A leaf crate: it depends on nothing in the workspace and feeds only
+//! the `deft` facade, where [`table1`]/[`table1_row`] rows are rendered
+//! (and, through the campaign runner, computed one variant per worker —
+//! every row normalizes against the MTR reference internally, so rows
+//! are order-independent).
+//!
 //! ```
 //! use deft_power::{RouterParams, RouterVariant, Tech45nm};
 //!
@@ -28,4 +36,4 @@ mod table;
 
 pub use params::Tech45nm;
 pub use router_model::{ComponentCost, RouterEstimate, RouterParams, RouterVariant};
-pub use table::{table1, Table1Row};
+pub use table::{table1, table1_row, table1_variants, Table1Row};

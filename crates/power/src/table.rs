@@ -30,28 +30,38 @@ impl fmt::Display for Table1Row {
     }
 }
 
-/// Regenerates the paper's Table I: area and power of the MTR,
-/// RC (non-boundary and boundary), and DeFT routers, normalized to MTR.
-pub fn table1(params: &RouterParams, tech: &Tech45nm) -> Vec<Table1Row> {
-    let variants = [
+/// The router variants of Table I, in the paper's row order.
+pub fn table1_variants() -> [RouterVariant; 4] {
+    [
         RouterVariant::Mtr,
         RouterVariant::RcNonBoundary,
         RouterVariant::RcBoundary,
         RouterVariant::deft_default(),
-    ];
+    ]
+}
+
+/// Computes a single Table I row. Normalization is always against the MTR
+/// reference router, so rows are independent of each other — callers may
+/// compute them in any order (or in parallel) and still get the exact
+/// [`table1`] values.
+pub fn table1_row(params: &RouterParams, tech: &Tech45nm, variant: RouterVariant) -> Table1Row {
     let base = params.estimate(RouterVariant::Mtr, tech);
-    variants
+    let est = params.estimate(variant, tech);
+    Table1Row {
+        variant: est.variant,
+        area_um2: est.area_um2,
+        norm_area: est.area_um2 / base.area_um2,
+        power_mw: est.power_mw,
+        norm_power: est.power_mw / base.power_mw,
+    }
+}
+
+/// Regenerates the paper's Table I: area and power of the MTR,
+/// RC (non-boundary and boundary), and DeFT routers, normalized to MTR.
+pub fn table1(params: &RouterParams, tech: &Tech45nm) -> Vec<Table1Row> {
+    table1_variants()
         .into_iter()
-        .map(|v| {
-            let est = params.estimate(v, tech);
-            Table1Row {
-                variant: est.variant,
-                area_um2: est.area_um2,
-                norm_area: est.area_um2 / base.area_um2,
-                power_mw: est.power_mw,
-                norm_power: est.power_mw / base.power_mw,
-            }
-        })
+        .map(|v| table1_row(params, tech, v))
         .collect()
 }
 

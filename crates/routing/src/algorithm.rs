@@ -107,7 +107,12 @@ pub struct FlowChoice {
 /// mutate internal round-robin or RNG state, which is why they take
 /// `&mut self`. The analysis methods ([`eligibility`](Self::eligibility),
 /// [`flow_choices`](Self::flow_choices)) are pure.
-pub trait RoutingAlgorithm {
+///
+/// Algorithms must be `Send`: experiment campaigns run one simulator —
+/// and therefore one algorithm instance, with its per-run mutable state —
+/// per worker thread. All algorithms in this crate are plain data plus
+/// seeded RNGs, so the bound is free.
+pub trait RoutingAlgorithm: Send {
     /// Short human-readable name used in reports ("DeFT", "MTR", ...).
     fn name(&self) -> &str;
 

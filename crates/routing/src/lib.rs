@@ -23,6 +23,15 @@
 //! All algorithms implement [`RoutingAlgorithm`], the interface consumed by
 //! the `deft-sim` cycle-accurate simulator.
 //!
+//! ## Data flow
+//!
+//! Topology and fault state come in from `deft-topo`; per-packet
+//! decisions ([`RouteDecision`], [`RouteCtx`]) go out to `deft-sim`, and
+//! per-flow analyses ([`FlowEligibility`], [`FlowChoice`]) feed the CDG
+//! verifier and the reachability engine. [`RoutingAlgorithm`] is `Send`:
+//! the `deft` crate's campaign runner builds one instance per run and
+//! moves it onto a worker thread together with its simulator.
+//!
 //! ```
 //! use deft_routing::{DeftRouting, RoutingAlgorithm};
 //! use deft_topo::{ChipletSystem, FaultState, NodeId};

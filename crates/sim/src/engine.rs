@@ -508,6 +508,29 @@ mod tests {
         TableTraffic::new("single", rates, dists)
     }
 
+    /// The thread-safety contract the experiment campaign runner builds
+    /// on: a fully-assembled simulator (system, faults, boxed algorithm,
+    /// traffic tables, config) can live on a worker thread, and the
+    /// config/report types cross thread boundaries freely. Compile-time
+    /// only — if a non-`Send` field ever sneaks in, this stops building.
+    #[test]
+    fn simulator_config_and_report_are_thread_safe() {
+        fn assert_send<T: Send>(_: &T) {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimConfig>();
+        assert_send_sync::<SimReport>();
+        let s = sys();
+        let pattern = uniform(&s, 0.001);
+        let sim = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        );
+        assert_send(&sim);
+    }
+
     #[test]
     fn zero_load_latency_matches_hops_plus_serialization() {
         let s = sys();

@@ -13,6 +13,16 @@
 //! utilization (Fig. 5), per-VL flit loads, simulation-measured
 //! reachability under faults (Fig. 7 spot checks), and a deadlock watchdog.
 //!
+//! ## Data flow
+//!
+//! A [`Simulator`] is assembled from a `deft-topo` system + fault state,
+//! a boxed `deft-routing` algorithm, a `deft-traffic` pattern, and a
+//! [`SimConfig`]; it runs to completion and returns a [`SimReport`] that
+//! the `deft` crate's experiment runners aggregate into figures. One run
+//! = one engine: a fully-assembled `Simulator` is `Send` (compile-time
+//! asserted), so the campaign runner executes one engine per worker
+//! thread with nothing shared but the immutable system and tables.
+//!
 //! ```
 //! use deft_sim::{SimConfig, Simulator};
 //! use deft_routing::DeftRouting;

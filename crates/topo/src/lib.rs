@@ -17,6 +17,15 @@
 //! 32" for the 4-chiplet system) counts unidirectional links, which is what
 //! [`FaultState`] and [`FaultScenarios`] enumerate.
 //!
+//! ## Data flow
+//!
+//! This crate is the root of the workspace: `deft-routing` consumes
+//! [`ChipletSystem`] + [`FaultState`] to make routing decisions,
+//! `deft-traffic` uses the node map to build workload tables, and
+//! `deft-sim` wires its routers from the neighbour queries. A system is
+//! immutable once built (`Sync`), so the `deft` crate's campaign runner
+//! shares one instance across all worker threads of an experiment grid.
+//!
 //! ```
 //! use deft_topo::ChipletSystem;
 //!

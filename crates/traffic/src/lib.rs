@@ -19,6 +19,15 @@
 //! trace-driven simulation: record any pattern once, replay it
 //! cycle-exactly.
 //!
+//! ## Data flow
+//!
+//! Node maps come in from `deft-topo`; immutable [`TableTraffic`] tables
+//! go out to `deft-sim` (packet generation) and to DeFT's offline
+//! optimizer in `deft-routing` (per-node inter-chiplet rates, paper
+//! Eq. 1). [`TrafficPattern`] is `Send + Sync` — patterns carry no RNG of
+//! their own — so the `deft` crate's campaign runner shares one table
+//! across the worker threads of a sweep.
+//!
 //! ```
 //! use deft_topo::ChipletSystem;
 //! use deft_traffic::{uniform, TrafficPattern};

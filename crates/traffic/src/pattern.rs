@@ -10,7 +10,11 @@ use rand::Rng;
 /// The simulator calls [`injection_rate`](Self::injection_rate) once per
 /// (node, cycle) as a Bernoulli probability and
 /// [`pick_destination`](Self::pick_destination) when a packet is generated.
-pub trait TrafficPattern {
+///
+/// Patterns must be `Send + Sync`: they are immutable lookup tables (all
+/// randomness flows through the caller-supplied RNG), and experiment
+/// campaigns share or move them across worker threads.
+pub trait TrafficPattern: Send + Sync {
     /// Human-readable pattern name ("Uniform", "Hotspot", "CA+FA", ...).
     fn name(&self) -> &str;
 

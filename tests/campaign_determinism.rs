@@ -1,0 +1,92 @@
+//! The campaign runner's core guarantee: a parallel campaign (`--jobs 4`)
+//! produces **byte-identical** reports to the serial path (`--jobs 1`) at
+//! the same seeds, across several experiments. Per-run seeds derive from
+//! the grid position, never from scheduling, and results merge in grid
+//! order — these tests pin that contract at the rendered-report level
+//! (both the human-readable tables and the CSV emitters).
+
+use deft::experiments::{
+    fig4, fig5_panels, fig7_jobs, rho_ablation_jobs, Algo, ExpConfig, SynPattern,
+};
+use deft::report::{
+    latency_sweep_csv, reachability_csv, render_latency_sweep, render_reachability,
+    render_rho_ablation, render_vc_util, rho_ablation_csv, vc_util_csv,
+};
+use deft_topo::ChipletSystem;
+
+fn cfg(jobs: usize) -> ExpConfig {
+    ExpConfig::quick().with_jobs(jobs)
+}
+
+#[test]
+fn fig4_latency_sweep_is_byte_identical_across_job_counts() {
+    let sys = ChipletSystem::baseline_4();
+    let serial = fig4(
+        &sys,
+        SynPattern::Uniform,
+        &[0.002, 0.004],
+        &Algo::MAIN,
+        &cfg(1),
+    );
+    let parallel = fig4(
+        &sys,
+        SynPattern::Uniform,
+        &[0.002, 0.004],
+        &Algo::MAIN,
+        &cfg(4),
+    );
+    assert_eq!(
+        render_latency_sweep(&serial),
+        render_latency_sweep(&parallel),
+        "parallel fig4 text report diverged from serial"
+    );
+    assert_eq!(
+        latency_sweep_csv(&serial),
+        latency_sweep_csv(&parallel),
+        "parallel fig4 CSV diverged from serial"
+    );
+}
+
+#[test]
+fn fig5_vc_panels_are_byte_identical_across_job_counts() {
+    let sys = ChipletSystem::baseline_4();
+    let patterns = [SynPattern::Uniform, SynPattern::Hotspot];
+    let serial = fig5_panels(&sys, &patterns, 0.004, &cfg(1));
+    let parallel = fig5_panels(&sys, &patterns, 0.004, &cfg(4));
+    for ((p_s, rows_s), (p_p, rows_p)) in serial.iter().zip(&parallel) {
+        assert_eq!(p_s.name(), p_p.name());
+        assert_eq!(
+            render_vc_util(p_s.name(), rows_s),
+            render_vc_util(p_p.name(), rows_p),
+            "parallel fig5 panel {} diverged from serial",
+            p_s.name()
+        );
+        assert_eq!(vc_util_csv(rows_s), vc_util_csv(rows_p));
+    }
+}
+
+#[test]
+fn fig7_reachability_is_byte_identical_across_job_counts() {
+    let sys = ChipletSystem::baseline_4();
+    let serial = fig7_jobs(&sys, 6, 1);
+    let parallel = fig7_jobs(&sys, 6, 4);
+    assert_eq!(
+        render_reachability("4 Chiplets", &serial),
+        render_reachability("4 Chiplets", &parallel),
+        "parallel fig7 report diverged from serial"
+    );
+    assert_eq!(reachability_csv(&serial), reachability_csv(&parallel));
+}
+
+#[test]
+fn rho_ablation_is_byte_identical_across_job_counts() {
+    let sys = ChipletSystem::baseline_4();
+    let serial = rho_ablation_jobs(&sys, 1);
+    let parallel = rho_ablation_jobs(&sys, 4);
+    assert_eq!(
+        render_rho_ablation(&serial),
+        render_rho_ablation(&parallel),
+        "parallel rho ablation diverged from serial"
+    );
+    assert_eq!(rho_ablation_csv(&serial), rho_ablation_csv(&parallel));
+}

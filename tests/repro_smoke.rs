@@ -52,6 +52,46 @@ fn repro_binary_runs_table1() {
     );
 }
 
+/// `--out csv` emits a machine-readable block (comment-prefixed title +
+/// CSV header), and `--jobs` is accepted in both `--jobs N` and
+/// `--jobs=N` spellings.
+#[test]
+fn repro_binary_emits_csv_with_jobs() {
+    let out = Command::new(env!("CARGO_BIN_EXE_deft-repro"))
+        .args(["--quick", "--jobs", "2", "--out", "csv", "table1"])
+        .output()
+        .expect("deft-repro binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("# Table I"), "got:\n{stdout}");
+    assert!(
+        stdout.contains("variant,area_um2,norm_area,power_mw,norm_power"),
+        "missing CSV header in:\n{stdout}"
+    );
+
+    let eq = Command::new(env!("CARGO_BIN_EXE_deft-repro"))
+        .args(["--quick", "--jobs=2", "--out=csv", "table1"])
+        .output()
+        .expect("deft-repro binary runs");
+    assert_eq!(out.stdout, eq.stdout, "--flag=value spelling diverged");
+}
+
+/// Bad flag values fail loudly with the usage message.
+#[test]
+fn repro_binary_rejects_bad_jobs_value() {
+    let out = Command::new(env!("CARGO_BIN_EXE_deft-repro"))
+        .args(["--jobs", "zero", "table1"])
+        .output()
+        .expect("deft-repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs"), "stderr was:\n{stderr}");
+}
+
 /// Unknown experiment names are rejected with a usage message and exit
 /// code 2 (so typos in scripts fail loudly, not silently).
 #[test]

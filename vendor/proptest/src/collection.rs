@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::{TestCaseError, TestRng};
 use core::ops::{Range, RangeInclusive};
 
-/// Length specifications accepted by [`vec`]: an exact `usize`, `a..b`, or
+/// Length specifications accepted by [`vec()`]: an exact `usize`, `a..b`, or
 /// `a..=b`.
 pub trait IntoSizeRange {
     /// Lower and upper bound (inclusive) on the generated length.
@@ -38,7 +38,7 @@ pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> 
     VecStrategy { element, min, max }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
