@@ -1,12 +1,14 @@
 //! `deft-repro` — regenerate every table and figure of the DeFT paper.
 //!
 //! ```text
-//! deft-repro [--quick] [--jobs N] [--out text|csv] \
-//!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|all]
+//! deft-repro [--quick] [--jobs N] [--out text|csv] [--exp NAME] \
+//!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|all]
 //! ```
 //!
 //! * `--quick` shortens the simulation windows (same structure, noisier
 //!   numbers); the default full windows are what `EXPERIMENTS.md` records.
+//! * `--exp NAME` selects the experiment by flag instead of positionally
+//!   (the two forms are equivalent; naming it both ways is an error).
 //! * `--jobs N` fans each experiment's run grid out over `N` worker
 //!   threads (default: available parallelism). Output is byte-identical
 //!   for every `N` — per-run seeds derive from the grid position, and the
@@ -16,13 +18,14 @@
 //!   `# title` comment line) instead of the aligned text tables.
 
 use deft::experiments::{
-    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_jobs, fig8, rho_ablation_jobs, scaling_study,
-    table1_campaign_jobs, Algo, ExpConfig, SynPattern,
+    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_jobs, fig8, recovery, rho_ablation_jobs,
+    scaling_study, table1_campaign_jobs, Algo, ExpConfig, SynPattern,
 };
 use deft::report::{
-    app_improvements_csv, latency_sweep_csv, reachability_csv, render_app_improvements,
-    render_latency_sweep, render_reachability, render_rho_ablation, render_scaling, render_table1,
-    render_vc_util, rho_ablation_csv, scaling_csv, table1_csv, vc_util_csv,
+    app_improvements_csv, latency_sweep_csv, reachability_csv, recovery_csv,
+    render_app_improvements, render_latency_sweep, render_reachability, render_recovery,
+    render_rho_ablation, render_scaling, render_table1, render_vc_util, rho_ablation_csv,
+    scaling_csv, table1_csv, vc_util_csv,
 };
 use deft_power::{RouterParams, Tech45nm};
 use deft_topo::{ChipletId, ChipletSystem, FaultState, VlDir, VlLinkId};
@@ -225,6 +228,16 @@ fn run_scaling(cfg: &ExpConfig, out: Out) {
     );
 }
 
+fn run_recovery(cfg: &ExpConfig, out: Out) {
+    let sys = ChipletSystem::baseline_4();
+    let rows = recovery(&sys, cfg);
+    out.emit(
+        "Recovery: dynamic fault timelines",
+        || render_recovery(&rows),
+        || recovery_csv(&rows),
+    );
+}
+
 fn run_table1(jobs: usize, out: Out) {
     let rows = table1_campaign_jobs(&RouterParams::paper_default(), &Tech45nm::default(), jobs);
     out.emit(
@@ -236,8 +249,8 @@ fn run_table1(jobs: usize, out: Out) {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: deft-repro [--quick] [--jobs N] [--out text|csv] \
-         [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|all]"
+        "usage: deft-repro [--quick] [--jobs N] [--out text|csv] [--exp NAME] \
+         [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|all]"
     );
     std::process::exit(2);
 }
@@ -282,6 +295,13 @@ fn main() {
                     usage_and_exit();
                 }
             };
+        } else if arg == "--exp" || arg.starts_with("--exp=") {
+            let v = parse_value("--exp", &arg, &mut it);
+            if let Some(first) = &what {
+                eprintln!("more than one experiment named: {first:?} and {v:?}");
+                usage_and_exit();
+            }
+            what = Some(v);
         } else if arg.starts_with("--") {
             eprintln!("unknown flag {arg:?}");
             usage_and_exit();
@@ -312,6 +332,7 @@ fn main() {
         "table1" => run_table1(cfg.jobs, out),
         "rho" => run_rho(cfg.jobs, out),
         "scaling" => run_scaling(&cfg, out),
+        "recovery" => run_recovery(&cfg, out),
         "all" => {
             run_fig4(&cfg, out);
             run_fig5(&cfg, out);
@@ -321,6 +342,7 @@ fn main() {
             run_table1(cfg.jobs, out);
             run_rho(cfg.jobs, out);
             run_scaling(&cfg, out);
+            run_recovery(&cfg, out);
         }
         other => {
             eprintln!("unknown experiment {other:?}");

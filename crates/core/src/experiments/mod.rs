@@ -15,6 +15,7 @@ mod app_latency;
 mod latency_sweep;
 mod power_table;
 mod reachability;
+mod recovery;
 mod scaling;
 mod vc_util;
 
@@ -23,6 +24,10 @@ pub use app_latency::{fig6_pairs, fig6_single, AppImprovement};
 pub use latency_sweep::{fig4, fig8, LatencyCurve, LatencySweep, SynPattern};
 pub use power_table::{table1_campaign, table1_campaign_jobs};
 pub use reachability::{fig7, fig7_jobs, ReachabilityCurves};
+pub use recovery::{
+    recovery, recovery_scenarios, recovery_with, RecoveryRow, RecoveryScenario, RECOVERY_RATE,
+    RECOVERY_SEEDS,
+};
 pub use scaling::{scaling_study, ScalingRow, SCALING_GRIDS};
 pub use vc_util::{fig5, fig5_panels, VcUtilRow};
 

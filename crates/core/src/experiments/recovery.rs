@@ -1,0 +1,350 @@
+//! Recovery experiment: algorithms under *dynamic* fault timelines.
+//!
+//! The paper evaluates resilience against static fault scenarios only;
+//! this experiment is its dynamic sequel. Link faults inject and heal at
+//! scheduled cycles while traffic is in flight
+//! ([`deft_topo::FaultTimeline`]), and the algorithms are compared on
+//! *recovery behaviour*: packets dropped at injection, packets lost in
+//! flight, and the recovery latency of each fault transition (cycles
+//! until losses cease — see
+//! [`EpochStats::recovery_latency`](deft_sim::EpochStats::recovery_latency)).
+//!
+//! The grid is scenario × algorithm × seed, executed through the
+//! [`Campaign`](crate::campaign::Campaign) runner. Within one (scenario,
+//! seed) column every algorithm faces the *same* timeline and the same
+//! traffic seed, so the loss deltas are attributable to the algorithm
+//! alone. The expected shape mirrors the paper's static Fig. 7 claim in
+//! the dynamic setting: DeFT re-selects among healthy VLs at every
+//! injection (its LUT is indexed by the healthy mask, so recovery costs
+//! zero reconfiguration cycles) and loses only worms already committed to
+//! a failing link, while RC keeps dropping every flow designated to a
+//! faulty VL until it heals, and MTR sits in between.
+
+use super::{Algo, ExpConfig};
+use crate::campaign::{Campaign, Run};
+use deft_sim::Simulator;
+use deft_topo::{
+    BurstConfig, ChipletSystem, FaultState, FaultTimeline, RegionConfig, TransientConfig,
+};
+use deft_traffic::uniform;
+use serde::Serialize;
+
+/// Uniform-traffic injection rate of the recovery runs: comfortably below
+/// the fault-free saturation knee, so losses measure fault handling, not
+/// congestion.
+pub const RECOVERY_RATE: f64 = 0.003;
+
+/// One scenario class of the recovery grid: which timeline generator runs
+/// and with what parameters (see `deft_topo`'s generator docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryScenario {
+    /// Random transient faults with exponential up/down times per link.
+    Transient {
+        /// Mean healthy period per link (cycles); the per-link fault rate
+        /// is its reciprocal.
+        mean_healthy: f64,
+        /// Mean faulty period per link (cycles).
+        mean_faulty: f64,
+    },
+    /// Several links fail together at random instants.
+    Burst {
+        /// Number of bursts over the generation window.
+        bursts: usize,
+        /// Links failing per burst.
+        links_per_burst: usize,
+        /// Cycles from inject to heal.
+        duration: u64,
+    },
+    /// A chiplet-adjacent failure: all-but-one links of one (chiplet,
+    /// direction) group fail together.
+    Region {
+        /// Cycles from inject to heal.
+        duration: u64,
+    },
+}
+
+impl RecoveryScenario {
+    /// Scenario label used in reports and CSV (comma-free).
+    pub fn name(&self) -> String {
+        match self {
+            RecoveryScenario::Transient {
+                mean_healthy,
+                mean_faulty,
+            } => format!("transient-mtbf{mean_healthy:.0}-mttr{mean_faulty:.0}"),
+            RecoveryScenario::Burst {
+                bursts,
+                links_per_burst,
+                duration,
+            } => format!("burst-{bursts}x{links_per_burst}-d{duration}"),
+            RecoveryScenario::Region { duration } => format!("region-d{duration}"),
+        }
+    }
+
+    /// Materializes the scenario's timeline over `[0, horizon)` for the
+    /// given seed. Deterministic per `(system, scenario, horizon, seed)`.
+    pub fn timeline(&self, sys: &ChipletSystem, horizon: u64, seed: u64) -> FaultTimeline {
+        match *self {
+            RecoveryScenario::Transient {
+                mean_healthy,
+                mean_faulty,
+            } => FaultTimeline::transient(
+                sys,
+                &TransientConfig {
+                    mean_healthy,
+                    mean_faulty,
+                    horizon,
+                    seed,
+                },
+            ),
+            RecoveryScenario::Burst {
+                bursts,
+                links_per_burst,
+                duration,
+            } => FaultTimeline::burst(
+                sys,
+                &BurstConfig {
+                    bursts,
+                    links_per_burst,
+                    duration,
+                    horizon,
+                    seed,
+                },
+            ),
+            RecoveryScenario::Region { duration } => FaultTimeline::region(
+                sys,
+                &RegionConfig {
+                    start: horizon / 3,
+                    duration,
+                    seed,
+                },
+            ),
+        }
+    }
+}
+
+/// The default scenario set: two transient fault rates, a burst class,
+/// and a region class. Period-like parameters scale with `horizon` (the
+/// run's generation window) so quick and full configurations see
+/// comparable fault density.
+pub fn recovery_scenarios(horizon: u64) -> Vec<RecoveryScenario> {
+    let h = horizon.max(1) as f64;
+    vec![
+        RecoveryScenario::Transient {
+            mean_healthy: h * 2.0,
+            mean_faulty: h / 6.0,
+        },
+        RecoveryScenario::Transient {
+            mean_healthy: h * 0.75,
+            mean_faulty: h / 6.0,
+        },
+        RecoveryScenario::Burst {
+            bursts: 2,
+            links_per_burst: 5,
+            duration: horizon / 4,
+        },
+        RecoveryScenario::Region {
+            duration: horizon / 3,
+        },
+    ]
+}
+
+/// One row of the recovery report: one (scenario, algorithm, seed) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryRow {
+    /// Scenario label ([`RecoveryScenario::name`]).
+    pub scenario: String,
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Seed replica index within the scenario.
+    pub seed: u64,
+    /// Fault transitions the run went through (timeline events grouped by
+    /// cycle, as observed: epochs − 1).
+    pub transitions: u64,
+    /// Packets dropped as unroutable at injection.
+    pub dropped_unroutable: u64,
+    /// Packets lost in flight at transitions.
+    pub lost_in_flight: u64,
+    /// Total losses per transition (0 when the timeline was empty).
+    pub losses_per_transition: f64,
+    /// Mean recovery latency over the transition-opened epochs, in
+    /// cycles: how long losses persisted after each transition.
+    pub avg_recovery_latency: f64,
+    /// Mean delivered-packet latency over the whole run.
+    pub avg_latency: f64,
+    /// Measured packets delivered.
+    pub delivered: u64,
+}
+
+/// One campaign cell: a full timeline-driven simulation.
+struct RecoveryRun<'a> {
+    sys: &'a ChipletSystem,
+    scenario: RecoveryScenario,
+    algo: Algo,
+    seed: u64,
+    /// Salt shared by every algorithm of one (scenario, seed) column, so
+    /// they face identical timelines and traffic.
+    column_salt: u64,
+    cfg: &'a ExpConfig,
+}
+
+impl Run for RecoveryRun<'_> {
+    type Output = RecoveryRow;
+
+    fn label(&self) -> String {
+        format!(
+            "recovery/{}/{} seed {}",
+            self.scenario.name(),
+            self.algo.name(),
+            self.seed
+        )
+    }
+
+    fn execute(&self) -> RecoveryRow {
+        let horizon = self.cfg.sim.warmup + self.cfg.sim.measure;
+        let timeline = self.scenario.timeline(
+            self.sys,
+            horizon,
+            self.cfg.seed.wrapping_add(self.column_salt),
+        );
+        let pattern = uniform(self.sys, RECOVERY_RATE);
+        let report = Simulator::new(
+            self.sys,
+            FaultState::none(self.sys),
+            self.algo.build(self.sys),
+            &pattern,
+            self.cfg.run_sim(self.column_salt),
+        )
+        .with_timeline(&timeline)
+        .run();
+        assert!(
+            !report.deadlocked,
+            "{} deadlocked under {}",
+            self.algo.name(),
+            self.scenario.name()
+        );
+
+        let transitions = report.epochs.len().saturating_sub(1) as u64;
+        let total_losses = report.total_losses();
+        let losses_per_transition = if transitions == 0 {
+            0.0
+        } else {
+            total_losses as f64 / transitions as f64
+        };
+        let avg_recovery_latency = if transitions == 0 {
+            0.0
+        } else {
+            report.epochs[1..]
+                .iter()
+                .map(|e| e.recovery_latency() as f64)
+                .sum::<f64>()
+                / transitions as f64
+        };
+        RecoveryRow {
+            scenario: self.scenario.name(),
+            algorithm: self.algo.name().to_owned(),
+            seed: self.seed,
+            transitions,
+            dropped_unroutable: report.dropped_unroutable,
+            lost_in_flight: report.lost_in_flight,
+            losses_per_transition,
+            avg_recovery_latency,
+            avg_latency: report.avg_latency,
+            delivered: report.delivered,
+        }
+    }
+}
+
+/// Number of seed replicas per scenario in [`recovery`].
+pub const RECOVERY_SEEDS: u64 = 2;
+
+/// Runs the recovery experiment over the default scenario set
+/// ([`recovery_scenarios`]), the paper's three algorithms, and
+/// [`RECOVERY_SEEDS`] seed replicas, fanned out over `cfg.jobs` workers.
+/// Row order is scenario-major, then seed, then algorithm (the three
+/// algorithms of one (scenario, seed) column are adjacent) — identical
+/// for every worker count.
+pub fn recovery(sys: &ChipletSystem, cfg: &ExpConfig) -> Vec<RecoveryRow> {
+    let horizon = cfg.sim.warmup + cfg.sim.measure;
+    recovery_with(sys, &recovery_scenarios(horizon), RECOVERY_SEEDS, cfg)
+}
+
+/// [`recovery`] over an explicit scenario set and seed-replica count.
+pub fn recovery_with(
+    sys: &ChipletSystem,
+    scenarios: &[RecoveryScenario],
+    seeds: u64,
+    cfg: &ExpConfig,
+) -> Vec<RecoveryRow> {
+    let mut grid = Vec::new();
+    for (si, &scenario) in scenarios.iter().enumerate() {
+        for seed in 0..seeds {
+            let column_salt = (si as u64) * 1_000 + seed;
+            for algo in Algo::MAIN {
+                grid.push(RecoveryRun {
+                    sys,
+                    scenario,
+                    algo,
+                    seed,
+                    column_salt,
+                    cfg,
+                });
+            }
+        }
+    }
+    Campaign::new("recovery", grid).jobs(cfg.jobs).execute()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_are_csv_safe_and_distinct() {
+        let scens = recovery_scenarios(12_000);
+        let names: Vec<String> = scens.iter().map(RecoveryScenario::name).collect();
+        for n in &names {
+            assert!(!n.contains(','), "comma in scenario name {n:?}");
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn scenario_timelines_are_deterministic_and_admissible() {
+        let sys = ChipletSystem::baseline_4();
+        for scenario in recovery_scenarios(6_000) {
+            let a = scenario.timeline(&sys, 6_000, 5);
+            let b = scenario.timeline(&sys, 6_000, 5);
+            assert_eq!(a, b, "{}", scenario.name());
+            assert!(a.is_admissible(&sys), "{}", scenario.name());
+            assert!(!a.is_empty(), "{} generated no events", scenario.name());
+        }
+    }
+
+    #[test]
+    fn region_column_shows_deft_beating_rc() {
+        // The acceptance shape: under a chiplet-adjacent failure DeFT
+        // loses strictly fewer packets than RC on the same timeline.
+        let sys = ChipletSystem::baseline_4();
+        let cfg = ExpConfig::quick();
+        let rows = recovery_with(&sys, &[RecoveryScenario::Region { duration: 800 }], 1, &cfg);
+        assert_eq!(rows.len(), 3);
+        let losses = |name: &str| {
+            let r = rows.iter().find(|r| r.algorithm == name).unwrap();
+            r.dropped_unroutable + r.lost_in_flight
+        };
+        assert!(
+            losses("DeFT") < losses("RC"),
+            "DeFT {} vs RC {}",
+            losses("DeFT"),
+            losses("RC")
+        );
+        for r in &rows {
+            assert!(r.delivered > 0, "{} delivered nothing", r.algorithm);
+            assert_eq!(r.scenario, "region-d800");
+            assert!(r.transitions >= 1);
+        }
+    }
+}

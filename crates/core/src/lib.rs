@@ -64,10 +64,11 @@ pub mod prelude {
         cdg::ChannelDependencyGraph, reachability::ReachabilityEngine, DeftRouting, MtrRouting,
         RcRouting, RouteError, RoutingAlgorithm, Vn,
     };
-    pub use deft_sim::{Region, SimConfig, SimReport, Simulator};
+    pub use deft_sim::{EpochStats, Region, SimConfig, SimReport, Simulator};
     pub use deft_topo::{
-        ChipletId, ChipletSystem, Coord, Direction, FaultState, Layer, NodeAddr, NodeId,
-        SystemBuilder, VlDir, VlLinkId,
+        BurstConfig, ChipletId, ChipletSystem, Coord, Direction, FaultEvent, FaultEventKind,
+        FaultState, FaultTimeline, Layer, NodeAddr, NodeId, RegionConfig, SystemBuilder,
+        TransientConfig, VlDir, VlLinkId,
     };
     pub use deft_traffic::{
         hotspot, localized, multi_app, single_app, uniform, AppProfile, TrafficPattern,

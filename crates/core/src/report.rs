@@ -5,7 +5,7 @@
 //! by side (see `EXPERIMENTS.md`).
 
 use crate::experiments::{
-    AppImprovement, LatencySweep, ReachabilityCurves, RhoRow, ScalingRow, VcUtilRow,
+    AppImprovement, LatencySweep, ReachabilityCurves, RecoveryRow, RhoRow, ScalingRow, VcUtilRow,
 };
 use deft_power::Table1Row;
 use std::fmt::Write as _;
@@ -169,6 +169,67 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
             r.deft_reach,
             r.mtr_reach,
             r.rc_reach
+        );
+    }
+    out
+}
+
+/// Renders the recovery experiment (dynamic fault timelines): one row per
+/// (scenario, algorithm, seed) cell of the campaign grid.
+pub fn render_recovery(rows: &[RecoveryRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== recovery: dynamic fault timelines (uniform traffic) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:>28} {:>9} {:>5} {:>6} {:>6} {:>6} {:>11} {:>9} {:>9}",
+        "scenario", "alg", "seed", "trans", "drop", "lost", "loss/trans", "rec.lat", "latency"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>28} {:>9} {:>5} {:>6} {:>6} {:>6} {:>11.2} {:>9.1} {:>9.1}",
+            r.scenario,
+            r.algorithm,
+            r.seed,
+            r.transitions,
+            r.dropped_unroutable,
+            r.lost_in_flight,
+            r.losses_per_transition,
+            r.avg_recovery_latency,
+            r.avg_latency
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(drop = unroutable at injection; lost = in flight at a transition; \
+         rec.lat = cycles until losses cease after a transition)"
+    );
+    out
+}
+
+/// Serializes the recovery experiment as CSV.
+pub fn recovery_csv(rows: &[RecoveryRow]) -> String {
+    let mut out = String::from(
+        "scenario,algorithm,seed,transitions,dropped_unroutable,lost_in_flight,\
+         losses_per_transition,avg_recovery_latency,avg_latency,delivered\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.scenario,
+            r.algorithm,
+            r.seed,
+            r.transitions,
+            r.dropped_unroutable,
+            r.lost_in_flight,
+            r.losses_per_transition,
+            r.avg_recovery_latency,
+            r.avg_latency,
+            r.delivered
         );
     }
     out
@@ -349,6 +410,7 @@ mod tests {
         assert!(render_rho_ablation(&[]).contains("rho"));
         assert!(render_scaling(&[]).contains("scaling"));
         assert!(render_table1(&[]).contains("Table I"));
+        assert!(render_recovery(&[]).contains("recovery"));
         let none = ReachabilityCurves {
             k: vec![],
             deft: vec![],
@@ -406,6 +468,29 @@ mod tests {
             norm_power: 1.0,
         }]);
         assert!(t1.contains("MTR,45878,1,11.644,1"));
+    }
+
+    #[test]
+    fn recovery_rows_render_and_serialize() {
+        let rows = vec![RecoveryRow {
+            scenario: "region-d800".into(),
+            algorithm: "DeFT".into(),
+            seed: 1,
+            transitions: 2,
+            dropped_unroutable: 0,
+            lost_in_flight: 3,
+            losses_per_transition: 1.5,
+            avg_recovery_latency: 1.0,
+            avg_latency: 27.25,
+            delivered: 1234,
+        }];
+        let txt = render_recovery(&rows);
+        assert!(txt.contains("region-d800"));
+        assert!(txt.contains("DeFT"));
+        assert!(txt.contains("rec.lat"));
+        let csv = recovery_csv(&rows);
+        assert!(csv.starts_with("scenario,algorithm,seed,"));
+        assert!(csv.contains("region-d800,DeFT,1,2,0,3,1.5,1,27.25,1234"));
     }
 
     #[test]

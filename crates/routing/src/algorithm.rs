@@ -165,6 +165,28 @@ pub trait RoutingAlgorithm: Send {
     fn store_and_forward_up(&self) -> bool {
         false
     }
+
+    /// Notifies the algorithm that the fault state changed *mid-run*.
+    ///
+    /// The simulator calls this at every
+    /// [`FaultTimeline`](deft_topo::FaultTimeline) transition, after
+    /// applying the cycle's inject/heal events and removing stranded
+    /// in-flight packets, and before any packet of that cycle is routed
+    /// *or re-routed* (still-queued packets re-select only after the
+    /// hook returns), so implementations can refresh state *derived
+    /// from* the fault set (tables, caches, reconfiguration
+    /// bookkeeping) and have every subsequent selection consult the
+    /// fresh version. It is **not** called for the static fault state a
+    /// run starts with.
+    ///
+    /// [`on_inject`](Self::on_inject) and [`route`](Self::route) always
+    /// receive the authoritative `faults`, so an algorithm that derives
+    /// nothing — MTR and RC re-select per injection within their
+    /// design-time restricted sets, which is exactly their graceful
+    /// degradation — can keep the default no-op. DeFT overrides it to
+    /// re-address its offline selection LUT (see
+    /// [`DeftRouting`](crate::DeftRouting)).
+    fn on_fault_change(&mut self, _sys: &ChipletSystem, _faults: &FaultState) {}
 }
 
 /// The next output direction for a packet at `node` with destination `dst`,

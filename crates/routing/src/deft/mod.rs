@@ -54,6 +54,9 @@ pub struct DeftRouting {
     /// the down traversal (Algorithm 1).
     rr_boundary: Vec<u64>,
     rng: SmallRng,
+    /// Mid-run fault transitions observed via
+    /// [`RoutingAlgorithm::on_fault_change`].
+    fault_transitions: u64,
 }
 
 impl DeftRouting {
@@ -75,6 +78,7 @@ impl DeftRouting {
             lut_up: Some(lut_up),
             rr_boundary: vec![0; sys.node_count()],
             rng: SmallRng::seed_from_u64(0),
+            fault_transitions: 0,
         }
     }
 
@@ -87,6 +91,7 @@ impl DeftRouting {
             lut_up: None,
             rr_boundary: vec![0; sys.node_count()],
             rng: SmallRng::seed_from_u64(0),
+            fault_transitions: 0,
         }
     }
 
@@ -99,12 +104,20 @@ impl DeftRouting {
             lut_up: None,
             rr_boundary: vec![0; sys.node_count()],
             rng: SmallRng::seed_from_u64(seed),
+            fault_transitions: 0,
         }
     }
 
     /// The selection strategy in use.
     pub fn strategy(&self) -> VlSelectionStrategy {
         self.strategy
+    }
+
+    /// How many mid-run fault transitions this instance has been notified
+    /// of through [`RoutingAlgorithm::on_fault_change`]. Used by the
+    /// recovery experiments to confirm the hook is driven.
+    pub fn fault_transitions(&self) -> u64 {
+        self.fault_transitions
     }
 
     /// The offline down-selection LUT, when the strategy is `Optimized`.
@@ -277,6 +290,38 @@ impl RoutingAlgorithm for DeftRouting {
         };
         ctx.vn = vn;
         RouteDecision { dir, vn }
+    }
+
+    /// DeFT's online recovery step. The offline LUT is indexed by the
+    /// *healthy mask* (§III-B), so adapting to a new fault state is a
+    /// re-address, not a recomputation: this hook verifies the LUT rows
+    /// for every still-connected (chiplet, direction) group exist, which
+    /// is DeFT's whole reconfiguration cost — zero cycles of table
+    /// rebuild, the dynamic-fault analogue of the paper's static claim.
+    fn on_fault_change(&mut self, sys: &ChipletSystem, faults: &FaultState) {
+        self.fault_transitions += 1;
+        if self.strategy != VlSelectionStrategy::Optimized {
+            return;
+        }
+        for c in sys.chiplets() {
+            for dir in VlDir::ALL {
+                let healthy = faults.healthy_mask(c.id(), dir, c.vl_count());
+                if healthy == 0 {
+                    continue; // disconnected group: flows drop at injection
+                }
+                let lut = match dir {
+                    VlDir::Down => self.lut_down.as_ref(),
+                    VlDir::Up => self.lut_up.as_ref(),
+                };
+                assert!(
+                    lut.expect("optimized strategy has LUTs")
+                        .assignment(c.id(), healthy)
+                        .is_some(),
+                    "LUT row missing for {} {dir} mask {healthy:#b}",
+                    c.id()
+                );
+            }
+        }
     }
 
     fn eligibility(&self, sys: &ChipletSystem, src: NodeId, dst: NodeId) -> FlowEligibility {
@@ -601,6 +646,50 @@ mod tests {
         let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
         let dst = node(&s, Layer::Chiplet(ChipletId(1)), 2, 2);
         assert!(deft.flow_choices(&s, &f, src, dst).is_empty());
+    }
+
+    #[test]
+    fn on_fault_change_readdresses_the_lut_and_counts_transitions() {
+        let s = sys();
+        let mut deft = DeftRouting::new(&s);
+        assert_eq!(deft.fault_transitions(), 0);
+        let mut f = FaultState::none(&s);
+        let l = deft_topo::VlLinkId {
+            chiplet: ChipletId(1),
+            index: 0,
+            dir: VlDir::Down,
+        };
+        // Inject -> notify -> selections must avoid the faulty link.
+        f.inject(l);
+        deft.on_fault_change(&s, &f);
+        assert_eq!(deft.fault_transitions(), 1);
+        let src = node(&s, Layer::Chiplet(ChipletId(1)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(2)), 2, 2);
+        for seq in 0..8 {
+            let ctx = deft.on_inject(&s, &f, src, dst, seq).unwrap();
+            assert_ne!(ctx.down_vl, Some(0), "selected the faulty VL");
+        }
+        // Heal -> notify -> the full mask is addressable again.
+        f.heal(l);
+        deft.on_fault_change(&s, &f);
+        assert_eq!(deft.fault_transitions(), 2);
+        assert!(deft.on_inject(&s, &f, src, dst, 0).is_ok());
+    }
+
+    #[test]
+    fn default_hook_is_a_noop_for_baselines() {
+        let s = sys();
+        let f = FaultState::none(&s);
+        let mut mtr = crate::MtrRouting::new(&s);
+        let mut rc = crate::RcRouting::new(&s);
+        // MTR and RC derive nothing from the fault state; the default
+        // no-op hook must leave them fully functional.
+        mtr.on_fault_change(&s, &f);
+        rc.on_fault_change(&s, &f);
+        let src = node(&s, Layer::Chiplet(ChipletId(0)), 1, 1);
+        let dst = node(&s, Layer::Chiplet(ChipletId(1)), 1, 1);
+        assert!(mtr.on_inject(&s, &f, src, dst, 0).is_ok());
+        assert!(rc.on_inject(&s, &f, src, dst, 0).is_ok());
     }
 
     #[test]

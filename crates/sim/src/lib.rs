@@ -13,6 +13,15 @@
 //! utilization (Fig. 5), per-VL flit loads, simulation-measured
 //! reachability under faults (Fig. 7 spot checks), and a deadlock watchdog.
 //!
+//! Beyond the paper's static fault scenarios, a run can be driven by a
+//! [`deft_topo::FaultTimeline`] ([`Simulator::with_timeline`]): link
+//! faults inject and heal at scheduled cycles mid-run, stranded in-flight
+//! packets are removed with credit-correct bookkeeping
+//! ([`SimReport::lost_in_flight`]), the routing algorithm is notified
+//! through [`deft_routing::RoutingAlgorithm::on_fault_change`], and the
+//! report carries a per-epoch breakdown ([`EpochStats`]) for recovery
+//! analysis.
+//!
 //! ## Data flow
 //!
 //! A [`Simulator`] is assembled from a `deft-topo` system + fault state,
@@ -50,4 +59,4 @@ mod stats;
 pub use config::SimConfig;
 pub use engine::Simulator;
 pub use flit::{Flit, PacketId, PacketInfo};
-pub use stats::{Region, SimReport, VcUsage};
+pub use stats::{EpochStats, Region, SimReport, VcUsage};

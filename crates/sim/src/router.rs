@@ -1,6 +1,6 @@
 //! Router microarchitecture: VC buffers, credits, and port mapping.
 
-use crate::flit::Flit;
+use crate::flit::{Flit, PacketId};
 use deft_topo::Direction;
 use std::collections::VecDeque;
 
@@ -51,6 +51,13 @@ pub struct VcBuf {
     pub dest: Option<(u8, u8)>,
     /// Whether the downstream VC has been allocated to this worm.
     pub granted: bool,
+    /// The packet owning `dest`/`granted`. Carried separately from the
+    /// FIFO because a worm can *stream through*: every buffered flit may
+    /// have left (fifo empty) while the tail is still upstream, and the
+    /// routing state keeps belonging to that worm until its tail departs.
+    /// Fault-transition packet removal keys on this, not on the front
+    /// flit.
+    pub owner: Option<PacketId>,
 }
 
 impl VcBuf {
@@ -61,6 +68,7 @@ impl VcBuf {
             cap,
             dest: None,
             granted: false,
+            owner: None,
         }
     }
 

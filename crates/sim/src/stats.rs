@@ -55,6 +55,70 @@ impl VcUsage {
     }
 }
 
+/// Statistics for one *fault epoch*: the window between two consecutive
+/// fault-timeline transitions (or between a run boundary and the nearest
+/// transition). Recorded only for runs driven by a
+/// [`FaultTimeline`](deft_topo::FaultTimeline); see
+/// [`Simulator::with_timeline`](crate::Simulator::with_timeline).
+///
+/// Comparing consecutive epochs gives the latency and loss picture
+/// *before, during, and after* each fault transition, which is what the
+/// recovery experiments aggregate.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochStats {
+    /// First cycle of the epoch (the transition cycle, or 0).
+    pub start_cycle: u64,
+    /// One past the last cycle of the epoch (the next transition cycle,
+    /// or the run's final cycle).
+    pub end_cycle: u64,
+    /// Faulty unidirectional links throughout the epoch.
+    pub faulty_links: usize,
+    /// Packets generated during the epoch.
+    pub generated: u64,
+    /// Measured packets delivered during the epoch.
+    pub delivered: u64,
+    /// Packets found unroutable at injection during the epoch.
+    pub dropped_unroutable: u64,
+    /// Packets lost *in flight* during the epoch: they were already in
+    /// the network (or source queue) when a transition made their
+    /// selected vertical link faulty, and could not be re-routed.
+    pub lost_in_flight: u64,
+    /// Sum of delivered measured latencies (cycles) within the epoch.
+    pub latency_sum: u64,
+    /// Cycle of the last packet loss (either kind) within the epoch, if
+    /// any. Drives [`recovery_latency`](Self::recovery_latency).
+    pub last_drop_cycle: Option<u64>,
+}
+
+impl EpochStats {
+    /// Mean latency of measured packets delivered in this epoch (0.0 when
+    /// none were).
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered as f64
+        }
+    }
+
+    /// Total packets lost in this epoch, both at injection and in flight.
+    pub fn losses(&self) -> u64 {
+        self.dropped_unroutable + self.lost_in_flight
+    }
+
+    /// Recovery latency of the transition that opened this epoch: cycles
+    /// from the epoch start until losses ceased (0 when the epoch had
+    /// none). An algorithm that adapts instantly loses only in-flight
+    /// packets at the transition itself (recovery ≈ 1); one that cannot
+    /// re-route keeps dropping until the fault heals (recovery ≈ the
+    /// epoch length).
+    pub fn recovery_latency(&self) -> u64 {
+        self.last_drop_cycle
+            .map(|c| c - self.start_cycle + 1)
+            .unwrap_or(0)
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, Serialize)]
 pub struct SimReport {
@@ -71,6 +135,16 @@ pub struct SimReport {
     /// Packets (measured or not) dropped as unroutable under the current
     /// fault state; the numerator of simulated unreachability.
     pub dropped_unroutable: u64,
+    /// Packets lost at fault-timeline transitions (0 for static runs):
+    /// worms stranded in the network when their selected vertical link
+    /// failed before they finished crossing it, plus source-queued
+    /// packets whose re-selection against the new fault state found no
+    /// healthy eligible link. Distinct from [`dropped_unroutable`]
+    /// (unroutable at first injection): everything counted here was
+    /// routable when generated and lost to a *later* transition.
+    ///
+    /// [`dropped_unroutable`]: Self::dropped_unroutable
+    pub lost_in_flight: u64,
     /// Packets generated over the whole run (denominator of simulated
     /// reachability).
     pub generated_total: u64,
@@ -94,6 +168,9 @@ pub struct SimReport {
     pub vl_flits: BTreeMap<(u8, u8, bool), u64>,
     /// Whether the deadlock watchdog fired.
     pub deadlocked: bool,
+    /// Per-epoch breakdown for timeline-driven runs, in time order; empty
+    /// for static-fault runs.
+    pub epochs: Vec<EpochStats>,
 }
 
 impl SimReport {
@@ -105,6 +182,13 @@ impl SimReport {
         } else {
             1.0 - self.dropped_unroutable as f64 / self.generated_total as f64
         }
+    }
+
+    /// Packets lost to faults over the whole run: unroutable at injection
+    /// plus lost in flight at timeline transitions. The recovery
+    /// experiments compare algorithms on this total.
+    pub fn total_losses(&self) -> u64 {
+        self.dropped_unroutable + self.lost_in_flight
     }
 
     /// Fraction of measured packets that were delivered; < 1 indicates the
@@ -164,6 +248,7 @@ mod tests {
             injected_measured: 10,
             delivered: 9,
             dropped_unroutable: 5,
+            lost_in_flight: 2,
             generated_total: 100,
             avg_latency: 20.0,
             p50_latency: 18,
@@ -174,10 +259,39 @@ mod tests {
             vc_usage: BTreeMap::new(),
             vl_flits: BTreeMap::new(),
             deadlocked: false,
+            epochs: Vec::new(),
         };
         assert!((r.reachability() - 0.95).abs() < 1e-12);
         assert!((r.delivery_ratio() - 0.9).abs() < 1e-12);
+        assert_eq!(r.total_losses(), 7);
         r.generated_total = 0;
         assert_eq!(r.reachability(), 1.0);
+    }
+
+    #[test]
+    fn epoch_stats_derived_metrics() {
+        let e = EpochStats {
+            start_cycle: 1_000,
+            end_cycle: 2_000,
+            faulty_links: 2,
+            generated: 500,
+            delivered: 400,
+            dropped_unroutable: 30,
+            lost_in_flight: 5,
+            latency_sum: 10_000,
+            last_drop_cycle: Some(1_900),
+        };
+        assert!((e.avg_latency() - 25.0).abs() < 1e-12);
+        assert_eq!(e.losses(), 35);
+        assert_eq!(e.recovery_latency(), 901);
+        let clean = EpochStats {
+            dropped_unroutable: 0,
+            lost_in_flight: 0,
+            last_drop_cycle: None,
+            delivered: 0,
+            ..e
+        };
+        assert_eq!(clean.recovery_latency(), 0);
+        assert_eq!(clean.avg_latency(), 0.0);
     }
 }

@@ -182,6 +182,25 @@ impl FaultState {
     }
 }
 
+/// Every unidirectional vertical link of `sys`, chiplet-major, down
+/// before up within a chiplet — the canonical link order shared by
+/// scenario enumeration, sampling, and timeline generation.
+pub(crate) fn all_unidirectional_links(sys: &ChipletSystem) -> Vec<VlLinkId> {
+    let mut links = Vec::with_capacity(sys.unidirectional_vl_count());
+    for c in sys.chiplets() {
+        for dir in VlDir::ALL {
+            for i in 0..c.vl_count() {
+                links.push(VlLinkId {
+                    chiplet: c.id(),
+                    index: i as u8,
+                    dir,
+                });
+            }
+        }
+    }
+    links
+}
+
 /// `n choose r` as `u128`; saturates are not needed for the paper's sizes
 /// (≤ 48 choose 8).
 pub(crate) fn binomial(n: u64, r: u64) -> u128 {
@@ -213,18 +232,7 @@ impl FaultScenarios {
     /// Prepares enumeration of all scenarios with exactly `k` faulty
     /// unidirectional links.
     pub fn new(sys: &ChipletSystem, k: usize) -> Self {
-        let mut links = Vec::with_capacity(sys.unidirectional_vl_count());
-        for c in sys.chiplets() {
-            for dir in VlDir::ALL {
-                for i in 0..c.vl_count() {
-                    links.push(VlLinkId {
-                        chiplet: c.id(),
-                        index: i as u8,
-                        dir,
-                    });
-                }
-            }
-        }
+        let links = all_unidirectional_links(sys);
         let vl_counts = sys.chiplets().iter().map(|c| c.vl_count()).collect();
         Self {
             links,
@@ -325,6 +333,12 @@ impl FaultScenarios {
 
 /// Seeded random sampler of admissible `k`-fault scenarios, used for
 /// Monte-Carlo cross-checks of the exact reachability engine.
+///
+/// Every returned state is *admissible*: it never disconnects a chiplet
+/// (checked with [`FaultState::disconnects_any_chiplet`] before
+/// returning; `tests` pins this contract). Draws are uniform over the
+/// admissible `k`-subsets because inadmissible draws are rejected and
+/// redrawn, up to [`ScenarioSampler::MAX_REJECTIONS`] attempts.
 #[derive(Debug)]
 pub struct ScenarioSampler {
     links: Vec<VlLinkId>,
@@ -333,6 +347,18 @@ pub struct ScenarioSampler {
 }
 
 impl ScenarioSampler {
+    /// Upper bound on rejection-sampling attempts per
+    /// [`sample`](Self::sample) call.
+    ///
+    /// For the paper's systems this bound is unreachable in practice: the
+    /// admissible fraction at the worst evaluated point (`k = 8` of 32
+    /// links, 4 chiplets) is above 99 %, so the probability of 100 000
+    /// consecutive rejections is astronomically small. The bound exists
+    /// to turn a misconfigured sampler (`k` at or past the link count, or
+    /// a system where *every* `k`-subset disconnects some chiplet) into a
+    /// loud panic instead of an infinite loop.
+    pub const MAX_REJECTIONS: usize = 100_000;
+
     /// Creates a sampler for scenarios with `k` faults.
     pub fn new(sys: &ChipletSystem, k: usize, seed: u64) -> Self {
         let scen = FaultScenarios::new(sys, k);
@@ -343,13 +369,18 @@ impl ScenarioSampler {
         }
     }
 
-    /// Draws one admissible scenario by rejection sampling.
+    /// Draws one admissible scenario by rejection sampling: a uniform
+    /// `k`-subset of links (partial Fisher–Yates), redrawn while it would
+    /// disconnect a chiplet. The returned state always has exactly `k`
+    /// faults and disconnects no chiplet.
     ///
     /// # Panics
-    /// Panics if no admissible scenario exists (e.g. `k` ≥ the number of
-    /// links), after a bounded number of rejections.
+    /// Panics after [`Self::MAX_REJECTIONS`] consecutive inadmissible
+    /// draws — which, for any configuration with a non-negligible
+    /// admissible fraction, indicates a misconfiguration rather than bad
+    /// luck (see [`Self::MAX_REJECTIONS`]).
     pub fn sample(&mut self, sys: &ChipletSystem) -> FaultState {
-        for _ in 0..100_000 {
+        for _ in 0..Self::MAX_REJECTIONS {
             // Partial Fisher-Yates for a uniform k-subset.
             let mut pool: Vec<usize> = (0..self.links.len()).collect();
             for i in 0..self.k {
@@ -363,8 +394,9 @@ impl ScenarioSampler {
             }
         }
         panic!(
-            "no admissible {}-fault scenario found after 100000 samples",
-            self.k
+            "no admissible {}-fault scenario found after {} samples",
+            self.k,
+            Self::MAX_REJECTIONS
         )
     }
 }
@@ -506,6 +538,27 @@ mod tests {
             let s = sampler.sample(&sys);
             assert_eq!(s.faulty_count(), 8);
             assert!(!s.disconnects_any_chiplet(&sys));
+        }
+    }
+
+    #[test]
+    fn sampler_never_disconnects_even_at_high_fault_counts() {
+        // The documented contract: sample() NEVER returns a state that
+        // disconnects a chiplet, even where rejections are frequent. At
+        // k = 24 of 32 links most raw draws fully fault some group
+        // (the only admissible shape is 3-of-4 faulty in every group),
+        // so this exercises the rejection path hard.
+        let sys = ChipletSystem::baseline_4();
+        for seed in 0..4 {
+            let mut sampler = ScenarioSampler::new(&sys, 24, seed);
+            for _ in 0..25 {
+                let s = sampler.sample(&sys);
+                assert_eq!(s.faulty_count(), 24);
+                assert!(
+                    !s.disconnects_any_chiplet(&sys),
+                    "sampler returned a disconnecting state (seed {seed})"
+                );
+            }
         }
     }
 

@@ -15,7 +15,10 @@
 //! link (chiplet → interposer) can fail independently of its up twin
 //! (interposer → chiplet). The paper's fault-rate axis (e.g. "8 faulty VLs of
 //! 32" for the 4-chiplet system) counts unidirectional links, which is what
-//! [`FaultState`] and [`FaultScenarios`] enumerate.
+//! [`FaultState`] and [`FaultScenarios`] enumerate. Beyond the paper's
+//! static scenarios, [`FaultTimeline`] schedules faults that inject *and
+//! heal* at given cycles during a live simulation (transient, burst, and
+//! region generators), which is what the recovery experiments consume.
 //!
 //! ## Data flow
 //!
@@ -47,6 +50,7 @@ mod fault;
 mod ids;
 mod presets;
 mod system;
+mod timeline;
 
 pub use chiplet::Chiplet;
 pub use coord::{Coord, Direction};
@@ -55,3 +59,7 @@ pub use fault::{FaultScenarios, FaultState, ScenarioSampler, VlLinkId};
 pub use ids::{ChipletId, Layer, NodeAddr, NodeId, VlDir};
 pub use presets::PINWHEEL_VLS_4X4;
 pub use system::{ChipletSystem, SystemBuilder, VerticalLink};
+pub use timeline::{
+    BurstConfig, FaultEvent, FaultEventKind, FaultTimeline, RegionConfig, TimelineCursor,
+    TransientConfig,
+};

@@ -1,0 +1,763 @@
+//! Fault timelines: link faults that inject and heal at scheduled cycles
+//! *during* a live simulation.
+//!
+//! The paper evaluates DeFT only against static fault scenarios — every
+//! [`FaultState`] is fixed before the simulator starts. A [`FaultTimeline`]
+//! lifts that restriction: it is an ordered sequence of [`FaultEvent`]s
+//! (inject or heal one unidirectional vertical link at a given cycle) that
+//! the simulator consumes at cycle granularity through a
+//! [`TimelineCursor`], so resilience can be measured as *recovery
+//! behaviour* (drops, in-flight losses, latency around each transition)
+//! instead of steady state only.
+//!
+//! Three seeded, deterministic generators cover the scenario classes of
+//! the recovery experiment:
+//!
+//! * [`FaultTimeline::transient`] — per-link alternating exponential
+//!   healthy/faulty periods (random transient faults);
+//! * [`FaultTimeline::burst`] — several links fail together at random
+//!   instants and heal after a fixed duration (burst failures);
+//! * [`FaultTimeline::region`] — all-but-one links of one (chiplet,
+//!   direction) group fail together (region / chiplet-adjacent failure).
+//!
+//! All generators run their candidate events through the *admissibility
+//! filter* ([`FaultTimeline::from_candidates`]): an inject that would
+//! disconnect a chiplet (fully fault one of its per-direction link
+//! groups) is dropped together with its paired heal, so every
+//! intermediate [`FaultState`] along a generated timeline keeps every
+//! chiplet reachable — the dynamic analogue of the paper's "excluding
+//! scenarios that disconnect chiplets completely" rule. Timelines built
+//! directly with [`FaultTimeline::from_events`] are *not* filtered; use
+//! [`FaultTimeline::is_admissible`] to check them.
+//!
+//! Determinism: generators draw from [`SmallRng`] streams derived from
+//! the caller's seed (per-link streams for [`FaultTimeline::transient`],
+//! so the timeline does not depend on link iteration order), and events
+//! are kept in a canonical total order. The same `(system, config, seed)`
+//! triple always produces byte-identical timelines on every platform.
+
+use crate::fault::all_unidirectional_links;
+use crate::{ChipletSystem, FaultState, VlDir, VlLinkId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a [`FaultEvent`] does to its link.
+///
+/// `Heal` orders before `Inject`: when both kinds are due at the same
+/// cycle, healed capacity becomes available before new faults are
+/// applied, which keeps the admissibility filter maximally permissive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// The link becomes healthy again.
+    Heal,
+    /// The link becomes faulty.
+    Inject,
+}
+
+impl fmt::Display for FaultEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEventKind::Heal => f.write_str("heal"),
+            FaultEventKind::Inject => f.write_str("inject"),
+        }
+    }
+}
+
+/// One scheduled fault transition: at `cycle`, `link` is injected or
+/// healed.
+///
+/// Events take effect *at* their cycle: a simulator applying the timeline
+/// sees the new fault state before routing any flit of that cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The cycle at which the transition takes effect.
+    pub cycle: u64,
+    /// Event kind — heal before inject within a cycle (field order is the
+    /// canonical sort order).
+    pub kind: FaultEventKind,
+    /// The unidirectional vertical link that changes state.
+    pub link: VlLinkId,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {} {}", self.cycle, self.kind, self.link)
+    }
+}
+
+/// Configuration of [`FaultTimeline::transient`]: random transient faults
+/// with exponential up/down times, independently per link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientConfig {
+    /// Mean healthy period per link, in cycles (exponentially
+    /// distributed). The per-link fault rate is `1 / mean_healthy`.
+    pub mean_healthy: f64,
+    /// Mean faulty period per link, in cycles (exponentially
+    /// distributed).
+    pub mean_faulty: f64,
+    /// Events are generated in `[0, horizon)`; a fault whose sampled heal
+    /// time falls past the horizon still emits its heal event (it simply
+    /// lands after the horizon).
+    pub horizon: u64,
+    /// RNG seed. Each link derives an independent stream from it.
+    pub seed: u64,
+}
+
+/// Configuration of [`FaultTimeline::burst`]: `bursts` failure bursts at
+/// seeded-random instants, each failing `links_per_burst` random links for
+/// `duration` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstConfig {
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Links failing together per burst (admissibility may drop some).
+    pub links_per_burst: usize,
+    /// Cycles from a burst's inject to its heal. A zero duration drops
+    /// the burst entirely (a zero-length fault has no observable window).
+    pub duration: u64,
+    /// Burst start cycles are drawn uniformly from `[0, horizon)`.
+    pub horizon: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Configuration of [`FaultTimeline::region`]: one chiplet-adjacent
+/// failure — all links of a seeded-random (chiplet, direction) group
+/// except one seeded-random spare fail together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Cycle at which the region fails.
+    pub start: u64,
+    /// Cycles until the region heals. A zero duration drops the scenario
+    /// entirely (a zero-length fault has no observable window).
+    pub duration: u64,
+    /// RNG seed (selects the chiplet, the direction, and the spare link).
+    pub seed: u64,
+}
+
+/// An ordered schedule of link-fault transitions over a simulation run.
+///
+/// Built by a generator ([`transient`](Self::transient),
+/// [`burst`](Self::burst), [`region`](Self::region)) or directly from
+/// events ([`from_events`](Self::from_events)); consumed by a simulator
+/// through [`cursor`](Self::cursor).
+///
+/// ```
+/// use deft_topo::{ChipletSystem, FaultState, FaultTimeline, TransientConfig};
+///
+/// let sys = ChipletSystem::baseline_4();
+/// let tl = FaultTimeline::transient(
+///     &sys,
+///     &TransientConfig { mean_healthy: 4_000.0, mean_faulty: 500.0, horizon: 10_000, seed: 7 },
+/// );
+/// assert!(tl.is_admissible(&sys));
+/// // Drive it the way the simulator does:
+/// let mut cursor = tl.cursor();
+/// let mut faults = FaultState::none(&sys);
+/// for cycle in 0..10_000 {
+///     if cursor.advance(cycle, &mut faults) {
+///         assert!(!faults.disconnects_any_chiplet(&sys));
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// An empty timeline (a static-fault run).
+    pub fn empty() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// A timeline holding exactly `events`, sorted into the canonical
+    /// order (cycle, then heal-before-inject, then link).
+    ///
+    /// No admissibility filtering is applied; check with
+    /// [`is_admissible`](Self::is_admissible) if the events are not from a
+    /// generator.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_unstable();
+        Self { events }
+    }
+
+    /// The events in canonical order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The distinct cycles at which the fault state changes, in order.
+    pub fn transition_cycles(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.events.iter().map(|e| e.cycle).collect();
+        out.dedup();
+        out
+    }
+
+    /// The fault state after applying every event with `event.cycle <=
+    /// cycle` to a fault-free start.
+    pub fn state_at(&self, sys: &ChipletSystem, cycle: u64) -> FaultState {
+        let mut state = FaultState::none(sys);
+        for e in self.events.iter().take_while(|e| e.cycle <= cycle) {
+            e.apply(&mut state);
+        }
+        state
+    }
+
+    /// Whether every intermediate fault state along the timeline (starting
+    /// fault-free) keeps every chiplet connected. Generator-built
+    /// timelines always are; hand-built ones may not be.
+    pub fn is_admissible(&self, sys: &ChipletSystem) -> bool {
+        let mut state = FaultState::none(sys);
+        for e in &self.events {
+            e.apply(&mut state);
+            if state.disconnects_any_chiplet(sys) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A cursor for consuming the timeline cycle by cycle.
+    pub fn cursor(&self) -> TimelineCursor<'_> {
+        TimelineCursor {
+            events: &self.events,
+            next: 0,
+        }
+    }
+
+    /// Random transient faults: each link alternates exponentially
+    /// distributed healthy and faulty periods, independently of the
+    /// others (mismatch, electromigration and thermomigration act on
+    /// individual micro-bump groups — paper §III-B — so link lifetimes
+    /// are modelled as independent).
+    ///
+    /// Each link draws from its own RNG stream derived from `cfg.seed`,
+    /// so the result is independent of link iteration order. Injects that
+    /// would disconnect a chiplet are dropped with their paired heal
+    /// (see the module docs).
+    ///
+    /// # Panics
+    /// Panics if `cfg.mean_healthy` or `cfg.mean_faulty` is not finite
+    /// and strictly positive.
+    pub fn transient(sys: &ChipletSystem, cfg: &TransientConfig) -> Self {
+        assert!(
+            cfg.mean_healthy.is_finite() && cfg.mean_healthy > 0.0,
+            "mean_healthy must be finite and positive, got {}",
+            cfg.mean_healthy
+        );
+        assert!(
+            cfg.mean_faulty.is_finite() && cfg.mean_faulty > 0.0,
+            "mean_faulty must be finite and positive, got {}",
+            cfg.mean_faulty
+        );
+        let mut cands = Vec::new();
+        for (i, link) in all_unidirectional_links(sys).into_iter().enumerate() {
+            // Per-link stream: SplitMix64-style increment keeps streams
+            // decorrelated for any seed.
+            let mut rng = SmallRng::seed_from_u64(
+                cfg.seed
+                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            let mut t = exp_cycles(&mut rng, cfg.mean_healthy);
+            while t < cfg.horizon {
+                let heal_at = t + exp_cycles(&mut rng, cfg.mean_faulty);
+                cands.push(Candidate {
+                    inject_at: t,
+                    heal_at,
+                    link,
+                });
+                t = heal_at + exp_cycles(&mut rng, cfg.mean_healthy);
+            }
+        }
+        Self::from_candidates(sys, cands)
+    }
+
+    /// Burst failures: `cfg.bursts` bursts at seeded-random start cycles,
+    /// each failing `cfg.links_per_burst` distinct random links for
+    /// `cfg.duration` cycles. Overlapping bursts are allowed; injects
+    /// that would disconnect a chiplet are dropped with their heals.
+    pub fn burst(sys: &ChipletSystem, cfg: &BurstConfig) -> Self {
+        let links = all_unidirectional_links(sys);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut cands = Vec::new();
+        for _ in 0..cfg.bursts {
+            let start = rng.random_range(0..cfg.horizon.max(1));
+            // Partial Fisher-Yates for a uniform distinct-link subset.
+            let mut pool: Vec<usize> = (0..links.len()).collect();
+            let take = cfg.links_per_burst.min(pool.len());
+            for i in 0..take {
+                let j = rng.random_range(i..pool.len());
+                pool.swap(i, j);
+                cands.push(Candidate {
+                    inject_at: start,
+                    heal_at: start + cfg.duration,
+                    link: links[pool[i]],
+                });
+            }
+        }
+        Self::from_candidates(sys, cands)
+    }
+
+    /// A region (chiplet-adjacent) failure: every link of one
+    /// seeded-random (chiplet, direction) group *except one spare* fails
+    /// at `cfg.start` and heals at `cfg.start + cfg.duration`. Keeping
+    /// one spare makes the scenario admissible by construction; the
+    /// filter still runs for uniformity.
+    pub fn region(sys: &ChipletSystem, cfg: &RegionConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let chiplet = sys.chiplets()[rng.random_range(0..sys.chiplet_count())].id();
+        let dir = VlDir::ALL[rng.random_range(0..2usize)];
+        let vl_count = sys.chiplet(chiplet).vl_count();
+        let spare = rng.random_range(0..vl_count) as u8;
+        let cands = (0..vl_count as u8)
+            .filter(|&i| i != spare)
+            .map(|index| Candidate {
+                inject_at: cfg.start,
+                heal_at: cfg.start + cfg.duration,
+                link: VlLinkId {
+                    chiplet,
+                    index,
+                    dir,
+                },
+            })
+            .collect();
+        Self::from_candidates(sys, cands)
+    }
+
+    /// The admissibility filter shared by all generators: walks the
+    /// candidate inject/heal pairs in canonical event order, maintaining
+    /// the running fault state; an inject that would fully fault a
+    /// (chiplet, direction) group — disconnecting the chiplet — is
+    /// dropped together with its paired heal. Degenerate pairs with
+    /// `heal_at <= inject_at` (a zero-length fault, e.g. a `duration: 0`
+    /// burst) are dropped outright: the canonical heal-before-inject
+    /// ordering would otherwise turn them into never-healed faults.
+    fn from_candidates(sys: &ChipletSystem, cands: Vec<Candidate>) -> Self {
+        let mut tagged: Vec<(FaultEvent, usize)> = Vec::with_capacity(cands.len() * 2);
+        for (pair, c) in cands.iter().enumerate() {
+            if c.heal_at <= c.inject_at {
+                continue;
+            }
+            tagged.push((
+                FaultEvent {
+                    cycle: c.inject_at,
+                    kind: FaultEventKind::Inject,
+                    link: c.link,
+                },
+                pair,
+            ));
+            tagged.push((
+                FaultEvent {
+                    cycle: c.heal_at,
+                    kind: FaultEventKind::Heal,
+                    link: c.link,
+                },
+                pair,
+            ));
+        }
+        tagged.sort_unstable();
+        let mut dropped = vec![false; cands.len()];
+        let mut state = FaultState::none(sys);
+        let mut events = Vec::with_capacity(tagged.len());
+        for (e, pair) in tagged {
+            if dropped[pair] {
+                continue;
+            }
+            match e.kind {
+                FaultEventKind::Inject => {
+                    // A link can carry overlapping candidate faults (e.g.
+                    // two bursts hitting it); re-injecting an
+                    // already-faulty link is indistinguishable at the
+                    // FaultState level, but its heal would end *both*
+                    // faults early, so overlapping pairs on one link are
+                    // dropped too.
+                    if state.is_faulty(e.link) {
+                        dropped[pair] = true;
+                        continue;
+                    }
+                    state.inject(e.link);
+                    if state.disconnects_any_chiplet(sys) {
+                        state.heal(e.link);
+                        dropped[pair] = true;
+                    } else {
+                        events.push(e);
+                    }
+                }
+                FaultEventKind::Heal => {
+                    state.heal(e.link);
+                    events.push(e);
+                }
+            }
+        }
+        Self { events }
+    }
+}
+
+impl FaultEvent {
+    /// Applies the event to a fault state.
+    pub fn apply(&self, state: &mut FaultState) {
+        match self.kind {
+            FaultEventKind::Inject => state.inject(self.link),
+            FaultEventKind::Heal => state.heal(self.link),
+        }
+    }
+}
+
+/// One inject/heal pair before admissibility filtering.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    inject_at: u64,
+    heal_at: u64,
+    link: VlLinkId,
+}
+
+/// A position in a [`FaultTimeline`], consuming events monotonically.
+///
+/// The simulator calls [`advance`](Self::advance) once per cycle with its
+/// current cycle number; the cursor applies every not-yet-applied event
+/// with `event.cycle <= cycle` and reports whether the fault state
+/// actually changed (an inject of an already-faulty link, or a heal of a
+/// healthy one, is a no-op).
+#[derive(Debug, Clone)]
+pub struct TimelineCursor<'a> {
+    events: &'a [FaultEvent],
+    next: usize,
+}
+
+impl TimelineCursor<'_> {
+    /// Applies all due events to `state`. Returns whether any fault bit
+    /// flipped.
+    pub fn advance(&mut self, cycle: u64, state: &mut FaultState) -> bool {
+        let mut changed = false;
+        while let Some(e) = self.events.get(self.next) {
+            if e.cycle > cycle {
+                break;
+            }
+            let was = state.is_faulty(e.link);
+            e.apply(state);
+            changed |= state.is_faulty(e.link) != was;
+            self.next += 1;
+        }
+        changed
+    }
+
+    /// Whether every event has been applied.
+    pub fn is_done(&self) -> bool {
+        self.next == self.events.len()
+    }
+
+    /// The cycle of the next pending event, if any.
+    pub fn next_transition(&self) -> Option<u64> {
+        self.events.get(self.next).map(|e| e.cycle)
+    }
+}
+
+/// An exponential cycle count with the given mean, at least 1.
+fn exp_cycles(rng: &mut SmallRng, mean: f64) -> u64 {
+    let u: f64 = rng.random();
+    // 1 - u is in (0, 1], so ln is finite and non-positive.
+    let sample = -mean * (1.0 - u).ln();
+    (sample.round() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChipletId;
+
+    fn sys() -> ChipletSystem {
+        ChipletSystem::baseline_4()
+    }
+
+    fn link(c: u8, i: u8, dir: VlDir) -> VlLinkId {
+        VlLinkId {
+            chiplet: ChipletId(c),
+            index: i,
+            dir,
+        }
+    }
+
+    #[test]
+    fn events_sort_into_canonical_order() {
+        let tl = FaultTimeline::from_events(vec![
+            FaultEvent {
+                cycle: 10,
+                kind: FaultEventKind::Inject,
+                link: link(0, 0, VlDir::Down),
+            },
+            FaultEvent {
+                cycle: 10,
+                kind: FaultEventKind::Heal,
+                link: link(1, 1, VlDir::Up),
+            },
+            FaultEvent {
+                cycle: 5,
+                kind: FaultEventKind::Inject,
+                link: link(1, 1, VlDir::Up),
+            },
+        ]);
+        let cycles: Vec<u64> = tl.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![5, 10, 10]);
+        // Heal orders before inject at the shared cycle.
+        assert_eq!(tl.events()[1].kind, FaultEventKind::Heal);
+        assert_eq!(tl.transition_cycles(), vec![5, 10]);
+    }
+
+    #[test]
+    fn cursor_applies_events_at_their_cycle() {
+        let s = sys();
+        let l = link(2, 1, VlDir::Down);
+        let tl = FaultTimeline::from_events(vec![
+            FaultEvent {
+                cycle: 3,
+                kind: FaultEventKind::Inject,
+                link: l,
+            },
+            FaultEvent {
+                cycle: 9,
+                kind: FaultEventKind::Heal,
+                link: l,
+            },
+        ]);
+        let mut cursor = tl.cursor();
+        let mut f = FaultState::none(&s);
+        assert!(!cursor.advance(2, &mut f));
+        assert_eq!(cursor.next_transition(), Some(3));
+        assert!(cursor.advance(3, &mut f));
+        assert!(f.is_faulty(l));
+        assert!(!cursor.advance(8, &mut f));
+        assert!(cursor.advance(9, &mut f));
+        assert!(f.is_fault_free());
+        assert!(cursor.is_done());
+    }
+
+    #[test]
+    fn cursor_reports_no_change_for_redundant_events() {
+        let s = sys();
+        let l = link(0, 0, VlDir::Up);
+        let tl = FaultTimeline::from_events(vec![FaultEvent {
+            cycle: 1,
+            kind: FaultEventKind::Heal, // already healthy: no-op
+            link: l,
+        }]);
+        let mut f = FaultState::none(&s);
+        assert!(!tl.cursor().advance(1, &mut f));
+    }
+
+    #[test]
+    fn state_at_replays_prefixes() {
+        let s = sys();
+        let l = link(3, 2, VlDir::Up);
+        let tl = FaultTimeline::from_events(vec![
+            FaultEvent {
+                cycle: 100,
+                kind: FaultEventKind::Inject,
+                link: l,
+            },
+            FaultEvent {
+                cycle: 200,
+                kind: FaultEventKind::Heal,
+                link: l,
+            },
+        ]);
+        assert!(tl.state_at(&s, 99).is_fault_free());
+        assert!(tl.state_at(&s, 100).is_faulty(l));
+        assert!(tl.state_at(&s, 150).is_faulty(l));
+        assert!(tl.state_at(&s, 200).is_fault_free());
+    }
+
+    #[test]
+    fn transient_timelines_are_deterministic_and_admissible() {
+        let s = sys();
+        let cfg = TransientConfig {
+            mean_healthy: 1_500.0,
+            mean_faulty: 400.0,
+            horizon: 20_000,
+            seed: 42,
+        };
+        let a = FaultTimeline::transient(&s, &cfg);
+        let b = FaultTimeline::transient(&s, &cfg);
+        assert_eq!(a, b, "same seed must reproduce the timeline exactly");
+        assert!(!a.is_empty(), "20k cycles at MTBF 1.5k must produce faults");
+        assert!(a.is_admissible(&s));
+        // A different seed produces a different schedule.
+        let c = FaultTimeline::transient(&s, &TransientConfig { seed: 43, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn transient_pairs_injects_with_heals_per_link() {
+        let s = sys();
+        let tl = FaultTimeline::transient(
+            &s,
+            &TransientConfig {
+                mean_healthy: 800.0,
+                mean_faulty: 300.0,
+                horizon: 30_000,
+                seed: 9,
+            },
+        );
+        // Per link, events alternate inject/heal starting with inject.
+        for l in all_unidirectional_links(&s) {
+            let mut faulty = false;
+            for e in tl.events().iter().filter(|e| e.link == l) {
+                match e.kind {
+                    FaultEventKind::Inject => {
+                        assert!(!faulty, "double inject on {l}");
+                        faulty = true;
+                    }
+                    FaultEventKind::Heal => {
+                        assert!(faulty, "heal of healthy {l}");
+                        faulty = false;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn burst_timelines_are_admissible_across_seeds() {
+        let s = sys();
+        for seed in 0..20 {
+            let tl = FaultTimeline::burst(
+                &s,
+                &BurstConfig {
+                    bursts: 3,
+                    links_per_burst: 6,
+                    duration: 2_000,
+                    horizon: 10_000,
+                    seed,
+                },
+            );
+            assert!(tl.is_admissible(&s), "seed {seed}");
+            assert!(!tl.is_empty());
+        }
+    }
+
+    #[test]
+    fn region_fails_all_but_one_link_of_one_group() {
+        let s = sys();
+        let tl = FaultTimeline::region(
+            &s,
+            &RegionConfig {
+                start: 500,
+                duration: 1_000,
+                seed: 3,
+            },
+        );
+        assert!(tl.is_admissible(&s));
+        let during = tl.state_at(&s, 600);
+        // Exactly vl_count - 1 faults, all in one (chiplet, dir) group.
+        assert_eq!(during.faulty_count(), 3);
+        let groups: std::collections::BTreeSet<(u8, VlDir)> = during
+            .links()
+            .iter()
+            .map(|l| (l.chiplet.0, l.dir))
+            .collect();
+        assert_eq!(groups.len(), 1, "faults must share one group");
+        assert!(tl.state_at(&s, 1_500).is_fault_free());
+    }
+
+    #[test]
+    fn admissibility_filter_drops_disconnecting_injects() {
+        let s = sys();
+        // Hand-build candidates that would kill all 4 down links of
+        // chiplet 0 at cycle 10 via the burst path: ask for an absurd
+        // burst width so the filter must intervene.
+        let tl = FaultTimeline::burst(
+            &s,
+            &BurstConfig {
+                bursts: 1,
+                links_per_burst: 32, // every unidirectional link
+                duration: 100,
+                horizon: 1,
+                seed: 0,
+            },
+        );
+        assert!(tl.is_admissible(&s));
+        let peak = tl.state_at(&s, 0);
+        // 3 of 4 links per group survive the filter: 8 groups x 3.
+        assert_eq!(peak.faulty_count(), 24);
+        assert!(!peak.disconnects_any_chiplet(&s));
+    }
+
+    #[test]
+    fn zero_duration_faults_are_dropped_not_left_unhealed() {
+        let s = sys();
+        let tl = FaultTimeline::burst(
+            &s,
+            &BurstConfig {
+                bursts: 1,
+                links_per_burst: 3,
+                duration: 0,
+                horizon: 10,
+                seed: 0,
+            },
+        );
+        assert!(
+            tl.is_empty(),
+            "a zero-length fault must vanish, not persist: {:?}",
+            tl.events()
+        );
+        let tl = FaultTimeline::region(
+            &s,
+            &RegionConfig {
+                start: 5,
+                duration: 0,
+                seed: 0,
+            },
+        );
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn inadmissible_hand_built_timelines_are_detected() {
+        let s = sys();
+        let events = (0..4)
+            .map(|i| FaultEvent {
+                cycle: 1,
+                kind: FaultEventKind::Inject,
+                link: link(0, i, VlDir::Down),
+            })
+            .collect();
+        let tl = FaultTimeline::from_events(events);
+        assert!(!tl.is_admissible(&s));
+    }
+
+    #[test]
+    fn empty_timeline_is_trivially_admissible() {
+        let s = sys();
+        let tl = FaultTimeline::empty();
+        assert!(tl.is_admissible(&s));
+        assert!(tl.is_empty());
+        assert_eq!(tl.len(), 0);
+        assert!(tl.cursor().is_done());
+        assert_eq!(tl.cursor().next_transition(), None);
+    }
+
+    #[test]
+    fn exp_cycles_has_roughly_the_requested_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 4_000;
+        let mean = 500.0;
+        let sum: u64 = (0..n).map(|_| exp_cycles(&mut rng, mean)).sum();
+        let got = sum as f64 / n as f64;
+        assert!(
+            (got - mean).abs() < mean * 0.1,
+            "sample mean {got} too far from {mean}"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Acceptance tests for the dynamic fault-timeline engine (the online
+//! sequel to the paper's static fault scenarios):
+//!
+//! 1. the `recovery` experiment renders **byte-identical** reports at
+//!    `--jobs 1` and `--jobs 4` (the campaign-determinism contract
+//!    extended to timeline-driven runs);
+//! 2. DeFT loses strictly fewer packets than RC on the same timeline —
+//!    the paper's static-fault claim, mirrored in the dynamic setting;
+//! 3. `RoutingAlgorithm::on_fault_change` leaves DeFT deadlock-free: the
+//!    channel dependency graph stays acyclic after every transition.
+
+use deft::experiments::{recovery_with, ExpConfig, RecoveryScenario};
+use deft::prelude::*;
+use deft::report::{recovery_csv, render_recovery};
+use deft::topo::PINWHEEL_VLS_4X4;
+
+#[test]
+fn recovery_experiment_is_byte_identical_across_job_counts() {
+    let sys = ChipletSystem::baseline_4();
+    let scenarios = [
+        RecoveryScenario::Region { duration: 600 },
+        RecoveryScenario::Burst {
+            bursts: 1,
+            links_per_burst: 4,
+            duration: 500,
+        },
+    ];
+    let serial = recovery_with(&sys, &scenarios, 1, &ExpConfig::quick().with_jobs(1));
+    let parallel = recovery_with(&sys, &scenarios, 1, &ExpConfig::quick().with_jobs(4));
+    assert_eq!(
+        render_recovery(&serial),
+        render_recovery(&parallel),
+        "parallel recovery text report diverged from serial"
+    );
+    assert_eq!(
+        recovery_csv(&serial),
+        recovery_csv(&parallel),
+        "parallel recovery CSV diverged from serial"
+    );
+}
+
+#[test]
+fn deft_loses_strictly_fewer_packets_than_rc_on_a_dynamic_timeline() {
+    let sys = ChipletSystem::baseline_4();
+    let rows = recovery_with(
+        &sys,
+        &[RecoveryScenario::Region { duration: 900 }],
+        1,
+        &ExpConfig::quick(),
+    );
+    let losses = |name: &str| {
+        let r = rows
+            .iter()
+            .find(|r| r.algorithm == name)
+            .unwrap_or_else(|| panic!("{name} row missing"));
+        r.dropped_unroutable + r.lost_in_flight
+    };
+    assert!(
+        losses("DeFT") < losses("RC"),
+        "DeFT must recover with strictly fewer dropped packets than RC \
+         (DeFT {} vs RC {})",
+        losses("DeFT"),
+        losses("RC")
+    );
+    // And its recovery latency is the shortest of the three.
+    let rec = |name: &str| {
+        rows.iter()
+            .find(|r| r.algorithm == name)
+            .unwrap()
+            .avg_recovery_latency
+    };
+    assert!(rec("DeFT") <= rec("RC"), "DeFT must also recover faster");
+}
+
+#[test]
+fn on_fault_change_keeps_deft_deadlock_free_across_transitions() {
+    // A 2-chiplet system keeps per-transition CDG construction fast
+    // while retaining the cross-chiplet cycle structure of Fig. 1.
+    let sys = SystemBuilder::new(8, 4)
+        .chiplet(Coord::new(0, 0), 4, 4, &PINWHEEL_VLS_4X4)
+        .chiplet(Coord::new(4, 0), 4, 4, &PINWHEEL_VLS_4X4)
+        .build()
+        .expect("valid 2-chiplet system");
+    let timeline = FaultTimeline::transient(
+        &sys,
+        &TransientConfig {
+            mean_healthy: 4_000.0,
+            mean_faulty: 1_000.0,
+            horizon: 12_000,
+            seed: 17,
+        },
+    );
+    assert!(timeline.is_admissible(&sys));
+    let mut deft = DeftRouting::distance_based(&sys);
+    let transitions: Vec<u64> = timeline.transition_cycles().into_iter().take(12).collect();
+    assert!(!transitions.is_empty(), "timeline generated no transitions");
+    for cycle in transitions {
+        let faults = timeline.state_at(&sys, cycle);
+        deft.on_fault_change(&sys, &faults);
+        let cdg = ChannelDependencyGraph::build(&sys, &deft, &faults);
+        assert!(
+            !cdg.has_cycle(),
+            "DeFT CDG cyclic after the transition at cycle {cycle}: {:?}",
+            cdg.find_cycle()
+        );
+    }
+    assert!(deft.fault_transitions() >= 1);
+}
