@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the simulator's active-set scheduler against the
+//! dense-scan reference step ([`Simulator::run_dense_reference`]).
+//!
+//! The active set skips routers holding no flits, so its advantage grows
+//! as load drops: at the Fig. 4 mid-load point most of the win comes from
+//! idle drain/warmup cycles, while at trickle load nearly every router
+//! scan is skipped. The dense reference is the pre-refactor engine shape
+//! and is kept precisely so this comparison (and the differential
+//! correctness tests) stay runnable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deft::prelude::*;
+use deft_traffic::uniform;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        warmup: 0,
+        measure: 1_000,
+        drain: 0,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let sys = ChipletSystem::baseline_4();
+    let faults = FaultState::none(&sys);
+    let mut group = c.benchmark_group("engine_step");
+    for (label, rate) in [("mid_load_0.004", 0.004), ("trickle_0.0005", 0.0005)] {
+        let pattern = uniform(&sys, rate);
+        group.bench_function(format!("active_set/{label}"), |b| {
+            b.iter(|| {
+                Simulator::new(
+                    &sys,
+                    faults.clone(),
+                    Box::new(DeftRouting::distance_based(&sys)),
+                    &pattern,
+                    cfg(),
+                )
+                .run()
+            })
+        });
+        group.bench_function(format!("dense_reference/{label}"), |b| {
+            b.iter(|| {
+                Simulator::new(
+                    &sys,
+                    faults.clone(),
+                    Box::new(DeftRouting::distance_based(&sys)),
+                    &pattern,
+                    cfg(),
+                )
+                .run_dense_reference()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! deft-repro [--quick] [--jobs N] [--out text|csv] [--exp NAME] \
-//!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|all]
+//!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|all]
 //! ```
 //!
 //! * `--quick` shortens the simulation windows (same structure, noisier
@@ -16,16 +16,20 @@
 //!   cross-check, not a different experiment.
 //! * `--out csv` emits machine-readable CSV blocks (each prefixed with a
 //!   `# title` comment line) instead of the aligned text tables.
+//! * `perf` times representative engine cells and writes `BENCH_sim.json`
+//!   into the current directory (schema in `EXPERIMENTS.md`). It is not
+//!   part of `all`: its wall-clock fields vary per invocation, unlike the
+//!   deterministic figure outputs.
 
 use deft::experiments::{
-    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_jobs, fig8, recovery, rho_ablation_jobs,
+    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_jobs, fig8, perf, recovery, rho_ablation_jobs,
     scaling_study, table1_campaign_jobs, Algo, ExpConfig, SynPattern,
 };
 use deft::report::{
-    app_improvements_csv, latency_sweep_csv, reachability_csv, recovery_csv,
-    render_app_improvements, render_latency_sweep, render_reachability, render_recovery,
-    render_rho_ablation, render_scaling, render_table1, render_vc_util, rho_ablation_csv,
-    scaling_csv, table1_csv, vc_util_csv,
+    app_improvements_csv, latency_sweep_csv, perf_json, reachability_csv, recovery_csv,
+    render_app_improvements, render_latency_sweep, render_perf, render_reachability,
+    render_recovery, render_rho_ablation, render_scaling, render_table1, render_vc_util,
+    rho_ablation_csv, scaling_csv, table1_csv, vc_util_csv,
 };
 use deft_power::{RouterParams, Tech45nm};
 use deft_topo::{ChipletId, ChipletSystem, FaultState, VlDir, VlLinkId};
@@ -238,6 +242,29 @@ fn run_recovery(cfg: &ExpConfig, out: Out) {
     );
 }
 
+/// Runs the engine-performance cells, prints the table, and writes
+/// `BENCH_sim.json` into the current directory (the repo root under the
+/// documented invocation; see EXPERIMENTS.md for the schema). `--out csv`
+/// is rejected loudly: perf's machine-readable form is the JSON file, and
+/// silently printing the text table would break a CSV consumer.
+fn run_perf(cfg: &ExpConfig, quick: bool, out: Out) {
+    if out == Out::Csv {
+        eprintln!("perf has no CSV form; its machine-readable output is BENCH_sim.json");
+        usage_and_exit();
+    }
+    let sys = ChipletSystem::baseline_4();
+    let report = perf(&sys, cfg, if quick { "quick" } else { "full" });
+    print!("{}", render_perf(&report));
+    let json = perf_json(&report);
+    match std::fs::write("BENCH_sim.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_sim.json"),
+        Err(e) => {
+            eprintln!("cannot write BENCH_sim.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_table1(jobs: usize, out: Out) {
     let rows = table1_campaign_jobs(&RouterParams::paper_default(), &Tech45nm::default(), jobs);
     out.emit(
@@ -250,7 +277,7 @@ fn run_table1(jobs: usize, out: Out) {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: deft-repro [--quick] [--jobs N] [--out text|csv] [--exp NAME] \
-         [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|all]"
+         [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|all]"
     );
     std::process::exit(2);
 }
@@ -333,6 +360,7 @@ fn main() {
         "rho" => run_rho(cfg.jobs, out),
         "scaling" => run_scaling(&cfg, out),
         "recovery" => run_recovery(&cfg, out),
+        "perf" => run_perf(&cfg, quick, out),
         "all" => {
             run_fig4(&cfg, out);
             run_fig5(&cfg, out);

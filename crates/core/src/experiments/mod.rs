@@ -13,6 +13,7 @@
 mod ablation;
 mod app_latency;
 mod latency_sweep;
+mod perf;
 mod power_table;
 mod reachability;
 mod recovery;
@@ -22,6 +23,7 @@ mod vc_util;
 pub use ablation::{rho_ablation, rho_ablation_jobs, RhoRow, RHO_SWEEP};
 pub use app_latency::{fig6_pairs, fig6_single, AppImprovement};
 pub use latency_sweep::{fig4, fig8, LatencyCurve, LatencySweep, SynPattern};
+pub use perf::{perf, PerfCellResult, PerfReport, FIG4_MID_CELL, PERF_RATE};
 pub use power_table::{table1_campaign, table1_campaign_jobs};
 pub use reachability::{fig7, fig7_jobs, ReachabilityCurves};
 pub use recovery::{

@@ -1,0 +1,203 @@
+//! Engine-performance experiment: wall-clock throughput of representative
+//! simulation cells, emitted as `BENCH_sim.json`.
+//!
+//! Unlike every other experiment, `perf` measures the *simulator*, not the
+//! network: the same cells every figure is built from (uniform and
+//! transpose traffic, fault-free and transient-timeline, DeFT vs RC) are
+//! run **serially** under a wall clock, and the report records cycles/sec,
+//! ns per flit-hop, and the peak cell wall time. `deft-repro perf` writes
+//! the JSON next to the invocation so CI can archive a `BENCH_sim.json`
+//! trajectory per commit; regressions on the
+//! [`FIG4_MID_CELL`] cell gate hot-path changes (see `EXPERIMENTS.md`).
+//!
+//! Timing covers [`Simulator::run`] only — algorithm construction (DeFT's
+//! offline LUT build) and traffic-table setup happen before the clock
+//! starts, mirroring how campaigns amortize them across a grid.
+
+use super::{Algo, ExpConfig};
+use deft_sim::{SimReport, Simulator};
+use deft_topo::{ChipletSystem, FaultState, FaultTimeline, TransientConfig};
+use deft_traffic::{transpose, uniform, TableTraffic};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Name of the acceptance cell: the Fig. 4 uniform-traffic mid-load point
+/// (0.004 packets/cycle/node on the 4-chiplet system) under DeFT. The
+/// repo's throughput trajectory is tracked on this cell.
+pub const FIG4_MID_CELL: &str = "fig4-uniform-mid/DeFT";
+
+/// The mid-load injection rate of the Fig. 4 uniform sweep.
+pub const PERF_RATE: f64 = 0.004;
+
+/// One timed simulation cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfCellResult {
+    /// Cell name (`workload/algorithm`).
+    pub name: String,
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Traffic-pattern name.
+    pub pattern: String,
+    /// Cycles the cell actually simulated (including drain).
+    pub cycles: u64,
+    /// Total buffer writes over the run (injections + per-hop writes):
+    /// the flit-hop work the engine performed.
+    pub flit_hops: u64,
+    /// Measured packets delivered.
+    pub delivered: u64,
+    /// Wall-clock time of [`Simulator::run`], in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Wall-clock nanoseconds per flit-hop of engine work.
+    pub ns_per_flit_hop: f64,
+}
+
+/// The `perf` experiment's result set.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfReport {
+    /// `"quick"` or `"full"` simulation windows.
+    pub mode: String,
+    /// One entry per timed cell, in execution order.
+    pub cells: Vec<PerfCellResult>,
+}
+
+impl PerfReport {
+    /// The slowest cell's wall time in milliseconds (0.0 when empty).
+    pub fn peak_cell_wall_ms(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_ms).fold(0.0, f64::max)
+    }
+
+    /// The tracked acceptance cell ([`FIG4_MID_CELL`]), if present.
+    pub fn fig4_mid_load(&self) -> Option<&PerfCellResult> {
+        self.cells.iter().find(|c| c.name == FIG4_MID_CELL)
+    }
+}
+
+/// Times one already-assembled simulation and folds the report into a
+/// [`PerfCellResult`].
+fn time_cell(name: &str, sim: Simulator<'_>) -> PerfCellResult {
+    let start = Instant::now();
+    let report: SimReport = sim.run();
+    let wall = start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let flit_hops: u64 = report.vc_usage.values().map(|u| u.vc0 + u.vc1).sum();
+    PerfCellResult {
+        name: name.to_owned(),
+        algorithm: report.algorithm.clone(),
+        pattern: report.pattern.clone(),
+        cycles: report.cycles,
+        flit_hops,
+        delivered: report.delivered,
+        wall_ms,
+        cycles_per_sec: report.cycles as f64 / wall.as_secs_f64().max(1e-12),
+        ns_per_flit_hop: wall.as_secs_f64() * 1e9 / (flit_hops.max(1)) as f64,
+    }
+}
+
+/// Runs the perf cells serially on `sys` (one cell at a time, so wall
+/// times are not polluted by sibling cells) and returns the timed report.
+/// The *simulated* behaviour of every cell is deterministic under
+/// `cfg.seed`; only the wall-clock fields vary between invocations.
+pub fn perf(sys: &ChipletSystem, cfg: &ExpConfig, mode: &str) -> PerfReport {
+    let mut cells = Vec::new();
+    let uniform_mid: TableTraffic = uniform(sys, PERF_RATE);
+    let transpose_mid: TableTraffic = transpose(sys, PERF_RATE);
+
+    // Fault-free cells: the acceptance cell first, then the RC contrast
+    // (store-and-forward keeps more routers busy) and the transpose
+    // workload (deterministic point-to-point flows).
+    for (name, algo, pattern) in [
+        (FIG4_MID_CELL, Algo::Deft, &uniform_mid),
+        ("fig4-uniform-mid/RC", Algo::Rc, &uniform_mid),
+        ("transpose-mid/DeFT", Algo::Deft, &transpose_mid),
+    ] {
+        let sim = Simulator::new(
+            sys,
+            FaultState::none(sys),
+            algo.build(sys),
+            pattern,
+            cfg.run_sim(0),
+        );
+        cells.push(time_cell(name, sim));
+    }
+
+    // Transient-timeline cell: mid-run inject/heal transitions exercise
+    // the packet-removal and re-route paths under the wall clock.
+    let horizon = cfg.sim.warmup + cfg.sim.measure;
+    let timeline = FaultTimeline::transient(
+        sys,
+        &TransientConfig {
+            mean_healthy: horizon as f64 * 2.0,
+            mean_faulty: horizon as f64 / 6.0,
+            horizon,
+            seed: cfg.seed,
+        },
+    );
+    let sim = Simulator::new(
+        sys,
+        FaultState::none(sys),
+        Algo::Deft.build(sys),
+        &uniform_mid,
+        cfg.run_sim(1),
+    )
+    .with_timeline(&timeline);
+    cells.push(time_cell("transient-timeline/DeFT", sim));
+
+    PerfReport {
+        mode: mode.to_owned(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExpConfig {
+        let mut cfg = ExpConfig::quick();
+        cfg.sim.warmup = 50;
+        cfg.sim.measure = 300;
+        cfg.sim.drain = 5_000;
+        cfg
+    }
+
+    #[test]
+    fn perf_runs_all_cells_and_derives_consistent_rates() {
+        let sys = ChipletSystem::baseline_4();
+        let report = perf(&sys, &tiny_cfg(), "quick");
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.mode, "quick");
+        assert!(report.fig4_mid_load().is_some());
+        assert!(report.peak_cell_wall_ms() > 0.0);
+        for c in &report.cells {
+            assert!(c.cycles > 0, "{} simulated nothing", c.name);
+            assert!(c.delivered > 0, "{} delivered nothing", c.name);
+            assert!(c.flit_hops > 0);
+            assert!(c.wall_ms > 0.0);
+            assert!(c.cycles_per_sec > 0.0);
+            assert!(c.ns_per_flit_hop > 0.0);
+            // cycles/sec and wall time must describe the same measurement.
+            let implied = c.cycles as f64 / (c.wall_ms / 1e3);
+            assert!(
+                (implied - c.cycles_per_sec).abs() / c.cycles_per_sec < 1e-6,
+                "{}: inconsistent rate",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn perf_cells_simulate_deterministically() {
+        // Wall clocks differ between runs; the simulated outcomes do not.
+        let sys = ChipletSystem::baseline_4();
+        let a = perf(&sys, &tiny_cfg(), "quick");
+        let b = perf(&sys, &tiny_cfg(), "quick");
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.name, cb.name);
+            assert_eq!(ca.cycles, cb.cycles);
+            assert_eq!(ca.flit_hops, cb.flit_hops);
+            assert_eq!(ca.delivered, cb.delivered);
+        }
+    }
+}

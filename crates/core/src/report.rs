@@ -5,7 +5,8 @@
 //! by side (see `EXPERIMENTS.md`).
 
 use crate::experiments::{
-    AppImprovement, LatencySweep, ReachabilityCurves, RecoveryRow, RhoRow, ScalingRow, VcUtilRow,
+    AppImprovement, LatencySweep, PerfReport, ReachabilityCurves, RecoveryRow, RhoRow, ScalingRow,
+    VcUtilRow,
 };
 use deft_power::Table1Row;
 use std::fmt::Write as _;
@@ -171,6 +172,77 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
             r.rc_reach
         );
     }
+    out
+}
+
+/// Renders the engine-performance report as an aligned table.
+pub fn render_perf(report: &PerfReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Engine throughput ({} windows) ==", report.mode);
+    let _ = writeln!(
+        out,
+        "{:>26} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "cell", "cycles", "flit-hops", "wall ms", "cycles/s", "ns/fhop"
+    );
+    for c in &report.cells {
+        let _ = writeln!(
+            out,
+            "{:>26} {:>10} {:>12} {:>10.2} {:>12.0} {:>10.2}",
+            c.name, c.cycles, c.flit_hops, c.wall_ms, c.cycles_per_sec, c.ns_per_flit_hop
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(peak cell wall time {:.2} ms; wall-clock fields vary per invocation)",
+        report.peak_cell_wall_ms()
+    );
+    out
+}
+
+/// Serializes the engine-performance report as the `BENCH_sim.json`
+/// document (schema `deft-bench-sim/v1`, see `EXPERIMENTS.md`). Emitted by
+/// hand because the offline `serde` shim does not serialize; cell names
+/// are fixed identifiers that need no escaping.
+pub fn perf_json(report: &PerfReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"deft-bench-sim/v1\",");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode);
+    let fig4 = report
+        .fig4_mid_load()
+        .map(|c| c.cycles_per_sec)
+        .unwrap_or(0.0);
+    let _ = writeln!(out, "  \"fig4_mid_load_cycles_per_sec\": {fig4:.1},");
+    let _ = writeln!(
+        out,
+        "  \"peak_cell_wall_ms\": {:.3},",
+        report.peak_cell_wall_ms()
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in report.cells.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"name\": \"{}\", \"algorithm\": \"{}\", \"pattern\": \"{}\", \
+             \"cycles\": {}, \"flit_hops\": {}, \"delivered\": {}, \
+             \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}, \"ns_per_flit_hop\": {:.2}",
+            c.name,
+            c.algorithm,
+            c.pattern,
+            c.cycles,
+            c.flit_hops,
+            c.delivered,
+            c.wall_ms,
+            c.cycles_per_sec,
+            c.ns_per_flit_hop
+        );
+        out.push_str(if i + 1 < report.cells.len() {
+            "},\n"
+        } else {
+            "}\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -420,6 +492,59 @@ mod tests {
             rc_worst: vec![],
         };
         assert!(render_reachability("t", &none).contains("#faults"));
+    }
+
+    #[test]
+    fn perf_render_and_json_cover_the_schema() {
+        use crate::experiments::PerfCellResult;
+        let report = PerfReport {
+            mode: "quick".into(),
+            cells: vec![
+                PerfCellResult {
+                    name: crate::experiments::FIG4_MID_CELL.into(),
+                    algorithm: "DeFT".into(),
+                    pattern: "Uniform".into(),
+                    cycles: 12_000,
+                    flit_hops: 800_000,
+                    delivered: 5_000,
+                    wall_ms: 250.0,
+                    cycles_per_sec: 48_000.0,
+                    ns_per_flit_hop: 312.5,
+                },
+                PerfCellResult {
+                    name: "transpose-mid/DeFT".into(),
+                    algorithm: "DeFT".into(),
+                    pattern: "Transpose".into(),
+                    cycles: 11_000,
+                    flit_hops: 400_000,
+                    delivered: 2_500,
+                    wall_ms: 125.0,
+                    cycles_per_sec: 88_000.0,
+                    ns_per_flit_hop: 312.5,
+                },
+            ],
+        };
+        let text = render_perf(&report);
+        assert!(text.contains("Engine throughput (quick windows)"));
+        assert!(text.contains("fig4-uniform-mid/DeFT"));
+        assert!(text.contains("peak cell wall time 250.00 ms"));
+
+        let json = perf_json(&report);
+        assert!(json.contains("\"schema\": \"deft-bench-sim/v1\""));
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"fig4_mid_load_cycles_per_sec\": 48000.0"));
+        assert!(json.contains("\"peak_cell_wall_ms\": 250.000"));
+        assert!(json.contains("\"ns_per_flit_hop\": 312.50"));
+        // Exactly one comma-separated object per cell, valid-JSON shaped.
+        assert_eq!(json.matches("\"name\":").count(), 2);
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.trim_end().ends_with('}'));
+        // Empty report still emits the tracked fields.
+        let empty = perf_json(&PerfReport {
+            mode: "full".into(),
+            cells: Vec::new(),
+        });
+        assert!(empty.contains("\"fig4_mid_load_cycles_per_sec\": 0.0"));
     }
 
     #[test]

@@ -57,6 +57,21 @@ pub struct DeftRouting {
     /// Mid-run fault transitions observed via
     /// [`RoutingAlgorithm::on_fault_change`].
     fault_transitions: u64,
+    /// Precomputed chiplet-local router index per node (`u32::MAX` for
+    /// interposer nodes), so the per-injection LUT address is a flat array
+    /// read instead of an `addr`/width computation.
+    local_index: Vec<u32>,
+}
+
+/// Precomputes [`local_router_index`] for every node of `sys`
+/// (`u32::MAX` for interposer nodes).
+fn local_indices(sys: &ChipletSystem) -> Vec<u32> {
+    sys.nodes()
+        .map(|n| match sys.layer(n) {
+            Layer::Chiplet(_) => local_router_index(sys, n) as u32,
+            Layer::Interposer => u32::MAX,
+        })
+        .collect()
 }
 
 impl DeftRouting {
@@ -79,6 +94,7 @@ impl DeftRouting {
             rr_boundary: vec![0; sys.node_count()],
             rng: SmallRng::seed_from_u64(0),
             fault_transitions: 0,
+            local_index: local_indices(sys),
         }
     }
 
@@ -92,6 +108,7 @@ impl DeftRouting {
             rr_boundary: vec![0; sys.node_count()],
             rng: SmallRng::seed_from_u64(0),
             fault_transitions: 0,
+            local_index: local_indices(sys),
         }
     }
 
@@ -105,6 +122,7 @@ impl DeftRouting {
             rr_boundary: vec![0; sys.node_count()],
             rng: SmallRng::seed_from_u64(seed),
             fault_transitions: 0,
+            local_index: local_indices(sys),
         }
     }
 
@@ -174,7 +192,7 @@ impl DeftRouting {
                 lut.expect("optimized strategy has LUTs").lookup(
                     chiplet,
                     healthy,
-                    local_router_index(sys, router),
+                    self.local_index[router.index()] as usize,
                 )
             }
             VlSelectionStrategy::Distance => {
@@ -185,8 +203,15 @@ impl DeftRouting {
                     .min_by_key(|&v| (coord.manhattan(chip.vl_coord(v as usize)), v))
             }
             VlSelectionStrategy::Random => {
-                let options: Vec<u8> = (0..8).filter(|&v| healthy & (1 << v) != 0).collect();
-                Some(options[self.rng.random_range(0..options.len())])
+                // Draw a rank, then find the rank-th set bit — same RNG
+                // call sequence as indexing a collected Vec of options,
+                // without the per-injection allocation.
+                let k = self.rng.random_range(0..healthy.count_ones() as usize);
+                let mut m = healthy;
+                for _ in 0..k {
+                    m &= m - 1; // clear lowest set bit
+                }
+                Some(m.trailing_zeros() as u8)
             }
         }
     }

@@ -32,6 +32,32 @@
 //! the `deft` crate's campaign runner builds one instance per run and
 //! moves it onto a worker thread together with its simulator.
 //!
+//! ## Hot-path allocation audit
+//!
+//! [`RoutingAlgorithm::on_inject`] and [`RoutingAlgorithm::route`] run
+//! once per packet and once per head-flit hop respectively, inside the
+//! simulator's innermost loop, and are **allocation-free** for every
+//! algorithm in this crate:
+//!
+//! * shared per-hop machinery ([`algorithm::next_direction`], `xy`) works
+//!   on `Copy` coordinates and the topology's flat adjacency/address
+//!   tables;
+//! * DeFT's optimized selection is a LUT read addressed by precomputed
+//!   chiplet-local router indices; DeFT-Ran selects the *k*-th healthy
+//!   bit directly from the mask instead of collecting candidates;
+//! * MTR/RC designation works on bitmasks and `min_by_key` over the
+//!   chiplet's VL slice.
+//!
+//! Fault-state probes on these paths are O(1)
+//! [`deft_topo::FaultState::healthy_mask`] bitmask tests. For
+//! link-granular consumers — e.g. the simulator's stranded-worm check at
+//! fault transitions — `deft-topo` additionally maintains a dense
+//! per-link view ([`deft_topo::FaultState::is_faulty_id`] keyed by
+//! [`deft_topo::LinkId`]), one bit probe per query. The analysis-side
+//! methods ([`RoutingAlgorithm::flow_choices`],
+//! [`RoutingAlgorithm::eligibility`]) may allocate — they run per flow,
+//! not per flit.
+//!
 //! ```
 //! use deft_routing::{DeftRouting, RoutingAlgorithm};
 //! use deft_topo::{ChipletSystem, FaultState, NodeId};

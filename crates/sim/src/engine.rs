@@ -19,11 +19,23 @@
 //! for [`SimConfig::deadlock_threshold`] cycles — with DeFT this never
 //! fires (the CDG is acyclic); it exists to catch routing bugs and to
 //! demonstrate what happens without VN separation.
+//!
+//! ## Active-set scheduling
+//!
+//! Phases 2–4 scan only an *active set* of routers — those holding at
+//! least one buffered flit — instead of walking every router × port × VC
+//! each cycle, so idle routers cost nothing. The set is kept sorted in
+//! router-index order (the dense iteration order), which together with the
+//! two-phase update makes the schedule byte-identical to a dense scan; a
+//! reference dense implementation remains available as
+//! [`Simulator::run_dense_reference`] and differential tests pin the
+//! equivalence. See `ARCHITECTURE.md` ("Hot path & data layout") for the
+//! enqueue/dequeue invariants.
 
 use crate::config::SimConfig;
 use crate::flit::{Flit, PacketId, PacketInfo};
 use crate::router::{arrival_port, port_of, Router, PORT_COUNT, PORT_LOCAL, PORT_VERTICAL};
-use crate::stats::{EpochStats, Region, SimReport, VcUsage};
+use crate::stats::{EpochStats, LatencyHistogram, Region, SimReport, VcUsage};
 use deft_routing::RoutingAlgorithm;
 use deft_topo::{
     ChipletSystem, Direction, FaultState, FaultTimeline, Layer, NodeId, TimelineCursor, VlDir,
@@ -109,6 +121,36 @@ pub struct Simulator<'a> {
     rng: SmallRng,
     /// Pending fault-timeline events, when the run is timeline-driven.
     timeline: Option<TimelineCursor<'a>>,
+    // Flat per-node tables, precomputed at setup so the commit path indexes
+    // arrays instead of mapping node → layer/VL on every flit.
+    /// node → statistics-region index (0 = interposer, `1 + c` = chiplet
+    /// `c` — the sort order of [`Region`]).
+    region_of: Vec<u16>,
+    /// node → flat slot in `vl_flits` of the unidirectional VL crossed by
+    /// a flit leaving the node vertically (`u32::MAX` for non-VL nodes).
+    vl_stat_slot: Vec<u32>,
+    // Active-set scheduler state.
+    /// Routers with at least one buffered flit, ascending; the worklist of
+    /// phases 2–4.
+    active: Vec<usize>,
+    /// Membership flags of `active`.
+    in_active: Vec<bool>,
+    /// Routers that received their first flit this cycle; merged into
+    /// `active` at end of cycle.
+    pending_active: Vec<usize>,
+    /// Membership flags of `pending_active`.
+    pending_flag: Vec<bool>,
+    /// Spare buffer for the sorted merge in `refresh_active`.
+    active_scratch: Vec<usize>,
+    /// Reusable switch-allocation move buffer (no per-cycle allocation).
+    move_scratch: Vec<Move>,
+    /// Buffered-flit count per router (incremental `Router::occupancy`).
+    occ: Vec<u32>,
+    /// Total buffered flits across the network (Σ `occ`).
+    total_flits: u64,
+    /// Packets waiting in source queues (a partially-injected front packet
+    /// counts until its tail leaves).
+    packets_queued: u64,
     // Statistics.
     generated_total: u64,
     dropped_unroutable: u64,
@@ -117,12 +159,15 @@ pub struct Simulator<'a> {
     delivered_measured: u64,
     latency_sum: u64,
     latency_max: u64,
-    latencies: Vec<u64>,
+    lat_hist: LatencyHistogram,
     /// Earliest cycle each router's vertical output may send again
     /// (vertical-link serialization).
     vl_next_free: Vec<u64>,
-    vc_usage: BTreeMap<Region, VcUsage>,
-    vl_flits: BTreeMap<(u8, u8, bool), u64>,
+    /// Per-region VC write counters, indexed by `region_of`.
+    vc_usage: Vec<VcUsage>,
+    /// Per-unidirectional-VL flit counters: slot `2·s` = up half, `2·s+1`
+    /// = down half of `sys.vertical_links()[s]`.
+    vl_flits: Vec<u64>,
     epoch: EpochAccum,
     epochs: Vec<EpochStats>,
 }
@@ -179,6 +224,18 @@ impl<'a> Simulator<'a> {
         }
 
         let initial_faults = faults.faulty_count();
+        let region_of: Vec<u16> = sys
+            .nodes()
+            .map(|node| match sys.layer(node) {
+                Layer::Interposer => 0u16,
+                Layer::Chiplet(c) => 1 + c.0 as u16,
+            })
+            .collect();
+        let mut vl_stat_slot = vec![u32::MAX; n];
+        for (s, vl) in sys.vertical_links().iter().enumerate() {
+            vl_stat_slot[vl.interposer_node.index()] = 2 * s as u32;
+            vl_stat_slot[vl.chiplet_node.index()] = 2 * s as u32 + 1;
+        }
         Self {
             sys,
             faults,
@@ -191,6 +248,17 @@ impl<'a> Simulator<'a> {
             inject_seq: vec![0; n],
             rng: SmallRng::seed_from_u64(cfg.seed),
             timeline: None,
+            region_of,
+            vl_stat_slot,
+            active: Vec::new(),
+            in_active: vec![false; n],
+            pending_active: Vec::new(),
+            pending_flag: vec![false; n],
+            active_scratch: Vec::new(),
+            move_scratch: Vec::new(),
+            occ: vec![0; n],
+            total_flits: 0,
+            packets_queued: 0,
             generated_total: 0,
             dropped_unroutable: 0,
             lost_in_flight: 0,
@@ -198,10 +266,10 @@ impl<'a> Simulator<'a> {
             delivered_measured: 0,
             latency_sum: 0,
             latency_max: 0,
-            latencies: Vec::new(),
+            lat_hist: LatencyHistogram::new(),
             vl_next_free: vec![0; n],
-            vc_usage: BTreeMap::new(),
-            vl_flits: BTreeMap::new(),
+            vc_usage: vec![VcUsage::default(); 1 + sys.chiplet_count()],
+            vl_flits: vec![0; sys.vertical_link_count() * 2],
             epoch: EpochAccum::open(0, initial_faults),
             epochs: Vec::new(),
         }
@@ -225,13 +293,36 @@ impl<'a> Simulator<'a> {
         self
     }
 
-    /// Runs to completion and produces the report.
-    pub fn run(mut self) -> SimReport {
+    /// Runs to completion and produces the report, scanning only the
+    /// active router set each cycle.
+    pub fn run(self) -> SimReport {
+        self.run_impl(true)
+    }
+
+    /// Reference implementation that dense-scans **every** router each
+    /// cycle, exactly like the pre-active-set engine. It exists to pin the
+    /// active-set scheduler: differential tests assert
+    /// `run() == run_dense_reference()` on arbitrary systems and
+    /// workloads. Not intended for measurement — it is strictly slower.
+    #[doc(hidden)]
+    pub fn run_dense_reference(self) -> SimReport {
+        self.run_impl(false)
+    }
+
+    fn run_impl(mut self, active_mode: bool) -> SimReport {
         let gen_end = self.cfg.warmup + self.cfg.measure;
         let hard_end = gen_end + self.cfg.drain;
         let mut cycle: u64 = 0;
         let mut last_progress: u64 = 0;
         let mut deadlocked = false;
+        // Dense mode: a fixed full worklist, and `in_active` saturated so
+        // the pending queue stays empty.
+        let mut dense: Vec<usize> = if active_mode {
+            Vec::new()
+        } else {
+            self.in_active.fill(true);
+            (0..self.routers.len()).collect()
+        };
 
         while cycle < hard_end {
             // Fault-timeline transitions take effect before any routing or
@@ -256,22 +347,34 @@ impl<'a> Simulator<'a> {
             if cycle < gen_end {
                 self.generate(cycle);
             }
-            self.route_and_allocate();
-            let moves = self.switch_allocate(cycle);
+            let worklist = if active_mode {
+                std::mem::take(&mut self.active)
+            } else {
+                std::mem::take(&mut dense)
+            };
+            self.route_and_allocate(&worklist);
+            let moves = self.switch_allocate(cycle, &worklist);
             let progressed = self.commit(&moves, cycle) | self.inject();
+            self.move_scratch = moves;
+            if active_mode {
+                self.active = worklist;
+                self.refresh_active();
+            } else {
+                dense = worklist;
+            }
 
             if progressed {
                 last_progress = cycle;
             }
             cycle += 1;
 
-            let in_flight: usize = self.routers.iter().map(Router::occupancy).sum();
-            let queued: usize = self.sources.iter().map(|s| s.queue.len()).sum();
-            if in_flight + queued > 0 && cycle - last_progress >= self.cfg.deadlock_threshold {
+            if self.total_flits + self.packets_queued > 0
+                && cycle - last_progress >= self.cfg.deadlock_threshold
+            {
                 deadlocked = true;
                 break;
             }
-            if cycle >= gen_end && in_flight == 0 && queued == 0 {
+            if cycle >= gen_end && self.total_flits == 0 && self.packets_queued == 0 {
                 break;
             }
         }
@@ -284,22 +387,41 @@ impl<'a> Simulator<'a> {
         } else {
             0.0
         };
-        self.latencies.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if self.latencies.is_empty() {
-                0
-            } else {
-                let idx = ((self.latencies.len() - 1) as f64 * p).round() as usize;
-                self.latencies[idx]
-            }
-        };
-        let (p50_latency, p95_latency, p99_latency) = (pct(0.50), pct(0.95), pct(0.99));
+        let (p50_latency, p95_latency, p99_latency) = (
+            self.lat_hist.percentile(0.50),
+            self.lat_hist.percentile(0.95),
+            self.lat_hist.percentile(0.99),
+        );
         let epochs = if self.timeline.is_some() {
             self.epochs.push(self.epoch.close(cycle));
             std::mem::take(&mut self.epochs)
         } else {
             Vec::new()
         };
+        // Re-materialize the report's map shapes from the flat counters:
+        // only touched regions/links appear, exactly as with the old
+        // insert-on-first-touch maps.
+        let mut vc_usage = BTreeMap::new();
+        for (i, &usage) in self.vc_usage.iter().enumerate() {
+            if usage.vc0 + usage.vc1 > 0 {
+                let region = if i == 0 {
+                    Region::Interposer
+                } else {
+                    Region::Chiplet((i - 1) as u8)
+                };
+                vc_usage.insert(region, usage);
+            }
+        }
+        let mut vl_flits = BTreeMap::new();
+        for (s, vl) in self.sys.vertical_links().iter().enumerate() {
+            let (up, down) = (self.vl_flits[2 * s], self.vl_flits[2 * s + 1]);
+            if up > 0 {
+                vl_flits.insert((vl.chiplet.0, vl.index, false), up);
+            }
+            if down > 0 {
+                vl_flits.insert((vl.chiplet.0, vl.index, true), down);
+            }
+        }
         SimReport {
             algorithm: self.alg.name().to_owned(),
             pattern: self.pattern.name().to_owned(),
@@ -316,11 +438,67 @@ impl<'a> Simulator<'a> {
             max_latency: self.latency_max,
             throughput: self.delivered_measured as f64 * self.cfg.packet_size as f64
                 / (self.cfg.measure as f64 * self.sys.node_count() as f64),
-            vc_usage: self.vc_usage,
-            vl_flits: self.vl_flits,
+            vc_usage,
+            vl_flits,
             deadlocked,
             epochs,
         }
+    }
+
+    /// Enqueues a router for the active set (next cycle) unless it is
+    /// already active or already pending.
+    fn mark_active(&mut self, idx: usize) {
+        if !self.in_active[idx] && !self.pending_flag[idx] {
+            self.pending_flag[idx] = true;
+            self.pending_active.push(idx);
+        }
+    }
+
+    /// End-of-cycle active-set maintenance: drop routers that drained this
+    /// cycle, then merge in the routers that received their first flit —
+    /// keeping the list sorted ascending, so the phase scans visit routers
+    /// in dense iteration order (determinism depends on this).
+    fn refresh_active(&mut self) {
+        let mut active = std::mem::take(&mut self.active);
+        {
+            let in_active = &mut self.in_active;
+            let occ = &self.occ;
+            active.retain(|&i| {
+                if occ[i] > 0 {
+                    true
+                } else {
+                    in_active[i] = false;
+                    false
+                }
+            });
+        }
+        if self.pending_active.is_empty() {
+            self.active = active;
+            return;
+        }
+        self.pending_active.sort_unstable();
+        let mut merged = std::mem::take(&mut self.active_scratch);
+        merged.clear();
+        merged.reserve(active.len() + self.pending_active.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < active.len() && b < self.pending_active.len() {
+            if active[a] < self.pending_active[b] {
+                merged.push(active[a]);
+                a += 1;
+            } else {
+                merged.push(self.pending_active[b]);
+                b += 1;
+            }
+        }
+        merged.extend_from_slice(&active[a..]);
+        merged.extend_from_slice(&self.pending_active[b..]);
+        for &i in &self.pending_active {
+            self.pending_flag[i] = false;
+            self.in_active[i] = true;
+        }
+        self.pending_active.clear();
+        self.active_scratch = active;
+        self.active = merged;
     }
 
     /// Phase 1: Bernoulli packet generation.
@@ -349,6 +527,7 @@ impl<'a> Simulator<'a> {
                         self.injected_measured += 1;
                     }
                     self.sources[node.index()].queue.push_back(id);
+                    self.packets_queued += 1;
                 }
                 Err(_) => {
                     self.dropped_unroutable += 1;
@@ -359,10 +538,11 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Phase 2: route computation and VC allocation for head flits.
-    fn route_and_allocate(&mut self) {
+    /// Phase 2: route computation and VC allocation for head flits, over
+    /// the given (ascending) router worklist.
+    fn route_and_allocate(&mut self, worklist: &[usize]) {
         let sf_up = self.alg.store_and_forward_up();
-        for idx in 0..self.routers.len() {
+        for &idx in worklist {
             let node = NodeId(idx as u32);
             for in_port in 0..PORT_COUNT as u8 {
                 for vc in 0..self.cfg.vc_count as u8 {
@@ -425,11 +605,13 @@ impl<'a> Simulator<'a> {
     }
 
     /// Phase 3: switch allocation (round-robin per output port, one flit
-    /// per input and output port per cycle).
-    fn switch_allocate(&mut self, cycle: u64) -> Vec<Move> {
+    /// per input and output port per cycle), over the given (ascending)
+    /// router worklist. Returns the reusable move buffer.
+    fn switch_allocate(&mut self, cycle: u64, worklist: &[usize]) -> Vec<Move> {
         let vc_count = self.cfg.vc_count as u8;
-        let mut moves = Vec::new();
-        for idx in 0..self.routers.len() {
+        let mut moves = std::mem::take(&mut self.move_scratch);
+        moves.clear();
+        for &idx in worklist {
             let mut in_used = [false; PORT_COUNT];
             for out_port in 0..PORT_COUNT as u8 {
                 // Serialized vertical links accept one flit every
@@ -485,6 +667,7 @@ impl<'a> Simulator<'a> {
                 .fifo
                 .pop_front()
                 .expect("switch allocation picked an empty buffer");
+            self.occ[m.router] -= 1;
 
             // Credit return to the upstream router feeding this input.
             if let Some((up, up_out)) = self.routers[m.router].in_links[m.in_port as usize] {
@@ -492,6 +675,7 @@ impl<'a> Simulator<'a> {
             }
 
             if m.out_port == PORT_LOCAL {
+                self.total_flits -= 1;
                 if flit.is_tail {
                     let info = &self.packets[flit.packet.index()];
                     if info.measured {
@@ -499,7 +683,7 @@ impl<'a> Simulator<'a> {
                         self.delivered_measured += 1;
                         self.latency_sum += latency;
                         self.latency_max = self.latency_max.max(latency);
-                        self.latencies.push(latency);
+                        self.lat_hist.record(latency);
                         self.epoch.delivered += 1;
                         self.epoch.latency_sum += latency;
                     }
@@ -511,25 +695,20 @@ impl<'a> Simulator<'a> {
                 self.routers[d_idx].inputs[d_port as usize][m.out_vc as usize]
                     .fifo
                     .push_back(flit);
+                self.occ[d_idx] += 1;
+                self.mark_active(d_idx);
 
-                // Statistics: buffer write by region/VC, and VL crossings.
-                let dest_node = NodeId(d_idx as u32);
-                let usage = self
-                    .vc_usage
-                    .entry(Region::of(self.sys, dest_node))
-                    .or_default();
+                // Statistics: buffer write by region/VC, and VL crossings —
+                // all flat indexed, no map lookups on the per-flit path.
+                let usage = &mut self.vc_usage[self.region_of[d_idx] as usize];
                 match m.out_vc {
                     0 => usage.vc0 += 1,
                     _ => usage.vc1 += 1,
                 }
                 if m.out_port == PORT_VERTICAL {
-                    let node = NodeId(m.router as u32);
-                    let vl = self.sys.vl_at_node(node).expect("vertical move off a VL");
-                    let down = matches!(self.sys.layer(node), Layer::Chiplet(_));
-                    *self
-                        .vl_flits
-                        .entry((vl.chiplet.0, vl.index, down))
-                        .or_insert(0) += 1;
+                    let slot = self.vl_stat_slot[m.router];
+                    debug_assert_ne!(slot, u32::MAX, "vertical move off a VL");
+                    self.vl_flits[slot as usize] += 1;
                     self.vl_next_free[m.router] = cycle + self.cfg.vl_serialization;
                 }
             }
@@ -550,6 +729,9 @@ impl<'a> Simulator<'a> {
     /// Phase 5: one flit per cycle from each source queue into the local
     /// input buffer of the packet's VN. Returns whether anything injected.
     fn inject(&mut self) -> bool {
+        if self.packets_queued == 0 {
+            return false;
+        }
         let mut any = false;
         for idx in 0..self.sources.len() {
             let Some(&pkt) = self.sources[idx].queue.front() else {
@@ -567,11 +749,11 @@ impl<'a> Simulator<'a> {
                 is_tail: sent == self.cfg.packet_size - 1,
             };
             buf.fifo.push_back(flit);
+            self.occ[idx] += 1;
+            self.total_flits += 1;
+            self.mark_active(idx);
             any = true;
-            let usage = self
-                .vc_usage
-                .entry(Region::of(self.sys, NodeId(idx as u32)))
-                .or_default();
+            let usage = &mut self.vc_usage[self.region_of[idx] as usize];
             match vn {
                 0 => usage.vc0 += 1,
                 _ => usage.vc1 += 1,
@@ -579,11 +761,42 @@ impl<'a> Simulator<'a> {
             if flit.is_tail {
                 self.sources[idx].queue.pop_front();
                 self.sources[idx].flits_sent = 0;
+                self.packets_queued -= 1;
             } else {
                 self.sources[idx].flits_sent += 1;
             }
         }
         any
+    }
+
+    /// Whether a packet with the given pending traversals is stranded by
+    /// the *current* fault state: a selected VL it still has to cross is
+    /// faulty. Probed through the dense [`deft_topo::LinkId`] view
+    /// ([`FaultState::is_faulty_id`]).
+    fn packet_stranded(&self, info: &PacketInfo, pending_down: bool, pending_up: bool) -> bool {
+        let down = match (info.ctx.down_vl, self.sys.layer(info.src)) {
+            (Some(v), Layer::Chiplet(c)) => {
+                pending_down
+                    && self.faults.is_faulty_id(self.sys.link_id(VlLinkId {
+                        chiplet: c,
+                        index: v,
+                        dir: VlDir::Down,
+                    }))
+            }
+            _ => false,
+        };
+        let up = match (info.ctx.up_vl, self.sys.layer(info.dst)) {
+            (Some(v), Layer::Chiplet(c)) => {
+                pending_up
+                    && self.faults.is_faulty_id(self.sys.link_id(VlLinkId {
+                        chiplet: c,
+                        index: v,
+                        dir: VlDir::Up,
+                    }))
+            }
+            _ => false,
+        };
+        down || up
     }
 
     /// Reacts to a fault transition: packets whose selected vertical link
@@ -631,35 +844,9 @@ impl<'a> Simulator<'a> {
             }
         }
 
-        let stranded = |info: &PacketInfo, pending_down: bool, pending_up: bool| {
-            let down = match (info.ctx.down_vl, self.sys.layer(info.src)) {
-                (Some(v), Layer::Chiplet(c)) => {
-                    pending_down
-                        && self.faults.is_faulty(VlLinkId {
-                            chiplet: c,
-                            index: v,
-                            dir: VlDir::Down,
-                        })
-                }
-                _ => false,
-            };
-            let up = match (info.ctx.up_vl, self.sys.layer(info.dst)) {
-                (Some(v), Layer::Chiplet(c)) => {
-                    pending_up
-                        && self.faults.is_faulty(VlLinkId {
-                            chiplet: c,
-                            index: v,
-                            dir: VlDir::Up,
-                        })
-                }
-                _ => false,
-            };
-            down || up
-        };
-
         let mut drop_set: BTreeSet<PacketId> = BTreeSet::new();
         for (&pid, e) in &in_net {
-            if stranded(&self.packets[pid.index()], e.pending_down, e.pending_up) {
+            if self.packet_stranded(&self.packets[pid.index()], e.pending_down, e.pending_up) {
                 drop_set.insert(pid);
             }
         }
@@ -670,7 +857,7 @@ impl<'a> Simulator<'a> {
         for source in &self.sources {
             if source.flits_sent > 0 {
                 if let Some(&pid) = source.queue.front() {
-                    if stranded(&self.packets[pid.index()], true, true) {
+                    if self.packet_stranded(&self.packets[pid.index()], true, true) {
                         drop_set.insert(pid);
                     }
                 }
@@ -680,8 +867,7 @@ impl<'a> Simulator<'a> {
         // Remove stranded worms and let the algorithm refresh any
         // fault-derived state before anything re-selects against the new
         // fault set.
-        let removed_flits =
-            Self::remove_packet_flits(&mut self.routers, self.cfg.vc_count, &drop_set);
+        let removed_flits = self.remove_packet_flits(&drop_set);
         self.alg.on_fault_change(self.sys, &self.faults);
 
         // Source queues: packets with no flit injected yet are still fresh
@@ -703,7 +889,7 @@ impl<'a> Simulator<'a> {
                 }
                 let info = &self.packets[pid.index()];
                 // Nothing injected: both traversals are pending.
-                if !stranded(info, true, true) {
+                if !self.packet_stranded(info, true, true) {
                     kept.push_back(pid);
                     continue;
                 }
@@ -722,6 +908,8 @@ impl<'a> Simulator<'a> {
             }
             self.sources[idx].queue = kept;
         }
+        // Queue membership changed out of band; re-derive the counter.
+        self.packets_queued = self.sources.iter().map(|s| s.queue.len() as u64).sum();
 
         let lost = drop_set.len() as u64 + queue_losses;
         if lost > 0 {
@@ -783,17 +971,15 @@ impl<'a> Simulator<'a> {
     /// [`VcBuf::owner`], not the front flit: a worm streaming *through* a
     /// buffer can leave it momentarily empty while still owning its
     /// route and grant.
-    fn remove_packet_flits(
-        routers: &mut [Router],
-        vc_count: usize,
-        drop_set: &BTreeSet<PacketId>,
-    ) -> usize {
+    fn remove_packet_flits(&mut self, drop_set: &BTreeSet<PacketId>) -> usize {
         if drop_set.is_empty() {
             return 0;
         }
+        let vc_count = self.cfg.vc_count;
         let mut removed_total = 0usize;
         let mut credit_returns: Vec<(usize, u8, usize, usize)> = Vec::new();
-        for r in routers.iter_mut() {
+        for r_idx in 0..self.routers.len() {
+            let r = &mut self.routers[r_idx];
             for port in 0..PORT_COUNT {
                 for vc in 0..vc_count {
                     let owner_dropped = r.inputs[port][vc]
@@ -832,9 +1018,15 @@ impl<'a> Simulator<'a> {
                     }
                 }
             }
+            let removed_here: usize = {
+                let r = &self.routers[r_idx];
+                self.occ[r_idx] as usize - r.occupancy()
+            };
+            self.occ[r_idx] -= removed_here as u32;
         }
+        self.total_flits -= removed_total as u64;
         for (up, up_out, vc, removed) in credit_returns {
-            routers[up].credits[up_out as usize][vc] += removed;
+            self.routers[up].credits[up_out as usize][vc] += removed;
         }
         removed_total
     }
@@ -1000,6 +1192,40 @@ mod tests {
                 report.delivery_ratio()
             );
         }
+    }
+
+    #[test]
+    fn active_set_matches_dense_reference_including_timelines() {
+        // The scheduler contract: skipping empty routers must not change a
+        // single bit of the report — with and without mid-run fault
+        // transitions (packet removal manipulates buffers out of band).
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let mk = || {
+            Simulator::new(
+                &s,
+                FaultState::none(&s),
+                Box::new(DeftRouting::distance_based(&s)),
+                &pattern,
+                quick_cfg(),
+            )
+        };
+        assert_eq!(mk().run(), mk().run_dense_reference());
+
+        let tl = deft_topo::FaultTimeline::burst(
+            &s,
+            &deft_topo::BurstConfig {
+                bursts: 2,
+                links_per_burst: 4,
+                duration: 400,
+                horizon: 1_200,
+                seed: 11,
+            },
+        );
+        assert_eq!(
+            mk().with_timeline(&tl).run(),
+            mk().with_timeline(&tl).run_dense_reference()
+        );
     }
 
     #[test]

@@ -59,4 +59,4 @@ mod stats;
 pub use config::SimConfig;
 pub use engine::Simulator;
 pub use flit::{Flit, PacketId, PacketInfo};
-pub use stats::{EpochStats, Region, SimReport, VcUsage};
+pub use stats::{EpochStats, LatencyHistogram, Region, SimReport, VcUsage};

@@ -34,7 +34,7 @@ impl std::fmt::Display for Region {
 }
 
 /// Per-region VC-utilization counters (buffer writes per VC).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct VcUsage {
     /// Flits written into VC0 buffers.
     pub vc0: u64,
@@ -55,6 +55,64 @@ impl VcUsage {
     }
 }
 
+/// An exact latency histogram: one counter per latency value (cycles).
+///
+/// Replaces the full per-packet latency history the simulator used to keep:
+/// memory is bounded by the *maximum observed latency* (itself bounded by
+/// the run length in cycles) instead of by the delivered-packet count, and
+/// recording is a counter increment instead of a Vec push. Percentiles are
+/// reproduced **exactly** as the old sort-and-index computation
+/// (`sorted[round((n - 1) · p)]`): the histogram walk returns the value at
+/// the same rank.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LatencyHistogram {
+    /// `counts[l]` = delivered measured packets with latency `l` cycles.
+    counts: Vec<u64>,
+    /// Total recorded samples (the histogram's mass).
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample, growing the value axis if needed.
+    pub fn record(&mut self, latency: u64) {
+        let idx = latency as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `p`-quantile (0.0 ≤ `p` ≤ 1.0) under the legacy nearest-rank
+    /// convention: the value at sorted index `round((total - 1) · p)`.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((self.total - 1) as f64 * p).round() as u64;
+        let mut seen = 0u64;
+        for (value, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen > rank {
+                return value as u64;
+            }
+        }
+        // Unreachable with a consistent `total`; fall back to the max bin.
+        self.counts.len().saturating_sub(1) as u64
+    }
+}
+
 /// Statistics for one *fault epoch*: the window between two consecutive
 /// fault-timeline transitions (or between a run boundary and the nearest
 /// transition). Recorded only for runs driven by a
@@ -64,7 +122,7 @@ impl VcUsage {
 /// Comparing consecutive epochs gives the latency and loss picture
 /// *before, during, and after* each fault transition, which is what the
 /// recovery experiments aggregate.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EpochStats {
     /// First cycle of the epoch (the transition cycle, or 0).
     pub start_cycle: u64,
@@ -120,7 +178,7 @@ impl EpochStats {
 }
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimReport {
     /// Algorithm name.
     pub algorithm: String,
@@ -229,6 +287,38 @@ mod tests {
         let u = VcUsage { vc0: 75, vc1: 25 };
         assert!((u.vc0_percent() - 75.0).abs() < 1e-12);
         assert_eq!(VcUsage::default().vc0_percent(), 50.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_match_the_sort_and_index_convention() {
+        // The contract the report depends on: for any sample multiset the
+        // histogram reproduces sorted[round((n-1)·p)] exactly.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![5],
+            vec![3, 3, 3],
+            vec![10, 2, 7, 7, 1, 2, 9, 40],
+            (0..100).map(|i| (i * 13) % 47).collect(),
+            vec![0, 0, 1],
+        ];
+        for samples in cases {
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for p in [0.0, 0.25, 0.50, 0.95, 0.99, 1.0] {
+                let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+                assert_eq!(
+                    h.percentile(p),
+                    sorted[idx],
+                    "p={p} over {} samples",
+                    samples.len()
+                );
+            }
+            assert_eq!(h.total(), samples.len() as u64);
+        }
+        assert_eq!(LatencyHistogram::new().percentile(0.5), 0);
     }
 
     #[test]

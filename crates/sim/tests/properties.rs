@@ -98,6 +98,65 @@ proptest! {
     }
 
     #[test]
+    fn active_set_scheduler_matches_dense_scan_on_random_systems(
+        cols in 1u8..=3,
+        rows in 1u8..=2,
+        rate_milli in 1u32..=8,
+        alg_pick in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        // Differential pin of the hot-path refactor: the active-set run
+        // and the dense-scan reference must produce identical SimReports
+        // (every counter, percentile, map entry) on arbitrary small
+        // systems, loads, and algorithms.
+        let sys = ChipletSystem::chiplet_grid(cols, rows).expect("valid grid");
+        let pattern = uniform(&sys, rate_milli as f64 / 1000.0);
+        let alg = |pick: u8| -> Box<dyn RoutingAlgorithm> {
+            match pick {
+                0 => Box::new(DeftRouting::distance_based(&sys)),
+                1 => Box::new(MtrRouting::new(&sys)),
+                _ => Box::new(RcRouting::new(&sys)),
+            }
+        };
+        let fast = Simulator::new(
+            &sys, FaultState::none(&sys), alg(alg_pick), &pattern, quick(seed),
+        ).run();
+        let dense = Simulator::new(
+            &sys, FaultState::none(&sys), alg(alg_pick), &pattern, quick(seed),
+        ).run_dense_reference();
+        prop_assert_eq!(fast, dense);
+    }
+
+    #[test]
+    fn active_set_matches_dense_under_fault_timelines(
+        mean_healthy_frac in 1u32..=4,
+        seed in 0u64..200,
+    ) {
+        // Same differential pin across the packet-removal path: transient
+        // timelines strand worms mid-run, the one place buffers and
+        // credits are manipulated out of band.
+        let sys = ChipletSystem::baseline_4();
+        let pattern = uniform(&sys, 0.004);
+        let tl = deft_topo::FaultTimeline::transient(
+            &sys,
+            &deft_topo::TransientConfig {
+                mean_healthy: 700.0 * mean_healthy_frac as f64,
+                mean_faulty: 150.0,
+                horizon: 700,
+                seed,
+            },
+        );
+        let mk = || Simulator::new(
+            &sys,
+            FaultState::none(&sys),
+            Box::new(DeftRouting::distance_based(&sys)),
+            &pattern,
+            quick(seed),
+        ).with_timeline(&tl);
+        prop_assert_eq!(mk().run(), mk().run_dense_reference());
+    }
+
+    #[test]
     fn reports_are_reproducible(seed in 0u64..50) {
         let sys = ChipletSystem::baseline_4();
         let pattern = uniform(&sys, 0.005);

@@ -109,6 +109,20 @@ impl Direction {
         Direction::South,
     ];
 
+    /// Position of this direction in [`Direction::ALL`]. Dense per-node ×
+    /// per-direction tables (the flat adjacency table in
+    /// [`ChipletSystem`](crate::ChipletSystem)) are indexed by this.
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+            Direction::Up => 4,
+            Direction::Down => 5,
+        }
+    }
+
     /// Whether this is one of the four intra-layer directions.
     pub fn is_horizontal(self) -> bool {
         !matches!(self, Direction::Up | Direction::Down)

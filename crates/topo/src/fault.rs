@@ -7,7 +7,7 @@
 //! paper's fault axes count unidirectional links: the 4-chiplet system has
 //! 32 of them, the 6-chiplet system 48.
 
-use crate::{ChipletId, ChipletSystem, VlDir};
+use crate::{ChipletId, ChipletSystem, LinkId, VlDir};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -50,15 +50,77 @@ impl fmt::Display for VlLinkId {
 pub struct FaultState {
     down: Vec<u8>,
     up: Vec<u8>,
+    /// Redundant dense view of the same fault set, one bit per
+    /// [`LinkId`] in canonical order. Kept in sync by
+    /// [`inject`](Self::inject)/[`heal`](Self::heal)/[`clear`](Self::clear)
+    /// so hot-path callers holding a dense link id can test faultiness with
+    /// one bit probe ([`is_faulty_id`](Self::is_faulty_id)).
+    flat: Vec<u64>,
+    /// Per-chiplet base bit of the Down block in `flat`, copied from the
+    /// system's [`ChipletSystem::link_id`] at construction — the canonical
+    /// order is defined in exactly one place — so `flat` can be updated
+    /// without a `ChipletSystem` handle.
+    down_base: Vec<u32>,
+    /// Per-chiplet base bit of the Up block (`down_base[c] + vl_count`).
+    up_base: Vec<u32>,
+    /// Total dense links (the exclusive [`LinkId`] bound of the system).
+    links: u32,
 }
 
 impl FaultState {
     /// A fault-free state for `sys`.
     pub fn none(sys: &ChipletSystem) -> Self {
+        // Copy the dense layout straight from the system's LinkId space
+        // rather than re-deriving the canonical order here.
+        let down_base: Vec<u32> = sys
+            .chiplets()
+            .iter()
+            .map(|c| {
+                sys.link_id(VlLinkId {
+                    chiplet: c.id(),
+                    index: 0,
+                    dir: VlDir::Down,
+                })
+                .0
+            })
+            .collect();
+        let up_base: Vec<u32> = sys
+            .chiplets()
+            .iter()
+            .map(|c| {
+                sys.link_id(VlLinkId {
+                    chiplet: c.id(),
+                    index: 0,
+                    dir: VlDir::Up,
+                })
+                .0
+            })
+            .collect();
+        let links = sys.link_count() as u32;
         Self {
             down: vec![0; sys.chiplet_count()],
             up: vec![0; sys.chiplet_count()],
+            flat: vec![0; (links as usize).div_ceil(64)],
+            down_base,
+            up_base,
+            links,
         }
+    }
+
+    /// The dense bit position of `link` in `flat`, or `None` for a phantom
+    /// link (VL index at or past the chiplet's VL count — representable in
+    /// the masks but not part of the system's dense link space).
+    fn flat_bit(&self, link: VlLinkId) -> Option<u32> {
+        let c = link.chiplet.index();
+        let vl_count = self.up_base[c] - self.down_base[c];
+        if link.index as u32 >= vl_count {
+            return None;
+        }
+        let base = match link.dir {
+            VlDir::Down => self.down_base[c],
+            VlDir::Up => self.up_base[c],
+        };
+        Some(base + link.index as u32)
     }
 
     /// A state with exactly the given links faulty.
@@ -79,18 +141,25 @@ impl FaultState {
         assert!(link.index < 8, "VL index {} exceeds mask width", link.index);
         let m = self.mask_mut(link.chiplet, link.dir);
         *m |= 1 << link.index;
+        if let Some(bit) = self.flat_bit(link) {
+            self.flat[bit as usize / 64] |= 1 << (bit % 64);
+        }
     }
 
     /// Marks a link healthy again.
     pub fn heal(&mut self, link: VlLinkId) {
         let m = self.mask_mut(link.chiplet, link.dir);
         *m &= !(1 << link.index);
+        if let Some(bit) = self.flat_bit(link) {
+            self.flat[bit as usize / 64] &= !(1 << (bit % 64));
+        }
     }
 
     /// Clears all faults.
     pub fn clear(&mut self) {
         self.down.fill(0);
         self.up.fill(0);
+        self.flat.fill(0);
     }
 
     fn mask_mut(&mut self, chiplet: ChipletId, dir: VlDir) -> &mut u8 {
@@ -103,6 +172,26 @@ impl FaultState {
     /// Whether the given link is faulty.
     pub fn is_faulty(&self, link: VlLinkId) -> bool {
         self.mask(link.chiplet, link.dir) & (1 << link.index) != 0
+    }
+
+    /// Whether the link with the given dense id is faulty: a single bit
+    /// probe, no chiplet/direction decoding. The id must come from the
+    /// same system this state was created for
+    /// ([`ChipletSystem::link_id`] / [`ChipletSystem::out_vertical_link`])
+    /// — an id minted by a *different* system indexes the wrong bit.
+    ///
+    /// # Panics
+    /// Panics if `id` is at or past the system's
+    /// [`link_count`](ChipletSystem::link_count).
+    pub fn is_faulty_id(&self, id: LinkId) -> bool {
+        assert!(
+            id.0 < self.links,
+            "link id {} out of range (system has {} links)",
+            id.0,
+            self.links
+        );
+        let bit = id.0;
+        self.flat[bit as usize / 64] & (1 << (bit % 64)) != 0
     }
 
     /// Bitmask of faulty links for a (chiplet, direction) group; bit `i`
@@ -423,6 +512,46 @@ mod tests {
         f.heal(l);
         assert!(!f.is_faulty(l));
         assert!(f.is_fault_free());
+    }
+
+    #[test]
+    fn dense_id_lookup_tracks_inject_heal_and_clear() {
+        // The flat LinkId-indexed view must agree with the mask view after
+        // every mutation, across both paper systems.
+        for sys in [ChipletSystem::baseline_4(), ChipletSystem::baseline_6()] {
+            let mut f = FaultState::none(&sys);
+            let links = super::all_unidirectional_links(&sys);
+            for (i, &l) in links.iter().enumerate() {
+                if i % 3 == 0 {
+                    f.inject(l);
+                }
+            }
+            for &l in &links {
+                assert_eq!(
+                    f.is_faulty_id(sys.link_id(l)),
+                    f.is_faulty(l),
+                    "dense/mask mismatch at {l}"
+                );
+            }
+            let healed = links[0];
+            f.heal(healed);
+            assert!(!f.is_faulty_id(sys.link_id(healed)));
+            f.clear();
+            for &l in &links {
+                assert!(!f.is_faulty_id(sys.link_id(l)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dense_id_lookup_rejects_foreign_ids() {
+        // LinkId(40) exists on the 6-chiplet system (48 links) but not on
+        // the 4-chiplet one (32): a cross-system mix-up must crash, not
+        // silently read a padding bit.
+        let sys4 = ChipletSystem::baseline_4();
+        let f = FaultState::none(&sys4);
+        f.is_faulty_id(LinkId(40));
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use error::TopologyError;
 pub use fault::{FaultScenarios, FaultState, ScenarioSampler, VlLinkId};
 pub use ids::{ChipletId, Layer, NodeAddr, NodeId, VlDir};
 pub use presets::PINWHEEL_VLS_4X4;
-pub use system::{ChipletSystem, SystemBuilder, VerticalLink};
+pub use system::{ChipletSystem, LinkId, SystemBuilder, VerticalLink};
 pub use timeline::{
     BurstConfig, FaultEvent, FaultEventKind, FaultTimeline, RegionConfig, TimelineCursor,
     TransientConfig,

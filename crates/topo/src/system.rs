@@ -1,7 +1,25 @@
 //! The assembled 2.5D chiplet system and its builder.
 
-use crate::{Chiplet, ChipletId, Coord, Direction, Layer, NodeAddr, NodeId, TopologyError};
+use crate::{
+    Chiplet, ChipletId, Coord, Direction, Layer, NodeAddr, NodeId, TopologyError, VlDir, VlLinkId,
+};
 use serde::{Deserialize, Serialize};
+
+/// Dense identifier of one *unidirectional* vertical link, assigned at
+/// [`SystemBuilder::build`] time in the canonical link order (chiplet-major,
+/// the chiplet's Down links before its Up links, VL-index order within a
+/// block). `LinkId`s index flat per-link arrays on the simulation hot path;
+/// translate to/from the structured [`VlLinkId`](crate::VlLinkId) form with
+/// [`ChipletSystem::link_id`] / [`ChipletSystem::link_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The ID as a `usize` index into per-link tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// One bidirectional vertical link (a micro-bump pair) between a chiplet
 /// boundary router and the interposer router directly beneath it.
@@ -168,7 +186,7 @@ impl SystemBuilder {
             vl_of_node[vl.interposer_node.index()] = Some(slot as u32);
         }
 
-        Ok(ChipletSystem {
+        let mut sys = ChipletSystem {
             interposer_width: self.interposer_width,
             interposer_height: self.interposer_height,
             chiplets,
@@ -177,7 +195,14 @@ impl SystemBuilder {
             node_count,
             vlinks,
             vl_of_node,
-        })
+            addrs: Vec::new(),
+            adj: Vec::new(),
+            links_flat: Vec::new(),
+            link_base: Vec::new(),
+            out_link_of_node: Vec::new(),
+        };
+        sys.build_flat_tables();
+        Ok(sys)
     }
 }
 
@@ -198,6 +223,22 @@ pub struct ChipletSystem {
     vlinks: Vec<VerticalLink>,
     /// node index -> index into `vlinks` if the node is a VL endpoint.
     vl_of_node: Vec<Option<u32>>,
+    /// Precomputed node → address table; makes [`addr`](Self::addr) a flat
+    /// lookup instead of a binary search over chiplet bases.
+    addrs: Vec<NodeAddr>,
+    /// Flat adjacency: `adj[node][Direction::index()]` = neighbour, if the
+    /// link exists. The simulation hot path reads only this table.
+    adj: Vec<[Option<NodeId>; 6]>,
+    /// All unidirectional VLs in canonical [`LinkId`] order (chiplet-major,
+    /// Down block before Up block, VL-index order within a block).
+    links_flat: Vec<VlLinkId>,
+    /// Per-chiplet base of its Down block in `links_flat`; the Up block
+    /// starts `vl_count` entries later.
+    link_base: Vec<u32>,
+    /// node → the unidirectional VL a flit crosses when *leaving* the node
+    /// vertically (the Down link of a boundary router, the Up link of an
+    /// interposer router under a VL).
+    out_link_of_node: Vec<Option<LinkId>>,
 }
 
 impl ChipletSystem {
@@ -267,12 +308,18 @@ impl ChipletSystem {
         (base..base + n).map(NodeId)
     }
 
-    /// Translates a node ID to its layer + coordinate.
+    /// Translates a node ID to its layer + coordinate (a flat table lookup).
     ///
     /// # Panics
     /// Panics if `node` is out of range.
     pub fn addr(&self, node: NodeId) -> NodeAddr {
         assert!(node.index() < self.node_count, "node {node} out of range");
+        self.addrs[node.index()]
+    }
+
+    /// Computes a node's address from the mesh layout, without the
+    /// precomputed table. Only used while building the table itself.
+    fn addr_computed(&self, node: NodeId) -> NodeAddr {
         if node.0 >= self.interposer_base {
             let off = node.0 - self.interposer_base;
             let y = (off / self.interposer_width as u32) as u8;
@@ -290,6 +337,53 @@ impl ChipletSystem {
             Layer::Chiplet(ChipletId(idx as u8)),
             Coord::new((off % w) as u8, (off / w) as u8),
         )
+    }
+
+    /// Populates the flat hot-path tables (`addrs`, `adj`, `links_flat`,
+    /// `link_base`, `out_link_of_node`) from the structural fields. Called
+    /// once at the end of [`SystemBuilder::build`].
+    fn build_flat_tables(&mut self) {
+        self.addrs = (0..self.node_count as u32)
+            .map(|n| self.addr_computed(NodeId(n)))
+            .collect();
+        self.adj = (0..self.node_count as u32)
+            .map(|n| {
+                let mut row = [None; 6];
+                for dir in Direction::ALL {
+                    row[dir.index()] = self.neighbor_computed(NodeId(n), dir);
+                }
+                row
+            })
+            .collect();
+        self.links_flat = Vec::with_capacity(self.vlinks.len() * 2);
+        self.link_base = Vec::with_capacity(self.chiplets.len());
+        for c in &self.chiplets {
+            self.link_base.push(self.links_flat.len() as u32);
+            for dir in VlDir::ALL {
+                for i in 0..c.vl_count() {
+                    self.links_flat.push(VlLinkId {
+                        chiplet: c.id(),
+                        index: i as u8,
+                        dir,
+                    });
+                }
+            }
+        }
+        self.out_link_of_node = vec![None; self.node_count];
+        for vl in &self.vlinks {
+            let down = self.link_id(VlLinkId {
+                chiplet: vl.chiplet,
+                index: vl.index,
+                dir: VlDir::Down,
+            });
+            let up = self.link_id(VlLinkId {
+                chiplet: vl.chiplet,
+                index: vl.index,
+                dir: VlDir::Up,
+            });
+            self.out_link_of_node[vl.chiplet_node.index()] = Some(down);
+            self.out_link_of_node[vl.interposer_node.index()] = Some(up);
+        }
     }
 
     /// Translates a layer + coordinate to a node ID. Returns `None` if the
@@ -332,13 +426,23 @@ impl ChipletSystem {
         self.layer(node).chiplet()
     }
 
-    /// The neighbour of `node` in `dir`, if that link exists.
+    /// The neighbour of `node` in `dir`, if that link exists (a flat table
+    /// lookup).
     ///
     /// Horizontal directions stay within the node's mesh; `Down` exists only
     /// out of chiplet boundary routers and `Up` only out of interposer
     /// routers beneath a VL.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
     pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
-        let addr = self.addr(node);
+        self.adj[node.index()][dir.index()]
+    }
+
+    /// Computes a neighbour from the mesh layout, without the precomputed
+    /// adjacency table. Only used while building the table itself.
+    fn neighbor_computed(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let addr = self.addr_computed(node);
         match dir {
             Direction::Down => match addr.layer {
                 Layer::Chiplet(_) => self.vertical_peer(node),
@@ -363,11 +467,73 @@ impl ChipletSystem {
     }
 
     /// All outgoing links of `node` as `(direction, neighbor)` pairs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a Vec per call; use `neighbors_iter` instead"
+    )]
     pub fn neighbors(&self, node: NodeId) -> Vec<(Direction, NodeId)> {
+        self.neighbors_iter(node).collect()
+    }
+
+    /// Iterates over the outgoing links of `node` as `(direction, neighbor)`
+    /// pairs, in [`Direction::ALL`] order, without allocating.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn neighbors_iter(&self, node: NodeId) -> impl Iterator<Item = (Direction, NodeId)> + '_ {
+        let row = &self.adj[node.index()];
         Direction::ALL
             .into_iter()
-            .filter_map(|d| self.neighbor(node, d).map(|n| (d, n)))
-            .collect()
+            .filter_map(move |d| row[d.index()].map(|n| (d, n)))
+    }
+
+    /// Number of unidirectional vertical links, i.e. the exclusive upper
+    /// bound of the dense [`LinkId`] space. Equal to
+    /// [`unidirectional_vl_count`](Self::unidirectional_vl_count).
+    pub fn link_count(&self) -> usize {
+        self.links_flat.len()
+    }
+
+    /// The dense [`LinkId`] of a structured [`VlLinkId`].
+    ///
+    /// # Panics
+    /// Panics if the chiplet or VL index is out of range.
+    pub fn link_id(&self, link: VlLinkId) -> LinkId {
+        let c = &self.chiplets[link.chiplet.index()];
+        assert!(
+            (link.index as usize) < c.vl_count(),
+            "VL index {} out of range for {}",
+            link.index,
+            link.chiplet
+        );
+        let dir_off = match link.dir {
+            VlDir::Down => 0,
+            VlDir::Up => c.vl_count() as u32,
+        };
+        LinkId(self.link_base[link.chiplet.index()] + dir_off + link.index as u32)
+    }
+
+    /// The structured [`VlLinkId`] behind a dense [`LinkId`].
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn link_of(&self, id: LinkId) -> VlLinkId {
+        self.links_flat[id.index()]
+    }
+
+    /// All unidirectional vertical links in dense [`LinkId`] order.
+    pub fn links_flat(&self) -> &[VlLinkId] {
+        &self.links_flat
+    }
+
+    /// The unidirectional VL a flit crosses when leaving `node` through its
+    /// vertical port: the Down link of a chiplet boundary router, the Up
+    /// link of an interposer router under a VL, `None` elsewhere.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn out_vertical_link(&self, node: NodeId) -> Option<LinkId> {
+        self.out_link_of_node[node.index()]
     }
 
     /// The node on the other end of `node`'s vertical link, if `node` is a
@@ -556,14 +722,13 @@ mod tests {
                 Coord::new(0, 0),
             ))
             .unwrap();
-        let dirs: Vec<Direction> = sys.neighbors(corner).into_iter().map(|(d, _)| d).collect();
+        let dirs: Vec<Direction> = sys.neighbors_iter(corner).map(|(d, _)| d).collect();
         assert_eq!(dirs, vec![Direction::East, Direction::North]);
 
         // A boundary router also has Down.
         let vl = &sys.chiplet(ChipletId(0)).vertical_links()[0];
         let dirs: Vec<Direction> = sys
-            .neighbors(vl.chiplet_node)
-            .into_iter()
+            .neighbors_iter(vl.chiplet_node)
             .map(|(d, _)| d)
             .collect();
         assert!(dirs.contains(&Direction::Down));
@@ -571,8 +736,7 @@ mod tests {
 
         // The interposer router beneath it has Up.
         let dirs: Vec<Direction> = sys
-            .neighbors(vl.interposer_node)
-            .into_iter()
+            .neighbors_iter(vl.interposer_node)
             .map(|(d, _)| d)
             .collect();
         assert!(dirs.contains(&Direction::Up));
@@ -595,9 +759,86 @@ mod tests {
             .node_id(NodeAddr::new(Layer::Interposer, Coord::new(3, 1)))
             .unwrap();
         assert_eq!(
-            sys.neighbors(mid).len(),
+            sys.neighbors_iter(mid).count(),
             4 + usize::from(sys.vl_at_node(mid).is_some())
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_neighbors_vec_matches_the_iterator() {
+        let sys = two_chiplets();
+        for node in sys.nodes() {
+            let from_iter: Vec<(Direction, NodeId)> = sys.neighbors_iter(node).collect();
+            assert_eq!(sys.neighbors(node), from_iter);
+        }
+    }
+
+    #[test]
+    fn flat_adjacency_matches_the_computed_neighbors() {
+        // The hot-path table must agree with the mesh/VL layout rules it
+        // was derived from, for every node and direction.
+        let sys = two_chiplets();
+        for node in sys.nodes() {
+            for dir in Direction::ALL {
+                assert_eq!(
+                    sys.neighbor(node, dir),
+                    sys.neighbor_computed(node, dir),
+                    "adjacency mismatch at {node} {dir}"
+                );
+            }
+            assert_eq!(sys.addr(node), sys.addr_computed(node));
+        }
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_round_trip() {
+        let sys = two_chiplets();
+        assert_eq!(sys.link_count(), sys.unidirectional_vl_count());
+        for i in 0..sys.link_count() as u32 {
+            let id = LinkId(i);
+            let link = sys.link_of(id);
+            assert_eq!(sys.link_id(link), id, "round trip failed for {link}");
+        }
+        // Canonical order: chiplet-major, Down block before Up block.
+        assert_eq!(
+            sys.link_of(LinkId(0)),
+            VlLinkId {
+                chiplet: ChipletId(0),
+                index: 0,
+                dir: crate::VlDir::Down
+            }
+        );
+        let c0_vls = sys.chiplet(ChipletId(0)).vl_count() as u32;
+        assert_eq!(
+            sys.link_of(LinkId(c0_vls)),
+            VlLinkId {
+                chiplet: ChipletId(0),
+                index: 0,
+                dir: crate::VlDir::Up
+            }
+        );
+    }
+
+    #[test]
+    fn out_vertical_link_points_along_the_flit_direction() {
+        let sys = two_chiplets();
+        for vl in sys.vertical_links() {
+            let down = sys.out_vertical_link(vl.chiplet_node).expect("boundary");
+            assert_eq!(sys.link_of(down).dir, crate::VlDir::Down);
+            assert_eq!(sys.link_of(down).chiplet, vl.chiplet);
+            assert_eq!(sys.link_of(down).index, vl.index);
+            let up = sys.out_vertical_link(vl.interposer_node).expect("under VL");
+            assert_eq!(sys.link_of(up).dir, crate::VlDir::Up);
+        }
+        // A plain mesh node has no vertical out-link.
+        let corner = sys
+            .node_id(NodeAddr::new(
+                Layer::Chiplet(ChipletId(0)),
+                Coord::new(0, 0),
+            ))
+            .unwrap();
+        assert_eq!(sys.out_vertical_link(corner), None);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Golden-hash pins of experiment output bytes at fixed seeds.
+//!
+//! These tests freeze the *exact bytes* of the CSV blocks behind
+//! `deft-repro --quick --out csv --exp recovery` and the Fig. 4 uniform
+//! sweep, so any refactor of the topology/routing/simulator hot path that
+//! changes a single counter, percentile, or formatting decision fails
+//! loudly instead of silently shifting results. The hashes were recorded
+//! from the pre-active-set engine and verified byte-identical against the
+//! refactored one (the whole-campaign outputs were additionally compared
+//! with `cmp` at the binary level).
+//!
+//! If a change *intentionally* alters simulated behaviour, update the
+//! constants — and say so in the commit: these bytes are the repo's
+//! reproducibility contract.
+
+use deft::experiments::{fig4, recovery, Algo, ExpConfig, SynPattern};
+use deft::report::{latency_sweep_csv, recovery_csv};
+use deft_topo::ChipletSystem;
+
+/// FNV-1a 64-bit, enough to pin output bytes against accidental drift.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The recovery experiment at the CI smoke invocation's configuration
+/// (`--quick --jobs 2`): scenario × algorithm × seed grid over dynamic
+/// fault timelines.
+#[test]
+fn recovery_quick_csv_bytes_are_pinned() {
+    let sys = ChipletSystem::baseline_4();
+    let cfg = ExpConfig::quick().with_jobs(2);
+    let csv = recovery_csv(&recovery(&sys, &cfg));
+    assert_eq!(
+        fnv1a(csv.as_bytes()),
+        0x79fb_9523_4ab0_5f28,
+        "recovery --quick CSV bytes drifted from the golden hash;\n\
+         if this is an intentional behaviour change, update the constant:\n{csv}"
+    );
+}
+
+/// A Fig. 4 uniform-traffic sweep slice (two rates × the three main
+/// algorithms) at the quick windows and default seed.
+#[test]
+fn fig4_uniform_quick_csv_bytes_are_pinned() {
+    let sys = ChipletSystem::baseline_4();
+    let cfg = ExpConfig::quick().with_jobs(2);
+    let sweep = fig4(
+        &sys,
+        SynPattern::Uniform,
+        &[0.002, 0.004],
+        &Algo::MAIN,
+        &cfg,
+    );
+    let csv = latency_sweep_csv(&sweep);
+    assert_eq!(
+        fnv1a(csv.as_bytes()),
+        0xae73_eb37_101d_bb10,
+        "fig4 uniform --quick CSV bytes drifted from the golden hash;\n\
+         if this is an intentional behaviour change, update the constant:\n{csv}"
+    );
+}
+
+/// The hash function itself is pinned (a silent change to it would
+/// invalidate the two golden constants without anyone noticing).
+#[test]
+fn fnv1a_is_the_reference_implementation() {
+    assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+}
