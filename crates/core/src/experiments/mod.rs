@@ -23,7 +23,10 @@ mod vc_util;
 pub use ablation::{rho_ablation, rho_ablation_jobs, RhoRow, RHO_SWEEP};
 pub use app_latency::{fig6_pairs, fig6_single, AppImprovement};
 pub use latency_sweep::{fig4, fig8, LatencyCurve, LatencySweep, SynPattern};
-pub use perf::{perf, PerfCellResult, PerfReport, FIG4_MID_CELL, PERF_RATE};
+pub use perf::{
+    perf, PerfCellResult, PerfReport, FIG4_MID_CELL, LARGE_GRID_CELL, PERF_RATE, PR4_FULL_BASELINE,
+    TRICKLE_CELL, TRICKLE_PERIOD,
+};
 pub use power_table::{table1_campaign, table1_campaign_jobs};
 pub use reachability::{fig7, fig7_jobs, ReachabilityCurves};
 pub use recovery::{

@@ -16,8 +16,8 @@
 
 use super::{Algo, ExpConfig};
 use deft_sim::{SimReport, Simulator};
-use deft_topo::{ChipletSystem, FaultState, FaultTimeline, TransientConfig};
-use deft_traffic::{transpose, uniform, TableTraffic};
+use deft_topo::{ChipletSystem, FaultState, FaultTimeline, NodeId, TransientConfig};
+use deft_traffic::{transpose, uniform, TableTraffic, Trace, TraceEvent};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -28,6 +28,36 @@ pub const FIG4_MID_CELL: &str = "fig4-uniform-mid/DeFT";
 
 /// The mid-load injection rate of the Fig. 4 uniform sweep.
 pub const PERF_RATE: f64 = 0.004;
+
+/// Name of the trickle-load cell: sparse trace-driven traffic (one packet
+/// per [`TRICKLE_PERIOD`] cycles) whose provably-idle windows the engine's
+/// idle-cycle skipping jumps over. This cell tracks the skip machinery the
+/// way [`FIG4_MID_CELL`] tracks the data plane.
+pub const TRICKLE_CELL: &str = "trickle-trace/DeFT";
+
+/// Cycles between injections in the trickle cell's trace. Fixed across
+/// quick and full windows (so the cell's cycles/sec is window-independent
+/// and CI's quick run is comparable to the committed full-mode baseline);
+/// only sub-`--quick` test windows shrink it to keep a few events in
+/// range.
+pub const TRICKLE_PERIOD: u64 = 400;
+
+/// Name of the large-grid scaling cell: an 8×8 arrangement of 4×4
+/// chiplets (2048 routers — 16× the baseline) under uniform traffic, the
+/// first datapoint of the engine's scaling trajectory toward
+/// production-size systems.
+pub const LARGE_GRID_CELL: &str = "large-grid-8x8/DeFT-Dis";
+
+/// Full-mode cycles/sec of the cells as committed at PR 4 (schema
+/// `deft-bench-sim/v1`): the denominators of each cell's
+/// [`PerfCellResult::baseline_delta`]. Cells introduced later have no
+/// entry and report `null`.
+pub const PR4_FULL_BASELINE: [(&str, f64); 4] = [
+    ("fig4-uniform-mid/DeFT", 60_573.4),
+    ("fig4-uniform-mid/RC", 61_709.8),
+    ("transpose-mid/DeFT", 69_106.2),
+    ("transient-timeline/DeFT", 55_065.4),
+];
 
 /// One timed simulation cell.
 #[derive(Debug, Clone, Serialize)]
@@ -51,6 +81,11 @@ pub struct PerfCellResult {
     pub cycles_per_sec: f64,
     /// Wall-clock nanoseconds per flit-hop of engine work.
     pub ns_per_flit_hop: f64,
+    /// Speed multiplier over the PR 4 full-mode baseline
+    /// ([`PR4_FULL_BASELINE`]): `cycles_per_sec / baseline`. `None` for
+    /// cells without a recorded baseline and in quick mode (quick windows
+    /// are not comparable to the committed full-mode numbers).
+    pub baseline_delta: Option<f64>,
 }
 
 /// The `perf` experiment's result set.
@@ -76,12 +111,21 @@ impl PerfReport {
 
 /// Times one already-assembled simulation and folds the report into a
 /// [`PerfCellResult`].
-fn time_cell(name: &str, sim: Simulator<'_>) -> PerfCellResult {
+fn time_cell(name: &str, mode: &str, sim: Simulator<'_>) -> PerfCellResult {
     let start = Instant::now();
     let report: SimReport = sim.run();
     let wall = start.elapsed();
     let wall_ms = wall.as_secs_f64() * 1e3;
     let flit_hops: u64 = report.vc_usage.values().map(|u| u.vc0 + u.vc1).sum();
+    let cycles_per_sec = report.cycles as f64 / wall.as_secs_f64().max(1e-12);
+    let baseline_delta = (mode == "full")
+        .then(|| {
+            PR4_FULL_BASELINE
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, base)| cycles_per_sec / base)
+        })
+        .flatten();
     PerfCellResult {
         name: name.to_owned(),
         algorithm: report.algorithm.clone(),
@@ -90,9 +134,28 @@ fn time_cell(name: &str, sim: Simulator<'_>) -> PerfCellResult {
         flit_hops,
         delivered: report.delivered,
         wall_ms,
-        cycles_per_sec: report.cycles as f64 / wall.as_secs_f64().max(1e-12),
+        cycles_per_sec,
         ns_per_flit_hop: wall.as_secs_f64() * 1e9 / (flit_hops.max(1)) as f64,
+        baseline_delta,
     }
+}
+
+/// The trickle cell's workload: one packet per [`TRICKLE_PERIOD`] cycles
+/// over the generation window, sources and destinations rotating across
+/// the system so successive worms exercise different routes. Everything
+/// between two events is a provably-idle window the engine can skip.
+fn trickle_trace(sys: &ChipletSystem, horizon: u64) -> Trace {
+    let n = sys.node_count() as u32;
+    let period = (horizon / 4).clamp(1, TRICKLE_PERIOD);
+    let events: Vec<TraceEvent> = (0..horizon / period)
+        .map(|k| TraceEvent {
+            cycle: k * period,
+            src: NodeId((11 * k as u32) % n),
+            dst: NodeId((37 + 53 * k as u32) % n),
+        })
+        .filter(|e| e.src != e.dst)
+        .collect();
+    Trace::new("Trickle", events, sys.node_count())
 }
 
 /// Runs the perf cells serially on `sys` (one cell at a time, so wall
@@ -119,7 +182,7 @@ pub fn perf(sys: &ChipletSystem, cfg: &ExpConfig, mode: &str) -> PerfReport {
             pattern,
             cfg.run_sim(0),
         );
-        cells.push(time_cell(name, sim));
+        cells.push(time_cell(name, mode, sim));
     }
 
     // Transient-timeline cell: mid-run inject/heal transitions exercise
@@ -142,7 +205,34 @@ pub fn perf(sys: &ChipletSystem, cfg: &ExpConfig, mode: &str) -> PerfReport {
         cfg.run_sim(1),
     )
     .with_timeline(&timeline);
-    cells.push(time_cell("transient-timeline/DeFT", sim));
+    cells.push(time_cell("transient-timeline/DeFT", mode, sim));
+
+    // Trickle cell: sparse trace events separated by provably-idle
+    // windows — the workload where idle-cycle skipping dominates.
+    let trickle = trickle_trace(sys, horizon);
+    let sim = Simulator::new(
+        sys,
+        FaultState::none(sys),
+        Algo::Deft.build(sys),
+        &trickle,
+        cfg.run_sim(2),
+    );
+    cells.push(time_cell(TRICKLE_CELL, mode, sim));
+
+    // Large-grid scaling cell: 16× the baseline router count. Uses
+    // distance-based VL selection so the cell times the engine, not
+    // DeFT's offline optimizer (which grows with the grid and runs
+    // before the clock starts anyway).
+    let large = ChipletSystem::chiplet_grid(8, 8).expect("8x8 grid is valid");
+    let large_uniform = uniform(&large, PERF_RATE);
+    let sim = Simulator::new(
+        &large,
+        FaultState::none(&large),
+        Algo::DeftDis.build(&large),
+        &large_uniform,
+        cfg.run_sim(3),
+    );
+    cells.push(time_cell(LARGE_GRID_CELL, mode, sim));
 
     PerfReport {
         mode: mode.to_owned(),
@@ -166,10 +256,12 @@ mod tests {
     fn perf_runs_all_cells_and_derives_consistent_rates() {
         let sys = ChipletSystem::baseline_4();
         let report = perf(&sys, &tiny_cfg(), "quick");
-        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.cells.len(), 6);
         assert_eq!(report.mode, "quick");
         assert!(report.fig4_mid_load().is_some());
         assert!(report.peak_cell_wall_ms() > 0.0);
+        assert!(report.cells.iter().any(|c| c.name == TRICKLE_CELL));
+        assert!(report.cells.iter().any(|c| c.name == LARGE_GRID_CELL));
         for c in &report.cells {
             assert!(c.cycles > 0, "{} simulated nothing", c.name);
             assert!(c.delivered > 0, "{} delivered nothing", c.name);
@@ -177,6 +269,8 @@ mod tests {
             assert!(c.wall_ms > 0.0);
             assert!(c.cycles_per_sec > 0.0);
             assert!(c.ns_per_flit_hop > 0.0);
+            // Quick windows are not comparable to the full-mode baseline.
+            assert!(c.baseline_delta.is_none());
             // cycles/sec and wall time must describe the same measurement.
             let implied = c.cycles as f64 / (c.wall_ms / 1e3);
             assert!(
@@ -185,6 +279,42 @@ mod tests {
                 c.name
             );
         }
+    }
+
+    #[test]
+    fn baseline_delta_populates_only_tracked_cells_in_full_mode() {
+        // The mode string is labeling, so full-mode delta wiring can be
+        // exercised at tiny windows.
+        let sys = ChipletSystem::baseline_4();
+        let report = perf(&sys, &tiny_cfg(), "full");
+        for c in &report.cells {
+            let tracked = PR4_FULL_BASELINE.iter().any(|(n, _)| *n == c.name);
+            assert_eq!(
+                c.baseline_delta.is_some(),
+                tracked,
+                "{}: baseline_delta presence",
+                c.name
+            );
+            if let Some(d) = c.baseline_delta {
+                let (_, base) = PR4_FULL_BASELINE
+                    .iter()
+                    .find(|(n, _)| *n == c.name)
+                    .unwrap();
+                assert!((d - c.cycles_per_sec / base).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trickle_trace_is_sparse_and_self_avoiding() {
+        let sys = ChipletSystem::baseline_4();
+        let t = trickle_trace(&sys, 12_000);
+        assert!(!t.is_empty());
+        assert!(t.len() <= (12_000 / TRICKLE_PERIOD) as usize);
+        for w in t.events().windows(2) {
+            assert_eq!(w[1].cycle - w[0].cycle, TRICKLE_PERIOD);
+        }
+        assert!(t.events().iter().all(|e| e.src != e.dst));
     }
 
     #[test]

@@ -175,20 +175,29 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     out
 }
 
-/// Renders the engine-performance report as an aligned table.
+/// Renders the engine-performance report as an aligned table. The
+/// `vs-PR4` column shows each cell's [`baseline_delta`] speed multiplier
+/// over the PR 4 full-mode baseline (`-` when not applicable: quick mode,
+/// or a cell newer than the baseline).
+///
+/// [`baseline_delta`]: crate::experiments::PerfCellResult::baseline_delta
 pub fn render_perf(report: &PerfReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Engine throughput ({} windows) ==", report.mode);
     let _ = writeln!(
         out,
-        "{:>26} {:>10} {:>12} {:>10} {:>12} {:>10}",
-        "cell", "cycles", "flit-hops", "wall ms", "cycles/s", "ns/fhop"
+        "{:>26} {:>10} {:>12} {:>10} {:>12} {:>10} {:>8}",
+        "cell", "cycles", "flit-hops", "wall ms", "cycles/s", "ns/fhop", "vs-PR4"
     );
     for c in &report.cells {
+        let delta = match c.baseline_delta {
+            Some(d) => format!("{d:.2}x"),
+            None => "-".to_owned(),
+        };
         let _ = writeln!(
             out,
-            "{:>26} {:>10} {:>12} {:>10.2} {:>12.0} {:>10.2}",
-            c.name, c.cycles, c.flit_hops, c.wall_ms, c.cycles_per_sec, c.ns_per_flit_hop
+            "{:>26} {:>10} {:>12} {:>10.2} {:>12.0} {:>10.2} {:>8}",
+            c.name, c.cycles, c.flit_hops, c.wall_ms, c.cycles_per_sec, c.ns_per_flit_hop, delta
         );
     }
     let _ = writeln!(
@@ -200,13 +209,17 @@ pub fn render_perf(report: &PerfReport) -> String {
 }
 
 /// Serializes the engine-performance report as the `BENCH_sim.json`
-/// document (schema `deft-bench-sim/v1`, see `EXPERIMENTS.md`). Emitted by
+/// document (schema `deft-bench-sim/v2`, see `EXPERIMENTS.md`). Emitted by
 /// hand because the offline `serde` shim does not serialize; cell names
 /// are fixed identifiers that need no escaping.
+///
+/// v2 extends v1 with one per-cell field: `baseline_delta`, the speed
+/// multiplier over the PR 4 full-mode baseline (JSON `null` when not
+/// applicable).
 pub fn perf_json(report: &PerfReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"deft-bench-sim/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"deft-bench-sim/v2\",");
     let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode);
     let fig4 = report
         .fig4_mid_load()
@@ -225,7 +238,8 @@ pub fn perf_json(report: &PerfReport) -> String {
             out,
             "\"name\": \"{}\", \"algorithm\": \"{}\", \"pattern\": \"{}\", \
              \"cycles\": {}, \"flit_hops\": {}, \"delivered\": {}, \
-             \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}, \"ns_per_flit_hop\": {:.2}",
+             \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}, \"ns_per_flit_hop\": {:.2}, \
+             \"baseline_delta\": {}",
             c.name,
             c.algorithm,
             c.pattern,
@@ -234,7 +248,11 @@ pub fn perf_json(report: &PerfReport) -> String {
             c.delivered,
             c.wall_ms,
             c.cycles_per_sec,
-            c.ns_per_flit_hop
+            c.ns_per_flit_hop,
+            match c.baseline_delta {
+                Some(d) => format!("{d:.3}"),
+                None => "null".to_owned(),
+            }
         );
         out.push_str(if i + 1 < report.cells.len() {
             "},\n"
@@ -510,6 +528,7 @@ mod tests {
                     wall_ms: 250.0,
                     cycles_per_sec: 48_000.0,
                     ns_per_flit_hop: 312.5,
+                    baseline_delta: None,
                 },
                 PerfCellResult {
                     name: "transpose-mid/DeFT".into(),
@@ -521,6 +540,7 @@ mod tests {
                     wall_ms: 125.0,
                     cycles_per_sec: 88_000.0,
                     ns_per_flit_hop: 312.5,
+                    baseline_delta: Some(1.273),
                 },
             ],
         };
@@ -529,12 +549,17 @@ mod tests {
         assert!(text.contains("fig4-uniform-mid/DeFT"));
         assert!(text.contains("peak cell wall time 250.00 ms"));
 
+        assert!(text.contains(" 1.27x"), "delta column renders: {text}");
+        assert!(text.contains(" -\n"), "missing delta renders as dash");
+
         let json = perf_json(&report);
-        assert!(json.contains("\"schema\": \"deft-bench-sim/v1\""));
+        assert!(json.contains("\"schema\": \"deft-bench-sim/v2\""));
         assert!(json.contains("\"mode\": \"quick\""));
         assert!(json.contains("\"fig4_mid_load_cycles_per_sec\": 48000.0"));
         assert!(json.contains("\"peak_cell_wall_ms\": 250.000"));
         assert!(json.contains("\"ns_per_flit_hop\": 312.50"));
+        assert!(json.contains("\"baseline_delta\": null"));
+        assert!(json.contains("\"baseline_delta\": 1.273"));
         // Exactly one comma-separated object per cell, valid-JSON shaped.
         assert_eq!(json.matches("\"name\":").count(), 2);
         assert_eq!(json.matches("},\n").count(), 1);

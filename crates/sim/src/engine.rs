@@ -20,21 +20,35 @@
 //! fires (the CDG is acyclic); it exists to catch routing bugs and to
 //! demonstrate what happens without VN separation.
 //!
-//! ## Active-set scheduling
+//! ## Worm descriptors, active-set scheduling, idle-cycle skipping
+//!
+//! The data plane is allocation- and copy-free per flit: packets live as
+//! descriptors in a slab arena ([`crate::PacketArena`]) and buffers are
+//! segment rings ([`crate::VcRing`]) in which body/tail flits are
+//! implicit — a flit-hop is a counter decrement upstream plus at most one
+//! segment write downstream.
 //!
 //! Phases 2–4 scan only an *active set* of routers — those holding at
 //! least one buffered flit — instead of walking every router × port × VC
-//! each cycle, so idle routers cost nothing. The set is kept sorted in
-//! router-index order (the dense iteration order), which together with the
-//! two-phase update makes the schedule byte-identical to a dense scan; a
-//! reference dense implementation remains available as
-//! [`Simulator::run_dense_reference`] and differential tests pin the
-//! equivalence. See `ARCHITECTURE.md` ("Hot path & data layout") for the
-//! enqueue/dequeue invariants.
+//! each cycle, and within a router only the buffers set in its occupancy
+//! bitmask. The set is kept sorted in router-index order (the dense
+//! iteration order), which together with the two-phase update makes the
+//! schedule byte-identical to a dense scan. When the network is provably
+//! idle the clock jumps straight to the next scheduled event (next
+//! possible arrival, fault transition, or window boundary) instead of
+//! ticking — see [`TrafficPattern::next_arrival_at_or_after`]; stochastic
+//! patterns disable this so their RNG streams stay cycle-exact. A
+//! reference dense implementation that ticks every cycle remains
+//! available as [`Simulator::run_dense_reference`] and differential tests
+//! pin the equivalence. See `ARCHITECTURE.md` ("Hot path & data layout")
+//! for the invariants.
 
 use crate::config::SimConfig;
-use crate::flit::{Flit, PacketId, PacketInfo};
-use crate::router::{arrival_port, port_of, Router, PORT_COUNT, PORT_LOCAL, PORT_VERTICAL};
+use crate::flit::{PacketArena, PacketId, PacketInfo};
+use crate::router::{
+    arrival_port, port_of, slot_of, Router, PORT_COUNT, PORT_LOCAL, PORT_VERTICAL, SLOT_COUNT,
+    VC_COUNT,
+};
 use crate::stats::{EpochStats, LatencyHistogram, Region, SimReport, VcUsage};
 use deft_routing::RoutingAlgorithm;
 use deft_topo::{
@@ -115,7 +129,7 @@ pub struct Simulator<'a> {
     pattern: &'a dyn TrafficPattern,
     cfg: SimConfig,
     routers: Vec<Router>,
-    packets: Vec<PacketInfo>,
+    packets: PacketArena,
     sources: Vec<Source>,
     inject_seq: Vec<u64>,
     rng: SmallRng,
@@ -144,9 +158,7 @@ pub struct Simulator<'a> {
     active_scratch: Vec<usize>,
     /// Reusable switch-allocation move buffer (no per-cycle allocation).
     move_scratch: Vec<Move>,
-    /// Buffered-flit count per router (incremental `Router::occupancy`).
-    occ: Vec<u32>,
-    /// Total buffered flits across the network (Σ `occ`).
+    /// Total buffered flits across the network.
     total_flits: u64,
     /// Packets waiting in source queues (a partially-injected front packet
     /// counts until its tail leaves).
@@ -186,17 +198,21 @@ impl<'a> Simulator<'a> {
         cfg: SimConfig,
     ) -> Self {
         cfg.validate();
+        assert_eq!(
+            cfg.vc_count, VC_COUNT,
+            "router layout is compiled for {VC_COUNT} VCs"
+        );
         let n = sys.node_count();
-        let mut routers: Vec<Router> = (0..n)
-            .map(|_| Router::new(cfg.vc_count, cfg.buffer_depth))
-            .collect();
+        let mut routers: Vec<Router> = (0..n).map(|_| Router::new(cfg.buffer_depth)).collect();
 
         // RC's store-and-forward needs the boundary router's vertical input
         // buffer (the RC-buffer) to hold a whole packet.
         if alg.store_and_forward_up() {
             for vl in sys.vertical_links() {
-                for vc in &mut routers[vl.chiplet_node.index()].inputs[PORT_VERTICAL as usize] {
-                    vc.cap = vc.cap.max(cfg.packet_size);
+                for vc in 0..VC_COUNT as u8 {
+                    routers[vl.chiplet_node.index()]
+                        .vc_mut(PORT_VERTICAL, vc)
+                        .grow_cap(cfg.packet_size);
                 }
             }
         }
@@ -209,15 +225,16 @@ impl<'a> Simulator<'a> {
                 };
                 let out = port_of(dir) as usize;
                 let inp = arrival_port(dir);
-                routers[node.index()].out_links[out] = Some((nbr.index(), inp));
-                routers[nbr.index()].in_links[inp as usize] = Some((node.index(), out as u8));
+                routers[node.index()].out_links[out] = Some((nbr.0, inp));
+                routers[nbr.index()].in_links[inp as usize] = Some((node.0, out as u8));
             }
         }
         for i in 0..n {
             for out in 0..PORT_COUNT {
                 if let Some((d, dp)) = routers[i].out_links[out] {
-                    for vc in 0..routers[i].credits[out].len() {
-                        routers[i].credits[out][vc] = routers[d].inputs[dp as usize][vc].cap;
+                    for vc in 0..VC_COUNT as u8 {
+                        routers[i].credits[out][vc as usize] =
+                            routers[d as usize].vc(dp, vc).cap() as u32;
                     }
                 }
             }
@@ -243,7 +260,7 @@ impl<'a> Simulator<'a> {
             pattern,
             cfg,
             routers,
-            packets: Vec::new(),
+            packets: PacketArena::new(),
             sources: (0..n).map(|_| Source::default()).collect(),
             inject_seq: vec![0; n],
             rng: SmallRng::seed_from_u64(cfg.seed),
@@ -256,7 +273,6 @@ impl<'a> Simulator<'a> {
             pending_flag: vec![false; n],
             active_scratch: Vec::new(),
             move_scratch: Vec::new(),
-            occ: vec![0; n],
             total_flits: 0,
             packets_queued: 0,
             generated_total: 0,
@@ -377,6 +393,22 @@ impl<'a> Simulator<'a> {
             if cycle >= gen_end && self.total_flits == 0 && self.packets_queued == 0 {
                 break;
             }
+            // Idle-cycle skipping (active mode only — the dense reference
+            // stays a tick-every-cycle oracle): with nothing buffered,
+            // nothing queued, and no partially-injected front packet
+            // (`packets_queued` counts those until their tail leaves),
+            // no per-cycle state can change until the next scheduled
+            // event, so jump the clock straight to it. Counters and epoch
+            // windows need no adjustment: an idle tick touches neither.
+            if active_mode && self.total_flits == 0 && self.packets_queued == 0 && cycle < gen_end {
+                cycle = self.idle_skip_target(cycle, gen_end);
+                if cycle >= gen_end {
+                    // Reaching the end of generation empty is the ticking
+                    // loop's drain-break condition; land on the same final
+                    // cycle count it would have.
+                    break;
+                }
+            }
         }
 
         #[cfg(debug_assertions)]
@@ -387,11 +419,7 @@ impl<'a> Simulator<'a> {
         } else {
             0.0
         };
-        let (p50_latency, p95_latency, p99_latency) = (
-            self.lat_hist.percentile(0.50),
-            self.lat_hist.percentile(0.95),
-            self.lat_hist.percentile(0.99),
-        );
+        let [p50_latency, p95_latency, p99_latency] = self.lat_hist.percentiles([0.50, 0.95, 0.99]);
         let epochs = if self.timeline.is_some() {
             self.epochs.push(self.epoch.close(cycle));
             std::mem::take(&mut self.epochs)
@@ -445,6 +473,37 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// The cycle to resume at when the network is provably idle at
+    /// `now`: the earliest of the next possible traffic arrival (exact
+    /// for deterministic patterns, `now` itself — no skip — for
+    /// stochastic ones, whose per-cycle Bernoulli draws must keep
+    /// consuming RNG state), the next fault-timeline transition, the
+    /// warmup boundary, and the end of generation. Never skips past an
+    /// event, so the resumed cycle observes exactly the state a ticking
+    /// run would have.
+    fn idle_skip_target(&self, now: u64, gen_end: u64) -> u64 {
+        let mut target = gen_end;
+        if now < self.cfg.warmup {
+            target = target.min(self.cfg.warmup);
+        }
+        if let Some(cursor) = &self.timeline {
+            if let Some(t) = cursor.next_transition() {
+                target = target.min(t.max(now));
+            }
+        }
+        if target <= now {
+            return now;
+        }
+        for node in self.sys.nodes() {
+            match self.pattern.next_arrival_at_or_after(node, now) {
+                Some(a) if a <= now => return now, // may generate right now
+                Some(a) => target = target.min(a),
+                None => {}
+            }
+        }
+        target
+    }
+
     /// Enqueues a router for the active set (next cycle) unless it is
     /// already active or already pending.
     fn mark_active(&mut self, idx: usize) {
@@ -462,9 +521,9 @@ impl<'a> Simulator<'a> {
         let mut active = std::mem::take(&mut self.active);
         {
             let in_active = &mut self.in_active;
-            let occ = &self.occ;
+            let routers = &self.routers;
             active.retain(|&i| {
-                if occ[i] > 0 {
+                if routers[i].occ_mask != 0 {
                     true
                 } else {
                     in_active[i] = false;
@@ -514,8 +573,7 @@ impl<'a> Simulator<'a> {
             self.inject_seq[node.index()] += 1;
             match self.alg.on_inject(self.sys, &self.faults, node, dst, seq) {
                 Ok(ctx) => {
-                    let id = PacketId(self.packets.len() as u64);
-                    self.packets.push(PacketInfo {
+                    let id = self.packets.alloc(PacketInfo {
                         src: node,
                         dst,
                         ctx,
@@ -539,64 +597,71 @@ impl<'a> Simulator<'a> {
     }
 
     /// Phase 2: route computation and VC allocation for head flits, over
-    /// the given (ascending) router worklist.
+    /// the given (ascending) router worklist. Iterates each router's
+    /// occupancy bitmask — set bits ascending is exactly the legacy
+    /// port-major, VC-minor scan, minus the empty buffers (on which both
+    /// halves of the phase are no-ops: an empty ring has no head to
+    /// route, and a streaming-through worm with `dest` set is already
+    /// granted).
     fn route_and_allocate(&mut self, worklist: &[usize]) {
         let sf_up = self.alg.store_and_forward_up();
         for &idx in worklist {
             let node = NodeId(idx as u32);
-            for in_port in 0..PORT_COUNT as u8 {
-                for vc in 0..self.cfg.vc_count as u8 {
-                    // Route computation.
-                    let (needs_route, packet_id, buffered) = {
-                        let buf = &self.routers[idx].inputs[in_port as usize][vc as usize];
-                        match buf.fifo.front() {
-                            Some(f) if f.is_head && buf.dest.is_none() => {
-                                (true, f.packet, buf.front_packet_flits())
-                            }
-                            _ => (false, PacketId(0), 0),
+            let mut mask = self.routers[idx].occ_mask;
+            while mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let in_port = (slot / VC_COUNT) as u8;
+                let vc = (slot % VC_COUNT) as u8;
+                // Route computation: the span starting at flit 0 holds the
+                // head.
+                let (needs_route, packet_id, buffered) = {
+                    let ring = &self.routers[idx].vcs[slot];
+                    match ring.front() {
+                        Some(seg) if seg.first == 0 && ring.dest.is_none() => {
+                            (true, seg.packet, seg.count as usize)
                         }
-                    };
-                    if needs_route {
-                        let info = &mut self.packets[packet_id.index()];
-                        if node == info.dst {
-                            let buf = &mut self.routers[idx].inputs[in_port as usize][vc as usize];
-                            buf.dest = Some((PORT_LOCAL, vc));
-                            buf.granted = true;
-                            buf.owner = Some(packet_id);
-                        } else {
-                            // RC store-and-forward: an ascending packet must
-                            // be fully buffered in the boundary router's
-                            // RC-buffer before it proceeds into the chiplet.
-                            let hold = sf_up
-                                && in_port == PORT_VERTICAL
-                                && self.sys.is_boundary_router(node)
-                                && buffered < self.cfg.packet_size;
-                            if !hold {
-                                let decision = self.alg.route(
-                                    self.sys,
-                                    &self.faults,
-                                    node,
-                                    info.dst,
-                                    &mut info.ctx,
-                                );
-                                let buf =
-                                    &mut self.routers[idx].inputs[in_port as usize][vc as usize];
-                                buf.dest = Some((port_of(decision.dir), decision.vn.index() as u8));
-                                buf.owner = Some(packet_id);
-                            }
+                        _ => (false, PacketId(0), 0),
+                    }
+                };
+                if needs_route {
+                    let info = &mut self.packets[packet_id];
+                    if node == info.dst {
+                        let ring = &mut self.routers[idx].vcs[slot];
+                        ring.dest = Some((PORT_LOCAL, vc));
+                        ring.granted = true;
+                        ring.owner = Some(packet_id);
+                    } else {
+                        // RC store-and-forward: an ascending packet must
+                        // be fully buffered in the boundary router's
+                        // RC-buffer before it proceeds into the chiplet.
+                        let hold = sf_up
+                            && in_port == PORT_VERTICAL
+                            && self.sys.is_boundary_router(node)
+                            && buffered < self.cfg.packet_size;
+                        if !hold {
+                            let decision = self.alg.route(
+                                self.sys,
+                                &self.faults,
+                                node,
+                                info.dst,
+                                &mut info.ctx,
+                            );
+                            let ring = &mut self.routers[idx].vcs[slot];
+                            ring.dest = Some((port_of(decision.dir), decision.vn.index() as u8));
+                            ring.owner = Some(packet_id);
                         }
                     }
-                    // VC allocation.
-                    let buf = &self.routers[idx].inputs[in_port as usize][vc as usize];
-                    if let Some((out_port, out_vc)) = buf.dest {
-                        if !buf.granted && out_port != PORT_LOCAL {
-                            let slot = &mut self.routers[idx].out_alloc[out_port as usize]
-                                [out_vc as usize];
-                            if slot.is_none() {
-                                *slot = Some((in_port, vc));
-                                self.routers[idx].inputs[in_port as usize][vc as usize].granted =
-                                    true;
-                            }
+                }
+                // VC allocation.
+                let ring = &self.routers[idx].vcs[slot];
+                if let Some((out_port, out_vc)) = ring.dest {
+                    if !ring.granted && out_port != PORT_LOCAL {
+                        let alloc =
+                            &mut self.routers[idx].out_alloc[out_port as usize][out_vc as usize];
+                        if alloc.is_none() {
+                            *alloc = Some((in_port, vc));
+                            self.routers[idx].vcs[slot].granted = true;
                         }
                     }
                 }
@@ -607,46 +672,79 @@ impl<'a> Simulator<'a> {
     /// Phase 3: switch allocation (round-robin per output port, one flit
     /// per input and output port per cycle), over the given (ascending)
     /// router worklist. Returns the reusable move buffer.
+    ///
+    /// One pass over each router's occupied buffers builds a 12-bit
+    /// candidate mask per output port (buffers with a matching granted
+    /// route and at least one flit); the round-robin scan then walks only
+    /// candidate bits in rotated slot order instead of probing all 12
+    /// `(in_port, vc)` slots per output. Buffer state is not mutated
+    /// during this phase, so precomputing the masks observes exactly what
+    /// the legacy slot-by-slot probe would have.
     fn switch_allocate(&mut self, cycle: u64, worklist: &[usize]) -> Vec<Move> {
-        let vc_count = self.cfg.vc_count as u8;
+        const SLOTS: u32 = SLOT_COUNT as u32;
         let mut moves = std::mem::take(&mut self.move_scratch);
         moves.clear();
         for &idx in worklist {
-            let mut in_used = [false; PORT_COUNT];
+            let r = &self.routers[idx];
+            if r.occ_mask == 0 {
+                continue;
+            }
+            // Candidate slots per output port.
+            let mut cand = [0u16; PORT_COUNT];
+            let mut m = r.occ_mask;
+            while m != 0 {
+                let slot = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let ring = &r.vcs[slot];
+                if let Some((d_port, _)) = ring.dest {
+                    if ring.granted {
+                        cand[d_port as usize] |= 1 << slot;
+                    }
+                }
+            }
+            // Slots of input ports already holding a grant this cycle
+            // (both VC bits of a used port are masked out at once).
+            let mut used_slots: u16 = 0;
             for out_port in 0..PORT_COUNT as u8 {
                 // Serialized vertical links accept one flit every
                 // `vl_serialization` cycles.
                 if out_port == PORT_VERTICAL && cycle < self.vl_next_free[idx] {
                     continue;
                 }
-                let slots = PORT_COUNT as u32 * vc_count as u32;
+                let avail = cand[out_port as usize] & !used_slots;
+                if avail == 0 {
+                    continue;
+                }
                 let start = self.routers[idx].rr[out_port as usize];
+                // Rotated scan: candidate slots >= start ascending, then
+                // the wrap-around — the round-robin probe order.
+                let hi = avail & (u16::MAX << start);
+                let lo = avail & !(u16::MAX << start);
                 let mut winner: Option<(u8, u8, u8)> = None;
-                for off in 0..slots {
-                    let slot = (start + off) % slots;
-                    let in_port = (slot / vc_count as u32) as u8;
-                    let vc = (slot % vc_count as u32) as u8;
-                    if in_used[in_port as usize] {
-                        continue;
+                for mut part in [hi, lo] {
+                    while part != 0 {
+                        let slot = part.trailing_zeros();
+                        part &= part - 1;
+                        let in_port = (slot / VC_COUNT as u32) as u8;
+                        let vc = (slot % VC_COUNT as u32) as u8;
+                        let ring = &self.routers[idx].vcs[slot as usize];
+                        let (d_port, d_vc) = ring.dest.expect("candidate without a route");
+                        debug_assert_eq!(d_port, out_port);
+                        if d_port != PORT_LOCAL
+                            && self.routers[idx].credits[d_port as usize][d_vc as usize] == 0
+                        {
+                            continue;
+                        }
+                        winner = Some((in_port, vc, d_vc));
+                        self.routers[idx].rr[out_port as usize] = (slot + 1) % SLOTS;
+                        break;
                     }
-                    let buf = &self.routers[idx].inputs[in_port as usize][vc as usize];
-                    let Some((d_port, d_vc)) = buf.dest else {
-                        continue;
-                    };
-                    if d_port != out_port || !buf.granted || buf.fifo.is_empty() {
-                        continue;
+                    if winner.is_some() {
+                        break;
                     }
-                    if d_port != PORT_LOCAL
-                        && self.routers[idx].credits[d_port as usize][d_vc as usize] == 0
-                    {
-                        continue;
-                    }
-                    winner = Some((in_port, vc, d_vc));
-                    self.routers[idx].rr[out_port as usize] = (slot + 1) % slots;
-                    break;
                 }
                 if let Some((in_port, in_vc, out_vc)) = winner {
-                    in_used[in_port as usize] = true;
+                    used_slots |= ((1u16 << VC_COUNT) - 1) << (in_port as usize * VC_COUNT);
                     moves.push(Move {
                         router: idx,
                         in_port,
@@ -661,23 +759,25 @@ impl<'a> Simulator<'a> {
     }
 
     /// Phase 4: apply the moves. Returns whether anything moved.
+    ///
+    /// A flit-hop here is a pop (counter decrement on the upstream
+    /// segment) plus at most one downstream segment push; head/tail-ness
+    /// falls out of the popped in-packet index.
     fn commit(&mut self, moves: &[Move], cycle: u64) -> bool {
+        let tail_idx = (self.cfg.packet_size - 1) as u32;
         for m in moves {
-            let flit = self.routers[m.router].inputs[m.in_port as usize][m.in_vc as usize]
-                .fifo
-                .pop_front()
-                .expect("switch allocation picked an empty buffer");
-            self.occ[m.router] -= 1;
+            let (packet, fidx) = self.routers[m.router].pop_flit(m.in_port, m.in_vc);
+            let is_tail = fidx == tail_idx;
 
             // Credit return to the upstream router feeding this input.
             if let Some((up, up_out)) = self.routers[m.router].in_links[m.in_port as usize] {
-                self.routers[up].credits[up_out as usize][m.in_vc as usize] += 1;
+                self.routers[up as usize].credits[up_out as usize][m.in_vc as usize] += 1;
             }
 
             if m.out_port == PORT_LOCAL {
                 self.total_flits -= 1;
-                if flit.is_tail {
-                    let info = &self.packets[flit.packet.index()];
+                if is_tail {
+                    let info = &self.packets[packet];
                     if info.measured {
                         let latency = cycle - info.generated_at + 1;
                         self.delivered_measured += 1;
@@ -687,15 +787,16 @@ impl<'a> Simulator<'a> {
                         self.epoch.delivered += 1;
                         self.epoch.latency_sum += latency;
                     }
+                    // The tail is the packet's last flit anywhere in the
+                    // network: its descriptor slot is recyclable.
+                    self.packets.release(packet);
                 }
             } else {
                 self.routers[m.router].credits[m.out_port as usize][m.out_vc as usize] -= 1;
                 let (d_idx, d_port) = self.routers[m.router].out_links[m.out_port as usize]
                     .expect("move along a missing link");
-                self.routers[d_idx].inputs[d_port as usize][m.out_vc as usize]
-                    .fifo
-                    .push_back(flit);
-                self.occ[d_idx] += 1;
+                let d_idx = d_idx as usize;
+                self.routers[d_idx].push_flit(d_port, m.out_vc, packet, fidx);
                 self.mark_active(d_idx);
 
                 // Statistics: buffer write by region/VC, and VL crossings —
@@ -713,11 +814,11 @@ impl<'a> Simulator<'a> {
                 }
             }
 
-            if flit.is_tail {
-                let buf = &mut self.routers[m.router].inputs[m.in_port as usize][m.in_vc as usize];
-                buf.dest = None;
-                buf.granted = false;
-                buf.owner = None;
+            if is_tail {
+                let ring = &mut self.routers[m.router].vcs[slot_of(m.in_port, m.in_vc)];
+                ring.dest = None;
+                ring.granted = false;
+                ring.owner = None;
                 if m.out_port != PORT_LOCAL {
                     self.routers[m.router].out_alloc[m.out_port as usize][m.out_vc as usize] = None;
                 }
@@ -737,19 +838,12 @@ impl<'a> Simulator<'a> {
             let Some(&pkt) = self.sources[idx].queue.front() else {
                 continue;
             };
-            let vn = self.packets[pkt.index()].inject_vn.index();
-            let buf = &mut self.routers[idx].inputs[PORT_LOCAL as usize][vn];
-            if buf.free() == 0 {
+            let vn = self.packets[pkt].inject_vn.index() as u8;
+            if self.routers[idx].vc(PORT_LOCAL, vn).free() == 0 {
                 continue;
             }
             let sent = self.sources[idx].flits_sent;
-            let flit = Flit {
-                packet: pkt,
-                is_head: sent == 0,
-                is_tail: sent == self.cfg.packet_size - 1,
-            };
-            buf.fifo.push_back(flit);
-            self.occ[idx] += 1;
+            self.routers[idx].push_flit(PORT_LOCAL, vn, pkt, sent as u32);
             self.total_flits += 1;
             self.mark_active(idx);
             any = true;
@@ -758,7 +852,7 @@ impl<'a> Simulator<'a> {
                 0 => usage.vc0 += 1,
                 _ => usage.vc1 += 1,
             }
-            if flit.is_tail {
+            if sent == self.cfg.packet_size - 1 {
                 self.sources[idx].queue.pop_front();
                 self.sources[idx].flits_sent = 0;
                 self.packets_queued -= 1;
@@ -824,21 +918,24 @@ impl<'a> Simulator<'a> {
         }
         let mut in_net: BTreeMap<PacketId, InNet> = BTreeMap::new();
         for (idx, r) in self.routers.iter().enumerate() {
+            if r.occ_mask == 0 {
+                continue;
+            }
             let layer = self.sys.layer(NodeId(idx as u32));
-            for port in &r.inputs {
-                for buf in port {
-                    for flit in &buf.fifo {
-                        let info = &self.packets[flit.packet.index()];
-                        let e = in_net.entry(flit.packet).or_default();
-                        // Down pending while a flit is still on the source
-                        // chiplet; up pending while one is not yet on the
-                        // destination chiplet.
-                        if info.ctx.down_vl.is_some() && layer == self.sys.layer(info.src) {
-                            e.pending_down = true;
-                        }
-                        if info.ctx.up_vl.is_some() && layer != self.sys.layer(info.dst) {
-                            e.pending_up = true;
-                        }
+            for ring in r.vcs.iter() {
+                for seg in ring.segments() {
+                    let info = &self.packets[seg.packet];
+                    let e = in_net.entry(seg.packet).or_default();
+                    // Down pending while a flit is still on the source
+                    // chiplet; up pending while one is not yet on the
+                    // destination chiplet. Segment granular: every flit of
+                    // a span sits on the same router, so one probe covers
+                    // them all.
+                    if info.ctx.down_vl.is_some() && layer == self.sys.layer(info.src) {
+                        e.pending_down = true;
+                    }
+                    if info.ctx.up_vl.is_some() && layer != self.sys.layer(info.dst) {
+                        e.pending_up = true;
                     }
                 }
             }
@@ -846,7 +943,7 @@ impl<'a> Simulator<'a> {
 
         let mut drop_set: BTreeSet<PacketId> = BTreeSet::new();
         for (&pid, e) in &in_net {
-            if self.packet_stranded(&self.packets[pid.index()], e.pending_down, e.pending_up) {
+            if self.packet_stranded(&self.packets[pid], e.pending_down, e.pending_up) {
                 drop_set.insert(pid);
             }
         }
@@ -857,7 +954,7 @@ impl<'a> Simulator<'a> {
         for source in &self.sources {
             if source.flits_sent > 0 {
                 if let Some(&pid) = source.queue.front() {
-                    if self.packet_stranded(&self.packets[pid.index()], true, true) {
+                    if self.packet_stranded(&self.packets[pid], true, true) {
                         drop_set.insert(pid);
                     }
                 }
@@ -887,7 +984,7 @@ impl<'a> Simulator<'a> {
                     }
                     continue;
                 }
-                let info = &self.packets[pid.index()];
+                let info = &self.packets[pid];
                 // Nothing injected: both traversals are pending.
                 if !self.packet_stranded(info, true, true) {
                     kept.push_back(pid);
@@ -898,18 +995,29 @@ impl<'a> Simulator<'a> {
                 self.inject_seq[idx] += 1;
                 match self.alg.on_inject(self.sys, &self.faults, src, dst, seq) {
                     Ok(ctx) => {
-                        let info = &mut self.packets[pid.index()];
+                        let info = &mut self.packets[pid];
                         info.ctx = ctx;
                         info.inject_vn = ctx.vn;
                         kept.push_back(pid);
                     }
-                    Err(_) => queue_losses += 1,
+                    Err(_) => {
+                        queue_losses += 1;
+                        self.packets.release(pid);
+                    }
                 }
             }
             self.sources[idx].queue = kept;
         }
         // Queue membership changed out of band; re-derive the counter.
         self.packets_queued = self.sources.iter().map(|s| s.queue.len() as u64).sum();
+
+        // Every dropped worm's flits and queue entries are gone; the
+        // descriptor slots can be recycled. (Queue-loss slots were
+        // released above — the two sets are disjoint: a queue loss never
+        // had a flit in the network.)
+        for &pid in &drop_set {
+            self.packets.release(pid);
+        }
 
         let lost = drop_set.len() as u64 + queue_losses;
         if lost > 0 {
@@ -936,32 +1044,43 @@ impl<'a> Simulator<'a> {
             return; // saturated or wedged runs legitimately end non-idle
         }
         for (idx, r) in self.routers.iter().enumerate() {
-            for port in 0..PORT_COUNT {
-                for vc in 0..self.cfg.vc_count {
-                    let buf = &r.inputs[port][vc];
+            debug_assert_eq!(
+                r.occ_mask, 0,
+                "router {idx}: stale occupancy mask after drain"
+            );
+            for port in 0..PORT_COUNT as u8 {
+                for vc in 0..VC_COUNT as u8 {
+                    let ring = r.vc(port, vc);
                     debug_assert!(
-                        buf.dest.is_none() && !buf.granted && buf.owner.is_none(),
+                        ring.dest.is_none() && !ring.granted && ring.owner.is_none(),
                         "router {idx} port {port} vc {vc}: stale routing state after drain \
                          (dest {:?}, granted {}, owner {:?})",
-                        buf.dest,
-                        buf.granted,
-                        buf.owner
+                        ring.dest,
+                        ring.granted,
+                        ring.owner
                     );
                     debug_assert!(
-                        r.out_alloc[port][vc].is_none(),
+                        r.out_alloc[port as usize][vc as usize].is_none(),
                         "router {idx} out port {port} vc {vc}: stale VC allocation after drain"
                     );
                 }
-                if let Some((d, dp)) = r.out_links[port] {
-                    for vc in 0..self.cfg.vc_count {
+                if let Some((d, dp)) = r.out_links[port as usize] {
+                    for vc in 0..VC_COUNT as u8 {
                         debug_assert_eq!(
-                            r.credits[port][vc], self.routers[d].inputs[dp as usize][vc].cap,
+                            r.credits[port as usize][vc as usize],
+                            self.routers[d as usize].vc(dp, vc).cap() as u32,
                             "router {idx} out port {port} vc {vc}: credit leak after drain"
                         );
                     }
                 }
             }
         }
+        debug_assert_eq!(
+            self.packets.live(),
+            0,
+            "descriptor leak after drain: {} live packet slots",
+            self.packets.live()
+        );
     }
 
     /// Removes every flit of the given packets from every buffer, keeping
@@ -975,58 +1094,56 @@ impl<'a> Simulator<'a> {
         if drop_set.is_empty() {
             return 0;
         }
-        let vc_count = self.cfg.vc_count;
         let mut removed_total = 0usize;
-        let mut credit_returns: Vec<(usize, u8, usize, usize)> = Vec::new();
+        let mut credit_returns: Vec<(u32, u8, u8, u32)> = Vec::new();
         for r_idx in 0..self.routers.len() {
             let r = &mut self.routers[r_idx];
-            for port in 0..PORT_COUNT {
-                for vc in 0..vc_count {
-                    let owner_dropped = r.inputs[port][vc]
-                        .owner
-                        .is_some_and(|p| drop_set.contains(&p));
+            for port in 0..PORT_COUNT as u8 {
+                for vc in 0..VC_COUNT as u8 {
+                    let slot = slot_of(port, vc);
+                    let (dest, granted, owner_dropped) = {
+                        let ring = &r.vcs[slot];
+                        (
+                            ring.dest,
+                            ring.granted,
+                            ring.owner.is_some_and(|p| drop_set.contains(&p)),
+                        )
+                    };
                     if owner_dropped {
                         // The owning worm holds the buffer's route and any
                         // downstream VC grant; both die with it.
-                        let (dest, granted) = (r.inputs[port][vc].dest, r.inputs[port][vc].granted);
                         if granted {
                             if let Some((op, ovc)) = dest {
                                 if op != PORT_LOCAL
-                                    && r.out_alloc[op as usize][ovc as usize]
-                                        == Some((port as u8, vc as u8))
+                                    && r.out_alloc[op as usize][ovc as usize] == Some((port, vc))
                                 {
                                     r.out_alloc[op as usize][ovc as usize] = None;
                                 }
                             }
                         }
-                        r.inputs[port][vc].dest = None;
-                        r.inputs[port][vc].granted = false;
-                        r.inputs[port][vc].owner = None;
+                        let ring = &mut r.vcs[slot];
+                        ring.dest = None;
+                        ring.granted = false;
+                        ring.owner = None;
                     }
-                    let before = r.inputs[port][vc].fifo.len();
-                    r.inputs[port][vc]
-                        .fifo
-                        .retain(|f| !drop_set.contains(&f.packet));
-                    let removed = before - r.inputs[port][vc].fifo.len();
+                    let removed = r.vcs[slot].remove_packets(|p| drop_set.contains(&p));
                     if removed > 0 {
-                        removed_total += removed;
+                        removed_total += removed as usize;
+                        if r.vcs[slot].is_empty() {
+                            r.occ_mask &= !(1 << slot);
+                        }
                         // Each buffered flit holds one credit of the link
                         // feeding this input; hand them back.
-                        if let Some((up, up_out)) = r.in_links[port] {
+                        if let Some((up, up_out)) = r.in_links[port as usize] {
                             credit_returns.push((up, up_out, vc, removed));
                         }
                     }
                 }
             }
-            let removed_here: usize = {
-                let r = &self.routers[r_idx];
-                self.occ[r_idx] as usize - r.occupancy()
-            };
-            self.occ[r_idx] -= removed_here as u32;
         }
         self.total_flits -= removed_total as u64;
         for (up, up_out, vc, removed) in credit_returns {
-            self.routers[up].credits[up_out as usize][vc] += removed;
+            self.routers[up as usize].credits[up_out as usize][vc as usize] += removed;
         }
         removed_total
     }

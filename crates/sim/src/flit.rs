@@ -1,8 +1,9 @@
-//! Flits and packet bookkeeping.
+//! Flits, packet descriptors, and the slab arena that owns them.
 
 use deft_routing::RouteCtx;
 use deft_topo::NodeId;
 use std::fmt;
+use std::ops::{Index, IndexMut};
 
 /// Dense per-run packet identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -65,6 +66,84 @@ pub struct PacketInfo {
     pub measured: bool,
 }
 
+/// Slab arena of in-flight packet descriptors.
+///
+/// Every live packet — source-queued, streaming through the network, or
+/// draining — owns one slot; a [`PacketId`] *is* the slot index. Slots are
+/// recycled through a free list when the tail ejects (or the packet is
+/// lost at a fault transition), so the arena's footprint is bounded by
+/// the peak number of simultaneously-live packets instead of growing with
+/// every packet ever generated — the difference between O(live) and
+/// O(run length) memory on production-scale runs.
+///
+/// Recycling is deterministic (LIFO over the free list), and nothing in
+/// the engine compares `PacketId`s across lifetimes, so reuse cannot
+/// change simulated behaviour — the differential and golden tests pin
+/// that.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<PacketInfo>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a descriptor and returns its id, reusing a freed slot when
+    /// one exists.
+    pub fn alloc(&mut self, info: PacketInfo) -> PacketId {
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = info;
+                PacketId(slot as u64)
+            }
+            None => {
+                let id = PacketId(self.slots.len() as u64);
+                self.slots.push(info);
+                id
+            }
+        }
+    }
+
+    /// Releases a descriptor for reuse. The caller must guarantee no
+    /// segment, queue entry, or ownership field still references `id`.
+    pub fn release(&mut self, id: PacketId) {
+        debug_assert!(!self.free.contains(&(id.0 as u32)), "double release");
+        self.free.push(id.0 as u32);
+        self.live -= 1;
+    }
+
+    /// Descriptors currently live.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Peak simultaneously-live descriptors (the arena's footprint).
+    pub fn peak(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl Index<PacketId> for PacketArena {
+    type Output = PacketInfo;
+    #[inline]
+    fn index(&self, id: PacketId) -> &PacketInfo {
+        &self.slots[id.index()]
+    }
+}
+
+impl IndexMut<PacketId> for PacketArena {
+    #[inline]
+    fn index_mut(&mut self, id: PacketId) -> &mut PacketInfo {
+        &mut self.slots[id.index()]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +164,47 @@ mod tests {
         let flits: Vec<Flit> = Flit::train(PacketId(0), 1).collect();
         assert_eq!(flits.len(), 1);
         assert!(flits[0].is_head && flits[0].is_tail);
+    }
+
+    fn info(src: u32) -> PacketInfo {
+        PacketInfo {
+            src: NodeId(src),
+            dst: NodeId(0),
+            ctx: RouteCtx::local(Vn::Vn0),
+            inject_vn: Vn::Vn0,
+            generated_at: 0,
+            measured: false,
+        }
+    }
+
+    #[test]
+    fn arena_recycles_slots_lifo() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(info(1));
+        let b = arena.alloc(info(2));
+        assert_eq!((a, b), (PacketId(0), PacketId(1)));
+        assert_eq!(arena.live(), 2);
+        arena.release(a);
+        assert_eq!(arena.live(), 1);
+        // The freed slot is reused before the arena grows.
+        let c = arena.alloc(info(3));
+        assert_eq!(c, a);
+        assert_eq!(arena[c].src, NodeId(3));
+        assert_eq!(arena[b].src, NodeId(2));
+        assert_eq!(arena.peak(), 2);
+        arena[b].measured = true;
+        assert!(arena[b].measured);
+    }
+
+    #[test]
+    fn arena_footprint_is_peak_live_not_total_allocated() {
+        let mut arena = PacketArena::new();
+        for round in 0..100u32 {
+            let id = arena.alloc(info(round));
+            arena.release(id);
+        }
+        assert_eq!(arena.peak(), 1, "one slot serves 100 sequential packets");
+        assert_eq!(arena.live(), 0);
     }
 
     #[test]

@@ -58,5 +58,6 @@ mod stats;
 
 pub use config::SimConfig;
 pub use engine::Simulator;
-pub use flit::{Flit, PacketId, PacketInfo};
+pub use flit::{Flit, PacketArena, PacketId, PacketInfo};
+pub use router::{slot_of, Router, VcRing, WormSeg, PORT_COUNT, SLOT_COUNT, VC_COUNT};
 pub use stats::{EpochStats, LatencyHistogram, Region, SimReport, VcUsage};

@@ -1,8 +1,27 @@
-//! Router microarchitecture: VC buffers, credits, and port mapping.
+//! Router microarchitecture: worm-segment VC rings, credits, and port
+//! mapping.
+//!
+//! ## Worm descriptors and implicit flits
+//!
+//! Body and tail flits carry no routing information — only the head does.
+//! The engine therefore never materializes per-flit queue entries: a VC
+//! buffer is a fixed-capacity ring of [`WormSeg`] *segments*, each
+//! describing a contiguous span of one packet's flits (`packet`, first
+//! in-packet flit index, count), plus an occupancy counter. A flit-hop is
+//! a counter decrement on the upstream segment and (at most) one segment
+//! push downstream — never a per-flit struct move — and head/tail-ness is
+//! derived from the span indices (`first == 0` is the head; index
+//! `packet_size - 1` is the tail).
+//!
+//! The invariant that makes the representation exact: **a packet occupies
+//! at most one segment per ring**. Wormhole VC allocation admits a new
+//! worm into a downstream VC only after the previous worm's tail has left
+//! the upstream buffer, so a packet's flits always arrive at (and leave)
+//! a given buffer consecutively; a partially-drained span merges with its
+//! own arrivals, never interleaving with another packet's.
 
-use crate::flit::{Flit, PacketId};
+use crate::flit::PacketId;
 use deft_topo::Direction;
-use std::collections::VecDeque;
 
 /// Port indices: 0 = Local, 1..=4 = East/West/North/South, 5 = Vertical
 /// (Down on chiplet boundary routers, Up on interposer routers under a VL).
@@ -19,6 +38,15 @@ pub const PORT_SOUTH: u8 = 4;
 pub const PORT_VERTICAL: u8 = 5;
 /// Number of ports per router (the paper's six-port router, Table I).
 pub const PORT_COUNT: usize = 6;
+/// Virtual channels per port. The paper's routers have exactly two (one
+/// per VN) and [`crate::SimConfig::validate`] pins the configuration to
+/// that, so the router state is laid out at compile time: port state is
+/// fixed arrays, and a router's twelve `(port, vc)` buffers fit one `u16`
+/// occupancy bitmask.
+pub const VC_COUNT: usize = 2;
+/// `(port, vc)` slots per router: the width of the occupancy bitmask and
+/// the modulus of the switch-allocation round-robin.
+pub const SLOT_COUNT: usize = PORT_COUNT * VC_COUNT;
 
 /// The output-port index for a routing direction.
 pub fn port_of(dir: Direction) -> u8 {
@@ -38,13 +66,46 @@ pub fn arrival_port(dir: Direction) -> u8 {
     port_of(dir.opposite())
 }
 
-/// One input virtual-channel buffer with its wormhole state.
+/// The `(port, vc)` slot index: bit position in [`Router::occ_mask`] and
+/// round-robin position in switch allocation. Ascending slot order is
+/// port-major, VC-minor — the legacy dense scan order, which the
+/// bitmask-driven phases must preserve for byte-identical schedules.
+#[inline]
+pub fn slot_of(port: u8, vc: u8) -> usize {
+    port as usize * VC_COUNT + vc as usize
+}
+
+/// One worm segment: a contiguous span of `count` flits of `packet`,
+/// starting at in-packet flit index `first`. The flits themselves are
+/// implicit — `first == 0` means the span begins with the head flit, and
+/// a span ending at `packet_size - 1` contains the tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WormSeg {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// In-packet index of the span's front flit.
+    pub first: u32,
+    /// Flits in the span (≥ 1).
+    pub count: u32,
+}
+
+/// One input virtual-channel buffer: a fixed-capacity ring of worm
+/// segments plus the worm's routing/flow-control state.
+///
+/// Capacity is in *flits*; since every segment holds at least one flit,
+/// `cap` ring entries always suffice.
 #[derive(Debug, Clone)]
-pub struct VcBuf {
-    /// The flit FIFO.
-    pub fifo: VecDeque<Flit>,
+pub struct VcRing {
+    /// Segment storage, `cap` entries.
+    segs: Box<[WormSeg]>,
+    /// Ring index of the front segment.
+    head: u16,
+    /// Live segments.
+    seg_len: u16,
+    /// Buffered flits (the occupancy counter).
+    flits: u16,
     /// Buffer capacity in flits.
-    pub cap: usize,
+    cap: u16,
     /// Routing decision for the packet currently at the head of the worm:
     /// `(out_port, out_vc)`. Set when the head flit is routed, cleared when
     /// the tail departs.
@@ -52,93 +113,243 @@ pub struct VcBuf {
     /// Whether the downstream VC has been allocated to this worm.
     pub granted: bool,
     /// The packet owning `dest`/`granted`. Carried separately from the
-    /// FIFO because a worm can *stream through*: every buffered flit may
-    /// have left (fifo empty) while the tail is still upstream, and the
+    /// ring because a worm can *stream through*: every buffered flit may
+    /// have left (ring empty) while the tail is still upstream, and the
     /// routing state keeps belonging to that worm until its tail departs.
     /// Fault-transition packet removal keys on this, not on the front
-    /// flit.
+    /// segment.
     pub owner: Option<PacketId>,
 }
 
-impl VcBuf {
-    /// An empty buffer of the given capacity.
+const EMPTY_SEG: WormSeg = WormSeg {
+    packet: PacketId(0),
+    first: 0,
+    count: 0,
+};
+
+impl VcRing {
+    /// An empty buffer of the given flit capacity.
     pub fn new(cap: usize) -> Self {
+        assert!(cap > 0 && cap <= u16::MAX as usize, "flit capacity {cap}");
         Self {
-            fifo: VecDeque::with_capacity(cap),
-            cap,
+            segs: vec![EMPTY_SEG; cap].into_boxed_slice(),
+            head: 0,
+            seg_len: 0,
+            flits: 0,
+            cap: cap as u16,
             dest: None,
             granted: false,
             owner: None,
         }
     }
 
-    /// Free slots.
-    pub fn free(&self) -> usize {
-        self.cap - self.fifo.len()
+    /// Buffer capacity in flits.
+    pub fn cap(&self) -> usize {
+        self.cap as usize
     }
 
-    /// Number of leading flits that belong to the packet at the front
-    /// (stops at the following packet's head). Used by RC's
-    /// store-and-forward check.
+    /// Grows the flit capacity (used at setup for RC's store-and-forward
+    /// buffers, which must hold a whole packet).
+    ///
+    /// # Panics
+    /// Panics if the buffer is not empty.
+    pub fn grow_cap(&mut self, cap: usize) {
+        assert_eq!(self.flits, 0, "capacity changes only on empty buffers");
+        if cap > self.cap as usize {
+            *self = Self::new(cap);
+        }
+    }
+
+    /// Buffered flits.
+    pub fn len(&self) -> usize {
+        self.flits as usize
+    }
+
+    /// Whether no flit is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.flits == 0
+    }
+
+    /// Free flit slots.
+    pub fn free(&self) -> usize {
+        (self.cap - self.flits) as usize
+    }
+
+    /// The front segment, if any.
+    pub fn front(&self) -> Option<&WormSeg> {
+        (self.seg_len > 0).then(|| &self.segs[self.head as usize])
+    }
+
+    /// Number of buffered flits that belong to the packet at the front.
+    /// One ring lookup — a packet occupies at most one segment per ring.
+    /// Used by RC's store-and-forward check.
     pub fn front_packet_flits(&self) -> usize {
-        let Some(front) = self.fifo.front() else {
-            return 0;
+        self.front().map_or(0, |s| s.count as usize)
+    }
+
+    /// Removes the front flit and returns `(packet, in-packet index)`.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    pub fn pop_front_flit(&mut self) -> (PacketId, u32) {
+        assert!(self.seg_len > 0, "pop from an empty VC ring");
+        let cap = self.segs.len();
+        let seg = &mut self.segs[self.head as usize];
+        let out = (seg.packet, seg.first);
+        seg.first += 1;
+        seg.count -= 1;
+        if seg.count == 0 {
+            self.head = ((self.head as usize + 1) % cap) as u16;
+            self.seg_len -= 1;
+        }
+        self.flits -= 1;
+        out
+    }
+
+    /// Appends one flit of `packet` with in-packet index `idx`: a counter
+    /// increment when it extends the packet's existing span, one segment
+    /// write when a new worm enters.
+    ///
+    /// # Panics
+    /// Panics if the buffer is full.
+    pub fn push_back_flit(&mut self, packet: PacketId, idx: u32) {
+        assert!(self.flits < self.cap, "push into a full VC ring");
+        let cap = self.segs.len();
+        if self.seg_len > 0 {
+            let tail_i = (self.head as usize + self.seg_len as usize - 1) % cap;
+            let tail = &mut self.segs[tail_i];
+            if tail.packet == packet {
+                debug_assert_eq!(tail.first + tail.count, idx, "non-contiguous span");
+                tail.count += 1;
+                self.flits += 1;
+                return;
+            }
+        }
+        let slot = (self.head as usize + self.seg_len as usize) % cap;
+        self.segs[slot] = WormSeg {
+            packet,
+            first: idx,
+            count: 1,
         };
-        self.fifo
-            .iter()
-            .take_while(|f| f.packet == front.packet)
-            .count()
+        self.seg_len += 1;
+        self.flits += 1;
+    }
+
+    /// Iterates the buffered segments front to back.
+    pub fn segments(&self) -> impl Iterator<Item = &WormSeg> + '_ {
+        let cap = self.segs.len();
+        (0..self.seg_len as usize).map(move |i| &self.segs[(self.head as usize + i) % cap])
+    }
+
+    /// Removes every flit of the packets selected by `dropped`, compacting
+    /// the ring in order. Returns the number of flits removed. Segment
+    /// granular: a dropped packet loses its whole span at once.
+    pub fn remove_packets(&mut self, mut dropped: impl FnMut(PacketId) -> bool) -> u32 {
+        let cap = self.segs.len();
+        let mut removed = 0u32;
+        let mut kept = 0u16;
+        for i in 0..self.seg_len {
+            let seg = self.segs[(self.head as usize + i as usize) % cap];
+            if dropped(seg.packet) {
+                removed += seg.count;
+            } else {
+                self.segs[(self.head as usize + kept as usize) % cap] = seg;
+                kept += 1;
+            }
+        }
+        self.seg_len = kept;
+        self.flits -= removed as u16;
+        removed
     }
 }
 
-/// One router: 6 input ports x `vc_count` VC buffers, per-output VC
-/// allocation state, credit counters toward each downstream buffer, and
-/// round-robin arbitration pointers.
+/// One router: 6 input ports × [`VC_COUNT`] VC rings (flat, slot-indexed),
+/// per-output VC allocation state, credit counters toward each downstream
+/// buffer, round-robin arbitration pointers, and an occupancy bitmask that
+/// lets the per-cycle phases visit only non-empty buffers.
 #[derive(Debug, Clone)]
 pub struct Router {
-    /// Input buffers: `inputs[port][vc]`.
-    pub inputs: Vec<Vec<VcBuf>>,
+    /// Input buffers, indexed by [`slot_of`]`(port, vc)`.
+    pub vcs: Box<[VcRing]>,
+    /// Bit `slot_of(port, vc)` set iff that ring holds at least one flit.
+    /// Route computation, VC allocation, and switch allocation iterate set
+    /// bits in ascending order — exactly the legacy port-major scan.
+    pub occ_mask: u16,
     /// Output VC allocation: `out_alloc[port][vc]` = the (in_port, in_vc)
     /// worm currently owning the downstream VC.
-    pub out_alloc: Vec<Vec<Option<(u8, u8)>>>,
+    pub out_alloc: [[Option<(u8, u8)>; VC_COUNT]; PORT_COUNT],
     /// Credits: free downstream slots per `(out_port, vc)`. Unused for the
     /// Local port (ejection is never back-pressured).
-    pub credits: Vec<Vec<usize>>,
+    pub credits: [[u32; VC_COUNT]; PORT_COUNT],
     /// Downstream wiring: `out_links[port]` = (downstream router index,
     /// downstream input port). `None` for Local and absent links.
-    pub out_links: Vec<Option<(usize, u8)>>,
+    pub out_links: [Option<(u32, u8)>; PORT_COUNT],
     /// Upstream wiring: `in_links[port]` = (upstream router index, upstream
     /// output port) used to return credits. `None` for Local.
-    pub in_links: Vec<Option<(usize, u8)>>,
+    pub in_links: [Option<(u32, u8)>; PORT_COUNT],
     /// Round-robin arbitration pointer per output port.
-    pub rr: Vec<u32>,
+    pub rr: [u32; PORT_COUNT],
 }
 
 impl Router {
     /// A disconnected router with all buffers sized `buffer_depth`.
-    pub fn new(vc_count: usize, buffer_depth: usize) -> Self {
+    pub fn new(buffer_depth: usize) -> Self {
         Self {
-            inputs: (0..PORT_COUNT)
-                .map(|_| (0..vc_count).map(|_| VcBuf::new(buffer_depth)).collect())
-                .collect(),
-            out_alloc: vec![vec![None; vc_count]; PORT_COUNT],
-            credits: vec![vec![0; vc_count]; PORT_COUNT],
-            out_links: vec![None; PORT_COUNT],
-            in_links: vec![None; PORT_COUNT],
-            rr: vec![0; PORT_COUNT],
+            vcs: (0..SLOT_COUNT)
+                .map(|_| VcRing::new(buffer_depth))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            occ_mask: 0,
+            out_alloc: [[None; VC_COUNT]; PORT_COUNT],
+            credits: [[0; VC_COUNT]; PORT_COUNT],
+            out_links: [None; PORT_COUNT],
+            in_links: [None; PORT_COUNT],
+            rr: [0; PORT_COUNT],
         }
+    }
+
+    /// The VC ring at `(port, vc)`.
+    #[inline]
+    pub fn vc(&self, port: u8, vc: u8) -> &VcRing {
+        &self.vcs[slot_of(port, vc)]
+    }
+
+    /// Mutable access to the VC ring at `(port, vc)`. Callers that change
+    /// occupancy through this must fix [`Self::occ_mask`] themselves;
+    /// prefer [`Self::push_flit`]/[`Self::pop_flit`].
+    #[inline]
+    pub fn vc_mut(&mut self, port: u8, vc: u8) -> &mut VcRing {
+        &mut self.vcs[slot_of(port, vc)]
+    }
+
+    /// Appends a flit to `(port, vc)`, maintaining the occupancy mask.
+    #[inline]
+    pub fn push_flit(&mut self, port: u8, vc: u8, packet: PacketId, idx: u32) {
+        let slot = slot_of(port, vc);
+        self.vcs[slot].push_back_flit(packet, idx);
+        self.occ_mask |= 1 << slot;
+    }
+
+    /// Pops the front flit of `(port, vc)`, maintaining the occupancy mask.
+    #[inline]
+    pub fn pop_flit(&mut self, port: u8, vc: u8) -> (PacketId, u32) {
+        let slot = slot_of(port, vc);
+        let out = self.vcs[slot].pop_front_flit();
+        if self.vcs[slot].is_empty() {
+            self.occ_mask &= !(1 << slot);
+        }
+        out
     }
 
     /// Total flits buffered in this router.
     pub fn occupancy(&self) -> usize {
-        self.inputs.iter().flatten().map(|b| b.fifo.len()).sum()
+        self.vcs.iter().map(VcRing::len).sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::{Flit, PacketId};
 
     #[test]
     fn port_mapping_round_trips() {
@@ -151,34 +362,90 @@ mod tests {
     }
 
     #[test]
-    fn vcbuf_tracks_capacity() {
-        let mut b = VcBuf::new(4);
+    fn ring_tracks_capacity_and_spans() {
+        let mut b = VcRing::new(4);
         assert_eq!(b.free(), 4);
-        b.fifo.push_back(Flit {
-            packet: PacketId(0),
-            is_head: true,
-            is_tail: false,
-        });
+        b.push_back_flit(PacketId(0), 0);
         assert_eq!(b.free(), 3);
+        assert_eq!(b.len(), 1);
+        // Extending the same worm merges into one segment.
+        b.push_back_flit(PacketId(0), 1);
+        assert_eq!(b.segments().count(), 1);
+        assert_eq!(b.front_packet_flits(), 2);
+        // Pops walk the span in flit order.
+        assert_eq!(b.pop_front_flit(), (PacketId(0), 0));
+        assert_eq!(b.pop_front_flit(), (PacketId(0), 1));
+        assert!(b.is_empty());
     }
 
     #[test]
-    fn front_packet_flits_stops_at_next_head() {
-        let mut b = VcBuf::new(8);
-        for f in Flit::train(PacketId(0), 3) {
-            b.fifo.push_back(f);
+    fn front_packet_flits_stops_at_next_worm() {
+        let mut b = VcRing::new(8);
+        for i in 0..3 {
+            b.push_back_flit(PacketId(0), i);
         }
-        for f in Flit::train(PacketId(1), 2).take(1) {
-            b.fifo.push_back(f);
-        }
+        b.push_back_flit(PacketId(1), 0);
         assert_eq!(b.front_packet_flits(), 3);
+        assert_eq!(b.segments().count(), 2);
+        assert_eq!(b.len(), 4);
     }
 
     #[test]
-    fn fresh_router_is_empty() {
-        let r = Router::new(2, 4);
+    fn ring_wraps_across_pop_push_cycles() {
+        // Exercise head wrap-around: interleave pops and pushes past the
+        // physical capacity several times over.
+        let mut b = VcRing::new(3);
+        let mut next_push = 0u32;
+        for (next_pop, round) in (0..10u64).enumerate() {
+            while b.free() > 0 {
+                b.push_back_flit(PacketId(round / 4), next_push);
+                next_push += 1;
+            }
+            let (_, idx) = b.pop_front_flit();
+            assert_eq!(idx, next_pop as u32);
+        }
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn remove_packets_is_segment_granular() {
+        let mut b = VcRing::new(8);
+        for i in 5..8 {
+            b.push_back_flit(PacketId(7), i); // mid-worm span
+        }
+        b.push_back_flit(PacketId(9), 0);
+        b.push_back_flit(PacketId(9), 1);
+        let removed = b.remove_packets(|p| p == PacketId(7));
+        assert_eq!(removed, 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.front().unwrap().packet, PacketId(9));
+        assert_eq!(b.front().unwrap().first, 0);
+        assert_eq!(b.remove_packets(|_| false), 0);
+    }
+
+    #[test]
+    fn router_mask_follows_push_and_pop() {
+        let mut r = Router::new(4);
         assert_eq!(r.occupancy(), 0);
-        assert_eq!(r.inputs.len(), PORT_COUNT);
-        assert_eq!(r.inputs[0].len(), 2);
+        assert_eq!(r.occ_mask, 0);
+        r.push_flit(PORT_EAST, 1, PacketId(3), 0);
+        assert_eq!(r.occ_mask, 1 << slot_of(PORT_EAST, 1));
+        assert_eq!(r.occupancy(), 1);
+        assert_eq!(r.pop_flit(PORT_EAST, 1), (PacketId(3), 0));
+        assert_eq!(r.occ_mask, 0);
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn slot_order_is_port_major() {
+        // The bitmask scan order must equal the legacy nested loops
+        // (ports outer, VCs inner) or schedules would drift.
+        let mut slots = Vec::new();
+        for port in 0..PORT_COUNT as u8 {
+            for vc in 0..VC_COUNT as u8 {
+                slots.push(slot_of(port, vc));
+            }
+        }
+        assert_eq!(slots, (0..SLOT_COUNT).collect::<Vec<_>>());
     }
 }

@@ -111,6 +111,49 @@ impl LatencyHistogram {
         // Unreachable with a consistent `total`; fall back to the max bin.
         self.counts.len().saturating_sub(1) as u64
     }
+
+    /// All `N` quantiles of one report in a *single* histogram walk,
+    /// under the same nearest-rank convention as
+    /// [`percentile`](Self::percentile). The report path asks for
+    /// p50/p95/p99 together; walking the value axis once instead of three
+    /// times matters when the axis is long (its length is the maximum
+    /// observed latency, which grows with congested runs).
+    pub fn percentiles<const N: usize>(&self, ps: [f64; N]) -> [u64; N] {
+        let mut out = [0u64; N];
+        if self.total == 0 {
+            return out;
+        }
+        // Ranks are monotone in p for sorted inputs; resolve each requested
+        // quantile as the walk's running mass passes its rank. Unsorted
+        // inputs just pay one comparison per unresolved quantile per bin.
+        let ranks: [u64; N] = ps.map(|p| ((self.total - 1) as f64 * p).round() as u64);
+        let mut resolved = [false; N];
+        let mut remaining = N;
+        let mut seen = 0u64;
+        for (value, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            seen += count;
+            for i in 0..N {
+                if !resolved[i] && seen > ranks[i] {
+                    out[i] = value as u64;
+                    resolved[i] = true;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        let max_bin = self.counts.len().saturating_sub(1) as u64;
+        for i in 0..N {
+            if !resolved[i] {
+                out[i] = max_bin;
+            }
+        }
+        out
+    }
 }
 
 /// Statistics for one *fault epoch*: the window between two consecutive
@@ -300,25 +343,55 @@ mod tests {
             (0..100).map(|i| (i * 13) % 47).collect(),
             vec![0, 0, 1],
         ];
-        for samples in cases {
+        for mut samples in cases {
             let mut h = LatencyHistogram::new();
             for &s in &samples {
                 h.record(s);
             }
-            let mut sorted = samples.clone();
-            sorted.sort_unstable();
+            assert_eq!(h.total(), samples.len() as u64);
+            // Sorting in place is fine: the histogram already holds the
+            // multiset, and the reference convention only needs order.
+            samples.sort_unstable();
             for p in [0.0, 0.25, 0.50, 0.95, 0.99, 1.0] {
-                let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+                let idx = ((samples.len() - 1) as f64 * p).round() as usize;
                 assert_eq!(
                     h.percentile(p),
-                    sorted[idx],
+                    samples[idx],
                     "p={p} over {} samples",
                     samples.len()
                 );
             }
-            assert_eq!(h.total(), samples.len() as u64);
         }
         assert_eq!(LatencyHistogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn single_walk_percentiles_match_individual_queries() {
+        // The report path asks for [p50, p95, p99] in one walk; the batch
+        // answer is pinned to the one-at-a-time convention bit for bit.
+        let sample_sets: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![7],
+            vec![4, 4, 4, 4],
+            (0..500).map(|i| (i * 37) % 211).collect(),
+            vec![1, 1000, 1000, 1000, 2, 3],
+        ];
+        for samples in sample_sets {
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let ps = [0.0, 0.50, 0.95, 0.99, 1.0];
+            let batch = h.percentiles(ps);
+            for (i, &p) in ps.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    h.percentile(p),
+                    "p={p} over {} samples",
+                    samples.len()
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use deft_routing::{DeftRouting, MtrRouting, RcRouting, RoutingAlgorithm};
 use deft_sim::{SimConfig, Simulator};
 use deft_topo::{ChipletId, ChipletSystem, FaultState, VlDir, VlLinkId};
-use deft_traffic::uniform;
+use deft_traffic::{uniform, Trace, TraceEvent};
 use proptest::prelude::*;
 
 fn quick(seed: u64) -> SimConfig {
@@ -130,11 +130,14 @@ proptest! {
     #[test]
     fn active_set_matches_dense_under_fault_timelines(
         mean_healthy_frac in 1u32..=4,
+        alg_pick in 0u8..4,
         seed in 0u64..200,
     ) {
         // Same differential pin across the packet-removal path: transient
         // timelines strand worms mid-run, the one place buffers and
-        // credits are manipulated out of band.
+        // credits are manipulated out of band — for every algorithm
+        // family (RC exercises the store-and-forward grown buffers,
+        // DeFT-Ran the per-injection RNG sequencing).
         let sys = ChipletSystem::baseline_4();
         let pattern = uniform(&sys, 0.004);
         let tl = deft_topo::FaultTimeline::transient(
@@ -146,11 +149,68 @@ proptest! {
                 seed,
             },
         );
+        let alg = |pick: u8| -> Box<dyn RoutingAlgorithm> {
+            match pick {
+                0 => Box::new(DeftRouting::distance_based(&sys)),
+                1 => Box::new(DeftRouting::random_selection(&sys, seed)),
+                2 => Box::new(MtrRouting::new(&sys)),
+                _ => Box::new(RcRouting::new(&sys)),
+            }
+        };
+        let mk = || Simulator::new(
+            &sys,
+            FaultState::none(&sys),
+            alg(alg_pick),
+            &pattern,
+            quick(seed),
+        ).with_timeline(&tl);
+        prop_assert_eq!(mk().run(), mk().run_dense_reference());
+    }
+
+    #[test]
+    fn idle_skipping_trace_playback_matches_dense_ticking(
+        period in 40u64..500,
+        packets in 3usize..20,
+        src_salt in 0u32..64,
+        with_timeline in prop::bool::ANY,
+        seed in 0u64..200,
+    ) {
+        // Trace playback is where idle-cycle skipping actually jumps the
+        // clock (stochastic patterns disable it): the skipping active-set
+        // run must equal the dense reference, which ticks every cycle,
+        // on the full SimReport — cycle counts, epochs, everything. The
+        // timeline variant forces skips to stop at fault transitions in
+        // the middle of provably-idle windows.
+        let sys = ChipletSystem::baseline_4();
+        let n = sys.node_count() as u32;
+        let events: Vec<TraceEvent> = (0..packets as u64)
+            .map(|k| {
+                let src = deft_topo::NodeId((src_salt + 7 * k as u32) % n);
+                let dst = deft_topo::NodeId((src_salt + 13 + 29 * k as u32) % n);
+                TraceEvent { cycle: k * period, src, dst }
+            })
+            .filter(|e| e.src != e.dst)
+            .collect();
+        prop_assume!(!events.is_empty());
+        let trace = Trace::new("sparse", events, sys.node_count());
+        let tl = if with_timeline {
+            deft_topo::FaultTimeline::transient(
+                &sys,
+                &deft_topo::TransientConfig {
+                    mean_healthy: 900.0,
+                    mean_faulty: 200.0,
+                    horizon: 700,
+                    seed,
+                },
+            )
+        } else {
+            deft_topo::FaultTimeline::empty()
+        };
         let mk = || Simulator::new(
             &sys,
             FaultState::none(&sys),
             Box::new(DeftRouting::distance_based(&sys)),
-            &pattern,
+            &trace,
             quick(seed),
         ).with_timeline(&tl);
         prop_assert_eq!(mk().run(), mk().run_dense_reference());

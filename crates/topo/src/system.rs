@@ -466,15 +466,6 @@ impl ChipletSystem {
         }
     }
 
-    /// All outgoing links of `node` as `(direction, neighbor)` pairs.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates a Vec per call; use `neighbors_iter` instead"
-    )]
-    pub fn neighbors(&self, node: NodeId) -> Vec<(Direction, NodeId)> {
-        self.neighbors_iter(node).collect()
-    }
-
     /// Iterates over the outgoing links of `node` as `(direction, neighbor)`
     /// pairs, in [`Direction::ALL`] order, without allocating.
     ///
@@ -765,12 +756,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_neighbors_vec_matches_the_iterator() {
+    fn neighbors_iter_matches_the_flat_adjacency_row() {
         let sys = two_chiplets();
         for node in sys.nodes() {
-            let from_iter: Vec<(Direction, NodeId)> = sys.neighbors_iter(node).collect();
-            assert_eq!(sys.neighbors(node), from_iter);
+            for (dir, nbr) in sys.neighbors_iter(node) {
+                assert_eq!(sys.neighbor(node, dir), Some(nbr));
+            }
+            let listed = sys.neighbors_iter(node).count();
+            let dense = Direction::ALL
+                .into_iter()
+                .filter(|&d| sys.neighbor(node, d).is_some())
+                .count();
+            assert_eq!(listed, dense);
         }
     }
 

@@ -39,6 +39,28 @@ pub trait TrafficPattern: Send + Sync {
         }
     }
 
+    /// The earliest cycle `>= cycle` at which `node` *might* generate a
+    /// packet, or `None` when it never will again. The simulator's
+    /// idle-cycle skipping takes the minimum over all nodes as its jump
+    /// target, so answers must be **conservative**: returning a cycle
+    /// earlier than the true next arrival only costs skipped-cycle
+    /// opportunity, while returning a later one would silently drop
+    /// packets.
+    ///
+    /// The default — correct for every stochastic pattern — answers
+    /// "possibly right now" whenever the node's rate is positive, which
+    /// disables skipping: a Bernoulli draw happens (and consumes RNG
+    /// state) every cycle, so there is never a provably-idle window.
+    /// Deterministic patterns (trace playback) override this with the
+    /// exact next event.
+    fn next_arrival_at_or_after(&self, node: NodeId, cycle: u64) -> Option<u64> {
+        if self.injection_rate(node) > 0.0 {
+            Some(cycle)
+        } else {
+            None
+        }
+    }
+
     /// The node's *inter-chiplet* injection rate `T_r^inter` (Eq. 1 of the
     /// paper): the portion of its traffic that must leave its chiplet
     /// through a vertical link. Used by DeFT's traffic-aware offline

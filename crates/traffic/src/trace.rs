@@ -56,6 +56,11 @@ pub struct Trace {
     /// Mean rate per node, for `injection_rate` consumers (e.g. DeFT's
     /// traffic-aware optimizer).
     mean_rates: Vec<f64>,
+    /// Per-node event cycles, ascending: `arrivals[node]` answers
+    /// [`TrafficPattern::next_arrival_at_or_after`] with one binary
+    /// search, which is what lets the simulator skip the idle stretches
+    /// between trace events.
+    arrivals: Vec<Vec<u64>>,
 }
 
 impl Trace {
@@ -67,6 +72,7 @@ impl Trace {
         events.sort();
         let mut index = HashMap::with_capacity(events.len());
         let mut mean_rates = vec![0.0; node_count];
+        let mut arrivals = vec![Vec::new(); node_count];
         let horizon = events.iter().map(|e| e.cycle + 1).max().unwrap_or(1);
         for e in &events {
             let prev = index.insert((e.cycle, e.src.0), e.dst);
@@ -79,12 +85,16 @@ impl Trace {
             if let Some(r) = mean_rates.get_mut(e.src.index()) {
                 *r += 1.0 / horizon as f64;
             }
+            if let Some(a) = arrivals.get_mut(e.src.index()) {
+                a.push(e.cycle); // events are sorted, so each list is too
+            }
         }
         Self {
             name: name.into(),
             events,
             index,
             mean_rates,
+            arrivals,
         }
     }
 
@@ -205,6 +215,12 @@ impl TrafficPattern for Trace {
 
     fn next_packet(&self, node: NodeId, cycle: u64, _rng: &mut SmallRng) -> Option<NodeId> {
         self.index.get(&(cycle, node.0)).copied()
+    }
+
+    fn next_arrival_at_or_after(&self, node: NodeId, cycle: u64) -> Option<u64> {
+        let a = self.arrivals.get(node.index())?;
+        let i = a.partition_point(|&c| c < cycle);
+        a.get(i).copied()
     }
 }
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Gate CI on engine-throughput regressions.
+
+Compares a freshly-generated ``BENCH_sim.json`` (quick mode, produced by
+the CI perf smoke step) against the committed baseline copy, cell by cell
+on ``cycles_per_sec``. To stay meaningful on runners of different speeds,
+each cell's fresh/baseline ratio is normalized by the **median ratio
+across all shared cells**: a uniformly slower (or faster) machine shifts
+every ratio equally and cancels out, while a regression localized to one
+subsystem — the skip logic, the removal path, the large-grid scaling —
+shows up as that cell falling behind its siblings. A normalized drop of
+more than ``--fail-below`` (default 30 %) fails the job; smaller drops,
+absolute dips, cells too short to time reliably (baseline wall time under
+``--min-wall-ms``), and cells present on only one side all warn and never
+fail, so adding a cell does not require touching this script.
+
+The cost of normalization: a regression that slows *every* cell by the
+same factor is indistinguishable from a slow runner and only warns. The
+committed full-mode baseline refreshed by each hot-path PR is the
+backstop for that case.
+
+Usage: check_perf_regression.py FRESH BASELINE [--fail-below 0.70]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_cells(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("schema", "?"), {
+        c["name"]: (float(c["cycles_per_sec"]), float(c.get("wall_ms", 0.0)))
+        for c in doc.get("cells", [])
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="freshly generated BENCH_sim.json")
+    ap.add_argument("baseline", help="committed baseline BENCH_sim.json")
+    ap.add_argument(
+        "--fail-below",
+        type=float,
+        default=0.70,
+        help="fail when a cell's machine-normalized cycles_per_sec ratio "
+        "falls below this",
+    )
+    ap.add_argument(
+        "--min-wall-ms",
+        type=float,
+        default=5.0,
+        help="cells whose baseline wall time is below this are warn-only "
+        "(too short to time reliably)",
+    )
+    args = ap.parse_args()
+
+    fresh_schema, fresh = load_cells(args.fresh)
+    base_schema, base = load_cells(args.baseline)
+    print(f"fresh: {fresh_schema} ({len(fresh)} cells)")
+    print(f"baseline: {base_schema} ({len(base)} cells)")
+
+    shared = sorted(set(base) & set(fresh))
+    ratios = {
+        name: fresh[name][0] / base[name][0] for name in shared if base[name][0] > 0
+    }
+    if not ratios:
+        print("::warning::no shared perf cells to compare")
+        return 0
+    machine = statistics.median(ratios.values())
+    print(f"machine-speed factor (median ratio): x{machine:.2f}")
+
+    failures = []
+    for name in shared:
+        if name not in ratios:
+            continue
+        ratio = ratios[name]
+        norm = ratio / machine if machine > 0 else float("inf")
+        line = (
+            f"{name}: {fresh[name][0]:.0f} vs baseline {base[name][0]:.0f} "
+            f"cycles/sec (x{ratio:.2f} raw, x{norm:.2f} normalized)"
+        )
+        if norm < args.fail_below:
+            if base[name][1] < args.min_wall_ms:
+                print(
+                    f"::warning::perf drop on sub-{args.min_wall_ms:.0f}ms "
+                    f"cell (not gated) {line}"
+                )
+            else:
+                failures.append(line)
+                print(f"::error::perf regression {line}")
+        elif ratio < 1.0:
+            print(f"::warning::perf dip {line}")
+        else:
+            print(f"ok {line}")
+    for name in sorted(set(base) - set(fresh)):
+        print(f"::warning::perf cell {name!r} missing from fresh run")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"::warning::perf cell {name!r} has no committed baseline yet")
+
+    if failures:
+        print(
+            f"{len(failures)} cell(s) regressed more than "
+            f"{(1 - args.fail_below) * 100:.0f}% beyond the machine factor"
+        )
+        return 1
+    print("no perf regression beyond the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

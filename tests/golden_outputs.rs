@@ -13,9 +13,14 @@
 //! constants — and say so in the commit: these bytes are the repo's
 //! reproducibility contract.
 
-use deft::experiments::{fig4, recovery, Algo, ExpConfig, SynPattern};
+use deft::experiments::{fig4, fig8, recovery, Algo, ExpConfig, SynPattern};
 use deft::report::{latency_sweep_csv, recovery_csv};
-use deft_topo::ChipletSystem;
+use deft::sim::{SimConfig, Simulator};
+use deft::traffic::{Trace, TraceEvent};
+use deft_topo::{
+    ChipletId, ChipletSystem, FaultEvent, FaultEventKind, FaultState, FaultTimeline, NodeId, VlDir,
+    VlLinkId,
+};
 
 /// FNV-1a 64-bit, enough to pin output bytes against accidental drift.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -62,6 +67,97 @@ fn fig4_uniform_quick_csv_bytes_are_pinned() {
         0xae73_eb37_101d_bb10,
         "fig4 uniform --quick CSV bytes drifted from the golden hash;\n\
          if this is an intentional behaviour change, update the constant:\n{csv}"
+    );
+}
+
+/// A Fig. 8 ablation slice under the repro binary's 12.5 % fault state:
+/// two rates × {DeFT, DeFT-Dis., DeFT-Ran.}. DeFT-Ran is the one
+/// algorithm whose *per-injection RNG call sequence* shapes the results,
+/// so this pin catches any refactor that re-derives routing work per flit
+/// instead of once per worm (an extra or missing draw shifts every
+/// subsequent selection).
+#[test]
+fn fig8_ablation_quick_csv_bytes_are_pinned() {
+    let sys = ChipletSystem::baseline_4();
+    let mut faults = FaultState::none(&sys);
+    for (c, i, dir) in [
+        (0, 0, VlDir::Down),
+        (1, 1, VlDir::Up),
+        (2, 2, VlDir::Down),
+        (3, 3, VlDir::Up),
+    ] {
+        faults.inject(VlLinkId {
+            chiplet: ChipletId(c),
+            index: i,
+            dir,
+        });
+    }
+    let cfg = ExpConfig::quick().with_jobs(2);
+    let csv = latency_sweep_csv(&fig8(&sys, &faults, &[0.004, 0.006], &cfg));
+    assert_eq!(
+        fnv1a(csv.as_bytes()),
+        0x6e5d_483b_2ea0_b6c3,
+        "fig8 ablation --quick CSV bytes drifted from the golden hash;\n\
+         if this is an intentional behaviour change, update the constant:\n{csv}"
+    );
+}
+
+/// A trickle-load recovery run: sparse *trace-driven* traffic (one packet
+/// per ~400 cycles) across a transient inject/heal pair. This is exactly
+/// the shape where idle-cycle skipping engages — long provably-quiet
+/// windows between arrivals, interrupted by fault transitions — so the
+/// pin guarantees the skipping engine reproduces the ticking engine's
+/// report bit for bit (epochs, losses, latencies, cycle counts).
+#[test]
+fn trickle_trace_recovery_report_is_pinned() {
+    let sys = ChipletSystem::baseline_4();
+    let (src, dst) = (NodeId(5), NodeId(40));
+    let events: Vec<TraceEvent> = (0..12u64)
+        .map(|k| TraceEvent {
+            cycle: k * 400,
+            src,
+            dst,
+        })
+        .collect();
+    let trace = Trace::new("trickle", events, sys.node_count());
+    let link = VlLinkId {
+        chiplet: ChipletId(0),
+        index: 0,
+        dir: VlDir::Down,
+    };
+    let tl = FaultTimeline::from_events(vec![
+        FaultEvent {
+            cycle: 1_000,
+            kind: FaultEventKind::Inject,
+            link,
+        },
+        FaultEvent {
+            cycle: 3_000,
+            kind: FaultEventKind::Heal,
+            link,
+        },
+    ]);
+    let cfg = SimConfig {
+        warmup: 500,
+        measure: 4_500,
+        drain: 10_000,
+        ..SimConfig::default()
+    };
+    let report = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Box::new(deft::routing::DeftRouting::distance_based(&sys)),
+        &trace,
+        cfg,
+    )
+    .with_timeline(&tl)
+    .run();
+    let rendered = format!("{report:?}");
+    assert_eq!(
+        fnv1a(rendered.as_bytes()),
+        0xf740_5940_38ca_847b,
+        "trickle trace recovery report drifted from the golden hash;\n\
+         if this is an intentional behaviour change, update the constant:\n{rendered}"
     );
 }
 
