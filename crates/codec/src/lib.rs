@@ -1,0 +1,831 @@
+//! # deft-codec — versioned binary state codec for simulator snapshots
+//!
+//! The vendored `serde` is a no-op shim (see `vendor/README.md`), so
+//! snapshot/resume needs an in-house wire format. This crate provides it:
+//!
+//! * [`Encoder`]/[`Decoder`] — length-prefixed, little-endian primitive
+//!   encoding with descriptive, typed decode errors ([`CodecError`],
+//!   never a panic on malformed input).
+//! * [`Persist`] — the round-trip trait every piece of live simulator
+//!   state implements: `decode(encode(s)) == s`, byte-deterministically.
+//! * [`SnapshotWriter`]/[`SnapshotReader`] — the container format: a
+//!   [`MAGIC`] + [`FORMAT_VERSION`] header followed by tagged,
+//!   length-prefixed, FNV-1a-checksummed sections.
+//!
+//! The container layout is:
+//!
+//! ```text
+//! "DEFTSNAP"            8 bytes   magic
+//! format version        4 bytes   u32 LE
+//! section*                        repeated:
+//!   tag                 4 bytes   ASCII section name
+//!   payload length      4 bytes   u32 LE
+//!   payload             n bytes   Persist-encoded section body
+//!   checksum            8 bytes   fnv1a64(payload), u64 LE
+//! ```
+//!
+//! Sections are read in writer order; a reader asking for section `X` and
+//! finding `Y` gets [`CodecError::UnexpectedSection`] — the format carries
+//! no random-access index because snapshots are decoded whole, exactly
+//! once, into an already-constructed simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// The 8-byte magic every snapshot file starts with.
+pub const MAGIC: [u8; 8] = *b"DEFTSNAP";
+
+/// Snapshot format version, encoded right after [`MAGIC`].
+///
+/// **Bump rule:** increment this constant whenever the byte layout of any
+/// section changes — a field added, removed, reordered, or re-typed
+/// anywhere under a [`Persist`] impl or a `save_state` hook. Decoders
+/// reject any other version outright ([`CodecError::WrongVersion`]); there
+/// is deliberately no cross-version migration, because snapshots are
+/// short-lived artifacts (a checkpoint of a run in flight), not archives.
+/// The same commit that bumps this constant must update the golden
+/// snapshot pin in `tests/golden_outputs.rs`, which exists precisely so
+/// the layout cannot drift *without* a bump.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit over `bytes` — the section checksum, and the repo's
+/// standard content fingerprint (same constants as the golden-output
+/// pins in `tests/golden_outputs.rs`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A typed decode failure. Every malformed, truncated, or mismatched
+/// input maps to one of these variants; decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the expected data.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The input does not start with the [`MAGIC`] bytes.
+    BadMagic {
+        /// The first bytes actually found (zero-padded if short).
+        found: [u8; 8],
+    },
+    /// The header's format version is not [`FORMAT_VERSION`].
+    WrongVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// A section's stored checksum does not match its payload.
+    Checksum {
+        /// Tag of the corrupt section.
+        section: [u8; 4],
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// The next section's tag is not the one the reader expected.
+    UnexpectedSection {
+        /// Tag the reader asked for.
+        expected: [u8; 4],
+        /// Tag actually found.
+        found: [u8; 4],
+    },
+    /// A value decoded fine structurally but is semantically invalid
+    /// (bad enum discriminant, non-UTF-8 string, impossible length, ...).
+    Invalid(String),
+    /// The snapshot is well-formed but belongs to a different run setup
+    /// than the simulator it is being resumed into (different topology,
+    /// config, algorithm, traffic, or timeline).
+    Mismatch(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn tag(t: &[u8; 4]) -> String {
+            String::from_utf8_lossy(t).into_owned()
+        }
+        match self {
+            CodecError::Truncated { needed, available } => write!(
+                f,
+                "snapshot truncated: needed {needed} more byte(s), {available} available"
+            ),
+            CodecError::BadMagic { found } => write!(
+                f,
+                "not a DeFT snapshot: expected magic {:?}, found {:?}",
+                String::from_utf8_lossy(&MAGIC),
+                String::from_utf8_lossy(found)
+            ),
+            CodecError::WrongVersion { found, expected } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads version {expected})"
+            ),
+            CodecError::Checksum {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section {:?} is corrupt: stored checksum {stored:#018x}, computed {computed:#018x}",
+                tag(section)
+            ),
+            CodecError::UnexpectedSection { expected, found } => write!(
+                f,
+                "expected section {:?}, found {:?}",
+                tag(expected),
+                tag(found)
+            ),
+            CodecError::Invalid(why) => write!(f, "invalid snapshot data: {why}"),
+            CodecError::Mismatch(why) => write!(f, "snapshot does not match this run: {why}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Little-endian binary encoder over a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a `usize` as a `u64` (the format is 64-bit regardless of
+    /// host width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` via its IEEE-754 bit pattern (deterministic,
+    /// NaN-payload-preserving).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed byte string (`u64` length + raw bytes).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends raw bytes without a length prefix (the caller's layout
+    /// must make the length recoverable).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Little-endian binary decoder over a byte slice. All reads are
+/// bounds-checked and return [`CodecError::Truncated`] past the end.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { buf: bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n - self.remaining(),
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `bool`; any byte other than 0 or 1 is
+    /// [`CodecError::Invalid`].
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Invalid(format!(
+                "bool byte must be 0 or 1, found {other}"
+            ))),
+        }
+    }
+
+    /// Reads a `usize` (stored as `u64`); values beyond the host's
+    /// address width are [`CodecError::Invalid`].
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| CodecError::Invalid(format!("length {v} exceeds the host usize")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed byte string written by
+    /// [`Encoder::put_bytes`].
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            // Surface the bogus length as truncation with honest numbers
+            // instead of attempting a huge take.
+            return Err(CodecError::Truncated {
+                needed: n - self.remaining(),
+                available: self.remaining(),
+            });
+        }
+        self.take(n)
+    }
+
+    /// Asserts every byte was consumed; trailing garbage is
+    /// [`CodecError::Invalid`].
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Invalid(format!(
+                "{} trailing byte(s) after the last expected field",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// Deterministic binary round-trip: `T::decode(encode(t)) == t`, with the
+/// encoding byte-identical across runs and platforms.
+pub trait Persist: Sized {
+    /// Appends `self`'s encoding to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Decodes one value from `dec`, consuming exactly the bytes
+    /// [`encode`](Self::encode) wrote.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError>;
+}
+
+macro_rules! persist_prim {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Persist for $ty {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.$put(*self);
+            }
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                dec.$get()
+            }
+        }
+    };
+}
+
+persist_prim!(u8, put_u8, get_u8);
+persist_prim!(u16, put_u16, get_u16);
+persist_prim!(u32, put_u32, get_u32);
+persist_prim!(u64, put_u64, get_u64);
+persist_prim!(usize, put_usize, get_usize);
+persist_prim!(bool, put_bool, get_bool);
+persist_prim!(f64, put_f64, get_f64);
+
+impl Persist for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self.as_bytes());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let bytes = dec.get_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::Invalid(format!("string is not UTF-8: {e}")))
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_bool(false),
+            Some(v) => {
+                enc.put_bool(true);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        if dec.get_bool()? {
+            Ok(Some(T::decode(dec)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for v in self {
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let n = dec.get_usize()?;
+        // A corrupt length must not drive allocation: cap the preallocation
+        // by what the input could possibly hold (1 byte per element floor).
+        let mut out = Vec::with_capacity(n.min(dec.remaining()));
+        for _ in 0..n {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist, const N: usize> Persist for [T; N] {
+    fn encode(&self, enc: &mut Encoder) {
+        for v in self {
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::decode(dec)?);
+        }
+        out.try_into()
+            .map_err(|_| CodecError::Invalid("array length mismatch".into()))
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+/// Convenience: one value's standalone encoding (its [`Persist`] bytes,
+/// no container framing).
+pub fn encode_value<T: Persist>(v: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    v.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Content fingerprint of one value: [`fnv1a`] over its standalone
+/// encoding. Used for the snapshot identity checks (traffic pattern and
+/// fault timeline must match the run being resumed).
+pub fn fingerprint_value<T: Persist>(v: &T) -> u64 {
+    fnv1a(&encode_value(v))
+}
+
+/// Writes the container format: magic + version header, then tagged,
+/// checksummed sections in call order.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot: writes the [`MAGIC`] + [`FORMAT_VERSION`]
+    /// header.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        Self { buf }
+    }
+
+    /// Appends one section: `fill` encodes the payload into a fresh
+    /// [`Encoder`], and the writer frames it with `tag`, a `u32` length,
+    /// and an FNV-1a checksum.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds `u32::MAX` bytes (no real snapshot
+    /// section approaches this).
+    pub fn section(&mut self, tag: [u8; 4], fill: impl FnOnce(&mut Encoder)) {
+        let mut enc = Encoder::new();
+        fill(&mut enc);
+        let payload = enc.into_bytes();
+        let len = u32::try_from(payload.len()).expect("section payload exceeds u32::MAX bytes");
+        self.buf.extend_from_slice(&tag);
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        let sum = fnv1a(&payload);
+        self.buf.extend_from_slice(&payload);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Finishes the snapshot, returning its bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reads the container format written by [`SnapshotWriter`], verifying
+/// the header once and each section's tag and checksum on access.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    dec: Decoder<'a>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Opens a snapshot: validates [`MAGIC`] and [`FORMAT_VERSION`].
+    pub fn new(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let magic = dec.take(MAGIC.len()).map_err(|_| {
+            let mut found = [0u8; 8];
+            found[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+            CodecError::BadMagic { found }
+        })?;
+        if magic != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(magic);
+            return Err(CodecError::BadMagic { found });
+        }
+        let version = dec.get_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::WrongVersion {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        Ok(Self { dec })
+    }
+
+    /// Reads the next section, which must carry `tag`; verifies its
+    /// checksum and returns a [`Decoder`] over the payload. The caller
+    /// should end with [`Decoder::finish`] to reject trailing bytes.
+    pub fn section(&mut self, tag: [u8; 4]) -> Result<Decoder<'a>, CodecError> {
+        let found: [u8; 4] = self
+            .dec
+            .take(4)?
+            .try_into()
+            .expect("take(4) returns 4 bytes");
+        if found != tag {
+            return Err(CodecError::UnexpectedSection {
+                expected: tag,
+                found,
+            });
+        }
+        let len = self.dec.get_u32()? as usize;
+        let payload = self.dec.take(len)?;
+        let stored = self.dec.get_u64()?;
+        let computed = fnv1a(payload);
+        if stored != computed {
+            return Err(CodecError::Checksum {
+                section: tag,
+                stored,
+                computed,
+            });
+        }
+        Ok(Decoder::new(payload))
+    }
+
+    /// Asserts no sections remain; trailing bytes are
+    /// [`CodecError::Invalid`].
+    pub fn finish(&self) -> Result<(), CodecError> {
+        self.dec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        0xABu8.encode(&mut enc);
+        0xBEEFu16.encode(&mut enc);
+        0xDEAD_BEEFu32.encode(&mut enc);
+        0x0123_4567_89AB_CDEFu64.encode(&mut enc);
+        true.encode(&mut enc);
+        false.encode(&mut enc);
+        42usize.encode(&mut enc);
+        (-0.5f64).encode(&mut enc);
+        String::from("wörm").encode(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(u8::decode(&mut dec).unwrap(), 0xAB);
+        assert_eq!(u16::decode(&mut dec).unwrap(), 0xBEEF);
+        assert_eq!(u32::decode(&mut dec).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(u64::decode(&mut dec).unwrap(), 0x0123_4567_89AB_CDEF);
+        assert!(bool::decode(&mut dec).unwrap());
+        assert!(!bool::decode(&mut dec).unwrap());
+        assert_eq!(usize::decode(&mut dec).unwrap(), 42);
+        assert_eq!(f64::decode(&mut dec).unwrap(), -0.5);
+        assert_eq!(String::decode(&mut dec).unwrap(), "wörm");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<Option<(u32, bool)>> = vec![None, Some((7, true)), Some((0, false))];
+        let bytes = encode_value(&v);
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(Vec::<Option<(u32, bool)>>::decode(&mut dec).unwrap(), v);
+        dec.finish().unwrap();
+
+        let arr = [1u64, 2, 3, 4];
+        let bytes = encode_value(&arr);
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(<[u64; 4]>::decode(&mut dec).unwrap(), arr);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn encoding_is_little_endian_and_length_prefixed() {
+        // The wire layout itself is part of the contract (FORMAT_VERSION
+        // bump rule), so pin it on one sample of each shape.
+        assert_eq!(encode_value(&0x0102u16), vec![0x02, 0x01]);
+        assert_eq!(encode_value(&1u32), vec![1, 0, 0, 0]);
+        assert_eq!(
+            encode_value(&String::from("ab")),
+            vec![2, 0, 0, 0, 0, 0, 0, 0, b'a', b'b']
+        );
+        assert_eq!(encode_value(&None::<u8>), vec![0]);
+        assert_eq!(encode_value(&Some(9u8)), vec![1, 9]);
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut dec = Decoder::new(&[1, 2]);
+        assert_eq!(
+            u32::decode(&mut dec),
+            Err(CodecError::Truncated {
+                needed: 2,
+                available: 2
+            })
+        );
+        // A length prefix pointing past the end must not panic or allocate.
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            String::decode(&mut dec),
+            Err(CodecError::Truncated { .. }) | Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_bool_and_trailing_bytes_are_rejected() {
+        let mut dec = Decoder::new(&[2]);
+        assert!(matches!(
+            bool::decode(&mut dec),
+            Err(CodecError::Invalid(_))
+        ));
+        let dec = Decoder::new(&[0]);
+        assert!(matches!(dec.finish(), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn fnv1a_is_the_reference_implementation() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    fn sample_snapshot() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section(*b"AAAA", |enc| {
+            7u64.encode(enc);
+        });
+        w.section(*b"BBBB", |enc| {
+            vec![1u8, 2, 3].encode(enc);
+        });
+        w.finish()
+    }
+
+    #[test]
+    fn container_round_trips_sections_in_order() {
+        let bytes = sample_snapshot();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        let mut a = r.section(*b"AAAA").unwrap();
+        assert_eq!(u64::decode(&mut a).unwrap(), 7);
+        a.finish().unwrap();
+        let mut b = r.section(*b"BBBB").unwrap();
+        assert_eq!(Vec::<u8>::decode(&mut b).unwrap(), vec![1, 2, 3]);
+        b.finish().unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_section_is_a_typed_error() {
+        let bytes = sample_snapshot();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(
+            r.section(*b"BBBB").unwrap_err(),
+            CodecError::UnexpectedSection {
+                expected: *b"BBBB",
+                found: *b"AAAA",
+            }
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_a_typed_error() {
+        let mut bytes = sample_snapshot();
+        bytes[0] = b'X';
+        assert!(matches!(
+            SnapshotReader::new(&bytes),
+            Err(CodecError::BadMagic { .. })
+        ));
+        // Including inputs shorter than the magic itself.
+        assert!(matches!(
+            SnapshotReader::new(b"DEF"),
+            Err(CodecError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            SnapshotReader::new(b""),
+            Err(CodecError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_a_typed_error() {
+        let mut bytes = sample_snapshot();
+        bytes[8] = FORMAT_VERSION as u8 + 1;
+        assert_eq!(
+            SnapshotReader::new(&bytes).unwrap_err(),
+            CodecError::WrongVersion {
+                found: FORMAT_VERSION + 1,
+                expected: FORMAT_VERSION,
+            }
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let mut bytes = sample_snapshot();
+        // Flip one payload byte of section AAAA (header is 12 bytes, tag 4,
+        // length 4 → payload starts at 20).
+        bytes[20] ^= 0xFF;
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        assert!(matches!(
+            r.section(*b"AAAA"),
+            Err(CodecError::Checksum { section, .. }) if section == *b"AAAA"
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error_at_every_cut() {
+        // Every prefix of a valid snapshot must decode to a typed error,
+        // never a panic.
+        let bytes = sample_snapshot();
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            match SnapshotReader::new(prefix) {
+                Err(_) => {}
+                Ok(mut r) => {
+                    let first = r.section(*b"AAAA");
+                    if first.is_err() {
+                        continue;
+                    }
+                    let second = r.section(*b"BBBB");
+                    assert!(
+                        second.is_err(),
+                        "cut {cut} of {} decoded both sections",
+                        bytes.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_contents() {
+        assert_ne!(
+            fingerprint_value(&vec![1u64, 2, 3]),
+            fingerprint_value(&vec![1u64, 2, 4])
+        );
+        assert_eq!(
+            fingerprint_value(&String::from("Uniform")),
+            fingerprint_value(&String::from("Uniform"))
+        );
+    }
+
+    #[test]
+    fn errors_display_descriptively() {
+        let shown = format!(
+            "{}",
+            CodecError::Checksum {
+                section: *b"RTRS",
+                stored: 1,
+                computed: 2
+            }
+        );
+        assert!(shown.contains("RTRS") && shown.contains("corrupt"));
+        assert!(format!(
+            "{}",
+            CodecError::WrongVersion {
+                found: 9,
+                expected: FORMAT_VERSION
+            }
+        )
+        .contains("version 9"));
+        assert!(format!("{}", CodecError::Mismatch("algorithm".into())).contains("algorithm"));
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! deft-repro [--quick] [--jobs N] [--out text|csv] [--exp NAME] \
-//!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|all]
+//!            [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
+//!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|\
+//!             checkpoint|fork_sweep|all]
 //! ```
 //!
 //! * `--quick` shortens the simulation windows (same structure, noisier
@@ -20,19 +22,33 @@
 //!   into the current directory (schema in `EXPERIMENTS.md`). It is not
 //!   part of `all`: its wall-clock fields vary per invocation, unlike the
 //!   deterministic figure outputs.
+//! * `checkpoint` runs one resumable simulation: `--snapshot-every K`
+//!   writes the full engine state to `--snapshot-file` (default
+//!   `deft-checkpoint.snap`) every K cycles, and `--resume FILE` continues
+//!   a run from such a file — the final report is byte-identical to an
+//!   uninterrupted run. A corrupt or mismatched file is a clean error.
+//! * `fork_sweep` branches hundreds of transient fault futures off one
+//!   shared warm prefix ([`Simulator::fork_with_timeline`]) and reports
+//!   per-algorithm loss/recovery means with confidence intervals. Like
+//!   `perf`, it is not part of `all` (it is the scale demo of the fork
+//!   engine, not a paper figure).
 
 use deft::experiments::{
-    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_jobs, fig8, perf, recovery, rho_ablation_jobs,
-    scaling_study, table1_campaign_jobs, Algo, ExpConfig, SynPattern,
+    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_jobs, fig8, fork_sweep, perf, recovery,
+    recovery_scenarios, rho_ablation_jobs, scaling_study, table1_campaign_jobs, Algo, ExpConfig,
+    SynPattern, FORK_SWEEP_K, RECOVERY_RATE,
 };
 use deft::report::{
-    app_improvements_csv, latency_sweep_csv, perf_json, reachability_csv, recovery_csv,
-    render_app_improvements, render_latency_sweep, render_perf, render_reachability,
-    render_recovery, render_rho_ablation, render_scaling, render_table1, render_vc_util,
-    rho_ablation_csv, scaling_csv, table1_csv, vc_util_csv,
+    app_improvements_csv, fork_sweep_csv, latency_sweep_csv, perf_json, reachability_csv,
+    recovery_csv, render_app_improvements, render_fork_sweep, render_latency_sweep, render_perf,
+    render_reachability, render_recovery, render_rho_ablation, render_scaling, render_sim_report,
+    render_table1, render_vc_util, rho_ablation_csv, scaling_csv, sim_report_csv, table1_csv,
+    vc_util_csv,
 };
 use deft_power::{RouterParams, Tech45nm};
+use deft_sim::Simulator;
 use deft_topo::{ChipletId, ChipletSystem, FaultState, VlDir, VlLinkId};
+use deft_traffic::uniform;
 
 /// Output format of the report blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -265,6 +281,101 @@ fn run_perf(cfg: &ExpConfig, quick: bool, out: Out) {
     }
 }
 
+/// Snapshot/resume options of the `checkpoint` target.
+#[derive(Debug, Default)]
+struct SnapshotOpts {
+    /// Write a snapshot every N simulated cycles (0 = never).
+    every: u64,
+    /// Snapshot file path (`--snapshot-file`, default
+    /// `deft-checkpoint.snap`).
+    file: Option<String>,
+    /// Resume from this snapshot file instead of starting fresh.
+    resume: Option<String>,
+}
+
+impl SnapshotOpts {
+    fn in_use(&self) -> bool {
+        self.every > 0 || self.file.is_some() || self.resume.is_some()
+    }
+
+    fn file(&self) -> &str {
+        self.file.as_deref().unwrap_or("deft-checkpoint.snap")
+    }
+}
+
+/// The `checkpoint` target: one resumable DeFT run — uniform traffic at
+/// [`RECOVERY_RATE`] under the first recovery scenario's transient fault
+/// timeline. `--snapshot-every K` writes the state to `--snapshot-file`
+/// at every K-cycle pause point; `--resume FILE` rebuilds the identical
+/// setup and continues from the file instead of cycle 0. The final
+/// report (text or single-row CSV) is byte-identical however often the
+/// run was paused, snapshotted, or resumed.
+fn run_checkpoint(cfg: &ExpConfig, snap: &SnapshotOpts, out: Out) {
+    let sys = ChipletSystem::baseline_4();
+    let horizon = cfg.sim.warmup + cfg.sim.measure;
+    let scenario = recovery_scenarios(horizon)[0];
+    let timeline = scenario.timeline(&sys, horizon, cfg.seed);
+    let pattern = uniform(&sys, RECOVERY_RATE);
+    let mut sim = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Algo::Deft.build(&sys),
+        &pattern,
+        cfg.run_sim(0xC0),
+    )
+    .with_timeline(&timeline);
+
+    if let Some(path) = &snap.resume {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot resume from {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = sim.resume_from(&bytes) {
+            eprintln!("cannot resume from {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("resumed {path} at cycle {}", sim.cycle());
+    } else {
+        sim.start();
+    }
+
+    if snap.every > 0 {
+        loop {
+            let stop = sim.cycle() + snap.every;
+            if sim.advance_to(stop) {
+                break;
+            }
+            if let Err(e) = std::fs::write(snap.file(), sim.snapshot()) {
+                eprintln!("cannot write snapshot {}: {e}", snap.file());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} at cycle {}", snap.file(), sim.cycle());
+        }
+    }
+    let report = sim.finish();
+    out.emit(
+        "checkpoint run",
+        || render_sim_report(&report),
+        || sim_report_csv(&report),
+    );
+}
+
+/// The `fork_sweep` target: [`FORK_SWEEP_K`] transient fault futures per
+/// algorithm, branched off one shared warm prefix (see the experiment's
+/// module docs). Like `perf`, it is not part of `all`.
+fn run_fork_sweep(cfg: &ExpConfig, out: Out) {
+    let sys = ChipletSystem::baseline_4();
+    let rows = fork_sweep(&sys, cfg, FORK_SWEEP_K);
+    out.emit(
+        "fork sweep: Monte-Carlo fault futures",
+        || render_fork_sweep(&rows),
+        || fork_sweep_csv(&rows),
+    );
+}
+
 fn run_table1(jobs: usize, out: Out) {
     let rows = table1_campaign_jobs(&RouterParams::paper_default(), &Tech45nm::default(), jobs);
     out.emit(
@@ -277,7 +388,9 @@ fn run_table1(jobs: usize, out: Out) {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: deft-repro [--quick] [--jobs N] [--out text|csv] [--exp NAME] \
-         [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|all]"
+         [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
+         [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|checkpoint|fork_sweep|all]\n\
+         (--snapshot-every/--snapshot-file/--resume apply to the checkpoint target)"
     );
     std::process::exit(2);
 }
@@ -288,6 +401,7 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut out = Out::Text;
     let mut what: Option<String> = None;
+    let mut snap = SnapshotOpts::default();
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -322,6 +436,19 @@ fn main() {
                     usage_and_exit();
                 }
             };
+        } else if arg == "--snapshot-every" || arg.starts_with("--snapshot-every=") {
+            let v = parse_value("--snapshot-every", &arg, &mut it);
+            match v.parse::<u64>() {
+                Ok(n) if n >= 1 => snap.every = n,
+                _ => {
+                    eprintln!("--snapshot-every expects a positive cycle count, got {v:?}");
+                    usage_and_exit();
+                }
+            }
+        } else if arg == "--snapshot-file" || arg.starts_with("--snapshot-file=") {
+            snap.file = Some(parse_value("--snapshot-file", &arg, &mut it));
+        } else if arg == "--resume" || arg.starts_with("--resume=") {
+            snap.resume = Some(parse_value("--resume", &arg, &mut it));
         } else if arg == "--exp" || arg.starts_with("--exp=") {
             let v = parse_value("--exp", &arg, &mut it);
             if let Some(first) = &what {
@@ -350,7 +477,13 @@ fn main() {
         None => base,
     };
 
-    match what.as_deref().unwrap_or("all") {
+    let what = what.as_deref().unwrap_or("all").to_owned();
+    if snap.in_use() && what != "checkpoint" {
+        eprintln!("--snapshot-every/--snapshot-file/--resume apply to the checkpoint target only");
+        usage_and_exit();
+    }
+
+    match what.as_str() {
         "fig4" => run_fig4(&cfg, out),
         "fig5" => run_fig5(&cfg, out),
         "fig6" => run_fig6(&cfg, out),
@@ -361,6 +494,8 @@ fn main() {
         "scaling" => run_scaling(&cfg, out),
         "recovery" => run_recovery(&cfg, out),
         "perf" => run_perf(&cfg, quick, out),
+        "checkpoint" => run_checkpoint(&cfg, &snap, out),
+        "fork_sweep" => run_fork_sweep(&cfg, out),
         "all" => {
             run_fig4(&cfg, out);
             run_fig5(&cfg, out);

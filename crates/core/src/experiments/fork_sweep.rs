@@ -1,0 +1,239 @@
+//! Monte-Carlo fault sweep over forked simulators.
+//!
+//! The question every recovery-style experiment asks — "how much does a
+//! fault future cost?" — has a shared structure: the run up to the fault
+//! is *identical* across samples. A cold Monte-Carlo sweep re-simulates
+//! that shared prefix for every sample; this experiment simulates it
+//! **once** per algorithm, then branches `K` independently-seeded
+//! transient fault timelines off the warm state with
+//! [`Simulator::fork_with_timeline`]. Each branch replays only the
+//! suffix (a quarter of the generation window plus drain), so the sweep
+//! completes in a fraction of the cold wall time — the speedup is
+//! tracked as the `fork-sweep-k200` cells of `BENCH_sim.json`.
+//!
+//! Every algorithm faces the *same* `K` timelines and the same traffic
+//! prefix seed, so the per-algorithm rows are directly comparable, and
+//! the per-branch loss/recovery samples aggregate into means with 95%
+//! confidence intervals (`1.96·s/√K`) — the statistical payoff of
+//! running hundreds of futures instead of [`RECOVERY_SEEDS`](
+//! super::RECOVERY_SEEDS) replicas.
+
+use super::{Algo, ExpConfig, RECOVERY_RATE};
+use deft_sim::{SimReport, Simulator};
+use deft_topo::{ChipletSystem, FaultState, FaultTimeline, TransientConfig};
+use deft_traffic::uniform;
+use serde::Serialize;
+
+/// Fault futures branched per algorithm in the full experiment.
+pub const FORK_SWEEP_K: usize = 200;
+
+/// The cycle the sweep branches at: three quarters into the generation
+/// window, so every branch inherits a warm network (in-flight worms,
+/// populated source queues) and still generates measured traffic under
+/// its faults.
+pub fn fork_sweep_cycle(cfg: &ExpConfig) -> u64 {
+    cfg.sim.warmup + cfg.sim.measure * 3 / 4
+}
+
+/// The `K` branch timelines: independently-seeded transient fault
+/// processes over the post-fork window, shifted past the fork point so
+/// every fault a branch sees lies in its own future. Deterministic per
+/// `(system, cfg, forks)`.
+pub fn fork_sweep_timelines(
+    sys: &ChipletSystem,
+    cfg: &ExpConfig,
+    forks: usize,
+) -> Vec<FaultTimeline> {
+    let fork_cycle = fork_sweep_cycle(cfg);
+    let window = (cfg.sim.warmup + cfg.sim.measure).saturating_sub(fork_cycle);
+    let w = window.max(1) as f64;
+    (0..forks as u64)
+        .map(|k| {
+            FaultTimeline::transient(
+                sys,
+                &TransientConfig {
+                    mean_healthy: w * 2.0,
+                    mean_faulty: w / 6.0,
+                    horizon: window,
+                    seed: cfg.seed ^ (0xF0A4 + k.wrapping_mul(0x9E37_79B9)),
+                },
+            )
+            .shifted(fork_cycle)
+        })
+        .collect()
+}
+
+/// One row of the fork-sweep report: `forks` branched futures of one
+/// algorithm, aggregated.
+#[derive(Debug, Clone, Serialize)]
+pub struct ForkSweepRow {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Fault futures branched (the sample count behind the intervals).
+    pub forks: usize,
+    /// Cycle the branches forked at ([`fork_sweep_cycle`]).
+    pub fork_cycle: u64,
+    /// Mean packets lost per branch (dropped unroutable + lost in
+    /// flight).
+    pub mean_losses: f64,
+    /// 95% confidence half-width of [`mean_losses`](Self::mean_losses).
+    pub ci95_losses: f64,
+    /// Mean per-branch recovery latency (cycles until losses cease after
+    /// a fault transition, averaged over the branch's transitions).
+    pub mean_recovery_latency: f64,
+    /// 95% confidence half-width of
+    /// [`mean_recovery_latency`](Self::mean_recovery_latency).
+    pub ci95_recovery_latency: f64,
+    /// Mean delivered-packet latency across branches, in cycles.
+    pub mean_latency: f64,
+}
+
+/// Sample mean and 95% confidence half-width (`1.96·s/√n`, sample
+/// standard deviation). `(0, 0)` for an empty slice, zero half-width for
+/// a single sample.
+fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+/// Per-branch loss and recovery samples folded out of one branch report.
+fn branch_samples(report: &SimReport) -> (f64, f64, f64) {
+    let transitions = report.epochs.len().saturating_sub(1);
+    let recovery = if transitions == 0 {
+        0.0
+    } else {
+        report.epochs[1..]
+            .iter()
+            .map(|e| e.recovery_latency() as f64)
+            .sum::<f64>()
+            / transitions as f64
+    };
+    (report.total_losses() as f64, recovery, report.avg_latency)
+}
+
+/// Runs the fork sweep: for each of the paper's three algorithms,
+/// simulate uniform traffic at [`RECOVERY_RATE`] fault-free up to
+/// [`fork_sweep_cycle`] once, then branch `forks` transient fault
+/// futures ([`fork_sweep_timelines`]) off the warm state and aggregate
+/// their losses and recovery latencies. Branches run serially — the
+/// shared-prefix reuse, not thread fan-out, is the speedup this
+/// experiment exists to exercise — and the result is deterministic per
+/// `(system, cfg, forks)`.
+///
+/// # Panics
+/// Panics if the fork cycle is unreachable (a branch ran dry before the
+/// fork point) or a branch deadlocks.
+pub fn fork_sweep(sys: &ChipletSystem, cfg: &ExpConfig, forks: usize) -> Vec<ForkSweepRow> {
+    let fork_cycle = fork_sweep_cycle(cfg);
+    let timelines = fork_sweep_timelines(sys, cfg, forks);
+    let pattern = uniform(sys, RECOVERY_RATE);
+    Algo::MAIN
+        .iter()
+        .map(|&algo| {
+            let mut base = Simulator::new(
+                sys,
+                FaultState::none(sys),
+                algo.build(sys),
+                &pattern,
+                cfg.run_sim(0xF0),
+            );
+            base.start();
+            let done = base.advance_to(fork_cycle);
+            assert!(!done, "run ended before the fork cycle {fork_cycle}");
+
+            let mut losses = Vec::with_capacity(forks);
+            let mut recovery = Vec::with_capacity(forks);
+            let mut latency = Vec::with_capacity(forks);
+            for tl in &timelines {
+                let report = base.fork_with_timeline(tl).finish();
+                assert!(!report.deadlocked, "{} branch deadlocked", algo.name());
+                let (l, r, a) = branch_samples(&report);
+                losses.push(l);
+                recovery.push(r);
+                latency.push(a);
+            }
+            let (mean_losses, ci95_losses) = mean_ci95(&losses);
+            let (mean_recovery_latency, ci95_recovery_latency) = mean_ci95(&recovery);
+            let (mean_latency, _) = mean_ci95(&latency);
+            ForkSweepRow {
+                algorithm: algo.name().to_owned(),
+                forks,
+                fork_cycle,
+                mean_losses,
+                ci95_losses,
+                mean_recovery_latency,
+                ci95_recovery_latency,
+                mean_latency,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExpConfig {
+        let mut cfg = ExpConfig::quick();
+        cfg.sim.warmup = 100;
+        cfg.sim.measure = 1_200;
+        cfg.sim.drain = 10_000;
+        cfg
+    }
+
+    #[test]
+    fn timelines_are_deterministic_distinct_and_post_fork() {
+        let sys = ChipletSystem::baseline_4();
+        let cfg = tiny_cfg();
+        let a = fork_sweep_timelines(&sys, &cfg, 4);
+        let b = fork_sweep_timelines(&sys, &cfg, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let fork_cycle = fork_sweep_cycle(&cfg);
+        for tl in &a {
+            assert!(!tl.is_empty(), "transient window generated no events");
+            assert!(tl.events().iter().all(|e| e.cycle >= fork_cycle));
+        }
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "branch seeds must differ"
+        );
+    }
+
+    #[test]
+    fn sweep_aggregates_branches_per_algorithm() {
+        let sys = ChipletSystem::baseline_4();
+        let rows = fork_sweep(&sys, &tiny_cfg(), 6);
+        assert_eq!(rows.len(), Algo::MAIN.len());
+        for r in &rows {
+            assert_eq!(r.forks, 6);
+            assert_eq!(r.fork_cycle, fork_sweep_cycle(&tiny_cfg()));
+            assert!(r.mean_latency > 0.0, "{} delivered nothing", r.algorithm);
+            assert!(r.ci95_losses >= 0.0);
+            assert!(r.ci95_recovery_latency >= 0.0);
+        }
+        // The sweep's faults land mid-flight, so losses occur somewhere.
+        assert!(
+            rows.iter().any(|r| r.mean_losses > 0.0),
+            "no branch lost anything: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn ci_helper_matches_hand_computation() {
+        let (m, ci) = mean_ci95(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        // s = sqrt(2), half-width = 1.96 * sqrt(2)/sqrt(2) = 1.96.
+        assert!((ci - 1.96).abs() < 1e-12);
+        assert_eq!(mean_ci95(&[]), (0.0, 0.0));
+        assert_eq!(mean_ci95(&[5.0]), (5.0, 0.0));
+    }
+}

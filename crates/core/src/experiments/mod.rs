@@ -12,6 +12,7 @@
 
 mod ablation;
 mod app_latency;
+mod fork_sweep;
 mod latency_sweep;
 mod perf;
 mod power_table;
@@ -22,10 +23,13 @@ mod vc_util;
 
 pub use ablation::{rho_ablation, rho_ablation_jobs, RhoRow, RHO_SWEEP};
 pub use app_latency::{fig6_pairs, fig6_single, AppImprovement};
+pub use fork_sweep::{
+    fork_sweep, fork_sweep_cycle, fork_sweep_timelines, ForkSweepRow, FORK_SWEEP_K,
+};
 pub use latency_sweep::{fig4, fig8, LatencyCurve, LatencySweep, SynPattern};
 pub use perf::{
-    perf, PerfCellResult, PerfReport, FIG4_MID_CELL, LARGE_GRID_CELL, PERF_RATE, PR4_FULL_BASELINE,
-    TRICKLE_CELL, TRICKLE_PERIOD,
+    perf, PerfCellResult, PerfReport, FIG4_MID_CELL, FORK_SWEEP_CELL, FORK_SWEEP_COLD_CELL,
+    LARGE_GRID_CELL, PERF_RATE, PR4_FULL_BASELINE, TRICKLE_CELL, TRICKLE_PERIOD,
 };
 pub use power_table::{table1_campaign, table1_campaign_jobs};
 pub use reachability::{fig7, fig7_jobs, ReachabilityCurves};

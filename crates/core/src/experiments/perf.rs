@@ -17,7 +17,7 @@
 use super::{Algo, ExpConfig};
 use deft_sim::{SimReport, Simulator};
 use deft_topo::{ChipletSystem, FaultState, FaultTimeline, NodeId, TransientConfig};
-use deft_traffic::{transpose, uniform, TableTraffic, Trace, TraceEvent};
+use deft_traffic::{transpose, uniform, TableTraffic, Trace, TraceEvent, TrafficPattern};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -47,6 +47,21 @@ pub const TRICKLE_PERIOD: u64 = 400;
 /// first datapoint of the engine's scaling trajectory toward
 /// production-size systems.
 pub const LARGE_GRID_CELL: &str = "large-grid-8x8/DeFT-Dis";
+
+/// Name of the fork-sweep cell: [`FORK_SWEEP_K`] fault futures branched
+/// off one shared traffic prefix with
+/// [`Simulator::fork_with_timeline`] — the Monte-Carlo sweep the
+/// snapshot/fork engine exists for. Timing starts *after* the shared
+/// prefix is simulated; its companion [`FORK_SWEEP_COLD_CELL`] runs the
+/// same `K` futures cold (full run each), and the acceptance target is
+/// `fork wall ≤ cold wall / 3`.
+///
+/// [`FORK_SWEEP_K`]: super::FORK_SWEEP_K
+pub const FORK_SWEEP_CELL: &str = "fork-sweep-k200/DeFT";
+
+/// Name of the cold-baseline companion of [`FORK_SWEEP_CELL`]: the same
+/// `K` timelines, each simulated from cycle 0 with no shared prefix.
+pub const FORK_SWEEP_COLD_CELL: &str = "fork-sweep-k200-cold/DeFT";
 
 /// Full-mode cycles/sec of the cells as committed at PR 4 (schema
 /// `deft-bench-sim/v1`): the denominators of each cell's
@@ -109,15 +124,20 @@ impl PerfReport {
     }
 }
 
-/// Times one already-assembled simulation and folds the report into a
-/// [`PerfCellResult`].
-fn time_cell(name: &str, mode: &str, sim: Simulator<'_>) -> PerfCellResult {
-    let start = Instant::now();
-    let report: SimReport = sim.run();
-    let wall = start.elapsed();
-    let wall_ms = wall.as_secs_f64() * 1e3;
-    let flit_hops: u64 = report.vc_usage.values().map(|u| u.vc0 + u.vc1).sum();
-    let cycles_per_sec = report.cycles as f64 / wall.as_secs_f64().max(1e-12);
+/// Folds measured totals into a [`PerfCellResult`] (shared by the
+/// single-run and aggregate cells).
+#[allow(clippy::too_many_arguments)]
+fn cell_from_totals(
+    name: &str,
+    mode: &str,
+    algorithm: &str,
+    pattern: &str,
+    cycles: u64,
+    flit_hops: u64,
+    delivered: u64,
+    wall: std::time::Duration,
+) -> PerfCellResult {
+    let cycles_per_sec = cycles as f64 / wall.as_secs_f64().max(1e-12);
     let baseline_delta = (mode == "full")
         .then(|| {
             PR4_FULL_BASELINE
@@ -128,16 +148,39 @@ fn time_cell(name: &str, mode: &str, sim: Simulator<'_>) -> PerfCellResult {
         .flatten();
     PerfCellResult {
         name: name.to_owned(),
-        algorithm: report.algorithm.clone(),
-        pattern: report.pattern.clone(),
-        cycles: report.cycles,
+        algorithm: algorithm.to_owned(),
+        pattern: pattern.to_owned(),
+        cycles,
         flit_hops,
-        delivered: report.delivered,
-        wall_ms,
+        delivered,
+        wall_ms: wall.as_secs_f64() * 1e3,
         cycles_per_sec,
         ns_per_flit_hop: wall.as_secs_f64() * 1e9 / (flit_hops.max(1)) as f64,
         baseline_delta,
     }
+}
+
+/// Total buffer writes of a run: the flit-hop work the engine performed.
+fn report_flit_hops(report: &SimReport) -> u64 {
+    report.vc_usage.values().map(|u| u.vc0 + u.vc1).sum()
+}
+
+/// Times one already-assembled simulation and folds the report into a
+/// [`PerfCellResult`].
+fn time_cell(name: &str, mode: &str, sim: Simulator<'_>) -> PerfCellResult {
+    let start = Instant::now();
+    let report: SimReport = sim.run();
+    let wall = start.elapsed();
+    cell_from_totals(
+        name,
+        mode,
+        &report.algorithm,
+        &report.pattern,
+        report.cycles,
+        report_flit_hops(&report),
+        report.delivered,
+        wall,
+    )
 }
 
 /// The trickle cell's workload: one packet per [`TRICKLE_PERIOD`] cycles
@@ -234,6 +277,80 @@ pub fn perf(sys: &ChipletSystem, cfg: &ExpConfig, mode: &str) -> PerfReport {
     );
     cells.push(time_cell(LARGE_GRID_CELL, mode, sim));
 
+    // Fork-sweep pair: the same K fault futures once via fork (shared
+    // traffic prefix simulated a single time) and once cold (full run
+    // per future). Both cells account each future's *complete* run —
+    // cycles, flit-hops, delivered summed over branches — so their
+    // wall-time and ns/flit-hop ratios read directly as the fork
+    // engine's speedup (acceptance: fork wall ≤ cold wall / 3).
+    // Timelines and algorithm instances are built before the clocks;
+    // the cold runs reuse pristine `fork_box` copies of one prototype
+    // so neither cell times DeFT's offline LUT construction.
+    let sweep_pattern: TableTraffic = uniform(sys, super::RECOVERY_RATE);
+    let timelines = super::fork_sweep_timelines(sys, cfg, super::FORK_SWEEP_K);
+    let fork_cycle = super::fork_sweep_cycle(cfg);
+    let fold = |agg: &mut (u64, u64, u64), rep: &SimReport| {
+        agg.0 += rep.cycles;
+        agg.1 += report_flit_hops(rep);
+        agg.2 += rep.delivered;
+    };
+
+    let alg = Algo::Deft.build(sys);
+    let start = Instant::now();
+    let mut base = Simulator::new(
+        sys,
+        FaultState::none(sys),
+        alg,
+        &sweep_pattern,
+        cfg.run_sim(4),
+    );
+    base.start();
+    let ended = base.advance_to(fork_cycle);
+    assert!(!ended, "perf run ended before the fork cycle {fork_cycle}");
+    let mut agg = (0u64, 0u64, 0u64);
+    for tl in &timelines {
+        fold(&mut agg, &base.fork_with_timeline(tl).finish());
+    }
+    let wall = start.elapsed();
+    cells.push(cell_from_totals(
+        FORK_SWEEP_CELL,
+        mode,
+        "DeFT",
+        sweep_pattern.name(),
+        agg.0,
+        agg.1,
+        agg.2,
+        wall,
+    ));
+
+    let proto = Algo::Deft.build(sys);
+    let cold_algs: Vec<_> = timelines.iter().map(|_| proto.fork_box()).collect();
+    let start = Instant::now();
+    let mut agg = (0u64, 0u64, 0u64);
+    for (alg, tl) in cold_algs.into_iter().zip(&timelines) {
+        let rep = Simulator::new(
+            sys,
+            FaultState::none(sys),
+            alg,
+            &sweep_pattern,
+            cfg.run_sim(4),
+        )
+        .with_timeline(tl)
+        .run();
+        fold(&mut agg, &rep);
+    }
+    let wall = start.elapsed();
+    cells.push(cell_from_totals(
+        FORK_SWEEP_COLD_CELL,
+        mode,
+        "DeFT",
+        sweep_pattern.name(),
+        agg.0,
+        agg.1,
+        agg.2,
+        wall,
+    ));
+
     PerfReport {
         mode: mode.to_owned(),
         cells,
@@ -256,7 +373,7 @@ mod tests {
     fn perf_runs_all_cells_and_derives_consistent_rates() {
         let sys = ChipletSystem::baseline_4();
         let report = perf(&sys, &tiny_cfg(), "quick");
-        assert_eq!(report.cells.len(), 6);
+        assert_eq!(report.cells.len(), 8);
         assert_eq!(report.mode, "quick");
         assert!(report.fig4_mid_load().is_some());
         assert!(report.peak_cell_wall_ms() > 0.0);

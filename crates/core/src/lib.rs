@@ -49,6 +49,7 @@ pub mod campaign;
 pub mod experiments;
 pub mod report;
 
+pub use deft_codec as codec;
 pub use deft_power as power;
 pub use deft_routing as routing;
 pub use deft_sim as sim;

@@ -5,10 +5,11 @@
 //! by side (see `EXPERIMENTS.md`).
 
 use crate::experiments::{
-    AppImprovement, LatencySweep, PerfReport, ReachabilityCurves, RecoveryRow, RhoRow, ScalingRow,
-    VcUtilRow,
+    AppImprovement, ForkSweepRow, LatencySweep, PerfReport, ReachabilityCurves, RecoveryRow,
+    RhoRow, ScalingRow, VcUtilRow,
 };
 use deft_power::Table1Row;
+use deft_sim::SimReport;
 use std::fmt::Write as _;
 
 /// Renders a latency sweep (one Fig. 4 / Fig. 8 panel) as an aligned table.
@@ -296,6 +297,112 @@ pub fn render_recovery(rows: &[RecoveryRow]) -> String {
         out,
         "(drop = unroutable at injection; lost = in flight at a transition; \
          rec.lat = cycles until losses cease after a transition)"
+    );
+    out
+}
+
+/// Renders the fork-sweep experiment: one row per algorithm, aggregated
+/// over its branched fault futures with 95% confidence half-widths.
+pub fn render_fork_sweep(rows: &[ForkSweepRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== fork sweep: Monte-Carlo fault futures off a shared prefix =="
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>6} {:>10} {:>16} {:>18} {:>9}",
+        "alg", "forks", "fork@", "losses ±95%", "rec.lat ±95%", "latency"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>9} {:>6} {:>10} {:>9.2} ±{:>5.2} {:>11.1} ±{:>5.1} {:>9.1}",
+            r.algorithm,
+            r.forks,
+            r.fork_cycle,
+            r.mean_losses,
+            r.ci95_losses,
+            r.mean_recovery_latency,
+            r.ci95_recovery_latency,
+            r.mean_latency
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(per-branch means; ±95% = 1.96·s/√K over the branched futures)"
+    );
+    out
+}
+
+/// Serializes the fork-sweep experiment as CSV.
+pub fn fork_sweep_csv(rows: &[ForkSweepRow]) -> String {
+    let mut out = String::from(
+        "algorithm,forks,fork_cycle,mean_losses,ci95_losses,\
+         mean_recovery_latency,ci95_recovery_latency,mean_latency\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            r.algorithm,
+            r.forks,
+            r.fork_cycle,
+            r.mean_losses,
+            r.ci95_losses,
+            r.mean_recovery_latency,
+            r.ci95_recovery_latency,
+            r.mean_latency
+        );
+    }
+    out
+}
+
+/// Serializes one simulation report as a single-row CSV (used by the
+/// `checkpoint` target, whose resumed and straight-through outputs must
+/// compare byte-identical).
+pub fn sim_report_csv(r: &SimReport) -> String {
+    let mut out = String::from(
+        "algorithm,pattern,cycles,injected_measured,delivered,dropped_unroutable,\
+         lost_in_flight,generated_total,avg_latency,p50_latency,p95_latency,\
+         p99_latency,max_latency,throughput,deadlocked\n",
+    );
+    let _ = writeln!(
+        out,
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.algorithm,
+        r.pattern,
+        r.cycles,
+        r.injected_measured,
+        r.delivered,
+        r.dropped_unroutable,
+        r.lost_in_flight,
+        r.generated_total,
+        r.avg_latency,
+        r.p50_latency,
+        r.p95_latency,
+        r.p99_latency,
+        r.max_latency,
+        r.throughput,
+        r.deadlocked
+    );
+    out
+}
+
+/// Renders one simulation report (the `checkpoint` target's text form).
+pub fn render_sim_report(r: &SimReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== checkpoint run: {} / {} ==", r.algorithm, r.pattern);
+    let _ = writeln!(
+        out,
+        "cycles {}  delivered {}  dropped {}  lost {}  avg latency {:.1}  p95 {}  deadlocked {}",
+        r.cycles,
+        r.delivered,
+        r.dropped_unroutable,
+        r.lost_in_flight,
+        r.avg_latency,
+        r.p95_latency,
+        r.deadlocked
     );
     out
 }

@@ -2,6 +2,7 @@
 
 use crate::state::{RouteCtx, Vn};
 use crate::xy;
+use deft_codec::{CodecError, Decoder, Encoder};
 use deft_topo::{ChipletId, ChipletSystem, Direction, FaultState, Layer, NodeId};
 use std::error::Error;
 use std::fmt;
@@ -187,6 +188,41 @@ pub trait RoutingAlgorithm: Send {
     /// re-address its offline selection LUT (see
     /// [`DeftRouting`](crate::DeftRouting)).
     fn on_fault_change(&mut self, _sys: &ChipletSystem, _faults: &FaultState) {}
+
+    /// Writes the algorithm's *mutable* run state (round-robin counters,
+    /// RNG streams, transition counters — nothing derivable from the
+    /// system or fault state) into `enc`, for simulator snapshots.
+    ///
+    /// Stateless algorithms (MTR, RC: per-injection selection from fixed
+    /// restricted sets) keep the default no-op; DeFT overrides it.
+    fn save_state(&self, _enc: &mut Encoder) {}
+
+    /// Restores the state written by [`save_state`](Self::save_state).
+    /// The decoder must be fully consumed (the simulator calls
+    /// [`Decoder::finish`] afterwards), so the default no-op pairs with
+    /// the default empty `save_state`.
+    ///
+    /// # Errors
+    /// A [`CodecError`] when the payload is truncated, malformed, or was
+    /// written by a structurally different algorithm instance.
+    fn load_state(&mut self, _dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    /// An owned deep copy for `Simulator::fork` what-if branching: the
+    /// clone must carry the exact mutable state (counters, RNG position)
+    /// so fork and original stay byte-identical until their inputs
+    /// diverge.
+    ///
+    /// The default panics: every shipped algorithm overrides it with
+    /// `Box::new(self.clone())`, and the default only exists so minimal
+    /// test doubles that never get forked don't have to implement it.
+    fn fork_box(&self) -> Box<dyn RoutingAlgorithm> {
+        panic!(
+            "RoutingAlgorithm::fork_box not implemented for {}; override it with Box::new(self.clone()) to make this algorithm forkable",
+            self.name()
+        );
+    }
 }
 
 /// The next output direction for a packet at `node` with destination `dst`,

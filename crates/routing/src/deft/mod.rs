@@ -23,6 +23,7 @@ use crate::algorithm::{
     next_direction, FlowChoice, FlowEligibility, RouteDecision, RouteError, RoutingAlgorithm,
 };
 use crate::state::{RouteCtx, Vn};
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
 use deft_topo::{ChipletId, ChipletSystem, Direction, FaultState, Layer, NodeId, VlDir};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -347,6 +348,42 @@ impl RoutingAlgorithm for DeftRouting {
                 );
             }
         }
+    }
+
+    /// DeFT's mutable run state: the boundary round-robin counters, the
+    /// DeFT-Ran RNG stream, and the fault-transition counter. The LUTs
+    /// and the local-index table are pure functions of the system and are
+    /// rebuilt by the constructor, not persisted.
+    fn save_state(&self, enc: &mut Encoder) {
+        self.rr_boundary.encode(enc);
+        let s = self.rng.state();
+        for w in s {
+            enc.put_u64(w);
+        }
+        enc.put_u64(self.fault_transitions);
+    }
+
+    fn load_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let rr = Vec::<u64>::decode(dec)?;
+        if rr.len() != self.rr_boundary.len() {
+            return Err(CodecError::Invalid(format!(
+                "DeFT rr_boundary holds {} counters, snapshot has {}",
+                self.rr_boundary.len(),
+                rr.len()
+            )));
+        }
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.get_u64()?;
+        }
+        self.rr_boundary = rr;
+        self.rng = SmallRng::from_state(s);
+        self.fault_transitions = dec.get_u64()?;
+        Ok(())
+    }
+
+    fn fork_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(self.clone())
     }
 
     fn eligibility(&self, sys: &ChipletSystem, src: NodeId, dst: NodeId) -> FlowEligibility {

@@ -120,6 +120,13 @@ impl RoutingAlgorithm for MtrRouting {
         "MTR"
     }
 
+    // MTR carries no mutable run state (per-injection selection from a
+    // fixed restricted set), so the default no-op save/load is exact; the
+    // clone for a fork is likewise state-free but must still exist.
+    fn fork_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(self.clone())
+    }
+
     fn on_inject(
         &mut self,
         sys: &ChipletSystem,

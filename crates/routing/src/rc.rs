@@ -70,6 +70,12 @@ impl RoutingAlgorithm for RcRouting {
         "RC"
     }
 
+    // RC is stateless between injections, so the default no-op save/load
+    // is exact; forking only needs the clone.
+    fn fork_box(&self) -> Box<dyn RoutingAlgorithm> {
+        Box::new(self.clone())
+    }
+
     fn on_inject(
         &mut self,
         sys: &ChipletSystem,

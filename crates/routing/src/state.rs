@@ -1,6 +1,6 @@
 //! Per-packet routing state: virtual networks and the inter-chiplet phase.
 
-use serde::{Deserialize, Serialize};
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
 use std::fmt;
 
 /// One of DeFT's two virtual networks.
@@ -12,7 +12,7 @@ use std::fmt;
 /// * **Rule 1** — switching VN1 → VN0 is forbidden (VN0 → VN1 is allowed);
 /// * **Rule 2** — in VN0, Up → Horizontal turns are forbidden;
 /// * **Rule 3** — in VN1, Horizontal → Down turns are forbidden.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Vn {
     /// Virtual network 0 (used before the first vertical traversal).
     Vn0 = 0,
@@ -69,7 +69,7 @@ impl fmt::Display for Vn {
 /// at every hop. The two VL selections are the paper's two *intermediate
 /// destinations* (§II-A): `down_vl` on the source chiplet and `up_vl` on the
 /// interposer, both fixed at injection time (faults are static per run).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RouteCtx {
     /// The packet's current virtual network (also its VC index).
     pub vn: Vn,
@@ -89,6 +89,36 @@ impl RouteCtx {
             down_vl: None,
             up_vl: None,
         }
+    }
+}
+
+impl Persist for Vn {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(*self as u8);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(Vn::Vn0),
+            1 => Ok(Vn::Vn1),
+            d => Err(CodecError::Invalid(format!("bad Vn discriminant {d}"))),
+        }
+    }
+}
+
+impl Persist for RouteCtx {
+    fn encode(&self, enc: &mut Encoder) {
+        self.vn.encode(enc);
+        self.down_vl.encode(enc);
+        self.up_vl.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(RouteCtx {
+            vn: Vn::decode(dec)?,
+            down_vl: Option::<u8>::decode(dec)?,
+            up_vl: Option::<u8>::decode(dec)?,
+        })
     }
 }
 

@@ -1,13 +1,13 @@
 //! Simulation configuration.
 
-use serde::{Deserialize, Serialize};
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
 
 /// Parameters of one simulation run.
 ///
 /// Defaults match the paper's setup (§IV-A): "a packet size of eight flits
 /// and a buffer size of four flits are considered, where a flit width is
 /// 32 bits", two VCs for every algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Flits per packet.
     pub packet_size: usize,
@@ -52,6 +52,38 @@ impl Default for SimConfig {
             deadlock_threshold: 10_000,
             vl_serialization: 1,
         }
+    }
+}
+
+/// Snapshots embed the full configuration so a resume can verify it is
+/// reattaching state to an identically-configured simulator.
+impl Persist for SimConfig {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.packet_size);
+        enc.put_usize(self.buffer_depth);
+        enc.put_u32(self.flit_width_bits);
+        enc.put_usize(self.vc_count);
+        enc.put_u64(self.warmup);
+        enc.put_u64(self.measure);
+        enc.put_u64(self.drain);
+        enc.put_u64(self.seed);
+        enc.put_u64(self.deadlock_threshold);
+        enc.put_u64(self.vl_serialization);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            packet_size: dec.get_usize()?,
+            buffer_depth: dec.get_usize()?,
+            flit_width_bits: dec.get_u32()?,
+            vc_count: dec.get_usize()?,
+            warmup: dec.get_u64()?,
+            measure: dec.get_u64()?,
+            drain: dec.get_u64()?,
+            seed: dec.get_u64()?,
+            deadlock_threshold: dec.get_u64()?,
+            vl_serialization: dec.get_u64()?,
+        })
     }
 }
 

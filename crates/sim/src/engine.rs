@@ -50,6 +50,7 @@ use crate::router::{
     VC_COUNT,
 };
 use crate::stats::{EpochStats, LatencyHistogram, Region, SimReport, VcUsage};
+use deft_codec::{CodecError, Decoder, Encoder, Persist, SnapshotReader, SnapshotWriter};
 use deft_routing::RoutingAlgorithm;
 use deft_topo::{
     ChipletSystem, Direction, FaultState, FaultTimeline, Layer, NodeId, TimelineCursor, VlDir,
@@ -72,7 +73,7 @@ struct Move {
 
 /// Per-node source queue: packets wait here (unbounded, as in Noxim) and
 /// trickle into the local input port one flit per cycle.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Source {
     queue: VecDeque<PacketId>,
     flits_sent: usize,
@@ -81,7 +82,7 @@ struct Source {
 /// Running accumulators of the current fault epoch (the window since the
 /// last timeline transition). Converted into an [`EpochStats`] when the
 /// epoch closes.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct EpochAccum {
     start: u64,
     faulty_links: usize,
@@ -116,6 +117,32 @@ impl EpochAccum {
             latency_sum: self.latency_sum,
             last_drop_cycle: self.last_drop,
         }
+    }
+}
+
+impl Persist for EpochAccum {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.start);
+        enc.put_usize(self.faulty_links);
+        enc.put_u64(self.generated);
+        enc.put_u64(self.delivered);
+        enc.put_u64(self.dropped_unroutable);
+        enc.put_u64(self.lost_in_flight);
+        enc.put_u64(self.latency_sum);
+        self.last_drop.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            start: dec.get_u64()?,
+            faulty_links: dec.get_usize()?,
+            generated: dec.get_u64()?,
+            delivered: dec.get_u64()?,
+            dropped_unroutable: dec.get_u64()?,
+            lost_in_flight: dec.get_u64()?,
+            latency_sum: dec.get_u64()?,
+            last_drop: Option::<u64>::decode(dec)?,
+        })
     }
 }
 
@@ -182,6 +209,26 @@ pub struct Simulator<'a> {
     vl_flits: Vec<u64>,
     epoch: EpochAccum,
     epochs: Vec<EpochStats>,
+    // Stepping state: the cycle loop's former locals, hoisted into fields
+    // so a run can pause at any top-of-cycle boundary — the *pause point*
+    // — and continue later ([`advance_to`](Self::advance_to)), serialize
+    // itself ([`snapshot`](Self::snapshot)), or branch
+    // ([`fork`](Self::fork)).
+    /// The next cycle to simulate.
+    cycle: u64,
+    /// Last cycle on which anything moved (deadlock-watchdog reference).
+    last_progress: u64,
+    /// Whether the watchdog has fired.
+    deadlocked: bool,
+    /// Whether the run has begun ([`run`](Self::run) or
+    /// [`start`](Self::start)).
+    started: bool,
+    /// Active-set scheduling (true) vs the dense reference scan.
+    active_mode: bool,
+    /// Whether the run has reached one of its end conditions.
+    done: bool,
+    /// Dense mode's fixed full worklist (empty in active mode).
+    dense: Vec<usize>,
 }
 
 impl<'a> Simulator<'a> {
@@ -288,6 +335,13 @@ impl<'a> Simulator<'a> {
             vl_flits: vec![0; sys.vertical_link_count() * 2],
             epoch: EpochAccum::open(0, initial_faults),
             epochs: Vec::new(),
+            cycle: 0,
+            last_progress: 0,
+            deadlocked: false,
+            started: false,
+            active_mode: true,
+            done: false,
+            dense: Vec::new(),
         }
     }
 
@@ -311,8 +365,10 @@ impl<'a> Simulator<'a> {
 
     /// Runs to completion and produces the report, scanning only the
     /// active router set each cycle.
-    pub fn run(self) -> SimReport {
-        self.run_impl(true)
+    pub fn run(mut self) -> SimReport {
+        self.begin(true);
+        self.step_until(None);
+        self.finalize()
     }
 
     /// Reference implementation that dense-scans **every** router each
@@ -321,76 +377,135 @@ impl<'a> Simulator<'a> {
     /// `run() == run_dense_reference()` on arbitrary systems and
     /// workloads. Not intended for measurement — it is strictly slower.
     #[doc(hidden)]
-    pub fn run_dense_reference(self) -> SimReport {
-        self.run_impl(false)
+    pub fn run_dense_reference(mut self) -> SimReport {
+        self.begin(false);
+        self.step_until(None);
+        self.finalize()
     }
 
-    fn run_impl(mut self, active_mode: bool) -> SimReport {
+    /// Begins a *resumable* run (active-set mode) without simulating any
+    /// cycle yet. Drive it with [`advance_to`](Self::advance_to), pause to
+    /// [`snapshot`](Self::snapshot) or [`fork`](Self::fork), and close
+    /// with [`finish`](Self::finish). `run` is exactly
+    /// `start` + `advance_to(∞)` + `finish`.
+    ///
+    /// # Panics
+    /// Panics if the run has already started.
+    pub fn start(&mut self) {
+        self.begin(true);
+    }
+
+    /// Simulates until the current cycle is at least `cycle`, or until the
+    /// run ends, whichever comes first. Returns `true` when the run has
+    /// completed (drained, deadlocked, or hit the hard cycle limit) and
+    /// `false` when it paused.
+    ///
+    /// The pause lands on a *top-of-cycle boundary*: no phase of the pause
+    /// cycle has executed yet. Idle-cycle skipping may carry the clock
+    /// past `cycle`, so the pause point is the first boundary at or after
+    /// it — check [`cycle`](Self::cycle) for the exact position.
+    ///
+    /// # Panics
+    /// Panics if called before [`start`](Self::start).
+    pub fn advance_to(&mut self, cycle: u64) -> bool {
+        assert!(self.started, "advance_to before start()");
+        self.step_until(Some(cycle))
+    }
+
+    /// Runs any remaining cycles and produces the report.
+    ///
+    /// # Panics
+    /// Panics if called before [`start`](Self::start).
+    pub fn finish(mut self) -> SimReport {
+        assert!(self.started, "finish before start()");
+        self.step_until(None);
+        self.finalize()
+    }
+
+    /// The next cycle to simulate (the run's current position).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn begin(&mut self, active_mode: bool) {
+        assert!(!self.started, "this run has already started");
+        self.started = true;
+        self.active_mode = active_mode;
+        if !active_mode {
+            // Dense mode: a fixed full worklist, and `in_active` saturated
+            // so the pending queue stays empty.
+            self.in_active.fill(true);
+            self.dense = (0..self.routers.len()).collect();
+        }
+    }
+
+    /// The cycle loop, pausable at every top-of-cycle boundary. With
+    /// `stop = Some(c)` the loop pauses before simulating the first cycle
+    /// `>= c`; with `None` it runs to the end. Returns whether the run is
+    /// finished.
+    fn step_until(&mut self, stop: Option<u64>) -> bool {
         let gen_end = self.cfg.warmup + self.cfg.measure;
         let hard_end = gen_end + self.cfg.drain;
-        let mut cycle: u64 = 0;
-        let mut last_progress: u64 = 0;
-        let mut deadlocked = false;
-        // Dense mode: a fixed full worklist, and `in_active` saturated so
-        // the pending queue stays empty.
-        let mut dense: Vec<usize> = if active_mode {
-            Vec::new()
-        } else {
-            self.in_active.fill(true);
-            (0..self.routers.len()).collect()
-        };
-
-        while cycle < hard_end {
+        while !self.done {
+            if self.cycle >= hard_end {
+                self.done = true;
+                break;
+            }
+            if stop.is_some_and(|s| self.cycle >= s) {
+                return false;
+            }
             // Fault-timeline transitions take effect before any routing or
             // generation of the cycle.
             let changed = match self.timeline.as_mut() {
-                Some(cursor) => cursor.advance(cycle, &mut self.faults),
+                Some(cursor) => cursor.advance(self.cycle, &mut self.faults),
                 None => false,
             };
             if changed {
                 // A transition at the very first cycle would close a
                 // zero-width epoch; replace the just-opened one instead.
-                if cycle > self.epoch.start {
-                    self.epochs.push(self.epoch.close(cycle));
+                if self.cycle > self.epoch.start {
+                    self.epochs.push(self.epoch.close(self.cycle));
                 }
-                self.epoch = EpochAccum::open(cycle, self.faults.faulty_count());
-                if self.handle_fault_transition(cycle) {
+                self.epoch = EpochAccum::open(self.cycle, self.faults.faulty_count());
+                if self.handle_fault_transition(self.cycle) {
                     // Packet removal freed buffers: that is progress as far
                     // as the deadlock watchdog is concerned.
-                    last_progress = cycle;
+                    self.last_progress = self.cycle;
                 }
             }
-            if cycle < gen_end {
-                self.generate(cycle);
+            if self.cycle < gen_end {
+                self.generate(self.cycle);
             }
-            let worklist = if active_mode {
+            let worklist = if self.active_mode {
                 std::mem::take(&mut self.active)
             } else {
-                std::mem::take(&mut dense)
+                std::mem::take(&mut self.dense)
             };
             self.route_and_allocate(&worklist);
-            let moves = self.switch_allocate(cycle, &worklist);
-            let progressed = self.commit(&moves, cycle) | self.inject();
+            let moves = self.switch_allocate(self.cycle, &worklist);
+            let progressed = self.commit(&moves, self.cycle) | self.inject();
             self.move_scratch = moves;
-            if active_mode {
+            if self.active_mode {
                 self.active = worklist;
                 self.refresh_active();
             } else {
-                dense = worklist;
+                self.dense = worklist;
             }
 
             if progressed {
-                last_progress = cycle;
+                self.last_progress = self.cycle;
             }
-            cycle += 1;
+            self.cycle += 1;
 
             if self.total_flits + self.packets_queued > 0
-                && cycle - last_progress >= self.cfg.deadlock_threshold
+                && self.cycle - self.last_progress >= self.cfg.deadlock_threshold
             {
-                deadlocked = true;
+                self.deadlocked = true;
+                self.done = true;
                 break;
             }
-            if cycle >= gen_end && self.total_flits == 0 && self.packets_queued == 0 {
+            if self.cycle >= gen_end && self.total_flits == 0 && self.packets_queued == 0 {
+                self.done = true;
                 break;
             }
             // Idle-cycle skipping (active mode only — the dense reference
@@ -400,20 +515,31 @@ impl<'a> Simulator<'a> {
             // no per-cycle state can change until the next scheduled
             // event, so jump the clock straight to it. Counters and epoch
             // windows need no adjustment: an idle tick touches neither.
-            if active_mode && self.total_flits == 0 && self.packets_queued == 0 && cycle < gen_end {
-                cycle = self.idle_skip_target(cycle, gen_end);
-                if cycle >= gen_end {
+            if self.active_mode
+                && self.total_flits == 0
+                && self.packets_queued == 0
+                && self.cycle < gen_end
+            {
+                self.cycle = self.idle_skip_target(self.cycle, gen_end);
+                if self.cycle >= gen_end {
                     // Reaching the end of generation empty is the ticking
                     // loop's drain-break condition; land on the same final
                     // cycle count it would have.
+                    self.done = true;
                     break;
                 }
             }
         }
+        true
+    }
 
+    fn finalize(mut self) -> SimReport {
+        debug_assert!(self.done, "finalize on an unfinished run");
         #[cfg(debug_assertions)]
-        self.debug_check_quiescent(deadlocked);
+        self.debug_check_quiescent(self.deadlocked);
 
+        let cycle = self.cycle;
+        let deadlocked = self.deadlocked;
         let avg_latency = if self.delivered_measured > 0 {
             self.latency_sum as f64 / self.delivered_measured as f64
         } else {
@@ -470,6 +596,392 @@ impl<'a> Simulator<'a> {
             vl_flits,
             deadlocked,
             epochs,
+        }
+    }
+
+    /// Serializes the run's complete live state into the versioned
+    /// `deft-codec` snapshot container. Callable at any pause point of a
+    /// started active-mode run (after [`start`](Self::start) /
+    /// [`advance_to`](Self::advance_to)).
+    ///
+    /// The snapshot captures *simulation* state only — router buffers,
+    /// credits, allocation, the packet arena, source queues, RNG streams,
+    /// fault state, timeline position, routing-algorithm state, and every
+    /// statistic — plus an identity section describing the configuration
+    /// it ran under. Borrowed setup (the topology, the traffic tables, the
+    /// timeline's events) is **not** serialized:
+    /// [`resume_from`](Self::resume_from) verifies by fingerprint that the
+    /// receiving simulator was built over the same setup.
+    ///
+    /// # Panics
+    /// Panics before `start()`, or on a dense-reference run (the dense
+    /// oracle exists for differential tests and is not resumable).
+    pub fn snapshot(&self) -> Vec<u8> {
+        assert!(self.started, "snapshot before start()");
+        assert!(
+            self.active_mode,
+            "snapshots cover active-mode runs; the dense reference is a test oracle"
+        );
+        debug_assert!(self.pending_active.is_empty(), "snapshot off-boundary");
+        let mut w = SnapshotWriter::new();
+        w.section(*b"IDNT", |enc| {
+            enc.put_usize(self.sys.node_count());
+            enc.put_usize(self.sys.vertical_link_count());
+            self.cfg.encode(enc);
+            enc.put_bytes(self.alg.name().as_bytes());
+            enc.put_bytes(self.pattern.name().as_bytes());
+            enc.put_u64(self.pattern.fingerprint());
+            self.timeline.as_ref().map(|c| c.fingerprint()).encode(enc);
+        });
+        w.section(*b"CURS", |enc| {
+            enc.put_u64(self.cycle);
+            enc.put_u64(self.last_progress);
+            enc.put_bool(self.deadlocked);
+            enc.put_bool(self.done);
+            enc.put_u64(self.total_flits);
+            enc.put_u64(self.packets_queued);
+            enc.put_u64(self.generated_total);
+            enc.put_u64(self.dropped_unroutable);
+            enc.put_u64(self.lost_in_flight);
+            enc.put_u64(self.injected_measured);
+            enc.put_u64(self.delivered_measured);
+            enc.put_u64(self.latency_sum);
+            enc.put_u64(self.latency_max);
+        });
+        w.section(*b"RNGS", |enc| {
+            for word in self.rng.state() {
+                enc.put_u64(word);
+            }
+        });
+        w.section(*b"FLTS", |enc| self.faults.encode(enc));
+        w.section(*b"TLCR", |enc| {
+            self.timeline
+                .as_ref()
+                .map(|c| c.position() as u64)
+                .encode(enc);
+        });
+        w.section(*b"ALGO", |enc| self.alg.save_state(enc));
+        w.section(*b"RTRS", |enc| {
+            for r in &self.routers {
+                r.save(enc);
+            }
+        });
+        w.section(*b"ARNA", |enc| self.packets.encode(enc));
+        w.section(*b"SRCS", |enc| {
+            self.inject_seq.encode(enc);
+            for s in &self.sources {
+                enc.put_usize(s.queue.len());
+                for &pid in &s.queue {
+                    enc.put_u64(pid.0);
+                }
+                enc.put_usize(s.flits_sent);
+            }
+        });
+        w.section(*b"STAT", |enc| {
+            self.lat_hist.encode(enc);
+            self.vl_next_free.encode(enc);
+            self.vc_usage.encode(enc);
+            self.vl_flits.encode(enc);
+            self.epoch.encode(enc);
+            self.epochs.encode(enc);
+        });
+        w.section(*b"ACTV", |enc| {
+            enc.put_usize(self.active.len());
+            for &i in &self.active {
+                enc.put_usize(i);
+            }
+        });
+        w.finish()
+    }
+
+    /// Restores a [`snapshot`](Self::snapshot) into this freshly-built
+    /// simulator, after which stepping continues exactly where the
+    /// snapshotted run paused: the resumed run's every subsequent cycle —
+    /// and its final [`SimReport`] — is byte-identical to the
+    /// uninterrupted original.
+    ///
+    /// The simulator must have been assembled over the *same setup* the
+    /// snapshot was taken under: same topology, [`SimConfig`], routing
+    /// algorithm, traffic pattern, and fault timeline (attach it with
+    /// [`with_timeline`](Self::with_timeline) **before** resuming).
+    /// Differences are detected via the snapshot's identity section and
+    /// reported as [`CodecError::Mismatch`]; corrupt or truncated input
+    /// yields the corresponding [`CodecError`] — never a panic.
+    ///
+    /// # Errors
+    /// Any [`CodecError`]. On error the simulator may hold partially
+    /// restored state and must be discarded.
+    ///
+    /// # Panics
+    /// Panics if this simulator has already started running.
+    pub fn resume_from(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        assert!(
+            !self.started,
+            "resume_from applies to a freshly-built simulator"
+        );
+        let mut r = SnapshotReader::new(bytes)?;
+
+        let mut dec = r.section(*b"IDNT")?;
+        let node_count = dec.get_usize()?;
+        if node_count != self.sys.node_count() {
+            return Err(CodecError::Mismatch(format!(
+                "snapshot is of a {node_count}-node system, this one has {} nodes",
+                self.sys.node_count()
+            )));
+        }
+        let vl_count = dec.get_usize()?;
+        if vl_count != self.sys.vertical_link_count() {
+            return Err(CodecError::Mismatch(format!(
+                "snapshot is of a system with {vl_count} vertical links, this one has {}",
+                self.sys.vertical_link_count()
+            )));
+        }
+        let cfg = SimConfig::decode(&mut dec)?;
+        if cfg != self.cfg {
+            return Err(CodecError::Mismatch(
+                "simulation config differs from the snapshot's".into(),
+            ));
+        }
+        let alg_name = String::decode(&mut dec)?;
+        if alg_name != self.alg.name() {
+            return Err(CodecError::Mismatch(format!(
+                "snapshot ran algorithm {alg_name}, this simulator runs {}",
+                self.alg.name()
+            )));
+        }
+        let pattern_name = String::decode(&mut dec)?;
+        let pattern_fp = dec.get_u64()?;
+        if pattern_name != self.pattern.name() || pattern_fp != self.pattern.fingerprint() {
+            return Err(CodecError::Mismatch(format!(
+                "snapshot ran traffic pattern {pattern_name} (fingerprint {pattern_fp:#018x}), \
+                 this simulator has {} ({:#018x})",
+                self.pattern.name(),
+                self.pattern.fingerprint()
+            )));
+        }
+        let timeline_fp = Option::<u64>::decode(&mut dec)?;
+        if timeline_fp != self.timeline.as_ref().map(|c| c.fingerprint()) {
+            return Err(CodecError::Mismatch(
+                "fault timeline differs from the one the snapshot ran under".into(),
+            ));
+        }
+        dec.finish()?;
+
+        let mut dec = r.section(*b"CURS")?;
+        self.cycle = dec.get_u64()?;
+        self.last_progress = dec.get_u64()?;
+        self.deadlocked = dec.get_bool()?;
+        self.done = dec.get_bool()?;
+        self.total_flits = dec.get_u64()?;
+        self.packets_queued = dec.get_u64()?;
+        self.generated_total = dec.get_u64()?;
+        self.dropped_unroutable = dec.get_u64()?;
+        self.lost_in_flight = dec.get_u64()?;
+        self.injected_measured = dec.get_u64()?;
+        self.delivered_measured = dec.get_u64()?;
+        self.latency_sum = dec.get_u64()?;
+        self.latency_max = dec.get_u64()?;
+        dec.finish()?;
+
+        let mut dec = r.section(*b"RNGS")?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = dec.get_u64()?;
+        }
+        self.rng = SmallRng::from_state(state);
+        dec.finish()?;
+
+        let mut dec = r.section(*b"FLTS")?;
+        self.faults = FaultState::decode(&mut dec)?;
+        dec.finish()?;
+
+        let mut dec = r.section(*b"TLCR")?;
+        let position = Option::<u64>::decode(&mut dec)?;
+        match (position, self.timeline.as_mut()) {
+            (Some(p), Some(cursor)) => {
+                if p as usize > cursor.event_count() {
+                    return Err(CodecError::Invalid(format!(
+                        "timeline cursor at {p} past the {}-event timeline",
+                        cursor.event_count()
+                    )));
+                }
+                cursor.seek(p as usize);
+            }
+            (None, None) => {}
+            _ => {
+                return Err(CodecError::Invalid(
+                    "timeline cursor presence contradicts the identity section".into(),
+                ))
+            }
+        }
+        dec.finish()?;
+
+        let mut dec = r.section(*b"ALGO")?;
+        self.alg.load_state(&mut dec)?;
+        dec.finish()?;
+
+        let mut dec = r.section(*b"RTRS")?;
+        for router in &mut self.routers {
+            router.load(&mut dec)?;
+        }
+        dec.finish()?;
+
+        let mut dec = r.section(*b"ARNA")?;
+        self.packets = PacketArena::decode(&mut dec)?;
+        dec.finish()?;
+
+        let mut dec = r.section(*b"SRCS")?;
+        let inject_seq = Vec::<u64>::decode(&mut dec)?;
+        if inject_seq.len() != self.inject_seq.len() {
+            return Err(CodecError::Invalid(format!(
+                "{} injection sequences for {} nodes",
+                inject_seq.len(),
+                self.inject_seq.len()
+            )));
+        }
+        self.inject_seq = inject_seq;
+        for source in &mut self.sources {
+            let n = dec.get_usize()?;
+            let mut queue = VecDeque::with_capacity(n.min(dec.remaining() / 8));
+            for _ in 0..n {
+                queue.push_back(PacketId(dec.get_u64()?));
+            }
+            source.queue = queue;
+            source.flits_sent = dec.get_usize()?;
+        }
+        dec.finish()?;
+
+        let mut dec = r.section(*b"STAT")?;
+        self.lat_hist = LatencyHistogram::decode(&mut dec)?;
+        let vl_next_free = Vec::<u64>::decode(&mut dec)?;
+        let vc_usage = Vec::<VcUsage>::decode(&mut dec)?;
+        let vl_flits = Vec::<u64>::decode(&mut dec)?;
+        if vl_next_free.len() != self.vl_next_free.len()
+            || vc_usage.len() != self.vc_usage.len()
+            || vl_flits.len() != self.vl_flits.len()
+        {
+            return Err(CodecError::Invalid(
+                "statistics table sizes do not fit this system".into(),
+            ));
+        }
+        self.vl_next_free = vl_next_free;
+        self.vc_usage = vc_usage;
+        self.vl_flits = vl_flits;
+        self.epoch = EpochAccum::decode(&mut dec)?;
+        self.epochs = Vec::<EpochStats>::decode(&mut dec)?;
+        dec.finish()?;
+
+        let mut dec = r.section(*b"ACTV")?;
+        let n = dec.get_usize()?;
+        let mut active = Vec::with_capacity(n.min(dec.remaining() / 8));
+        for _ in 0..n {
+            active.push(dec.get_usize()?);
+        }
+        dec.finish()?;
+        r.finish()?;
+        if active.windows(2).any(|w| w[0] >= w[1])
+            || active.iter().any(|&i| i >= self.routers.len())
+        {
+            return Err(CodecError::Invalid(
+                "active worklist is not an ascending list of router indices".into(),
+            ));
+        }
+        // Membership flags are derived state: rebuild instead of storing.
+        self.in_active.fill(false);
+        for &i in &active {
+            self.in_active[i] = true;
+        }
+        self.active = active;
+        self.pending_active.clear();
+        self.pending_flag.fill(false);
+        self.started = true;
+        self.active_mode = true;
+        Ok(())
+    }
+
+    /// Branches an independent simulator off this run's exact current
+    /// state: a cheap in-memory what-if fork. Both simulators continue
+    /// from the same pause point and never affect each other; a fork that
+    /// simply runs to completion produces the same report the parent
+    /// would. The routing algorithm is duplicated through
+    /// [`RoutingAlgorithm::fork_box`].
+    ///
+    /// # Panics
+    /// Panics before `start()` or on a dense-reference run.
+    pub fn fork(&self) -> Simulator<'a> {
+        self.fork_inner(self.timeline.clone())
+    }
+
+    /// Forks the run and attaches a *different* fault timeline to the
+    /// branch — the primitive under Monte-Carlo fault sweeps: simulate the
+    /// shared traffic prefix once, then branch many fault futures off it.
+    ///
+    /// The branch's epoch bookkeeping restarts at the fork cycle (its
+    /// report's first epoch opens here, over the current fault state), and
+    /// the new timeline's cursor starts at its first event; events
+    /// scheduled at or before the fork cycle are applied on the branch's
+    /// next simulated cycle. Use timelines shifted past the fork point
+    /// ([`FaultTimeline::shifted`]) for a clean "faults start after the
+    /// branch" semantics.
+    ///
+    /// # Panics
+    /// Panics before `start()` or on a dense-reference run.
+    pub fn fork_with_timeline(&self, timeline: &'a FaultTimeline) -> Simulator<'a> {
+        let mut sim = self.fork_inner(Some(timeline.cursor()));
+        sim.epoch = EpochAccum::open(sim.cycle, sim.faults.faulty_count());
+        sim.epochs = Vec::new();
+        sim
+    }
+
+    fn fork_inner(&self, timeline: Option<TimelineCursor<'a>>) -> Simulator<'a> {
+        assert!(self.started, "fork before start()");
+        assert!(
+            self.active_mode,
+            "forks cover active-mode runs; the dense reference is a test oracle"
+        );
+        debug_assert!(self.pending_active.is_empty(), "fork off-boundary");
+        Simulator {
+            sys: self.sys,
+            faults: self.faults.clone(),
+            alg: self.alg.fork_box(),
+            pattern: self.pattern,
+            cfg: self.cfg,
+            routers: self.routers.clone(),
+            packets: self.packets.clone(),
+            sources: self.sources.clone(),
+            inject_seq: self.inject_seq.clone(),
+            rng: self.rng.clone(),
+            timeline,
+            region_of: self.region_of.clone(),
+            vl_stat_slot: self.vl_stat_slot.clone(),
+            active: self.active.clone(),
+            in_active: self.in_active.clone(),
+            pending_active: Vec::new(),
+            pending_flag: vec![false; self.pending_flag.len()],
+            active_scratch: Vec::new(),
+            move_scratch: Vec::new(),
+            total_flits: self.total_flits,
+            packets_queued: self.packets_queued,
+            generated_total: self.generated_total,
+            dropped_unroutable: self.dropped_unroutable,
+            lost_in_flight: self.lost_in_flight,
+            injected_measured: self.injected_measured,
+            delivered_measured: self.delivered_measured,
+            latency_sum: self.latency_sum,
+            latency_max: self.latency_max,
+            lat_hist: self.lat_hist.clone(),
+            vl_next_free: self.vl_next_free.clone(),
+            vc_usage: self.vc_usage.clone(),
+            vl_flits: self.vl_flits.clone(),
+            epoch: self.epoch.clone(),
+            epochs: self.epochs.clone(),
+            cycle: self.cycle,
+            last_progress: self.last_progress,
+            deadlocked: self.deadlocked,
+            started: true,
+            active_mode: true,
+            done: self.done,
+            dense: Vec::new(),
         }
     }
 
@@ -1931,5 +2443,285 @@ mod tests {
             r_low.avg_latency
         );
         assert!(!r_high.deadlocked, "congestion must not deadlock DeFT");
+    }
+
+    /// The tentpole guarantee: pause at cycle N, snapshot, restore into a
+    /// freshly-built simulator, and the resumed run's final report is
+    /// identical to the uninterrupted run — and to the dense reference.
+    #[test]
+    fn snapshot_resume_matches_straight_through_run() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let mk = || {
+            Simulator::new(
+                &s,
+                FaultState::none(&s),
+                Box::new(DeftRouting::new(&s)),
+                &pattern,
+                quick_cfg(),
+            )
+        };
+        let straight = mk().run();
+        let dense = mk().run_dense_reference();
+        assert_eq!(straight, dense);
+
+        let mut first = mk();
+        first.start();
+        assert!(!first.advance_to(700), "quick run must outlast cycle 700");
+        assert_eq!(first.cycle(), 700);
+        let snap = first.snapshot();
+
+        let mut resumed = mk();
+        resumed.resume_from(&snap).expect("snapshot restores");
+        assert_eq!(resumed.cycle(), 700);
+        // Restoring is lossless: the resumed state re-encodes to the very
+        // same bytes.
+        assert_eq!(resumed.snapshot(), snap);
+        assert_eq!(resumed.finish(), straight);
+    }
+
+    /// Same guarantee under a transient fault timeline: the snapshot
+    /// carries fault state, cursor position, and routing-table state
+    /// across the pause.
+    #[test]
+    fn snapshot_resume_is_exact_across_fault_transitions() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let tl = deft_topo::FaultTimeline::burst(
+            &s,
+            &deft_topo::BurstConfig {
+                bursts: 2,
+                links_per_burst: 4,
+                duration: 400,
+                horizon: 1_100,
+                seed: 11,
+            },
+        );
+        let mk = || {
+            Simulator::new(
+                &s,
+                FaultState::none(&s),
+                Box::new(DeftRouting::new(&s)),
+                &pattern,
+                quick_cfg(),
+            )
+            .with_timeline(&tl)
+        };
+        let straight = mk().run();
+
+        // Pause points straddling the bursts' inject/heal transitions.
+        for pause in [400u64, 900, 1_150] {
+            let mut first = mk();
+            first.start();
+            assert!(!first.advance_to(pause));
+            let snap = first.snapshot();
+            let mut resumed = mk();
+            resumed.resume_from(&snap).expect("snapshot restores");
+            assert_eq!(resumed.snapshot(), snap);
+            assert_eq!(resumed.finish(), straight, "paused at {pause}");
+        }
+    }
+
+    /// A fork is a faithful branch: running the fork to completion gives
+    /// the parent's report, and the parent is unaffected by the fork
+    /// running ahead.
+    #[test]
+    fn fork_matches_parent_continuation() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let mut parent = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        );
+        parent.start();
+        assert!(!parent.advance_to(600));
+        let fork = parent.fork();
+        let fork_report = fork.finish();
+        let parent_report = parent.finish();
+        assert_eq!(fork_report, parent_report);
+    }
+
+    /// `fork_with_timeline` branches a fault future off a shared prefix:
+    /// the branch sees the injected faults (loses packets) while the
+    /// parent continues fault-free, and the branch's epochs restart at
+    /// the fork cycle.
+    #[test]
+    fn fork_with_timeline_diverges_from_parent() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let mut parent = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        );
+        parent.start();
+        assert!(!parent.advance_to(600));
+        let tl = deft_topo::FaultTimeline::burst(
+            &s,
+            &deft_topo::BurstConfig {
+                bursts: 1,
+                links_per_burst: 6,
+                duration: 300,
+                horizon: 500,
+                seed: 3,
+            },
+        )
+        .shifted(600);
+        let branch = parent.fork_with_timeline(&tl);
+        let branch_report = branch.finish();
+        let parent_report = parent.finish();
+        assert_ne!(branch_report, parent_report);
+        assert_eq!(
+            branch_report.epochs.first().map(|e| e.start_cycle),
+            Some(600),
+            "branch epochs restart at the fork cycle"
+        );
+        assert!(
+            branch_report.epochs.len() > 1,
+            "the branch timeline's transitions open new epochs"
+        );
+        assert!(
+            parent_report.epochs.is_empty(),
+            "the timeline-free parent records no epochs"
+        );
+    }
+
+    /// Resume refuses state from a differently-assembled simulator with a
+    /// descriptive `Mismatch` instead of silently misbehaving.
+    #[test]
+    fn resume_rejects_mismatched_setup() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let mut sim = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        );
+        sim.start();
+        sim.advance_to(500);
+        let snap = sim.snapshot();
+
+        // Wrong algorithm.
+        let mut other = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(MtrRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        );
+        assert!(matches!(
+            other.resume_from(&snap),
+            Err(CodecError::Mismatch(_))
+        ));
+
+        // Wrong config.
+        let mut other = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            SimConfig {
+                warmup: 999,
+                ..quick_cfg()
+            },
+        );
+        assert!(matches!(
+            other.resume_from(&snap),
+            Err(CodecError::Mismatch(_))
+        ));
+
+        // Wrong traffic pattern.
+        let other_pattern = uniform(&s, 0.009);
+        let mut other = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &other_pattern,
+            quick_cfg(),
+        );
+        assert!(matches!(
+            other.resume_from(&snap),
+            Err(CodecError::Mismatch(_))
+        ));
+
+        // Missing timeline: snapshot was taken without one, resuming sim
+        // has one attached.
+        let tl = deft_topo::FaultTimeline::empty();
+        let mut other = Simulator::new(
+            &s,
+            FaultState::none(&s),
+            Box::new(DeftRouting::new(&s)),
+            &pattern,
+            quick_cfg(),
+        )
+        .with_timeline(&tl);
+        assert!(matches!(
+            other.resume_from(&snap),
+            Err(CodecError::Mismatch(_))
+        ));
+    }
+
+    /// Corrupt snapshot bytes surface as typed codec errors, never a
+    /// panic or a silently-wrong simulator.
+    #[test]
+    fn resume_rejects_corrupt_bytes() {
+        let s = sys();
+        let pattern = uniform(&s, 0.004);
+        let mk = || {
+            Simulator::new(
+                &s,
+                FaultState::none(&s),
+                Box::new(DeftRouting::new(&s)),
+                &pattern,
+                quick_cfg(),
+            )
+        };
+        let mut sim = mk();
+        sim.start();
+        sim.advance_to(500);
+        let snap = sim.snapshot();
+
+        // Truncated.
+        assert!(matches!(
+            mk().resume_from(&snap[..snap.len() - 3]),
+            Err(CodecError::Truncated { .. })
+        ));
+        // Bad magic.
+        let mut bad = snap.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            mk().resume_from(&bad),
+            Err(CodecError::BadMagic { .. })
+        ));
+        // Wrong format version.
+        let mut bad = snap.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        assert!(matches!(
+            mk().resume_from(&bad),
+            Err(CodecError::WrongVersion { .. })
+        ));
+        // Flipped payload byte fails the section checksum.
+        let mut bad = snap.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        let err = mk().resume_from(&bad).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CodecError::Checksum { .. }
+                    | CodecError::Invalid(_)
+                    | CodecError::Mismatch(_)
+                    | CodecError::Truncated { .. }
+                    | CodecError::UnexpectedSection { .. }
+            ),
+            "flipped byte must yield a typed error, got {err:?}"
+        );
     }
 }

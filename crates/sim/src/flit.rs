@@ -1,5 +1,6 @@
 //! Flits, packet descriptors, and the slab arena that owns them.
 
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
 use deft_routing::RouteCtx;
 use deft_topo::NodeId;
 use std::fmt;
@@ -66,6 +67,28 @@ pub struct PacketInfo {
     pub measured: bool,
 }
 
+impl Persist for PacketInfo {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.src.0);
+        enc.put_u32(self.dst.0);
+        self.ctx.encode(enc);
+        self.inject_vn.encode(enc);
+        enc.put_u64(self.generated_at);
+        enc.put_bool(self.measured);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            src: NodeId(dec.get_u32()?),
+            dst: NodeId(dec.get_u32()?),
+            ctx: RouteCtx::decode(dec)?,
+            inject_vn: deft_routing::Vn::decode(dec)?,
+            generated_at: dec.get_u64()?,
+            measured: dec.get_bool()?,
+        })
+    }
+}
+
 /// Slab arena of in-flight packet descriptors.
 ///
 /// Every live packet — source-queued, streaming through the network, or
@@ -80,7 +103,7 @@ pub struct PacketInfo {
 /// the engine compares `PacketId`s across lifetimes, so reuse cannot
 /// change simulated behaviour — the differential and golden tests pin
 /// that.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PacketArena {
     slots: Vec<PacketInfo>,
     free: Vec<u32>,
@@ -126,6 +149,38 @@ impl PacketArena {
     /// Peak simultaneously-live descriptors (the arena's footprint).
     pub fn peak(&self) -> usize {
         self.slots.len()
+    }
+}
+
+/// Arena snapshots are *verbatim*: every slot is encoded, including freed
+/// ones still holding their last descriptor. Freed-slot contents are never
+/// read back by the engine, but preserving them keeps a resumed arena
+/// byte-identical to the original under re-encoding, which is what the
+/// snapshot round-trip tests pin.
+impl Persist for PacketArena {
+    fn encode(&self, enc: &mut Encoder) {
+        self.slots.encode(enc);
+        self.free.encode(enc);
+        enc.put_usize(self.live);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let slots = Vec::<PacketInfo>::decode(dec)?;
+        let free = Vec::<u32>::decode(dec)?;
+        let live = dec.get_usize()?;
+        if live + free.len() != slots.len() {
+            return Err(CodecError::Invalid(format!(
+                "arena books {live} live + {} free slots against {} stored",
+                free.len(),
+                slots.len()
+            )));
+        }
+        if free.iter().any(|&s| s as usize >= slots.len()) {
+            return Err(CodecError::Invalid(
+                "arena free list points past the slot table".into(),
+            ));
+        }
+        Ok(Self { slots, free, live })
     }
 }
 

@@ -21,6 +21,7 @@
 //! own arrivals, never interleaving with another packet's.
 
 use crate::flit::PacketId;
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
 use deft_topo::Direction;
 
 /// Port indices: 0 = Local, 1..=4 = East/West/North/South, 5 = Vertical
@@ -87,6 +88,28 @@ pub struct WormSeg {
     pub first: u32,
     /// Flits in the span (≥ 1).
     pub count: u32,
+}
+
+impl Persist for WormSeg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.packet.0);
+        enc.put_u32(self.first);
+        enc.put_u32(self.count);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let packet = PacketId(dec.get_u64()?);
+        let first = dec.get_u32()?;
+        let count = dec.get_u32()?;
+        if count == 0 {
+            return Err(CodecError::Invalid("zero-flit worm segment".into()));
+        }
+        Ok(Self {
+            packet,
+            first,
+            count,
+        })
+    }
 }
 
 /// One input virtual-channel buffer: a fixed-capacity ring of worm
@@ -261,6 +284,65 @@ impl VcRing {
         self.flits -= removed as u16;
         removed
     }
+
+    /// Writes the ring in *canonical* form: capacity, live segments in
+    /// logical front-to-back order, flit counter, then the worm's routing
+    /// state. The physical head index is deliberately not encoded —
+    /// [`load`](Self::load) rebuilds the same logical contents at head 0,
+    /// so re-encoding a just-loaded ring reproduces the bytes exactly
+    /// (snapshots of a resumed run stay byte-identical to the original).
+    pub(crate) fn save(&self, enc: &mut Encoder) {
+        enc.put_u16(self.cap);
+        enc.put_u16(self.seg_len);
+        for seg in self.segments() {
+            seg.encode(enc);
+        }
+        enc.put_u16(self.flits);
+        self.dest.encode(enc);
+        enc.put_bool(self.granted);
+        self.owner.map(|p| p.0).encode(enc);
+    }
+
+    /// Restores the state written by [`save`](Self::save) into this ring.
+    /// The ring's capacity (fixed at construction, including RC's grown
+    /// store-and-forward buffers) must match the snapshot's.
+    pub(crate) fn load(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let cap = dec.get_u16()?;
+        if cap != self.cap {
+            return Err(CodecError::Mismatch(format!(
+                "VC ring capacity is {} flits, snapshot has {cap}",
+                self.cap
+            )));
+        }
+        let seg_len = dec.get_u16()?;
+        if seg_len > cap {
+            return Err(CodecError::Invalid(format!(
+                "ring claims {seg_len} segments with capacity {cap}"
+            )));
+        }
+        let mut seg_flits = 0u32;
+        for i in 0..seg_len as usize {
+            let seg = WormSeg::decode(dec)?;
+            seg_flits += seg.count;
+            self.segs[i] = seg;
+        }
+        for i in seg_len as usize..self.segs.len() {
+            self.segs[i] = EMPTY_SEG;
+        }
+        let flits = dec.get_u16()?;
+        if flits > cap || u32::from(flits) != seg_flits {
+            return Err(CodecError::Invalid(format!(
+                "ring holds {flits} flits but its segments sum to {seg_flits} (cap {cap})"
+            )));
+        }
+        self.head = 0;
+        self.seg_len = seg_len;
+        self.flits = flits;
+        self.dest = Option::<(u8, u8)>::decode(dec)?;
+        self.granted = dec.get_bool()?;
+        self.owner = Option::<u64>::decode(dec)?.map(PacketId);
+        Ok(())
+    }
 }
 
 /// One router: 6 input ports × [`VC_COUNT`] VC rings (flat, slot-indexed),
@@ -344,6 +426,66 @@ impl Router {
     /// Total flits buffered in this router.
     pub fn occupancy(&self) -> usize {
         self.vcs.iter().map(VcRing::len).sum()
+    }
+
+    /// Writes the router's dynamic state: occupancy mask, round-robin
+    /// pointers, credits, output VC allocations, and every VC ring.
+    /// Wiring (`out_links`/`in_links`) is setup state rebuilt from the
+    /// topology and is not encoded.
+    pub(crate) fn save(&self, enc: &mut Encoder) {
+        enc.put_u16(self.occ_mask);
+        for rr in self.rr {
+            enc.put_u32(rr);
+        }
+        for port in &self.credits {
+            for &c in port {
+                enc.put_u32(c);
+            }
+        }
+        for port in &self.out_alloc {
+            for a in port {
+                a.encode(enc);
+            }
+        }
+        for ring in self.vcs.iter() {
+            ring.save(enc);
+        }
+    }
+
+    /// Restores the state written by [`save`](Self::save).
+    pub(crate) fn load(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let occ_mask = dec.get_u16()?;
+        for rr in &mut self.rr {
+            let v = dec.get_u32()?;
+            if v >= SLOT_COUNT as u32 {
+                return Err(CodecError::Invalid(format!(
+                    "round-robin pointer {v} out of range (< {SLOT_COUNT})"
+                )));
+            }
+            *rr = v;
+        }
+        for port in &mut self.credits {
+            for c in port.iter_mut() {
+                *c = dec.get_u32()?;
+            }
+        }
+        for port in &mut self.out_alloc {
+            for a in port.iter_mut() {
+                *a = Option::<(u8, u8)>::decode(dec)?;
+            }
+        }
+        for ring in self.vcs.iter_mut() {
+            ring.load(dec)?;
+        }
+        for (slot, ring) in self.vcs.iter().enumerate() {
+            if (occ_mask >> slot) & 1 != u16::from(!ring.is_empty()) {
+                return Err(CodecError::Invalid(format!(
+                    "occupancy mask {occ_mask:#06x} disagrees with ring {slot}'s contents"
+                )));
+            }
+        }
+        self.occ_mask = occ_mask;
+        Ok(())
     }
 }
 
@@ -434,6 +576,73 @@ mod tests {
         assert_eq!(r.pop_flit(PORT_EAST, 1), (PacketId(3), 0));
         assert_eq!(r.occ_mask, 0);
         assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn ring_save_load_is_canonical_across_head_positions() {
+        // Build a ring whose head has wrapped, save it, load into a fresh
+        // ring, and check the logical contents and the re-encoded bytes:
+        // the canonical form must not depend on the physical head index.
+        let mut b = VcRing::new(4);
+        for i in 0..4 {
+            b.push_back_flit(PacketId(1), i);
+        }
+        b.pop_front_flit();
+        b.pop_front_flit();
+        b.push_back_flit(PacketId(2), 0); // wraps physically
+        b.dest = Some((PORT_EAST, 1));
+        b.granted = true;
+        b.owner = Some(PacketId(1));
+        let mut enc = Encoder::new();
+        b.save(&mut enc);
+        let mut fresh = VcRing::new(4);
+        let mut dec = Decoder::new(enc.as_bytes());
+        fresh.load(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(fresh.len(), b.len());
+        assert_eq!(
+            fresh.segments().copied().collect::<Vec<_>>(),
+            b.segments().copied().collect::<Vec<_>>()
+        );
+        assert_eq!(fresh.dest, b.dest);
+        assert_eq!(fresh.owner, b.owner);
+        let mut enc2 = Encoder::new();
+        fresh.save(&mut enc2);
+        assert_eq!(enc2.as_bytes(), enc.as_bytes(), "canonical re-encode");
+    }
+
+    #[test]
+    fn ring_load_rejects_mismatched_capacity() {
+        let mut b = VcRing::new(4);
+        b.push_back_flit(PacketId(3), 0);
+        let mut enc = Encoder::new();
+        b.save(&mut enc);
+        let mut wrong_cap = VcRing::new(8);
+        assert!(matches!(
+            wrong_cap.load(&mut Decoder::new(enc.as_bytes())),
+            Err(CodecError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn router_save_load_round_trips() {
+        let mut r = Router::new(4);
+        r.push_flit(PORT_EAST, 1, PacketId(3), 0);
+        r.push_flit(PORT_EAST, 1, PacketId(3), 1);
+        r.rr[2] = 7;
+        r.credits[1][0] = 3;
+        r.out_alloc[5][1] = Some((PORT_EAST, 1));
+        let mut enc = Encoder::new();
+        r.save(&mut enc);
+        let mut fresh = Router::new(4);
+        let mut dec = Decoder::new(enc.as_bytes());
+        fresh.load(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(fresh.occ_mask, r.occ_mask);
+        assert_eq!(fresh.rr, r.rr);
+        assert_eq!(fresh.credits, r.credits);
+        assert_eq!(fresh.out_alloc, r.out_alloc);
+        assert_eq!(fresh.occupancy(), 2);
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Simulation statistics and the end-of-run report.
 
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
 use deft_topo::{ChipletId, ChipletSystem, Layer, NodeId};
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// A statistics region: one chiplet or the interposer (the paper's Fig. 5
 /// x-axis groups).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Region {
     /// The interposer layer.
     Interposer,
@@ -34,7 +34,7 @@ impl std::fmt::Display for Region {
 }
 
 /// Per-region VC-utilization counters (buffer writes per VC).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct VcUsage {
     /// Flits written into VC0 buffers.
     pub vc0: u64,
@@ -64,7 +64,7 @@ impl VcUsage {
 /// reproduced **exactly** as the old sort-and-index computation
 /// (`sorted[round((n - 1) · p)]`): the histogram walk returns the value at
 /// the same rank.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
     /// `counts[l]` = delivered measured packets with latency `l` cycles.
     counts: Vec<u64>,
@@ -156,6 +156,38 @@ impl LatencyHistogram {
     }
 }
 
+impl Persist for VcUsage {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.vc0);
+        enc.put_u64(self.vc1);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            vc0: dec.get_u64()?,
+            vc1: dec.get_u64()?,
+        })
+    }
+}
+
+impl Persist for LatencyHistogram {
+    fn encode(&self, enc: &mut Encoder) {
+        self.counts.encode(enc);
+        enc.put_u64(self.total);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let counts = Vec::<u64>::decode(dec)?;
+        let total = dec.get_u64()?;
+        if counts.iter().sum::<u64>() != total {
+            return Err(CodecError::Invalid(format!(
+                "latency histogram mass disagrees with its total {total}"
+            )));
+        }
+        Ok(Self { counts, total })
+    }
+}
+
 /// Statistics for one *fault epoch*: the window between two consecutive
 /// fault-timeline transitions (or between a run boundary and the nearest
 /// transition). Recorded only for runs driven by a
@@ -165,7 +197,7 @@ impl LatencyHistogram {
 /// Comparing consecutive epochs gives the latency and loss picture
 /// *before, during, and after* each fault transition, which is what the
 /// recovery experiments aggregate.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochStats {
     /// First cycle of the epoch (the transition cycle, or 0).
     pub start_cycle: u64,
@@ -220,8 +252,36 @@ impl EpochStats {
     }
 }
 
+impl Persist for EpochStats {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.start_cycle);
+        enc.put_u64(self.end_cycle);
+        enc.put_usize(self.faulty_links);
+        enc.put_u64(self.generated);
+        enc.put_u64(self.delivered);
+        enc.put_u64(self.dropped_unroutable);
+        enc.put_u64(self.lost_in_flight);
+        enc.put_u64(self.latency_sum);
+        self.last_drop_cycle.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            start_cycle: dec.get_u64()?,
+            end_cycle: dec.get_u64()?,
+            faulty_links: dec.get_usize()?,
+            generated: dec.get_u64()?,
+            delivered: dec.get_u64()?,
+            dropped_unroutable: dec.get_u64()?,
+            lost_in_flight: dec.get_u64()?,
+            latency_sum: dec.get_u64()?,
+            last_drop_cycle: Option::<u64>::decode(dec)?,
+        })
+    }
+}
+
 /// The result of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Algorithm name.
     pub algorithm: String,

@@ -2,7 +2,6 @@
 
 use crate::system::VerticalLink;
 use crate::{ChipletId, Coord};
-use serde::{Deserialize, Serialize};
 
 /// One chiplet: a `width` x `height` mesh of router+core tiles placed at
 /// `origin` on the interposer grid, with a few vertical links to the
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Constructed by [`SystemBuilder`](crate::SystemBuilder); immutable
 /// afterwards.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chiplet {
     id: ChipletId,
     origin: Coord,

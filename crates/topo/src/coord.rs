@@ -1,6 +1,5 @@
 //! Mesh coordinates and link directions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A position in a 2D mesh, `x` growing east and `y` growing north.
@@ -15,9 +14,7 @@ use std::fmt;
 /// let b = Coord::new(3, 0);
 /// assert_eq!(a.manhattan(b), 4);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Coord {
     /// Horizontal position (east is positive).
     pub x: u8,
@@ -74,7 +71,7 @@ impl fmt::Display for Coord {
 /// `North`, `South` (intra-chiplet and intra-interposer); the *Down* port
 /// goes from a chiplet to the interposer and the *Up* port from the
 /// interposer to a chiplet (paper §III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Direction {
     /// +x within a layer.
     East,

@@ -8,13 +8,13 @@
 //! 32 of them, the 6-chiplet system 48.
 
 use crate::{ChipletId, ChipletSystem, LinkId, VlDir};
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies one unidirectional vertical link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VlLinkId {
     /// The chiplet the VL belongs to.
     pub chiplet: ChipletId,
@@ -46,7 +46,7 @@ impl fmt::Display for VlLinkId {
 /// assert_eq!(faults.down_mask(ChipletId(0)), 0b0100);
 /// assert!(!faults.disconnects_any_chiplet(&sys));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FaultState {
     down: Vec<u8>,
     up: Vec<u8>,
@@ -268,6 +268,76 @@ impl FaultState {
             }
         }
         out
+    }
+}
+
+impl Persist for VlLinkId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.chiplet.0);
+        enc.put_u8(self.index);
+        enc.put_u8(match self.dir {
+            VlDir::Down => 0,
+            VlDir::Up => 1,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let chiplet = ChipletId(dec.get_u8()?);
+        let index = dec.get_u8()?;
+        let dir = match dec.get_u8()? {
+            0 => VlDir::Down,
+            1 => VlDir::Up,
+            d => return Err(CodecError::Invalid(format!("bad VlDir discriminant {d}"))),
+        };
+        Ok(VlLinkId {
+            chiplet,
+            index,
+            dir,
+        })
+    }
+}
+
+impl Persist for FaultState {
+    fn encode(&self, enc: &mut Encoder) {
+        self.down.encode(enc);
+        self.up.encode(enc);
+        self.flat.encode(enc);
+        self.down_base.encode(enc);
+        self.up_base.encode(enc);
+        enc.put_u32(self.links);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let down = Vec::<u8>::decode(dec)?;
+        let up = Vec::<u8>::decode(dec)?;
+        let flat = Vec::<u64>::decode(dec)?;
+        let down_base = Vec::<u32>::decode(dec)?;
+        let up_base = Vec::<u32>::decode(dec)?;
+        let links = dec.get_u32()?;
+        if down.len() != up.len() || down.len() != down_base.len() || down.len() != up_base.len() {
+            return Err(CodecError::Invalid(format!(
+                "FaultState per-chiplet vectors disagree: down {}, up {}, down_base {}, up_base {}",
+                down.len(),
+                up.len(),
+                down_base.len(),
+                up_base.len()
+            )));
+        }
+        if flat.len() != (links as usize).div_ceil(64) {
+            return Err(CodecError::Invalid(format!(
+                "FaultState flat bitset holds {} words for {} links",
+                flat.len(),
+                links
+            )));
+        }
+        Ok(FaultState {
+            down,
+            up,
+            flat,
+            down_base,
+            up_base,
+            links,
+        })
     }
 }
 

@@ -1,7 +1,6 @@
 //! Strongly-typed identifiers for nodes, chiplets, and layers.
 
 use crate::Coord;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Global identifier of a router/processing-element node.
@@ -10,9 +9,7 @@ use std::fmt;
 /// chiplet 1, ...), followed by the interposer nodes row-major. Use
 /// [`ChipletSystem::addr`](crate::ChipletSystem::addr) to translate to a
 /// layer + coordinate.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -29,9 +26,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a chiplet (die) on the interposer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ChipletId(pub u8);
 
 impl ChipletId {
@@ -48,7 +43,7 @@ impl fmt::Display for ChipletId {
 }
 
 /// Which mesh layer a node belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Layer {
     /// One of the stacked dies.
     Chiplet(ChipletId),
@@ -81,7 +76,7 @@ impl fmt::Display for Layer {
 }
 
 /// A node's position: layer plus layer-local coordinate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeAddr {
     /// The layer the node lives on.
     pub layer: Layer,
@@ -103,7 +98,7 @@ impl fmt::Display for NodeAddr {
 }
 
 /// Direction of one unidirectional half of a bidirectional vertical link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum VlDir {
     /// Chiplet → interposer micro-bump link.
     Down,

@@ -3,7 +3,6 @@
 use crate::{
     Chiplet, ChipletId, Coord, Direction, Layer, NodeAddr, NodeId, TopologyError, VlDir, VlLinkId,
 };
-use serde::{Deserialize, Serialize};
 
 /// Dense identifier of one *unidirectional* vertical link, assigned at
 /// [`SystemBuilder::build`] time in the canonical link order (chiplet-major,
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// block). `LinkId`s index flat per-link arrays on the simulation hot path;
 /// translate to/from the structured [`VlLinkId`](crate::VlLinkId) form with
 /// [`ChipletSystem::link_id`] / [`ChipletSystem::link_of`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -27,7 +26,7 @@ impl LinkId {
 /// The *down* half carries flits chiplet → interposer and the *up* half
 /// interposer → chiplet; the two halves fail independently
 /// (see [`FaultState`](crate::FaultState)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VerticalLink {
     /// Chiplet this VL belongs to.
     pub chiplet: ChipletId,
@@ -212,7 +211,7 @@ impl SystemBuilder {
 /// All queries are O(1) except where documented. The system is immutable;
 /// faults are tracked separately in [`FaultState`](crate::FaultState) so one
 /// topology can be shared across many fault scenarios.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChipletSystem {
     interposer_width: u8,
     interposer_height: u8,

@@ -38,9 +38,9 @@
 
 use crate::fault::all_unidirectional_links;
 use crate::{ChipletSystem, FaultState, VlDir, VlLinkId};
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What a [`FaultEvent`] does to its link.
@@ -48,7 +48,7 @@ use std::fmt;
 /// `Heal` orders before `Inject`: when both kinds are due at the same
 /// cycle, healed capacity becomes available before new faults are
 /// applied, which keeps the admissibility filter maximally permissive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultEventKind {
     /// The link becomes healthy again.
     Heal,
@@ -70,7 +70,7 @@ impl fmt::Display for FaultEventKind {
 ///
 /// Events take effect *at* their cycle: a simulator applying the timeline
 /// sees the new fault state before routing any flit of that cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FaultEvent {
     /// The cycle at which the transition takes effect.
     pub cycle: u64,
@@ -89,7 +89,7 @@ impl fmt::Display for FaultEvent {
 
 /// Configuration of [`FaultTimeline::transient`]: random transient faults
 /// with exponential up/down times, independently per link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientConfig {
     /// Mean healthy period per link, in cycles (exponentially
     /// distributed). The per-link fault rate is `1 / mean_healthy`.
@@ -108,7 +108,7 @@ pub struct TransientConfig {
 /// Configuration of [`FaultTimeline::burst`]: `bursts` failure bursts at
 /// seeded-random instants, each failing `links_per_burst` random links for
 /// `duration` cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BurstConfig {
     /// Number of bursts.
     pub bursts: usize,
@@ -126,7 +126,7 @@ pub struct BurstConfig {
 /// Configuration of [`FaultTimeline::region`]: one chiplet-adjacent
 /// failure — all links of a seeded-random (chiplet, direction) group
 /// except one seeded-random spare fail together.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegionConfig {
     /// Cycle at which the region fails.
     pub start: u64,
@@ -162,7 +162,7 @@ pub struct RegionConfig {
 ///     }
 /// }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultTimeline {
     events: Vec<FaultEvent>,
 }
@@ -236,6 +236,38 @@ impl FaultTimeline {
             events: &self.events,
             next: 0,
         }
+    }
+
+    /// The same schedule delayed by `offset` cycles: every event's cycle
+    /// is shifted by the constant, so relative spacing — and therefore
+    /// admissibility, which only depends on event order — is preserved.
+    /// Used by the fork-sweep experiment to graft a timeline generated on
+    /// a `[0, horizon - fork_cycle)` window onto a run already warmed up
+    /// to `fork_cycle`.
+    ///
+    /// # Panics
+    /// Panics if any shifted cycle would overflow `u64`.
+    pub fn shifted(&self, offset: u64) -> Self {
+        Self {
+            events: self
+                .events
+                .iter()
+                .map(|e| FaultEvent {
+                    cycle: e
+                        .cycle
+                        .checked_add(offset)
+                        .expect("shifted event cycle overflows u64"),
+                    ..*e
+                })
+                .collect(),
+        }
+    }
+
+    /// An order-sensitive FNV-1a fingerprint of the event schedule, used
+    /// by snapshots to verify that a resume reattaches the same timeline
+    /// the snapshot was taken under.
+    pub fn fingerprint(&self) -> u64 {
+        deft_codec::fingerprint_value(self)
     }
 
     /// Random transient faults: each link alternates exponentially
@@ -416,6 +448,53 @@ impl FaultEvent {
     }
 }
 
+impl Persist for FaultEventKind {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            FaultEventKind::Heal => 0,
+            FaultEventKind::Inject => 1,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(FaultEventKind::Heal),
+            1 => Ok(FaultEventKind::Inject),
+            d => Err(CodecError::Invalid(format!(
+                "bad FaultEventKind discriminant {d}"
+            ))),
+        }
+    }
+}
+
+impl Persist for FaultEvent {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.cycle);
+        self.kind.encode(enc);
+        self.link.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(FaultEvent {
+            cycle: dec.get_u64()?,
+            kind: FaultEventKind::decode(dec)?,
+            link: VlLinkId::decode(dec)?,
+        })
+    }
+}
+
+impl Persist for FaultTimeline {
+    fn encode(&self, enc: &mut Encoder) {
+        self.events.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        // Decoded timelines keep the canonical order invariant: re-sort
+        // rather than trusting the payload.
+        Ok(FaultTimeline::from_events(Vec::<FaultEvent>::decode(dec)?))
+    }
+}
+
 /// One inject/heal pair before admissibility filtering.
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
@@ -462,6 +541,46 @@ impl TimelineCursor<'_> {
     /// The cycle of the next pending event, if any.
     pub fn next_transition(&self) -> Option<u64> {
         self.events.get(self.next).map(|e| e.cycle)
+    }
+
+    /// The number of events already applied (the cursor's position).
+    /// Stored in simulator snapshots so a resumed run re-applies exactly
+    /// the not-yet-seen suffix of the timeline.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Total events in the timeline behind this cursor (applied or not).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// A position-independent fingerprint of the *whole* timeline behind
+    /// this cursor; equals [`FaultTimeline::fingerprint`] of the timeline
+    /// it was created from. Snapshots store it so a resume can verify the
+    /// run is reattached to the same event schedule.
+    pub fn fingerprint(&self) -> u64 {
+        let mut enc = Encoder::new();
+        enc.put_usize(self.events.len());
+        for e in self.events {
+            e.encode(&mut enc);
+        }
+        deft_codec::fnv1a(enc.as_bytes())
+    }
+
+    /// Moves the cursor so that `position` events count as applied
+    /// (snapshot resume; the caller restores the matching fault state
+    /// separately).
+    ///
+    /// # Panics
+    /// Panics if `position` exceeds the event count.
+    pub fn seek(&mut self, position: usize) {
+        assert!(
+            position <= self.events.len(),
+            "cursor position {position} past {} events",
+            self.events.len()
+        );
+        self.next = position;
     }
 }
 
@@ -746,6 +865,65 @@ mod tests {
         assert_eq!(tl.len(), 0);
         assert!(tl.cursor().is_done());
         assert_eq!(tl.cursor().next_transition(), None);
+    }
+
+    #[test]
+    fn shifted_preserves_spacing_and_admissibility() {
+        let s = sys();
+        let tl = FaultTimeline::transient(
+            &s,
+            &TransientConfig {
+                mean_healthy: 1_000.0,
+                mean_faulty: 300.0,
+                horizon: 8_000,
+                seed: 11,
+            },
+        );
+        let moved = tl.shifted(5_000);
+        assert_eq!(moved.len(), tl.len());
+        for (a, b) in tl.events().iter().zip(moved.events()) {
+            assert_eq!(b.cycle, a.cycle + 5_000);
+            assert_eq!(b.kind, a.kind);
+            assert_eq!(b.link, a.link);
+        }
+        assert!(moved.is_admissible(&s));
+        assert_eq!(tl.shifted(0), tl);
+    }
+
+    #[test]
+    fn fingerprint_separates_timelines() {
+        let s = sys();
+        let cfg = TransientConfig {
+            mean_healthy: 1_000.0,
+            mean_faulty: 300.0,
+            horizon: 8_000,
+            seed: 1,
+        };
+        let a = FaultTimeline::transient(&s, &cfg);
+        let b = FaultTimeline::transient(&s, &TransientConfig { seed: 2, ..cfg });
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), a.shifted(1).fingerprint());
+        assert_ne!(a.fingerprint(), FaultTimeline::empty().fingerprint());
+    }
+
+    #[test]
+    fn timeline_round_trips_through_the_codec() {
+        let s = sys();
+        let tl = FaultTimeline::transient(
+            &s,
+            &TransientConfig {
+                mean_healthy: 900.0,
+                mean_faulty: 250.0,
+                horizon: 6_000,
+                seed: 5,
+            },
+        );
+        let bytes = deft_codec::encode_value(&tl);
+        let mut dec = Decoder::new(&bytes);
+        let back = FaultTimeline::decode(&mut dec).expect("decode");
+        dec.finish().expect("no trailing bytes");
+        assert_eq!(back, tl);
     }
 
     #[test]

@@ -12,10 +12,8 @@
 //! ordering holds exactly (Fig. 6(b), "sorted based on trafﬁc load, from
 //! low (FA+FL) to high (ST+FL)").
 
-use serde::{Deserialize, Serialize};
-
 /// A stochastic stand-in for one PARSEC application.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppProfile {
     /// Full benchmark name.
     pub name: &'static str,

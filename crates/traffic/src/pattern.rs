@@ -1,5 +1,6 @@
 //! The traffic-pattern interface and the table-driven implementation.
 
+use deft_codec::Persist;
 use deft_topo::{ChipletSystem, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -68,6 +69,18 @@ pub trait TrafficPattern: Send + Sync {
     fn inter_chiplet_rate(&self, sys: &ChipletSystem, node: NodeId) -> f64 {
         let _ = sys;
         self.injection_rate(node)
+    }
+
+    /// A deterministic fingerprint of the workload, stored in simulator
+    /// snapshots so a resume can verify it reattaches the same pattern
+    /// the snapshot was taken under (the pattern itself is borrowed
+    /// configuration and is not serialized).
+    ///
+    /// The default hashes the name only; patterns whose behaviour is not
+    /// determined by their name (per-node tables, traces) override it to
+    /// hash their full contents.
+    fn fingerprint(&self) -> u64 {
+        deft_codec::fnv1a(self.name().as_bytes())
     }
 }
 
@@ -208,6 +221,28 @@ impl TrafficPattern for TableTraffic {
         let p_inter =
             self.dists[node.index()].probability(|dst| sys.chiplet_of(dst) != Some(src_chiplet));
         self.injection_rate(node) * p_inter
+    }
+
+    /// Two table patterns can share a name but differ per node (e.g. two
+    /// rate-sweep points), so the fingerprint covers the full tables:
+    /// name, per-node rates, and every mixture component.
+    fn fingerprint(&self) -> u64 {
+        let mut enc = deft_codec::Encoder::new();
+        self.name.encode(&mut enc);
+        self.rates.encode(&mut enc);
+        enc.put_usize(self.dists.len());
+        for m in &self.dists {
+            enc.put_f64(m.total_weight);
+            enc.put_usize(m.components.len());
+            for (w, targets) in &m.components {
+                enc.put_f64(*w);
+                enc.put_usize(targets.len());
+                for t in targets {
+                    enc.put_u32(t.0);
+                }
+            }
+        }
+        deft_codec::fnv1a(enc.as_bytes())
     }
 }
 

@@ -222,6 +222,21 @@ impl TrafficPattern for Trace {
         let i = a.partition_point(|&c| c < cycle);
         a.get(i).copied()
     }
+
+    /// Traces with the same name can hold different events, so the
+    /// fingerprint covers the name and the full event list (the derived
+    /// index/rate/arrival tables are functions of the events).
+    fn fingerprint(&self) -> u64 {
+        let mut enc = deft_codec::Encoder::new();
+        deft_codec::Persist::encode(&self.name, &mut enc);
+        enc.put_usize(self.events.len());
+        for e in &self.events {
+            enc.put_u64(e.cycle);
+            enc.put_u32(e.src.0);
+            enc.put_u32(e.dst.0);
+        }
+        deft_codec::fnv1a(enc.as_bytes())
+    }
 }
 
 #[cfg(test)]

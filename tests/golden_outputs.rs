@@ -13,10 +13,12 @@
 //! constants — and say so in the commit: these bytes are the repo's
 //! reproducibility contract.
 
-use deft::experiments::{fig4, fig8, recovery, Algo, ExpConfig, SynPattern};
+use deft::experiments::{
+    fig4, fig8, recovery, recovery_scenarios, Algo, ExpConfig, SynPattern, RECOVERY_RATE,
+};
 use deft::report::{latency_sweep_csv, recovery_csv};
 use deft::sim::{SimConfig, Simulator};
-use deft::traffic::{Trace, TraceEvent};
+use deft::traffic::{uniform, Trace, TraceEvent};
 use deft_topo::{
     ChipletId, ChipletSystem, FaultEvent, FaultEventKind, FaultState, FaultTimeline, NodeId, VlDir,
     VlLinkId,
@@ -158,6 +160,42 @@ fn trickle_trace_recovery_report_is_pinned() {
         0xf740_5940_38ca_847b,
         "trickle trace recovery report drifted from the golden hash;\n\
          if this is an intentional behaviour change, update the constant:\n{rendered}"
+    );
+}
+
+/// The snapshot *bytes* of the `deft-repro checkpoint --quick` setup,
+/// paused at a fixed cycle, are pinned: this is the wire-format contract
+/// of `deft-codec`'s `FORMAT_VERSION`. Any layout change — a field
+/// added, removed, reordered, or re-typed under any `Persist` impl or
+/// `save_state` hook — must bump `deft_codec::FORMAT_VERSION` *and*
+/// update this constant in the same commit (see the bump rule on the
+/// constant's doc comment).
+#[test]
+fn checkpoint_snapshot_bytes_are_pinned() {
+    let sys = ChipletSystem::baseline_4();
+    let cfg = ExpConfig::quick();
+    let horizon = cfg.sim.warmup + cfg.sim.measure;
+    let scenario = recovery_scenarios(horizon)[0];
+    let timeline = scenario.timeline(&sys, horizon, cfg.seed);
+    let pattern = uniform(&sys, RECOVERY_RATE);
+    let mut sim = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Algo::Deft.build(&sys),
+        &pattern,
+        cfg.run_sim(0xC0),
+    )
+    .with_timeline(&timeline);
+    sim.start();
+    assert!(!sim.advance_to(700), "quick windows must outlast cycle 700");
+    let snap = sim.snapshot();
+    assert_eq!(
+        fnv1a(&snap),
+        0x554a_504c_bac4_cf16,
+        "checkpoint snapshot bytes drifted from the golden hash;\n\
+         if the change is intentional, bump deft_codec::FORMAT_VERSION and\n\
+         update this constant in the same commit ({} bytes)",
+        snap.len()
     );
 }
 

@@ -1,0 +1,272 @@
+//! Property tests of the snapshot/resume engine through the public facade.
+//!
+//! The contract under test is the tentpole guarantee of the snapshot
+//! codec: for any (grid, algorithm, traffic seed, transient timeline,
+//! pause cycle), pausing a run, serializing it, restoring it into a
+//! freshly-assembled simulator, and finishing produces a [`SimReport`]
+//! byte-identical to the uninterrupted run — and the restored state
+//! re-encodes to the very same snapshot bytes (`encode(decode(b)) == b`).
+//! Corrupt input must always surface as a typed `CodecError`, never a
+//! panic, all the way up to the `deft-repro --resume` CLI exit path.
+
+use deft::experiments::Algo;
+use deft::prelude::*;
+use deft_codec::CodecError;
+use deft_traffic::{Trace, TraceEvent};
+use proptest::prelude::*;
+
+/// Simulation windows small enough for property-test case counts, large
+/// enough that worms, fault transitions, and source queues are all live
+/// at the pause point.
+fn roundtrip_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup: 150,
+        measure: 900,
+        drain: 15_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// Every routing algorithm of the evaluation, ablations included.
+const ALGOS: [Algo; 5] = [
+    Algo::Deft,
+    Algo::DeftDis,
+    Algo::DeftRan,
+    Algo::Mtr,
+    Algo::Rc,
+];
+
+/// The sampled systems: the two paper baselines plus a non-square grid.
+fn make_sys(idx: usize) -> ChipletSystem {
+    match idx {
+        0 => ChipletSystem::baseline_4(),
+        1 => ChipletSystem::baseline_6(),
+        _ => ChipletSystem::chiplet_grid(3, 2).expect("3x2 grid is valid"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Grid × algorithm × traffic seed × timeline × pause cycle: resume
+    /// is lossless and byte-exact.
+    #[test]
+    fn resume_matches_straight_through_everywhere(
+        sys_idx in 0usize..3,
+        algo_idx in 0usize..ALGOS.len(),
+        seed in 0u64..1_000,
+        tl_seed in 0u64..1_000,
+        pause_tenths in 1u64..10,
+    ) {
+        let sys = make_sys(sys_idx);
+        let algo = ALGOS[algo_idx];
+        let cfg = roundtrip_cfg(0x5EED ^ seed);
+        let horizon = cfg.warmup + cfg.measure;
+        let tl = FaultTimeline::transient(&sys, &TransientConfig {
+            mean_healthy: horizon as f64 * 2.0,
+            mean_faulty: horizon as f64 / 6.0,
+            horizon,
+            seed: tl_seed,
+        });
+        let pattern = uniform(&sys, 0.003);
+        let mk = || {
+            Simulator::new(
+                &sys,
+                FaultState::none(&sys),
+                algo.build(&sys),
+                &pattern,
+                cfg,
+            )
+            .with_timeline(&tl)
+        };
+        let straight = mk().run();
+
+        let pause = horizon * pause_tenths / 10;
+        let mut first = mk();
+        first.start();
+        first.advance_to(pause);
+        let snap = first.snapshot();
+
+        let mut resumed = mk();
+        prop_assert!(
+            resumed.resume_from(&snap).is_ok(),
+            "{} rejected its own snapshot",
+            algo.name()
+        );
+        // Lossless: the restored state re-encodes to the same bytes.
+        prop_assert_eq!(resumed.snapshot(), snap);
+        prop_assert_eq!(resumed.finish(), straight);
+    }
+
+    /// The idle-skip path: sparse trace traffic whose provably-idle
+    /// windows the engine jumps over. Resume must preserve the skip
+    /// cursors — the resumed run, the straight run, and the
+    /// cycle-by-cycle dense reference all agree.
+    #[test]
+    fn resume_preserves_idle_skip_state(
+        pause in 100u64..4_000,
+        tl_seed in 0u64..500,
+    ) {
+        let sys = ChipletSystem::baseline_4();
+        let n = sys.node_count() as u32;
+        let events: Vec<TraceEvent> = (0..10u64)
+            .map(|k| TraceEvent {
+                cycle: k * 400,
+                src: NodeId((7 * k as u32) % n),
+                dst: NodeId((31 + 41 * k as u32) % n),
+            })
+            .filter(|e| e.src != e.dst)
+            .collect();
+        let trace = Trace::new("trickle", events, sys.node_count());
+        let cfg = SimConfig {
+            warmup: 500,
+            measure: 3_500,
+            drain: 10_000,
+            ..SimConfig::default()
+        };
+        let horizon = cfg.warmup + cfg.measure;
+        let tl = FaultTimeline::transient(&sys, &TransientConfig {
+            mean_healthy: horizon as f64 * 4.0,
+            mean_faulty: horizon as f64 / 8.0,
+            horizon,
+            seed: tl_seed,
+        });
+        let mk = || {
+            Simulator::new(
+                &sys,
+                FaultState::none(&sys),
+                Box::new(DeftRouting::distance_based(&sys)),
+                &trace,
+                cfg,
+            )
+            .with_timeline(&tl)
+        };
+        let straight = mk().run();
+        let dense = mk().run_dense_reference();
+        prop_assert_eq!(&straight, &dense);
+
+        let mut first = mk();
+        first.start();
+        first.advance_to(pause);
+        let snap = first.snapshot();
+        let mut resumed = mk();
+        prop_assert!(resumed.resume_from(&snap).is_ok());
+        prop_assert_eq!(resumed.snapshot(), snap);
+        prop_assert_eq!(resumed.finish(), straight);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single-byte corruption or truncation of a valid snapshot
+    /// decodes to a typed error — never a panic, never a silent accept
+    /// of altered payload bytes.
+    #[test]
+    fn corruption_always_yields_a_typed_error(
+        flip_at in 0usize..30_000,
+        flip_mask in 1u8..=255,
+        cut in 0usize..30_000,
+    ) {
+        let sys = ChipletSystem::baseline_4();
+        let cfg = SimConfig {
+            warmup: 50,
+            measure: 300,
+            drain: 5_000,
+            ..SimConfig::default()
+        };
+        let pattern = uniform(&sys, 0.004);
+        let mk = || {
+            Simulator::new(
+                &sys,
+                FaultState::none(&sys),
+                Box::new(DeftRouting::new(&sys)),
+                &pattern,
+                cfg,
+            )
+        };
+        let mut sim = mk();
+        sim.start();
+        sim.advance_to(200);
+        let snap = sim.snapshot();
+
+        let mut flipped = snap.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= flip_mask;
+        let err = mk().resume_from(&flipped);
+        prop_assert!(err.is_err(), "flipped byte {at} was accepted");
+
+        let cut = cut % snap.len();
+        let err = mk().resume_from(&snap[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                CodecError::Truncated { .. } | CodecError::BadMagic { .. }
+            ),
+            "truncation at {cut} gave {err:?}"
+        );
+    }
+}
+
+/// The CLI surfaces codec errors as a clean one-line failure (exit 1),
+/// not a panic or a backtrace.
+#[test]
+fn repro_resume_rejects_corrupt_file_cleanly() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("deft-snapshot-roundtrip-corrupt.snap");
+    std::fs::write(&path, b"DEFTSNAPgarbage-that-is-not-a-snapshot").unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_deft-repro"))
+        .args(["checkpoint", "--quick", "--resume"])
+        .arg(&path)
+        .output()
+        .expect("deft-repro runs");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(1), "corrupt resume must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot resume from"),
+        "stderr must name the failing file: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "corrupt input must not panic: {stderr}"
+    );
+}
+
+/// Resuming against a *differently assembled* simulator (other
+/// algorithm) is a descriptive mismatch, exercised end to end through
+/// the facade.
+#[test]
+fn resume_mismatch_is_descriptive() {
+    let sys = ChipletSystem::baseline_4();
+    let cfg = roundtrip_cfg(7);
+    let pattern = uniform(&sys, 0.004);
+    let mut sim = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Algo::Deft.build(&sys),
+        &pattern,
+        cfg,
+    );
+    sim.start();
+    sim.advance_to(400);
+    let snap = sim.snapshot();
+    let mut other = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Algo::Mtr.build(&sys),
+        &pattern,
+        cfg,
+    );
+    let err = other.resume_from(&snap).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(err, CodecError::Mismatch(_)),
+        "wrong-algorithm resume gave {err:?}"
+    );
+    assert!(
+        msg.contains("DeFT") && msg.contains("MTR"),
+        "mismatch message names both algorithms: {msg}"
+    );
+}

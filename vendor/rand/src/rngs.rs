@@ -19,6 +19,22 @@ pub struct SmallRng {
     s: [u64; 4],
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state words, for checkpointing a stream
+    /// mid-run. Upstream rand exposes the same capability through
+    /// `SmallRng`'s serde support; the offline build has a no-op serde
+    /// shim, so this accessor pair stands in for it.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from [`state`](Self::state): the restored
+    /// stream continues exactly where the saved one left off.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
@@ -82,6 +98,17 @@ mod tests {
         let second: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
         assert_eq!(first, second);
         assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        rng.next_u64();
+        let saved = rng.state();
+        let upcoming: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut restored = SmallRng::from_state(saved);
+        let resumed: Vec<u64> = (0..4).map(|_| restored.next_u64()).collect();
+        assert_eq!(upcoming, resumed);
     }
 
     #[test]
