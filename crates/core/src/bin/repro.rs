@@ -1,7 +1,8 @@
 //! `deft-repro` — regenerate every table and figure of the DeFT paper.
 //!
 //! ```text
-//! deft-repro [--quick] [--jobs N] [--out text|csv] [--exp NAME] \
+//! deft-repro [--quick] [--jobs N] [--tick-threads N] [--out text|csv] \
+//!            [--exp NAME] \
 //!            [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
 //!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|\
 //!             checkpoint|fork_sweep|all]
@@ -16,6 +17,10 @@
 //!   for every `N` — per-run seeds derive from the grid position, and the
 //!   campaign runner merges in grid order — so `--jobs 1` is the serial
 //!   cross-check, not a different experiment.
+//! * `--tick-threads N` shards each simulator's *cycle* across `N` worker
+//!   threads (the partitioned parallel tick; default 1 = the serial
+//!   engine). Composes with `--jobs`: outer campaign workers × inner tick
+//!   shards, byte-identical output for every combination of the two.
 //! * `--out csv` emits machine-readable CSV blocks (each prefixed with a
 //!   `# title` comment line) instead of the aligned text tables.
 //! * `perf` times representative engine cells and writes `BENCH_sim.json`
@@ -387,7 +392,7 @@ fn run_table1(jobs: usize, out: Out) {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: deft-repro [--quick] [--jobs N] [--out text|csv] [--exp NAME] \
+        "usage: deft-repro [--quick] [--jobs N] [--tick-threads N] [--out text|csv] [--exp NAME] \
          [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
          [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|checkpoint|fork_sweep|all]\n\
          (--snapshot-every/--snapshot-file/--resume apply to the checkpoint target)"
@@ -399,6 +404,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut jobs: Option<usize> = None;
+    let mut tick_threads: Option<usize> = None;
     let mut out = Out::Text;
     let mut what: Option<String> = None;
     let mut snap = SnapshotOpts::default();
@@ -423,6 +429,15 @@ fn main() {
                 Ok(n) if n >= 1 => jobs = Some(n),
                 _ => {
                     eprintln!("--jobs expects a positive integer, got {v:?}");
+                    usage_and_exit();
+                }
+            }
+        } else if arg == "--tick-threads" || arg.starts_with("--tick-threads=") {
+            let v = parse_value("--tick-threads", &arg, &mut it);
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => tick_threads = Some(n),
+                _ => {
+                    eprintln!("--tick-threads expects a positive integer, got {v:?}");
                     usage_and_exit();
                 }
             }
@@ -475,6 +490,10 @@ fn main() {
     let cfg = match jobs {
         Some(n) => base.with_jobs(n),
         None => base,
+    };
+    let cfg = match tick_threads {
+        Some(n) => cfg.with_tick_threads(n),
+        None => cfg,
     };
 
     let what = what.as_deref().unwrap_or("all").to_owned();

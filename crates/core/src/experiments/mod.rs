@@ -29,7 +29,8 @@ pub use fork_sweep::{
 pub use latency_sweep::{fig4, fig8, LatencyCurve, LatencySweep, SynPattern};
 pub use perf::{
     perf, PerfCellResult, PerfReport, FIG4_MID_CELL, FORK_SWEEP_CELL, FORK_SWEEP_COLD_CELL,
-    LARGE_GRID_CELL, PERF_RATE, PR4_FULL_BASELINE, TRICKLE_CELL, TRICKLE_PERIOD,
+    LARGE_GRID_16_CELL, LARGE_GRID_CELL, LARGE_GRID_THREADED_CELLS, PERF_RATE, PR4_FULL_BASELINE,
+    TRICKLE_CELL, TRICKLE_PERIOD,
 };
 pub use power_table::{table1_campaign, table1_campaign_jobs};
 pub use reachability::{fig7, fig7_jobs, ReachabilityCurves};
@@ -139,6 +140,18 @@ impl ExpConfig {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Returns the configuration with the given in-simulator worker count
+    /// ([`SimConfig::tick_threads`]; `1` = the serial engine). Composes
+    /// with [`ExpConfig::with_jobs`]: the campaign fans cells out across
+    /// `jobs` processes-worth of threads and each simulator shards its
+    /// cycle across `tick_threads` workers, with byte-identical results
+    /// for every combination of the two.
+    #[must_use]
+    pub fn with_tick_threads(mut self, tick_threads: usize) -> Self {
+        self.sim.tick_threads = tick_threads.max(1);
         self
     }
 

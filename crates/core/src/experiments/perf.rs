@@ -48,6 +48,22 @@ pub const TRICKLE_PERIOD: u64 = 400;
 /// production-size systems.
 pub const LARGE_GRID_CELL: &str = "large-grid-8x8/DeFT-Dis";
 
+/// Name of the second scaling datapoint: a 16×16 arrangement of 4×4
+/// chiplets (8k+ routers — 64× the baseline chiplet count), tracked
+/// warn-only in CI until its trajectory stabilizes.
+pub const LARGE_GRID_16_CELL: &str = "large-grid-16x16/DeFT-Dis";
+
+/// The threaded large-grid cells: the same 8×8 run as
+/// [`LARGE_GRID_CELL`] with the cycle sharded across 4 and 8 tick
+/// workers ([`deft_sim::SimConfig::tick_threads`]). The simulated
+/// outcome is identical to the serial cell by the parallel engine's
+/// determinism contract (the perf tests assert it); only the wall
+/// clock measures what sharding buys on this host.
+pub const LARGE_GRID_THREADED_CELLS: [(&str, usize); 2] = [
+    ("large-grid-8x8/DeFT-Dis/tick4", 4),
+    ("large-grid-8x8/DeFT-Dis/tick8", 8),
+];
+
 /// Name of the fork-sweep cell: [`FORK_SWEEP_K`] fault futures branched
 /// off one shared traffic prefix with
 /// [`Simulator::fork_with_timeline`] — the Monte-Carlo sweep the
@@ -108,6 +124,11 @@ pub struct PerfCellResult {
 pub struct PerfReport {
     /// `"quick"` or `"full"` simulation windows.
     pub mode: String,
+    /// Core count of the host that timed the cells
+    /// (`std::thread::available_parallelism`). The key to reading the
+    /// threaded large-grid cells: on a single-core host they measure
+    /// pool overhead, not scaling.
+    pub host_parallelism: usize,
     /// One entry per timed cell, in execution order.
     pub cells: Vec<PerfCellResult>,
 }
@@ -277,6 +298,33 @@ pub fn perf(sys: &ChipletSystem, cfg: &ExpConfig, mode: &str) -> PerfReport {
     );
     cells.push(time_cell(LARGE_GRID_CELL, mode, sim));
 
+    // Threaded large-grid cells: the same 8×8 run with the cycle sharded
+    // across tick workers. Simulated outcomes match the serial cell by
+    // the parallel engine's determinism contract; the wall clock measures
+    // what sharding buys on this host.
+    for (name, threads) in LARGE_GRID_THREADED_CELLS {
+        let sim = Simulator::new(
+            &large,
+            FaultState::none(&large),
+            Algo::DeftDis.build(&large),
+            &large_uniform,
+            cfg.run_sim(3).with_tick_threads(threads),
+        );
+        cells.push(time_cell(name, mode, sim));
+    }
+
+    // Second scaling datapoint: 64× the baseline chiplet count.
+    let huge = ChipletSystem::chiplet_grid(16, 16).expect("16x16 grid is valid");
+    let huge_uniform = uniform(&huge, PERF_RATE);
+    let sim = Simulator::new(
+        &huge,
+        FaultState::none(&huge),
+        Algo::DeftDis.build(&huge),
+        &huge_uniform,
+        cfg.run_sim(5),
+    );
+    cells.push(time_cell(LARGE_GRID_16_CELL, mode, sim));
+
     // Fork-sweep pair: the same K fault futures once via fork (shared
     // traffic prefix simulated a single time) and once cold (full run
     // per future). Both cells account each future's *complete* run —
@@ -353,6 +401,9 @@ pub fn perf(sys: &ChipletSystem, cfg: &ExpConfig, mode: &str) -> PerfReport {
 
     PerfReport {
         mode: mode.to_owned(),
+        host_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
         cells,
     }
 }
@@ -373,12 +424,28 @@ mod tests {
     fn perf_runs_all_cells_and_derives_consistent_rates() {
         let sys = ChipletSystem::baseline_4();
         let report = perf(&sys, &tiny_cfg(), "quick");
-        assert_eq!(report.cells.len(), 8);
+        assert_eq!(report.cells.len(), 11);
         assert_eq!(report.mode, "quick");
         assert!(report.fig4_mid_load().is_some());
         assert!(report.peak_cell_wall_ms() > 0.0);
         assert!(report.cells.iter().any(|c| c.name == TRICKLE_CELL));
         assert!(report.cells.iter().any(|c| c.name == LARGE_GRID_CELL));
+        assert!(report.cells.iter().any(|c| c.name == LARGE_GRID_16_CELL));
+        // The threaded large-grid cells must reproduce the serial cell's
+        // simulated outcome exactly — tick_threads is a wall-clock knob.
+        let serial = report
+            .cells
+            .iter()
+            .find(|c| c.name == LARGE_GRID_CELL)
+            .unwrap();
+        for (name, _) in LARGE_GRID_THREADED_CELLS {
+            let t = report.cells.iter().find(|c| c.name == name).unwrap();
+            assert_eq!(
+                (t.cycles, t.flit_hops, t.delivered),
+                (serial.cycles, serial.flit_hops, serial.delivered),
+                "{name} diverges from the serial large-grid cell"
+            );
+        }
         for c in &report.cells {
             assert!(c.cycles > 0, "{} simulated nothing", c.name);
             assert!(c.delivered > 0, "{} delivered nothing", c.name);

@@ -203,8 +203,9 @@ pub fn render_perf(report: &PerfReport) -> String {
     }
     let _ = writeln!(
         out,
-        "(peak cell wall time {:.2} ms; wall-clock fields vary per invocation)",
-        report.peak_cell_wall_ms()
+        "(peak cell wall time {:.2} ms on {} core(s); wall-clock fields vary per invocation)",
+        report.peak_cell_wall_ms(),
+        report.host_parallelism
     );
     out
 }
@@ -216,12 +217,15 @@ pub fn render_perf(report: &PerfReport) -> String {
 ///
 /// v2 extends v1 with one per-cell field: `baseline_delta`, the speed
 /// multiplier over the PR 4 full-mode baseline (JSON `null` when not
-/// applicable).
+/// applicable). PR 7 adds the top-level `host_parallelism` (additive, so
+/// the schema tag stays v2): the timing host's core count, without which
+/// the threaded large-grid cells cannot be read.
 pub fn perf_json(report: &PerfReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"deft-bench-sim/v2\",");
     let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode);
+    let _ = writeln!(out, "  \"host_parallelism\": {},", report.host_parallelism);
     let fig4 = report
         .fig4_mid_load()
         .map(|c| c.cycles_per_sec)
@@ -624,6 +628,7 @@ mod tests {
         use crate::experiments::PerfCellResult;
         let report = PerfReport {
             mode: "quick".into(),
+            host_parallelism: 4,
             cells: vec![
                 PerfCellResult {
                     name: crate::experiments::FIG4_MID_CELL.into(),
@@ -654,7 +659,7 @@ mod tests {
         let text = render_perf(&report);
         assert!(text.contains("Engine throughput (quick windows)"));
         assert!(text.contains("fig4-uniform-mid/DeFT"));
-        assert!(text.contains("peak cell wall time 250.00 ms"));
+        assert!(text.contains("peak cell wall time 250.00 ms on 4 core(s)"));
 
         assert!(text.contains(" 1.27x"), "delta column renders: {text}");
         assert!(text.contains(" -\n"), "missing delta renders as dash");
@@ -662,6 +667,7 @@ mod tests {
         let json = perf_json(&report);
         assert!(json.contains("\"schema\": \"deft-bench-sim/v2\""));
         assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"host_parallelism\": 4"));
         assert!(json.contains("\"fig4_mid_load_cycles_per_sec\": 48000.0"));
         assert!(json.contains("\"peak_cell_wall_ms\": 250.000"));
         assert!(json.contains("\"ns_per_flit_hop\": 312.50"));
@@ -674,6 +680,7 @@ mod tests {
         // Empty report still emits the tracked fields.
         let empty = perf_json(&PerfReport {
             mode: "full".into(),
+            host_parallelism: 1,
             cells: Vec::new(),
         });
         assert!(empty.contains("\"fig4_mid_load_cycles_per_sec\": 0.0"));

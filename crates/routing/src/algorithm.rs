@@ -103,17 +103,25 @@ pub struct FlowChoice {
 
 /// A routing algorithm for 2.5D chiplet systems.
 ///
-/// The simulator drives [`on_inject`](Self::on_inject) once per packet and
-/// [`route`](Self::route) once per hop of the packet's head flit; both may
-/// mutate internal round-robin or RNG state, which is why they take
-/// `&mut self`. The analysis methods ([`eligibility`](Self::eligibility),
+/// The simulator drives [`on_inject`](Self::on_inject) once per packet —
+/// it may mutate internal RNG or selection state, which is why it takes
+/// `&mut self` — and [`route`](Self::route) once per hop of the packet's
+/// head flit. `route` takes `&self`: the parallel tick engine calls it
+/// from several worker threads against one shared instance, so any
+/// per-hop state an algorithm keeps (DeFT's boundary round-robin
+/// counters) must use interior mutability that stays deterministic under
+/// sharding — safe here because the engine partitions routers across
+/// workers and the counters are per-router. The analysis methods
+/// ([`eligibility`](Self::eligibility),
 /// [`flow_choices`](Self::flow_choices)) are pure.
 ///
-/// Algorithms must be `Send`: experiment campaigns run one simulator —
-/// and therefore one algorithm instance, with its per-run mutable state —
-/// per worker thread. All algorithms in this crate are plain data plus
-/// seeded RNGs, so the bound is free.
-pub trait RoutingAlgorithm: Send {
+/// Algorithms must be `Send + Sync`: experiment campaigns run one
+/// simulator — and therefore one algorithm instance, with its per-run
+/// mutable state — per worker thread (`Send`), and the parallel tick
+/// shares that instance across its shard workers for the `route` calls
+/// of one cycle (`Sync`). All algorithms in this crate are plain data
+/// plus seeded RNGs and per-router atomics, so the bounds are free.
+pub trait RoutingAlgorithm: Send + Sync {
     /// Short human-readable name used in reports ("DeFT", "MTR", ...).
     fn name(&self) -> &str;
 
@@ -136,8 +144,13 @@ pub trait RoutingAlgorithm: Send {
     /// Decides the output direction and next-buffer VN for the packet's head
     /// flit at `node`. Must not be called when `node == dst` (the simulator
     /// ejects instead).
+    ///
+    /// Takes `&self` (see the trait docs): the parallel tick engine issues
+    /// concurrent `route` calls for routers of *different* shards. Calls
+    /// for the same router are never concurrent, and per-router interior
+    /// state therefore needs no ordering beyond `Relaxed` atomics.
     fn route(
-        &mut self,
+        &self,
         sys: &ChipletSystem,
         faults: &FaultState,
         node: NodeId,

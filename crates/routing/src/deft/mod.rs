@@ -27,6 +27,7 @@ use deft_codec::{CodecError, Decoder, Encoder, Persist};
 use deft_topo::{ChipletId, ChipletSystem, Direction, FaultState, Layer, NodeId, VlDir};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How DeFT picks the VL intermediate destinations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,14 +47,20 @@ pub enum VlSelectionStrategy {
 /// optimization, the paper's default), [`DeftRouting::with_traffic`]
 /// (traffic-aware optimization, §IV-A), or the ablation constructors
 /// [`DeftRouting::distance_based`] / [`DeftRouting::random_selection`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DeftRouting {
     strategy: VlSelectionStrategy,
     lut_down: Option<SelectionLut>,
     lut_up: Option<SelectionLut>,
     /// Per-boundary-router round-robin counters for the VN reassignment at
-    /// the down traversal (Algorithm 1).
-    rr_boundary: Vec<u64>,
+    /// the down traversal (Algorithm 1). Atomics because [`route`] takes
+    /// `&self` for the parallel tick engine; each counter is touched only
+    /// by its own router's shard worker, so `Relaxed` increments are
+    /// deterministic (no counter is ever contended within a cycle) and
+    /// the snapshot byte layout is unchanged from the plain-`u64` era.
+    ///
+    /// [`route`]: RoutingAlgorithm::route
+    rr_boundary: Vec<AtomicU64>,
     rng: SmallRng,
     /// Mid-run fault transitions observed via
     /// [`RoutingAlgorithm::on_fault_change`].
@@ -62,6 +69,32 @@ pub struct DeftRouting {
     /// interposer nodes), so the per-injection LUT address is a flat array
     /// read instead of an `addr`/width computation.
     local_index: Vec<u32>,
+}
+
+/// Fresh zeroed round-robin counters, one per node.
+fn zero_counters(n: usize) -> Vec<AtomicU64> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+/// Deep copy carrying the counters' exact values: required by
+/// [`RoutingAlgorithm::fork_box`]'s byte-identity contract (`AtomicU64`
+/// itself is deliberately not `Clone`).
+impl Clone for DeftRouting {
+    fn clone(&self) -> Self {
+        Self {
+            strategy: self.strategy,
+            lut_down: self.lut_down.clone(),
+            lut_up: self.lut_up.clone(),
+            rr_boundary: self
+                .rr_boundary
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+            rng: self.rng.clone(),
+            fault_transitions: self.fault_transitions,
+            local_index: self.local_index.clone(),
+        }
+    }
 }
 
 /// Precomputes [`local_router_index`] for every node of `sys`
@@ -92,7 +125,7 @@ impl DeftRouting {
             strategy: VlSelectionStrategy::Optimized,
             lut_down: Some(lut_down),
             lut_up: Some(lut_up),
-            rr_boundary: vec![0; sys.node_count()],
+            rr_boundary: zero_counters(sys.node_count()),
             rng: SmallRng::seed_from_u64(0),
             fault_transitions: 0,
             local_index: local_indices(sys),
@@ -106,7 +139,7 @@ impl DeftRouting {
             strategy: VlSelectionStrategy::Distance,
             lut_down: None,
             lut_up: None,
-            rr_boundary: vec![0; sys.node_count()],
+            rr_boundary: zero_counters(sys.node_count()),
             rng: SmallRng::seed_from_u64(0),
             fault_transitions: 0,
             local_index: local_indices(sys),
@@ -120,7 +153,7 @@ impl DeftRouting {
             strategy: VlSelectionStrategy::Random,
             lut_down: None,
             lut_up: None,
-            rr_boundary: vec![0; sys.node_count()],
+            rr_boundary: zero_counters(sys.node_count()),
             rng: SmallRng::seed_from_u64(seed),
             fault_transitions: 0,
             local_index: local_indices(sys),
@@ -286,7 +319,7 @@ impl RoutingAlgorithm for DeftRouting {
     }
 
     fn route(
-        &mut self,
+        &self,
         sys: &ChipletSystem,
         _faults: &FaultState,
         node: NodeId,
@@ -299,11 +332,12 @@ impl RoutingAlgorithm for DeftRouting {
             Direction::Down => {
                 // Algorithm 1, boundary going down: round-robin reassignment
                 // between VN0 and VN1 — only VN0 packets have the choice
-                // (Rule 1 forbids VN1 -> VN0).
+                // (Rule 1 forbids VN1 -> VN0). Relaxed suffices: the
+                // counter is per-router and only this router's shard
+                // worker touches it (see the field doc).
                 if ctx.vn == Vn::Vn0 {
-                    let ctr = &mut self.rr_boundary[node.index()];
-                    *ctr += 1;
-                    Vn::round_robin(*ctr)
+                    let ctr = self.rr_boundary[node.index()].fetch_add(1, Ordering::Relaxed) + 1;
+                    Vn::round_robin(ctr)
                 } else {
                     Vn::Vn1
                 }
@@ -355,7 +389,12 @@ impl RoutingAlgorithm for DeftRouting {
     /// and the local-index table are pure functions of the system and are
     /// rebuilt by the constructor, not persisted.
     fn save_state(&self, enc: &mut Encoder) {
-        self.rr_boundary.encode(enc);
+        // Byte-compatible with the plain-`Vec<u64>` layout this field had
+        // before the counters became atomics: length, then each value.
+        enc.put_usize(self.rr_boundary.len());
+        for c in &self.rr_boundary {
+            enc.put_u64(c.load(Ordering::Relaxed));
+        }
         let s = self.rng.state();
         for w in s {
             enc.put_u64(w);
@@ -376,7 +415,7 @@ impl RoutingAlgorithm for DeftRouting {
         for w in &mut s {
             *w = dec.get_u64()?;
         }
-        self.rr_boundary = rr;
+        self.rr_boundary = rr.into_iter().map(AtomicU64::new).collect();
         self.rng = SmallRng::from_state(s);
         self.fault_transitions = dec.get_u64()?;
         Ok(())

@@ -158,7 +158,7 @@ impl RoutingAlgorithm for MtrRouting {
     }
 
     fn route(
-        &mut self,
+        &self,
         sys: &ChipletSystem,
         _faults: &FaultState,
         node: NodeId,

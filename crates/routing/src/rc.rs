@@ -113,7 +113,7 @@ impl RoutingAlgorithm for RcRouting {
     }
 
     fn route(
-        &mut self,
+        &self,
         sys: &ChipletSystem,
         _faults: &FaultState,
         node: NodeId,

@@ -36,6 +36,16 @@ pub struct SimConfig {
     /// interconnects, which trade latency/bandwidth for fewer micro-bumps
     /// (paper §IV-A, citing Pasricha DAC'09).
     pub vl_serialization: u64,
+    /// Worker threads for the partitioned parallel tick. `1` (the
+    /// default) runs the serial engine unchanged; larger values shard
+    /// routers by chiplet across a scoped worker pool and step every
+    /// cycle in two phases (compute, then commit in canonical router
+    /// order). The simulated outcome is **byte-identical for every
+    /// value** — only wall-clock time changes — and the knob is a
+    /// host-execution detail: it is excluded from the snapshot wire
+    /// format, so a run snapshotted at one thread count resumes at any
+    /// other.
+    pub tick_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -51,12 +61,20 @@ impl Default for SimConfig {
             seed: 0x5EED,
             deadlock_threshold: 10_000,
             vl_serialization: 1,
+            tick_threads: 1,
         }
     }
 }
 
 /// Snapshots embed the full configuration so a resume can verify it is
 /// reattaching state to an identically-configured simulator.
+///
+/// `tick_threads` is deliberately **not** part of the wire format: it is a
+/// host-execution knob with no influence on simulated behaviour, and the
+/// snapshot contract requires that a run paused at one thread count resume
+/// byte-identically at any other. `decode` returns it at the default (`1`);
+/// [`Simulator::resume_from`](crate::Simulator::resume_from) keeps the
+/// resuming simulator's own setting.
 impl Persist for SimConfig {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_usize(self.packet_size);
@@ -83,6 +101,8 @@ impl Persist for SimConfig {
             seed: dec.get_u64()?,
             deadlock_threshold: dec.get_u64()?,
             vl_serialization: dec.get_u64()?,
+            // Host-execution knob, not wire state: see the impl-level doc.
+            tick_threads: 1,
         })
     }
 }
@@ -108,6 +128,15 @@ impl SimConfig {
             self.vl_serialization > 0,
             "vl_serialization must be positive"
         );
+        assert!(self.tick_threads > 0, "tick_threads must be positive");
+    }
+
+    /// Returns `self` with the given parallel-tick worker count (builder
+    /// style, mirroring how experiments thread `--jobs` through).
+    #[must_use]
+    pub fn with_tick_threads(mut self, tick_threads: usize) -> Self {
+        self.tick_threads = tick_threads.max(1);
+        self
     }
 }
 
@@ -123,6 +152,27 @@ mod tests {
         assert_eq!(c.flit_width_bits, 32);
         assert_eq!(c.vc_count, 2);
         c.validate();
+    }
+
+    #[test]
+    fn tick_threads_roundtrips_to_default_and_builder_clamps() {
+        use deft_codec::{Decoder, Encoder};
+        let cfg = SimConfig::default().with_tick_threads(8);
+        assert_eq!(cfg.tick_threads, 8);
+        cfg.validate();
+        // The wire format carries no thread count: decode restores 1.
+        let mut enc = Encoder::new();
+        cfg.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut serial = cfg;
+        serial.tick_threads = 1;
+        let mut enc2 = Encoder::new();
+        serial.encode(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes(), "tick_threads leaked into bytes");
+        let mut dec = Decoder::new(&bytes);
+        let back = SimConfig::decode(&mut dec).unwrap();
+        assert_eq!(back.tick_threads, 1);
+        assert_eq!(SimConfig::default().with_tick_threads(0).tick_threads, 1);
     }
 
     #[test]

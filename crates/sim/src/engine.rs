@@ -53,15 +53,24 @@ use crate::stats::{EpochStats, LatencyHistogram, Region, SimReport, VcUsage};
 use deft_codec::{CodecError, Decoder, Encoder, Persist, SnapshotReader, SnapshotWriter};
 use deft_routing::RoutingAlgorithm;
 use deft_topo::{
-    ChipletSystem, Direction, FaultState, FaultTimeline, Layer, NodeId, TimelineCursor, VlDir,
-    VlLinkId,
+    ChipletSystem, Direction, FaultState, FaultTimeline, Layer, NodeId, TickPartition,
+    TimelineCursor, VlDir, VlLinkId,
 };
 use deft_traffic::TrafficPattern;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::Range;
+use std::sync::Barrier;
 
 /// One switch-allocation winner, applied in the commit phase.
+///
+/// `packet`/`fidx` identify the flit that will pop: each ring pops at
+/// most once per cycle (one grant per input port) and pushes only append,
+/// so the ring front observed at allocation time *is* the committed flit.
+/// The parallel commit relies on this — a worker applying the push side
+/// of a move it does not pop reads the flit from the move itself, never
+/// from another shard's ring.
 #[derive(Debug, Clone, Copy)]
 struct Move {
     router: usize,
@@ -69,6 +78,8 @@ struct Move {
     in_vc: u8,
     out_port: u8,
     out_vc: u8,
+    packet: PacketId,
+    fidx: u32,
 }
 
 /// Per-node source queue: packets wait here (unbounded, as in Noxim) and
@@ -146,6 +157,74 @@ impl Persist for EpochAccum {
     }
 }
 
+/// Scratch and control state of the partitioned parallel tick. Built
+/// lazily on the first parallel `step_until`, never snapshotted or
+/// forked: it is host-execution machinery with no simulated state.
+///
+/// ## Ownership model (the safety contract of the parallel phases)
+///
+/// Worker `s` owns the routers of `partition.shards()[s]` — a contiguous
+/// index range. During a phase, every *write* a worker performs lands in
+/// state owned by its shard:
+///
+/// * **Phase A** (route + VC alloc + switch alloc) writes only
+///   `routers[i]` for `i` in the shard's slice of the cycle's sorted
+///   worklist, plus `packets[pid].ctx` for heads buffered in the shard —
+///   a packet's head flit sits at the front of exactly one ring, so those
+///   writes are disjoint across workers. Routing-algorithm interior state
+///   is per-node atomics (see `RoutingAlgorithm`).
+/// * **Phase B** sweeps the *whole* canonical move list (every shard's
+///   moves, shard-major — exactly the serial commit order) but applies
+///   only the aspects its shard owns: the pop side where `m.router` is
+///   owned, the credit return where the upstream router is owned, and the
+///   push side where the downstream router is owned. Per-location
+///   operation order therefore equals the serial commit's, and every
+///   location is written by exactly one worker. Cross-shard *reads* go
+///   through the immutable flat link tables, never through another
+///   shard's routers.
+///
+/// Everything order-sensitive or RNG-consuming — generation, injection,
+/// ejection statistics, packet release (the arena free list is LIFO),
+/// active-set maintenance — stays on the main thread between phases.
+struct ParTick {
+    /// The chiplet-aligned shard map: disjoint, covering, contiguous
+    /// (re-asserted when the engine adopts it).
+    partition: TickPartition,
+    /// Per-shard bounds into the cycle's sorted worklist.
+    wl: Vec<Range<usize>>,
+    /// Per-shard switch-allocation winners; concatenated in shard order
+    /// they form the cycle's canonical move list.
+    moves: Vec<Vec<Move>>,
+    /// Per-worker local-delivery records `(global move key, packet, flit
+    /// index)`, applied serially in key order after the commit barrier.
+    eject: Vec<Vec<(u64, PacketId, u32)>>,
+    /// Merge scratch for the ejection records.
+    eject_all: Vec<(u64, PacketId, u32)>,
+    /// Per-worker routers that received their first flit this cycle.
+    pending: Vec<Vec<usize>>,
+    /// Per-worker per-region VC-usage accumulators (region 0, the
+    /// interposer, spans shards — sums are merged serially).
+    usage: Vec<Vec<VcUsage>>,
+    /// Tells parked workers to exit the pool; written by the main thread
+    /// before the phase-A barrier, read by workers right after it.
+    exit: bool,
+}
+
+/// Raw simulator handle shared with the worker pool.
+///
+/// The pool's synchronization is three [`Barrier`]s per cycle; between a
+/// worker's barrier waits it accesses the simulator only through this
+/// pointer and only per the [`ParTick`] ownership model, and while
+/// workers are parked at a barrier the main thread is the sole accessor.
+/// Barrier waits establish happens-before in both directions, so no
+/// location is ever accessed concurrently by two threads.
+#[derive(Clone, Copy)]
+struct SimShare<'a>(*mut Simulator<'a>);
+// SAFETY: see the type-level docs — the barrier protocol plus the shard
+// ownership model make every access exclusive per memory location.
+unsafe impl Send for SimShare<'_> {}
+unsafe impl Sync for SimShare<'_> {}
+
 /// A cycle-accurate simulation of one (system, faults, algorithm, pattern)
 /// configuration. Create with [`Simulator::new`], run with
 /// [`Simulator::run`].
@@ -170,6 +249,12 @@ pub struct Simulator<'a> {
     /// node → flat slot in `vl_flits` of the unidirectional VL crossed by
     /// a flit leaving the node vertically (`u32::MAX` for non-VL nodes).
     vl_stat_slot: Vec<u32>,
+    /// Flat copy of every router's `out_links`, immutable after setup.
+    /// The parallel commit reads wiring of *foreign* routers through this
+    /// table so it never touches another shard's `Router` values.
+    links_out: Vec<[Option<(u32, u8)>; PORT_COUNT]>,
+    /// Flat copy of every router's `in_links` (see `links_out`).
+    links_in: Vec<[Option<(u32, u8)>; PORT_COUNT]>,
     // Active-set scheduler state.
     /// Routers with at least one buffered flit, ascending; the worklist of
     /// phases 2–4.
@@ -229,6 +314,9 @@ pub struct Simulator<'a> {
     done: bool,
     /// Dense mode's fixed full worklist (empty in active mode).
     dense: Vec<usize>,
+    /// Parallel-tick shards and scratch (`None` until a parallel
+    /// `step_until` first needs it; never snapshotted).
+    par: Option<Box<ParTick>>,
 }
 
 impl<'a> Simulator<'a> {
@@ -287,6 +375,9 @@ impl<'a> Simulator<'a> {
             }
         }
 
+        let links_out: Vec<_> = routers.iter().map(|r| r.out_links).collect();
+        let links_in: Vec<_> = routers.iter().map(|r| r.in_links).collect();
+
         let initial_faults = faults.faulty_count();
         let region_of: Vec<u16> = sys
             .nodes()
@@ -314,6 +405,8 @@ impl<'a> Simulator<'a> {
             timeline: None,
             region_of,
             vl_stat_slot,
+            links_out,
+            links_in,
             active: Vec::new(),
             in_active: vec![false; n],
             pending_active: Vec::new(),
@@ -342,6 +435,7 @@ impl<'a> Simulator<'a> {
             active_mode: true,
             done: false,
             dense: Vec::new(),
+            par: None,
         }
     }
 
@@ -443,7 +537,21 @@ impl<'a> Simulator<'a> {
     /// `stop = Some(c)` the loop pauses before simulating the first cycle
     /// `>= c`; with `None` it runs to the end. Returns whether the run is
     /// finished.
+    ///
+    /// Dispatches between the serial engine (`tick_threads == 1`, and
+    /// always for the dense reference — the oracles stay single-threaded)
+    /// and the partitioned parallel tick. Both produce byte-identical
+    /// simulated state; see [`ParTick`] for why.
     fn step_until(&mut self, stop: Option<u64>) -> bool {
+        if self.active_mode && self.cfg.tick_threads > 1 && self.ensure_par() {
+            return self.step_until_parallel(stop);
+        }
+        self.step_until_serial(stop)
+    }
+
+    /// The serial cycle loop — the permanent single-threaded engine, and
+    /// the degenerate `tick_threads == 1` case of the parallel tick.
+    fn step_until_serial(&mut self, stop: Option<u64>) -> bool {
         let gen_end = self.cfg.warmup + self.cfg.measure;
         let hard_end = gen_end + self.cfg.drain;
         while !self.done {
@@ -531,6 +639,378 @@ impl<'a> Simulator<'a> {
             }
         }
         true
+    }
+
+    /// Lazily adopts the chiplet-aligned shard map for `tick_threads`
+    /// workers. Returns whether more than one shard resulted — a system
+    /// too small to split runs serially regardless of the knob.
+    fn ensure_par(&mut self) -> bool {
+        if self.par.is_none() {
+            let partition = self.sys.tick_partition(self.cfg.tick_threads);
+            // The engine re-asserts the partition's contract on adoption:
+            // phase writes would race if shards overlapped or left gaps.
+            partition.assert_disjoint_cover();
+            let k = partition.len();
+            let regions = self.vc_usage.len();
+            self.par = Some(Box::new(ParTick {
+                partition,
+                wl: vec![0..0; k],
+                moves: vec![Vec::new(); k],
+                eject: vec![Vec::new(); k],
+                eject_all: Vec::new(),
+                pending: vec![Vec::new(); k],
+                usage: vec![vec![VcUsage::default(); regions]; k],
+                exit: false,
+            }));
+        }
+        self.par.as_ref().expect("just built").partition.len() > 1
+    }
+
+    /// The parallel cycle loop: spawns the scoped worker pool (one OS
+    /// thread per shard beyond the main thread, which doubles as worker
+    /// 0), drives [`par_loop`](Self::par_loop), and tears the pool down
+    /// at every pause or finish. The pool is persistent across the cycles
+    /// of one `step_until` call — per-cycle spawning would cost more than
+    /// a cycle's work.
+    fn step_until_parallel(&mut self, stop: Option<u64>) -> bool {
+        let k = self.par.as_ref().expect("ensure_par ran").partition.len();
+        self.par.as_mut().expect("ensure_par ran").exit = false;
+        // Three reusable barriers per cycle: phase-A entry (doubling as
+        // the exit handshake), the A→B boundary, and commit completion.
+        let enter = Barrier::new(k);
+        let mid = Barrier::new(k);
+        let commit = Barrier::new(k);
+        let share = SimShare(self as *mut Self);
+        let mut finished = true;
+        std::thread::scope(|scope| {
+            for s in 1..k {
+                let (enter, mid, commit) = (&enter, &mid, &commit);
+                scope.spawn(move || loop {
+                    // Bind the whole wrapper (closures capture fields by
+                    // default, and a bare `*mut` is not `Send`).
+                    let share = share;
+                    enter.wait();
+                    // SAFETY (here and below): the barrier protocol — the
+                    // main thread published this cycle's job (or the exit
+                    // flag) before arriving at `enter`, and during a phase
+                    // every thread writes only shard-owned state (see
+                    // [`ParTick`]).
+                    if unsafe { (*share.0).par.as_deref().expect("pool without state").exit } {
+                        break;
+                    }
+                    unsafe { (*share.0).par_phase_a(s) };
+                    mid.wait();
+                    unsafe { (*share.0).par_phase_b(s) };
+                    commit.wait();
+                });
+            }
+            finished = self.par_loop(stop, &enter, &mid, &commit);
+            // Release the parked workers.
+            self.par.as_mut().expect("pool without state").exit = true;
+            enter.wait();
+        });
+        finished
+    }
+
+    /// The per-cycle driver of the parallel tick, run on the main thread.
+    /// Identical to [`step_until_serial`](Self::step_until_serial) except
+    /// phases 2–4 of a non-empty worklist run on the worker pool; the
+    /// serial prelude (timeline, generation) and postlude (ejection
+    /// bookkeeping, injection, active-set maintenance, idle skipping)
+    /// keep every RNG- or order-sensitive step on one thread.
+    fn par_loop(
+        &mut self,
+        stop: Option<u64>,
+        enter: &Barrier,
+        mid: &Barrier,
+        commit: &Barrier,
+    ) -> bool {
+        let gen_end = self.cfg.warmup + self.cfg.measure;
+        let hard_end = gen_end + self.cfg.drain;
+        while !self.done {
+            if self.cycle >= hard_end {
+                self.done = true;
+                break;
+            }
+            if stop.is_some_and(|s| self.cycle >= s) {
+                return false;
+            }
+            let changed = match self.timeline.as_mut() {
+                Some(cursor) => cursor.advance(self.cycle, &mut self.faults),
+                None => false,
+            };
+            if changed {
+                if self.cycle > self.epoch.start {
+                    self.epochs.push(self.epoch.close(self.cycle));
+                }
+                self.epoch = EpochAccum::open(self.cycle, self.faults.faulty_count());
+                if self.handle_fault_transition(self.cycle) {
+                    self.last_progress = self.cycle;
+                }
+            }
+            if self.cycle < gen_end {
+                self.generate(self.cycle);
+            }
+            // Phases 2–4 on the pool. An empty worklist skips the round
+            // entirely — the workers stay parked at `enter` (they only
+            // proceed when the main thread arrives) and injection may
+            // still make progress below.
+            let mut progressed = false;
+            if !self.active.is_empty() {
+                self.par_prepare();
+                enter.wait();
+                self.par_phase_a(0);
+                mid.wait();
+                self.par_phase_b(0);
+                commit.wait();
+                progressed = self.par_postlude(self.cycle);
+            }
+            let progressed = progressed | self.inject();
+            self.refresh_active();
+
+            if progressed {
+                self.last_progress = self.cycle;
+            }
+            self.cycle += 1;
+
+            if self.total_flits + self.packets_queued > 0
+                && self.cycle - self.last_progress >= self.cfg.deadlock_threshold
+            {
+                self.deadlocked = true;
+                self.done = true;
+                break;
+            }
+            if self.cycle >= gen_end && self.total_flits == 0 && self.packets_queued == 0 {
+                self.done = true;
+                break;
+            }
+            if self.total_flits == 0 && self.packets_queued == 0 && self.cycle < gen_end {
+                self.cycle = self.idle_skip_target(self.cycle, gen_end);
+                if self.cycle >= gen_end {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        true
+    }
+
+    /// Publishes the cycle's job: slices the sorted worklist at shard
+    /// boundaries — two binary searches per shard, possible because both
+    /// the worklist and the shards are ascending and contiguous.
+    fn par_prepare(&mut self) {
+        let mut par = self.par.take().expect("parallel cycle without state");
+        for (s, shard) in par.partition.shards().iter().enumerate() {
+            let lo = self
+                .active
+                .partition_point(|&i| (i as u32) < shard.nodes.start);
+            let hi = self
+                .active
+                .partition_point(|&i| (i as u32) < shard.nodes.end);
+            par.wl[s] = lo..hi;
+        }
+        self.par = Some(par);
+    }
+
+    /// Phase A for shard `s`: route computation, VC allocation, and
+    /// switch allocation over the shard's slice of the worklist — the
+    /// serial phase methods, unchanged, on a sub-worklist. Runs
+    /// concurrently on every worker; all writes are shard-owned (see
+    /// [`ParTick`]).
+    fn par_phase_a(&mut self, s: usize) {
+        let par: *mut ParTick = &mut **self.par.as_mut().expect("phase A without state");
+        // SAFETY: workers read shared job state and write only their own
+        // indexed slots, per the ParTick ownership model.
+        let (range, nodes) = unsafe {
+            let p = &*par;
+            (p.wl[s].clone(), p.partition.shards()[s].nodes.clone())
+        };
+        // Detach the sub-worklist slice from `self`'s borrow — phase A
+        // never touches `active`.
+        let wl: &[usize] = unsafe { &*(&self.active[range] as *const [usize]) };
+        #[cfg(debug_assertions)]
+        for &idx in wl {
+            assert!(
+                nodes.contains(&(idx as u32)),
+                "phase-A worklist router {idx} outside shard {s} (routers {nodes:?})"
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = nodes;
+        self.route_and_allocate(wl);
+        let mut moves = std::mem::take(unsafe { &mut (&mut (*par).moves)[s] });
+        moves.clear();
+        self.switch_allocate_into(self.cycle, wl, &mut moves);
+        unsafe { (&mut (*par).moves)[s] = moves };
+    }
+
+    /// Phase B for shard `s`: one in-order sweep of the canonical move
+    /// list (every shard's winners, shard-major — exactly the serial
+    /// commit order) applying only the aspects this shard owns: the pop
+    /// side where the move's router is owned, the credit return where the
+    /// upstream router is owned, and the push side where the downstream
+    /// router is owned. A location is therefore written by exactly one
+    /// worker, in the serial order; operations of one move that land on
+    /// different shards touch disjoint locations, so their relative order
+    /// is free.
+    fn par_phase_b(&mut self, s: usize) {
+        let par: *mut ParTick = &mut **self.par.as_mut().expect("phase B without state");
+        // SAFETY: every shard's `moves` was fully written before the A→B
+        // barrier and is only read now; writes go to worker-owned slots.
+        let k = unsafe { (*par).moves.len() };
+        let nodes = unsafe { (*par).partition.shards()[s].nodes.clone() };
+        let owns = |i: u32| nodes.start <= i && i < nodes.end;
+        let tail_idx = (self.cfg.packet_size - 1) as u32;
+        let cycle = self.cycle;
+        let mut eject = std::mem::take(unsafe { &mut (&mut (*par).eject)[s] });
+        let mut pending = std::mem::take(unsafe { &mut (&mut (*par).pending)[s] });
+        let mut usage = std::mem::take(unsafe { &mut (&mut (*par).usage)[s] });
+        for t in 0..k {
+            let moves: &[Move] = unsafe { &(&(*par).moves)[t] };
+            for (i, m) in moves.iter().enumerate() {
+                // Credit return to the upstream router feeding the input
+                // (wiring read through the immutable flat tables — never
+                // through a foreign shard's router).
+                if let Some((up, up_out)) = self.links_in[m.router][m.in_port as usize] {
+                    if owns(up) {
+                        self.routers[up as usize].credits[up_out as usize][m.in_vc as usize] += 1;
+                    }
+                }
+                let is_tail = m.fidx == tail_idx;
+                if owns(m.router as u32) {
+                    // Pop side: this shard owns the move's router.
+                    let popped = self.routers[m.router].pop_flit(m.in_port, m.in_vc);
+                    debug_assert_eq!(
+                        popped,
+                        (m.packet, m.fidx),
+                        "router {}: committed flit differs from the allocated one",
+                        m.router
+                    );
+                    if m.out_port == PORT_LOCAL {
+                        // Ejection bookkeeping (stats, arena release) is
+                        // order-sensitive: defer to the serial postlude,
+                        // keyed by canonical move order.
+                        eject.push((((t as u64) << 32) | i as u64, m.packet, m.fidx));
+                    } else {
+                        self.routers[m.router].credits[m.out_port as usize][m.out_vc as usize] -= 1;
+                        if m.out_port == PORT_VERTICAL {
+                            let slot = self.vl_stat_slot[m.router];
+                            debug_assert_ne!(slot, u32::MAX, "vertical move off a VL");
+                            #[cfg(debug_assertions)]
+                            self.debug_check_vl_shard(unsafe { &(*par).partition }, m.router, slot);
+                            self.vl_flits[slot as usize] += 1;
+                            self.vl_next_free[m.router] = cycle + self.cfg.vl_serialization;
+                        }
+                    }
+                    if is_tail {
+                        let ring = &mut self.routers[m.router].vcs[slot_of(m.in_port, m.in_vc)];
+                        ring.dest = None;
+                        ring.granted = false;
+                        ring.owner = None;
+                        if m.out_port != PORT_LOCAL {
+                            self.routers[m.router].out_alloc[m.out_port as usize]
+                                [m.out_vc as usize] = None;
+                        }
+                    }
+                }
+                if m.out_port != PORT_LOCAL {
+                    let (d_idx, d_port) = self.links_out[m.router][m.out_port as usize]
+                        .expect("move along a missing link");
+                    if owns(d_idx) {
+                        // Push side: this shard owns the downstream router.
+                        let d = d_idx as usize;
+                        self.routers[d].push_flit(d_port, m.out_vc, m.packet, m.fidx);
+                        if !self.in_active[d] && !self.pending_flag[d] {
+                            self.pending_flag[d] = true;
+                            pending.push(d);
+                        }
+                        let u = &mut usage[self.region_of[d] as usize];
+                        match m.out_vc {
+                            0 => u.vc0 += 1,
+                            _ => u.vc1 += 1,
+                        }
+                    }
+                }
+            }
+        }
+        unsafe {
+            (&mut (*par).eject)[s] = eject;
+            (&mut (*par).pending)[s] = pending;
+            (&mut (*par).usage)[s] = usage;
+        }
+    }
+
+    /// Debug invariant of the partition's link contract: a vertical move
+    /// crosses a link owned by the shard of the link's chiplet-side
+    /// endpoint. Panics naming the link and shard on violation.
+    #[cfg(debug_assertions)]
+    fn debug_check_vl_shard(&self, partition: &TickPartition, router: usize, stat_slot: u32) {
+        let vl = &self.sys.vertical_links()[(stat_slot / 2) as usize];
+        let dir = if stat_slot % 2 == 1 {
+            VlDir::Down
+        } else {
+            VlDir::Up
+        };
+        let link = self.sys.link_id(VlLinkId {
+            chiplet: vl.chiplet,
+            index: vl.index,
+            dir,
+        });
+        let shard = partition.shard_of(vl.chiplet_node);
+        assert!(
+            partition.shards()[shard].contains_link(link),
+            "vertical link {link:?} (chiplet {}, vl {}, {dir:?}) crossed at router {router} \
+             lies outside its owning shard {shard}",
+            vl.chiplet.0,
+            vl.index
+        );
+    }
+
+    /// Serial end-of-cycle merge after the commit barrier: ejection
+    /// statistics and packet releases in canonical move order (the arena
+    /// free list is LIFO — release order determines the IDs of later
+    /// packets), first-flit routers into the pending set, and the
+    /// per-worker VC-usage sums. Returns whether any flit moved.
+    fn par_postlude(&mut self, cycle: u64) -> bool {
+        let mut par = self.par.take().expect("postlude without state");
+        let progressed = par.moves.iter().any(|m| !m.is_empty());
+        let ParTick {
+            eject, eject_all, ..
+        } = &mut *par;
+        eject_all.clear();
+        for w in eject.iter_mut() {
+            eject_all.append(w);
+        }
+        eject_all.sort_unstable_by_key(|&(key, _, _)| key);
+        let tail_idx = (self.cfg.packet_size - 1) as u32;
+        for &(_, packet, fidx) in par.eject_all.iter() {
+            self.total_flits -= 1;
+            if fidx == tail_idx {
+                let info = &self.packets[packet];
+                if info.measured {
+                    let latency = cycle - info.generated_at + 1;
+                    self.delivered_measured += 1;
+                    self.latency_sum += latency;
+                    self.latency_max = self.latency_max.max(latency);
+                    self.lat_hist.record(latency);
+                    self.epoch.delivered += 1;
+                    self.epoch.latency_sum += latency;
+                }
+                self.packets.release(packet);
+            }
+        }
+        for w in par.pending.iter_mut() {
+            self.pending_active.append(w);
+        }
+        for acc in par.usage.iter_mut() {
+            for (r, u) in acc.iter_mut().enumerate() {
+                self.vc_usage[r].vc0 += u.vc0;
+                self.vc_usage[r].vc1 += u.vc1;
+                *u = VcUsage::default();
+            }
+        }
+        self.par = Some(par);
+        progressed
     }
 
     fn finalize(mut self) -> SimReport {
@@ -736,7 +1216,11 @@ impl<'a> Simulator<'a> {
                 self.sys.vertical_link_count()
             )));
         }
-        let cfg = SimConfig::decode(&mut dec)?;
+        let mut cfg = SimConfig::decode(&mut dec)?;
+        // `tick_threads` is a host-execution knob excluded from the wire
+        // format: a snapshot taken at one thread count resumes at any
+        // other, so the comparison keeps this simulator's own setting.
+        cfg.tick_threads = self.cfg.tick_threads;
         if cfg != self.cfg {
             return Err(CodecError::Mismatch(
                 "simulation config differs from the snapshot's".into(),
@@ -954,6 +1438,8 @@ impl<'a> Simulator<'a> {
             timeline,
             region_of: self.region_of.clone(),
             vl_stat_slot: self.vl_stat_slot.clone(),
+            links_out: self.links_out.clone(),
+            links_in: self.links_in.clone(),
             active: self.active.clone(),
             in_active: self.in_active.clone(),
             pending_active: Vec::new(),
@@ -982,6 +1468,7 @@ impl<'a> Simulator<'a> {
             active_mode: true,
             done: self.done,
             dense: Vec::new(),
+            par: None,
         }
     }
 
@@ -1193,9 +1680,18 @@ impl<'a> Simulator<'a> {
     /// during this phase, so precomputing the masks observes exactly what
     /// the legacy slot-by-slot probe would have.
     fn switch_allocate(&mut self, cycle: u64, worklist: &[usize]) -> Vec<Move> {
-        const SLOTS: u32 = SLOT_COUNT as u32;
         let mut moves = std::mem::take(&mut self.move_scratch);
         moves.clear();
+        self.switch_allocate_into(cycle, worklist, &mut moves);
+        moves
+    }
+
+    /// Switch allocation over a worklist, appending the winners to the
+    /// caller's buffer — the shared core of the serial phase 3 and of the
+    /// parallel tick's per-shard phase A (which owns one buffer per shard
+    /// so the canonical move list needs no concatenation).
+    fn switch_allocate_into(&mut self, cycle: u64, worklist: &[usize], moves: &mut Vec<Move>) {
+        const SLOTS: u32 = SLOT_COUNT as u32;
         for &idx in worklist {
             let r = &self.routers[idx];
             if r.occ_mask == 0 {
@@ -1257,17 +1753,24 @@ impl<'a> Simulator<'a> {
                 }
                 if let Some((in_port, in_vc, out_vc)) = winner {
                     used_slots |= ((1u16 << VC_COUNT) - 1) << (in_port as usize * VC_COUNT);
+                    // Annotate the move with the flit that will pop: the
+                    // ring front is stable until the commit (pops are one
+                    // per ring per cycle, pushes only append).
+                    let seg = self.routers[idx].vcs[slot_of(in_port, in_vc)]
+                        .front()
+                        .expect("switch winner from an empty ring");
                     moves.push(Move {
                         router: idx,
                         in_port,
                         in_vc,
                         out_port,
                         out_vc,
+                        packet: seg.packet,
+                        fidx: seg.first,
                     });
                 }
             }
         }
-        moves
     }
 
     /// Phase 4: apply the moves. Returns whether anything moved.
@@ -1279,6 +1782,12 @@ impl<'a> Simulator<'a> {
         let tail_idx = (self.cfg.packet_size - 1) as u32;
         for m in moves {
             let (packet, fidx) = self.routers[m.router].pop_flit(m.in_port, m.in_vc);
+            debug_assert_eq!(
+                (packet, fidx),
+                (m.packet, m.fidx),
+                "router {}: committed flit differs from the allocated one",
+                m.router
+            );
             let is_tail = fidx == tail_idx;
 
             // Credit return to the upstream router feeding this input.

@@ -48,6 +48,7 @@ mod coord;
 mod error;
 mod fault;
 mod ids;
+mod partition;
 mod presets;
 mod system;
 mod timeline;
@@ -57,6 +58,7 @@ pub use coord::{Coord, Direction};
 pub use error::TopologyError;
 pub use fault::{FaultScenarios, FaultState, ScenarioSampler, VlLinkId};
 pub use ids::{ChipletId, Layer, NodeAddr, NodeId, VlDir};
+pub use partition::{TickPartition, TickShard};
 pub use presets::PINWHEEL_VLS_4X4;
 pub use system::{ChipletSystem, LinkId, SystemBuilder, VerticalLink};
 pub use timeline::{

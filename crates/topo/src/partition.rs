@@ -1,0 +1,314 @@
+//! Chiplet-aligned router partitions for the parallel tick engine.
+//!
+//! The simulator's partitioned parallel tick (see `deft-sim`) shards
+//! routers across worker threads. The shards produced here are the
+//! load-balancing *and* safety contract of that engine:
+//!
+//! * **Chiplet-aligned.** A shard never splits a chiplet: the unit of
+//!   assignment is a whole chiplet or one interposer row. Node IDs number
+//!   chiplet nodes first (contiguously per chiplet) and then the
+//!   interposer row-major, so every unit — and therefore every shard — is
+//!   a *contiguous* [`NodeId`] range. The engine exploits this to split a
+//!   sorted worklist at shard boundaries with two binary searches and to
+//!   answer "which shard owns router r" with a range check.
+//! * **Link-aligned.** [`LinkId`] space is chiplet-major (each chiplet's
+//!   Down block, then its Up block), so a shard's chiplets also own a
+//!   contiguous [`LinkId`] range, reported per shard. Interposer rows own
+//!   no vertical links.
+//! * **Disjoint and covering.** Every router belongs to exactly one
+//!   shard; the constructor asserts it (the parallel engine's first
+//!   debug invariant rather than a comment).
+//! * **Deterministic.** The split depends only on the topology and the
+//!   requested shard count — never on thread scheduling — so identical
+//!   inputs partition identically on every host.
+//!
+//! Balancing is a single in-order sweep: unit `u` is cut off to shard
+//! `s+1` when the nodes accumulated so far reach the ideal cumulative
+//! boundary `(s+1)·total/shards`. With equal-size units (the common
+//! grids) this is an even split; skewed custom systems degrade gracefully
+//! toward "heaviest shard = one unit".
+
+use crate::ids::{ChipletId, NodeId};
+use crate::system::{ChipletSystem, LinkId};
+use std::ops::Range;
+
+/// One worker's slice of the system: a contiguous router range plus the
+/// contiguous vertical-link range those routers own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickShard {
+    /// Routers of this shard, as a contiguous `NodeId.0` range.
+    pub nodes: Range<u32>,
+    /// Vertical links whose *chiplet-side endpoint* lies in this shard, as
+    /// a contiguous `LinkId.0` range (empty for interposer-only shards).
+    pub links: Range<u32>,
+}
+
+impl TickShard {
+    /// Whether the shard owns the given node.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node.0)
+    }
+
+    /// Whether the shard owns the given vertical link.
+    pub fn contains_link(&self, link: LinkId) -> bool {
+        self.links.contains(&link.0)
+    }
+
+    /// Number of routers in the shard.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// A disjoint, covering, chiplet-aligned split of a system's routers into
+/// worker shards, produced by [`ChipletSystem::tick_partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickPartition {
+    shards: Vec<TickShard>,
+    node_count: u32,
+}
+
+impl TickPartition {
+    /// The shards, in ascending node order.
+    pub fn shards(&self) -> &[TickShard] {
+        &self.shards
+    }
+
+    /// Number of shards (≥ 1, ≤ the requested count).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the partition is empty (never, for a valid system).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard owning the given node (a binary search over shard
+    /// boundaries).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range for the partitioned system.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        assert!(
+            node.0 < self.node_count,
+            "node {node} outside the partitioned system"
+        );
+        self.shards
+            .partition_point(|s| s.nodes.end <= node.0)
+            .min(self.shards.len() - 1)
+    }
+
+    /// Asserts the partition's safety contract: shards are sorted,
+    /// non-empty, disjoint, and cover `0..node_count` without gaps.
+    /// Called by the constructor; cheap enough to re-run when the
+    /// parallel engine adopts a partition.
+    ///
+    /// # Panics
+    /// Panics (naming the offending shard and router IDs) on violation.
+    pub fn assert_disjoint_cover(&self) {
+        let mut next = 0u32;
+        for (i, s) in self.shards.iter().enumerate() {
+            assert!(
+                s.nodes.start < s.nodes.end,
+                "tick shard {i} is empty ({:?})",
+                s.nodes
+            );
+            assert!(
+                s.nodes.start == next,
+                "tick shard {i} starts at router {} but router {next} is unassigned",
+                s.nodes.start
+            );
+            next = s.nodes.end;
+        }
+        assert!(
+            next == self.node_count,
+            "tick shards cover routers 0..{next} of 0..{}",
+            self.node_count
+        );
+    }
+}
+
+impl ChipletSystem {
+    /// Splits the system's routers into up to `shards` chiplet-aligned,
+    /// contiguous, load-balanced shards for the parallel tick engine (see
+    /// [`TickPartition`] for the contract). Requesting more shards
+    /// than there are chiplets + interposer rows yields fewer, never an
+    /// empty shard; `shards == 0` is treated as 1.
+    pub fn tick_partition(&self, shards: usize) -> TickPartition {
+        // Assignment units in node order: whole chiplets, then interposer
+        // rows. Each unit is (contiguous node range, owned link count).
+        let mut units: Vec<(Range<u32>, u32)> = Vec::new();
+        for c in 0..self.chiplet_count() {
+            let id = ChipletId(c as u8);
+            let mut nodes = self.chiplet_nodes(id);
+            let first = nodes.next().expect("chiplets have at least one node");
+            let last = nodes.last().unwrap_or(first);
+            units.push((first.0..last.0 + 1, 2 * self.chiplet(id).vl_count() as u32));
+        }
+        let mut interposer = self.interposer_nodes();
+        if let Some(first) = interposer.next() {
+            let last = interposer.last().unwrap_or(first);
+            let width = u32::from(self.interposer_width()).max(1);
+            let mut row = first.0;
+            while row <= last.0 {
+                let end = (row + width).min(last.0 + 1);
+                units.push((row..end, 0));
+                row = end;
+            }
+        }
+
+        let total: u64 = units.iter().map(|(r, _)| r.len() as u64).sum();
+        let workers = shards.clamp(1, units.len()) as u64;
+        let mut out: Vec<TickShard> = Vec::new();
+        let mut node_start = 0u32;
+        let mut link_start = 0u32;
+        let mut node_end = 0u32;
+        let mut link_end = 0u32;
+        let mut seen = 0u64;
+        for (nodes, links) in units {
+            seen += nodes.len() as u64;
+            node_end = nodes.end;
+            link_end += links;
+            // Cut when the sweep reaches the next ideal cumulative
+            // boundary; the final shard is pushed after the loop so it
+            // always absorbs the tail.
+            let cut = out.len() as u64 + 1;
+            if cut < workers && seen * workers >= cut * total {
+                out.push(TickShard {
+                    nodes: node_start..node_end,
+                    links: link_start..link_end,
+                });
+                node_start = node_end;
+                link_start = link_end;
+            }
+        }
+        if node_start < node_end {
+            out.push(TickShard {
+                nodes: node_start..node_end,
+                links: link_start..link_end,
+            });
+        }
+        let partition = TickPartition {
+            shards: out,
+            node_count: self.node_count() as u32,
+        };
+        partition.assert_disjoint_cover();
+        debug_assert_eq!(
+            partition.shards.last().map(|s| s.links.end),
+            Some(self.link_count() as u32),
+            "shard link ranges must cover the chiplet-major LinkId space"
+        );
+        partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::VlLinkId;
+    use crate::ids::VlDir;
+
+    fn systems() -> Vec<ChipletSystem> {
+        vec![
+            ChipletSystem::baseline_4(),
+            ChipletSystem::baseline_6(),
+            ChipletSystem::chiplet_grid(3, 2).expect("3x2 grid"),
+            ChipletSystem::chiplet_grid(8, 8).expect("8x8 grid"),
+        ]
+    }
+
+    #[test]
+    fn partitions_are_disjoint_covering_and_deterministic() {
+        for sys in systems() {
+            for shards in [1, 2, 3, 4, 8, 64, 10_000] {
+                let p = sys.tick_partition(shards);
+                p.assert_disjoint_cover();
+                assert!(!p.is_empty() && p.len() <= shards.max(1));
+                assert_eq!(p, sys.tick_partition(shards), "non-deterministic");
+                for node in sys.nodes() {
+                    let s = p.shard_of(node);
+                    assert!(p.shards()[s].contains_node(node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_never_split_a_chiplet() {
+        for sys in systems() {
+            let p = sys.tick_partition(4);
+            for c in 0..sys.chiplet_count() {
+                let owners: Vec<usize> = sys
+                    .chiplet_nodes(ChipletId(c as u8))
+                    .map(|n| p.shard_of(n))
+                    .collect();
+                assert!(
+                    owners.windows(2).all(|w| w[0] == w[1]),
+                    "chiplet {c} split across shards {owners:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_ranges_follow_chiplet_ownership() {
+        for sys in systems() {
+            let p = sys.tick_partition(4);
+            for c in 0..sys.chiplet_count() {
+                let id = ChipletId(c as u8);
+                let shard = p.shard_of(sys.chiplet_nodes(id).next().unwrap());
+                for i in 0..sys.chiplet(id).vl_count() {
+                    for dir in [VlDir::Down, VlDir::Up] {
+                        let lid = sys.link_id(VlLinkId {
+                            chiplet: id,
+                            index: i as u8,
+                            dir,
+                        });
+                        assert!(
+                            p.shards()[shard].contains_link(lid),
+                            "link {lid:?} of chiplet {c} not in its shard {shard}"
+                        );
+                    }
+                }
+            }
+            // Links are covered exactly once across shards.
+            let total: usize = p.shards().iter().map(|s| s.links.len()).sum();
+            assert_eq!(total, sys.link_count());
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_system() {
+        let sys = ChipletSystem::baseline_4();
+        let p = sys.tick_partition(1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.shards()[0].nodes, 0..sys.node_count() as u32);
+        assert_eq!(p.shards()[0].links, 0..sys.link_count() as u32);
+        // Zero is clamped to one.
+        assert_eq!(sys.tick_partition(0), p);
+    }
+
+    #[test]
+    fn balanced_split_on_the_8x8_grid() {
+        let sys = ChipletSystem::chiplet_grid(8, 8).expect("8x8 grid");
+        let p = sys.tick_partition(8);
+        assert_eq!(p.len(), 8);
+        let sizes: Vec<usize> = p.shards().iter().map(TickShard::node_count).collect();
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        // 2048 chiplet routers + interposer rows split 8 ways: no shard
+        // may exceed its ideal share by more than one unit.
+        assert!(
+            max - min <= 64,
+            "8-way split of the 8x8 grid is lopsided: {sizes:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the partitioned system")]
+    fn shard_of_rejects_out_of_range_nodes() {
+        let sys = ChipletSystem::baseline_4();
+        let p = sys.tick_partition(2);
+        p.shard_of(NodeId(sys.node_count() as u32));
+    }
+}

@@ -27,6 +27,16 @@ import json
 import statistics
 import sys
 
+# Cells tracked warn-only even when a committed baseline exists: the
+# 16x16 scaling datapoint (no stable trajectory yet) and the threaded
+# large-grid cells, whose ratio to a baseline recorded on a different
+# host measures that host's core count rather than the engine.
+WARN_ONLY = {
+    "large-grid-16x16/DeFT-Dis",
+    "large-grid-8x8/DeFT-Dis/tick4",
+    "large-grid-8x8/DeFT-Dis/tick8",
+}
+
 
 def load_cells(path):
     with open(path, encoding="utf-8") as f:
@@ -83,7 +93,9 @@ def main():
             f"cycles/sec (x{ratio:.2f} raw, x{norm:.2f} normalized)"
         )
         if norm < args.fail_below:
-            if base[name][1] < args.min_wall_ms:
+            if name in WARN_ONLY:
+                print(f"::warning::perf drop on warn-only cell {line}")
+            elif base[name][1] < args.min_wall_ms:
                 print(
                     f"::warning::perf drop on sub-{args.min_wall_ms:.0f}ms "
                     f"cell (not gated) {line}"

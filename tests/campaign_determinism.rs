@@ -78,6 +78,41 @@ fn fig7_reachability_is_byte_identical_across_job_counts() {
     assert_eq!(reachability_csv(&serial), reachability_csv(&parallel));
 }
 
+/// The two parallelism layers compose: an outer campaign fan-out
+/// (`--jobs 4`) running simulators that each shard their cycle across
+/// tick workers (`--tick-threads 2`) must be byte-identical to the fully
+/// serial path (`jobs = 1`, `tick_threads = 1`) — at the rendered-report
+/// level, for both emitters.
+#[test]
+fn nested_jobs_and_tick_threads_match_fully_serial() {
+    let sys = ChipletSystem::baseline_4();
+    let serial = fig4(
+        &sys,
+        SynPattern::Uniform,
+        &[0.002, 0.004],
+        &Algo::MAIN,
+        &cfg(1),
+    );
+    let nested_cfg = cfg(4).with_tick_threads(2);
+    let nested = fig4(
+        &sys,
+        SynPattern::Uniform,
+        &[0.002, 0.004],
+        &Algo::MAIN,
+        &nested_cfg,
+    );
+    assert_eq!(
+        render_latency_sweep(&serial),
+        render_latency_sweep(&nested),
+        "jobs=4 x tick_threads=2 fig4 text report diverged from fully serial"
+    );
+    assert_eq!(
+        latency_sweep_csv(&serial),
+        latency_sweep_csv(&nested),
+        "jobs=4 x tick_threads=2 fig4 CSV diverged from fully serial"
+    );
+}
+
 #[test]
 fn rho_ablation_is_byte_identical_across_job_counts() {
     let sys = ChipletSystem::baseline_4();

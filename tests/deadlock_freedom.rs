@@ -117,7 +117,7 @@ impl RoutingAlgorithm for RingRouting {
     }
 
     fn route(
-        &mut self,
+        &self,
         sys: &ChipletSystem,
         _faults: &FaultState,
         node: NodeId,

@@ -14,7 +14,7 @@
 //! reproducibility contract.
 
 use deft::experiments::{
-    fig4, fig8, recovery, recovery_scenarios, Algo, ExpConfig, SynPattern, RECOVERY_RATE,
+    fig4, fig8, recovery, recovery_scenarios, Algo, ExpConfig, SynPattern, PERF_RATE, RECOVERY_RATE,
 };
 use deft::report::{latency_sweep_csv, recovery_csv};
 use deft::sim::{SimConfig, Simulator};
@@ -159,6 +159,35 @@ fn trickle_trace_recovery_report_is_pinned() {
         fnv1a(rendered.as_bytes()),
         0xf740_5940_38ca_847b,
         "trickle trace recovery report drifted from the golden hash;\n\
+         if this is an intentional behaviour change, update the constant:\n{rendered}"
+    );
+}
+
+/// The large-grid scaling cell (`large-grid-8x8/DeFT-Dis` in the perf
+/// harness: an 8×8 grid of 4×4 chiplets, 2048 routers) at the quick
+/// windows, pinned at the full `SimReport` debug rendering. This hash was
+/// recorded from the **serial** engine before the partitioned parallel
+/// tick landed, so it cross-validates the parallel path against
+/// pre-refactor bytes — the same discipline PRs 4–6 used for their hot-path
+/// swaps. It must stay unchanged by any `tick_threads` setting.
+#[test]
+fn large_grid_quick_report_is_pinned() {
+    let sys = ChipletSystem::chiplet_grid(8, 8).expect("8x8 grid is valid");
+    let pattern = uniform(&sys, PERF_RATE);
+    let cfg = ExpConfig::quick();
+    let report = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Algo::DeftDis.build(&sys),
+        &pattern,
+        cfg.run_sim(3),
+    )
+    .run();
+    let rendered = format!("{report:?}");
+    assert_eq!(
+        fnv1a(rendered.as_bytes()),
+        0xa47f_2302_fbfd_0980,
+        "large-grid-8x8 quick report drifted from the pre-parallel golden hash;\n\
          if this is an intentional behaviour change, update the constant:\n{rendered}"
     );
 }

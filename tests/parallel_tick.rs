@@ -1,0 +1,241 @@
+//! Differential tests of the partitioned parallel tick engine.
+//!
+//! The contract under test is the tentpole guarantee of the parallel
+//! engine: `tick_threads` is a pure throughput knob. For any (grid,
+//! algorithm, traffic seed, transient timeline), running with 2, 4, or 8
+//! worker shards produces a [`SimReport`] *equal in every field* to the
+//! serial engine's — same delivered counts, same latency histogram, same
+//! per-epoch stats, same VC-usage tallies. The serial engine (and, on the
+//! idle-skip path, `run_dense_reference`) stays in the tree as the
+//! permanent oracle these runs are compared against.
+//!
+//! Snapshots are thread-count-agnostic: a run paused under one thread
+//! count must re-encode and finish identically under another.
+
+use deft::experiments::Algo;
+use deft::prelude::*;
+use proptest::prelude::*;
+
+/// Simulation windows small enough for property-test case counts, large
+/// enough that worms, fault transitions, and source queues are all live
+/// while the shards run.
+fn parallel_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup: 150,
+        measure: 900,
+        drain: 15_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// Every routing algorithm of the evaluation, ablations included.
+const ALGOS: [Algo; 5] = [
+    Algo::Deft,
+    Algo::DeftDis,
+    Algo::DeftRan,
+    Algo::Mtr,
+    Algo::Rc,
+];
+
+/// Thread counts the engine must agree across: serial, and the shard
+/// counts the acceptance gate sweeps. On the small baselines 8 collapses
+/// to fewer shards (never more than chiplets + interposer rows), which is
+/// exactly the degenerate path worth covering.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The sampled systems: the two paper baselines plus a non-square grid.
+fn make_sys(idx: usize) -> ChipletSystem {
+    match idx {
+        0 => ChipletSystem::baseline_4(),
+        1 => ChipletSystem::baseline_6(),
+        _ => ChipletSystem::chiplet_grid(3, 2).expect("3x2 grid is valid"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Grid × algorithm × traffic seed × timeline: every thread count
+    /// reproduces the serial report exactly.
+    #[test]
+    fn parallel_tick_matches_serial_everywhere(
+        sys_idx in 0usize..3,
+        algo_idx in 0usize..ALGOS.len(),
+        seed in 0u64..1_000,
+        tl_seed in 0u64..1_000,
+    ) {
+        let sys = make_sys(sys_idx);
+        let algo = ALGOS[algo_idx];
+        let cfg = parallel_cfg(0x7A11 ^ seed);
+        let horizon = cfg.warmup + cfg.measure;
+        let tl = FaultTimeline::transient(&sys, &TransientConfig {
+            mean_healthy: horizon as f64 * 2.0,
+            mean_faulty: horizon as f64 / 6.0,
+            horizon,
+            seed: tl_seed,
+        });
+        let pattern = uniform(&sys, 0.003);
+        let mk = |threads: usize| {
+            Simulator::new(
+                &sys,
+                FaultState::none(&sys),
+                algo.build(&sys),
+                &pattern,
+                cfg.with_tick_threads(threads),
+            )
+            .with_timeline(&tl)
+        };
+        let serial = mk(1).run();
+        for threads in THREADS {
+            let parallel = mk(threads).run();
+            prop_assert_eq!(
+                &parallel,
+                &serial,
+                "{} diverges at tick_threads={}",
+                algo.name(),
+                threads
+            );
+        }
+    }
+
+    /// Snapshots are thread-count-agnostic: pause under one thread count,
+    /// resume under another, and both the re-encoded snapshot bytes and
+    /// the finished report match the serial straight-through run.
+    #[test]
+    fn snapshot_resume_across_thread_counts(
+        sys_idx in 0usize..3,
+        algo_idx in 0usize..ALGOS.len(),
+        seed in 0u64..1_000,
+        pause_tenths in 1u64..10,
+        snap_threads in 0usize..THREADS.len(),
+        resume_threads in 0usize..THREADS.len(),
+    ) {
+        let sys = make_sys(sys_idx);
+        let algo = ALGOS[algo_idx];
+        let cfg = parallel_cfg(0x5A4B ^ seed);
+        let horizon = cfg.warmup + cfg.measure;
+        let tl = FaultTimeline::transient(&sys, &TransientConfig {
+            mean_healthy: horizon as f64 * 2.0,
+            mean_faulty: horizon as f64 / 6.0,
+            horizon,
+            seed: seed ^ 0xC0DE,
+        });
+        let pattern = uniform(&sys, 0.003);
+        let mk = |threads: usize| {
+            Simulator::new(
+                &sys,
+                FaultState::none(&sys),
+                algo.build(&sys),
+                &pattern,
+                cfg.with_tick_threads(threads),
+            )
+            .with_timeline(&tl)
+        };
+        let straight = mk(1).run();
+
+        let pause = horizon * pause_tenths / 10;
+        let mut first = mk(THREADS[snap_threads]);
+        first.start();
+        first.advance_to(pause);
+        let snap = first.snapshot();
+
+        // The serial engine at the same pause point must produce the very
+        // same snapshot bytes: thread count never reaches the wire format.
+        let mut serial_ref = mk(1);
+        serial_ref.start();
+        serial_ref.advance_to(pause);
+        prop_assert_eq!(
+            serial_ref.snapshot(),
+            snap.clone(),
+            "snapshot bytes depend on tick_threads={}",
+            THREADS[snap_threads]
+        );
+
+        let mut resumed = mk(THREADS[resume_threads]);
+        prop_assert!(
+            resumed.resume_from(&snap).is_ok(),
+            "{} rejected a snapshot taken under tick_threads={}",
+            algo.name(),
+            THREADS[snap_threads]
+        );
+        prop_assert_eq!(resumed.snapshot(), snap);
+        prop_assert_eq!(resumed.finish(), straight);
+    }
+}
+
+/// The idle-skip path under shards: sparse trace traffic whose
+/// provably-idle windows the engine jumps over. The parallel engine, the
+/// serial engine, and the cycle-by-cycle dense reference all agree.
+#[test]
+fn parallel_tick_preserves_idle_skip() {
+    use deft_traffic::{Trace, TraceEvent};
+
+    let sys = ChipletSystem::baseline_4();
+    let n = sys.node_count() as u32;
+    let events: Vec<TraceEvent> = (0..10u64)
+        .map(|k| TraceEvent {
+            cycle: k * 400,
+            src: NodeId((7 * k as u32) % n),
+            dst: NodeId((31 + 41 * k as u32) % n),
+        })
+        .filter(|e| e.src != e.dst)
+        .collect();
+    let trace = Trace::new("trickle", events, sys.node_count());
+    let cfg = SimConfig {
+        warmup: 500,
+        measure: 3_500,
+        drain: 10_000,
+        ..SimConfig::default()
+    };
+    let horizon = cfg.warmup + cfg.measure;
+    let tl = FaultTimeline::transient(
+        &sys,
+        &TransientConfig {
+            mean_healthy: horizon as f64 * 4.0,
+            mean_faulty: horizon as f64 / 8.0,
+            horizon,
+            seed: 17,
+        },
+    );
+    let mk = |threads: usize| {
+        Simulator::new(
+            &sys,
+            FaultState::none(&sys),
+            Box::new(DeftRouting::distance_based(&sys)),
+            &trace,
+            cfg.with_tick_threads(threads),
+        )
+        .with_timeline(&tl)
+    };
+    let serial = mk(1).run();
+    let dense = mk(1).run_dense_reference();
+    assert_eq!(serial, dense, "serial engine diverges from dense oracle");
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            mk(threads).run(),
+            serial,
+            "idle-skip diverges at tick_threads={threads}"
+        );
+    }
+}
+
+/// Thread counts beyond the shard supply (more workers than chiplets +
+/// interposer rows) clamp instead of panicking or diverging.
+#[test]
+fn oversubscribed_thread_count_is_clamped() {
+    let sys = ChipletSystem::baseline_4();
+    let pattern = uniform(&sys, 0.004);
+    let cfg = parallel_cfg(3);
+    let mk = |threads: usize| {
+        Simulator::new(
+            &sys,
+            FaultState::none(&sys),
+            Algo::Deft.build(&sys),
+            &pattern,
+            cfg.with_tick_threads(threads),
+        )
+    };
+    let serial = mk(1).run();
+    assert_eq!(mk(64).run(), serial, "oversubscribed run diverges");
+}
