@@ -459,6 +459,45 @@ impl<A: Persist, B: Persist> Persist for (A, B) {
     }
 }
 
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+        self.2.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?))
+    }
+}
+
+impl<K: Persist + Ord, V: Persist> Persist for std::collections::BTreeMap<K, V> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for (k, v) in self {
+            k.encode(enc);
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let n = dec.get_usize()?;
+        let mut out = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode(dec)?;
+            let v = V::decode(dec)?;
+            // Canonical form: entries are written in strictly increasing
+            // key order (BTreeMap iteration order), so any out-of-order or
+            // duplicate key marks a non-round-trip encoding.
+            if out.last_key_value().is_some_and(|(last, _)| *last >= k) {
+                return Err(CodecError::Invalid(
+                    "map keys are not strictly increasing".into(),
+                ));
+            }
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
 /// Convenience: one value's standalone encoding (its [`Persist`] bytes,
 /// no container framing).
 pub fn encode_value<T: Persist>(v: &T) -> Vec<u8> {
@@ -586,6 +625,97 @@ impl<'a> SnapshotReader<'a> {
     /// [`CodecError::Invalid`].
     pub fn finish(&self) -> Result<(), CodecError> {
         self.dec.finish()
+    }
+}
+
+/// Content-addressed identity of one cacheable computation.
+///
+/// A key is built from named fields via [`CacheKeyBuilder`]; the full
+/// field material (which always begins with [`FORMAT_VERSION`], so a
+/// codec bump invalidates every existing entry) is retained alongside
+/// its FNV-1a hash. Stores embed the material in each entry and compare
+/// it on probe, so a 64-bit hash collision degrades to a miss instead
+/// of returning another cell's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    material: Vec<u8>,
+    hash: u64,
+}
+
+impl CacheKey {
+    /// The 64-bit content hash (FNV-1a over [`Self::material`]).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The full encoded field material the hash was derived from.
+    pub fn material(&self) -> &[u8] {
+        &self.material
+    }
+
+    /// Canonical file name for this key's store entry.
+    pub fn file_name(&self) -> String {
+        format!("{:016x}.dce", self.hash)
+    }
+}
+
+/// Builds a [`CacheKey`] from named, typed fields.
+///
+/// Every field is encoded as its name (length-prefixed) followed by its
+/// [`Persist`] encoding, so two keys collide only if they agree on the
+/// domain, the field names, *and* every field value. `f64` fields are
+/// hashed by bit pattern (`to_bits`), so `-0.0 != 0.0` and NaNs are
+/// stable.
+#[derive(Debug)]
+pub struct CacheKeyBuilder {
+    enc: Encoder,
+}
+
+impl CacheKeyBuilder {
+    /// Starts a key in `domain` (e.g. one experiment's cell type).
+    /// The material opens with [`FORMAT_VERSION`] so any wire-format
+    /// bump changes every key.
+    pub fn new(domain: &str) -> Self {
+        let mut enc = Encoder::new();
+        enc.put_u32(FORMAT_VERSION);
+        enc.put_bytes(domain.as_bytes());
+        Self { enc }
+    }
+
+    fn field(&mut self, name: &str) -> &mut Encoder {
+        self.enc.put_bytes(name.as_bytes());
+        &mut self.enc
+    }
+
+    /// Adds a `u64` field (also used for smaller integer widths).
+    pub fn u64(mut self, name: &str, v: u64) -> Self {
+        self.field(name).put_u64(v);
+        self
+    }
+
+    /// Adds a `bool` field.
+    pub fn bool(mut self, name: &str, v: bool) -> Self {
+        self.field(name).put_bool(v);
+        self
+    }
+
+    /// Adds an `f64` field by bit pattern.
+    pub fn f64(mut self, name: &str, v: f64) -> Self {
+        self.field(name).put_u64(v.to_bits());
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, name: &str, v: &str) -> Self {
+        self.field(name).put_bytes(v.as_bytes());
+        self
+    }
+
+    /// Seals the key: hashes the accumulated material.
+    pub fn finish(self) -> CacheKey {
+        let material = self.enc.into_bytes();
+        let hash = fnv1a(&material);
+        CacheKey { material, hash }
     }
 }
 
@@ -827,5 +957,90 @@ mod tests {
         )
         .contains("version 9"));
         assert!(format!("{}", CodecError::Mismatch("algorithm".into())).contains("algorithm"));
+    }
+
+    #[test]
+    fn tuple3_and_btreemap_round_trip() {
+        let triple = (7u64, -0.25f64, String::from("DeFT"));
+        let bytes = encode_value(&triple);
+        let mut dec = Decoder::new(&bytes);
+        let back = <(u64, f64, String)>::decode(&mut dec).expect("tuple3 decodes");
+        dec.finish().expect("tuple3 consumes exactly");
+        assert_eq!(back, triple);
+
+        let mut map = std::collections::BTreeMap::new();
+        map.insert((2u8, 1u8, true), 99u64);
+        map.insert((0u8, 3u8, false), 4u64);
+        let bytes = encode_value(&map);
+        let mut dec = Decoder::new(&bytes);
+        let back = <std::collections::BTreeMap<(u8, u8, bool), u64>>::decode(&mut dec)
+            .expect("map decodes");
+        dec.finish().expect("map consumes exactly");
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn btreemap_rejects_unsorted_or_duplicate_keys() {
+        // Hand-encode two entries with keys out of order.
+        let mut enc = Encoder::new();
+        enc.put_usize(2);
+        enc.put_u8(5);
+        enc.put_u64(1);
+        enc.put_u8(3);
+        enc.put_u64(2);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let err = <std::collections::BTreeMap<u8, u64>>::decode(&mut dec).unwrap_err();
+        assert!(matches!(err, CodecError::Invalid(_)));
+
+        let mut enc = Encoder::new();
+        enc.put_usize(2);
+        enc.put_u8(5);
+        enc.put_u64(1);
+        enc.put_u8(5);
+        enc.put_u64(2);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let err = <std::collections::BTreeMap<u8, u64>>::decode(&mut dec).unwrap_err();
+        assert!(matches!(err, CodecError::Invalid(_)));
+    }
+
+    #[test]
+    fn cache_key_is_stable_and_field_sensitive() {
+        let build = |rate: f64, seed: u64, algo: &str| {
+            CacheKeyBuilder::new("latency-point")
+                .u64("seed", seed)
+                .f64("rate", rate)
+                .str("algo", algo)
+                .finish()
+        };
+        let a = build(0.02, 0xDE, "DeFT");
+        assert_eq!(a, build(0.02, 0xDE, "DeFT"));
+        assert_eq!(a.hash(), fnv1a(a.material()));
+        assert_eq!(a.file_name(), format!("{:016x}.dce", a.hash()));
+
+        // Any single field change produces a distinct key.
+        for other in [
+            build(0.03, 0xDE, "DeFT"),
+            build(0.02, 0xDF, "DeFT"),
+            build(0.02, 0xDE, "MTR"),
+        ] {
+            assert_ne!(a, other);
+            assert_ne!(a.hash(), other.hash());
+        }
+
+        // A different domain with identical fields is a different key.
+        let b = CacheKeyBuilder::new("recovery")
+            .u64("seed", 0xDE)
+            .f64("rate", 0.02)
+            .str("algo", "DeFT")
+            .finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cache_key_material_embeds_format_version() {
+        let key = CacheKeyBuilder::new("d").finish();
+        assert_eq!(&key.material()[..4], &FORMAT_VERSION.to_le_bytes());
     }
 }

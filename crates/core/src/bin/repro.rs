@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! deft-repro [--quick] [--jobs N] [--tick-threads N] [--out text|csv] \
-//!            [--exp NAME] \
+//!            [--exp NAME] [--cache DIR] [--no-cache] \
 //!            [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
 //!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|\
 //!             checkpoint|fork_sweep|all]
@@ -37,11 +37,19 @@
 //!   per-algorithm loss/recovery means with confidence intervals. Like
 //!   `perf`, it is not part of `all` (it is the scale demo of the fork
 //!   engine, not a paper figure).
+//! * `--cache DIR` memoizes campaign cells in a content-addressed result
+//!   store under `DIR`: each cell probes the store first and only
+//!   simulates on a miss, with results byte-identical to an uncached run
+//!   and a one-line hit/miss summary on stderr at the end. `--no-cache`
+//!   overrides it. An unusable `DIR` is a clean one-line error. The
+//!   `checkpoint` and `fork_sweep` targets do not route through the
+//!   campaign runner and therefore never hit the store.
 
+use deft::campaign::CacheStore;
 use deft::experiments::{
-    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_jobs, fig8, fork_sweep, perf, recovery,
-    recovery_scenarios, rho_ablation_jobs, scaling_study, table1_campaign_jobs, Algo, ExpConfig,
-    SynPattern, FORK_SWEEP_K, RECOVERY_RATE,
+    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_cached, fig8, fork_sweep, perf, recovery,
+    recovery_scenarios, rho_ablation_cached, scaling_study, table1_campaign_cached, Algo,
+    ExpConfig, SynPattern, FORK_SWEEP_K, RECOVERY_RATE,
 };
 use deft::report::{
     app_improvements_csv, fork_sweep_csv, latency_sweep_csv, perf_json, reachability_csv,
@@ -131,16 +139,16 @@ fn run_fig6(cfg: &ExpConfig, out: Out) {
     );
 }
 
-fn run_fig7(jobs: usize, out: Out) {
+fn run_fig7(cfg: &ExpConfig, out: Out) {
     let sys4 = ChipletSystem::baseline_4();
-    let curves4 = fig7_jobs(&sys4, 8, jobs);
+    let curves4 = fig7_cached(&sys4, 8, cfg.jobs, cfg.cache_store());
     out.emit(
         "Reachability: 4 Chiplets (32 VLs)",
         || render_reachability("4 Chiplets (32 VLs)", &curves4),
         || reachability_csv(&curves4),
     );
     let sys6 = ChipletSystem::baseline_6();
-    let curves6 = fig7_jobs(&sys6, 8, jobs);
+    let curves6 = fig7_cached(&sys6, 8, cfg.jobs, cfg.cache_store());
     out.emit(
         "Reachability: 6 Chiplets (48 VLs)",
         || render_reachability("6 Chiplets (48 VLs)", &curves6),
@@ -234,9 +242,9 @@ fn run_fig8(cfg: &ExpConfig, out: Out) {
     );
 }
 
-fn run_rho(jobs: usize, out: Out) {
+fn run_rho(cfg: &ExpConfig, out: Out) {
     let sys = ChipletSystem::baseline_4();
-    let rows = rho_ablation_jobs(&sys, jobs);
+    let rows = rho_ablation_cached(&sys, cfg.jobs, cfg.cache_store());
     out.emit(
         "rho ablation",
         || render_rho_ablation(&rows),
@@ -381,8 +389,13 @@ fn run_fork_sweep(cfg: &ExpConfig, out: Out) {
     );
 }
 
-fn run_table1(jobs: usize, out: Out) {
-    let rows = table1_campaign_jobs(&RouterParams::paper_default(), &Tech45nm::default(), jobs);
+fn run_table1(cfg: &ExpConfig, out: Out) {
+    let rows = table1_campaign_cached(
+        &RouterParams::paper_default(),
+        &Tech45nm::default(),
+        cfg.jobs,
+        cfg.cache_store(),
+    );
     out.emit(
         "Table I: router area and power",
         || render_table1(&rows),
@@ -393,9 +406,11 @@ fn run_table1(jobs: usize, out: Out) {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: deft-repro [--quick] [--jobs N] [--tick-threads N] [--out text|csv] [--exp NAME] \
+         [--cache DIR] [--no-cache] \
          [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
          [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|checkpoint|fork_sweep|all]\n\
-         (--snapshot-every/--snapshot-file/--resume apply to the checkpoint target)"
+         (--snapshot-every/--snapshot-file/--resume apply to the checkpoint target;\n\
+          --cache DIR memoizes campaign cells in a content-addressed result store)"
     );
     std::process::exit(2);
 }
@@ -408,6 +423,8 @@ fn main() {
     let mut out = Out::Text;
     let mut what: Option<String> = None;
     let mut snap = SnapshotOpts::default();
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -464,6 +481,10 @@ fn main() {
             snap.file = Some(parse_value("--snapshot-file", &arg, &mut it));
         } else if arg == "--resume" || arg.starts_with("--resume=") {
             snap.resume = Some(parse_value("--resume", &arg, &mut it));
+        } else if arg == "--cache" || arg.starts_with("--cache=") {
+            cache_dir = Some(parse_value("--cache", &arg, &mut it));
+        } else if arg == "--no-cache" {
+            no_cache = true;
         } else if arg == "--exp" || arg.starts_with("--exp=") {
             let v = parse_value("--exp", &arg, &mut it);
             if let Some(first) = &what {
@@ -495,6 +516,20 @@ fn main() {
         Some(n) => cfg.with_tick_threads(n),
         None => cfg,
     };
+    let store = match (&cache_dir, no_cache) {
+        (Some(dir), false) => match CacheStore::open(dir) {
+            Ok(s) => Some(std::sync::Arc::new(s)),
+            Err(e) => {
+                eprintln!("cannot open cache {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => None,
+    };
+    let cfg = match &store {
+        Some(s) => cfg.with_cache(std::sync::Arc::clone(s)),
+        None => cfg,
+    };
 
     let what = what.as_deref().unwrap_or("all").to_owned();
     if snap.in_use() && what != "checkpoint" {
@@ -506,10 +541,10 @@ fn main() {
         "fig4" => run_fig4(&cfg, out),
         "fig5" => run_fig5(&cfg, out),
         "fig6" => run_fig6(&cfg, out),
-        "fig7" => run_fig7(cfg.jobs, out),
+        "fig7" => run_fig7(&cfg, out),
         "fig8" => run_fig8(&cfg, out),
-        "table1" => run_table1(cfg.jobs, out),
-        "rho" => run_rho(cfg.jobs, out),
+        "table1" => run_table1(&cfg, out),
+        "rho" => run_rho(&cfg, out),
         "scaling" => run_scaling(&cfg, out),
         "recovery" => run_recovery(&cfg, out),
         "perf" => run_perf(&cfg, quick, out),
@@ -519,10 +554,10 @@ fn main() {
             run_fig4(&cfg, out);
             run_fig5(&cfg, out);
             run_fig6(&cfg, out);
-            run_fig7(cfg.jobs, out);
+            run_fig7(&cfg, out);
             run_fig8(&cfg, out);
-            run_table1(cfg.jobs, out);
-            run_rho(cfg.jobs, out);
+            run_table1(&cfg, out);
+            run_rho(&cfg, out);
             run_scaling(&cfg, out);
             run_recovery(&cfg, out);
         }
@@ -530,5 +565,10 @@ fn main() {
             eprintln!("unknown experiment {other:?}");
             usage_and_exit();
         }
+    }
+
+    // stderr so `--out csv` stdout stays byte-comparable across runs.
+    if let Some(store) = &store {
+        eprintln!("{}", store.summary());
     }
 }

@@ -40,8 +40,13 @@
 //! assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]); // grid order, always
 //! ```
 
+use deft_codec::{CacheKey, Persist};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub mod store;
+
+pub use store::{CacheStats, CacheStore};
 
 /// The number of worker threads used when none is requested explicitly:
 /// the machine's available parallelism, or 1 if that cannot be determined.
@@ -68,6 +73,19 @@ pub trait Run: Sync {
 
     /// Performs the work. Called exactly once, possibly on a worker thread.
     fn execute(&self) -> Self::Output;
+
+    /// Content-addressed identity of this run for the memoized result
+    /// store, or `None` when the run must always execute.
+    ///
+    /// The key must cover **every** input that can change the output
+    /// (topology, traffic, fault state, seeds, simulation windows,
+    /// algorithm) and **nothing** that cannot — in particular not the
+    /// worker count or `tick_threads`, which are byte-identity-neutral by
+    /// the determinism contract. The default is `None`: caching is
+    /// strictly opt-in per run type.
+    fn cache_key(&self) -> Option<CacheKey> {
+        None
+    }
 }
 
 /// A grid of independent [`Run`]s executed across worker threads, with
@@ -131,9 +149,39 @@ impl<R: Run> Campaign<R> {
     /// has panicked, so a failing campaign aborts after the in-flight
     /// cells instead of grinding through the rest of the grid.
     pub fn execute(self) -> Vec<R::Output> {
+        self.execute_with(|run| run.execute())
+    }
+
+    /// Like [`Campaign::execute`], but each run first probes `store` with
+    /// its [`Run::cache_key`]: a hit decodes the stored output instead of
+    /// executing, and a miss executes then writes the encoded output back.
+    /// Runs without a key, or with `store` `None`, always execute. The
+    /// merged output is byte-identical to [`Campaign::execute`] either
+    /// way — the differential suite in `tests/campaign_cache.rs` holds the
+    /// uncached path as the permanent oracle.
+    pub fn execute_cached(self, store: Option<&CacheStore>) -> Vec<R::Output>
+    where
+        R::Output: Persist,
+    {
+        match store {
+            None => self.execute(),
+            Some(s) => self.execute_with(|run| match run.cache_key() {
+                Some(key) => s.get_or_run(&key, || run.execute()),
+                None => run.execute(),
+            }),
+        }
+    }
+
+    /// Shared fan-out: runs `f` over every grid cell, merging in grid
+    /// order (see [`Campaign::execute`] for the ordering and panic
+    /// contract).
+    fn execute_with<F>(self, f: F) -> Vec<R::Output>
+    where
+        F: Fn(&R) -> R::Output + Sync,
+    {
         let workers = self.jobs.min(self.runs.len());
         if workers <= 1 {
-            return self.runs.iter().map(Run::execute).collect();
+            return self.runs.iter().map(f).collect();
         }
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
@@ -160,7 +208,7 @@ impl<R: Run> Campaign<R> {
                         }
                     }
                     let flag = FailFlag(&failed);
-                    let out = run.execute();
+                    let out = f(run);
                     std::mem::forget(flag);
                     *slots[i].lock().expect("campaign slot lock poisoned") = Some(out);
                 });

@@ -1,0 +1,388 @@
+//! The content-addressed campaign result store.
+//!
+//! A [`CacheStore`] memoizes completed campaign cells on disk so
+//! repeated and overlapping sweeps hit cache instead of re-simulating.
+//! Entries are addressed purely by content: a cell's [`CacheKey`]
+//! (built from its full config fingerprint, seeds, and the codec
+//! [`FORMAT_VERSION`](deft_codec::FORMAT_VERSION)) names the entry
+//! file, and the encoded output is stored inside a
+//! [`SnapshotWriter`] container, so every entry carries the magic +
+//! version header and per-section FNV-1a checksums of the snapshot
+//! format.
+//!
+//! # Entry layout
+//!
+//! ```text
+//! <hash as 16 hex digits>.dce
+//! ├── MAGIC + FORMAT_VERSION            (snapshot header)
+//! ├── section "CKEY": full key material (collision/tamper check)
+//! └── section "BODY": the output's Persist encoding
+//! ```
+//!
+//! # Degradation contract
+//!
+//! The store may *lose* work, never corrupt it: any entry that fails to
+//! open, parse, checksum, or match the probe key's material is counted
+//! as corrupt, treated as a miss, and re-simulated (overwriting the bad
+//! entry). A version bump invalidates every existing entry the same way
+//! — [`SnapshotReader`] rejects the old header. All store I/O failures
+//! degrade to re-simulation; only [`CacheStore::open`] reports errors,
+//! so an unusable cache directory surfaces once, up front.
+
+use deft_codec::{CacheKey, CodecError, Persist, SnapshotReader, SnapshotWriter};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Section tag for the embedded key material.
+const TAG_KEY: [u8; 4] = *b"CKEY";
+/// Section tag for the encoded cell output.
+const TAG_BODY: [u8; 4] = *b"BODY";
+
+/// A point-in-time snapshot of a store's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from disk.
+    pub hits: u64,
+    /// Probes that had to execute (absent or corrupt entries).
+    pub misses: u64,
+    /// The subset of `misses` caused by unreadable/corrupt entries.
+    pub corrupt: u64,
+    /// Entries written back after a miss.
+    pub stored: u64,
+    /// Bytes of entry payload decoded on hits.
+    pub bytes_read: u64,
+    /// Bytes of entry payload written on stores.
+    pub bytes_written: u64,
+    /// Failed write-backs (the result is still returned, just not
+    /// memoized).
+    pub write_errors: u64,
+}
+
+impl CacheStats {
+    /// One-line summary in the format the CLI prints to stderr. "N
+    /// simulated" restates the miss count in workload terms: every miss
+    /// executed its cell.
+    pub fn summary(&self) -> String {
+        format!(
+            "cache: {} hits, {} misses ({} corrupt), {} simulated, {} stored, {} B read, {} B written",
+            self.hits,
+            self.misses,
+            self.corrupt,
+            self.misses,
+            self.stored,
+            self.bytes_read,
+            self.bytes_written
+        )
+    }
+}
+
+/// A content-addressed, on-disk result store shared by every cell of a
+/// campaign (and across campaigns — entries are self-describing).
+///
+/// All methods take `&self` and the counters are atomic, so one store
+/// can serve every worker thread of a parallel campaign concurrently.
+/// Writes go through a per-process temporary file and an atomic rename,
+/// so concurrent writers of the same key leave one intact entry, never
+/// a torn one.
+#[derive(Debug)]
+pub struct CacheStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    stored: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    write_errors: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) the store rooted at `dir`, verifying
+    /// up front that the directory is writable — later write failures
+    /// degrade silently to re-simulation, so this is the one place an
+    /// unusable cache location is reported.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let probe = dir.join(format!(".probe.{}", std::process::id()));
+        std::fs::File::create(&probe).and_then(|mut f| f.write_all(b"ok"))?;
+        std::fs::remove_file(&probe)?;
+        Ok(Self {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path a key addresses (whether or not it exists yet).
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Paths of all entries currently in the store, sorted by file name
+    /// (i.e. by key hash) for deterministic comparison.
+    pub fn entries(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut out: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "dce"))
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            stored: self.stored.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One-line hit/miss summary (see [`CacheStats::summary`]).
+    pub fn summary(&self) -> String {
+        self.stats().summary()
+    }
+
+    /// Probes the store: `Ok(Some)` on a hit, `Ok(None)` when the entry
+    /// is absent, `Err` when an entry exists but is unreadable, corrupt,
+    /// or addressed by a colliding key (its material differs). The
+    /// counters treat both `Ok(None)` and `Err` as misses; `Err`
+    /// additionally counts as corrupt.
+    pub fn probe<T: Persist>(&self, key: &CacheKey) -> Result<Option<T>, CodecError> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+            Err(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                return Err(CodecError::Invalid(format!(
+                    "cache entry {} is unreadable: {e}",
+                    path.display()
+                )));
+            }
+        };
+        match decode_entry::<T>(&bytes, key) {
+            Ok(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_read
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                Ok(Some(v))
+            }
+            Err(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes `value` back under `key` (atomically: temp file + rename).
+    /// Failures are counted, not propagated — the computed value is
+    /// what matters; the memo is best-effort.
+    pub fn store<T: Persist>(&self, key: &CacheKey, value: &T) {
+        let bytes = encode_entry(key, value);
+        let tmp = self.dir.join(format!(
+            ".{:016x}.{}.{}.tmp",
+            key.hash(),
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written =
+            std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, self.entry_path(key)));
+        match written {
+            Ok(()) => {
+                self.stored.fetch_add(1, Ordering::Relaxed);
+                self.bytes_written
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The memoization primitive: returns the cached value on a hit,
+    /// otherwise runs `compute` and stores its result. Corrupt entries
+    /// degrade to re-simulation (and are overwritten with the fresh
+    /// result) — never to an error or a wrong answer.
+    pub fn get_or_run<T: Persist>(&self, key: &CacheKey, compute: impl FnOnce() -> T) -> T {
+        if let Ok(Some(v)) = self.probe(key) {
+            return v;
+        }
+        let v = compute();
+        self.store(key, &v);
+        v
+    }
+}
+
+/// Encodes one store entry: key material + output body in a snapshot
+/// container.
+pub fn encode_entry<T: Persist>(key: &CacheKey, value: &T) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.section(TAG_KEY, |enc| enc.put_bytes(key.material()));
+    w.section(TAG_BODY, |enc| value.encode(enc));
+    w.finish()
+}
+
+/// Decodes one store entry addressed by `key`, verifying the snapshot
+/// header, both section checksums, and that the embedded key material
+/// matches the probe key exactly.
+pub fn decode_entry<T: Persist>(bytes: &[u8], key: &CacheKey) -> Result<T, CodecError> {
+    let mut r = SnapshotReader::new(bytes)?;
+    let mut kdec = r.section(TAG_KEY)?;
+    let material = kdec.get_bytes()?;
+    kdec.finish()?;
+    if material != key.material() {
+        return Err(CodecError::Mismatch(
+            "cache entry key material (hash collision or foreign entry)".into(),
+        ));
+    }
+    let mut body = r.section(TAG_BODY)?;
+    let value = T::decode(&mut body)?;
+    body.finish()?;
+    r.finish()?;
+    Ok(value)
+}
+
+/// Structurally verifies one entry file without knowing its output
+/// type: header, section order, and checksums. Returns the FNV-1a hash
+/// of the embedded key material. This is the fsck primitive the
+/// corruption tests assert typed errors through.
+pub fn verify_entry(path: &Path) -> Result<u64, CodecError> {
+    let bytes = std::fs::read(path).map_err(|e| {
+        CodecError::Invalid(format!("cache entry {} is unreadable: {e}", path.display()))
+    })?;
+    let mut r = SnapshotReader::new(&bytes)?;
+    let mut kdec = r.section(TAG_KEY)?;
+    let material = kdec.get_bytes()?;
+    kdec.finish()?;
+    let hash = deft_codec::fnv1a(material);
+    // The body's type is unknown here; its checksum (already verified by
+    // `section`) is the structural integrity bar.
+    let _ = r.section(TAG_BODY)?;
+    r.finish()?;
+    Ok(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deft_codec::CacheKeyBuilder;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("deft-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKeyBuilder::new("unit").u64("n", n).finish()
+    }
+
+    #[test]
+    fn get_or_run_memoizes_and_counts() {
+        let dir = tmp_dir("memo");
+        let store = CacheStore::open(&dir).expect("open store");
+        let mut calls = 0u32;
+        let v: u64 = store.get_or_run(&key(7), || {
+            calls += 1;
+            49
+        });
+        assert_eq!((v, calls), (49, 1));
+        let v: u64 = store.get_or_run(&key(7), || {
+            calls += 1;
+            49
+        });
+        assert_eq!((v, calls), (49, 1), "second probe must not recompute");
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.corrupt, s.stored), (1, 1, 0, 1));
+        assert!(s.bytes_read > 0 && s.bytes_written > 0);
+        assert_eq!(store.entries().expect("list").len(), 1);
+        assert!(s
+            .summary()
+            .contains("1 hits, 1 misses (0 corrupt), 1 simulated"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let dir = tmp_dir("alias");
+        let store = CacheStore::open(&dir).expect("open store");
+        store.store(&key(1), &100u64);
+        store.store(&key(2), &200u64);
+        assert_eq!(store.probe::<u64>(&key(1)).expect("probe"), Some(100));
+        assert_eq!(store.probe::<u64>(&key(2)).expect("probe"), Some(200));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_material_is_a_typed_miss() {
+        // Simulate a 64-bit hash collision: an entry whose file name a
+        // probe key maps to, but whose embedded material differs.
+        let dir = tmp_dir("collide");
+        let store = CacheStore::open(&dir).expect("open store");
+        let foreign = key(1);
+        let entry = encode_entry(&foreign, &11u64);
+        std::fs::write(store.entry_path(&key(2)), entry).expect("plant entry");
+        let err = store.probe::<u64>(&key(2)).expect_err("material mismatch");
+        assert!(matches!(err, CodecError::Mismatch(_)));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.corrupt), (0, 1, 1));
+        // The memoizing path degrades to recompute-and-overwrite.
+        assert_eq!(store.get_or_run(&key(2), || 22u64), 22);
+        assert_eq!(store.probe::<u64>(&key(2)).expect("healed"), Some(22));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_entry_reports_structure() {
+        let dir = tmp_dir("verify");
+        let store = CacheStore::open(&dir).expect("open store");
+        let k = key(3);
+        store.store(&k, &33u64);
+        let path = store.entry_path(&k);
+        assert_eq!(verify_entry(&path).expect("intact"), k.hash());
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        assert!(verify_entry(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_unusable_locations() {
+        // A regular file where the directory should be: create_dir_all
+        // fails, and open reports it instead of deferring the surprise.
+        let dir = tmp_dir("file-in-the-way");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let blocker = dir.join("store");
+        std::fs::write(&blocker, b"not a directory").expect("write blocker");
+        assert!(CacheStore::open(&blocker).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

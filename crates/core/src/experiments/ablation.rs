@@ -7,7 +7,8 @@
 //! of the resulting optimal selection under a one-fault scenario, making
 //! the trade-off visible.
 
-use crate::campaign::{default_jobs, Campaign, Run};
+use crate::campaign::{default_jobs, CacheStore, Campaign, Run};
+use deft_codec::{CacheKey, CacheKeyBuilder, CodecError, Decoder, Encoder, Persist};
 use deft_routing::deft::SelectionProblem;
 use deft_routing::VlOptimizer;
 use deft_topo::{ChipletId, ChipletSystem, Coord};
@@ -25,6 +26,24 @@ pub struct RhoRow {
     pub total_distance: u32,
     /// The optimal cost C_s* at this ρ.
     pub cost: f64,
+}
+
+impl Persist for RhoRow {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.rho);
+        enc.put_f64(self.max_vl_load);
+        enc.put_u32(self.total_distance);
+        enc.put_f64(self.cost);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            rho: dec.get_f64()?,
+            max_vl_load: dec.get_f64()?,
+            total_distance: dec.get_u32()?,
+            cost: dec.get_f64()?,
+        })
+    }
 }
 
 /// The ρ values swept (the paper's choice 0.01 in the middle).
@@ -75,6 +94,18 @@ impl Run for RhoPointRun<'_> {
             cost,
         }
     }
+
+    fn cache_key(&self) -> Option<CacheKey> {
+        // The optimizer is exact and deterministic: topology + ρ fully
+        // determine the selection (the fault scenario and rates are
+        // constants of this experiment, fixed under the domain string).
+        Some(
+            CacheKeyBuilder::new("rho-point")
+                .u64("sys", self.sys.fingerprint())
+                .f64("rho", self.rho)
+                .finish(),
+        )
+    }
 }
 
 /// Sweeps ρ on one chiplet of `sys` with VL 0 faulty and uniform traffic,
@@ -85,11 +116,22 @@ pub fn rho_ablation(sys: &ChipletSystem) -> Vec<RhoRow> {
 
 /// [`rho_ablation`] with an explicit worker count (`1` = strictly serial).
 pub fn rho_ablation_jobs(sys: &ChipletSystem, jobs: usize) -> Vec<RhoRow> {
+    rho_ablation_cached(sys, jobs, None)
+}
+
+/// [`rho_ablation_jobs`] with an optional memoized result store.
+pub fn rho_ablation_cached(
+    sys: &ChipletSystem,
+    jobs: usize,
+    cache: Option<&CacheStore>,
+) -> Vec<RhoRow> {
     let grid: Vec<RhoPointRun> = RHO_SWEEP
         .iter()
         .map(|&rho| RhoPointRun { sys, rho })
         .collect();
-    Campaign::new("rho ablation", grid).jobs(jobs).execute()
+    Campaign::new("rho ablation", grid)
+        .jobs(jobs)
+        .execute_cached(cache)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use super::{Algo, ExpConfig};
 use crate::campaign::{Campaign, Run};
+use deft_codec::{fingerprint_value, CacheKey, CacheKeyBuilder};
 use deft_sim::{SimConfig, Simulator};
 use deft_topo::{ChipletSystem, FaultState};
 use deft_traffic::{multi_app, single_app, AppProfile, TableTraffic, TrafficPattern};
@@ -50,6 +51,17 @@ impl Run for AppRun<'_> {
         .run()
         .avg_latency
     }
+
+    fn cache_key(&self) -> Option<CacheKey> {
+        Some(
+            CacheKeyBuilder::new("fig6-app")
+                .u64("sys", self.sys.fingerprint())
+                .u64("traffic", self.traffic.fingerprint())
+                .str("algo", self.algo.name())
+                .u64("sim", fingerprint_value(&self.sim))
+                .finish(),
+        )
+    }
 }
 
 /// Runs every `(workload, algorithm)` combination as one campaign and
@@ -70,7 +82,9 @@ fn improvements(
             })
         })
         .collect();
-    let latencies = Campaign::new("fig6", grid).jobs(cfg.jobs).execute();
+    let latencies = Campaign::new("fig6", grid)
+        .jobs(cfg.jobs)
+        .execute_cached(cfg.cache_store());
     let pct = |base: f64, ours: f64| {
         if base > 0.0 {
             100.0 * (base - ours) / base

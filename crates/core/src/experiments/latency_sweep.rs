@@ -3,6 +3,7 @@
 
 use super::{Algo, ExpConfig};
 use crate::campaign::{Campaign, Run};
+use deft_codec::{fingerprint_value, CacheKey, CacheKeyBuilder};
 use deft_sim::{SimConfig, Simulator};
 use deft_topo::{ChipletSystem, FaultState};
 use deft_traffic::{hotspot, localized, uniform, TableTraffic};
@@ -172,6 +173,19 @@ impl Run for PointRun<'_> {
         );
         (self.rate, report.avg_latency, report.delivery_ratio())
     }
+
+    fn cache_key(&self) -> Option<CacheKey> {
+        Some(
+            CacheKeyBuilder::new("latency-point")
+                .u64("sys", self.sys.fingerprint())
+                .u64("faults", fingerprint_value(self.faults))
+                .str("pattern", self.pattern.name())
+                .str("algo", self.algo.name())
+                .f64("rate", self.rate)
+                .u64("sim", fingerprint_value(&self.sim))
+                .finish(),
+        )
+    }
 }
 
 fn sweep(
@@ -196,7 +210,9 @@ fn sweep(
             })
         })
         .collect();
-    let mut points = Campaign::new(title.clone(), grid).jobs(cfg.jobs).execute();
+    let mut points = Campaign::new(title.clone(), grid)
+        .jobs(cfg.jobs)
+        .execute_cached(cfg.cache_store());
     let curves = algos
         .iter()
         .map(|&algo| LatencyCurve {

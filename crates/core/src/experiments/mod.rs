@@ -21,19 +21,19 @@ mod recovery;
 mod scaling;
 mod vc_util;
 
-pub use ablation::{rho_ablation, rho_ablation_jobs, RhoRow, RHO_SWEEP};
+pub use ablation::{rho_ablation, rho_ablation_cached, rho_ablation_jobs, RhoRow, RHO_SWEEP};
 pub use app_latency::{fig6_pairs, fig6_single, AppImprovement};
 pub use fork_sweep::{
     fork_sweep, fork_sweep_cycle, fork_sweep_timelines, ForkSweepRow, FORK_SWEEP_K,
 };
 pub use latency_sweep::{fig4, fig8, LatencyCurve, LatencySweep, SynPattern};
 pub use perf::{
-    perf, PerfCellResult, PerfReport, FIG4_MID_CELL, FORK_SWEEP_CELL, FORK_SWEEP_COLD_CELL,
-    LARGE_GRID_16_CELL, LARGE_GRID_CELL, LARGE_GRID_THREADED_CELLS, PERF_RATE, PR4_FULL_BASELINE,
-    TRICKLE_CELL, TRICKLE_PERIOD,
+    perf, PerfCellResult, PerfReport, CACHE_HIT_CELL, CACHE_HIT_RATES, FIG4_MID_CELL,
+    FORK_SWEEP_CELL, FORK_SWEEP_COLD_CELL, LARGE_GRID_16_CELL, LARGE_GRID_CELL,
+    LARGE_GRID_THREADED_CELLS, PERF_RATE, PR4_FULL_BASELINE, TRICKLE_CELL, TRICKLE_PERIOD,
 };
-pub use power_table::{table1_campaign, table1_campaign_jobs};
-pub use reachability::{fig7, fig7_jobs, ReachabilityCurves};
+pub use power_table::{table1_campaign, table1_campaign_cached, table1_campaign_jobs};
+pub use reachability::{fig7, fig7_cached, fig7_jobs, ReachabilityCurves};
 pub use recovery::{
     recovery, recovery_scenarios, recovery_with, RecoveryRow, RecoveryScenario, RECOVERY_RATE,
     RECOVERY_SEEDS,
@@ -41,9 +41,11 @@ pub use recovery::{
 pub use scaling::{scaling_study, ScalingRow, SCALING_GRIDS};
 pub use vc_util::{fig5, fig5_panels, VcUtilRow};
 
+use crate::campaign::CacheStore;
 use deft_routing::{DeftRouting, MtrRouting, RcRouting, RoutingAlgorithm};
 use deft_sim::SimConfig;
 use deft_topo::ChipletSystem;
+use std::sync::Arc;
 
 /// The routing algorithms of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +93,7 @@ impl Algo {
 }
 
 /// Shared experiment knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpConfig {
     /// Simulation parameters.
     pub sim: SimConfig,
@@ -103,6 +105,12 @@ pub struct ExpConfig {
     /// from scheduling — so this only trades wall-clock time. Defaults to
     /// the machine's available parallelism.
     pub jobs: usize,
+    /// Optional memoized result store: when set, every campaign cell
+    /// probes it first and only simulates on a miss
+    /// ([`Campaign::execute_cached`](crate::campaign::Campaign::execute_cached)).
+    /// Never part of any cache key — like `jobs`, it cannot change
+    /// results, only wall-clock time.
+    pub cache: Option<Arc<CacheStore>>,
 }
 
 impl ExpConfig {
@@ -117,6 +125,7 @@ impl ExpConfig {
             },
             seed: 0x0DE,
             jobs: crate::campaign::default_jobs(),
+            cache: None,
         }
     }
 
@@ -132,6 +141,7 @@ impl ExpConfig {
             },
             seed: 0x0DE,
             jobs: crate::campaign::default_jobs(),
+            cache: None,
         }
     }
 
@@ -153,6 +163,20 @@ impl ExpConfig {
     pub fn with_tick_threads(mut self, tick_threads: usize) -> Self {
         self.sim.tick_threads = tick_threads.max(1);
         self
+    }
+
+    /// Returns the configuration with the given memoized result store.
+    /// Campaign cells then probe it first and only simulate on a miss;
+    /// results stay byte-identical to the uncached run.
+    #[must_use]
+    pub fn with_cache(mut self, store: Arc<CacheStore>) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
+    /// The memoized result store, if one is configured.
+    pub fn cache_store(&self) -> Option<&CacheStore> {
+        self.cache.as_deref()
     }
 
     /// Derives a per-run simulation config with a distinct seed.

@@ -15,7 +15,9 @@
 //! starts, mirroring how campaigns amortize them across a grid.
 
 use super::{Algo, ExpConfig};
-use deft_sim::{SimReport, Simulator};
+use crate::campaign::{CacheStore, Campaign, Run};
+use deft_codec::{fingerprint_value, CacheKey, CacheKeyBuilder};
+use deft_sim::{SimConfig, SimReport, Simulator};
 use deft_topo::{ChipletSystem, FaultState, FaultTimeline, NodeId, TransientConfig};
 use deft_traffic::{transpose, uniform, TableTraffic, Trace, TraceEvent, TrafficPattern};
 use serde::Serialize;
@@ -78,6 +80,19 @@ pub const FORK_SWEEP_CELL: &str = "fork-sweep-k200/DeFT";
 /// Name of the cold-baseline companion of [`FORK_SWEEP_CELL`]: the same
 /// `K` timelines, each simulated from cycle 0 with no shared prefix.
 pub const FORK_SWEEP_COLD_CELL: &str = "fork-sweep-k200-cold/DeFT";
+
+/// Name of the warm-cache cell: an 8-point Fig. 4-style uniform DeFT
+/// sweep answered entirely from a content-addressed result store
+/// ([`crate::campaign::CacheStore`]). The populating cold pass runs
+/// before the clock starts; the timed pass must be all hits (asserted),
+/// so the cell tracks store probe + decode throughput rather than
+/// simulation speed. Its cycles/flit-hops/delivered totals are the
+/// decoded reports' — byte-identical to the cold pass by the store's
+/// differential contract.
+pub const CACHE_HIT_CELL: &str = "cache-hit/fig4-sweep/DeFT";
+
+/// The injection rates of the warm-cache cell's sweep.
+pub const CACHE_HIT_RATES: [f64; 8] = [0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008];
 
 /// Full-mode cycles/sec of the cells as committed at PR 4 (schema
 /// `deft-bench-sim/v1`): the denominators of each cell's
@@ -202,6 +217,46 @@ fn time_cell(name: &str, mode: &str, sim: Simulator<'_>) -> PerfCellResult {
         report.delivered,
         wall,
     )
+}
+
+/// One uniform-traffic point of the warm-cache cell's sweep (mirrors the
+/// Fig. 4 campaign cell, with its own key domain so perf runs never
+/// alias a real sweep's entries).
+struct CachePointRun<'a> {
+    sys: &'a ChipletSystem,
+    pattern: &'a TableTraffic,
+    rate: f64,
+    sim: SimConfig,
+}
+
+impl Run for CachePointRun<'_> {
+    type Output = SimReport;
+
+    fn label(&self) -> String {
+        format!("cache-hit rate {}", self.rate)
+    }
+
+    fn execute(&self) -> SimReport {
+        Simulator::new(
+            self.sys,
+            FaultState::none(self.sys),
+            Algo::Deft.build(self.sys),
+            self.pattern,
+            self.sim,
+        )
+        .run()
+    }
+
+    fn cache_key(&self) -> Option<CacheKey> {
+        Some(
+            CacheKeyBuilder::new("perf-cache-point")
+                .u64("sys", self.sys.fingerprint())
+                .str("algo", Algo::Deft.name())
+                .f64("rate", self.rate)
+                .u64("sim", fingerprint_value(&self.sim))
+                .finish(),
+        )
+    }
 }
 
 /// The trickle cell's workload: one packet per [`TRICKLE_PERIOD`] cycles
@@ -399,6 +454,66 @@ pub fn perf(sys: &ChipletSystem, cfg: &ExpConfig, mode: &str) -> PerfReport {
         wall,
     ));
 
+    // Warm-cache cell: populate a throwaway store untimed, then time the
+    // same sweep re-answered entirely from disk. The pid + sequence
+    // number keep concurrently-running perf invocations (e.g. parallel
+    // tests) out of each other's stores.
+    static PERF_CACHE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = PERF_CACHE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let cache_dir =
+        std::env::temp_dir().join(format!("deft-perf-cache-{}-{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let store = CacheStore::open(&cache_dir).expect("perf cache store in temp dir");
+    let cache_patterns: Vec<TableTraffic> =
+        CACHE_HIT_RATES.iter().map(|&r| uniform(sys, r)).collect();
+    let grid = |sim: SimConfig| -> Vec<CachePointRun<'_>> {
+        CACHE_HIT_RATES
+            .iter()
+            .zip(&cache_patterns)
+            .map(|(&rate, pattern)| CachePointRun {
+                sys,
+                pattern,
+                rate,
+                sim,
+            })
+            .collect()
+    };
+    let cold: Vec<SimReport> = Campaign::new("perf cache cold", grid(cfg.run_sim(6)))
+        .jobs(1)
+        .execute_cached(Some(&store));
+    let start = Instant::now();
+    let warm: Vec<SimReport> = Campaign::new("perf cache warm", grid(cfg.run_sim(6)))
+        .jobs(1)
+        .execute_cached(Some(&store));
+    let wall = start.elapsed();
+    let stats = store.stats();
+    assert_eq!(
+        stats.hits,
+        CACHE_HIT_RATES.len() as u64,
+        "warm perf pass must be answered entirely from the store"
+    );
+    assert!(
+        cold.iter()
+            .zip(&warm)
+            .all(|(c, w)| fingerprint_value(c) == fingerprint_value(w)),
+        "warm cache pass must decode the cold pass byte-identically"
+    );
+    let mut agg = (0u64, 0u64, 0u64);
+    for rep in &warm {
+        fold(&mut agg, rep);
+    }
+    cells.push(cell_from_totals(
+        CACHE_HIT_CELL,
+        mode,
+        "DeFT",
+        "Uniform",
+        agg.0,
+        agg.1,
+        agg.2,
+        wall,
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     PerfReport {
         mode: mode.to_owned(),
         host_parallelism: std::thread::available_parallelism()
@@ -424,11 +539,12 @@ mod tests {
     fn perf_runs_all_cells_and_derives_consistent_rates() {
         let sys = ChipletSystem::baseline_4();
         let report = perf(&sys, &tiny_cfg(), "quick");
-        assert_eq!(report.cells.len(), 11);
+        assert_eq!(report.cells.len(), 12);
         assert_eq!(report.mode, "quick");
         assert!(report.fig4_mid_load().is_some());
         assert!(report.peak_cell_wall_ms() > 0.0);
         assert!(report.cells.iter().any(|c| c.name == TRICKLE_CELL));
+        assert!(report.cells.iter().any(|c| c.name == CACHE_HIT_CELL));
         assert!(report.cells.iter().any(|c| c.name == LARGE_GRID_CELL));
         assert!(report.cells.iter().any(|c| c.name == LARGE_GRID_16_CELL));
         // The threaded large-grid cells must reproduce the serial cell's

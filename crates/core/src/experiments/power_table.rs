@@ -7,7 +7,8 @@
 //! ([`deft_power::table1_row`]), so rows are order-independent and the
 //! campaign merge reproduces [`deft_power::table1`] exactly.
 
-use crate::campaign::{default_jobs, Campaign, Run};
+use crate::campaign::{default_jobs, CacheStore, Campaign, Run};
+use deft_codec::{CacheKey, CacheKeyBuilder};
 use deft_power::{table1_row, table1_variants, RouterParams, RouterVariant, Table1Row, Tech45nm};
 
 /// One Table I row as a campaign cell.
@@ -27,6 +28,16 @@ impl Run for VariantRun<'_> {
     fn execute(&self) -> Table1Row {
         table1_row(self.params, self.tech, self.variant)
     }
+
+    fn cache_key(&self) -> Option<CacheKey> {
+        Some(
+            CacheKeyBuilder::new("table1-row")
+                .u64("params", self.params.fingerprint())
+                .u64("tech", self.tech.fingerprint())
+                .u64("variant", self.variant.fingerprint())
+                .finish(),
+        )
+    }
 }
 
 /// Regenerates Table I with the default worker count. Identical to
@@ -38,6 +49,16 @@ pub fn table1_campaign(params: &RouterParams, tech: &Tech45nm) -> Vec<Table1Row>
 /// [`table1_campaign`] with an explicit worker count (`1` = strictly
 /// serial).
 pub fn table1_campaign_jobs(params: &RouterParams, tech: &Tech45nm, jobs: usize) -> Vec<Table1Row> {
+    table1_campaign_cached(params, tech, jobs, None)
+}
+
+/// [`table1_campaign_jobs`] with an optional memoized result store.
+pub fn table1_campaign_cached(
+    params: &RouterParams,
+    tech: &Tech45nm,
+    jobs: usize,
+    cache: Option<&CacheStore>,
+) -> Vec<Table1Row> {
     let grid: Vec<VariantRun> = table1_variants()
         .into_iter()
         .map(|variant| VariantRun {
@@ -46,7 +67,9 @@ pub fn table1_campaign_jobs(params: &RouterParams, tech: &Tech45nm, jobs: usize)
             variant,
         })
         .collect();
-    Campaign::new("table1", grid).jobs(jobs).execute()
+    Campaign::new("table1", grid)
+        .jobs(jobs)
+        .execute_cached(cache)
 }
 
 #[cfg(test)]

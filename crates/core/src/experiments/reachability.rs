@@ -1,7 +1,8 @@
 //! Fig. 7: reachability vs number of faulty VLs — exact analysis.
 
 use super::Algo;
-use crate::campaign::{default_jobs, Campaign, Run};
+use crate::campaign::{default_jobs, CacheStore, Campaign, Run};
+use deft_codec::{CacheKey, CacheKeyBuilder};
 use deft_routing::reachability::ReachabilityEngine;
 use deft_topo::ChipletSystem;
 use serde::Serialize;
@@ -58,6 +59,20 @@ impl Run for AlgoCurveRun<'_> {
         };
         (avg, worst)
     }
+
+    fn cache_key(&self) -> Option<CacheKey> {
+        // The analysis is exact (no seeds, no simulation windows): the
+        // topology, algorithm, axis length, and worst-case flag determine
+        // the curves completely.
+        Some(
+            CacheKeyBuilder::new("fig7-curve")
+                .u64("sys", self.sys.fingerprint())
+                .str("algo", self.algo.name())
+                .u64("k_max", self.k_max as u64)
+                .bool("want_worst", self.want_worst)
+                .finish(),
+        )
+    }
 }
 
 /// Computes the Fig. 7 panel for `sys` with fault counts `1..=k_max`
@@ -70,6 +85,17 @@ pub fn fig7(sys: &ChipletSystem, k_max: usize) -> ReachabilityCurves {
 /// [`fig7`] with an explicit worker count (`1` = strictly serial). The
 /// analysis is exact, so the curves are identical for every `jobs` value.
 pub fn fig7_jobs(sys: &ChipletSystem, k_max: usize, jobs: usize) -> ReachabilityCurves {
+    fig7_cached(sys, k_max, jobs, None)
+}
+
+/// [`fig7_jobs`] with an optional memoized result store: each algorithm's
+/// curve probes the store first and is only recomputed on a miss.
+pub fn fig7_cached(
+    sys: &ChipletSystem,
+    k_max: usize,
+    jobs: usize,
+    cache: Option<&CacheStore>,
+) -> ReachabilityCurves {
     let grid = vec![
         AlgoCurveRun {
             sys,
@@ -90,7 +116,7 @@ pub fn fig7_jobs(sys: &ChipletSystem, k_max: usize, jobs: usize) -> Reachability
             want_worst: true,
         },
     ];
-    let mut curves = Campaign::new("fig7", grid).jobs(jobs).execute();
+    let mut curves = Campaign::new("fig7", grid).jobs(jobs).execute_cached(cache);
     let (rc_avg, rc_worst) = curves.pop().expect("RC curve");
     let (mtr_avg, mtr_worst) = curves.pop().expect("MTR curve");
     let (deft, _) = curves.pop().expect("DeFT curve");

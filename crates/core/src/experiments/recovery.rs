@@ -22,6 +22,9 @@
 
 use super::{Algo, ExpConfig};
 use crate::campaign::{Campaign, Run};
+use deft_codec::{
+    fingerprint_value, CacheKey, CacheKeyBuilder, CodecError, Decoder, Encoder, Persist,
+};
 use deft_sim::Simulator;
 use deft_topo::{
     BurstConfig, ChipletSystem, FaultState, FaultTimeline, RegionConfig, TransientConfig,
@@ -175,6 +178,36 @@ pub struct RecoveryRow {
     pub delivered: u64,
 }
 
+impl Persist for RecoveryRow {
+    fn encode(&self, enc: &mut Encoder) {
+        self.scenario.encode(enc);
+        self.algorithm.encode(enc);
+        enc.put_u64(self.seed);
+        enc.put_u64(self.transitions);
+        enc.put_u64(self.dropped_unroutable);
+        enc.put_u64(self.lost_in_flight);
+        enc.put_f64(self.losses_per_transition);
+        enc.put_f64(self.avg_recovery_latency);
+        enc.put_f64(self.avg_latency);
+        enc.put_u64(self.delivered);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            scenario: String::decode(dec)?,
+            algorithm: String::decode(dec)?,
+            seed: dec.get_u64()?,
+            transitions: dec.get_u64()?,
+            dropped_unroutable: dec.get_u64()?,
+            lost_in_flight: dec.get_u64()?,
+            losses_per_transition: dec.get_f64()?,
+            avg_recovery_latency: dec.get_f64()?,
+            avg_latency: dec.get_f64()?,
+            delivered: dec.get_u64()?,
+        })
+    }
+}
+
 /// One campaign cell: a full timeline-driven simulation.
 struct RecoveryRun<'a> {
     sys: &'a ChipletSystem,
@@ -252,6 +285,32 @@ impl Run for RecoveryRun<'_> {
             delivered: report.delivered,
         }
     }
+
+    fn cache_key(&self) -> Option<CacheKey> {
+        // Materializing the timeline here costs one cheap generator pass;
+        // its fingerprint covers the scenario parameters, the horizon,
+        // *and* the timeline seed in one stable value.
+        let horizon = self.cfg.sim.warmup + self.cfg.sim.measure;
+        let timeline = self.scenario.timeline(
+            self.sys,
+            horizon,
+            self.cfg.seed.wrapping_add(self.column_salt),
+        );
+        Some(
+            CacheKeyBuilder::new("recovery")
+                .u64("sys", self.sys.fingerprint())
+                .str("scenario", &self.scenario.name())
+                .u64("seed", self.seed)
+                .str("algo", self.algo.name())
+                .f64("rate", RECOVERY_RATE)
+                .u64("timeline", timeline.fingerprint())
+                .u64(
+                    "sim",
+                    fingerprint_value(&self.cfg.run_sim(self.column_salt)),
+                )
+                .finish(),
+        )
+    }
 }
 
 /// Number of seed replicas per scenario in [`recovery`].
@@ -291,7 +350,9 @@ pub fn recovery_with(
             }
         }
     }
-    Campaign::new("recovery", grid).jobs(cfg.jobs).execute()
+    Campaign::new("recovery", grid)
+        .jobs(cfg.jobs)
+        .execute_cached(cfg.cache_store())
 }
 
 #[cfg(test)]

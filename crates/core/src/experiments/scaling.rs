@@ -9,6 +9,9 @@
 
 use super::{Algo, ExpConfig};
 use crate::campaign::{Campaign, Run};
+use deft_codec::{
+    fingerprint_value, CacheKey, CacheKeyBuilder, CodecError, Decoder, Encoder, Persist,
+};
 use deft_routing::reachability::ReachabilityEngine;
 use deft_sim::Simulator;
 use deft_topo::{ChipletSystem, FaultState};
@@ -60,6 +63,24 @@ struct CellOut {
     reach: f64,
 }
 
+impl Persist for CellOut {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.chiplets);
+        enc.put_usize(self.nodes);
+        enc.put_f64(self.latency);
+        enc.put_f64(self.reach);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            chiplets: dec.get_usize()?,
+            nodes: dec.get_usize()?,
+            latency: dec.get_f64()?,
+            reach: dec.get_f64()?,
+        })
+    }
+}
+
 impl Run for CellRun {
     type Output = CellOut;
 
@@ -87,6 +108,24 @@ impl Run for CellRun {
             reach,
         }
     }
+
+    fn cache_key(&self) -> Option<CacheKey> {
+        // The cell builds its own system from (cols, rows), so the grid
+        // shape *is* the topology component of the key.
+        Some(
+            CacheKeyBuilder::new("scaling-cell")
+                .u64("cols", self.cols as u64)
+                .u64("rows", self.rows as u64)
+                .str("algo", self.algo.name())
+                .f64("rate", self.rate)
+                .u64("faults_k", self.faults_k as u64)
+                .u64(
+                    "sim",
+                    fingerprint_value(&self.cfg.run_sim(self.cols as u64 * 16 + self.rows as u64)),
+                )
+                .finish(),
+        )
+    }
 }
 
 /// Runs the scaling sweep at the given uniform injection rate: a campaign
@@ -101,13 +140,13 @@ pub fn scaling_study(rate: f64, faults_k: usize, cfg: &ExpConfig) -> Vec<Scaling
                 algo,
                 rate,
                 faults_k,
-                cfg: *cfg,
+                cfg: cfg.clone(),
             })
         })
         .collect();
     let cells = Campaign::new("scaling study", grid)
         .jobs(cfg.jobs)
-        .execute();
+        .execute_cached(cfg.cache_store());
     let pct = |base: f64, ours: f64| {
         if base > 0.0 {
             100.0 * (base - ours) / base

@@ -3,6 +3,9 @@
 use super::latency_sweep::SynPattern;
 use super::{Algo, ExpConfig};
 use crate::campaign::{Campaign, Run};
+use deft_codec::{
+    fingerprint_value, CacheKey, CacheKeyBuilder, CodecError, Decoder, Encoder, Persist,
+};
 use deft_sim::{Region, SimConfig, Simulator};
 use deft_topo::{ChipletSystem, FaultState};
 use serde::Serialize;
@@ -16,6 +19,22 @@ pub struct VcUtilRow {
     pub vc0_percent: f64,
     /// VC1 share in percent.
     pub vc1_percent: f64,
+}
+
+impl Persist for VcUtilRow {
+    fn encode(&self, enc: &mut Encoder) {
+        self.region.encode(enc);
+        enc.put_f64(self.vc0_percent);
+        enc.put_f64(self.vc1_percent);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            region: String::decode(dec)?,
+            vc0_percent: dec.get_f64()?,
+            vc1_percent: dec.get_f64()?,
+        })
+    }
 }
 
 /// One Fig. 5 panel as a campaign cell: DeFT under one pattern at one rate.
@@ -65,6 +84,17 @@ impl Run for PanelRun<'_> {
         });
         rows
     }
+
+    fn cache_key(&self) -> Option<CacheKey> {
+        Some(
+            CacheKeyBuilder::new("fig5-panel")
+                .u64("sys", self.sys.fingerprint())
+                .str("pattern", self.pattern.name())
+                .f64("rate", self.rate)
+                .u64("sim", fingerprint_value(&self.sim))
+                .finish(),
+        )
+    }
 }
 
 /// Runs DeFT under the given pattern at `rate` and reports the per-region
@@ -99,7 +129,9 @@ pub fn fig5_panels(
             sim: cfg.run_sim(0x5),
         })
         .collect();
-    let panels = Campaign::new("fig5", grid).jobs(cfg.jobs).execute();
+    let panels = Campaign::new("fig5", grid)
+        .jobs(cfg.jobs)
+        .execute_cached(cfg.cache_store());
     patterns.iter().copied().zip(panels).collect()
 }
 

@@ -58,7 +58,7 @@ pub use deft_traffic as traffic;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::campaign::{Campaign, Run};
+    pub use crate::campaign::{CacheStats, CacheStore, Campaign, Run};
     pub use crate::experiments::{Algo, ExpConfig};
     pub use deft_power::{table1, RouterParams, RouterVariant, Tech45nm};
     pub use deft_routing::{

@@ -52,6 +52,39 @@ pub struct Tech45nm {
     pub vn_logic_power: f64,
 }
 
+impl Tech45nm {
+    /// Content fingerprint over every coefficient, for memoized-campaign
+    /// cache keys (f64s hashed by bit pattern).
+    pub fn fingerprint(&self) -> u64 {
+        let mut enc = deft_codec::Encoder::new();
+        for v in [
+            self.buffer_area_per_bit,
+            self.buffer_power_per_bit,
+            self.xbar_area_coeff,
+            self.xbar_power_coeff,
+            self.alloc_area_coeff,
+            self.alloc_power_coeff,
+            self.logic_area_base,
+            self.logic_power_base,
+            self.lut_area_per_bit,
+            self.lut_power_per_bit,
+            self.rc_buffer_area_per_bit,
+            self.rc_buffer_power_per_bit,
+            self.turn_logic_area,
+            self.turn_logic_power,
+            self.perm_interface_area,
+            self.perm_interface_power,
+            self.perm_arbiter_area,
+            self.perm_arbiter_power,
+            self.vn_logic_area,
+            self.vn_logic_power,
+        ] {
+            enc.put_f64(v);
+        }
+        deft_codec::fnv1a(enc.as_bytes())
+    }
+}
+
 impl Default for Tech45nm {
     fn default() -> Self {
         Self {

@@ -36,6 +36,18 @@ impl RouterParams {
     pub fn buffer_bits(&self) -> u32 {
         self.ports * self.vcs * self.buffer_depth * self.flit_width
     }
+
+    /// Content fingerprint over every microarchitectural parameter, for
+    /// memoized-campaign cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut enc = deft_codec::Encoder::new();
+        enc.put_u32(self.ports);
+        enc.put_u32(self.vcs);
+        enc.put_u32(self.buffer_depth);
+        enc.put_u32(self.flit_width);
+        enc.put_u32(self.packet_size);
+        deft_codec::fnv1a(enc.as_bytes())
+    }
 }
 
 /// Which routing scheme's extra hardware to include.
@@ -79,6 +91,29 @@ impl RouterVariant {
             RouterVariant::RcBoundary => "RC bndry",
             RouterVariant::Deft { .. } => "DeFT",
         }
+    }
+
+    /// Content fingerprint over the variant *and* its parameters (the
+    /// label alone hides DeFT's LUT dimensions), for memoized-campaign
+    /// cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut enc = deft_codec::Encoder::new();
+        match self {
+            RouterVariant::Mtr => enc.put_u8(0),
+            RouterVariant::RcNonBoundary => enc.put_u8(1),
+            RouterVariant::RcBoundary => enc.put_u8(2),
+            RouterVariant::Deft {
+                lut_entries,
+                bits_per_entry,
+                tables,
+            } => {
+                enc.put_u8(3);
+                enc.put_u32(*lut_entries);
+                enc.put_u32(*bits_per_entry);
+                enc.put_u32(*tables);
+            }
+        }
+        deft_codec::fnv1a(enc.as_bytes())
     }
 }
 

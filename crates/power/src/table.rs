@@ -2,6 +2,7 @@
 
 use crate::params::Tech45nm;
 use crate::router_model::{RouterParams, RouterVariant};
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
 use serde::Serialize;
 use std::fmt;
 
@@ -18,6 +19,38 @@ pub struct Table1Row {
     pub power_mw: f64,
     /// Power normalized to the MTR router.
     pub norm_power: f64,
+}
+
+impl Persist for Table1Row {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self.variant.as_bytes());
+        enc.put_f64(self.area_um2);
+        enc.put_f64(self.norm_area);
+        enc.put_f64(self.power_mw);
+        enc.put_f64(self.norm_power);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let label = String::decode(dec)?;
+        // The row keeps a `&'static str` label, so map the decoded string
+        // back onto the closed set of `RouterVariant::label` values.
+        let variant = [
+            RouterVariant::Mtr.label(),
+            RouterVariant::RcNonBoundary.label(),
+            RouterVariant::RcBoundary.label(),
+            RouterVariant::deft_default().label(),
+        ]
+        .into_iter()
+        .find(|&l| l == label)
+        .ok_or_else(|| CodecError::Invalid(format!("unknown Table I variant {label:?}")))?;
+        Ok(Self {
+            variant,
+            area_um2: dec.get_f64()?,
+            norm_area: dec.get_f64()?,
+            power_mw: dec.get_f64()?,
+            norm_power: dec.get_f64()?,
+        })
+    }
 }
 
 impl fmt::Display for Table1Row {
@@ -97,6 +130,31 @@ mod tests {
                 row.norm_power
             );
         }
+    }
+
+    #[test]
+    fn rows_round_trip_through_persist() {
+        for row in table1(&RouterParams::paper_default(), &Tech45nm::default()) {
+            let bytes = deft_codec::encode_value(&row);
+            let mut dec = Decoder::new(&bytes);
+            let back = Table1Row::decode(&mut dec).expect("row decodes");
+            dec.finish().expect("row consumes exactly");
+            assert_eq!(back.variant, row.variant);
+            assert_eq!(back.area_um2.to_bits(), row.area_um2.to_bits());
+            assert_eq!(back.norm_power.to_bits(), row.norm_power.to_bits());
+        }
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"bogus");
+        enc.put_f64(1.0);
+        enc.put_f64(1.0);
+        enc.put_f64(1.0);
+        enc.put_f64(1.0);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            Table1Row::decode(&mut dec),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -280,6 +280,26 @@ impl Persist for EpochStats {
     }
 }
 
+impl Persist for Region {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Region::Interposer => enc.put_u8(0),
+            Region::Chiplet(c) => {
+                enc.put_u8(1);
+                enc.put_u8(*c);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(Region::Interposer),
+            1 => Ok(Region::Chiplet(dec.get_u8()?)),
+            other => Err(CodecError::Invalid(format!("unknown region tag {other}"))),
+        }
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -375,6 +395,52 @@ impl SimReport {
     }
 }
 
+impl Persist for SimReport {
+    fn encode(&self, enc: &mut Encoder) {
+        self.algorithm.encode(enc);
+        self.pattern.encode(enc);
+        enc.put_u64(self.cycles);
+        enc.put_u64(self.injected_measured);
+        enc.put_u64(self.delivered);
+        enc.put_u64(self.dropped_unroutable);
+        enc.put_u64(self.lost_in_flight);
+        enc.put_u64(self.generated_total);
+        enc.put_f64(self.avg_latency);
+        enc.put_u64(self.p50_latency);
+        enc.put_u64(self.p95_latency);
+        enc.put_u64(self.p99_latency);
+        enc.put_u64(self.max_latency);
+        enc.put_f64(self.throughput);
+        self.vc_usage.encode(enc);
+        self.vl_flits.encode(enc);
+        enc.put_bool(self.deadlocked);
+        self.epochs.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            algorithm: String::decode(dec)?,
+            pattern: String::decode(dec)?,
+            cycles: dec.get_u64()?,
+            injected_measured: dec.get_u64()?,
+            delivered: dec.get_u64()?,
+            dropped_unroutable: dec.get_u64()?,
+            lost_in_flight: dec.get_u64()?,
+            generated_total: dec.get_u64()?,
+            avg_latency: dec.get_f64()?,
+            p50_latency: dec.get_u64()?,
+            p95_latency: dec.get_u64()?,
+            p99_latency: dec.get_u64()?,
+            max_latency: dec.get_u64()?,
+            throughput: dec.get_f64()?,
+            vc_usage: BTreeMap::decode(dec)?,
+            vl_flits: BTreeMap::decode(dec)?,
+            deadlocked: dec.get_bool()?,
+            epochs: Vec::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +449,52 @@ mod tests {
     fn region_display_matches_fig5_labels() {
         assert_eq!(Region::Interposer.to_string(), "Intrpsr.");
         assert_eq!(Region::Chiplet(0).to_string(), "Chip.-1");
+    }
+
+    #[test]
+    fn sim_report_round_trips_through_persist() {
+        let mut vc_usage = BTreeMap::new();
+        vc_usage.insert(Region::Interposer, VcUsage { vc0: 10, vc1: 3 });
+        vc_usage.insert(Region::Chiplet(1), VcUsage { vc0: 7, vc1: 7 });
+        let mut vl_flits = BTreeMap::new();
+        vl_flits.insert((0u8, 1u8, true), 42u64);
+        vl_flits.insert((1u8, 0u8, false), 9u64);
+        let report = SimReport {
+            algorithm: "DeFT".into(),
+            pattern: "Uniform".into(),
+            cycles: 12_000,
+            injected_measured: 500,
+            delivered: 498,
+            dropped_unroutable: 1,
+            lost_in_flight: 1,
+            generated_total: 620,
+            avg_latency: 31.5,
+            p50_latency: 28,
+            p95_latency: 60,
+            p99_latency: 75,
+            max_latency: 91,
+            throughput: 0.0125,
+            vc_usage,
+            vl_flits,
+            deadlocked: false,
+            epochs: vec![EpochStats {
+                start_cycle: 0,
+                end_cycle: 12_000,
+                faulty_links: 2,
+                generated: 620,
+                delivered: 498,
+                dropped_unroutable: 1,
+                lost_in_flight: 1,
+                latency_sum: 15_700,
+                last_drop_cycle: Some(400),
+            }],
+        };
+        let bytes = deft_codec::encode_value(&report);
+        let mut dec = Decoder::new(&bytes);
+        let back = SimReport::decode(&mut dec).expect("report decodes");
+        dec.finish().expect("report consumes exactly");
+        assert_eq!(back, report);
+        assert_eq!(deft_codec::encode_value(&back), bytes);
     }
 
     #[test]

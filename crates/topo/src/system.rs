@@ -290,6 +290,30 @@ impl ChipletSystem {
         self.vlinks.len() * 2
     }
 
+    /// Content fingerprint of the assembled topology: interposer
+    /// dimensions plus every chiplet's placement, size, and VL
+    /// coordinates. Two systems share a fingerprint iff
+    /// [`SystemBuilder`] would produce them from the same spec, so it
+    /// is a stable cache-key component for memoized campaign cells.
+    pub fn fingerprint(&self) -> u64 {
+        let mut enc = deft_codec::Encoder::new();
+        enc.put_u8(self.interposer_width);
+        enc.put_u8(self.interposer_height);
+        enc.put_usize(self.chiplets.len());
+        for c in &self.chiplets {
+            enc.put_u8(c.origin().x);
+            enc.put_u8(c.origin().y);
+            enc.put_u8(c.width());
+            enc.put_u8(c.height());
+            enc.put_usize(c.vl_count());
+            for vl in c.vertical_links() {
+                enc.put_u8(vl.chiplet_coord.x);
+                enc.put_u8(vl.chiplet_coord.y);
+            }
+        }
+        deft_codec::fnv1a(enc.as_bytes())
+    }
+
     /// Iterates over all node IDs.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.node_count as u32).map(NodeId)
@@ -621,6 +645,28 @@ mod tests {
             )
             .build()
             .expect("valid system")
+    }
+
+    #[test]
+    fn fingerprint_separates_topologies() {
+        let sys = two_chiplets();
+        assert_eq!(sys.fingerprint(), two_chiplets().fingerprint());
+        let moved_vl = SystemBuilder::new(8, 4)
+            .chiplet(
+                Coord::new(0, 0),
+                4,
+                4,
+                &[Coord::new(1, 3), Coord::new(3, 1)],
+            )
+            .chiplet(
+                Coord::new(4, 0),
+                4,
+                4,
+                &[Coord::new(0, 1), Coord::new(2, 0)],
+            )
+            .build()
+            .expect("valid system");
+        assert_ne!(sys.fingerprint(), moved_vl.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! Differential correctness of the content-addressed campaign result
+//! store (`deft::campaign::store`).
+//!
+//! The uncached engine is the permanent oracle: every property here runs
+//! the same experiment with and without a [`CacheStore`] and demands
+//! byte-identical results — on a cold store (all misses), a warm store
+//! (all hits), partially-overlapping sweeps (exact hit/miss counts), and
+//! stores whose entries have been flipped, truncated, or re-tagged
+//! (typed errors, counted as corrupt, healed by re-simulation). The CLI
+//! surface (`deft-repro --cache/--no-cache`) is exercised end to end,
+//! including the unusable-directory exit path.
+
+use deft::campaign::store::verify_entry;
+use deft::campaign::CacheStore;
+use deft::experiments::{
+    fig4, recovery_scenarios, recovery_with, rho_ablation_cached, Algo, ExpConfig, SynPattern,
+    RHO_SWEEP,
+};
+use deft::report::latency_sweep_csv;
+use deft_codec::fingerprint_value;
+use deft_topo::ChipletSystem;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Simulation windows small enough for matrix and property-test case
+/// counts, large enough that every cell delivers packets.
+fn fast_cfg() -> ExpConfig {
+    let mut cfg = ExpConfig::quick();
+    cfg.sim.warmup = 50;
+    cfg.sim.measure = 300;
+    cfg.sim.drain = 5_000;
+    cfg
+}
+
+/// A fresh per-test store directory (removed up front so reruns after a
+/// failure start clean; tests clean up on success).
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("deft-cache-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Cold population then three warm re-runs across jobs {1,4} x
+/// tick_threads {1,2}, all against ONE store: the first combination
+/// misses every cell, every later combination is answered entirely from
+/// disk (proving worker counts are excluded from cache keys), and every
+/// combination is byte-identical to the uncached serial oracle.
+#[test]
+fn cold_then_warm_matrix_is_byte_identical_and_all_hits() {
+    let dir = tmp("matrix");
+    let sys = ChipletSystem::baseline_4();
+    let rates = [0.002, 0.004];
+    let algos = [
+        Algo::Deft,
+        Algo::DeftDis,
+        Algo::DeftRan,
+        Algo::Mtr,
+        Algo::Rc,
+    ];
+    let base = fast_cfg();
+    let horizon = base.sim.warmup + base.sim.measure;
+    let scenario = [recovery_scenarios(horizon)[0]];
+
+    // The permanent oracle: the uncached, fully serial engine.
+    let oracle_cfg = base.clone().with_jobs(1);
+    let o_fig4 = fig4(&sys, SynPattern::Uniform, &rates, &algos, &oracle_cfg);
+    let o_rec = recovery_with(&sys, &scenario, 1, &oracle_cfg);
+    let o_rho = rho_ablation_cached(&sys, 1, None);
+
+    let store = Arc::new(CacheStore::open(&dir).expect("open store"));
+    let cells = (rates.len() * algos.len() + o_rec.len() + RHO_SWEEP.len()) as u64;
+    for (i, (jobs, ticks)) in [(1usize, 1usize), (4, 1), (1, 2), (4, 2)]
+        .iter()
+        .enumerate()
+    {
+        let cfg = base
+            .clone()
+            .with_jobs(*jobs)
+            .with_tick_threads(*ticks)
+            .with_cache(Arc::clone(&store));
+        let sweep = fig4(&sys, SynPattern::Uniform, &rates, &algos, &cfg);
+        let rec = recovery_with(&sys, &scenario, 1, &cfg);
+        let rho = rho_ablation_cached(&sys, cfg.jobs, cfg.cache_store());
+        assert_eq!(
+            latency_sweep_csv(&o_fig4),
+            latency_sweep_csv(&sweep),
+            "cached fig4 diverged from the uncached oracle (jobs={jobs}, tick={ticks})"
+        );
+        assert_eq!(
+            fingerprint_value(&o_rec),
+            fingerprint_value(&rec),
+            "cached recovery diverged from the uncached oracle (jobs={jobs}, tick={ticks})"
+        );
+        assert_eq!(
+            fingerprint_value(&o_rho),
+            fingerprint_value(&rho),
+            "cached rho ablation diverged from the uncached oracle (jobs={jobs}, tick={ticks})"
+        );
+        let s = store.stats();
+        assert_eq!(s.corrupt, 0);
+        assert_eq!(
+            s.misses, cells,
+            "only the cold pass may simulate (jobs={jobs}, tick={ticks})"
+        );
+        assert_eq!(s.stored, cells);
+        assert_eq!(
+            s.hits,
+            cells * i as u64,
+            "every warm pass must be answered entirely from the store \
+             (jobs={jobs}, tick={ticks})"
+        );
+    }
+    assert_eq!(store.entries().expect("list").len(), cells as usize);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mutating any single input field — rate, pattern, algorithm, seed,
+/// topology dims — derives a distinct key: none of the variants hit the
+/// baseline's entry, each creates its own, and the untouched baseline
+/// still hits afterwards.
+#[test]
+fn any_single_field_mutation_is_a_distinct_key_and_a_miss() {
+    let dir = tmp("sensitivity");
+    let sys4 = ChipletSystem::baseline_4();
+    let sys6 = ChipletSystem::baseline_6();
+    let base = fast_cfg().with_jobs(1);
+    let store = Arc::new(CacheStore::open(&dir).expect("open store"));
+    let cached = |cfg: &ExpConfig| cfg.clone().with_cache(Arc::clone(&store));
+
+    let _ = fig4(
+        &sys4,
+        SynPattern::Uniform,
+        &[0.004],
+        &[Algo::Deft],
+        &cached(&base),
+    );
+    assert_eq!((store.stats().hits, store.stats().misses), (0, 1));
+
+    let mut reseeded = base.clone();
+    reseeded.seed ^= 1;
+    let variants: [(&str, &ChipletSystem, SynPattern, f64, Algo, &ExpConfig); 5] = [
+        ("rate", &sys4, SynPattern::Uniform, 0.005, Algo::Deft, &base),
+        (
+            "pattern",
+            &sys4,
+            SynPattern::Localized,
+            0.004,
+            Algo::Deft,
+            &base,
+        ),
+        (
+            "algorithm",
+            &sys4,
+            SynPattern::Uniform,
+            0.004,
+            Algo::Mtr,
+            &base,
+        ),
+        (
+            "seed",
+            &sys4,
+            SynPattern::Uniform,
+            0.004,
+            Algo::Deft,
+            &reseeded,
+        ),
+        (
+            "topology",
+            &sys6,
+            SynPattern::Uniform,
+            0.004,
+            Algo::Deft,
+            &base,
+        ),
+    ];
+    for (field, sys, pattern, rate, algo, cfg) in variants {
+        let before = store.stats();
+        let _ = fig4(sys, pattern, &[rate], &[algo], &cached(cfg));
+        let after = store.stats();
+        assert_eq!(
+            after.hits, before.hits,
+            "mutating {field} must not hit the baseline entry"
+        );
+        assert_eq!(
+            after.misses,
+            before.misses + 1,
+            "mutating {field} must miss"
+        );
+    }
+    // Five mutations -> five new entries: every key was distinct.
+    assert_eq!(store.entries().expect("list").len(), 6);
+    // The untouched baseline cell still hits, so the misses above were
+    // key sensitivity, not a broken store.
+    let _ = fig4(
+        &sys4,
+        SynPattern::Uniform,
+        &[0.004],
+        &[Algo::Deft],
+        &cached(&base),
+    );
+    assert_eq!(store.stats().hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The recovery grid's scenario field is part of the key: a different
+/// scenario misses everything, the original hits everything.
+#[test]
+fn recovery_scenario_mutation_misses() {
+    let dir = tmp("scenario");
+    let sys = ChipletSystem::baseline_4();
+    let base = fast_cfg().with_jobs(1);
+    let horizon = base.sim.warmup + base.sim.measure;
+    let scenarios = recovery_scenarios(horizon);
+    assert!(scenarios.len() >= 2);
+
+    let store = Arc::new(CacheStore::open(&dir).expect("open store"));
+    let cached = base.clone().with_cache(Arc::clone(&store));
+    let cells = recovery_with(&sys, &scenarios[..1], 1, &cached).len() as u64;
+    assert_eq!(store.stats().misses, cells);
+
+    let _ = recovery_with(&sys, &scenarios[1..2], 1, &cached);
+    let s = store.stats();
+    assert_eq!(s.hits, 0, "a mutated scenario must not hit");
+    assert_eq!(s.misses, 2 * cells);
+
+    let _ = recovery_with(&sys, &scenarios[..1], 1, &cached);
+    assert_eq!(store.stats().hits, cells, "the original scenario must hit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Partially-overlapping sweeps re-simulate only the new cells — exact
+/// hit/miss accounting across store instances (entries persist on disk)
+/// — and the widened sweep matches the uncached oracle byte for byte.
+#[test]
+fn partial_overlap_only_simulates_new_cells() {
+    let dir = tmp("overlap");
+    let sys = ChipletSystem::baseline_4();
+    {
+        let store = Arc::new(CacheStore::open(&dir).expect("open store"));
+        let cfg = fast_cfg().with_jobs(2).with_cache(Arc::clone(&store));
+        let _ = fig4(
+            &sys,
+            SynPattern::Uniform,
+            &[0.002, 0.004],
+            &Algo::MAIN,
+            &cfg,
+        );
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.stored), (0, 6, 6));
+    }
+    let store = Arc::new(CacheStore::open(&dir).expect("reopen store"));
+    let cfg = fast_cfg().with_jobs(2).with_cache(Arc::clone(&store));
+    let wide = fig4(
+        &sys,
+        SynPattern::Uniform,
+        &[0.002, 0.004, 0.006],
+        &Algo::MAIN,
+        &cfg,
+    );
+    let s = store.stats();
+    assert_eq!(
+        (s.hits, s.misses, s.stored),
+        (6, 3, 3),
+        "only the new rate's three cells may simulate"
+    );
+    let oracle = fig4(
+        &sys,
+        SynPattern::Uniform,
+        &[0.002, 0.004, 0.006],
+        &Algo::MAIN,
+        &fast_cfg().with_jobs(1),
+    );
+    assert_eq!(latency_sweep_csv(&oracle), latency_sweep_csv(&wide));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single-byte flip or truncation of a stored entry yields a
+    /// typed [`CodecError`] from the fsck primitive, is counted as a
+    /// corrupt miss by the probing campaign, and is healed by
+    /// re-simulation to a byte-identical result — never a panic, never
+    /// a silently-accepted altered payload.
+    #[test]
+    fn corrupted_entries_degrade_to_typed_misses(
+        flip_at in 0usize..30_000,
+        flip_mask in 1u8..=255,
+        cut in 0usize..30_000,
+        which in 0usize..1_000,
+    ) {
+        let dir = tmp(&format!("fuzz-{flip_at}-{flip_mask}-{cut}"));
+        let sys = ChipletSystem::baseline_4();
+        let oracle = rho_ablation_cached(&sys, 1, None);
+
+        let store = CacheStore::open(&dir).expect("open store");
+        let _ = rho_ablation_cached(&sys, 1, Some(&store));
+        let entries = store.entries().expect("list");
+        prop_assert_eq!(entries.len(), RHO_SWEEP.len());
+        let victim = &entries[which % entries.len()];
+        let clean = std::fs::read(victim).expect("read entry");
+
+        // Flip one byte anywhere in the entry.
+        let mut flipped = clean.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= flip_mask;
+        std::fs::write(victim, &flipped).expect("write corrupted entry");
+        let err = verify_entry(victim).expect_err("flipped byte must not verify");
+        prop_assert!(!format!("{err}").is_empty());
+        let store = CacheStore::open(&dir).expect("reopen store");
+        let healed = rho_ablation_cached(&sys, 1, Some(&store));
+        prop_assert_eq!(fingerprint_value(&healed), fingerprint_value(&oracle));
+        let s = store.stats();
+        prop_assert_eq!((s.hits, s.misses, s.corrupt), ((RHO_SWEEP.len() - 1) as u64, 1, 1));
+        prop_assert!(verify_entry(victim).is_ok(), "re-simulation must overwrite the bad entry");
+
+        // Truncate the entry at an arbitrary point (possibly to empty).
+        std::fs::write(victim, &clean[..cut % clean.len()]).expect("truncate entry");
+        prop_assert!(verify_entry(victim).is_err(), "truncated entry must not verify");
+        let store = CacheStore::open(&dir).expect("reopen store");
+        let healed = rho_ablation_cached(&sys, 1, Some(&store));
+        prop_assert_eq!(fingerprint_value(&healed), fingerprint_value(&oracle));
+        prop_assert_eq!(store.stats().corrupt, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Re-tagging a section (both the key and the body tag) is detected by
+/// the entry's structural verification and degrades to a healed miss,
+/// exactly like a bit flip.
+#[test]
+fn retagged_sections_are_rejected_and_resimulated() {
+    let sys = ChipletSystem::baseline_4();
+    let oracle = rho_ablation_cached(&sys, 1, None);
+    for tag in [&b"CKEY"[..], &b"BODY"[..]] {
+        let dir = tmp(&format!("retag-{}", tag[0] as char));
+        let store = CacheStore::open(&dir).expect("open store");
+        let _ = rho_ablation_cached(&sys, 1, Some(&store));
+        let victim = store.entries().expect("list")[0].clone();
+        let mut bytes = std::fs::read(&victim).expect("read entry");
+        let at = bytes
+            .windows(tag.len())
+            .position(|w| w == tag)
+            .expect("entry embeds the section tag");
+        bytes[at..at + tag.len()].reverse();
+        std::fs::write(&victim, &bytes).expect("re-tag entry");
+        assert!(
+            verify_entry(&victim).is_err(),
+            "re-tagged entry must not verify"
+        );
+        let store = CacheStore::open(&dir).expect("reopen store");
+        let healed = rho_ablation_cached(&sys, 1, Some(&store));
+        assert_eq!(fingerprint_value(&healed), fingerprint_value(&oracle));
+        assert_eq!(store.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `deft-repro --cache DIR` memoizes across process invocations: the
+/// second run's stdout is byte-identical, its stderr summary reports
+/// zero simulated cells, and `--no-cache` suppresses the store entirely.
+#[test]
+fn repro_cache_flag_memoizes_across_invocations() {
+    let dir = tmp("cli");
+    let run = |extra: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_deft-repro"))
+            .args(["rho", "--quick", "--out", "csv", "--cache"])
+            .arg(&dir)
+            .args(extra)
+            .output()
+            .expect("deft-repro runs");
+        assert!(out.status.success());
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (cold_out, cold_err) = run(&[]);
+    let (warm_out, warm_err) = run(&[]);
+    assert_eq!(cold_out, warm_out, "warm stdout must be byte-identical");
+    assert!(
+        cold_err.contains("cache: 0 hits, 5 misses (0 corrupt), 5 simulated"),
+        "cold summary missing: {cold_err:?}"
+    );
+    assert!(
+        warm_err.contains("cache: 5 hits, 0 misses (0 corrupt), 0 simulated"),
+        "warm summary missing: {warm_err:?}"
+    );
+    let (nocache_out, nocache_err) = run(&["--no-cache"]);
+    assert_eq!(cold_out, nocache_out);
+    assert!(
+        !nocache_err.contains("cache:"),
+        "--no-cache must suppress the store: {nocache_err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unusable `--cache` location is a clean one-line exit-1 error (the
+/// same contract as a corrupt `--resume` file), not a panic.
+#[test]
+fn repro_rejects_unusable_cache_dir_cleanly() {
+    // A regular file where the directory should be: `create_dir_all`
+    // fails even for root, unlike permission-based read-only dirs.
+    let blocker = std::env::temp_dir().join(format!("deft-cache-blocker-{}", std::process::id()));
+    std::fs::write(&blocker, b"file in the way").expect("write blocker");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_deft-repro"))
+        .args(["rho", "--quick", "--cache"])
+        .arg(blocker.join("store"))
+        .output()
+        .expect("deft-repro runs");
+    let _ = std::fs::remove_file(&blocker);
+    assert_eq!(out.status.code(), Some(1), "unusable cache must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot open cache"),
+        "missing error line: {stderr:?}"
+    );
+    assert!(!stderr.contains("panicked"), "must not panic: {stderr:?}");
+    assert!(
+        out.stdout.is_empty(),
+        "no experiment output before the error"
+    );
+}

@@ -5,8 +5,10 @@
 //! order — these tests pin that contract at the rendered-report level
 //! (both the human-readable tables and the CSV emitters).
 
+use deft::campaign::CacheStore;
 use deft::experiments::{
-    fig4, fig5_panels, fig7_jobs, rho_ablation_jobs, Algo, ExpConfig, SynPattern,
+    fig4, fig5_panels, fig7_jobs, rho_ablation_cached, rho_ablation_jobs, Algo, ExpConfig,
+    SynPattern,
 };
 use deft::report::{
     latency_sweep_csv, reachability_csv, render_latency_sweep, render_reachability,
@@ -111,6 +113,82 @@ fn nested_jobs_and_tick_threads_match_fully_serial() {
         latency_sweep_csv(&nested),
         "jobs=4 x tick_threads=2 fig4 CSV diverged from fully serial"
     );
+}
+
+/// Two concurrent-style interleavings — the same two campaigns issued in
+/// opposite order, both fanned out over four workers — populate their
+/// stores with byte-identical contents (same entry file names, same entry
+/// bytes), identical to a fully serial cold run's, and merge identical
+/// reports. Store contents are a function of the grid, never of
+/// scheduling or arrival order.
+#[test]
+fn interleaved_parallel_population_matches_serial_store_contents() {
+    use std::path::{Path, PathBuf};
+    use std::sync::Arc;
+
+    let sys = ChipletSystem::baseline_4();
+    let rates = [0.002, 0.004];
+
+    let run = |jobs: usize, rho_first: bool, dir: &Path| -> (String, String) {
+        let store = Arc::new(CacheStore::open(dir).expect("open store"));
+        let exp_cfg = cfg(jobs).with_cache(Arc::clone(&store));
+        let (sweep, rho);
+        if rho_first {
+            rho = rho_ablation_cached(&sys, jobs, Some(&store));
+            sweep = fig4(&sys, SynPattern::Uniform, &rates, &Algo::MAIN, &exp_cfg);
+        } else {
+            sweep = fig4(&sys, SynPattern::Uniform, &rates, &Algo::MAIN, &exp_cfg);
+            rho = rho_ablation_cached(&sys, jobs, Some(&store));
+        }
+        let s = store.stats();
+        assert_eq!(s.hits, 0, "cold runs into fresh stores must all miss");
+        assert_eq!(s.misses, s.stored);
+        (latency_sweep_csv(&sweep), rho_ablation_csv(&rho))
+    };
+    let contents = |dir: &Path| -> Vec<(String, Vec<u8>)> {
+        let store = CacheStore::open(dir).expect("reopen store");
+        store
+            .entries()
+            .expect("list entries")
+            .iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read(p).expect("read entry"),
+                )
+            })
+            .collect()
+    };
+
+    let dirs: Vec<PathBuf> = ["serial", "ab", "ba"]
+        .iter()
+        .map(|tag| {
+            let d =
+                std::env::temp_dir().join(format!("deft-interleave-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        })
+        .collect();
+    let serial = run(1, false, &dirs[0]);
+    let ab = run(4, false, &dirs[1]);
+    let ba = run(4, true, &dirs[2]);
+    assert_eq!(serial, ab, "jobs=4 reports diverged from serial");
+    assert_eq!(
+        serial, ba,
+        "reversed interleaving reports diverged from serial"
+    );
+
+    let want = contents(&dirs[0]);
+    assert!(!want.is_empty());
+    assert_eq!(want, contents(&dirs[1]), "jobs=4 store contents diverged");
+    assert_eq!(
+        want,
+        contents(&dirs[2]),
+        "reversed interleaving store contents diverged"
+    );
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
 }
 
 #[test]
