@@ -1,54 +1,77 @@
-//! Micro-benchmarks of the simulator's active-set scheduler against the
-//! dense-scan reference step ([`Simulator::run_dense_reference`]).
+//! Micro-benchmarks of the lane-batched engine on the 16×16 large grid
+//! (the scaling datapoint `BENCH_sim.json` tracks as `large-grid-16x16`).
 //!
-//! The active set skips routers holding no flits, so its advantage grows
-//! as load drops: at the Fig. 4 mid-load point most of the win comes from
-//! idle drain/warmup cycles, while at trickle load nearly every router
-//! scan is skipped. The dense reference is the pre-refactor engine shape
-//! and is kept precisely so this comparison (and the differential
-//! correctness tests) stay runnable.
+//! Three shapes of the same simulation:
+//!
+//! * `lane_batched` — the production serial path: word-level
+//!   `trailing_zeros` walks over the packed occupancy words (one branch
+//!   retires four idle routers) plus idle-cycle skipping.
+//! * `scalar_reference` — [`Simulator::run_dense_reference`]: the same
+//!   phases driven tick-every-cycle with skipping disabled, the closest
+//!   surviving stand-in for the retired scalar per-router scan. The gap
+//!   to `lane_batched` is what batching + skipping buy at each load.
+//! * `lane_batched_tick4` — the serial path sharded across 4 tick
+//!   workers, measuring what the phase-B move buckets buy on this host.
+//!
+//! At mid load most routers hold flits (the word scan's win is cache
+//! density); at trickle load nearly every word is zero (the win is
+//! skipping 4 routers per branch and whole idle windows).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deft::prelude::*;
 use deft_traffic::uniform;
 
-fn cfg() -> SimConfig {
+fn cfg(threads: usize) -> SimConfig {
     SimConfig {
         warmup: 0,
-        measure: 1_000,
+        measure: 200,
         drain: 0,
+        tick_threads: threads,
         ..SimConfig::default()
     }
 }
 
 fn bench_scheduler(c: &mut Criterion) {
-    let sys = ChipletSystem::baseline_4();
+    let sys = ChipletSystem::chiplet_grid(16, 16).expect("16x16 grid is valid");
     let faults = FaultState::none(&sys);
-    let mut group = c.benchmark_group("engine_step");
+    let mut group = c.benchmark_group("engine_step_16x16");
+    group.sample_size(10);
     for (label, rate) in [("mid_load_0.004", 0.004), ("trickle_0.0005", 0.0005)] {
         let pattern = uniform(&sys, rate);
-        group.bench_function(format!("active_set/{label}"), |b| {
+        group.bench_function(format!("lane_batched/{label}"), |b| {
             b.iter(|| {
                 Simulator::new(
                     &sys,
                     faults.clone(),
                     Box::new(DeftRouting::distance_based(&sys)),
                     &pattern,
-                    cfg(),
+                    cfg(1),
                 )
                 .run()
             })
         });
-        group.bench_function(format!("dense_reference/{label}"), |b| {
+        group.bench_function(format!("scalar_reference/{label}"), |b| {
             b.iter(|| {
                 Simulator::new(
                     &sys,
                     faults.clone(),
                     Box::new(DeftRouting::distance_based(&sys)),
                     &pattern,
-                    cfg(),
+                    cfg(1),
                 )
                 .run_dense_reference()
+            })
+        });
+        group.bench_function(format!("lane_batched_tick4/{label}"), |b| {
+            b.iter(|| {
+                Simulator::new(
+                    &sys,
+                    faults.clone(),
+                    Box::new(DeftRouting::distance_based(&sys)),
+                    &pattern,
+                    cfg(4),
+                )
+                .run()
             })
         });
     }

@@ -5,7 +5,7 @@
 //!            [--exp NAME] [--cache DIR] [--no-cache] \
 //!            [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
 //!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|\
-//!             checkpoint|fork_sweep|all]
+//!             checkpoint|fork_sweep|large-grid|all]
 //! ```
 //!
 //! * `--quick` shortens the simulation windows (same structure, noisier
@@ -37,6 +37,10 @@
 //!   per-algorithm loss/recovery means with confidence intervals. Like
 //!   `perf`, it is not part of `all` (it is the scale demo of the fork
 //!   engine, not a paper figure).
+//! * `large-grid` runs one deterministic 16×16-grid DeFT-Dis simulation
+//!   (the scaling datapoint as a figure-style run): its text/CSV output
+//!   is byte-identical for every `--tick-threads`, which CI's
+//!   parallel-tick smoke pins with a `cmp`. Not part of `all`.
 //! * `--cache DIR` memoizes campaign cells in a content-addressed result
 //!   store under `DIR`: each cell probes the store first and only
 //!   simulates on a miss, with results byte-identical to an uncached run
@@ -49,7 +53,7 @@ use deft::campaign::CacheStore;
 use deft::experiments::{
     fig4, fig5_panels, fig6_pairs, fig6_single, fig7_cached, fig8, fork_sweep, perf, recovery,
     recovery_scenarios, rho_ablation_cached, scaling_study, table1_campaign_cached, Algo,
-    ExpConfig, SynPattern, FORK_SWEEP_K, RECOVERY_RATE,
+    ExpConfig, SynPattern, FORK_SWEEP_K, PERF_RATE, RECOVERY_RATE,
 };
 use deft::report::{
     app_improvements_csv, fork_sweep_csv, latency_sweep_csv, perf_json, reachability_csv,
@@ -376,6 +380,32 @@ fn run_checkpoint(cfg: &ExpConfig, snap: &SnapshotOpts, out: Out) {
     );
 }
 
+/// The `large-grid` target: one deterministic 16×16-grid (8k+ router)
+/// DeFT-Dis simulation under uniform traffic — the scaling datapoint as
+/// a *figure-style* run whose text/CSV output is byte-identical for
+/// every `--jobs`/`--tick-threads` combination. CI's parallel-tick smoke
+/// `cmp`s the quick CSV of a serial run against `--tick-threads 4` to
+/// pin the parallel engine's determinism contract on a grid large enough
+/// that every shard owns thousands of routers. Like `perf`, it is not
+/// part of `all`.
+fn run_large_grid(cfg: &ExpConfig, out: Out) {
+    let sys = ChipletSystem::chiplet_grid(16, 16).expect("16x16 grid is valid");
+    let pattern = uniform(&sys, PERF_RATE);
+    let report = Simulator::new(
+        &sys,
+        FaultState::none(&sys),
+        Algo::DeftDis.build(&sys),
+        &pattern,
+        cfg.run_sim(0x16),
+    )
+    .run();
+    out.emit(
+        "large-grid 16x16 run",
+        || render_sim_report(&report),
+        || sim_report_csv(&report),
+    );
+}
+
 /// The `fork_sweep` target: [`FORK_SWEEP_K`] transient fault futures per
 /// algorithm, branched off one shared warm prefix (see the experiment's
 /// module docs). Like `perf`, it is not part of `all`.
@@ -408,7 +438,8 @@ fn usage_and_exit() -> ! {
         "usage: deft-repro [--quick] [--jobs N] [--tick-threads N] [--out text|csv] [--exp NAME] \
          [--cache DIR] [--no-cache] \
          [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
-         [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|checkpoint|fork_sweep|all]\n\
+         [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|checkpoint|fork_sweep|\
+         large-grid|all]\n\
          (--snapshot-every/--snapshot-file/--resume apply to the checkpoint target;\n\
           --cache DIR memoizes campaign cells in a content-addressed result store)"
     );
@@ -550,6 +581,7 @@ fn main() {
         "perf" => run_perf(&cfg, quick, out),
         "checkpoint" => run_checkpoint(&cfg, &snap, out),
         "fork_sweep" => run_fork_sweep(&cfg, out),
+        "large-grid" => run_large_grid(&cfg, out),
         "all" => {
             run_fig4(&cfg, out);
             run_fig5(&cfg, out);

@@ -28,9 +28,10 @@ pub use fork_sweep::{
 };
 pub use latency_sweep::{fig4, fig8, LatencyCurve, LatencySweep, SynPattern};
 pub use perf::{
-    perf, PerfCellResult, PerfReport, CACHE_HIT_CELL, CACHE_HIT_RATES, FIG4_MID_CELL,
-    FORK_SWEEP_CELL, FORK_SWEEP_COLD_CELL, LARGE_GRID_16_CELL, LARGE_GRID_CELL,
-    LARGE_GRID_THREADED_CELLS, PERF_RATE, PR4_FULL_BASELINE, TRICKLE_CELL, TRICKLE_PERIOD,
+    perf, PerfCellResult, PerfReport, PhaseBreakdown, CACHE_HIT_CELL, CACHE_HIT_RATES,
+    FIG4_MID_CELL, FORK_SWEEP_CELL, FORK_SWEEP_COLD_CELL, LARGE_GRID_16_CELL,
+    LARGE_GRID_16_QUICK_CELL, LARGE_GRID_CELL, LARGE_GRID_THREADED_CELLS, PERF_RATE,
+    PR4_FULL_BASELINE, TRICKLE_CELL, TRICKLE_PERIOD,
 };
 pub use power_table::{table1_campaign, table1_campaign_cached, table1_campaign_jobs};
 pub use reachability::{fig7, fig7_cached, fig7_jobs, ReachabilityCurves};

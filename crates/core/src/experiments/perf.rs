@@ -55,6 +55,15 @@ pub const LARGE_GRID_CELL: &str = "large-grid-8x8/DeFT-Dis";
 /// warn-only in CI until its trajectory stabilizes.
 pub const LARGE_GRID_16_CELL: &str = "large-grid-16x16/DeFT-Dis";
 
+/// Name of the quick-scaled 16×16 cell: the same system as
+/// [`LARGE_GRID_16_CELL`] but with its windows clamped to the quick
+/// profile in *every* mode, so the cell costs seconds rather than the
+/// full cell's tens of seconds. Because the windows are mode-independent
+/// (like [`TRICKLE_PERIOD`]), CI's quick perf smoke exercises the
+/// large-grid code path and its numbers are directly comparable to the
+/// committed full-mode baseline.
+pub const LARGE_GRID_16_QUICK_CELL: &str = "large-grid-16x16-quick/DeFT-Dis";
+
 /// The threaded large-grid cells: the same 8×8 run as
 /// [`LARGE_GRID_CELL`] with the cycle sharded across 4 and 8 tick
 /// workers ([`deft_sim::SimConfig::tick_threads`]). The simulated
@@ -105,6 +114,34 @@ pub const PR4_FULL_BASELINE: [(&str, f64); 4] = [
     ("transient-timeline/DeFT", 55_065.4),
 ];
 
+/// Per-phase wall-time breakdown of one cell, in nanoseconds — the
+/// serialized shape of [`deft_sim::PhaseProfile`]. Collected from a
+/// **separate profiled re-run** of the cell (never from the timed run,
+/// whose headline wall numbers must stay free of timestamp overhead),
+/// so the four phase times need not sum to the cell's `wall_ms`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PhaseBreakdown {
+    /// Phase 2: route computation + VC allocation.
+    pub route_ns: u64,
+    /// Phase 3: switch allocation.
+    pub switch_ns: u64,
+    /// Phase 4: commit (flit movement, credits, ejection stats).
+    pub commit_ns: u64,
+    /// Everything else in the cycle body: generation and injection.
+    pub postlude_ns: u64,
+}
+
+impl From<deft_sim::PhaseProfile> for PhaseBreakdown {
+    fn from(p: deft_sim::PhaseProfile) -> Self {
+        Self {
+            route_ns: p.route_ns,
+            switch_ns: p.switch_ns,
+            commit_ns: p.commit_ns,
+            postlude_ns: p.postlude_ns,
+        }
+    }
+}
+
 /// One timed simulation cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct PerfCellResult {
@@ -132,6 +169,11 @@ pub struct PerfCellResult {
     /// cells without a recorded baseline and in quick mode (quick windows
     /// are not comparable to the committed full-mode numbers).
     pub baseline_delta: Option<f64>,
+    /// Additive (schema `deft-bench-sim/v2`, still): per-phase wall-time
+    /// breakdown from a separate profiled re-run of the same cell. Only
+    /// populated for the tracked hot-path cells ([`FIG4_MID_CELL`] and
+    /// [`LARGE_GRID_16_QUICK_CELL`]); `null` elsewhere.
+    pub phase_breakdown: Option<PhaseBreakdown>,
 }
 
 /// The `perf` experiment's result set.
@@ -193,7 +235,24 @@ fn cell_from_totals(
         cycles_per_sec,
         ns_per_flit_hop: wall.as_secs_f64() * 1e9 / (flit_hops.max(1)) as f64,
         baseline_delta,
+        phase_breakdown: None,
     }
+}
+
+/// Runs one already-assembled simulation with per-phase profiling
+/// enabled and returns the breakdown. The run is *not* the timed one —
+/// profiling inserts timestamps into the cycle body, so the headline
+/// cell is always measured unprofiled and this re-run (identical
+/// simulated behaviour, the profile is host measurement state only)
+/// pays for the breakdown separately.
+fn profile_cell(mut sim: Simulator<'_>) -> PhaseBreakdown {
+    sim.enable_phase_profile();
+    sim.start();
+    let ended = sim.advance_to(u64::MAX);
+    debug_assert!(ended, "profiled perf cell did not run to completion");
+    sim.phase_profile()
+        .expect("profiling was enabled above")
+        .into()
 }
 
 /// Total buffer writes of a run: the flit-hop work the engine performed.
@@ -301,7 +360,17 @@ pub fn perf(sys: &ChipletSystem, cfg: &ExpConfig, mode: &str) -> PerfReport {
             pattern,
             cfg.run_sim(0),
         );
-        cells.push(time_cell(name, mode, sim));
+        let mut cell = time_cell(name, mode, sim);
+        if name == FIG4_MID_CELL {
+            cell.phase_breakdown = Some(profile_cell(Simulator::new(
+                sys,
+                FaultState::none(sys),
+                algo.build(sys),
+                pattern,
+                cfg.run_sim(0),
+            )));
+        }
+        cells.push(cell);
     }
 
     // Transient-timeline cell: mid-run inject/heal transitions exercise
@@ -379,6 +448,35 @@ pub fn perf(sys: &ChipletSystem, cfg: &ExpConfig, mode: &str) -> PerfReport {
         cfg.run_sim(5),
     );
     cells.push(time_cell(LARGE_GRID_16_CELL, mode, sim));
+
+    // Quick-scaled 16×16 variant: windows clamped to the quick profile
+    // in every mode, so the cell is (a) cheap enough for the CI perf
+    // smoke to exercise the large-grid path and (b) mode-independent —
+    // its quick-run numbers compare directly against the committed
+    // full-mode baseline. Also the large-grid cell that carries the
+    // phase breakdown (a profiled re-run at full 16×16 windows would
+    // double a tens-of-seconds cell).
+    let quick_windows = ExpConfig::quick().sim;
+    let mut huge_quick_sim = cfg.run_sim(7);
+    huge_quick_sim.warmup = huge_quick_sim.warmup.min(quick_windows.warmup);
+    huge_quick_sim.measure = huge_quick_sim.measure.min(quick_windows.measure);
+    huge_quick_sim.drain = huge_quick_sim.drain.min(quick_windows.drain);
+    let sim = Simulator::new(
+        &huge,
+        FaultState::none(&huge),
+        Algo::DeftDis.build(&huge),
+        &huge_uniform,
+        huge_quick_sim,
+    );
+    let mut cell = time_cell(LARGE_GRID_16_QUICK_CELL, mode, sim);
+    cell.phase_breakdown = Some(profile_cell(Simulator::new(
+        &huge,
+        FaultState::none(&huge),
+        Algo::DeftDis.build(&huge),
+        &huge_uniform,
+        huge_quick_sim,
+    )));
+    cells.push(cell);
 
     // Fork-sweep pair: the same K fault futures once via fork (shared
     // traffic prefix simulated a single time) and once cold (full run
@@ -539,7 +637,7 @@ mod tests {
     fn perf_runs_all_cells_and_derives_consistent_rates() {
         let sys = ChipletSystem::baseline_4();
         let report = perf(&sys, &tiny_cfg(), "quick");
-        assert_eq!(report.cells.len(), 12);
+        assert_eq!(report.cells.len(), 13);
         assert_eq!(report.mode, "quick");
         assert!(report.fig4_mid_load().is_some());
         assert!(report.peak_cell_wall_ms() > 0.0);
@@ -547,6 +645,25 @@ mod tests {
         assert!(report.cells.iter().any(|c| c.name == CACHE_HIT_CELL));
         assert!(report.cells.iter().any(|c| c.name == LARGE_GRID_CELL));
         assert!(report.cells.iter().any(|c| c.name == LARGE_GRID_16_CELL));
+        assert!(report
+            .cells
+            .iter()
+            .any(|c| c.name == LARGE_GRID_16_QUICK_CELL));
+        // The phase breakdown rides on exactly the tracked hot-path cells,
+        // and a profiled run records non-zero time in every phase.
+        for c in &report.cells {
+            let tracked = c.name == FIG4_MID_CELL || c.name == LARGE_GRID_16_QUICK_CELL;
+            assert_eq!(
+                c.phase_breakdown.is_some(),
+                tracked,
+                "{}: phase_breakdown presence",
+                c.name
+            );
+            if let Some(p) = c.phase_breakdown {
+                assert!(p.route_ns > 0 && p.switch_ns > 0 && p.commit_ns > 0);
+                assert!(p.postlude_ns > 0);
+            }
+        }
         // The threaded large-grid cells must reproduce the serial cell's
         // simulated outcome exactly — tick_threads is a wall-clock knob.
         let serial = report

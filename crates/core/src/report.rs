@@ -201,6 +201,22 @@ pub fn render_perf(report: &PerfReport) -> String {
             c.name, c.cycles, c.flit_hops, c.wall_ms, c.cycles_per_sec, c.ns_per_flit_hop, delta
         );
     }
+    for c in &report.cells {
+        if let Some(p) = c.phase_breakdown {
+            let total = (p.route_ns + p.switch_ns + p.commit_ns + p.postlude_ns).max(1) as f64;
+            let pct = |ns: u64| ns as f64 * 100.0 / total;
+            let _ = writeln!(
+                out,
+                "  {}: route {:.1}% / switch {:.1}% / commit {:.1}% / postlude {:.1}% \
+                 (profiled re-run)",
+                c.name,
+                pct(p.route_ns),
+                pct(p.switch_ns),
+                pct(p.commit_ns),
+                pct(p.postlude_ns)
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "(peak cell wall time {:.2} ms on {} core(s); wall-clock fields vary per invocation)",
@@ -219,7 +235,10 @@ pub fn render_perf(report: &PerfReport) -> String {
 /// multiplier over the PR 4 full-mode baseline (JSON `null` when not
 /// applicable). PR 7 adds the top-level `host_parallelism` (additive, so
 /// the schema tag stays v2): the timing host's core count, without which
-/// the threaded large-grid cells cannot be read.
+/// the threaded large-grid cells cannot be read. PR 9 adds the per-cell
+/// `phase_breakdown` (additive, schema stays v2): per-phase wall
+/// nanoseconds from a separate profiled re-run, `null` on cells that
+/// don't carry one.
 pub fn perf_json(report: &PerfReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -256,6 +275,18 @@ pub fn perf_json(report: &PerfReport) -> String {
             c.ns_per_flit_hop,
             match c.baseline_delta {
                 Some(d) => format!("{d:.3}"),
+                None => "null".to_owned(),
+            }
+        );
+        let _ = write!(
+            out,
+            ", \"phase_breakdown\": {}",
+            match c.phase_breakdown {
+                Some(p) => format!(
+                    "{{\"route_ns\": {}, \"switch_ns\": {}, \"commit_ns\": {}, \
+                     \"postlude_ns\": {}}}",
+                    p.route_ns, p.switch_ns, p.commit_ns, p.postlude_ns
+                ),
                 None => "null".to_owned(),
             }
         );
@@ -641,6 +672,12 @@ mod tests {
                     cycles_per_sec: 48_000.0,
                     ns_per_flit_hop: 312.5,
                     baseline_delta: None,
+                    phase_breakdown: Some(crate::experiments::PhaseBreakdown {
+                        route_ns: 100,
+                        switch_ns: 200,
+                        commit_ns: 300,
+                        postlude_ns: 400,
+                    }),
                 },
                 PerfCellResult {
                     name: "transpose-mid/DeFT".into(),
@@ -653,6 +690,7 @@ mod tests {
                     cycles_per_sec: 88_000.0,
                     ns_per_flit_hop: 312.5,
                     baseline_delta: Some(1.273),
+                    phase_breakdown: None,
                 },
             ],
         };
@@ -673,6 +711,15 @@ mod tests {
         assert!(json.contains("\"ns_per_flit_hop\": 312.50"));
         assert!(json.contains("\"baseline_delta\": null"));
         assert!(json.contains("\"baseline_delta\": 1.273"));
+        assert!(json.contains(
+            "\"phase_breakdown\": {\"route_ns\": 100, \"switch_ns\": 200, \
+             \"commit_ns\": 300, \"postlude_ns\": 400}"
+        ));
+        assert!(json.contains("\"phase_breakdown\": null"));
+        assert!(
+            text.contains("route 10.0% / switch 20.0% / commit 30.0% / postlude 40.0%"),
+            "breakdown footnote renders: {text}"
+        );
         // Exactly one comma-separated object per cell, valid-JSON shaped.
         assert_eq!(json.matches("\"name\":").count(), 2);
         assert_eq!(json.matches("},\n").count(), 1);

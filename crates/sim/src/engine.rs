@@ -20,35 +20,38 @@
 //! fires (the CDG is acyclic); it exists to catch routing bugs and to
 //! demonstrate what happens without VN separation.
 //!
-//! ## Worm descriptors, active-set scheduling, idle-cycle skipping
+//! ## Flat SoA state, lane-batched scans, idle-cycle skipping
 //!
 //! The data plane is allocation- and copy-free per flit: packets live as
 //! descriptors in a slab arena ([`crate::PacketArena`]) and buffers are
-//! segment rings ([`crate::VcRing`]) in which body/tail flits are
-//! implicit — a flit-hop is a counter decrement upstream plus at most one
-//! segment write downstream.
+//! segment rings in which body/tail flits are implicit — a flit-hop is a
+//! counter decrement upstream plus at most one segment write downstream.
+//! Every hot per-router field lives in one flat structure-of-arrays
+//! [`NetState`] (packed occupancy words, dense slot tables, one segment
+//! arena — see `state`), so the per-cycle phases sweep contiguous memory.
 //!
-//! Phases 2–4 scan only an *active set* of routers — those holding at
-//! least one buffered flit — instead of walking every router × port × VC
-//! each cycle, and within a router only the buffers set in its occupancy
-//! bitmask. The set is kept sorted in router-index order (the dense
-//! iteration order), which together with the two-phase update makes the
-//! schedule byte-identical to a dense scan. When the network is provably
-//! idle the clock jumps straight to the next scheduled event (next
-//! possible arrival, fault transition, or window boundary) instead of
-//! ticking — see [`TrafficPattern::next_arrival_at_or_after`]; stochastic
-//! patterns disable this so their RNG streams stay cycle-exact. A
-//! reference dense implementation that ticks every cycle remains
-//! available as [`Simulator::run_dense_reference`] and differential tests
-//! pin the equivalence. See `ARCHITECTURE.md` ("Hot path & data layout")
-//! for the invariants.
+//! Phases 2–3 are *lane-batched*: the per-router occupancy masks are
+//! packed four routers per `u64` word, and both phases walk set bits with
+//! `trailing_zeros` — whole words first (four routers skipped per branch
+//! when idle), then slots within a router's 16-bit lane. Bit-ascending is
+//! router-ascending and, within a router, port-major VC-minor — exactly
+//! the legacy dense scan order, which together with the two-phase update
+//! makes the schedule byte-identical to a dense scan. When the network is
+//! provably idle the clock jumps straight to the next scheduled event
+//! (next possible arrival, fault transition, or window boundary) instead
+//! of ticking — see [`TrafficPattern::next_arrival_at_or_after`];
+//! stochastic patterns disable this so their RNG streams stay
+//! cycle-exact. A reference dense implementation that ticks every cycle
+//! remains available as [`Simulator::run_dense_reference`] and
+//! differential tests pin the equivalence. See `ARCHITECTURE.md` ("Hot
+//! path & data layout") for the invariants.
 
 use crate::config::SimConfig;
 use crate::flit::{PacketArena, PacketId, PacketInfo};
 use crate::router::{
-    arrival_port, port_of, slot_of, Router, PORT_COUNT, PORT_LOCAL, PORT_VERTICAL, SLOT_COUNT,
-    VC_COUNT,
+    arrival_port, port_of, slot_of, PORT_COUNT, PORT_LOCAL, PORT_VERTICAL, SLOT_COUNT, VC_COUNT,
 };
+use crate::state::{NetState, OCC_LANES, OCC_LANE_BITS};
 use crate::stats::{EpochStats, LatencyHistogram, Region, SimReport, VcUsage};
 use deft_codec::{CodecError, Decoder, Encoder, Persist, SnapshotReader, SnapshotWriter};
 use deft_routing::RoutingAlgorithm;
@@ -62,6 +65,7 @@ use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::ops::Range;
 use std::sync::Barrier;
+use std::time::Instant;
 
 /// One switch-allocation winner, applied in the commit phase.
 ///
@@ -157,6 +161,18 @@ impl Persist for EpochAccum {
     }
 }
 
+/// One cross-shard aspect of a [`Move`], bucketed by its producer for the
+/// consuming shard: the credit return (upstream router foreign to the
+/// producer) and/or the downstream push (downstream router foreign). Both
+/// aspects of one move share an entry when they land on the same foreign
+/// shard.
+#[derive(Debug, Clone, Copy)]
+struct BucketEntry {
+    m: Move,
+    credit: bool,
+    push: bool,
+}
+
 /// Scratch and control state of the partitioned parallel tick. Built
 /// lazily on the first parallel `step_until`, never snapshotted or
 /// forked: it is host-execution machinery with no simulated state.
@@ -167,41 +183,49 @@ impl Persist for EpochAccum {
 /// index range. During a phase, every *write* a worker performs lands in
 /// state owned by its shard:
 ///
-/// * **Phase A** (route + VC alloc + switch alloc) writes only
-///   `routers[i]` for `i` in the shard's slice of the cycle's sorted
-///   worklist, plus `packets[pid].ctx` for heads buffered in the shard —
-///   a packet's head flit sits at the front of exactly one ring, so those
-///   writes are disjoint across workers. Routing-algorithm interior state
-///   is per-node atomics (see `RoutingAlgorithm`).
-/// * **Phase B** sweeps the *whole* canonical move list (every shard's
-///   moves, shard-major — exactly the serial commit order) but applies
-///   only the aspects its shard owns: the pop side where `m.router` is
-///   owned, the credit return where the upstream router is owned, and the
-///   push side where the downstream router is owned. Per-location
-///   operation order therefore equals the serial commit's, and every
-///   location is written by exactly one worker. Cross-shard *reads* go
-///   through the immutable flat link tables, never through another
-///   shard's routers.
+/// * **Phase A** (route + VC alloc + switch alloc) writes only slot-table
+///   entries of the shard's own routers, plus `packets[pid].ctx` for
+///   heads buffered in the shard — a packet's head flit sits at the front
+///   of exactly one ring, so those writes are disjoint across workers.
+///   The packed occupancy words are only *read* during phase A.
+///   Routing-algorithm interior state is per-node atomics (see
+///   `RoutingAlgorithm`).
+/// * **Phase B** applies each move's aspects on the worker owning the
+///   affected router: worker `s` sweeps its own move list (pop side —
+///   `m.router` is always shard-local, asserted in phase A) plus the
+///   buckets other shards addressed to it (credit returns whose upstream
+///   router it owns, pushes whose downstream router it owns), in
+///   producer-shard-major, move-ascending order — exactly the serial
+///   commit's per-location operation order. Every location is written by
+///   exactly one worker; cross-shard wiring *reads* go through the
+///   immutable flat link tables. Ring pushes/pops use the raw (occupancy
+///   -blind) ops: a `u64` occupancy word packs four routers and may
+///   straddle a shard boundary, so the touched occupancy bits are
+///   re-derived serially in the postlude instead.
 ///
 /// Everything order-sensitive or RNG-consuming — generation, injection,
 /// ejection statistics, packet release (the arena free list is LIFO),
-/// active-set maintenance — stays on the main thread between phases.
+/// occupancy repair — stays on the main thread between phases.
 struct ParTick {
     /// The chiplet-aligned shard map: disjoint, covering, contiguous
     /// (re-asserted when the engine adopts it).
     partition: TickPartition,
-    /// Per-shard bounds into the cycle's sorted worklist.
-    wl: Vec<Range<usize>>,
+    /// Dense node → owning-shard table (avoids per-move binary searches
+    /// when bucketing cross-shard aspects).
+    node_shard: Vec<u16>,
     /// Per-shard switch-allocation winners; concatenated in shard order
-    /// they form the cycle's canonical move list.
+    /// they form the cycle's canonical move list. Shard `s`'s list holds
+    /// only moves of its own routers.
     moves: Vec<Vec<Move>>,
+    /// Cross-shard aspect buckets, indexed `[producer * k + consumer]`:
+    /// written by the producing worker during phase A (its own row),
+    /// swept by the consuming worker during phase B.
+    buckets: Vec<Vec<BucketEntry>>,
     /// Per-worker local-delivery records `(global move key, packet, flit
     /// index)`, applied serially in key order after the commit barrier.
     eject: Vec<Vec<(u64, PacketId, u32)>>,
     /// Merge scratch for the ejection records.
     eject_all: Vec<(u64, PacketId, u32)>,
-    /// Per-worker routers that received their first flit this cycle.
-    pending: Vec<Vec<usize>>,
     /// Per-worker per-region VC-usage accumulators (region 0, the
     /// interposer, spans shards — sums are merged serially).
     usage: Vec<Vec<VcUsage>>,
@@ -234,7 +258,8 @@ pub struct Simulator<'a> {
     alg: Box<dyn RoutingAlgorithm + 'a>,
     pattern: &'a dyn TrafficPattern,
     cfg: SimConfig,
-    routers: Vec<Router>,
+    /// The flat structure-of-arrays network state (see `state`).
+    net: NetState,
     packets: PacketArena,
     sources: Vec<Source>,
     inject_seq: Vec<u64>,
@@ -249,25 +274,14 @@ pub struct Simulator<'a> {
     /// node → flat slot in `vl_flits` of the unidirectional VL crossed by
     /// a flit leaving the node vertically (`u32::MAX` for non-VL nodes).
     vl_stat_slot: Vec<u32>,
-    /// Flat copy of every router's `out_links`, immutable after setup.
-    /// The parallel commit reads wiring of *foreign* routers through this
-    /// table so it never touches another shard's `Router` values.
+    /// Downstream wiring: `links_out[node][port]` = (downstream router
+    /// index, downstream input port), immutable after setup. `None` for
+    /// Local and absent links. The parallel commit reads wiring of
+    /// *foreign* routers through this table so it never touches another
+    /// shard's state.
     links_out: Vec<[Option<(u32, u8)>; PORT_COUNT]>,
-    /// Flat copy of every router's `in_links` (see `links_out`).
+    /// Upstream wiring used to return credits (see `links_out`).
     links_in: Vec<[Option<(u32, u8)>; PORT_COUNT]>,
-    // Active-set scheduler state.
-    /// Routers with at least one buffered flit, ascending; the worklist of
-    /// phases 2–4.
-    active: Vec<usize>,
-    /// Membership flags of `active`.
-    in_active: Vec<bool>,
-    /// Routers that received their first flit this cycle; merged into
-    /// `active` at end of cycle.
-    pending_active: Vec<usize>,
-    /// Membership flags of `pending_active`.
-    pending_flag: Vec<bool>,
-    /// Spare buffer for the sorted merge in `refresh_active`.
-    active_scratch: Vec<usize>,
     /// Reusable switch-allocation move buffer (no per-cycle allocation).
     move_scratch: Vec<Move>,
     /// Total buffered flits across the network.
@@ -308,15 +322,35 @@ pub struct Simulator<'a> {
     /// Whether the run has begun ([`run`](Self::run) or
     /// [`start`](Self::start)).
     started: bool,
-    /// Active-set scheduling (true) vs the dense reference scan.
+    /// Idle-cycle skipping enabled (true) vs the dense tick-every-cycle
+    /// reference. The word-scan phases are identical in both modes — an
+    /// empty router is a no-op either way — so the modes differ only in
+    /// whether provably-idle stretches are skipped.
     active_mode: bool,
     /// Whether the run has reached one of its end conditions.
     done: bool,
-    /// Dense mode's fixed full worklist (empty in active mode).
-    dense: Vec<usize>,
     /// Parallel-tick shards and scratch (`None` until a parallel
     /// `step_until` first needs it; never snapshotted).
     par: Option<Box<ParTick>>,
+    /// Per-phase wall-time accumulator (`None` — and zero overhead — by
+    /// default; see [`Simulator::enable_phase_profile`]).
+    profile: Option<Box<PhaseProfile>>,
+}
+
+/// Cumulative serial-loop wall time per engine phase, in nanoseconds.
+/// Collected only after [`Simulator::enable_phase_profile`]; the
+/// unprofiled loop takes no timestamps. Host measurement state: never
+/// snapshotted, forked, or compared.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseProfile {
+    /// Phase 2: route computation + VC allocation.
+    pub route_ns: u64,
+    /// Phase 3: switch allocation.
+    pub switch_ns: u64,
+    /// Phase 4: commit (flit movement, credits, ejection stats).
+    pub commit_ns: u64,
+    /// Everything else in the cycle body: generation and injection.
+    pub postlude_ns: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -338,21 +372,23 @@ impl<'a> Simulator<'a> {
             "router layout is compiled for {VC_COUNT} VCs"
         );
         let n = sys.node_count();
-        let mut routers: Vec<Router> = (0..n).map(|_| Router::new(cfg.buffer_depth)).collect();
-
-        // RC's store-and-forward needs the boundary router's vertical input
-        // buffer (the RC-buffer) to hold a whole packet.
+        // Per-slot buffer capacities, fixed before the flat state is
+        // built: RC's store-and-forward needs the boundary router's
+        // vertical input buffer (the RC-buffer) to hold a whole packet.
+        let mut caps = vec![cfg.buffer_depth; n * SLOT_COUNT];
         if alg.store_and_forward_up() {
             for vl in sys.vertical_links() {
                 for vc in 0..VC_COUNT as u8 {
-                    routers[vl.chiplet_node.index()]
-                        .vc_mut(PORT_VERTICAL, vc)
-                        .grow_cap(cfg.packet_size);
+                    let k = vl.chiplet_node.index() * SLOT_COUNT + slot_of(PORT_VERTICAL, vc);
+                    caps[k] = caps[k].max(cfg.packet_size);
                 }
             }
         }
+        let mut net = NetState::new(&caps);
 
         // Wire links and credits.
+        let mut links_out = vec![[None; PORT_COUNT]; n];
+        let mut links_in = vec![[None; PORT_COUNT]; n];
         for node in sys.nodes() {
             for dir in Direction::ALL {
                 let Some(nbr) = sys.neighbor(node, dir) else {
@@ -360,23 +396,20 @@ impl<'a> Simulator<'a> {
                 };
                 let out = port_of(dir) as usize;
                 let inp = arrival_port(dir);
-                routers[node.index()].out_links[out] = Some((nbr.0, inp));
-                routers[nbr.index()].in_links[inp as usize] = Some((node.0, out as u8));
+                links_out[node.index()][out] = Some((nbr.0, inp));
+                links_in[nbr.index()][inp as usize] = Some((node.0, out as u8));
             }
         }
-        for i in 0..n {
-            for out in 0..PORT_COUNT {
-                if let Some((d, dp)) = routers[i].out_links[out] {
+        for (i, row) in links_out.iter().enumerate() {
+            for (out, link) in row.iter().enumerate() {
+                if let Some((d, dp)) = link {
                     for vc in 0..VC_COUNT as u8 {
-                        routers[i].credits[out][vc as usize] =
-                            routers[d as usize].vc(dp, vc).cap() as u32;
+                        net.credits[i * SLOT_COUNT + out * VC_COUNT + vc as usize] =
+                            caps[*d as usize * SLOT_COUNT + slot_of(*dp, vc)] as u32;
                     }
                 }
             }
         }
-
-        let links_out: Vec<_> = routers.iter().map(|r| r.out_links).collect();
-        let links_in: Vec<_> = routers.iter().map(|r| r.in_links).collect();
 
         let initial_faults = faults.faulty_count();
         let region_of: Vec<u16> = sys
@@ -397,7 +430,7 @@ impl<'a> Simulator<'a> {
             alg,
             pattern,
             cfg,
-            routers,
+            net,
             packets: PacketArena::new(),
             sources: (0..n).map(|_| Source::default()).collect(),
             inject_seq: vec![0; n],
@@ -407,11 +440,6 @@ impl<'a> Simulator<'a> {
             vl_stat_slot,
             links_out,
             links_in,
-            active: Vec::new(),
-            in_active: vec![false; n],
-            pending_active: Vec::new(),
-            pending_flag: vec![false; n],
-            active_scratch: Vec::new(),
             move_scratch: Vec::new(),
             total_flits: 0,
             packets_queued: 0,
@@ -434,8 +462,8 @@ impl<'a> Simulator<'a> {
             started: false,
             active_mode: true,
             done: false,
-            dense: Vec::new(),
             par: None,
+            profile: None,
         }
     }
 
@@ -521,16 +549,24 @@ impl<'a> Simulator<'a> {
         self.cycle
     }
 
+    /// Turns on per-phase wall-time accounting for the serial loop.
+    /// Zero-overhead when off: the profiled cycle body is a separate
+    /// branch, so the normal hot path takes no timestamps. The parallel
+    /// tick is not profiled (phase boundaries are barriers there — wall
+    /// time per phase is a different measurement).
+    pub fn enable_phase_profile(&mut self) {
+        self.profile = Some(Box::default());
+    }
+
+    /// The accumulated per-phase wall times, if profiling was enabled.
+    pub fn phase_profile(&self) -> Option<PhaseProfile> {
+        self.profile.as_deref().copied()
+    }
+
     fn begin(&mut self, active_mode: bool) {
         assert!(!self.started, "this run has already started");
         self.started = true;
         self.active_mode = active_mode;
-        if !active_mode {
-            // Dense mode: a fixed full worklist, and `in_active` saturated
-            // so the pending queue stays empty.
-            self.in_active.fill(true);
-            self.dense = (0..self.routers.len()).collect();
-        }
     }
 
     /// The cycle loop, pausable at every top-of-cycle boundary. With
@@ -581,24 +617,11 @@ impl<'a> Simulator<'a> {
                     self.last_progress = self.cycle;
                 }
             }
-            if self.cycle < gen_end {
-                self.generate(self.cycle);
-            }
-            let worklist = if self.active_mode {
-                std::mem::take(&mut self.active)
+            let progressed = if self.profile.is_some() {
+                self.tick_phases_profiled(gen_end)
             } else {
-                std::mem::take(&mut self.dense)
+                self.tick_phases(gen_end)
             };
-            self.route_and_allocate(&worklist);
-            let moves = self.switch_allocate(self.cycle, &worklist);
-            let progressed = self.commit(&moves, self.cycle) | self.inject();
-            self.move_scratch = moves;
-            if self.active_mode {
-                self.active = worklist;
-                self.refresh_active();
-            } else {
-                self.dense = worklist;
-            }
 
             if progressed {
                 self.last_progress = self.cycle;
@@ -641,6 +664,55 @@ impl<'a> Simulator<'a> {
         true
     }
 
+    /// One serial cycle's phases 1–5: generation, the word-scan sweep of
+    /// phases 2–3 over the whole network, commit, injection. Returns
+    /// whether anything moved or injected. The word scans skip idle
+    /// routers four at a time, so no per-cycle worklist is kept — dense
+    /// and active mode run the identical sweep.
+    #[inline]
+    fn tick_phases(&mut self, gen_end: u64) -> bool {
+        if self.cycle < gen_end {
+            self.generate(self.cycle);
+        }
+        let n = self.net.node_count();
+        self.route_and_allocate(0..n);
+        let mut moves = std::mem::take(&mut self.move_scratch);
+        moves.clear();
+        self.switch_allocate_into(self.cycle, 0..n, &mut moves);
+        let progressed = self.commit(&moves, self.cycle) | self.inject();
+        self.move_scratch = moves;
+        progressed
+    }
+
+    /// [`tick_phases`](Self::tick_phases) with per-phase timestamps — a
+    /// separate body so the unprofiled loop stays timestamp-free.
+    fn tick_phases_profiled(&mut self, gen_end: u64) -> bool {
+        let ns = |d: std::time::Duration| d.as_nanos() as u64;
+        let t0 = Instant::now();
+        if self.cycle < gen_end {
+            self.generate(self.cycle);
+        }
+        let n = self.net.node_count();
+        let t1 = Instant::now();
+        self.route_and_allocate(0..n);
+        let t2 = Instant::now();
+        let mut moves = std::mem::take(&mut self.move_scratch);
+        moves.clear();
+        self.switch_allocate_into(self.cycle, 0..n, &mut moves);
+        let t3 = Instant::now();
+        let committed = self.commit(&moves, self.cycle);
+        let t4 = Instant::now();
+        let progressed = committed | self.inject();
+        let t5 = Instant::now();
+        self.move_scratch = moves;
+        let p = self.profile.as_mut().expect("profiled tick without state");
+        p.postlude_ns += ns(t1 - t0) + ns(t5 - t4);
+        p.route_ns += ns(t2 - t1);
+        p.switch_ns += ns(t3 - t2);
+        p.commit_ns += ns(t4 - t3);
+        progressed
+    }
+
     /// Lazily adopts the chiplet-aligned shard map for `tick_threads`
     /// workers. Returns whether more than one shard resulted — a system
     /// too small to split runs serially regardless of the knob.
@@ -650,15 +722,16 @@ impl<'a> Simulator<'a> {
             // The engine re-asserts the partition's contract on adoption:
             // phase writes would race if shards overlapped or left gaps.
             partition.assert_disjoint_cover();
+            let node_shard = partition.node_shards();
             let k = partition.len();
             let regions = self.vc_usage.len();
             self.par = Some(Box::new(ParTick {
                 partition,
-                wl: vec![0..0; k],
+                node_shard,
                 moves: vec![Vec::new(); k],
+                buckets: vec![Vec::new(); k * k],
                 eject: vec![Vec::new(); k],
                 eject_all: Vec::new(),
-                pending: vec![Vec::new(); k],
                 usage: vec![vec![VcUsage::default(); regions]; k],
                 exit: false,
             }));
@@ -751,13 +824,12 @@ impl<'a> Simulator<'a> {
             if self.cycle < gen_end {
                 self.generate(self.cycle);
             }
-            // Phases 2–4 on the pool. An empty worklist skips the round
-            // entirely — the workers stay parked at `enter` (they only
-            // proceed when the main thread arrives) and injection may
-            // still make progress below.
+            // Phases 2–4 on the pool. An empty network skips the round
+            // entirely — the phase scans would all be no-ops, the workers
+            // stay parked at `enter` (they only proceed when the main
+            // thread arrives), and injection may still make progress below.
             let mut progressed = false;
-            if !self.active.is_empty() {
-                self.par_prepare();
+            if self.total_flits > 0 {
                 enter.wait();
                 self.par_phase_a(0);
                 mid.wait();
@@ -766,7 +838,6 @@ impl<'a> Simulator<'a> {
                 progressed = self.par_postlude(self.cycle);
             }
             let progressed = progressed | self.inject();
-            self.refresh_active();
 
             if progressed {
                 self.last_progress = self.cycle;
@@ -795,91 +866,133 @@ impl<'a> Simulator<'a> {
         true
     }
 
-    /// Publishes the cycle's job: slices the sorted worklist at shard
-    /// boundaries — two binary searches per shard, possible because both
-    /// the worklist and the shards are ascending and contiguous.
-    fn par_prepare(&mut self) {
-        let mut par = self.par.take().expect("parallel cycle without state");
-        for (s, shard) in par.partition.shards().iter().enumerate() {
-            let lo = self
-                .active
-                .partition_point(|&i| (i as u32) < shard.nodes.start);
-            let hi = self
-                .active
-                .partition_point(|&i| (i as u32) < shard.nodes.end);
-            par.wl[s] = lo..hi;
-        }
-        self.par = Some(par);
-    }
-
     /// Phase A for shard `s`: route computation, VC allocation, and
-    /// switch allocation over the shard's slice of the worklist — the
-    /// serial phase methods, unchanged, on a sub-worklist. Runs
-    /// concurrently on every worker; all writes are shard-owned (see
-    /// [`ParTick`]).
+    /// switch allocation over the shard's router range — the serial phase
+    /// methods, unchanged, on a sub-range — then bucketing of each move's
+    /// cross-shard aspects for the consuming workers. Runs concurrently on
+    /// every worker; all writes are shard-owned (see [`ParTick`]).
     fn par_phase_a(&mut self, s: usize) {
         let par: *mut ParTick = &mut **self.par.as_mut().expect("phase A without state");
-        // SAFETY: workers read shared job state and write only their own
-        // indexed slots, per the ParTick ownership model.
-        let (range, nodes) = unsafe {
+        // SAFETY (here and below): workers read shared job state and write
+        // only their own move list and bucket row, per the ParTick
+        // ownership model.
+        let (nodes, k) = unsafe {
             let p = &*par;
-            (p.wl[s].clone(), p.partition.shards()[s].nodes.clone())
+            (p.partition.shards()[s].nodes.clone(), p.partition.len())
         };
-        // Detach the sub-worklist slice from `self`'s borrow — phase A
-        // never touches `active`.
-        let wl: &[usize] = unsafe { &*(&self.active[range] as *const [usize]) };
-        #[cfg(debug_assertions)]
-        for &idx in wl {
-            assert!(
-                nodes.contains(&(idx as u32)),
-                "phase-A worklist router {idx} outside shard {s} (routers {nodes:?})"
-            );
-        }
-        #[cfg(not(debug_assertions))]
-        let _ = nodes;
-        self.route_and_allocate(wl);
+        self.route_and_allocate(nodes.start as usize..nodes.end as usize);
         let mut moves = std::mem::take(unsafe { &mut (&mut (*par).moves)[s] });
         moves.clear();
-        self.switch_allocate_into(self.cycle, wl, &mut moves);
+        self.switch_allocate_into(
+            self.cycle,
+            nodes.start as usize..nodes.end as usize,
+            &mut moves,
+        );
+        // Bucket each move's cross-shard aspects into this producer's row.
+        // The consuming worker sweeps producer rows in shard order and each
+        // bucket in move order — the serial per-location commit order.
+        unsafe {
+            for bucket in &mut (&mut (*par).buckets)[s * k..(s + 1) * k] {
+                bucket.clear();
+            }
+        }
+        let push_bucket = |t: usize, e: BucketEntry| unsafe {
+            (&mut (*par).buckets)[s * k + t].push(e);
+        };
+        let node_shard: &[u16] = unsafe { &(*par).node_shard };
+        for m in &moves {
+            debug_assert!(
+                nodes.contains(&(m.router as u32)),
+                "phase-A move at router {} outside shard {s} (routers {nodes:?})",
+                m.router
+            );
+            let credit_to = self.links_in[m.router][m.in_port as usize]
+                .map(|(up, _)| node_shard[up as usize] as usize)
+                .filter(|&t| t != s);
+            let push_to = (m.out_port != PORT_LOCAL)
+                .then(|| {
+                    let (d, _) = self.links_out[m.router][m.out_port as usize]
+                        .expect("move along a missing link");
+                    node_shard[d as usize] as usize
+                })
+                .filter(|&t| t != s);
+            match (credit_to, push_to) {
+                (Some(c), Some(p)) if c == p => push_bucket(
+                    c,
+                    BucketEntry {
+                        m: *m,
+                        credit: true,
+                        push: true,
+                    },
+                ),
+                (credit_to, push_to) => {
+                    if let Some(c) = credit_to {
+                        push_bucket(
+                            c,
+                            BucketEntry {
+                                m: *m,
+                                credit: true,
+                                push: false,
+                            },
+                        );
+                    }
+                    if let Some(p) = push_to {
+                        push_bucket(
+                            p,
+                            BucketEntry {
+                                m: *m,
+                                credit: false,
+                                push: true,
+                            },
+                        );
+                    }
+                }
+            }
+        }
         unsafe { (&mut (*par).moves)[s] = moves };
     }
 
-    /// Phase B for shard `s`: one in-order sweep of the canonical move
-    /// list (every shard's winners, shard-major — exactly the serial
-    /// commit order) applying only the aspects this shard owns: the pop
-    /// side where the move's router is owned, the credit return where the
-    /// upstream router is owned, and the push side where the downstream
-    /// router is owned. A location is therefore written by exactly one
-    /// worker, in the serial order; operations of one move that land on
+    /// Phase B for shard `s`: applies the move aspects this shard owns —
+    /// its own move list (the pop side is always shard-local, asserted in
+    /// phase A; the credit and push sides are applied inline when local
+    /// too), then the buckets the other producers addressed to it —
+    /// sweeping producers in shard order and each list in move order:
+    /// exactly the serial commit's per-location operation order, without
+    /// scanning any foreign shard's full move list. Every location is
+    /// written by exactly one worker; operations of one move that land on
     /// different shards touch disjoint locations, so their relative order
-    /// is free.
+    /// is free. Ring pushes and pops are *raw*: a packed `u64` occupancy
+    /// word may straddle a shard boundary, so the touched bits are
+    /// repaired serially in the postlude instead.
     fn par_phase_b(&mut self, s: usize) {
         let par: *mut ParTick = &mut **self.par.as_mut().expect("phase B without state");
-        // SAFETY: every shard's `moves` was fully written before the A→B
-        // barrier and is only read now; writes go to worker-owned slots.
+        // SAFETY: every shard's move list and bucket row were fully
+        // written before the A→B barrier and are only read now; writes go
+        // to worker-owned locations.
         let k = unsafe { (*par).moves.len() };
         let nodes = unsafe { (*par).partition.shards()[s].nodes.clone() };
         let owns = |i: u32| nodes.start <= i && i < nodes.end;
         let tail_idx = (self.cfg.packet_size - 1) as u32;
         let cycle = self.cycle;
         let mut eject = std::mem::take(unsafe { &mut (&mut (*par).eject)[s] });
-        let mut pending = std::mem::take(unsafe { &mut (&mut (*par).pending)[s] });
         let mut usage = std::mem::take(unsafe { &mut (&mut (*par).usage)[s] });
         for t in 0..k {
-            let moves: &[Move] = unsafe { &(&(*par).moves)[t] };
-            for (i, m) in moves.iter().enumerate() {
-                // Credit return to the upstream router feeding the input
-                // (wiring read through the immutable flat tables — never
-                // through a foreign shard's router).
-                if let Some((up, up_out)) = self.links_in[m.router][m.in_port as usize] {
-                    if owns(up) {
-                        self.routers[up as usize].credits[up_out as usize][m.in_vc as usize] += 1;
+            if t == s {
+                let moves: &[Move] = unsafe { &*(&(&(*par).moves)[s] as *const Vec<Move>) };
+                for (i, m) in moves.iter().enumerate() {
+                    // Credit return to the upstream router feeding the
+                    // input, when local (foreign upstreams were bucketed
+                    // to their owner in phase A).
+                    if let Some((up, up_out)) = self.links_in[m.router][m.in_port as usize] {
+                        if owns(up) {
+                            self.net.credits
+                                [up as usize * SLOT_COUNT + slot_of(up_out, m.in_vc)] += 1;
+                        }
                     }
-                }
-                let is_tail = m.fidx == tail_idx;
-                if owns(m.router as u32) {
-                    // Pop side: this shard owns the move's router.
-                    let popped = self.routers[m.router].pop_flit(m.in_port, m.in_vc);
+                    // Pop side: the move's router is always shard-local.
+                    let popped = self
+                        .net
+                        .pop_front_raw(m.router * SLOT_COUNT + slot_of(m.in_port, m.in_vc));
                     debug_assert_eq!(
                         popped,
                         (m.packet, m.fidx),
@@ -890,9 +1003,10 @@ impl<'a> Simulator<'a> {
                         // Ejection bookkeeping (stats, arena release) is
                         // order-sensitive: defer to the serial postlude,
                         // keyed by canonical move order.
-                        eject.push((((t as u64) << 32) | i as u64, m.packet, m.fidx));
+                        eject.push((((s as u64) << 32) | i as u64, m.packet, m.fidx));
                     } else {
-                        self.routers[m.router].credits[m.out_port as usize][m.out_vc as usize] -= 1;
+                        self.net.credits[m.router * SLOT_COUNT + slot_of(m.out_port, m.out_vc)] -=
+                            1;
                         if m.out_port == PORT_VERTICAL {
                             let slot = self.vl_stat_slot[m.router];
                             debug_assert_ne!(slot, u32::MAX, "vertical move off a VL");
@@ -901,42 +1015,61 @@ impl<'a> Simulator<'a> {
                             self.vl_flits[slot as usize] += 1;
                             self.vl_next_free[m.router] = cycle + self.cfg.vl_serialization;
                         }
+                        let (d_idx, d_port) = self.links_out[m.router][m.out_port as usize]
+                            .expect("move along a missing link");
+                        if owns(d_idx) {
+                            self.push_move_flit(d_idx as usize, d_port, m, &mut usage);
+                        }
                     }
-                    if is_tail {
-                        let ring = &mut self.routers[m.router].vcs[slot_of(m.in_port, m.in_vc)];
-                        ring.dest = None;
-                        ring.granted = false;
-                        ring.owner = None;
+                    if m.fidx == tail_idx {
+                        let kin = m.router * SLOT_COUNT + slot_of(m.in_port, m.in_vc);
+                        self.net.dest[kin] = None;
+                        self.net.granted[kin] = false;
+                        self.net.owner[kin] = None;
                         if m.out_port != PORT_LOCAL {
-                            self.routers[m.router].out_alloc[m.out_port as usize]
-                                [m.out_vc as usize] = None;
+                            self.net.out_alloc
+                                [m.router * SLOT_COUNT + slot_of(m.out_port, m.out_vc)] = None;
                         }
                     }
                 }
-                if m.out_port != PORT_LOCAL {
-                    let (d_idx, d_port) = self.links_out[m.router][m.out_port as usize]
-                        .expect("move along a missing link");
-                    if owns(d_idx) {
-                        // Push side: this shard owns the downstream router.
-                        let d = d_idx as usize;
-                        self.routers[d].push_flit(d_port, m.out_vc, m.packet, m.fidx);
-                        if !self.in_active[d] && !self.pending_flag[d] {
-                            self.pending_flag[d] = true;
-                            pending.push(d);
-                        }
-                        let u = &mut usage[self.region_of[d] as usize];
-                        match m.out_vc {
-                            0 => u.vc0 += 1,
-                            _ => u.vc1 += 1,
-                        }
+            } else {
+                let bucket: &[BucketEntry] =
+                    unsafe { &*(&(&(*par).buckets)[t * k + s] as *const Vec<BucketEntry>) };
+                for e in bucket {
+                    let m = &e.m;
+                    if e.credit {
+                        let (up, up_out) = self.links_in[m.router][m.in_port as usize]
+                            .expect("bucketed credit without an upstream link");
+                        debug_assert!(owns(up), "credit bucketed to the wrong shard");
+                        self.net.credits[up as usize * SLOT_COUNT + slot_of(up_out, m.in_vc)] += 1;
+                    }
+                    if e.push {
+                        let (d_idx, d_port) = self.links_out[m.router][m.out_port as usize]
+                            .expect("move along a missing link");
+                        debug_assert!(owns(d_idx), "push bucketed to the wrong shard");
+                        self.push_move_flit(d_idx as usize, d_port, m, &mut usage);
                     }
                 }
             }
         }
         unsafe {
             (&mut (*par).eject)[s] = eject;
-            (&mut (*par).pending)[s] = pending;
             (&mut (*par).usage)[s] = usage;
+        }
+    }
+
+    /// The push side of one committed move: appends the flit to the
+    /// downstream ring **raw** (occupancy is repaired in the postlude) and
+    /// counts the buffer write. Shared by phase B's own-move and bucket
+    /// sweeps.
+    #[inline]
+    fn push_move_flit(&mut self, d: usize, d_port: u8, m: &Move, usage: &mut [VcUsage]) {
+        self.net
+            .push_back_raw(d * SLOT_COUNT + slot_of(d_port, m.out_vc), m.packet, m.fidx);
+        let u = &mut usage[self.region_of[d] as usize];
+        match m.out_vc {
+            0 => u.vc0 += 1,
+            _ => u.vc1 += 1,
         }
     }
 
@@ -966,14 +1099,28 @@ impl<'a> Simulator<'a> {
         );
     }
 
-    /// Serial end-of-cycle merge after the commit barrier: ejection
-    /// statistics and packet releases in canonical move order (the arena
-    /// free list is LIFO — release order determines the IDs of later
-    /// packets), first-flit routers into the pending set, and the
+    /// Serial end-of-cycle merge after the commit barrier: occupancy
+    /// repair for phase B's raw ring operations, ejection statistics and
+    /// packet releases in canonical move order (the arena free list is
+    /// LIFO — release order determines the IDs of later packets), and the
     /// per-worker VC-usage sums. Returns whether any flit moved.
     fn par_postlude(&mut self, cycle: u64) -> bool {
         let mut par = self.par.take().expect("postlude without state");
         let progressed = par.moves.iter().any(|m| !m.is_empty());
+        // Occupancy repair: phase B's raw pushes and pops left the packed
+        // words untouched (a `u64` word can straddle a shard boundary).
+        // Re-derive the touched bits from the final ring state — which is
+        // order-independent, so one pass over the move lists suffices.
+        for moves in par.moves.iter() {
+            for m in moves {
+                self.net.sync_occ(m.router, slot_of(m.in_port, m.in_vc));
+                if m.out_port != PORT_LOCAL {
+                    let (d, d_port) = self.links_out[m.router][m.out_port as usize]
+                        .expect("move along a missing link");
+                    self.net.mark_occ(d as usize, slot_of(d_port, m.out_vc));
+                }
+            }
+        }
         let ParTick {
             eject, eject_all, ..
         } = &mut *par;
@@ -998,9 +1145,6 @@ impl<'a> Simulator<'a> {
                 }
                 self.packets.release(packet);
             }
-        }
-        for w in par.pending.iter_mut() {
-            self.pending_active.append(w);
         }
         for acc in par.usage.iter_mut() {
             for (r, u) in acc.iter_mut().enumerate() {
@@ -1102,7 +1246,6 @@ impl<'a> Simulator<'a> {
             self.active_mode,
             "snapshots cover active-mode runs; the dense reference is a test oracle"
         );
-        debug_assert!(self.pending_active.is_empty(), "snapshot off-boundary");
         let mut w = SnapshotWriter::new();
         w.section(*b"IDNT", |enc| {
             enc.put_usize(self.sys.node_count());
@@ -1142,8 +1285,8 @@ impl<'a> Simulator<'a> {
         });
         w.section(*b"ALGO", |enc| self.alg.save_state(enc));
         w.section(*b"RTRS", |enc| {
-            for r in &self.routers {
-                r.save(enc);
+            for r in 0..self.net.node_count() {
+                self.net.save_router(r, enc);
             }
         });
         w.section(*b"ARNA", |enc| self.packets.encode(enc));
@@ -1166,8 +1309,13 @@ impl<'a> Simulator<'a> {
             self.epochs.encode(enc);
         });
         w.section(*b"ACTV", |enc| {
-            enc.put_usize(self.active.len());
-            for &i in &self.active {
+            // The engine keeps no worklist anymore; the legacy active list
+            // was exactly the ascending occupied-router list at every
+            // cycle boundary, so deriving it from the occupancy words
+            // reproduces the wire bytes.
+            let occupied: Vec<usize> = self.net.occupied().collect();
+            enc.put_usize(occupied.len());
+            for i in occupied {
                 enc.put_usize(i);
             }
         });
@@ -1305,8 +1453,8 @@ impl<'a> Simulator<'a> {
         dec.finish()?;
 
         let mut dec = r.section(*b"RTRS")?;
-        for router in &mut self.routers {
-            router.load(&mut dec)?;
+        for idx in 0..self.net.node_count() {
+            self.net.load_router(idx, &mut dec)?;
         }
         dec.finish()?;
 
@@ -1363,21 +1511,14 @@ impl<'a> Simulator<'a> {
         }
         dec.finish()?;
         r.finish()?;
-        if active.windows(2).any(|w| w[0] >= w[1])
-            || active.iter().any(|&i| i >= self.routers.len())
-        {
+        // The active list is derived state now (see `snapshot`): it must
+        // equal the ascending occupied-router list, or the section
+        // contradicts the router section's occupancy words.
+        if !active.iter().copied().eq(self.net.occupied()) {
             return Err(CodecError::Invalid(
-                "active worklist is not an ascending list of router indices".into(),
+                "active worklist disagrees with the occupancy words".into(),
             ));
         }
-        // Membership flags are derived state: rebuild instead of storing.
-        self.in_active.fill(false);
-        for &i in &active {
-            self.in_active[i] = true;
-        }
-        self.active = active;
-        self.pending_active.clear();
-        self.pending_flag.fill(false);
         self.started = true;
         self.active_mode = true;
         Ok(())
@@ -1423,14 +1564,13 @@ impl<'a> Simulator<'a> {
             self.active_mode,
             "forks cover active-mode runs; the dense reference is a test oracle"
         );
-        debug_assert!(self.pending_active.is_empty(), "fork off-boundary");
         Simulator {
             sys: self.sys,
             faults: self.faults.clone(),
             alg: self.alg.fork_box(),
             pattern: self.pattern,
             cfg: self.cfg,
-            routers: self.routers.clone(),
+            net: self.net.clone(),
             packets: self.packets.clone(),
             sources: self.sources.clone(),
             inject_seq: self.inject_seq.clone(),
@@ -1440,11 +1580,6 @@ impl<'a> Simulator<'a> {
             vl_stat_slot: self.vl_stat_slot.clone(),
             links_out: self.links_out.clone(),
             links_in: self.links_in.clone(),
-            active: self.active.clone(),
-            in_active: self.in_active.clone(),
-            pending_active: Vec::new(),
-            pending_flag: vec![false; self.pending_flag.len()],
-            active_scratch: Vec::new(),
             move_scratch: Vec::new(),
             total_flits: self.total_flits,
             packets_queued: self.packets_queued,
@@ -1467,8 +1602,8 @@ impl<'a> Simulator<'a> {
             started: true,
             active_mode: true,
             done: self.done,
-            dense: Vec::new(),
             par: None,
+            profile: None,
         }
     }
 
@@ -1501,62 +1636,6 @@ impl<'a> Simulator<'a> {
             }
         }
         target
-    }
-
-    /// Enqueues a router for the active set (next cycle) unless it is
-    /// already active or already pending.
-    fn mark_active(&mut self, idx: usize) {
-        if !self.in_active[idx] && !self.pending_flag[idx] {
-            self.pending_flag[idx] = true;
-            self.pending_active.push(idx);
-        }
-    }
-
-    /// End-of-cycle active-set maintenance: drop routers that drained this
-    /// cycle, then merge in the routers that received their first flit —
-    /// keeping the list sorted ascending, so the phase scans visit routers
-    /// in dense iteration order (determinism depends on this).
-    fn refresh_active(&mut self) {
-        let mut active = std::mem::take(&mut self.active);
-        {
-            let in_active = &mut self.in_active;
-            let routers = &self.routers;
-            active.retain(|&i| {
-                if routers[i].occ_mask != 0 {
-                    true
-                } else {
-                    in_active[i] = false;
-                    false
-                }
-            });
-        }
-        if self.pending_active.is_empty() {
-            self.active = active;
-            return;
-        }
-        self.pending_active.sort_unstable();
-        let mut merged = std::mem::take(&mut self.active_scratch);
-        merged.clear();
-        merged.reserve(active.len() + self.pending_active.len());
-        let (mut a, mut b) = (0usize, 0usize);
-        while a < active.len() && b < self.pending_active.len() {
-            if active[a] < self.pending_active[b] {
-                merged.push(active[a]);
-                a += 1;
-            } else {
-                merged.push(self.pending_active[b]);
-                b += 1;
-            }
-        }
-        merged.extend_from_slice(&active[a..]);
-        merged.extend_from_slice(&self.pending_active[b..]);
-        for &i in &self.pending_active {
-            self.pending_flag[i] = false;
-            self.in_active[i] = true;
-        }
-        self.pending_active.clear();
-        self.active_scratch = active;
-        self.active = merged;
     }
 
     /// Phase 1: Bernoulli packet generation.
@@ -1596,72 +1675,92 @@ impl<'a> Simulator<'a> {
     }
 
     /// Phase 2: route computation and VC allocation for head flits, over
-    /// the given (ascending) router worklist. Iterates each router's
-    /// occupancy bitmask — set bits ascending is exactly the legacy
-    /// port-major, VC-minor scan, minus the empty buffers (on which both
-    /// halves of the phase are no-ops: an empty ring has no head to
+    /// the given router index range. A word-level `trailing_zeros` walk of
+    /// the packed occupancy words visits each occupied router in ascending
+    /// index order (the legacy worklist order), skipping four idle routers
+    /// per branch; within a router, set bits ascending is exactly the
+    /// legacy port-major, VC-minor scan, minus the empty buffers (on which
+    /// both halves of the phase are no-ops: an empty ring has no head to
     /// route, and a streaming-through worm with `dest` set is already
-    /// granted).
-    fn route_and_allocate(&mut self, worklist: &[usize]) {
+    /// granted). Phases 2–3 never write the occupancy words, so the word
+    /// snapshot taken per iteration is stable.
+    fn route_and_allocate(&mut self, nodes: Range<usize>) {
         let sf_up = self.alg.store_and_forward_up();
-        for &idx in worklist {
-            let node = NodeId(idx as u32);
-            let mut mask = self.routers[idx].occ_mask;
-            while mask != 0 {
-                let slot = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                let in_port = (slot / VC_COUNT) as u8;
-                let vc = (slot % VC_COUNT) as u8;
-                // Route computation: the span starting at flit 0 holds the
-                // head.
-                let (needs_route, packet_id, buffered) = {
-                    let ring = &self.routers[idx].vcs[slot];
-                    match ring.front() {
-                        Some(seg) if seg.first == 0 && ring.dest.is_none() => {
-                            (true, seg.packet, seg.count as usize)
-                        }
-                        _ => (false, PacketId(0), 0),
-                    }
-                };
-                if needs_route {
-                    let info = &mut self.packets[packet_id];
-                    if node == info.dst {
-                        let ring = &mut self.routers[idx].vcs[slot];
-                        ring.dest = Some((PORT_LOCAL, vc));
-                        ring.granted = true;
-                        ring.owner = Some(packet_id);
-                    } else {
-                        // RC store-and-forward: an ascending packet must
-                        // be fully buffered in the boundary router's
-                        // RC-buffer before it proceeds into the chiplet.
-                        let hold = sf_up
-                            && in_port == PORT_VERTICAL
-                            && self.sys.is_boundary_router(node)
-                            && buffered < self.cfg.packet_size;
-                        if !hold {
-                            let decision = self.alg.route(
-                                self.sys,
-                                &self.faults,
-                                node,
-                                info.dst,
-                                &mut info.ctx,
-                            );
-                            let ring = &mut self.routers[idx].vcs[slot];
-                            ring.dest = Some((port_of(decision.dir), decision.vn.index() as u8));
-                            ring.owner = Some(packet_id);
-                        }
+        if nodes.is_empty() {
+            return;
+        }
+        let (w0, w1) = (nodes.start / OCC_LANES, (nodes.end - 1) / OCC_LANES);
+        for w in w0..=w1 {
+            let mut bits = self.net.occ_words[w];
+            // Mask the boundary words down to the requested range (shard
+            // boundaries need not be word-aligned).
+            if w == w0 {
+                bits &= u64::MAX << ((nodes.start % OCC_LANES) * OCC_LANE_BITS);
+            }
+            if w == w1 {
+                let last = (nodes.end - 1) % OCC_LANES;
+                if last < OCC_LANES - 1 {
+                    bits &= u64::MAX >> ((OCC_LANES - 1 - last) * OCC_LANE_BITS);
+                }
+            }
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize / OCC_LANE_BITS;
+                let lane_mask = ((bits >> (lane * OCC_LANE_BITS)) & 0xFFFF) as u16;
+                bits &= !(0xFFFFu64 << (lane * OCC_LANE_BITS));
+                self.route_router(w * OCC_LANES + lane, lane_mask, sf_up);
+            }
+        }
+    }
+
+    /// One router's phase-2 body: route the head (if any) of each occupied
+    /// slot, then claim the downstream VC, in slot (port-major) order.
+    fn route_router(&mut self, idx: usize, mut mask: u16, sf_up: bool) {
+        let node = NodeId(idx as u32);
+        let base = idx * SLOT_COUNT;
+        while mask != 0 {
+            let slot = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let k = base + slot;
+            let in_port = (slot / VC_COUNT) as u8;
+            let vc = (slot % VC_COUNT) as u8;
+            // Route computation: the span starting at flit 0 holds the
+            // head.
+            let (needs_route, packet_id, buffered) = match self.net.ring_front(k) {
+                Some(seg) if seg.first == 0 && self.net.dest[k].is_none() => {
+                    (true, seg.packet, seg.count as usize)
+                }
+                _ => (false, PacketId(0), 0),
+            };
+            if needs_route {
+                let info = &mut self.packets[packet_id];
+                if node == info.dst {
+                    self.net.dest[k] = Some((PORT_LOCAL, vc));
+                    self.net.granted[k] = true;
+                    self.net.owner[k] = Some(packet_id);
+                } else {
+                    // RC store-and-forward: an ascending packet must be
+                    // fully buffered in the boundary router's RC-buffer
+                    // before it proceeds into the chiplet.
+                    let hold = sf_up
+                        && in_port == PORT_VERTICAL
+                        && self.sys.is_boundary_router(node)
+                        && buffered < self.cfg.packet_size;
+                    if !hold {
+                        let decision =
+                            self.alg
+                                .route(self.sys, &self.faults, node, info.dst, &mut info.ctx);
+                        self.net.dest[k] = Some((port_of(decision.dir), decision.vn.index() as u8));
+                        self.net.owner[k] = Some(packet_id);
                     }
                 }
-                // VC allocation.
-                let ring = &self.routers[idx].vcs[slot];
-                if let Some((out_port, out_vc)) = ring.dest {
-                    if !ring.granted && out_port != PORT_LOCAL {
-                        let alloc =
-                            &mut self.routers[idx].out_alloc[out_port as usize][out_vc as usize];
-                        if alloc.is_none() {
-                            *alloc = Some((in_port, vc));
-                            self.routers[idx].vcs[slot].granted = true;
-                        }
+            }
+            // VC allocation.
+            if let Some((out_port, out_vc)) = self.net.dest[k] {
+                if !self.net.granted[k] && out_port != PORT_LOCAL {
+                    let a = base + slot_of(out_port, out_vc);
+                    if self.net.out_alloc[a].is_none() {
+                        self.net.out_alloc[a] = Some((in_port, vc));
+                        self.net.granted[k] = true;
                     }
                 }
             }
@@ -1669,106 +1768,119 @@ impl<'a> Simulator<'a> {
     }
 
     /// Phase 3: switch allocation (round-robin per output port, one flit
-    /// per input and output port per cycle), over the given (ascending)
-    /// router worklist. Returns the reusable move buffer.
+    /// per input and output port per cycle) over the given router index
+    /// range, appending the winners to the caller's buffer — the shared
+    /// core of the serial phase 3 and of the parallel tick's per-shard
+    /// phase A (which owns one buffer per shard so the canonical move
+    /// list needs no concatenation). Same word-level occupancy walk as
+    /// [`route_and_allocate`](Self::route_and_allocate): occupied routers
+    /// ascending, four idle routers skipped per branch.
+    fn switch_allocate_into(&mut self, cycle: u64, nodes: Range<usize>, moves: &mut Vec<Move>) {
+        if nodes.is_empty() {
+            return;
+        }
+        let (w0, w1) = (nodes.start / OCC_LANES, (nodes.end - 1) / OCC_LANES);
+        for w in w0..=w1 {
+            let mut bits = self.net.occ_words[w];
+            if w == w0 {
+                bits &= u64::MAX << ((nodes.start % OCC_LANES) * OCC_LANE_BITS);
+            }
+            if w == w1 {
+                let last = (nodes.end - 1) % OCC_LANES;
+                if last < OCC_LANES - 1 {
+                    bits &= u64::MAX >> ((OCC_LANES - 1 - last) * OCC_LANE_BITS);
+                }
+            }
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize / OCC_LANE_BITS;
+                let lane_mask = ((bits >> (lane * OCC_LANE_BITS)) & 0xFFFF) as u16;
+                bits &= !(0xFFFFu64 << (lane * OCC_LANE_BITS));
+                self.switch_allocate_router(cycle, w * OCC_LANES + lane, lane_mask, moves);
+            }
+        }
+    }
+
+    /// One router's phase-3 body.
     ///
-    /// One pass over each router's occupied buffers builds a 12-bit
+    /// One pass over the router's occupied buffers builds a 12-bit
     /// candidate mask per output port (buffers with a matching granted
     /// route and at least one flit); the round-robin scan then walks only
     /// candidate bits in rotated slot order instead of probing all 12
     /// `(in_port, vc)` slots per output. Buffer state is not mutated
     /// during this phase, so precomputing the masks observes exactly what
     /// the legacy slot-by-slot probe would have.
-    fn switch_allocate(&mut self, cycle: u64, worklist: &[usize]) -> Vec<Move> {
-        let mut moves = std::mem::take(&mut self.move_scratch);
-        moves.clear();
-        self.switch_allocate_into(cycle, worklist, &mut moves);
-        moves
-    }
-
-    /// Switch allocation over a worklist, appending the winners to the
-    /// caller's buffer — the shared core of the serial phase 3 and of the
-    /// parallel tick's per-shard phase A (which owns one buffer per shard
-    /// so the canonical move list needs no concatenation).
-    fn switch_allocate_into(&mut self, cycle: u64, worklist: &[usize], moves: &mut Vec<Move>) {
+    fn switch_allocate_router(&mut self, cycle: u64, idx: usize, occ: u16, moves: &mut Vec<Move>) {
         const SLOTS: u32 = SLOT_COUNT as u32;
-        for &idx in worklist {
-            let r = &self.routers[idx];
-            if r.occ_mask == 0 {
+        let base = idx * SLOT_COUNT;
+        // Candidate slots per output port.
+        let mut cand = [0u16; PORT_COUNT];
+        let mut m = occ;
+        while m != 0 {
+            let slot = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if let Some((d_port, _)) = self.net.dest[base + slot] {
+                if self.net.granted[base + slot] {
+                    cand[d_port as usize] |= 1 << slot;
+                }
+            }
+        }
+        // Slots of input ports already holding a grant this cycle
+        // (both VC bits of a used port are masked out at once).
+        let mut used_slots: u16 = 0;
+        for out_port in 0..PORT_COUNT as u8 {
+            // Serialized vertical links accept one flit every
+            // `vl_serialization` cycles.
+            if out_port == PORT_VERTICAL && cycle < self.vl_next_free[idx] {
                 continue;
             }
-            // Candidate slots per output port.
-            let mut cand = [0u16; PORT_COUNT];
-            let mut m = r.occ_mask;
-            while m != 0 {
-                let slot = m.trailing_zeros() as usize;
-                m &= m - 1;
-                let ring = &r.vcs[slot];
-                if let Some((d_port, _)) = ring.dest {
-                    if ring.granted {
-                        cand[d_port as usize] |= 1 << slot;
+            let avail = cand[out_port as usize] & !used_slots;
+            if avail == 0 {
+                continue;
+            }
+            let start = self.net.rr[idx * PORT_COUNT + out_port as usize];
+            // Rotated scan: candidate slots >= start ascending, then
+            // the wrap-around — the round-robin probe order.
+            let hi = avail & (u16::MAX << start);
+            let lo = avail & !(u16::MAX << start);
+            let mut winner: Option<(u8, u8, u8)> = None;
+            for mut part in [hi, lo] {
+                while part != 0 {
+                    let slot = part.trailing_zeros();
+                    part &= part - 1;
+                    let in_port = (slot / VC_COUNT as u32) as u8;
+                    let vc = (slot % VC_COUNT as u32) as u8;
+                    let (d_port, d_vc) =
+                        self.net.dest[base + slot as usize].expect("candidate without a route");
+                    debug_assert_eq!(d_port, out_port);
+                    if d_port != PORT_LOCAL && self.net.credits[base + slot_of(d_port, d_vc)] == 0 {
+                        continue;
                     }
+                    winner = Some((in_port, vc, d_vc));
+                    self.net.rr[idx * PORT_COUNT + out_port as usize] = (slot + 1) % SLOTS;
+                    break;
+                }
+                if winner.is_some() {
+                    break;
                 }
             }
-            // Slots of input ports already holding a grant this cycle
-            // (both VC bits of a used port are masked out at once).
-            let mut used_slots: u16 = 0;
-            for out_port in 0..PORT_COUNT as u8 {
-                // Serialized vertical links accept one flit every
-                // `vl_serialization` cycles.
-                if out_port == PORT_VERTICAL && cycle < self.vl_next_free[idx] {
-                    continue;
-                }
-                let avail = cand[out_port as usize] & !used_slots;
-                if avail == 0 {
-                    continue;
-                }
-                let start = self.routers[idx].rr[out_port as usize];
-                // Rotated scan: candidate slots >= start ascending, then
-                // the wrap-around — the round-robin probe order.
-                let hi = avail & (u16::MAX << start);
-                let lo = avail & !(u16::MAX << start);
-                let mut winner: Option<(u8, u8, u8)> = None;
-                for mut part in [hi, lo] {
-                    while part != 0 {
-                        let slot = part.trailing_zeros();
-                        part &= part - 1;
-                        let in_port = (slot / VC_COUNT as u32) as u8;
-                        let vc = (slot % VC_COUNT as u32) as u8;
-                        let ring = &self.routers[idx].vcs[slot as usize];
-                        let (d_port, d_vc) = ring.dest.expect("candidate without a route");
-                        debug_assert_eq!(d_port, out_port);
-                        if d_port != PORT_LOCAL
-                            && self.routers[idx].credits[d_port as usize][d_vc as usize] == 0
-                        {
-                            continue;
-                        }
-                        winner = Some((in_port, vc, d_vc));
-                        self.routers[idx].rr[out_port as usize] = (slot + 1) % SLOTS;
-                        break;
-                    }
-                    if winner.is_some() {
-                        break;
-                    }
-                }
-                if let Some((in_port, in_vc, out_vc)) = winner {
-                    used_slots |= ((1u16 << VC_COUNT) - 1) << (in_port as usize * VC_COUNT);
-                    // Annotate the move with the flit that will pop: the
-                    // ring front is stable until the commit (pops are one
-                    // per ring per cycle, pushes only append).
-                    let seg = self.routers[idx].vcs[slot_of(in_port, in_vc)]
-                        .front()
-                        .expect("switch winner from an empty ring");
-                    moves.push(Move {
-                        router: idx,
-                        in_port,
-                        in_vc,
-                        out_port,
-                        out_vc,
-                        packet: seg.packet,
-                        fidx: seg.first,
-                    });
-                }
+            if let Some((in_port, in_vc, out_vc)) = winner {
+                used_slots |= ((1u16 << VC_COUNT) - 1) << (in_port as usize * VC_COUNT);
+                // Annotate the move with the flit that will pop: the
+                // ring front is stable until the commit (pops are one
+                // per ring per cycle, pushes only append).
+                let seg = self
+                    .net
+                    .ring_front(base + slot_of(in_port, in_vc))
+                    .expect("switch winner from an empty ring");
+                moves.push(Move {
+                    router: idx,
+                    in_port,
+                    in_vc,
+                    out_port,
+                    out_vc,
+                    packet: seg.packet,
+                    fidx: seg.first,
+                });
             }
         }
     }
@@ -1781,7 +1893,7 @@ impl<'a> Simulator<'a> {
     fn commit(&mut self, moves: &[Move], cycle: u64) -> bool {
         let tail_idx = (self.cfg.packet_size - 1) as u32;
         for m in moves {
-            let (packet, fidx) = self.routers[m.router].pop_flit(m.in_port, m.in_vc);
+            let (packet, fidx) = self.net.pop_flit(m.router, m.in_port, m.in_vc);
             debug_assert_eq!(
                 (packet, fidx),
                 (m.packet, m.fidx),
@@ -1791,8 +1903,8 @@ impl<'a> Simulator<'a> {
             let is_tail = fidx == tail_idx;
 
             // Credit return to the upstream router feeding this input.
-            if let Some((up, up_out)) = self.routers[m.router].in_links[m.in_port as usize] {
-                self.routers[up as usize].credits[up_out as usize][m.in_vc as usize] += 1;
+            if let Some((up, up_out)) = self.links_in[m.router][m.in_port as usize] {
+                self.net.credits[up as usize * SLOT_COUNT + slot_of(up_out, m.in_vc)] += 1;
             }
 
             if m.out_port == PORT_LOCAL {
@@ -1813,12 +1925,11 @@ impl<'a> Simulator<'a> {
                     self.packets.release(packet);
                 }
             } else {
-                self.routers[m.router].credits[m.out_port as usize][m.out_vc as usize] -= 1;
-                let (d_idx, d_port) = self.routers[m.router].out_links[m.out_port as usize]
+                self.net.credits[m.router * SLOT_COUNT + slot_of(m.out_port, m.out_vc)] -= 1;
+                let (d_idx, d_port) = self.links_out[m.router][m.out_port as usize]
                     .expect("move along a missing link");
                 let d_idx = d_idx as usize;
-                self.routers[d_idx].push_flit(d_port, m.out_vc, packet, fidx);
-                self.mark_active(d_idx);
+                self.net.push_flit(d_idx, d_port, m.out_vc, packet, fidx);
 
                 // Statistics: buffer write by region/VC, and VL crossings —
                 // all flat indexed, no map lookups on the per-flit path.
@@ -1836,12 +1947,13 @@ impl<'a> Simulator<'a> {
             }
 
             if is_tail {
-                let ring = &mut self.routers[m.router].vcs[slot_of(m.in_port, m.in_vc)];
-                ring.dest = None;
-                ring.granted = false;
-                ring.owner = None;
+                let kin = m.router * SLOT_COUNT + slot_of(m.in_port, m.in_vc);
+                self.net.dest[kin] = None;
+                self.net.granted[kin] = false;
+                self.net.owner[kin] = None;
                 if m.out_port != PORT_LOCAL {
-                    self.routers[m.router].out_alloc[m.out_port as usize][m.out_vc as usize] = None;
+                    self.net.out_alloc[m.router * SLOT_COUNT + slot_of(m.out_port, m.out_vc)] =
+                        None;
                 }
             }
         }
@@ -1860,13 +1972,16 @@ impl<'a> Simulator<'a> {
                 continue;
             };
             let vn = self.packets[pkt].inject_vn.index() as u8;
-            if self.routers[idx].vc(PORT_LOCAL, vn).free() == 0 {
+            if self
+                .net
+                .ring_free(idx * SLOT_COUNT + slot_of(PORT_LOCAL, vn))
+                == 0
+            {
                 continue;
             }
             let sent = self.sources[idx].flits_sent;
-            self.routers[idx].push_flit(PORT_LOCAL, vn, pkt, sent as u32);
+            self.net.push_flit(idx, PORT_LOCAL, vn, pkt, sent as u32);
             self.total_flits += 1;
-            self.mark_active(idx);
             any = true;
             let usage = &mut self.vc_usage[self.region_of[idx] as usize];
             match vn {
@@ -1938,13 +2053,10 @@ impl<'a> Simulator<'a> {
             pending_up: bool,
         }
         let mut in_net: BTreeMap<PacketId, InNet> = BTreeMap::new();
-        for (idx, r) in self.routers.iter().enumerate() {
-            if r.occ_mask == 0 {
-                continue;
-            }
+        for idx in self.net.occupied() {
             let layer = self.sys.layer(NodeId(idx as u32));
-            for ring in r.vcs.iter() {
-                for seg in ring.segments() {
+            for slot in 0..SLOT_COUNT {
+                for seg in self.net.segments(idx * SLOT_COUNT + slot) {
                     let info = &self.packets[seg.packet];
                     let e = in_net.entry(seg.packet).or_default();
                     // Down pending while a flit is still on the source
@@ -2059,37 +2171,42 @@ impl<'a> Simulator<'a> {
     /// traffic — this turns it into an immediate failure in every test.
     #[cfg(debug_assertions)]
     fn debug_check_quiescent(&self, deadlocked: bool) {
-        let in_flight: usize = self.routers.iter().map(Router::occupancy).sum();
+        let n = self.net.node_count();
+        let in_flight: usize = (0..n).map(|r| self.net.occupancy(r)).sum();
         let queued: usize = self.sources.iter().map(|s| s.queue.len()).sum();
         if deadlocked || in_flight > 0 || queued > 0 {
             return; // saturated or wedged runs legitimately end non-idle
         }
-        for (idx, r) in self.routers.iter().enumerate() {
+        for idx in 0..n {
             debug_assert_eq!(
-                r.occ_mask, 0,
+                self.net.occ(idx),
+                0,
                 "router {idx}: stale occupancy mask after drain"
             );
-            for port in 0..PORT_COUNT as u8 {
-                for vc in 0..VC_COUNT as u8 {
-                    let ring = r.vc(port, vc);
-                    debug_assert!(
-                        ring.dest.is_none() && !ring.granted && ring.owner.is_none(),
-                        "router {idx} port {port} vc {vc}: stale routing state after drain \
-                         (dest {:?}, granted {}, owner {:?})",
-                        ring.dest,
-                        ring.granted,
-                        ring.owner
-                    );
-                    debug_assert!(
-                        r.out_alloc[port as usize][vc as usize].is_none(),
-                        "router {idx} out port {port} vc {vc}: stale VC allocation after drain"
-                    );
-                }
-                if let Some((d, dp)) = r.out_links[port as usize] {
+            let base = idx * SLOT_COUNT;
+            for slot in 0..SLOT_COUNT {
+                let k = base + slot;
+                debug_assert!(
+                    self.net.dest[k].is_none()
+                        && !self.net.granted[k]
+                        && self.net.owner[k].is_none(),
+                    "router {idx} slot {slot}: stale routing state after drain \
+                     (dest {:?}, granted {}, owner {:?})",
+                    self.net.dest[k],
+                    self.net.granted[k],
+                    self.net.owner[k]
+                );
+                debug_assert!(
+                    self.net.out_alloc[k].is_none(),
+                    "router {idx} slot {slot}: stale VC allocation after drain"
+                );
+            }
+            for port in 0..PORT_COUNT {
+                if let Some((d, dp)) = self.links_out[idx][port] {
                     for vc in 0..VC_COUNT as u8 {
                         debug_assert_eq!(
-                            r.credits[port as usize][vc as usize],
-                            self.routers[d as usize].vc(dp, vc).cap() as u32,
+                            self.net.credits[base + port * VC_COUNT + vc as usize],
+                            self.net.ring_cap(d as usize * SLOT_COUNT + slot_of(dp, vc)) as u32,
                             "router {idx} out port {port} vc {vc}: credit leak after drain"
                         );
                     }
@@ -2107,65 +2224,50 @@ impl<'a> Simulator<'a> {
     /// Removes every flit of the given packets from every buffer, keeping
     /// the flow-control state consistent: credits consumed by removed
     /// flits are returned upstream, and routing/VC-allocation state owned
-    /// by a removed worm is released. Ownership is keyed on
-    /// [`VcBuf::owner`], not the front flit: a worm streaming *through* a
-    /// buffer can leave it momentarily empty while still owning its
-    /// route and grant.
+    /// by a removed worm is released. Ownership is keyed on the slot's
+    /// `owner`, not the front flit: a worm streaming *through* a buffer
+    /// can leave it momentarily empty while still owning its route and
+    /// grant.
     fn remove_packet_flits(&mut self, drop_set: &BTreeSet<PacketId>) -> usize {
         if drop_set.is_empty() {
             return 0;
         }
         let mut removed_total = 0usize;
-        let mut credit_returns: Vec<(u32, u8, u8, u32)> = Vec::new();
-        for r_idx in 0..self.routers.len() {
-            let r = &mut self.routers[r_idx];
+        for r_idx in 0..self.net.node_count() {
             for port in 0..PORT_COUNT as u8 {
                 for vc in 0..VC_COUNT as u8 {
                     let slot = slot_of(port, vc);
-                    let (dest, granted, owner_dropped) = {
-                        let ring = &r.vcs[slot];
-                        (
-                            ring.dest,
-                            ring.granted,
-                            ring.owner.is_some_and(|p| drop_set.contains(&p)),
-                        )
-                    };
-                    if owner_dropped {
+                    let k = r_idx * SLOT_COUNT + slot;
+                    if self.net.owner[k].is_some_and(|p| drop_set.contains(&p)) {
                         // The owning worm holds the buffer's route and any
                         // downstream VC grant; both die with it.
-                        if granted {
-                            if let Some((op, ovc)) = dest {
-                                if op != PORT_LOCAL
-                                    && r.out_alloc[op as usize][ovc as usize] == Some((port, vc))
-                                {
-                                    r.out_alloc[op as usize][ovc as usize] = None;
+                        if self.net.granted[k] {
+                            if let Some((op, ovc)) = self.net.dest[k] {
+                                let a = r_idx * SLOT_COUNT + slot_of(op, ovc);
+                                if op != PORT_LOCAL && self.net.out_alloc[a] == Some((port, vc)) {
+                                    self.net.out_alloc[a] = None;
                                 }
                             }
                         }
-                        let ring = &mut r.vcs[slot];
-                        ring.dest = None;
-                        ring.granted = false;
-                        ring.owner = None;
+                        self.net.dest[k] = None;
+                        self.net.granted[k] = false;
+                        self.net.owner[k] = None;
                     }
-                    let removed = r.vcs[slot].remove_packets(|p| drop_set.contains(&p));
+                    let removed = self.net.remove_packets(k, |p| drop_set.contains(&p));
                     if removed > 0 {
                         removed_total += removed as usize;
-                        if r.vcs[slot].is_empty() {
-                            r.occ_mask &= !(1 << slot);
-                        }
+                        self.net.sync_occ(r_idx, slot);
                         // Each buffered flit holds one credit of the link
                         // feeding this input; hand them back.
-                        if let Some((up, up_out)) = r.in_links[port as usize] {
-                            credit_returns.push((up, up_out, vc, removed));
+                        if let Some((up, up_out)) = self.links_in[r_idx][port as usize] {
+                            self.net.credits[up as usize * SLOT_COUNT + slot_of(up_out, vc)] +=
+                                removed;
                         }
                     }
                 }
             }
         }
         self.total_flits -= removed_total as u64;
-        for (up, up_out, vc, removed) in credit_returns {
-            self.routers[up as usize].credits[up_out as usize][vc as usize] += removed;
-        }
         removed_total
     }
 }

@@ -32,6 +32,21 @@
 //! asserted), so the campaign runner executes one engine per worker
 //! thread with nothing shared but the immutable system and tables.
 //!
+//! ## Hot-path allocation audit
+//!
+//! Like `deft-routing`'s route step, the per-cycle engine phases perform
+//! **no heap allocation** in steady state: the flat network state (packed
+//! occupancy words, dense slot tables, one fixed-size segment arena — see
+//! the `state` module) is sized at construction, the switch-allocation
+//! move buffer and the parallel tick's per-shard move lists and bucket
+//! rows are reused across cycles (`clear()`, never reallocate once warm),
+//! and flits are implicit in worm segments so no per-flit object ever
+//! exists. The only steady-state allocations are at the simulation edge:
+//! packet descriptors come from a recycling slab arena and source queues
+//! grow to the workload's high-water mark. Per-phase wall-time accounting
+//! is available via [`Simulator::enable_phase_profile`] /
+//! [`PhaseProfile`] to keep it honest.
+//!
 //! ```
 //! use deft_sim::{SimConfig, Simulator};
 //! use deft_routing::DeftRouting;
@@ -59,10 +74,11 @@ mod config;
 mod engine;
 mod flit;
 mod router;
+mod state;
 mod stats;
 
 pub use config::SimConfig;
-pub use engine::Simulator;
+pub use engine::{PhaseProfile, Simulator};
 pub use flit::{Flit, PacketArena, PacketId, PacketInfo};
-pub use router::{slot_of, Router, VcRing, WormSeg, PORT_COUNT, SLOT_COUNT, VC_COUNT};
+pub use router::{slot_of, WormSeg, PORT_COUNT, SLOT_COUNT, VC_COUNT};
 pub use stats::{EpochStats, LatencyHistogram, Region, SimReport, VcUsage};

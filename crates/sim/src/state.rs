@@ -1,0 +1,666 @@
+//! Flat structure-of-arrays network state: the engine's hot data plane.
+//!
+//! PR 4/5 flattened the per-router *scheduling* (occupancy bitmasks,
+//! active-router worklists); this module flattens the *storage*. Every hot
+//! per-router field that the per-cycle phases touch lives in one
+//! engine-owned [`NetState`] as a dense array indexed by router or by
+//! global `(router, slot)` id, so `route_and_allocate` and
+//! `switch_allocate_into` sweep contiguous memory instead of chasing a
+//! `Vec<Router>` of boxed rings:
+//!
+//! * **Occupancy words** — the twelve-bit per-router occupancy masks are
+//!   packed four routers per `u64` word (16-bit lanes, bits 12–15 of each
+//!   lane always zero). The phase-2/3 scans walk whole words with
+//!   `trailing_zeros`, visiting occupied routers in ascending index order —
+//!   exactly the order the per-router worklist used to produce — and skip
+//!   four idle routers per branch.
+//! * **Slot tables** — `credits`, `out_alloc`, `dest`, `granted`, `owner`
+//!   are dense `Vec`s indexed by `router * SLOT_COUNT + slot_of(port, vc)`;
+//!   `rr` by `router * PORT_COUNT + port`. The slot order is port-major,
+//!   VC-minor ([`slot_of`]), the legacy probe order that byte-identical
+//!   schedules depend on.
+//! * **Ring headers + one segment arena** — each VC buffer is a
+//!   [`RingHdr`] (base offset, capacity, head, live segments, flit count)
+//!   over one shared [`WormSeg`] arena sized by prefix sum at
+//!   construction. Capacities are fixed for the lifetime of the state
+//!   (RC's grown store-and-forward buffers are sized before
+//!   construction), so the arena never reallocates and the per-cycle
+//!   phases never allocate.
+//!
+//! Ring operations come in two flavors: occupancy-maintaining
+//! ([`NetState::push_flit`]/[`NetState::pop_flit`]) for the serial engine,
+//! and raw ([`NetState::push_back_raw`]/[`NetState::pop_front_raw`]) for
+//! the parallel tick's phase B, where a `u64` occupancy word can span a
+//! shard boundary and is instead repaired serially in the postlude (see
+//! the engine's parallel-tick notes).
+//!
+//! The snapshot wire format is unchanged from the `Vec<Router>` layout:
+//! [`NetState::save_router`]/[`NetState::load_router`] reproduce the exact
+//! per-router `RTRS` byte sequence the previous `Router::save`/`load`
+//! emitted, so `FORMAT_VERSION` and the golden snapshot pins survive the
+//! refactor.
+
+use crate::flit::PacketId;
+use crate::router::{WormSeg, PORT_COUNT, SLOT_COUNT};
+use deft_codec::{CodecError, Decoder, Encoder, Persist};
+
+/// Routers packed per occupancy word.
+pub(crate) const OCC_LANES: usize = 4;
+/// Bits per occupancy lane (one router's mask, top four bits always zero).
+pub(crate) const OCC_LANE_BITS: usize = 16;
+
+pub(crate) const EMPTY_SEG: WormSeg = WormSeg {
+    packet: PacketId(0),
+    first: 0,
+    count: 0,
+};
+
+/// One VC buffer's header over the shared segment arena: a fixed-capacity
+/// ring of worm segments plus the flit occupancy counter. Capacity is in
+/// *flits*; since every segment holds at least one flit, `cap` arena
+/// entries always suffice.
+#[derive(Debug, Clone, Copy)]
+struct RingHdr {
+    /// First arena index of this ring's `cap` entries.
+    base: u32,
+    /// Buffer capacity in flits.
+    cap: u16,
+    /// Ring index (relative to `base`) of the front segment.
+    head: u16,
+    /// Live segments.
+    seg_len: u16,
+    /// Buffered flits (the occupancy counter).
+    flits: u16,
+}
+
+/// The flat network state: every hot per-router field of the simulated
+/// network in structure-of-arrays form. See the module docs for layout.
+#[derive(Debug, Clone)]
+pub(crate) struct NetState {
+    /// Router count.
+    n: usize,
+    /// Packed occupancy: router `r`'s 12-bit mask occupies bits
+    /// `(r % 4) * 16 ..` of word `r / 4`; bit `slot_of(port, vc)` within
+    /// the lane is set iff that ring holds at least one flit.
+    pub(crate) occ_words: Vec<u64>,
+    /// Round-robin arbitration pointers, `[router * PORT_COUNT + port]`.
+    pub(crate) rr: Vec<u32>,
+    /// Credits toward each downstream buffer,
+    /// `[router * SLOT_COUNT + slot_of(out_port, vc)]`. Unused for the
+    /// Local port (ejection is never back-pressured).
+    pub(crate) credits: Vec<u32>,
+    /// Output VC allocation: the `(in_port, in_vc)` worm currently owning
+    /// the downstream VC, `[router * SLOT_COUNT + slot_of(out_port, vc)]`.
+    pub(crate) out_alloc: Vec<Option<(u8, u8)>>,
+    /// Routing decision `(out_port, out_vc)` for the worm at the head of
+    /// each input slot. Set when the head flit is routed, cleared when the
+    /// tail departs.
+    pub(crate) dest: Vec<Option<(u8, u8)>>,
+    /// Whether the downstream VC has been allocated to each input worm.
+    pub(crate) granted: Vec<bool>,
+    /// The packet owning `dest`/`granted` per input slot. Carried
+    /// separately from the ring because a worm can *stream through*: every
+    /// buffered flit may have left (ring empty) while the tail is still
+    /// upstream, and the routing state keeps belonging to that worm until
+    /// its tail departs. Fault-transition packet removal keys on this.
+    pub(crate) owner: Vec<Option<PacketId>>,
+    /// Ring headers, `[router * SLOT_COUNT + slot]`.
+    rings: Vec<RingHdr>,
+    /// Shared segment arena; ring `k` owns `rings[k].base ..+ cap`.
+    segs: Vec<WormSeg>,
+}
+
+impl NetState {
+    /// An empty network of `caps.len() / SLOT_COUNT` routers with the
+    /// given per-slot flit capacities (global slot order). Capacities are
+    /// fixed for the lifetime of the state.
+    pub(crate) fn new(caps: &[usize]) -> Self {
+        assert_eq!(caps.len() % SLOT_COUNT, 0, "capacities per whole router");
+        let slots = caps.len();
+        let n = slots / SLOT_COUNT;
+        let mut rings = Vec::with_capacity(slots);
+        let mut arena = 0u32;
+        for &cap in caps {
+            assert!(cap > 0 && cap <= u16::MAX as usize, "flit capacity {cap}");
+            rings.push(RingHdr {
+                base: arena,
+                cap: cap as u16,
+                head: 0,
+                seg_len: 0,
+                flits: 0,
+            });
+            arena += cap as u32;
+        }
+        Self {
+            n,
+            occ_words: vec![0; n.div_ceil(OCC_LANES)],
+            rr: vec![0; n * PORT_COUNT],
+            credits: vec![0; slots],
+            out_alloc: vec![None; slots],
+            dest: vec![None; slots],
+            granted: vec![false; slots],
+            owner: vec![None; slots],
+            rings,
+            segs: vec![EMPTY_SEG; arena as usize],
+        }
+    }
+
+    /// Router count.
+    pub(crate) fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The 12-bit occupancy mask of router `r`.
+    #[inline]
+    pub(crate) fn occ(&self, r: usize) -> u16 {
+        (self.occ_words[r / OCC_LANES] >> ((r % OCC_LANES) * OCC_LANE_BITS)) as u16
+    }
+
+    /// Overwrites router `r`'s occupancy lane (snapshot load path).
+    fn set_occ_mask(&mut self, r: usize, mask: u16) {
+        let shift = (r % OCC_LANES) * OCC_LANE_BITS;
+        let w = &mut self.occ_words[r / OCC_LANES];
+        *w = (*w & !(0xFFFFu64 << shift)) | ((mask as u64) << shift);
+    }
+
+    /// Sets router `r`'s occupancy bit for `slot` (the ring is known
+    /// non-empty, e.g. just pushed into).
+    #[inline]
+    pub(crate) fn mark_occ(&mut self, r: usize, slot: usize) {
+        self.occ_words[r / OCC_LANES] |= 1u64 << ((r % OCC_LANES) * OCC_LANE_BITS + slot);
+    }
+
+    /// Re-derives router `r`'s occupancy bit for `slot` from the ring's
+    /// flit count. Used by the parallel postlude's occupancy repair and by
+    /// fault-transition packet removal.
+    #[inline]
+    pub(crate) fn sync_occ(&mut self, r: usize, slot: usize) {
+        let bit = 1u64 << ((r % OCC_LANES) * OCC_LANE_BITS + slot);
+        if self.rings[r * SLOT_COUNT + slot].flits > 0 {
+            self.occ_words[r / OCC_LANES] |= bit;
+        } else {
+            self.occ_words[r / OCC_LANES] &= !bit;
+        }
+    }
+
+    /// Iterates the routers with at least one buffered flit, in ascending
+    /// index order — a word-level `trailing_zeros` walk over the packed
+    /// occupancy words.
+    pub(crate) fn occupied(&self) -> impl Iterator<Item = usize> + '_ {
+        self.occ_words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let lane = bits.trailing_zeros() as usize / OCC_LANE_BITS;
+                bits &= !(0xFFFFu64 << (lane * OCC_LANE_BITS));
+                Some(w * OCC_LANES + lane)
+            })
+        })
+    }
+
+    /// Total flits buffered in router `r`.
+    #[cfg(any(test, debug_assertions))]
+    pub(crate) fn occupancy(&self, r: usize) -> usize {
+        self.rings[r * SLOT_COUNT..(r + 1) * SLOT_COUNT]
+            .iter()
+            .map(|h| h.flits as usize)
+            .sum()
+    }
+
+    /// Ring `k`'s capacity in flits.
+    #[cfg(any(test, debug_assertions))]
+    pub(crate) fn ring_cap(&self, k: usize) -> usize {
+        self.rings[k].cap as usize
+    }
+
+    /// Ring `k`'s buffered flits.
+    #[cfg(test)]
+    pub(crate) fn ring_len(&self, k: usize) -> usize {
+        self.rings[k].flits as usize
+    }
+
+    /// Whether ring `k` holds no flit.
+    #[cfg(test)]
+    pub(crate) fn ring_is_empty(&self, k: usize) -> bool {
+        self.rings[k].flits == 0
+    }
+
+    /// Ring `k`'s free flit slots.
+    #[inline]
+    pub(crate) fn ring_free(&self, k: usize) -> usize {
+        let h = self.rings[k];
+        (h.cap - h.flits) as usize
+    }
+
+    /// Ring `k`'s front segment, if any (copied out — 16 bytes).
+    #[inline]
+    pub(crate) fn ring_front(&self, k: usize) -> Option<WormSeg> {
+        let h = self.rings[k];
+        (h.seg_len > 0).then(|| self.segs[h.base as usize + h.head as usize])
+    }
+
+    /// Number of buffered flits belonging to ring `k`'s front packet. One
+    /// arena lookup — a packet occupies at most one segment per ring.
+    /// (The route phase reads the front segment's `count` directly; this
+    /// accessor survives for the state unit tests.)
+    #[cfg(test)]
+    pub(crate) fn front_packet_flits(&self, k: usize) -> usize {
+        self.ring_front(k).map_or(0, |s| s.count as usize)
+    }
+
+    /// Removes ring `k`'s front flit and returns `(packet, in-packet
+    /// index)` without touching the occupancy words (parallel phase B —
+    /// see the module docs).
+    ///
+    /// # Panics
+    /// Panics if the ring is empty.
+    #[inline]
+    pub(crate) fn pop_front_raw(&mut self, k: usize) -> (PacketId, u32) {
+        let RingHdr {
+            base,
+            cap,
+            head,
+            seg_len,
+            flits,
+        } = self.rings[k];
+        assert!(seg_len > 0, "pop from an empty VC ring");
+        let seg = &mut self.segs[base as usize + head as usize];
+        let out = (seg.packet, seg.first);
+        seg.first += 1;
+        seg.count -= 1;
+        let emptied = seg.count == 0;
+        let h = &mut self.rings[k];
+        if emptied {
+            h.head = ((head as usize + 1) % cap as usize) as u16;
+            h.seg_len = seg_len - 1;
+        }
+        h.flits = flits - 1;
+        out
+    }
+
+    /// Appends one flit of `packet` with in-packet index `idx` to ring `k`
+    /// without touching the occupancy words: a counter increment when it
+    /// extends the packet's existing span, one segment write when a new
+    /// worm enters.
+    ///
+    /// # Panics
+    /// Panics if the ring is full.
+    #[inline]
+    pub(crate) fn push_back_raw(&mut self, k: usize, packet: PacketId, idx: u32) {
+        let RingHdr {
+            base,
+            cap,
+            head,
+            seg_len,
+            flits,
+        } = self.rings[k];
+        assert!(flits < cap, "push into a full VC ring");
+        let (base, cap) = (base as usize, cap as usize);
+        if seg_len > 0 {
+            let tail = &mut self.segs[base + (head as usize + seg_len as usize - 1) % cap];
+            if tail.packet == packet {
+                debug_assert_eq!(tail.first + tail.count, idx, "non-contiguous span");
+                tail.count += 1;
+                self.rings[k].flits = flits + 1;
+                return;
+            }
+        }
+        self.segs[base + (head as usize + seg_len as usize) % cap] = WormSeg {
+            packet,
+            first: idx,
+            count: 1,
+        };
+        let h = &mut self.rings[k];
+        h.seg_len = seg_len + 1;
+        h.flits = flits + 1;
+    }
+
+    /// Pops the front flit of router `r`'s `(port, vc)` ring, maintaining
+    /// the occupancy words (serial engine paths).
+    #[inline]
+    pub(crate) fn pop_flit(&mut self, r: usize, port: u8, vc: u8) -> (PacketId, u32) {
+        let slot = crate::router::slot_of(port, vc);
+        let out = self.pop_front_raw(r * SLOT_COUNT + slot);
+        if self.rings[r * SLOT_COUNT + slot].flits == 0 {
+            self.occ_words[r / OCC_LANES] &= !(1u64 << ((r % OCC_LANES) * OCC_LANE_BITS + slot));
+        }
+        out
+    }
+
+    /// Appends a flit to router `r`'s `(port, vc)` ring, maintaining the
+    /// occupancy words (serial engine paths).
+    #[inline]
+    pub(crate) fn push_flit(&mut self, r: usize, port: u8, vc: u8, packet: PacketId, idx: u32) {
+        let slot = crate::router::slot_of(port, vc);
+        self.push_back_raw(r * SLOT_COUNT + slot, packet, idx);
+        self.mark_occ(r, slot);
+    }
+
+    /// Iterates ring `k`'s buffered segments front to back.
+    pub(crate) fn segments(&self, k: usize) -> impl Iterator<Item = &WormSeg> + '_ {
+        let h = self.rings[k];
+        let (base, cap) = (h.base as usize, h.cap as usize);
+        (0..h.seg_len as usize).map(move |i| &self.segs[base + (h.head as usize + i) % cap])
+    }
+
+    /// Removes every flit of the packets selected by `dropped` from ring
+    /// `k`, compacting the ring in order. Returns the number of flits
+    /// removed. Segment granular: a dropped packet loses its whole span at
+    /// once. Does not touch the occupancy words — callers follow up with
+    /// [`Self::sync_occ`].
+    pub(crate) fn remove_packets(
+        &mut self,
+        k: usize,
+        mut dropped: impl FnMut(PacketId) -> bool,
+    ) -> u32 {
+        let h = self.rings[k];
+        let (base, cap, head) = (h.base as usize, h.cap as usize, h.head as usize);
+        let mut removed = 0u32;
+        let mut kept = 0u16;
+        for i in 0..h.seg_len {
+            let seg = self.segs[base + (head + i as usize) % cap];
+            if dropped(seg.packet) {
+                removed += seg.count;
+            } else {
+                self.segs[base + (head + kept as usize) % cap] = seg;
+                kept += 1;
+            }
+        }
+        let h = &mut self.rings[k];
+        h.seg_len = kept;
+        h.flits -= removed as u16;
+        removed
+    }
+
+    /// Writes router `r`'s dynamic state: occupancy mask, round-robin
+    /// pointers, credits, output VC allocations, and every VC ring in
+    /// *canonical* form (capacity, live segments in logical front-to-back
+    /// order, flit counter, then the worm's routing state — the physical
+    /// head index is deliberately not encoded, so re-encoding a just-loaded
+    /// ring reproduces the bytes exactly). Byte-identical to the
+    /// pre-SoA `Router::save` layout; wiring is setup state rebuilt from
+    /// the topology and is not encoded.
+    pub(crate) fn save_router(&self, r: usize, enc: &mut Encoder) {
+        enc.put_u16(self.occ(r));
+        for p in 0..PORT_COUNT {
+            enc.put_u32(self.rr[r * PORT_COUNT + p]);
+        }
+        let base = r * SLOT_COUNT;
+        for s in 0..SLOT_COUNT {
+            enc.put_u32(self.credits[base + s]);
+        }
+        for s in 0..SLOT_COUNT {
+            self.out_alloc[base + s].encode(enc);
+        }
+        for s in 0..SLOT_COUNT {
+            let k = base + s;
+            let h = self.rings[k];
+            enc.put_u16(h.cap);
+            enc.put_u16(h.seg_len);
+            for seg in self.segments(k) {
+                seg.encode(enc);
+            }
+            enc.put_u16(h.flits);
+            self.dest[k].encode(enc);
+            enc.put_bool(self.granted[k]);
+            self.owner[k].map(|p| p.0).encode(enc);
+        }
+    }
+
+    /// Restores the state written by [`save_router`](Self::save_router).
+    /// Ring capacities (fixed at construction, including RC's grown
+    /// store-and-forward buffers) must match the snapshot's; rings are
+    /// rebuilt at head 0 (canonical form).
+    pub(crate) fn load_router(
+        &mut self,
+        r: usize,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), CodecError> {
+        let occ_mask = dec.get_u16()?;
+        if occ_mask >> SLOT_COUNT != 0 {
+            return Err(CodecError::Invalid(format!(
+                "occupancy mask {occ_mask:#06x} has bits beyond slot {}",
+                SLOT_COUNT - 1
+            )));
+        }
+        for p in 0..PORT_COUNT {
+            let v = dec.get_u32()?;
+            if v >= SLOT_COUNT as u32 {
+                return Err(CodecError::Invalid(format!(
+                    "round-robin pointer {v} out of range (< {SLOT_COUNT})"
+                )));
+            }
+            self.rr[r * PORT_COUNT + p] = v;
+        }
+        let base = r * SLOT_COUNT;
+        for s in 0..SLOT_COUNT {
+            self.credits[base + s] = dec.get_u32()?;
+        }
+        for s in 0..SLOT_COUNT {
+            self.out_alloc[base + s] = Option::<(u8, u8)>::decode(dec)?;
+        }
+        for s in 0..SLOT_COUNT {
+            let k = base + s;
+            let h = self.rings[k];
+            let cap = dec.get_u16()?;
+            if cap != h.cap {
+                return Err(CodecError::Mismatch(format!(
+                    "VC ring capacity is {} flits, snapshot has {cap}",
+                    h.cap
+                )));
+            }
+            let seg_len = dec.get_u16()?;
+            if seg_len > cap {
+                return Err(CodecError::Invalid(format!(
+                    "ring claims {seg_len} segments with capacity {cap}"
+                )));
+            }
+            let rbase = h.base as usize;
+            let mut seg_flits = 0u32;
+            for i in 0..seg_len as usize {
+                let seg = WormSeg::decode(dec)?;
+                seg_flits += seg.count;
+                self.segs[rbase + i] = seg;
+            }
+            for i in seg_len as usize..h.cap as usize {
+                self.segs[rbase + i] = EMPTY_SEG;
+            }
+            let flits = dec.get_u16()?;
+            if flits > cap || u32::from(flits) != seg_flits {
+                return Err(CodecError::Invalid(format!(
+                    "ring holds {flits} flits but its segments sum to {seg_flits} (cap {cap})"
+                )));
+            }
+            {
+                let h = &mut self.rings[k];
+                h.head = 0;
+                h.seg_len = seg_len;
+                h.flits = flits;
+            }
+            self.dest[k] = Option::<(u8, u8)>::decode(dec)?;
+            self.granted[k] = dec.get_bool()?;
+            self.owner[k] = Option::<u64>::decode(dec)?.map(PacketId);
+        }
+        for s in 0..SLOT_COUNT {
+            if (occ_mask >> s) & 1 != u16::from(self.rings[base + s].flits > 0) {
+                return Err(CodecError::Invalid(format!(
+                    "occupancy mask {occ_mask:#06x} disagrees with ring {s}'s contents"
+                )));
+            }
+        }
+        self.set_occ_mask(r, occ_mask);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{slot_of, PORT_EAST};
+
+    /// A one-router state whose slot-0 ring has the given capacity (the
+    /// other slots get capacity 8).
+    fn one_router(slot0_cap: usize) -> NetState {
+        let mut caps = [8usize; SLOT_COUNT];
+        caps[0] = slot0_cap;
+        NetState::new(&caps)
+    }
+
+    #[test]
+    fn ring_tracks_capacity_and_spans() {
+        let mut net = one_router(4);
+        assert_eq!(net.ring_free(0), 4);
+        net.push_back_raw(0, PacketId(0), 0);
+        assert_eq!(net.ring_free(0), 3);
+        assert_eq!(net.ring_len(0), 1);
+        // Extending the same worm merges into one segment.
+        net.push_back_raw(0, PacketId(0), 1);
+        assert_eq!(net.segments(0).count(), 1);
+        assert_eq!(net.front_packet_flits(0), 2);
+        // Pops walk the span in flit order.
+        assert_eq!(net.pop_front_raw(0), (PacketId(0), 0));
+        assert_eq!(net.pop_front_raw(0), (PacketId(0), 1));
+        assert!(net.ring_is_empty(0));
+    }
+
+    #[test]
+    fn front_packet_flits_stops_at_next_worm() {
+        let mut net = one_router(8);
+        for i in 0..3 {
+            net.push_back_raw(0, PacketId(0), i);
+        }
+        net.push_back_raw(0, PacketId(1), 0);
+        assert_eq!(net.front_packet_flits(0), 3);
+        assert_eq!(net.segments(0).count(), 2);
+        assert_eq!(net.ring_len(0), 4);
+    }
+
+    #[test]
+    fn ring_wraps_across_pop_push_cycles() {
+        // Exercise head wrap-around: interleave pops and pushes past the
+        // physical capacity several times over.
+        let mut net = one_router(3);
+        let mut next_push = 0u32;
+        for (next_pop, round) in (0..10u64).enumerate() {
+            while net.ring_free(0) > 0 {
+                net.push_back_raw(0, PacketId(round / 4), next_push);
+                next_push += 1;
+            }
+            let (_, idx) = net.pop_front_raw(0);
+            assert_eq!(idx, next_pop as u32);
+        }
+        assert_eq!(net.ring_len(0), 2);
+    }
+
+    #[test]
+    fn remove_packets_is_segment_granular() {
+        let mut net = one_router(8);
+        for i in 5..8 {
+            net.push_back_raw(0, PacketId(7), i); // mid-worm span
+        }
+        net.push_back_raw(0, PacketId(9), 0);
+        net.push_back_raw(0, PacketId(9), 1);
+        let removed = net.remove_packets(0, |p| p == PacketId(7));
+        assert_eq!(removed, 3);
+        assert_eq!(net.ring_len(0), 2);
+        assert_eq!(net.ring_front(0).unwrap().packet, PacketId(9));
+        assert_eq!(net.ring_front(0).unwrap().first, 0);
+        assert_eq!(net.remove_packets(0, |_| false), 0);
+    }
+
+    #[test]
+    fn occ_lane_follows_push_and_pop() {
+        // Router 5 lands in word 1, lane 1 — the packed layout must route
+        // its bits there and nowhere else.
+        let caps = vec![4usize; 6 * SLOT_COUNT];
+        let mut net = NetState::new(&caps);
+        assert_eq!(net.occ_words.len(), 2);
+        net.push_flit(5, PORT_EAST, 1, PacketId(3), 0);
+        let slot = slot_of(PORT_EAST, 1);
+        assert_eq!(net.occ(5), 1 << slot);
+        assert_eq!(net.occ_words[0], 0);
+        assert_eq!(net.occ_words[1], (1u64 << slot) << OCC_LANE_BITS);
+        assert_eq!(net.occupancy(5), 1);
+        assert_eq!(net.occupied().collect::<Vec<_>>(), vec![5]);
+        assert_eq!(net.pop_flit(5, PORT_EAST, 1), (PacketId(3), 0));
+        assert_eq!(net.occ(5), 0);
+        assert_eq!(net.occ_words[1], 0);
+    }
+
+    #[test]
+    fn occupied_walks_words_in_router_order() {
+        let caps = vec![4usize; 11 * SLOT_COUNT];
+        let mut net = NetState::new(&caps);
+        for &r in &[9, 0, 3, 4, 10] {
+            net.push_flit(r, PORT_EAST, 0, PacketId(r as u64), 0);
+        }
+        assert_eq!(net.occupied().collect::<Vec<_>>(), vec![0, 3, 4, 9, 10]);
+    }
+
+    #[test]
+    fn sync_occ_rederives_bits_after_raw_ops() {
+        let mut net = one_router(4);
+        net.push_back_raw(0, PacketId(1), 0);
+        assert_eq!(net.occ(0), 0, "raw push must not touch occupancy");
+        net.sync_occ(0, 0);
+        assert_eq!(net.occ(0), 1);
+        net.pop_front_raw(0);
+        net.sync_occ(0, 0);
+        assert_eq!(net.occ(0), 0);
+    }
+
+    #[test]
+    fn router_save_load_is_canonical_across_head_positions() {
+        // Build a ring whose head has wrapped, save the router, load into
+        // a fresh state, and check the logical contents and the re-encoded
+        // bytes: the canonical form must not depend on the physical head.
+        let mut net = one_router(4);
+        for i in 0..4 {
+            net.push_flit(0, 0, 0, PacketId(1), i);
+        }
+        net.pop_flit(0, 0, 0);
+        net.pop_flit(0, 0, 0);
+        net.push_flit(0, 0, 0, PacketId(2), 0); // wraps physically
+        net.dest[0] = Some((PORT_EAST, 1));
+        net.granted[0] = true;
+        net.owner[0] = Some(PacketId(1));
+        net.rr[2] = 7;
+        net.credits[slot_of(1, 0)] = 3;
+        net.out_alloc[slot_of(5, 1)] = Some((PORT_EAST, 1));
+        let mut enc = Encoder::new();
+        net.save_router(0, &mut enc);
+        let mut fresh = one_router(4);
+        let mut dec = Decoder::new(enc.as_bytes());
+        fresh.load_router(0, &mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(fresh.ring_len(0), net.ring_len(0));
+        assert_eq!(
+            fresh.segments(0).copied().collect::<Vec<_>>(),
+            net.segments(0).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(fresh.occ(0), net.occ(0));
+        assert_eq!(fresh.rr, net.rr);
+        assert_eq!(fresh.credits, net.credits);
+        assert_eq!(fresh.out_alloc, net.out_alloc);
+        assert_eq!(fresh.dest[0], net.dest[0]);
+        assert_eq!(fresh.owner[0], net.owner[0]);
+        let mut enc2 = Encoder::new();
+        fresh.save_router(0, &mut enc2);
+        assert_eq!(enc2.as_bytes(), enc.as_bytes(), "canonical re-encode");
+    }
+
+    #[test]
+    fn load_rejects_mismatched_capacity() {
+        let mut net = one_router(4);
+        net.push_flit(0, 0, 0, PacketId(3), 0);
+        let mut enc = Encoder::new();
+        net.save_router(0, &mut enc);
+        let mut wrong_cap = one_router(8);
+        assert!(matches!(
+            wrong_cap.load_router(0, &mut Decoder::new(enc.as_bytes())),
+            Err(CodecError::Mismatch(_))
+        ));
+    }
+}

@@ -98,17 +98,18 @@ proptest! {
     }
 
     #[test]
-    fn active_set_scheduler_matches_dense_scan_on_random_systems(
+    fn batched_engine_matches_dense_scan_on_random_systems(
         cols in 1u8..=3,
         rows in 1u8..=2,
         rate_milli in 1u32..=8,
         alg_pick in 0u8..3,
         seed in 0u64..1000,
     ) {
-        // Differential pin of the hot-path refactor: the active-set run
-        // and the dense-scan reference must produce identical SimReports
-        // (every counter, percentile, map entry) on arbitrary small
-        // systems, loads, and algorithms.
+        // Differential pin of the hot-path refactor: the word-batched
+        // lane-mask run — serial and under every shard count — and the
+        // tick-every-cycle dense reference must produce identical
+        // SimReports (every counter, percentile, map entry) on arbitrary
+        // small systems, loads, and algorithms.
         let sys = ChipletSystem::chiplet_grid(cols, rows).expect("valid grid");
         let pattern = uniform(&sys, rate_milli as f64 / 1000.0);
         let alg = |pick: u8| -> Box<dyn RoutingAlgorithm> {
@@ -118,17 +119,26 @@ proptest! {
                 _ => Box::new(RcRouting::new(&sys)),
             }
         };
-        let fast = Simulator::new(
-            &sys, FaultState::none(&sys), alg(alg_pick), &pattern, quick(seed),
-        ).run();
-        let dense = Simulator::new(
-            &sys, FaultState::none(&sys), alg(alg_pick), &pattern, quick(seed),
-        ).run_dense_reference();
-        prop_assert_eq!(fast, dense);
+        let mk = |threads: usize| Simulator::new(
+            &sys,
+            FaultState::none(&sys),
+            alg(alg_pick),
+            &pattern,
+            quick(seed).with_tick_threads(threads),
+        );
+        let dense = mk(1).run_dense_reference();
+        for threads in [1usize, 2, 4, 8] {
+            prop_assert_eq!(
+                &mk(threads).run(),
+                &dense,
+                "tick_threads={} diverges from the dense reference",
+                threads
+            );
+        }
     }
 
     #[test]
-    fn active_set_matches_dense_under_fault_timelines(
+    fn batched_engine_matches_dense_under_fault_timelines(
         mean_healthy_frac in 1u32..=4,
         alg_pick in 0u8..4,
         seed in 0u64..200,
@@ -137,7 +147,8 @@ proptest! {
         // timelines strand worms mid-run, the one place buffers and
         // credits are manipulated out of band — for every algorithm
         // family (RC exercises the store-and-forward grown buffers,
-        // DeFT-Ran the per-injection RNG sequencing).
+        // DeFT-Ran the per-injection RNG sequencing) and every shard
+        // count.
         let sys = ChipletSystem::baseline_4();
         let pattern = uniform(&sys, 0.004);
         let tl = deft_topo::FaultTimeline::transient(
@@ -157,14 +168,22 @@ proptest! {
                 _ => Box::new(RcRouting::new(&sys)),
             }
         };
-        let mk = || Simulator::new(
+        let mk = |threads: usize| Simulator::new(
             &sys,
             FaultState::none(&sys),
             alg(alg_pick),
             &pattern,
-            quick(seed),
+            quick(seed).with_tick_threads(threads),
         ).with_timeline(&tl);
-        prop_assert_eq!(mk().run(), mk().run_dense_reference());
+        let dense = mk(1).run_dense_reference();
+        for threads in [1usize, 2, 4, 8] {
+            prop_assert_eq!(
+                &mk(threads).run(),
+                &dense,
+                "tick_threads={} diverges from the dense reference",
+                threads
+            );
+        }
     }
 
     #[test]

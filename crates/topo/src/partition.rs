@@ -99,6 +99,25 @@ impl TickPartition {
             .min(self.shards.len() - 1)
     }
 
+    /// A dense node → owning-shard lookup table, one entry per router.
+    /// The per-move answer to "which shard owns router r" in O(1) — the
+    /// engine's phase-A bucketing asks it for every committed move, where
+    /// the [`shard_of`](Self::shard_of) binary search would dominate.
+    pub fn node_shards(&self) -> Vec<u16> {
+        assert!(
+            self.shards.len() <= u16::MAX as usize,
+            "{} shards overflow the dense u16 table",
+            self.shards.len()
+        );
+        let mut table = vec![0u16; self.node_count as usize];
+        for (s, shard) in self.shards.iter().enumerate() {
+            for node in shard.nodes.clone() {
+                table[node as usize] = s as u16;
+            }
+        }
+        table
+    }
+
     /// Asserts the partition's safety contract: shards are sorted,
     /// non-empty, disjoint, and cover `0..node_count` without gaps.
     /// Called by the constructor; cheap enough to re-run when the
@@ -302,6 +321,24 @@ mod tests {
             max - min <= 64,
             "8-way split of the 8x8 grid is lopsided: {sizes:?}"
         );
+    }
+
+    #[test]
+    fn node_shards_matches_shard_of() {
+        for sys in systems() {
+            for shards in [1, 2, 4, 7] {
+                let p = sys.tick_partition(shards);
+                let table = p.node_shards();
+                assert_eq!(table.len(), sys.node_count());
+                for node in sys.nodes() {
+                    assert_eq!(
+                        table[node.index()] as usize,
+                        p.shard_of(node),
+                        "dense table disagrees with shard_of at {node}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,11 @@ shows up as that cell falling behind its siblings. A normalized drop of
 more than ``--fail-below`` (default 30 %) fails the job; smaller drops,
 absolute dips, cells too short to time reliably (baseline wall time under
 ``--min-wall-ms``), and cells present on only one side all warn and never
-fail, so adding a cell does not require touching this script.
+fail, so adding a cell does not require touching this script. A second
+warn-only pass flags per-hop cost: any cell whose machine-normalized
+``ns_per_flit_hop`` grew more than ``--warn-hop-growth`` (default 30 %),
+which catches regressions that a cycles/sec comparison hides when the
+flit-hop count shifts too.
 
 The cost of normalization: a regression that slows *every* cell by the
 same factor is indistinguishable from a slow runner and only warns. The
@@ -45,7 +49,11 @@ def load_cells(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     return doc.get("schema", "?"), {
-        c["name"]: (float(c["cycles_per_sec"]), float(c.get("wall_ms", 0.0)))
+        c["name"]: (
+            float(c["cycles_per_sec"]),
+            float(c.get("wall_ms", 0.0)),
+            float(c.get("ns_per_flit_hop", 0.0)),
+        )
         for c in doc.get("cells", [])
     }
 
@@ -67,6 +75,13 @@ def main():
         default=5.0,
         help="cells whose baseline wall time is below this are warn-only "
         "(too short to time reliably)",
+    )
+    ap.add_argument(
+        "--warn-hop-growth",
+        type=float,
+        default=0.30,
+        help="warn (never fail) when a cell's machine-normalized "
+        "ns_per_flit_hop grew by more than this fraction",
     )
     args = ap.parse_args()
 
@@ -110,6 +125,26 @@ def main():
             print(f"::warning::perf dip {line}")
         else:
             print(f"ok {line}")
+    # Per-hop cost watch (warn-only): cycles/sec can hide per-hop
+    # regressions when a change also shifts how many flit-hops a window
+    # simulates, so additionally flag any cell whose ns_per_flit_hop grew
+    # more than --warn-hop-growth beyond the machine factor. A slower
+    # runner inflates every cell's ns uniformly (by 1/machine), so
+    # multiplying the raw growth by the machine factor cancels it the
+    # same way the cycles/sec normalization does.
+    for name in shared:
+        base_ns, fresh_ns = base[name][2], fresh[name][2]
+        if base_ns <= 0 or fresh_ns <= 0 or base[name][1] < args.min_wall_ms:
+            continue
+        growth = fresh_ns / base_ns
+        norm_growth = growth * machine if machine > 0 else growth
+        if norm_growth > 1.0 + args.warn_hop_growth:
+            print(
+                f"::warning::per-hop cost growth {name}: {fresh_ns:.2f} vs "
+                f"baseline {base_ns:.2f} ns/flit-hop (x{growth:.2f} raw, "
+                f"x{norm_growth:.2f} normalized)"
+            )
+
     for name in sorted(set(base) - set(fresh)):
         print(f"::warning::perf cell {name!r} missing from fresh run")
     for name in sorted(set(fresh) - set(base)):

@@ -87,6 +87,16 @@ proptest! {
             .with_timeline(&tl)
         };
         let serial = mk(1).run();
+        // The word-batched phases against the tick-every-cycle dense
+        // oracle first: lane-mask scans, idle-skip, and sharding must all
+        // collapse to the same report.
+        let dense = mk(1).run_dense_reference();
+        prop_assert_eq!(
+            &serial,
+            &dense,
+            "{} batched serial run diverges from the dense reference",
+            algo.name()
+        );
         for threads in THREADS {
             let parallel = mk(threads).run();
             prop_assert_eq!(
