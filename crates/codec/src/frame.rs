@@ -1,0 +1,324 @@
+//! Length-prefixed frame transport for the campaign supervisor/worker
+//! pipe protocol.
+//!
+//! A *frame* is a `u32` little-endian byte count followed by exactly that
+//! many bytes of payload. Every payload is a full snapshot container
+//! ([`SnapshotWriter`] bytes), so each frame
+//! carries the [`MAGIC`](crate::MAGIC) + [`FORMAT_VERSION`] header and a
+//! per-section FNV-1a checksum for free: a supervisor and a worker built
+//! from different wire formats reject each other's first frame with
+//! [`CodecError::WrongVersion`] instead of mis-decoding it, and a frame
+//! corrupted in flight fails its checksum instead of producing a wrong
+//! cell result.
+//!
+//! Two frame payloads exist:
+//!
+//! ```text
+//! CREQ (supervisor → worker): cell index u64, attempt u32
+//! CRES (worker → supervisor): cell index u64, attempt u32, status u8
+//!        status 0 (ok):    output bytes (length-prefixed Persist
+//!                          encoding), cache-stats delta (7 × u64)
+//!        status 1 (panic): panic message (String)
+//! ```
+//!
+//! The transport is deliberately synchronous and ordered: a worker serves
+//! one cell at a time, so a response always answers the most recent
+//! request and the supervisor treats any index/attempt mismatch as a
+//! protocol failure of that worker.
+
+use crate::{CodecError, Persist, SnapshotReader, SnapshotWriter, FORMAT_VERSION};
+use std::io::{Read, Write};
+
+/// Section tag of a cell request payload.
+const TAG_REQ: [u8; 4] = *b"CREQ";
+/// Section tag of a cell response payload.
+const TAG_RES: [u8; 4] = *b"CRES";
+
+/// Upper bound on a single frame's payload, in bytes. No real cell
+/// output approaches this; a length prefix beyond it marks a corrupt or
+/// hostile stream and is rejected before any allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame: `u32` LE length prefix + the container bytes.
+/// The caller flushes the stream when the frame must be visible to the
+/// peer (a buffered, unflushed request would deadlock a synchronous
+/// worker).
+pub fn write_frame(w: &mut impl Write, container: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(container.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds u32::MAX")
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(container)
+}
+
+/// Reads one frame's container bytes. `Ok(None)` is a clean EOF *at a
+/// frame boundary* (the peer closed the stream between frames); EOF
+/// inside a frame, or a length prefix beyond [`MAX_FRAME`], is an error.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A supervisor-to-worker cell assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRequest {
+    /// Grid index of the cell to execute.
+    pub index: u64,
+    /// Zero-based attempt number (how many earlier attempts failed).
+    pub attempt: u32,
+}
+
+impl CellRequest {
+    /// Encodes the request as one frame payload (snapshot container).
+    pub fn to_container(self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section(TAG_REQ, |enc| {
+            enc.put_u64(self.index);
+            enc.put_u32(self.attempt);
+        });
+        w.finish()
+    }
+
+    /// Decodes a request from one frame payload.
+    pub fn from_container(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        let mut dec = r.section(TAG_REQ)?;
+        let req = Self {
+            index: dec.get_u64()?,
+            attempt: dec.get_u32()?,
+        };
+        dec.finish()?;
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// A worker-to-supervisor cell outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellResponse {
+    /// The cell executed (or was answered from the shared result store).
+    Ok {
+        /// Grid index echoed from the request.
+        index: u64,
+        /// Attempt number echoed from the request.
+        attempt: u32,
+        /// The cell output's standalone [`Persist`] encoding.
+        output: Vec<u8>,
+        /// Cache-counter delta this cell contributed on the worker, in
+        /// [`STATS_WORDS`] order. All zeros when no store is configured.
+        stats: [u64; STATS_WORDS],
+    },
+    /// The cell panicked inside the worker's `catch_unwind`; the worker
+    /// stays alive long enough to report the message.
+    Panic {
+        /// Grid index echoed from the request.
+        index: u64,
+        /// Attempt number echoed from the request.
+        attempt: u32,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+/// Number of cache-counter words a response carries: hits, misses,
+/// corrupt, stored, bytes read, bytes written, write errors.
+pub const STATS_WORDS: usize = 7;
+
+impl CellResponse {
+    /// Encodes the response as one frame payload (snapshot container).
+    pub fn to_container(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section(TAG_RES, |enc| match self {
+            CellResponse::Ok {
+                index,
+                attempt,
+                output,
+                stats,
+            } => {
+                enc.put_u64(*index);
+                enc.put_u32(*attempt);
+                enc.put_u8(0);
+                enc.put_bytes(output);
+                for word in stats {
+                    enc.put_u64(*word);
+                }
+            }
+            CellResponse::Panic {
+                index,
+                attempt,
+                message,
+            } => {
+                enc.put_u64(*index);
+                enc.put_u32(*attempt);
+                enc.put_u8(1);
+                message.encode(enc);
+            }
+        });
+        w.finish()
+    }
+
+    /// Decodes a response from one frame payload.
+    pub fn from_container(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        let mut dec = r.section(TAG_RES)?;
+        let index = dec.get_u64()?;
+        let attempt = dec.get_u32()?;
+        let out = match dec.get_u8()? {
+            0 => {
+                let output = dec.get_bytes()?.to_vec();
+                let mut stats = [0u64; STATS_WORDS];
+                for word in &mut stats {
+                    *word = dec.get_u64()?;
+                }
+                CellResponse::Ok {
+                    index,
+                    attempt,
+                    output,
+                    stats,
+                }
+            }
+            1 => CellResponse::Panic {
+                index,
+                attempt,
+                message: String::decode(&mut dec)?,
+            },
+            other => {
+                return Err(CodecError::Invalid(format!(
+                    "cell response status must be 0 or 1, found {other}"
+                )))
+            }
+        };
+        dec.finish()?;
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+/// The version both ends of the pipe must agree on — re-exported here so
+/// supervisor diagnostics can name it without importing the root.
+pub const WIRE_VERSION: u32 = FORMAT_VERSION;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_a_frame() {
+        let req = CellRequest {
+            index: 17,
+            attempt: 3,
+        };
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &req.to_container()).unwrap();
+        let mut cursor = pipe.as_slice();
+        let payload = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(CellRequest::from_container(&payload).unwrap(), req);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn response_variants_round_trip() {
+        let ok = CellResponse::Ok {
+            index: 5,
+            attempt: 0,
+            output: vec![1, 2, 3, 4],
+            stats: [1, 2, 3, 4, 5, 6, 7],
+        };
+        let back = CellResponse::from_container(&ok.to_container()).unwrap();
+        assert_eq!(back, ok);
+
+        let panic = CellResponse::Panic {
+            index: 9,
+            attempt: 1,
+            message: "cell 9 exploded".into(),
+        };
+        let back = CellResponse::from_container(&panic.to_container()).unwrap();
+        assert_eq!(back, panic);
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_error() {
+        let req = CellRequest {
+            index: 1,
+            attempt: 0,
+        };
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &req.to_container()).unwrap();
+        for cut in 1..pipe.len() {
+            let mut cursor = &pipe[..cut];
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "cut at {cut} of {} did not error",
+                pipe.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut pipe = Vec::new();
+        pipe.extend_from_slice(&u32::MAX.to_le_bytes());
+        pipe.extend_from_slice(b"junk");
+        let mut cursor = pipe.as_slice();
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_container_is_a_typed_codec_error() {
+        let mut bytes = CellRequest {
+            index: 2,
+            attempt: 1,
+        }
+        .to_container();
+        let mid = bytes.len() - 9; // inside the payload, before the checksum
+        bytes[mid] ^= 0xFF;
+        assert!(CellRequest::from_container(&bytes).is_err());
+        // And a response payload can never decode as a request.
+        let res = CellResponse::Panic {
+            index: 0,
+            attempt: 0,
+            message: "x".into(),
+        };
+        assert!(matches!(
+            CellRequest::from_container(&res.to_container()),
+            Err(CodecError::UnexpectedSection { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_status_byte_is_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.section(TAG_RES, |enc| {
+            enc.put_u64(0);
+            enc.put_u32(0);
+            enc.put_u8(9);
+        });
+        assert!(matches!(
+            CellResponse::from_container(&w.finish()),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+}

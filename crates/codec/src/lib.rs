@@ -32,6 +32,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
+
 use std::error::Error;
 use std::fmt;
 

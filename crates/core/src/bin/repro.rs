@@ -3,6 +3,7 @@
 //! ```text
 //! deft-repro [--quick] [--jobs N] [--tick-threads N] [--out text|csv] \
 //!            [--exp NAME] [--cache DIR] [--no-cache] \
+//!            [--workers N] [--cell-timeout MS] [--strict-cells] \
 //!            [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
 //!            [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|\
 //!             checkpoint|fork_sweep|large-grid|all]
@@ -48,12 +49,33 @@
 //!   overrides it. An unusable `DIR` is a clean one-line error. The
 //!   `checkpoint` and `fork_sweep` targets do not route through the
 //!   campaign runner and therefore never hit the store.
+//! * `--workers N` (campaign-backed targets only) runs each campaign
+//!   across `N` supervised worker *processes* instead of in-process
+//!   threads: a crashed or hung worker costs a retry on a fresh worker,
+//!   not the campaign, and a cell that kills [`SupervisorOpts::max_failures`]
+//!   distinct workers is *quarantined* (reported on stderr, its slot
+//!   filled with the output type's default). Output is byte-identical to
+//!   `--workers 0` (the in-process default) for every `N` and every
+//!   failure pattern that stays within the retry budget. `--cell-timeout
+//!   MS` reaps a worker whose cell exceeds the deadline (default: no
+//!   deadline); `--strict-cells` turns a completed-but-quarantined run
+//!   into exit code 3. Workers share the `--cache` store; the final
+//!   summary line aggregates their counters.
+//! * `worker --serve-campaign K` is the internal worker entry point
+//!   spawned by `--workers` (replays the driver to campaign ordinal `K`,
+//!   then serves cells over stdin/stdout frames). Not part of the public
+//!   interface.
+//!
+//! Exit codes: `0` success (including quarantined cells without
+//! `--strict-cells`), `1` runtime failure, `2` usage error, `3` completed
+//! with quarantined cells under `--strict-cells`.
 
-use deft::campaign::CacheStore;
+use deft::campaign::supervisor::{FaultPlan, FAULT_PLAN_ENV};
+use deft::campaign::{take_quarantines, CacheStore, SupervisorOpts};
 use deft::experiments::{
-    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_cached, fig8, fork_sweep, perf, recovery,
-    recovery_scenarios, rho_ablation_cached, scaling_study, table1_campaign_cached, Algo,
-    ExpConfig, SynPattern, FORK_SWEEP_K, PERF_RATE, RECOVERY_RATE,
+    fig4, fig5_panels, fig6_pairs, fig6_single, fig7_with, fig8, fork_sweep, perf, recovery,
+    recovery_scenarios, rho_ablation_with, scaling_study, table1_campaign_with, Algo, ExpConfig,
+    SynPattern, FORK_SWEEP_K, PERF_RATE, RECOVERY_RATE,
 };
 use deft::report::{
     app_improvements_csv, fork_sweep_csv, latency_sweep_csv, perf_json, reachability_csv,
@@ -67,6 +89,16 @@ use deft_sim::Simulator;
 use deft_topo::{ChipletId, ChipletSystem, FaultState, VlDir, VlLinkId};
 use deft_traffic::uniform;
 
+/// Process exit codes (the table in `README.md`). `0` is implicit
+/// success; quarantined cells only turn it into [`EXIT_QUARANTINE`]
+/// under `--strict-cells`.
+const EXIT_RUNTIME: i32 = 1;
+/// Bad flags or flag combinations (see [`usage_and_exit`]).
+const EXIT_USAGE: i32 = 2;
+/// The run completed but quarantined at least one cell and
+/// `--strict-cells` was given.
+const EXIT_QUARANTINE: i32 = 3;
+
 /// Output format of the report blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Out {
@@ -74,15 +106,19 @@ enum Out {
     Text,
     /// CSV blocks, each prefixed with a `# title` comment line.
     Csv,
+    /// No report output at all — worker mode, where stdout is the frame
+    /// pipe back to the supervisor and must carry nothing else.
+    Null,
 }
 
 impl Out {
     /// Emits one report block: `render` in text mode, `# title` + `csv`
-    /// in CSV mode.
+    /// in CSV mode, nothing in worker mode.
     fn emit(self, title: &str, render: impl FnOnce() -> String, csv: impl FnOnce() -> String) {
         match self {
             Out::Text => print!("{}", render()),
             Out::Csv => print!("# {title}\n{}", csv()),
+            Out::Null => {}
         }
     }
 }
@@ -145,14 +181,14 @@ fn run_fig6(cfg: &ExpConfig, out: Out) {
 
 fn run_fig7(cfg: &ExpConfig, out: Out) {
     let sys4 = ChipletSystem::baseline_4();
-    let curves4 = fig7_cached(&sys4, 8, cfg.jobs, cfg.cache_store());
+    let curves4 = fig7_with(&sys4, 8, &cfg.policy());
     out.emit(
         "Reachability: 4 Chiplets (32 VLs)",
         || render_reachability("4 Chiplets (32 VLs)", &curves4),
         || reachability_csv(&curves4),
     );
     let sys6 = ChipletSystem::baseline_6();
-    let curves6 = fig7_cached(&sys6, 8, cfg.jobs, cfg.cache_store());
+    let curves6 = fig7_with(&sys6, 8, &cfg.policy());
     out.emit(
         "Reachability: 6 Chiplets (48 VLs)",
         || render_reachability("6 Chiplets (48 VLs)", &curves6),
@@ -248,7 +284,7 @@ fn run_fig8(cfg: &ExpConfig, out: Out) {
 
 fn run_rho(cfg: &ExpConfig, out: Out) {
     let sys = ChipletSystem::baseline_4();
-    let rows = rho_ablation_cached(&sys, cfg.jobs, cfg.cache_store());
+    let rows = rho_ablation_with(&sys, &cfg.policy());
     out.emit(
         "rho ablation",
         || render_rho_ablation(&rows),
@@ -293,7 +329,7 @@ fn run_perf(cfg: &ExpConfig, quick: bool, out: Out) {
         Ok(()) => eprintln!("wrote BENCH_sim.json"),
         Err(e) => {
             eprintln!("cannot write BENCH_sim.json: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_RUNTIME);
         }
     }
 }
@@ -347,12 +383,12 @@ fn run_checkpoint(cfg: &ExpConfig, snap: &SnapshotOpts, out: Out) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("cannot resume from {path}: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_RUNTIME);
             }
         };
         if let Err(e) = sim.resume_from(&bytes) {
             eprintln!("cannot resume from {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_RUNTIME);
         }
         eprintln!("resumed {path} at cycle {}", sim.cycle());
     } else {
@@ -367,7 +403,7 @@ fn run_checkpoint(cfg: &ExpConfig, snap: &SnapshotOpts, out: Out) {
             }
             if let Err(e) = std::fs::write(snap.file(), sim.snapshot()) {
                 eprintln!("cannot write snapshot {}: {e}", snap.file());
-                std::process::exit(1);
+                std::process::exit(EXIT_RUNTIME);
             }
             eprintln!("wrote {} at cycle {}", snap.file(), sim.cycle());
         }
@@ -420,11 +456,10 @@ fn run_fork_sweep(cfg: &ExpConfig, out: Out) {
 }
 
 fn run_table1(cfg: &ExpConfig, out: Out) {
-    let rows = table1_campaign_cached(
+    let rows = table1_campaign_with(
         &RouterParams::paper_default(),
         &Tech45nm::default(),
-        cfg.jobs,
-        cfg.cache_store(),
+        &cfg.policy(),
     );
     out.emit(
         "Table I: router area and power",
@@ -433,17 +468,41 @@ fn run_table1(cfg: &ExpConfig, out: Out) {
     );
 }
 
+/// The experiment names that expand into campaigns — the targets
+/// `--workers` (process supervision) applies to. `perf`, `checkpoint`,
+/// `fork_sweep`, and `large-grid` never route through the campaign
+/// runner, so naming them with `--workers` is a usage error rather than
+/// a silent no-op.
+fn campaign_backed(what: &str) -> bool {
+    matches!(
+        what,
+        "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7"
+            | "fig8"
+            | "table1"
+            | "rho"
+            | "scaling"
+            | "recovery"
+            | "all"
+    )
+}
+
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: deft-repro [--quick] [--jobs N] [--tick-threads N] [--out text|csv] [--exp NAME] \
          [--cache DIR] [--no-cache] \
+         [--workers N] [--cell-timeout MS] [--strict-cells] \
          [--snapshot-every K] [--snapshot-file PATH] [--resume PATH] \
          [fig4|fig5|fig6|fig7|fig8|table1|rho|scaling|recovery|perf|checkpoint|fork_sweep|\
          large-grid|all]\n\
          (--snapshot-every/--snapshot-file/--resume apply to the checkpoint target;\n\
-          --cache DIR memoizes campaign cells in a content-addressed result store)"
+          --cache DIR memoizes campaign cells in a content-addressed result store;\n\
+          --workers N supervises campaigns across N worker processes — crashes retry,\n\
+          poison cells quarantine; --strict-cells exits 3 when any cell was quarantined)"
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }
 
 fn main() {
@@ -456,6 +515,11 @@ fn main() {
     let mut snap = SnapshotOpts::default();
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
+    let mut workers: usize = 0;
+    let mut cell_timeout_ms: Option<u64> = None;
+    let mut strict_cells = false;
+    let mut worker_mode = false;
+    let mut serve_target: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -516,6 +580,37 @@ fn main() {
             cache_dir = Some(parse_value("--cache", &arg, &mut it));
         } else if arg == "--no-cache" {
             no_cache = true;
+        } else if arg == "--workers" || arg.starts_with("--workers=") {
+            let v = parse_value("--workers", &arg, &mut it);
+            match v.parse::<usize>() {
+                Ok(n) => workers = n,
+                _ => {
+                    eprintln!("--workers expects an integer (0 = in-process), got {v:?}");
+                    usage_and_exit();
+                }
+            }
+        } else if arg == "--cell-timeout" || arg.starts_with("--cell-timeout=") {
+            let v = parse_value("--cell-timeout", &arg, &mut it);
+            match v.parse::<u64>() {
+                Ok(n) if n >= 1 => cell_timeout_ms = Some(n),
+                _ => {
+                    eprintln!("--cell-timeout expects a positive millisecond count, got {v:?}");
+                    usage_and_exit();
+                }
+            }
+        } else if arg == "--strict-cells" {
+            strict_cells = true;
+        } else if arg == "--serve-campaign" || arg.starts_with("--serve-campaign=") {
+            let v = parse_value("--serve-campaign", &arg, &mut it);
+            match v.parse::<usize>() {
+                Ok(n) => serve_target = Some(n),
+                _ => {
+                    eprintln!("--serve-campaign expects a campaign ordinal, got {v:?}");
+                    usage_and_exit();
+                }
+            }
+        } else if arg == "worker" && !worker_mode {
+            worker_mode = true;
         } else if arg == "--exp" || arg.starts_with("--exp=") {
             let v = parse_value("--exp", &arg, &mut it);
             if let Some(first) = &what {
@@ -552,7 +647,7 @@ fn main() {
             Ok(s) => Some(std::sync::Arc::new(s)),
             Err(e) => {
                 eprintln!("cannot open cache {dir}: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_RUNTIME);
             }
         },
         _ => None,
@@ -567,6 +662,63 @@ fn main() {
         eprintln!("--snapshot-every/--snapshot-file/--resume apply to the checkpoint target only");
         usage_and_exit();
     }
+    if worker_mode != serve_target.is_some() {
+        eprintln!("worker mode is internal: `worker` and --serve-campaign come as a pair");
+        usage_and_exit();
+    }
+    if worker_mode && workers > 0 {
+        eprintln!("a worker cannot itself supervise workers");
+        usage_and_exit();
+    }
+    if (workers > 0 || worker_mode) && !campaign_backed(&what) {
+        eprintln!(
+            "--workers applies to campaign-backed experiments \
+             (fig4..fig8, table1, rho, scaling, recovery, all), not {what:?}"
+        );
+        usage_and_exit();
+    }
+    if cell_timeout_ms.is_some() && workers == 0 {
+        eprintln!("--cell-timeout needs --workers N (N >= 1)");
+        usage_and_exit();
+    }
+
+    let cfg = if let Some(target) = serve_target {
+        out = Out::Null; // stdout is the frame pipe back to the supervisor
+        cfg.with_serve(target)
+    } else if workers > 0 {
+        // Validate the fault-injection hook *before* spawning anything: a
+        // malformed plan would otherwise fail identically inside every
+        // respawned worker, and the supervisor would burn the whole retry
+        // budget on a configuration error.
+        if let Ok(text) = std::env::var(FAULT_PLAN_ENV) {
+            if let Err(e) = FaultPlan::parse(&text) {
+                eprintln!("invalid {FAULT_PLAN_ENV}: {e}");
+                std::process::exit(EXIT_RUNTIME);
+            }
+        }
+        let exe = match std::env::current_exe() {
+            Ok(p) => p.to_string_lossy().into_owned(),
+            Err(e) => {
+                eprintln!("cannot locate own executable to spawn workers: {e}");
+                std::process::exit(EXIT_RUNTIME);
+            }
+        };
+        let mut argv = vec![exe, "worker".to_owned(), "--exp".to_owned(), what.clone()];
+        if quick {
+            argv.push("--quick".to_owned());
+        }
+        if let Some(n) = tick_threads {
+            argv.push(format!("--tick-threads={n}"));
+        }
+        if let (Some(dir), false) = (&cache_dir, no_cache) {
+            argv.push(format!("--cache={dir}"));
+        }
+        let mut opts = SupervisorOpts::new(workers, argv);
+        opts.cell_timeout = cell_timeout_ms.map(std::time::Duration::from_millis);
+        cfg.with_workers(std::sync::Arc::new(opts))
+    } else {
+        cfg
+    };
 
     match what.as_str() {
         "fig4" => run_fig4(&cfg, out),
@@ -599,8 +751,30 @@ fn main() {
         }
     }
 
+    if worker_mode {
+        // serve() never returns once the target campaign is reached, so
+        // falling through means the ordinal was never consumed — a
+        // supervisor/worker mismatch, not a user error.
+        eprintln!("worker: campaign ordinal was never reached");
+        std::process::exit(EXIT_RUNTIME);
+    }
+
     // stderr so `--out csv` stdout stays byte-comparable across runs.
     if let Some(store) = &store {
         eprintln!("{}", store.summary());
+    }
+
+    let quarantined = take_quarantines();
+    if !quarantined.is_empty() {
+        for q in &quarantined {
+            eprintln!("{q}");
+        }
+        eprintln!(
+            "{} campaign cell(s) quarantined; their rows hold default placeholders",
+            quarantined.len()
+        );
+        if strict_cells {
+            std::process::exit(EXIT_QUARANTINE);
+        }
     }
 }

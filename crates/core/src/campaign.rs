@@ -41,12 +41,147 @@
 //! ```
 
 use deft_codec::{CacheKey, Persist};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 pub mod store;
+pub mod supervisor;
 
 pub use store::{CacheStats, CacheStore};
+pub use supervisor::SupervisorOpts;
+
+/// How one failed execution attempt of a campaign cell died. The
+/// in-process runner and the out-of-process supervisor both degrade
+/// through this type, so `--workers 0` and `--workers N` share one
+/// failure vocabulary (and one quarantine report format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// The cell's code panicked (caught by `catch_unwind` in-process, or
+    /// reported over the pipe by a still-alive worker).
+    Panic(String),
+    /// The worker process died mid-cell (pipe EOF); `status` is its exit
+    /// status as reported by the OS (signal or exit code).
+    WorkerExit {
+        /// Human-readable exit status (e.g. `signal: 9` or `exit code: 7`).
+        status: String,
+    },
+    /// The cell exceeded the per-cell deadline and its worker was killed.
+    Timeout {
+        /// The deadline that was exceeded.
+        after: std::time::Duration,
+    },
+    /// The worker broke the frame protocol (malformed frame, wrong
+    /// index/attempt echo, undecodable output).
+    Protocol(String),
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panic(msg) => write!(f, "panicked: {msg}"),
+            CellError::WorkerExit { status } => write!(f, "worker died ({status})"),
+            CellError::Timeout { after } => write!(f, "timed out after {after:?}"),
+            CellError::Protocol(why) => write!(f, "protocol failure: {why}"),
+        }
+    }
+}
+
+/// One quarantined campaign cell: it exhausted its retry budget (every
+/// attempt in `failures` died) and its slot in the merged output was
+/// filled with `Output::default()` so the rest of the campaign could
+/// complete. Recorded in the process-wide quarantine log; the CLI
+/// reports the log on stderr and `--strict-cells` turns a non-empty log
+/// into a non-zero exit.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    /// Label of the campaign the cell belongs to.
+    pub campaign: String,
+    /// Grid index of the cell.
+    pub cell: usize,
+    /// The cell's [`Run::label`].
+    pub label: String,
+    /// Every attempt's failure, in attempt order.
+    pub failures: Vec<CellError>,
+}
+
+impl std::fmt::Display for Quarantine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "quarantined: campaign {:?} cell {} ({})",
+            self.campaign, self.cell, self.label
+        )?;
+        for (attempt, err) in self.failures.iter().enumerate() {
+            write!(f, "\n  attempt {attempt}: {err}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The process-wide quarantine log ([`record_quarantine`]/[`take_quarantines`]).
+static QUARANTINES: Mutex<Vec<Quarantine>> = Mutex::new(Vec::new());
+
+/// Appends one quarantined cell to the process-wide log.
+pub fn record_quarantine(q: Quarantine) {
+    QUARANTINES
+        .lock()
+        .expect("quarantine log lock poisoned")
+        .push(q);
+}
+
+/// Drains the process-wide quarantine log (the CLI calls this once,
+/// after all campaigns, to build the stderr report).
+pub fn take_quarantines() -> Vec<Quarantine> {
+    std::mem::take(&mut *QUARANTINES.lock().expect("quarantine log lock poisoned"))
+}
+
+/// Monotonic per-process campaign counter. Every
+/// [`Campaign::execute_policy`] call consumes one ordinal *in every
+/// execution mode*, so a worker process replaying the same driver code
+/// path as its supervisor assigns identical ordinals to identical
+/// campaigns — that shared numbering is how `--serve-campaign K` names
+/// "the K-th campaign of this invocation" without a cross-process
+/// registry of cell types.
+static CAMPAIGN_ORDINAL: AtomicUsize = AtomicUsize::new(0);
+
+fn next_campaign_ordinal() -> usize {
+    CAMPAIGN_ORDINAL.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Where [`Campaign::execute_policy`] runs its cells.
+#[derive(Debug, Clone, Default)]
+pub enum ExecMode {
+    /// In this process, on a thread pool (the classic path).
+    #[default]
+    InProcess,
+    /// Fan cells out across supervised worker processes (crash isolation,
+    /// retries, timeouts, quarantine — see [`supervisor`]).
+    Supervised(Arc<SupervisorOpts>),
+    /// This process *is* a worker: serve cells of the campaign with this
+    /// ordinal over stdin/stdout frames and never return; pass every
+    /// other campaign through as `Output::default()` placeholders
+    /// (nothing downstream of a non-target campaign is rendered in a
+    /// worker — its stdout is the frame pipe).
+    Serve {
+        /// Ordinal of the campaign this worker serves.
+        target: usize,
+    },
+}
+
+/// Everything that decides *how* (not *what*) a campaign executes:
+/// thread count, result store, and execution mode. Byte-identity of the
+/// merged output across every policy is the repo's determinism contract.
+#[derive(Debug, Clone, Default)]
+pub struct ExecPolicy {
+    /// Worker threads for the in-process path (ignored by the other
+    /// modes; 0 is clamped to 1).
+    pub jobs: usize,
+    /// Optional shared result store; in supervised mode the workers open
+    /// the same directory and the supervisor aggregates their counters.
+    pub cache: Option<Arc<CacheStore>>,
+    /// In-process, supervised, or serving.
+    pub mode: ExecMode,
+}
 
 /// The number of worker threads used when none is requested explicitly:
 /// the machine's available parallelism, or 1 if that cannot be determined.
@@ -143,13 +278,15 @@ impl<R: Run> Campaign<R> {
     /// and in which order runs finished.
     ///
     /// # Panics
-    /// Propagates panics from run execution (e.g. a simulation asserting on
-    /// deadlock); with multiple workers the panic surfaces when the scope
-    /// joins. Surviving workers stop claiming new grid cells once any run
-    /// has panicked, so a failing campaign aborts after the in-flight
-    /// cells instead of grinding through the rest of the grid.
+    /// Propagates panics from run execution (e.g. a simulation asserting
+    /// on deadlock). Each cell runs under `catch_unwind`, the rest of the
+    /// grid still completes, and the first failure is re-raised at merge
+    /// time — so one bad cell cannot leave the grid half-executed with
+    /// workers mid-flight, and the panic still fails the campaign. Use
+    /// [`Campaign::execute_policy`] for the quarantine path that survives
+    /// failed cells instead.
     pub fn execute(self) -> Vec<R::Output> {
-        self.execute_with(|run| run.execute())
+        self.merge_or_panic(|c| c.execute_isolated(|run| run.execute()))
     }
 
     /// Like [`Campaign::execute`], but each run first probes `store` with
@@ -163,53 +300,142 @@ impl<R: Run> Campaign<R> {
     where
         R::Output: Persist,
     {
+        self.merge_or_panic(|c| c.execute_isolated_cached(store))
+    }
+
+    /// Executes under an [`ExecPolicy`]: the one entry point that unifies
+    /// the in-process thread pool, the supervised worker-process pool,
+    /// and the worker-side serve loop. Consumes one campaign ordinal in
+    /// every mode (see [`ExecMode::Serve`] for why that matters).
+    ///
+    /// Unlike [`Campaign::execute`], a cell whose every attempt fails
+    /// does **not** panic the campaign: it is recorded in the process-wide
+    /// quarantine log ([`take_quarantines`]) and its output slot is
+    /// filled with `Output::default()` — the shared degradation contract
+    /// of the in-process and supervised paths. In-process, a
+    /// deterministic panic would recur on any retry, so one failed
+    /// attempt quarantines the cell immediately; the supervisor retries
+    /// on fresh workers up to its failure budget first.
+    pub fn execute_policy(self, policy: &ExecPolicy) -> Vec<R::Output>
+    where
+        R::Output: Persist + Default,
+    {
+        let ordinal = next_campaign_ordinal();
+        match &policy.mode {
+            ExecMode::InProcess => {
+                let store = policy.cache.as_deref();
+                let campaign = Self {
+                    jobs: policy.jobs.max(1),
+                    ..self
+                };
+                let cells = campaign.execute_isolated_cached(store);
+                campaign.quarantine_failures(cells)
+            }
+            ExecMode::Supervised(opts) => supervisor::supervise(&self, ordinal, opts, policy),
+            ExecMode::Serve { target } => {
+                if ordinal == *target {
+                    supervisor::serve(&self, policy.cache.as_deref());
+                }
+                // A worker replays the driver path: campaigns before (or
+                // after) its target are passed through as placeholder
+                // defaults — nothing derived from them is ever rendered
+                // in a worker process.
+                self.runs.iter().map(|_| R::Output::default()).collect()
+            }
+        }
+    }
+
+    /// The isolated cached fan-out [`Campaign::execute_cached`] and
+    /// [`Campaign::execute_policy`] share.
+    fn execute_isolated_cached(
+        &self,
+        store: Option<&CacheStore>,
+    ) -> Vec<Result<R::Output, CellError>>
+    where
+        R::Output: Persist,
+    {
         match store {
-            None => self.execute(),
-            Some(s) => self.execute_with(|run| match run.cache_key() {
+            None => self.execute_isolated(|run| run.execute()),
+            Some(s) => self.execute_isolated(|run| match run.cache_key() {
                 Some(key) => s.get_or_run(&key, || run.execute()),
                 None => run.execute(),
             }),
         }
     }
 
-    /// Shared fan-out: runs `f` over every grid cell, merging in grid
-    /// order (see [`Campaign::execute`] for the ordering and panic
-    /// contract).
-    fn execute_with<F>(self, f: F) -> Vec<R::Output>
+    /// Converts isolated results into the panic contract of
+    /// [`Campaign::execute`]: the grid completes, then the first failed
+    /// cell re-raises its panic at merge time.
+    fn merge_or_panic(
+        self,
+        f: impl FnOnce(&Self) -> Vec<Result<R::Output, CellError>>,
+    ) -> Vec<R::Output> {
+        let cells = f(&self);
+        cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                cell.unwrap_or_else(|err| {
+                    panic!(
+                        "campaign {:?}: run {i} ({}) failed: {err}",
+                        self.label,
+                        self.runs[i].label()
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Converts isolated results into the quarantine contract of
+    /// [`Campaign::execute_policy`]: failed cells are logged and default
+    /// to `Output::default()`.
+    fn quarantine_failures(&self, cells: Vec<Result<R::Output, CellError>>) -> Vec<R::Output>
+    where
+        R::Output: Default,
+    {
+        cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                cell.unwrap_or_else(|err| {
+                    record_quarantine(Quarantine {
+                        campaign: self.label.clone(),
+                        cell: i,
+                        label: self.runs[i].label(),
+                        failures: vec![err],
+                    });
+                    R::Output::default()
+                })
+            })
+            .collect()
+    }
+
+    /// Shared fan-out: runs `f` over every grid cell under
+    /// `catch_unwind`, merging in grid order. Every cell executes even
+    /// when earlier cells fail — isolation, not early abort — and a
+    /// panicking cell surfaces as [`CellError::Panic`] in its own slot.
+    fn execute_isolated<F>(&self, f: F) -> Vec<Result<R::Output, CellError>>
     where
         F: Fn(&R) -> R::Output + Sync,
     {
+        let one = |run: &R| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(run)))
+                .map_err(|payload| CellError::Panic(panic_message(payload.as_ref())))
+        };
         let workers = self.jobs.min(self.runs.len());
         if workers <= 1 {
-            return self.runs.iter().map(f).collect();
+            return self.runs.iter().map(one).collect();
         }
         let next = AtomicUsize::new(0);
-        let failed = AtomicBool::new(false);
-        let slots: Vec<Mutex<Option<R::Output>>> =
-            self.runs.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<CellSlot<R::Output>> = self.runs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    if failed.load(Ordering::Relaxed) {
-                        break;
-                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(run) = self.runs.get(i) else {
                         break;
                     };
-                    // Raise the abort flag if `execute` unwinds, without
-                    // swallowing the panic (it still fails the scope join).
-                    struct FailFlag<'f>(&'f AtomicBool);
-                    impl Drop for FailFlag<'_> {
-                        fn drop(&mut self) {
-                            if std::thread::panicking() {
-                                self.0.store(true, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    let flag = FailFlag(&failed);
-                    let out = f(run);
-                    std::mem::forget(flag);
+                    let out = one(run);
                     *slots[i].lock().expect("campaign slot lock poisoned") = Some(out);
                 });
             }
@@ -229,6 +455,22 @@ impl<R: Run> Campaign<R> {
                     })
             })
             .collect()
+    }
+}
+
+/// One grid cell's result slot in the isolated parallel fan-out: `None`
+/// until some worker claims and finishes the cell.
+type CellSlot<T> = Mutex<Option<Result<T, CellError>>>;
+
+/// Stringifies a caught panic payload (the `&str`/`String` payloads real
+/// panics carry; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -311,6 +553,73 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    /// A persistable output for the policy-path tests.
+    #[derive(Debug, Default, Clone, PartialEq)]
+    struct Val(u64);
+
+    impl Persist for Val {
+        fn encode(&self, enc: &mut deft_codec::Encoder) {
+            enc.put_u64(self.0);
+        }
+        fn decode(dec: &mut deft_codec::Decoder<'_>) -> Result<Self, deft_codec::CodecError> {
+            Ok(Self(dec.get_u64()?))
+        }
+    }
+
+    /// Panics on grid index 2, like [`Explosive`], but with a persistable
+    /// output so it can route through [`Campaign::execute_policy`].
+    struct BrittleVal(usize);
+
+    impl Run for BrittleVal {
+        type Output = Val;
+        fn label(&self) -> String {
+            format!("brittle {}", self.0)
+        }
+        fn execute(&self) -> Val {
+            assert!(self.0 != 2, "cell 2 exploded");
+            Val(self.0 as u64 * 10)
+        }
+    }
+
+    /// One test (not two) so no concurrently running test drains the
+    /// process-wide quarantine log between execute and inspection.
+    #[test]
+    fn execute_policy_quarantines_panicking_cells_and_spares_healthy_ones() {
+        // A panicking cell: the campaign completes, the cell's slot holds
+        // the default, and the log records the panic.
+        let grid: Vec<BrittleVal> = (0..5).map(BrittleVal).collect();
+        let out = Campaign::new("brittle-policy", grid).execute_policy(&ExecPolicy::default());
+        assert_eq!(out, vec![Val(0), Val(10), Val::default(), Val(30), Val(40)]);
+        let quarantined: Vec<Quarantine> = take_quarantines()
+            .into_iter()
+            .filter(|q| q.campaign == "brittle-policy")
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        let q = &quarantined[0];
+        assert_eq!((q.cell, q.label.as_str()), (2, "brittle 2"));
+        assert_eq!(
+            q.failures.len(),
+            1,
+            "a deterministic panic is not retried in-process"
+        );
+        assert!(
+            matches!(&q.failures[0], CellError::Panic(m) if m.contains("cell 2 exploded")),
+            "{:?}",
+            q.failures
+        );
+        assert!(q.to_string().starts_with("quarantined: campaign"));
+
+        // A healthy grid: byte-identical to execute(), nothing quarantined.
+        let grid: Vec<BrittleVal> = (0..5).filter(|&i| i != 2).map(BrittleVal).collect();
+        let out = Campaign::new("healthy-policy", grid)
+            .jobs(2)
+            .execute_policy(&ExecPolicy::default());
+        assert_eq!(out, vec![Val(0), Val(10), Val(30), Val(40)]);
+        assert!(take_quarantines()
+            .iter()
+            .all(|q| q.campaign != "healthy-policy"));
     }
 
     /// The cross-crate thread-safety contract the campaign runner relies

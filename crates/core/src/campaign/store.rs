@@ -60,6 +60,50 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Component-wise difference `self - earlier` (saturating): the
+    /// counter movement between two snapshots of the same store. Workers
+    /// report each cell's movement this way so a supervisor can
+    /// [`absorb`](CacheStore::absorb) it into one aggregated summary.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            corrupt: self.corrupt.saturating_sub(earlier.corrupt),
+            stored: self.stored.saturating_sub(earlier.stored),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            write_errors: self.write_errors.saturating_sub(earlier.write_errors),
+        }
+    }
+
+    /// The counters as the fixed word array the frame protocol carries
+    /// ([`deft_codec::frame::STATS_WORDS`] words, field order of this
+    /// struct).
+    pub fn to_words(&self) -> [u64; deft_codec::frame::STATS_WORDS] {
+        [
+            self.hits,
+            self.misses,
+            self.corrupt,
+            self.stored,
+            self.bytes_read,
+            self.bytes_written,
+            self.write_errors,
+        ]
+    }
+
+    /// Inverse of [`CacheStats::to_words`].
+    pub fn from_words(words: [u64; deft_codec::frame::STATS_WORDS]) -> CacheStats {
+        CacheStats {
+            hits: words[0],
+            misses: words[1],
+            corrupt: words[2],
+            stored: words[3],
+            bytes_read: words[4],
+            bytes_written: words[5],
+            write_errors: words[6],
+        }
+    }
+
     /// One-line summary in the format the CLI prints to stderr. "N
     /// simulated" restates the miss count in workload terms: every miss
     /// executed its cell.
@@ -159,6 +203,23 @@ impl CacheStore {
     /// One-line hit/miss summary (see [`CacheStats::summary`]).
     pub fn summary(&self) -> String {
         self.stats().summary()
+    }
+
+    /// Adds a counter delta (a worker process's contribution, carried
+    /// over the frame protocol) into this store's counters, so the
+    /// supervisor's summary reports campaign-wide totals — the same
+    /// numbers a single-process run would have counted locally.
+    pub fn absorb(&self, delta: &CacheStats) {
+        self.hits.fetch_add(delta.hits, Ordering::Relaxed);
+        self.misses.fetch_add(delta.misses, Ordering::Relaxed);
+        self.corrupt.fetch_add(delta.corrupt, Ordering::Relaxed);
+        self.stored.fetch_add(delta.stored, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(delta.bytes_read, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(delta.bytes_written, Ordering::Relaxed);
+        self.write_errors
+            .fetch_add(delta.write_errors, Ordering::Relaxed);
     }
 
     /// Probes the store: `Ok(Some)` on a hit, `Ok(None)` when the entry

@@ -1,0 +1,701 @@
+//! Supervised out-of-process campaign execution.
+//!
+//! `supervise` fans a campaign's cells out across a pool of worker
+//! *processes* (spawned from [`SupervisorOpts::argv`], in practice the
+//! hidden `deft-repro worker` subcommand) and merges their outputs in
+//! grid order, byte-identically to the in-process path. Cells travel as
+//! [`CellRequest`]/[`CellResponse`] snapshot containers over
+//! length-prefixed stdin/stdout frames (see [`deft_codec::frame`]).
+//!
+//! # Supervision state machine
+//!
+//! Each worker slot cycles through `spawning → idle → assigned →
+//! (responded | failed)`:
+//!
+//! * **responded** — the output decodes and echoes the assigned
+//!   index/attempt: the cell completes, the slot returns to idle, and
+//!   its consecutive-failure counter resets.
+//! * **failed** — anything else retires the whole worker incarnation
+//!   (one-for-one restart), records a typed [`CellError`] against the
+//!   assigned cell, and schedules a respawn after capped exponential
+//!   backoff:
+//!   - pipe EOF mid-cell → [`CellError::WorkerExit`] (panic/abort/
+//!     `kill -9` all land here, with the OS exit status),
+//!   - per-cell deadline exceeded → the worker is killed (SIGKILL) and
+//!     the cell records [`CellError::Timeout`],
+//!   - malformed frame, wrong index/attempt echo, or undecodable output
+//!     → [`CellError::Protocol`],
+//!   - a `FAIL` frame (the worker caught the cell's panic and stayed
+//!     alive to report it) → [`CellError::Panic`].
+//!
+//! A failed cell is retried at the *front* of the queue on a fresh
+//! worker; after [`SupervisorOpts::max_failures`] distinct workers have
+//! failed it, the cell is **quarantined**: the campaign still completes,
+//! the cell's slot is filled with `Output::default()`, and the failure
+//! history lands in the process-wide quarantine log
+//! ([`take_quarantines`](crate::campaign::take_quarantines)).
+//!
+//! # Why byte-identity survives crashes
+//!
+//! A cell's output is a pure function of its grid position (per-run
+//! seeds derive from position, never from scheduling, attempt count, or
+//! which worker ran it), every retry re-executes the *same* grid index,
+//! and the supervisor writes each output into the slot its index names.
+//! So any interleaving of crashes, retries, and worker counts merges to
+//! the same vector — the fault-plan tests in
+//! `tests/campaign_supervisor.rs` pin this with `cmp`-grade equality.
+//!
+//! # Deterministic fault injection
+//!
+//! Workers consult the [`FAULT_PLAN_ENV`] environment variable
+//! (`cell:attempt:action` entries separated by `;`, actions
+//! `crash|panic|hang|exit-N|garble|kill9`) before executing each cell.
+//! The plan is a pure function of (cell, attempt), so every failure
+//! path is a deterministic, replayable test instead of a flake.
+
+use super::{panic_message, record_quarantine, Campaign, CellError, ExecPolicy, Quarantine, Run};
+use crate::campaign::store::CacheStore;
+use deft_codec::frame::{read_frame, write_frame, CellRequest, CellResponse};
+use deft_codec::{encode_value, Decoder, Persist};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Environment variable holding the deterministic worker fault plan.
+pub const FAULT_PLAN_ENV: &str = "DEFT_WORKER_FAULT_PLAN";
+
+/// How a planned fault manifests inside a worker, before the cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// `std::process::abort()` — a hard crash mid-cell (SIGABRT).
+    Crash,
+    /// Panic inside the cell's `catch_unwind`: the worker survives and
+    /// reports the panic over the pipe (the `FAIL` frame path).
+    Panic,
+    /// Sleep far past any reasonable deadline — a wedged worker, reaped
+    /// only by `--cell-timeout`.
+    Hang,
+    /// `std::process::exit(code)` — a clean-but-wrong death.
+    Exit(i32),
+    /// Write a malformed frame instead of the response — the protocol
+    /// failure path.
+    Garble,
+    /// Have the OS deliver SIGKILL to the worker (via the system `kill`
+    /// command: std offers no way to raise a signal at oneself), with an
+    /// abort fallback in case no `kill` binary exists.
+    Kill9,
+}
+
+/// A parsed [`FAULT_PLAN_ENV`] plan: a pure function of (cell, attempt),
+/// identical in every worker incarnation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(u64, u32, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// Parses `cell:attempt:action` entries separated by `;`. Empty
+    /// entries are ignored, so trailing separators are harmless.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for part in text.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let mut fields = part.splitn(3, ':');
+            let (cell, attempt, action) = match (fields.next(), fields.next(), fields.next()) {
+                (Some(c), Some(a), Some(x)) => (c, a, x),
+                _ => {
+                    return Err(format!(
+                        "fault-plan entry {part:?} is not cell:attempt:action"
+                    ))
+                }
+            };
+            let cell: u64 = cell
+                .parse()
+                .map_err(|_| format!("fault-plan cell {cell:?} is not an integer"))?;
+            let attempt: u32 = attempt
+                .parse()
+                .map_err(|_| format!("fault-plan attempt {attempt:?} is not an integer"))?;
+            let action =
+                match action {
+                    "crash" => FaultAction::Crash,
+                    "panic" => FaultAction::Panic,
+                    "hang" => FaultAction::Hang,
+                    "garble" => FaultAction::Garble,
+                    "kill9" => FaultAction::Kill9,
+                    exit if exit.strip_prefix("exit-").is_some() => {
+                        let code = exit.strip_prefix("exit-").expect("checked prefix");
+                        FaultAction::Exit(code.parse().map_err(|_| {
+                            format!("fault-plan exit code {code:?} is not an integer")
+                        })?)
+                    }
+                    other => {
+                        return Err(format!(
+                            "fault-plan action {other:?} is not one of \
+                         crash|panic|hang|exit-N|garble|kill9"
+                        ))
+                    }
+                };
+            entries.push((cell, attempt, action));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Reads and parses [`FAULT_PLAN_ENV`]; an unset variable is the
+    /// empty (fault-free) plan.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var(FAULT_PLAN_ENV) {
+            Ok(text) => Self::parse(&text),
+            Err(_) => Ok(Self::default()),
+        }
+    }
+
+    /// The planned action for this (cell, attempt), if any.
+    pub fn action(&self, cell: u64, attempt: u32) -> Option<FaultAction> {
+        self.entries
+            .iter()
+            .find(|(c, a, _)| *c == cell && *a == attempt)
+            .map(|(_, _, action)| *action)
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Tuning of one supervised campaign execution: pool size, worker
+/// command line, and the failure budget.
+#[derive(Debug, Clone)]
+pub struct SupervisorOpts {
+    /// Worker processes to keep alive (clamped to at least 1, and never
+    /// more than the grid has cells).
+    pub workers: usize,
+    /// Program + arguments of one worker, *without* the trailing
+    /// `--serve-campaign N` (the supervisor appends the ordinal of each
+    /// campaign it runs).
+    pub argv: Vec<String>,
+    /// Per-cell wall-clock deadline; a worker past it is killed and the
+    /// cell records [`CellError::Timeout`]. `None` (the default) never
+    /// reaps — a hung worker then hangs the campaign, exactly as the
+    /// serial path would.
+    pub cell_timeout: Option<Duration>,
+    /// Failures from distinct workers after which a cell is quarantined
+    /// instead of retried (default 2).
+    pub max_failures: u32,
+    /// First respawn backoff after a worker failure (default 10 ms);
+    /// doubles per consecutive failure of the same slot.
+    pub backoff_base: Duration,
+    /// Backoff ceiling (default 500 ms).
+    pub backoff_cap: Duration,
+}
+
+impl SupervisorOpts {
+    /// Options with the default failure budget and backoff.
+    pub fn new(workers: usize, argv: Vec<String>) -> Self {
+        Self {
+            workers,
+            argv,
+            cell_timeout: None,
+            max_failures: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What a reader thread forwards from one worker's stdout.
+enum Event {
+    /// One complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// Read error or torn frame.
+    Corrupt(String),
+}
+
+/// One worker slot of the pool.
+struct Slot {
+    child: Option<Child>,
+    stdin: Option<ChildStdin>,
+    /// Spawn-unique id; events from retired incarnations are ignored.
+    incarnation: u64,
+    assigned: Option<Assigned>,
+    consecutive_failures: u32,
+    respawn_at: Option<Instant>,
+}
+
+struct Assigned {
+    cell: usize,
+    attempt: u32,
+    deadline: Option<Instant>,
+}
+
+/// Runs `campaign` across supervised worker processes. Panics only on
+/// setup bugs (a worker binary that cannot even be spawned); every
+/// runtime failure degrades through retries into quarantine.
+pub(super) fn supervise<R: Run>(
+    campaign: &Campaign<R>,
+    ordinal: usize,
+    opts: &SupervisorOpts,
+    policy: &ExecPolicy,
+) -> Vec<R::Output>
+where
+    R::Output: Persist + Default,
+{
+    let n = campaign.runs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = opts.workers.clamp(1, n);
+    let max_failures = opts.max_failures.max(1) as usize;
+    let (tx, rx) = mpsc::channel::<(usize, u64, Event)>();
+
+    let mut slots: Vec<Slot> = (0..workers)
+        .map(|_| Slot {
+            child: None,
+            stdin: None,
+            incarnation: 0,
+            assigned: None,
+            consecutive_failures: 0,
+            respawn_at: None,
+        })
+        .collect();
+    let mut next_incarnation: u64 = 1;
+    let mut pending: VecDeque<(usize, u32)> = (0..n).map(|cell| (cell, 0)).collect();
+    let mut failures: Vec<Vec<CellError>> = vec![Vec::new(); n];
+    let mut outputs: Vec<Option<R::Output>> = (0..n).map(|_| None).collect();
+    let mut quarantined = 0usize;
+    let mut completed = 0usize;
+
+    // Retires a slot's current incarnation: records `error` against the
+    // assigned cell (requeueing or quarantining it), kills and reaps the
+    // child, and schedules the respawn backoff. `error: None` means the
+    // worker itself misbehaved with no cell in flight (or its pipe died
+    // before the assignment reached it) — the cell, if any, is requeued
+    // at the same attempt without counting a failure.
+    let retire = |slot: &mut Slot,
+                  error: Option<CellError>,
+                  pending: &mut VecDeque<(usize, u32)>,
+                  failures: &mut [Vec<CellError>],
+                  quarantined: &mut usize| {
+        if let Some(assigned) = slot.assigned.take() {
+            match error {
+                Some(err) => {
+                    failures[assigned.cell].push(err);
+                    if failures[assigned.cell].len() >= max_failures {
+                        record_quarantine(Quarantine {
+                            campaign: campaign.label.clone(),
+                            cell: assigned.cell,
+                            label: campaign.runs[assigned.cell].label(),
+                            failures: failures[assigned.cell].clone(),
+                        });
+                        *quarantined += 1;
+                    } else {
+                        pending.push_front((assigned.cell, assigned.attempt + 1));
+                    }
+                }
+                None => pending.push_front((assigned.cell, assigned.attempt)),
+            }
+        }
+        slot.stdin = None;
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        // Retired incarnations must not match later events.
+        slot.incarnation = 0;
+        slot.consecutive_failures = slot.consecutive_failures.saturating_add(1);
+        let exp = slot.consecutive_failures.saturating_sub(1).min(16);
+        let backoff = opts
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(opts.backoff_cap);
+        slot.respawn_at = Some(Instant::now() + backoff);
+    };
+
+    while completed + quarantined < n {
+        let now = Instant::now();
+
+        // Respawn dead slots (after backoff) while work remains, then
+        // hand each idle worker the next pending cell.
+        for (slot_idx, slot) in slots.iter_mut().enumerate() {
+            if slot.child.is_none() {
+                if pending.is_empty() || slot.respawn_at.is_some_and(|t| t > now) {
+                    continue;
+                }
+                let incarnation = next_incarnation;
+                next_incarnation += 1;
+                let mut child = Command::new(&opts.argv[0])
+                    .args(&opts.argv[1..])
+                    .arg("--serve-campaign")
+                    .arg(ordinal.to_string())
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .spawn()
+                    .unwrap_or_else(|e| {
+                        panic!("cannot spawn campaign worker {:?}: {e}", opts.argv[0])
+                    });
+                let stdin = child.stdin.take().expect("worker stdin is piped");
+                let mut stdout = child.stdout.take().expect("worker stdout is piped");
+                let tx = tx.clone();
+                std::thread::spawn(move || loop {
+                    match read_frame(&mut stdout) {
+                        Ok(Some(frame)) => {
+                            if tx
+                                .send((slot_idx, incarnation, Event::Frame(frame)))
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        Ok(None) => {
+                            let _ = tx.send((slot_idx, incarnation, Event::Eof));
+                            break;
+                        }
+                        Err(e) => {
+                            let _ = tx.send((slot_idx, incarnation, Event::Corrupt(e.to_string())));
+                            break;
+                        }
+                    }
+                });
+                slot.child = Some(child);
+                slot.stdin = Some(stdin);
+                slot.incarnation = incarnation;
+                slot.respawn_at = None;
+            }
+            if slot.assigned.is_none() {
+                let Some((cell, attempt)) = pending.pop_front() else {
+                    continue;
+                };
+                let frame = CellRequest {
+                    index: cell as u64,
+                    attempt,
+                }
+                .to_container();
+                let wrote = slot
+                    .stdin
+                    .as_mut()
+                    .map(|pipe| write_frame(pipe, &frame).and_then(|()| pipe.flush()));
+                match wrote {
+                    Some(Ok(())) => {
+                        slot.assigned = Some(Assigned {
+                            cell,
+                            attempt,
+                            deadline: opts.cell_timeout.map(|d| now + d),
+                        });
+                    }
+                    _ => {
+                        // Dead pipe before the assignment could land: the
+                        // worker's own death will be accounted when its
+                        // EOF event arrives; the cell just goes back.
+                        pending.push_front((cell, attempt));
+                        retire(slot, None, &mut pending, &mut failures, &mut quarantined);
+                    }
+                }
+            }
+        }
+
+        // Sleep until the next deadline/backoff, or an event.
+        let mut wait = Duration::from_millis(1000);
+        for slot in &slots {
+            if let Some(deadline) = slot.assigned.as_ref().and_then(|a| a.deadline) {
+                wait = wait.min(deadline.saturating_duration_since(now));
+            }
+            if slot.child.is_none() && !pending.is_empty() {
+                if let Some(t) = slot.respawn_at {
+                    wait = wait.min(t.saturating_duration_since(now));
+                }
+            }
+        }
+        match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+            Ok((slot_idx, incarnation, event)) => {
+                let slot = &mut slots[slot_idx];
+                if slot.incarnation != incarnation || slot.child.is_none() {
+                    // A retired incarnation's tail: already accounted.
+                } else {
+                    match event {
+                        Event::Frame(frame) => match CellResponse::from_container(&frame) {
+                            Ok(CellResponse::Ok {
+                                index,
+                                attempt,
+                                output,
+                                stats,
+                            }) => {
+                                let matches = slot.assigned.as_ref().is_some_and(|a| {
+                                    a.cell as u64 == index && a.attempt == attempt
+                                });
+                                if !matches {
+                                    retire(
+                                        slot,
+                                        Some(CellError::Protocol(format!(
+                                            "response for cell {index} attempt {attempt} does \
+                                             not match the assignment"
+                                        ))),
+                                        &mut pending,
+                                        &mut failures,
+                                        &mut quarantined,
+                                    );
+                                } else {
+                                    let mut dec = Decoder::new(&output);
+                                    match R::Output::decode(&mut dec).and_then(|v| {
+                                        dec.finish()?;
+                                        Ok(v)
+                                    }) {
+                                        Ok(value) => {
+                                            let cell =
+                                                slot.assigned.take().expect("matched above").cell;
+                                            outputs[cell] = Some(value);
+                                            completed += 1;
+                                            slot.consecutive_failures = 0;
+                                            if let Some(store) = policy.cache.as_deref() {
+                                                store.absorb(
+                                                    &crate::campaign::CacheStats::from_words(stats),
+                                                );
+                                            }
+                                        }
+                                        Err(e) => retire(
+                                            slot,
+                                            Some(CellError::Protocol(format!(
+                                                "cell output does not decode: {e}"
+                                            ))),
+                                            &mut pending,
+                                            &mut failures,
+                                            &mut quarantined,
+                                        ),
+                                    }
+                                }
+                            }
+                            Ok(CellResponse::Panic {
+                                index,
+                                attempt,
+                                message,
+                            }) => {
+                                let matches = slot.assigned.as_ref().is_some_and(|a| {
+                                    a.cell as u64 == index && a.attempt == attempt
+                                });
+                                let error = if matches {
+                                    CellError::Panic(message)
+                                } else {
+                                    CellError::Protocol(format!(
+                                        "panic report for cell {index} attempt {attempt} does \
+                                         not match the assignment"
+                                    ))
+                                };
+                                retire(
+                                    slot,
+                                    Some(error),
+                                    &mut pending,
+                                    &mut failures,
+                                    &mut quarantined,
+                                );
+                            }
+                            Err(e) => retire(
+                                slot,
+                                Some(CellError::Protocol(format!("malformed frame: {e}"))),
+                                &mut pending,
+                                &mut failures,
+                                &mut quarantined,
+                            ),
+                        },
+                        Event::Eof => {
+                            let status = slot
+                                .child
+                                .as_mut()
+                                .and_then(|c| c.wait().ok())
+                                .map(|s| s.to_string())
+                                .unwrap_or_else(|| "unknown exit status".to_owned());
+                            let error = slot
+                                .assigned
+                                .is_some()
+                                .then_some(CellError::WorkerExit { status });
+                            retire(slot, error, &mut pending, &mut failures, &mut quarantined);
+                        }
+                        Event::Corrupt(why) => {
+                            let error = slot
+                                .assigned
+                                .is_some()
+                                .then_some(CellError::Protocol(format!("torn frame: {why}")));
+                            retire(slot, error, &mut pending, &mut failures, &mut quarantined);
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                unreachable!("supervisor holds a live sender")
+            }
+        }
+
+        // Reap workers past their per-cell deadline.
+        let now = Instant::now();
+        for slot in slots.iter_mut() {
+            let expired = slot
+                .assigned
+                .as_ref()
+                .and_then(|a| a.deadline)
+                .is_some_and(|d| d <= now);
+            if expired {
+                let after = opts.cell_timeout.expect("deadline implies a timeout");
+                retire(
+                    slot,
+                    Some(CellError::Timeout { after }),
+                    &mut pending,
+                    &mut failures,
+                    &mut quarantined,
+                );
+            }
+        }
+    }
+
+    // Shutdown: closing stdin asks each worker to exit; the kill is the
+    // impatient fallback so a wedged worker cannot hold the exit hostage.
+    for slot in slots.iter_mut() {
+        slot.stdin = None;
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    outputs
+        .into_iter()
+        .map(|cell| cell.unwrap_or_default())
+        .collect()
+}
+
+/// The worker side: serves this campaign's cells over stdin/stdout
+/// frames until the supervisor closes the pipe, then exits 0. Never
+/// returns — a worker's stdout *is* the frame transport, so no driver
+/// code downstream of the served campaign may run (it would print into
+/// the protocol stream).
+pub(super) fn serve<R: Run>(campaign: &Campaign<R>, store: Option<&CacheStore>) -> !
+where
+    R::Output: Persist,
+{
+    // Expected panics (injected faults, genuinely panicking cells) are
+    // reported over the pipe; keep the inherited stderr clean of hook
+    // output so supervisor diagnostics stay readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    // The supervisor validated the same environment string before
+    // spawning, so a parse failure here cannot happen; degrade to the
+    // fault-free plan rather than dying over it.
+    let plan = FaultPlan::from_env().unwrap_or_default();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    loop {
+        let Some(frame) = read_frame(&mut input).unwrap_or(None) else {
+            // Clean EOF (or a torn pipe): the supervisor is done with us.
+            std::process::exit(0);
+        };
+        let Ok(req) = CellRequest::from_container(&frame) else {
+            // A supervisor speaking another wire format; nothing sane to
+            // answer with.
+            std::process::exit(1);
+        };
+        match plan.action(req.index, req.attempt) {
+            Some(FaultAction::Crash) => std::process::abort(),
+            Some(FaultAction::Exit(code)) => std::process::exit(code),
+            Some(FaultAction::Hang) => {
+                std::thread::sleep(Duration::from_secs(3600));
+                std::process::exit(86); // only reachable without --cell-timeout
+            }
+            Some(FaultAction::Kill9) => {
+                let _ = Command::new("kill")
+                    .args(["-9", &std::process::id().to_string()])
+                    .status();
+                std::thread::sleep(Duration::from_secs(10));
+                std::process::abort(); // no `kill` binary: die loudly anyway
+            }
+            Some(FaultAction::Garble) => {
+                let _ = write_frame(&mut output, b"these bytes are not a container")
+                    .and_then(|()| output.flush());
+                continue;
+            }
+            Some(FaultAction::Panic) | None => {}
+        }
+        let inject_panic = plan.action(req.index, req.attempt) == Some(FaultAction::Panic);
+        let Some(run) = campaign.runs.get(req.index as usize) else {
+            std::process::exit(1); // out-of-range index: protocol bug
+        };
+        let before = store.map(|s| s.stats()).unwrap_or_default();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!(
+                    "injected panic at cell {} attempt {}",
+                    req.index, req.attempt
+                );
+            }
+            match (store, run.cache_key()) {
+                (Some(s), Some(key)) => s.get_or_run(&key, || run.execute()),
+                _ => run.execute(),
+            }
+        }));
+        let response = match result {
+            Ok(value) => {
+                let after = store.map(|s| s.stats()).unwrap_or_default();
+                CellResponse::Ok {
+                    index: req.index,
+                    attempt: req.attempt,
+                    output: encode_value(&value),
+                    stats: after.delta_since(&before).to_words(),
+                }
+            }
+            Err(payload) => CellResponse::Panic {
+                index: req.index,
+                attempt: req.attempt,
+                message: panic_message(payload.as_ref()),
+            },
+        };
+        let sent = write_frame(&mut output, &response.to_container()).and_then(|()| output.flush());
+        if sent.is_err() {
+            // Supervisor went away mid-response; nothing left to serve.
+            std::process::exit(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_parses_every_action() {
+        let plan =
+            FaultPlan::parse("0:0:crash; 3:1:hang;7:0:exit-9;2:2:garble;1:0:kill9;4:1:panic;")
+                .expect("valid plan");
+        assert_eq!(plan.action(0, 0), Some(FaultAction::Crash));
+        assert_eq!(plan.action(3, 1), Some(FaultAction::Hang));
+        assert_eq!(plan.action(7, 0), Some(FaultAction::Exit(9)));
+        assert_eq!(plan.action(2, 2), Some(FaultAction::Garble));
+        assert_eq!(plan.action(1, 0), Some(FaultAction::Kill9));
+        assert_eq!(plan.action(4, 1), Some(FaultAction::Panic));
+        assert_eq!(plan.action(0, 1), None, "other attempts are fault-free");
+        assert!(FaultPlan::parse("").expect("empty plan").is_empty());
+    }
+
+    #[test]
+    fn fault_plan_rejects_malformed_entries() {
+        for bad in [
+            "nonsense",
+            "0:0",
+            "0:0:frobnicate",
+            "x:0:crash",
+            "0:y:crash",
+            "0:0:exit-",
+            "0:0:exit-zz",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn supervisor_opts_default_budget() {
+        let opts = SupervisorOpts::new(4, vec!["worker".into()]);
+        assert_eq!(opts.max_failures, 2);
+        assert!(opts.cell_timeout.is_none());
+        assert!(opts.backoff_base < opts.backoff_cap);
+    }
+}

@@ -7,7 +7,7 @@
 //! of the resulting optimal selection under a one-fault scenario, making
 //! the trade-off visible.
 
-use crate::campaign::{default_jobs, CacheStore, Campaign, Run};
+use crate::campaign::{default_jobs, CacheStore, Campaign, ExecPolicy, Run};
 use deft_codec::{CacheKey, CacheKeyBuilder, CodecError, Decoder, Encoder, Persist};
 use deft_routing::deft::SelectionProblem;
 use deft_routing::VlOptimizer;
@@ -15,7 +15,7 @@ use deft_topo::{ChipletId, ChipletSystem, Coord};
 use serde::Serialize;
 
 /// One row of the ρ sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct RhoRow {
     /// The distance weight ρ.
     pub rho: f64,
@@ -125,13 +125,23 @@ pub fn rho_ablation_cached(
     jobs: usize,
     cache: Option<&CacheStore>,
 ) -> Vec<RhoRow> {
-    let grid: Vec<RhoPointRun> = RHO_SWEEP
-        .iter()
-        .map(|&rho| RhoPointRun { sys, rho })
-        .collect();
-    Campaign::new("rho ablation", grid)
+    Campaign::new("rho ablation", rho_grid(sys))
         .jobs(jobs)
         .execute_cached(cache)
+}
+
+/// [`rho_ablation`] under a full [`ExecPolicy`] — the variant
+/// `deft-repro` routes through, so the sweep runs in-process,
+/// supervised, or served identically.
+pub fn rho_ablation_with(sys: &ChipletSystem, policy: &ExecPolicy) -> Vec<RhoRow> {
+    Campaign::new("rho ablation", rho_grid(sys)).execute_policy(policy)
+}
+
+fn rho_grid(sys: &ChipletSystem) -> Vec<RhoPointRun<'_>> {
+    RHO_SWEEP
+        .iter()
+        .map(|&rho| RhoPointRun { sys, rho })
+        .collect()
 }
 
 #[cfg(test)]

@@ -82,9 +82,7 @@ fn improvements(
             })
         })
         .collect();
-    let latencies = Campaign::new("fig6", grid)
-        .jobs(cfg.jobs)
-        .execute_cached(cfg.cache_store());
+    let latencies = Campaign::new("fig6", grid).execute_policy(&cfg.policy());
     let pct = |base: f64, ours: f64| {
         if base > 0.0 {
             100.0 * (base - ours) / base

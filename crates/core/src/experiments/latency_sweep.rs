@@ -210,9 +210,7 @@ fn sweep(
             })
         })
         .collect();
-    let mut points = Campaign::new(title.clone(), grid)
-        .jobs(cfg.jobs)
-        .execute_cached(cfg.cache_store());
+    let mut points = Campaign::new(title.clone(), grid).execute_policy(&cfg.policy());
     let curves = algos
         .iter()
         .map(|&algo| LatencyCurve {

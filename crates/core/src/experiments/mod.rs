@@ -21,7 +21,9 @@ mod recovery;
 mod scaling;
 mod vc_util;
 
-pub use ablation::{rho_ablation, rho_ablation_cached, rho_ablation_jobs, RhoRow, RHO_SWEEP};
+pub use ablation::{
+    rho_ablation, rho_ablation_cached, rho_ablation_jobs, rho_ablation_with, RhoRow, RHO_SWEEP,
+};
 pub use app_latency::{fig6_pairs, fig6_single, AppImprovement};
 pub use fork_sweep::{
     fork_sweep, fork_sweep_cycle, fork_sweep_timelines, ForkSweepRow, FORK_SWEEP_K,
@@ -33,8 +35,10 @@ pub use perf::{
     LARGE_GRID_16_QUICK_CELL, LARGE_GRID_CELL, LARGE_GRID_THREADED_CELLS, PERF_RATE,
     PR4_FULL_BASELINE, TRICKLE_CELL, TRICKLE_PERIOD,
 };
-pub use power_table::{table1_campaign, table1_campaign_cached, table1_campaign_jobs};
-pub use reachability::{fig7, fig7_cached, fig7_jobs, ReachabilityCurves};
+pub use power_table::{
+    table1_campaign, table1_campaign_cached, table1_campaign_jobs, table1_campaign_with,
+};
+pub use reachability::{fig7, fig7_cached, fig7_jobs, fig7_with, ReachabilityCurves};
 pub use recovery::{
     recovery, recovery_scenarios, recovery_with, RecoveryRow, RecoveryScenario, RECOVERY_RATE,
     RECOVERY_SEEDS,
@@ -42,7 +46,7 @@ pub use recovery::{
 pub use scaling::{scaling_study, ScalingRow, SCALING_GRIDS};
 pub use vc_util::{fig5, fig5_panels, VcUtilRow};
 
-use crate::campaign::CacheStore;
+use crate::campaign::{CacheStore, ExecMode, ExecPolicy, SupervisorOpts};
 use deft_routing::{DeftRouting, MtrRouting, RcRouting, RoutingAlgorithm};
 use deft_sim::SimConfig;
 use deft_topo::ChipletSystem;
@@ -112,6 +116,11 @@ pub struct ExpConfig {
     /// Never part of any cache key — like `jobs`, it cannot change
     /// results, only wall-clock time.
     pub cache: Option<Arc<CacheStore>>,
+    /// Where campaigns execute: in-process threads (the default),
+    /// supervised worker processes, or serving cells as a worker. Like
+    /// `jobs` and `cache`, byte-identity-neutral: every mode merges the
+    /// same outputs in the same grid order.
+    pub mode: ExecMode,
 }
 
 impl ExpConfig {
@@ -127,6 +136,7 @@ impl ExpConfig {
             seed: 0x0DE,
             jobs: crate::campaign::default_jobs(),
             cache: None,
+            mode: ExecMode::InProcess,
         }
     }
 
@@ -143,6 +153,7 @@ impl ExpConfig {
             seed: 0x0DE,
             jobs: crate::campaign::default_jobs(),
             cache: None,
+            mode: ExecMode::InProcess,
         }
     }
 
@@ -178,6 +189,36 @@ impl ExpConfig {
     /// The memoized result store, if one is configured.
     pub fn cache_store(&self) -> Option<&CacheStore> {
         self.cache.as_deref()
+    }
+
+    /// Returns the configuration running campaigns across supervised
+    /// worker *processes* (`deft-repro --workers N`): crash isolation,
+    /// retries with backoff, optional per-cell deadlines, and poison-cell
+    /// quarantine — with output byte-identical to the in-process path.
+    #[must_use]
+    pub fn with_workers(mut self, opts: Arc<SupervisorOpts>) -> Self {
+        self.mode = ExecMode::Supervised(opts);
+        self
+    }
+
+    /// Returns the configuration in worker mode: the campaign with this
+    /// ordinal is served over stdin/stdout frames (never returning), and
+    /// every other campaign passes through as placeholder defaults.
+    #[must_use]
+    pub fn with_serve(mut self, target: usize) -> Self {
+        self.mode = ExecMode::Serve { target };
+        self
+    }
+
+    /// The campaign execution policy this configuration encodes — what
+    /// every experiment hands to
+    /// [`Campaign::execute_policy`](crate::campaign::Campaign::execute_policy).
+    pub fn policy(&self) -> ExecPolicy {
+        ExecPolicy {
+            jobs: self.jobs,
+            cache: self.cache.clone(),
+            mode: self.mode.clone(),
+        }
     }
 
     /// Derives a per-run simulation config with a distinct seed.

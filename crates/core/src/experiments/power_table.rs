@@ -7,7 +7,7 @@
 //! ([`deft_power::table1_row`]), so rows are order-independent and the
 //! campaign merge reproduces [`deft_power::table1`] exactly.
 
-use crate::campaign::{default_jobs, CacheStore, Campaign, Run};
+use crate::campaign::{default_jobs, CacheStore, Campaign, ExecPolicy, Run};
 use deft_codec::{CacheKey, CacheKeyBuilder};
 use deft_power::{table1_row, table1_variants, RouterParams, RouterVariant, Table1Row, Tech45nm};
 
@@ -59,17 +59,31 @@ pub fn table1_campaign_cached(
     jobs: usize,
     cache: Option<&CacheStore>,
 ) -> Vec<Table1Row> {
-    let grid: Vec<VariantRun> = table1_variants()
+    Campaign::new("table1", table1_grid(params, tech))
+        .jobs(jobs)
+        .execute_cached(cache)
+}
+
+/// [`table1_campaign`] under a full [`ExecPolicy`] — the variant
+/// `deft-repro` routes through, so the table runs in-process,
+/// supervised, or served identically.
+pub fn table1_campaign_with(
+    params: &RouterParams,
+    tech: &Tech45nm,
+    policy: &ExecPolicy,
+) -> Vec<Table1Row> {
+    Campaign::new("table1", table1_grid(params, tech)).execute_policy(policy)
+}
+
+fn table1_grid<'a>(params: &'a RouterParams, tech: &'a Tech45nm) -> Vec<VariantRun<'a>> {
+    table1_variants()
         .into_iter()
         .map(|variant| VariantRun {
             params,
             tech,
             variant,
         })
-        .collect();
-    Campaign::new("table1", grid)
-        .jobs(jobs)
-        .execute_cached(cache)
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Fig. 7: reachability vs number of faulty VLs — exact analysis.
 
 use super::Algo;
-use crate::campaign::{default_jobs, CacheStore, Campaign, Run};
+use crate::campaign::{default_jobs, CacheStore, Campaign, ExecPolicy, Run};
 use deft_codec::{CacheKey, CacheKeyBuilder};
 use deft_routing::reachability::ReachabilityEngine;
 use deft_topo::ChipletSystem;
@@ -96,7 +96,27 @@ pub fn fig7_cached(
     jobs: usize,
     cache: Option<&CacheStore>,
 ) -> ReachabilityCurves {
-    let grid = vec![
+    fig7_finish(
+        k_max,
+        Campaign::new("fig7", fig7_grid(sys, k_max))
+            .jobs(jobs)
+            .execute_cached(cache),
+    )
+}
+
+/// [`fig7`] under a full [`ExecPolicy`] — the variant `deft-repro`
+/// routes through, so the panel runs in-process, supervised, or served
+/// identically (see
+/// [`Campaign::execute_policy`](crate::campaign::Campaign::execute_policy)).
+pub fn fig7_with(sys: &ChipletSystem, k_max: usize, policy: &ExecPolicy) -> ReachabilityCurves {
+    fig7_finish(
+        k_max,
+        Campaign::new("fig7", fig7_grid(sys, k_max)).execute_policy(policy),
+    )
+}
+
+fn fig7_grid(sys: &ChipletSystem, k_max: usize) -> Vec<AlgoCurveRun<'_>> {
+    vec![
         AlgoCurveRun {
             sys,
             algo: Algo::Deft,
@@ -115,8 +135,10 @@ pub fn fig7_cached(
             k_max,
             want_worst: true,
         },
-    ];
-    let mut curves = Campaign::new("fig7", grid).jobs(jobs).execute_cached(cache);
+    ]
+}
+
+fn fig7_finish(k_max: usize, mut curves: Vec<(Vec<f64>, Vec<f64>)>) -> ReachabilityCurves {
     let (rc_avg, rc_worst) = curves.pop().expect("RC curve");
     let (mtr_avg, mtr_worst) = curves.pop().expect("MTR curve");
     let (deft, _) = curves.pop().expect("DeFT curve");

@@ -152,7 +152,7 @@ pub fn recovery_scenarios(horizon: u64) -> Vec<RecoveryScenario> {
 }
 
 /// One row of the recovery report: one (scenario, algorithm, seed) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct RecoveryRow {
     /// Scenario label ([`RecoveryScenario::name`]).
     pub scenario: String,
@@ -350,9 +350,7 @@ pub fn recovery_with(
             }
         }
     }
-    Campaign::new("recovery", grid)
-        .jobs(cfg.jobs)
-        .execute_cached(cfg.cache_store())
+    Campaign::new("recovery", grid).execute_policy(&cfg.policy())
 }
 
 #[cfg(test)]

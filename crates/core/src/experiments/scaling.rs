@@ -56,6 +56,7 @@ struct CellRun {
 }
 
 /// One cell's result: `(chiplets, nodes, avg latency, reachability %)`.
+#[derive(Default)]
 struct CellOut {
     chiplets: usize,
     nodes: usize,
@@ -144,9 +145,7 @@ pub fn scaling_study(rate: f64, faults_k: usize, cfg: &ExpConfig) -> Vec<Scaling
             })
         })
         .collect();
-    let cells = Campaign::new("scaling study", grid)
-        .jobs(cfg.jobs)
-        .execute_cached(cfg.cache_store());
+    let cells = Campaign::new("scaling study", grid).execute_policy(&cfg.policy());
     let pct = |base: f64, ours: f64| {
         if base > 0.0 {
             100.0 * (base - ours) / base

@@ -129,9 +129,7 @@ pub fn fig5_panels(
             sim: cfg.run_sim(0x5),
         })
         .collect();
-    let panels = Campaign::new("fig5", grid)
-        .jobs(cfg.jobs)
-        .execute_cached(cfg.cache_store());
+    let panels = Campaign::new("fig5", grid).execute_policy(&cfg.policy());
     patterns.iter().copied().zip(panels).collect()
 }
 

@@ -7,7 +7,7 @@ use serde::Serialize;
 use std::fmt;
 
 /// One row of the paper's Table I.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct Table1Row {
     /// Variant label.
     pub variant: &'static str,

@@ -397,6 +397,72 @@ fn repro_cache_flag_memoizes_across_invocations() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Two *processes* racing the same corrupted entry both degrade it to a
+/// typed miss, re-simulate, and heal through the store's atomic rename:
+/// neither ever observes a torn entry (a torn read would surface as a
+/// second corruption or a decode panic), both produce byte-identical
+/// output, and the entry verifies afterwards. This is the multi-process
+/// contract `--workers N` relies on when its workers share one store.
+#[test]
+fn racing_processes_heal_a_corrupt_entry_without_torn_reads() {
+    let dir = tmp("race");
+    let sys = ChipletSystem::baseline_4();
+    let store = CacheStore::open(&dir).expect("open store");
+    let _ = rho_ablation_cached(&sys, 1, Some(&store));
+    let victim = store.entries().expect("list")[0].clone();
+    let mut bytes = std::fs::read(&victim).expect("read entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(&victim, &bytes).expect("corrupt entry");
+
+    let spawn = || {
+        std::process::Command::new(env!("CARGO_BIN_EXE_deft-repro"))
+            .args(["rho", "--quick", "--out", "csv", "--cache"])
+            .arg(&dir)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn deft-repro")
+    };
+    let (a, b) = (spawn(), spawn());
+    let a = a.wait_with_output().expect("child a");
+    let b = b.wait_with_output().expect("child b");
+    assert!(
+        a.status.success() && b.status.success(),
+        "racing healers must both succeed: {:?} / {:?}",
+        String::from_utf8_lossy(&a.stderr),
+        String::from_utf8_lossy(&b.stderr)
+    );
+    assert_eq!(
+        a.stdout, b.stdout,
+        "racing healers must agree byte for byte"
+    );
+    // Whichever child probes first sees the corruption; the other sees
+    // either the same corrupt bytes (both still racing) or the winner's
+    // healed entry (a hit) — but never a torn state in between.
+    let mut corrupt_observers = 0;
+    for (name, err) in [("a", &a.stderr), ("b", &b.stderr)] {
+        let err = String::from_utf8_lossy(err);
+        if err.contains("(1 corrupt), 1 simulated") {
+            corrupt_observers += 1;
+        } else {
+            assert!(
+                err.contains("cache: 5 hits, 0 misses (0 corrupt), 0 simulated"),
+                "child {name} saw a state that is neither corrupt nor healed: {err:?}"
+            );
+        }
+    }
+    assert!(
+        corrupt_observers >= 1,
+        "at least the first prober must observe the corruption"
+    );
+    assert!(
+        verify_entry(&victim).is_ok(),
+        "the healed entry must verify after the race"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// An unusable `--cache` location is a clean one-line exit-1 error (the
 /// same contract as a corrupt `--resume` file), not a panic.
 #[test]

@@ -1,0 +1,289 @@
+//! Supervised out-of-process campaign execution (`deft-repro --workers N`).
+//!
+//! The in-process engine is the permanent oracle: every test runs the
+//! same experiment serially and under a supervised worker pool and
+//! demands byte-identical stdout — with no faults, and under every
+//! injected failure class the supervisor recovers from (worker crash,
+//! SIGKILL, nonzero exit, hung cell past the deadline, malformed frame,
+//! in-cell panic). Poison cells (failures beyond the retry budget)
+//! quarantine instead of failing the campaign; `--strict-cells` turns
+//! that into exit code 3. Fault injection uses the deterministic
+//! `DEFT_WORKER_FAULT_PLAN` hook, a pure function of (cell, attempt), so
+//! none of these tests depend on timing.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The `deft-repro` binary with a clean fault-plan environment.
+fn repro() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_deft-repro"));
+    cmd.env_remove("DEFT_WORKER_FAULT_PLAN");
+    cmd
+}
+
+fn run(args: &[&str], plan: Option<&str>) -> std::process::Output {
+    let mut cmd = repro();
+    cmd.args(args);
+    if let Some(p) = plan {
+        cmd.env("DEFT_WORKER_FAULT_PLAN", p);
+    }
+    cmd.output().expect("deft-repro runs")
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr_of(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A fresh per-test scratch directory.
+fn tmp(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("deft-supervisor-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn supervised_output_is_byte_identical_across_worker_counts() {
+    let serial = run(&["--quick", "--out", "csv", "table1"], None);
+    assert!(serial.status.success());
+    assert!(!serial.stdout.is_empty());
+    for workers in ["1", "2", "4"] {
+        let sup = run(
+            &["--quick", "--out", "csv", "--workers", workers, "table1"],
+            None,
+        );
+        assert!(sup.status.success(), "--workers {workers} failed");
+        assert_eq!(
+            serial.stdout, sup.stdout,
+            "--workers {workers} diverged from the in-process oracle"
+        );
+        assert!(
+            !stderr_of(&sup).contains("quarantined"),
+            "fault-free run must not quarantine"
+        );
+    }
+
+    let serial = run(&["--quick", "--out", "csv", "rho"], None);
+    let sup = run(&["--quick", "--out", "csv", "--workers", "3", "rho"], None);
+    assert!(serial.status.success() && sup.status.success());
+    assert_eq!(serial.stdout, sup.stdout, "rho diverged under supervision");
+}
+
+/// One failure per class, all within the retry budget: every cell is
+/// retried on a fresh worker and the merged output stays byte-identical.
+/// `exit-7` and `kill9` kill the worker outright, `crash` aborts,
+/// `garble` answers with a non-container frame, `panic` reports a caught
+/// panic over the pipe — five distinct detection paths, one outcome.
+#[test]
+fn every_failure_class_is_retried_without_changing_output() {
+    let serial = run(&["--quick", "--out", "csv", "table1"], None);
+    assert!(serial.status.success());
+    let plan = "0:0:exit-7;1:0:kill9;2:0:crash;3:0:garble;4:0:panic";
+    let sup = run(
+        &["--quick", "--out", "csv", "--workers", "3", "table1"],
+        Some(plan),
+    );
+    assert!(sup.status.success(), "stderr: {}", stderr_of(&sup));
+    assert_eq!(serial.stdout, sup.stdout, "retries changed the output");
+    assert!(
+        !stderr_of(&sup).contains("quarantined"),
+        "single failures must stay within the retry budget: {}",
+        stderr_of(&sup)
+    );
+}
+
+#[test]
+fn hung_workers_are_reaped_by_the_cell_deadline() {
+    let serial = run(&["--quick", "--out", "csv", "table1"], None);
+    let sup = run(
+        &[
+            "--quick",
+            "--out",
+            "csv",
+            "--workers",
+            "2",
+            "--cell-timeout",
+            "500",
+            "table1",
+        ],
+        Some("2:0:hang"),
+    );
+    assert!(sup.status.success(), "stderr: {}", stderr_of(&sup));
+    assert_eq!(
+        serial.stdout, sup.stdout,
+        "the reaped cell's retry diverged"
+    );
+}
+
+/// A cell that kills two distinct workers is quarantined: the campaign
+/// still completes (every healthy cell identical to the oracle, the
+/// poison cell's row holding defaults), exit stays 0 without
+/// `--strict-cells` and becomes 3 with it.
+#[test]
+fn poison_cells_quarantine_and_strict_cells_gates_the_exit_code() {
+    let serial = run(&["--quick", "--out", "csv", "table1"], None);
+    let plan = "1:0:crash;1:1:crash";
+    let sup = run(
+        &["--quick", "--out", "csv", "--workers", "2", "table1"],
+        Some(plan),
+    );
+    assert!(sup.status.success(), "quarantine must not fail the run");
+    let err = stderr_of(&sup);
+    assert!(
+        err.contains("quarantined: campaign \"table1\" cell 1"),
+        "missing quarantine report: {err:?}"
+    );
+    assert!(
+        err.contains("attempt 0:") && err.contains("attempt 1:"),
+        "report must list every attempt: {err:?}"
+    );
+    let serial_out = stdout_of(&serial);
+    let serial_lines: Vec<&str> = serial_out.lines().collect();
+    let sup_out = stdout_of(&sup);
+    let sup_lines: Vec<&str> = sup_out.lines().collect();
+    assert_eq!(serial_lines.len(), sup_lines.len(), "row count must match");
+    // Cell 1 is stdout line 3 (`#` title, CSV header, then one line per
+    // cell): defaults there, byte-identical rows everywhere else.
+    for (i, (s, p)) in serial_lines.iter().zip(&sup_lines).enumerate() {
+        if i == 3 {
+            assert_ne!(s, p, "the poison row must hold defaults");
+            assert!(p.ends_with(",0,0,0,0"), "placeholder row: {p:?}");
+        } else {
+            assert_eq!(s, p, "healthy row {i} diverged");
+        }
+    }
+
+    let strict = run(
+        &[
+            "--quick",
+            "--out",
+            "csv",
+            "--workers",
+            "2",
+            "--strict-cells",
+            "table1",
+        ],
+        Some(plan),
+    );
+    assert_eq!(
+        strict.status.code(),
+        Some(3),
+        "--strict-cells must exit 3 on quarantine"
+    );
+    assert_eq!(
+        sup.stdout, strict.stdout,
+        "--strict-cells changes the exit code, not the output"
+    );
+
+    // Without the plan the same flags exit 0: strictness alone is free.
+    let clean = run(
+        &[
+            "--quick",
+            "--out",
+            "csv",
+            "--workers",
+            "2",
+            "--strict-cells",
+            "table1",
+        ],
+        None,
+    );
+    assert!(clean.status.success());
+    assert_eq!(serial.stdout, clean.stdout);
+}
+
+/// A malformed fault plan is a configuration error, failed fast before
+/// any worker spawns — not a retry storm.
+#[test]
+fn malformed_fault_plans_fail_fast() {
+    for bad in ["bogus", "1:0:sabotage", "x:0:crash", "1:0:exit-x"] {
+        let out = run(&["--quick", "--workers", "2", "table1"], Some(bad));
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "plan {bad:?} must exit 1: {}",
+            stderr_of(&out)
+        );
+        assert!(
+            stderr_of(&out).contains("invalid DEFT_WORKER_FAULT_PLAN"),
+            "plan {bad:?}: {}",
+            stderr_of(&out)
+        );
+        assert!(out.stdout.is_empty(), "no output before the error");
+    }
+}
+
+/// The supervisor absorbs each worker's cache-counter delta, so the
+/// stderr summary under `--workers N` reports the same totals as the
+/// in-process path — cold and warm.
+#[test]
+fn cache_summaries_aggregate_worker_counters() {
+    let dir = tmp("cache-agg");
+    let dir_s = dir.to_str().expect("utf8 temp dir");
+    let cold = run(
+        &[
+            "--quick",
+            "--out",
+            "csv",
+            "--cache",
+            dir_s,
+            "--workers",
+            "2",
+            "rho",
+        ],
+        None,
+    );
+    assert!(cold.status.success(), "stderr: {}", stderr_of(&cold));
+    assert!(
+        stderr_of(&cold).contains("cache: 0 hits, 5 misses (0 corrupt), 5 simulated, 5 stored"),
+        "cold summary must aggregate worker counters: {}",
+        stderr_of(&cold)
+    );
+    let warm = run(
+        &[
+            "--quick",
+            "--out",
+            "csv",
+            "--cache",
+            dir_s,
+            "--workers",
+            "2",
+            "rho",
+        ],
+        None,
+    );
+    assert!(warm.status.success());
+    assert!(
+        stderr_of(&warm).contains("cache: 5 hits, 0 misses (0 corrupt), 0 simulated, 0 stored"),
+        "warm summary must aggregate worker counters: {}",
+        stderr_of(&warm)
+    );
+    assert_eq!(cold.stdout, warm.stdout);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Flag combinations that cannot mean anything are usage errors (exit
+/// 2), reported before any work happens.
+#[test]
+fn incoherent_supervision_flags_are_usage_errors() {
+    for args in [
+        &["--workers", "2", "perf"][..],          // not campaign-backed
+        &["--workers", "2", "checkpoint"][..],    // not campaign-backed
+        &["--cell-timeout", "100", "table1"][..], // deadline without workers
+        &["worker", "--exp", "table1"][..],       // worker without ordinal
+        &["--serve-campaign", "0", "table1"][..], // ordinal without worker
+        &["--workers", "x", "table1"][..],        // non-numeric count
+    ] {
+        let out = run(args, None);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must be a usage error: {}",
+            stderr_of(&out)
+        );
+    }
+}
